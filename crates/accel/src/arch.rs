@@ -1,0 +1,190 @@
+//! Whole-accelerator configuration.
+
+use std::fmt;
+
+use crate::dataflow::{EyerissDataflow, NvdlaDataflow};
+use crate::ff::FfCensus;
+
+/// Which dataflow family an accelerator implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataflowKind {
+    /// NVDLA-like broadcast-input, weight-stationary MAC bank.
+    Nvdla(NvdlaDataflow),
+    /// Eyeriss-like row-stationary systolic array.
+    Eyeriss(EyerissDataflow),
+}
+
+impl DataflowKind {
+    /// Number of output neurons produced per cycle at full throughput.
+    pub fn lanes(&self) -> usize {
+        match self {
+            DataflowKind::Nvdla(d) => d.lanes,
+            DataflowKind::Eyeriss(d) => d.k * d.k,
+        }
+    }
+}
+
+/// Fractions of FFs that are structurally inactive under certain workloads —
+/// the Class 1 ("component not used") and Class 2 ("signal not used") inputs
+/// of the paper's activeness analysis (Sec. III-D, Eq. 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InactiveModel {
+    /// Fraction of *before-buffer* FFs belonging to the weight decompression
+    /// unit, idle whenever weights are stored uncompressed (Class 1; all our
+    /// workloads use uncompressed weights, matching the paper's example).
+    pub decompression_frac: f64,
+    /// Fraction of datapath FFs implementing floating-point-only logic,
+    /// inactive for integer deployments (Class 2).
+    pub fp_only_frac: f64,
+    /// Fraction of datapath FFs implementing integer-only logic, inactive
+    /// for floating-point deployments (Class 2).
+    pub int_only_frac: f64,
+}
+
+impl Default for InactiveModel {
+    fn default() -> Self {
+        InactiveModel {
+            decompression_frac: 0.10,
+            fp_only_frac: 0.15,
+            int_only_frac: 0.10,
+        }
+    }
+}
+
+/// Error for invalid accelerator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid accelerator config: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// High-level description of a DNN inference accelerator: everything the
+/// FIdelity framework needs, and nothing that would require RTL.
+///
+/// All fields are the kind of information available from block diagrams,
+/// architectural descriptions or prior design generations (and can be varied
+/// for sensitivity analysis — see the `sensitivity_sweep` example).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Design name.
+    pub name: String,
+    /// Dataflow family and geometry.
+    pub dataflow: DataflowKind,
+    /// Total number of flip-flops, in bits.
+    pub total_ff_bits: u64,
+    /// FF census per Table-II category.
+    pub census: FfCensus,
+    /// On-chip-buffer fill bandwidth in values per cycle (drives the fetch
+    /// phase of the performance model).
+    pub fetch_values_per_cycle: f64,
+    /// Post-processing (bias/activation/pooling/writeback) throughput in
+    /// values per cycle.
+    pub post_values_per_cycle: f64,
+    /// Class 1/2 inactive-FF fractions.
+    pub inactive: InactiveModel,
+}
+
+impl AcceleratorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on non-positive bandwidths, zero FF count, or
+    /// out-of-range inactive fractions.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.total_ff_bits == 0 {
+            return Err(ConfigError {
+                message: "total_ff_bits must be positive".into(),
+            });
+        }
+        if self.fetch_values_per_cycle <= 0.0 || self.post_values_per_cycle <= 0.0 {
+            return Err(ConfigError {
+                message: "bandwidths must be positive".into(),
+            });
+        }
+        if self.dataflow.lanes() == 0 {
+            return Err(ConfigError {
+                message: "dataflow must have at least one lane".into(),
+            });
+        }
+        for (label, v) in [
+            ("decompression_frac", self.inactive.decompression_frac),
+            ("fp_only_frac", self.inactive.fp_only_frac),
+            ("int_only_frac", self.inactive.int_only_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ConfigError {
+                    message: format!("{label} = {v} outside [0, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// FF storage in megabytes (the unit of the raw FIT rate constant:
+    /// 600 FIT/MB in the paper, from 40nm flip-flop measurements).
+    pub fn ff_megabytes(&self) -> f64 {
+        self.total_ff_bits as f64 / 8.0 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn preset_validates() {
+        presets::nvdla_like().validate().unwrap();
+        presets::eyeriss_like().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut cfg = presets::nvdla_like();
+        cfg.total_ff_bits = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = presets::nvdla_like();
+        cfg.fetch_values_per_cycle = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = presets::nvdla_like();
+        cfg.inactive.fp_only_frac = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn ff_megabytes_conversion() {
+        let mut cfg = presets::nvdla_like();
+        cfg.total_ff_bits = 8 * 1024 * 1024;
+        assert!((cfg.ff_megabytes() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lanes_from_dataflow() {
+        assert_eq!(
+            DataflowKind::Nvdla(NvdlaDataflow {
+                lanes: 16,
+                weight_hold: 16
+            })
+            .lanes(),
+            16
+        );
+        assert_eq!(
+            DataflowKind::Eyeriss(EyerissDataflow {
+                k: 3,
+                channel_reuse: 2
+            })
+            .lanes(),
+            9
+        );
+    }
+}

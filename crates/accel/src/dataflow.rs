@@ -1,0 +1,367 @@
+//! Scheduling/reuse dataflow descriptions and Algorithm-1 input generators.
+//!
+//! Reuse Factor Analysis (Algorithm 1 of the paper, implemented in
+//! `fidelity-core`) consumes a handful of microarchitectural facts about a
+//! target FF: how many cycles it holds a value, which compute units consume
+//! the value on each of those cycles, for how long, and which output neurons
+//! (in relative coordinates) each consuming unit produces. This module
+//! defines that input vocabulary and generates it for two dataflow families:
+//!
+//! * [`NvdlaDataflow`] — the paper's Fig. 2(a): `lanes` parallel MAC units
+//!   sharing a broadcast input, each holding its weight for
+//!   `weight_hold` cycles (NVDLA-like; the validation target), and
+//! * [`EyerissDataflow`] — Fig. 2(b): a `k×k` row-stationary systolic array.
+//!
+//! The worked examples a1–a4 and b1–b3 from Fig. 2 are provided verbatim so
+//! the Algorithm-1 implementation can be checked against every reuse factor
+//! the paper derives by hand (t, 1..t, 1, k², k, k·t, 1).
+
+/// Relative output-neuron coordinate `(batch, height, width, channel)`, as
+/// used by Algorithm 1. The reference neuron is `(0, 0, 0, 0)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NeuronOffset {
+    /// Batch offset.
+    pub batch: i32,
+    /// Height offset.
+    pub height: i32,
+    /// Width offset (also used as "position in row-major scan" for 1-D
+    /// windows).
+    pub width: i32,
+    /// Channel offset.
+    pub channel: i32,
+}
+
+impl NeuronOffset {
+    /// Convenience constructor.
+    pub const fn new(batch: i32, height: i32, width: i32, channel: i32) -> Self {
+        NeuronOffset {
+            batch,
+            height,
+            width,
+            channel,
+        }
+    }
+}
+
+/// One compute unit's consumption of the target FF's value at a given loop:
+/// Algorithm 1's `in_effect_cycles(m)` and `neurons(m)_{y,l}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitUse {
+    /// Compute-unit identifier `m` (a label; uniqueness matters only for
+    /// documentation).
+    pub unit: usize,
+    /// Number of cycles the single-cycle faulty value stays in effect at
+    /// this unit.
+    pub in_effect_cycles: usize,
+    /// `neurons[y]` — the relative neuron indices computed in the `y`-th
+    /// effect cycle. Must have `in_effect_cycles` entries.
+    pub neurons: Vec<Vec<NeuronOffset>>,
+}
+
+/// The complete input bundle of Algorithm 1 for one target FF.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RfaInputs {
+    /// Human-readable description of the target FF (for reports).
+    pub target: String,
+    /// `FF_value_cycles` — maximum cycles the FF holds one value.
+    pub ff_value_cycles: usize,
+    /// `loops[l]` — the compute units `M_l` using the value at loop `l`.
+    /// Must have `ff_value_cycles` entries.
+    pub loops: Vec<Vec<UnitUse>>,
+}
+
+impl RfaInputs {
+    /// Checks the structural invariants (loop count, per-unit cycle counts).
+    pub fn is_well_formed(&self) -> bool {
+        self.ff_value_cycles > 0
+            && self.loops.len() == self.ff_value_cycles
+            && self.loops.iter().all(|units| {
+                units
+                    .iter()
+                    .all(|u| u.neurons.len() == u.in_effect_cycles && u.in_effect_cycles > 0)
+            })
+    }
+}
+
+/// The NVDLA-like dataflow of Fig. 2(a): `lanes` MAC units compute the same
+/// spatial position of `lanes` consecutive output channels in parallel; a
+/// broadcast input feeds all of them each cycle; each MAC holds its weight
+/// for `weight_hold` consecutive operations (row-major over the output
+/// plane).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NvdlaDataflow {
+    /// Number of parallel MAC units (`k²` in the paper's example; 16 for the
+    /// validated NVDLA configuration).
+    pub lanes: usize,
+    /// Weight-stationary hold length in operations (`t`; 16 for NVDLA).
+    pub weight_hold: usize,
+}
+
+impl NvdlaDataflow {
+    /// The configuration the paper validates (`k = 4`, `t = 16`).
+    pub fn paper_config() -> Self {
+        NvdlaDataflow {
+            lanes: 16,
+            weight_hold: 16,
+        }
+    }
+
+    /// Fig. 2(a) target `a1`: a weight FF one stage upstream of the operand
+    /// register. Its value reaches one multiplier and stays in effect for
+    /// `weight_hold` cycles. Expected RF = `weight_hold`.
+    pub fn example_a1(&self) -> RfaInputs {
+        RfaInputs {
+            target: "a1: weight FF upstream of operand register".into(),
+            ff_value_cycles: 1,
+            loops: vec![vec![UnitUse {
+                unit: 0,
+                in_effect_cycles: self.weight_hold,
+                neurons: (0..self.weight_hold)
+                    .map(|y| vec![NeuronOffset::new(0, 0, y as i32, 0)])
+                    .collect(),
+            }]],
+        }
+    }
+
+    /// Fig. 2(a) target `a2`: the weight operand register itself, holding
+    /// its value for `weight_hold` cycles, feeding one multiplier per cycle.
+    /// Expected RF = `weight_hold`, with a random fault cycle truncating the
+    /// affected window (1..=weight_hold faulty neurons).
+    pub fn example_a2(&self) -> RfaInputs {
+        RfaInputs {
+            target: "a2: weight operand register (weight-stationary)".into(),
+            ff_value_cycles: self.weight_hold,
+            loops: (0..self.weight_hold)
+                .map(|l| {
+                    vec![UnitUse {
+                        unit: 0,
+                        in_effect_cycles: 1,
+                        neurons: vec![vec![NeuronOffset::new(0, 0, l as i32, 0)]],
+                    }]
+                })
+                .collect(),
+        }
+    }
+
+    /// Fig. 2(a) target `a3`: a single-cycle weight pipeline register.
+    /// Expected RF = 1.
+    pub fn example_a3(&self) -> RfaInputs {
+        RfaInputs {
+            target: "a3: single-cycle weight pipeline register".into(),
+            ff_value_cycles: 1,
+            loops: vec![vec![UnitUse {
+                unit: 0,
+                in_effect_cycles: 1,
+                neurons: vec![vec![NeuronOffset::new(0, 0, 0, 0)]],
+            }]],
+        }
+    }
+
+    /// Fig. 2(a) target `a4`: the broadcast input register feeding all
+    /// `lanes` multipliers in one cycle. Expected RF = `lanes`, spanning
+    /// `lanes` consecutive output channels at the same spatial position.
+    pub fn example_a4(&self) -> RfaInputs {
+        RfaInputs {
+            target: "a4: broadcast input operand register".into(),
+            ff_value_cycles: 1,
+            loops: vec![(0..self.lanes)
+                .map(|m| UnitUse {
+                    unit: m,
+                    in_effect_cycles: 1,
+                    neurons: vec![vec![NeuronOffset::new(0, 0, 0, m as i32)]],
+                })
+                .collect()],
+        }
+    }
+
+    /// RFA inputs for the buffer-to-MAC *input* FF category of Table II
+    /// (same shape as `a4`).
+    pub fn input_operand_rfa(&self) -> RfaInputs {
+        let mut r = self.example_a4();
+        r.target = "buffer-to-MAC input FF".into();
+        r
+    }
+
+    /// RFA inputs for the buffer-to-MAC *weight* FF category of Table II
+    /// (same shape as `a2`).
+    pub fn weight_operand_rfa(&self) -> RfaInputs {
+        let mut r = self.example_a2();
+        r.target = "buffer-to-MAC weight FF".into();
+        r
+    }
+
+    /// RFA inputs for output / partial-sum FFs (Table I row 3: RF = 1).
+    pub fn output_rfa(&self) -> RfaInputs {
+        let mut r = self.example_a3();
+        r.target = "output / partial-sum FF".into();
+        r
+    }
+}
+
+/// The Eyeriss-like row-stationary systolic dataflow of Fig. 2(b): a `k×k`
+/// MAC array where weights travel across columns, inputs travel diagonally,
+/// and each MAC additionally reuses an input across `channel_reuse`
+/// consecutive output channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EyerissDataflow {
+    /// Array dimension.
+    pub k: usize,
+    /// Temporal input reuse across output channels (`t` in Fig. 2(b)).
+    pub channel_reuse: usize,
+}
+
+impl EyerissDataflow {
+    /// Fig. 2(b) target `b1`: a weight FF whose value is passed to the
+    /// neighbouring column each cycle, reaching `k` MAC units. Expected
+    /// RF = `k`; faulty neurons occupy `k` consecutive rows of one column.
+    pub fn example_b1(&self) -> RfaInputs {
+        RfaInputs {
+            target: "b1: systolic weight FF (column-travelling)".into(),
+            ff_value_cycles: 1,
+            loops: vec![(0..self.k)
+                .map(|m| UnitUse {
+                    unit: m,
+                    in_effect_cycles: 1,
+                    neurons: vec![vec![NeuronOffset::new(0, m as i32, 0, 0)]],
+                })
+                .collect()],
+        }
+    }
+
+    /// Fig. 2(b) target `b2`: an input FF reused diagonally by `k` MAC
+    /// units, each of which reuses it across `channel_reuse` output
+    /// channels. Expected RF = `k · channel_reuse`.
+    pub fn example_b2(&self) -> RfaInputs {
+        RfaInputs {
+            target: "b2: systolic input FF (diagonal + channel reuse)".into(),
+            ff_value_cycles: 1,
+            loops: vec![(0..self.k)
+                .map(|m| UnitUse {
+                    unit: m,
+                    in_effect_cycles: self.channel_reuse,
+                    neurons: (0..self.channel_reuse)
+                        .map(|y| vec![NeuronOffset::new(0, m as i32, 0, y as i32)])
+                        .collect(),
+                })
+                .collect()],
+        }
+    }
+
+    /// RFA inputs for the *private-input* row-stationary variant realized by
+    /// `fidelity-rtl`'s systolic engine: each PE holds its input operand for
+    /// `channel_reuse` consecutive output channels but does not forward it
+    /// diagonally. Expected RF = `channel_reuse`.
+    pub fn private_input_rfa(&self) -> RfaInputs {
+        RfaInputs {
+            target: "systolic input operand (private, channel-reused)".into(),
+            ff_value_cycles: self.channel_reuse,
+            loops: (0..self.channel_reuse)
+                .map(|l| {
+                    vec![UnitUse {
+                        unit: 0,
+                        in_effect_cycles: 1,
+                        neurons: vec![vec![NeuronOffset::new(0, 0, 0, l as i32)]],
+                    }]
+                })
+                .collect(),
+        }
+    }
+
+    /// RFA inputs for the broadcast weight operand register of the systolic
+    /// engine: one value reaches all `k` PE rows in a single cycle.
+    /// Expected RF = `k`.
+    pub fn weight_broadcast_rfa(&self) -> RfaInputs {
+        RfaInputs {
+            target: "systolic weight operand (broadcast across PE rows)".into(),
+            ff_value_cycles: 1,
+            loops: vec![(0..self.k)
+                .map(|m| UnitUse {
+                    unit: m,
+                    in_effect_cycles: 1,
+                    neurons: vec![vec![NeuronOffset::new(0, m as i32, 0, 0)]],
+                })
+                .collect()],
+        }
+    }
+
+    /// Fig. 2(b) target `b3`: a bias FF connected to a single bias adder
+    /// with no temporal reuse. Expected RF = 1.
+    pub fn example_b3(&self) -> RfaInputs {
+        RfaInputs {
+            target: "b3: bias FF at bias adder".into(),
+            ff_value_cycles: 1,
+            loops: vec![vec![UnitUse {
+                unit: 0,
+                in_effect_cycles: 1,
+                neurons: vec![vec![NeuronOffset::new(0, 0, 0, 0)]],
+            }]],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvdla_examples_are_well_formed() {
+        let df = NvdlaDataflow::paper_config();
+        for inputs in [
+            df.example_a1(),
+            df.example_a2(),
+            df.example_a3(),
+            df.example_a4(),
+            df.input_operand_rfa(),
+            df.weight_operand_rfa(),
+            df.output_rfa(),
+        ] {
+            assert!(inputs.is_well_formed(), "{} malformed", inputs.target);
+        }
+    }
+
+    #[test]
+    fn eyeriss_examples_are_well_formed() {
+        let df = EyerissDataflow {
+            k: 5,
+            channel_reuse: 3,
+        };
+        for inputs in [df.example_b1(), df.example_b2(), df.example_b3()] {
+            assert!(inputs.is_well_formed(), "{} malformed", inputs.target);
+        }
+    }
+
+    #[test]
+    fn a4_spans_lanes_channels() {
+        let df = NvdlaDataflow {
+            lanes: 4,
+            weight_hold: 8,
+        };
+        let inputs = df.example_a4();
+        assert_eq!(inputs.loops[0].len(), 4);
+        let chans: Vec<i32> = inputs.loops[0]
+            .iter()
+            .map(|u| u.neurons[0][0].channel)
+            .collect();
+        assert_eq!(chans, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn malformed_inputs_detected() {
+        let bad = RfaInputs {
+            target: "bad".into(),
+            ff_value_cycles: 2,
+            loops: vec![vec![]], // only one loop entry
+        };
+        assert!(!bad.is_well_formed());
+        let bad2 = RfaInputs {
+            target: "bad2".into(),
+            ff_value_cycles: 1,
+            loops: vec![vec![UnitUse {
+                unit: 0,
+                in_effect_cycles: 2,
+                neurons: vec![vec![]], // 1 != 2
+            }]],
+        };
+        assert!(!bad2.is_well_formed());
+    }
+}

@@ -1,0 +1,212 @@
+//! Flip-flop taxonomy and census.
+//!
+//! The paper partitions an accelerator's FFs by *pipeline position* and
+//! *variable type* (Sec. III-B), plus the two control classes (Sec. III-B3).
+//! A census records what fraction of all FFs falls in each category — the
+//! `%FF` column of Table II — which Eq. 2 weighs the per-category masking
+//! probabilities with.
+
+use std::fmt;
+
+/// Pipeline position of a datapath FF (Table I rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PipelineStage {
+    /// Before the (first-level) on-chip buffer; a fault manifests as one
+    /// incorrect value stored in memory.
+    BeforeBuffer,
+    /// Between the L1 buffer and the MAC units, or inside the MAC units.
+    BufferToMac,
+    /// Inside or after the MAC units (accumulators, output registers).
+    AfterMac,
+}
+
+/// Variable type a datapath FF holds (Accelerator Property 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarType {
+    /// Activation / feature-map values.
+    Input,
+    /// Weight values.
+    Weight,
+    /// Bias values.
+    Bias,
+    /// Partial accumulations.
+    PartialSum,
+    /// Completed output neuron values.
+    Output,
+}
+
+impl fmt::Display for VarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VarType::Input => "input",
+            VarType::Weight => "weight",
+            VarType::Bias => "bias",
+            VarType::PartialSum => "partial sum",
+            VarType::Output => "output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full FF category: the rows of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FfCategory {
+    /// A datapath FF at `stage` holding a `var` value.
+    Datapath {
+        /// Pipeline position.
+        stage: PipelineStage,
+        /// Variable type held.
+        var: VarType,
+    },
+    /// Control coupled to a deterministic set of datapath FFs (valid bits,
+    /// mux selects).
+    LocalControl,
+    /// Layer-wide configuration and sequencing control (sizes, base
+    /// addresses, precision selectors, address counters).
+    GlobalControl,
+}
+
+impl fmt::Display for FfCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FfCategory::Datapath { stage, var } => {
+                let stage_s = match stage {
+                    PipelineStage::BeforeBuffer => "before buffer",
+                    PipelineStage::BufferToMac => "buffer-to-MAC",
+                    PipelineStage::AfterMac => "after MAC",
+                };
+                write!(f, "datapath {var} ({stage_s})")
+            }
+            FfCategory::LocalControl => f.write_str("local control"),
+            FfCategory::GlobalControl => f.write_str("global control"),
+        }
+    }
+}
+
+/// Error for an inconsistent FF census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensusError {
+    message: String,
+}
+
+impl fmt::Display for CensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ff census: {}", self.message)
+    }
+}
+
+impl std::error::Error for CensusError {}
+
+/// Fraction of an accelerator's FFs falling in each category (`%FF` of
+/// Table II). Fractions must be non-negative and sum to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FfCensus {
+    entries: Vec<(FfCategory, f64)>,
+}
+
+impl FfCensus {
+    /// Builds a census, validating the fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CensusError`] when a fraction is negative/non-finite, a
+    /// category repeats, or the sum deviates from 1 by more than `1e-6`.
+    pub fn new(entries: Vec<(FfCategory, f64)>) -> Result<Self, CensusError> {
+        let mut sum = 0.0;
+        for (i, (cat, frac)) in entries.iter().enumerate() {
+            if !frac.is_finite() || *frac < 0.0 {
+                return Err(CensusError {
+                    message: format!("fraction for {cat} is {frac}"),
+                });
+            }
+            if entries[..i].iter().any(|(c, _)| c == cat) {
+                return Err(CensusError {
+                    message: format!("category {cat} appears twice"),
+                });
+            }
+            sum += frac;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(CensusError {
+                message: format!("fractions sum to {sum}, expected 1.0"),
+            });
+        }
+        Ok(FfCensus { entries })
+    }
+
+    /// Iterates over `(category, fraction)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (FfCategory, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Fraction of FFs in `cat` (0.0 when absent).
+    pub fn fraction(&self, cat: FfCategory) -> f64 {
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map_or(0.0, |(_, f)| *f)
+    }
+
+    /// Number of distinct categories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the census is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dp(stage: PipelineStage, var: VarType) -> FfCategory {
+        FfCategory::Datapath { stage, var }
+    }
+
+    #[test]
+    fn census_validates_sum() {
+        assert!(FfCensus::new(vec![
+            (FfCategory::LocalControl, 0.5),
+            (FfCategory::GlobalControl, 0.4),
+        ])
+        .is_err());
+        assert!(FfCensus::new(vec![
+            (FfCategory::LocalControl, 0.5),
+            (FfCategory::GlobalControl, 0.5),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn census_rejects_duplicates_and_negatives() {
+        assert!(FfCensus::new(vec![
+            (FfCategory::LocalControl, 1.5),
+            (FfCategory::LocalControl, -0.5),
+        ])
+        .is_err());
+        assert!(FfCensus::new(vec![(FfCategory::GlobalControl, -1.0)]).is_err());
+    }
+
+    #[test]
+    fn fraction_lookup() {
+        let census = FfCensus::new(vec![
+            (dp(PipelineStage::BeforeBuffer, VarType::Input), 0.3),
+            (FfCategory::GlobalControl, 0.7),
+        ])
+        .unwrap();
+        assert_eq!(
+            census.fraction(dp(PipelineStage::BeforeBuffer, VarType::Input)),
+            0.3
+        );
+        assert_eq!(census.fraction(FfCategory::LocalControl), 0.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let cat = dp(PipelineStage::BufferToMac, VarType::Weight);
+        assert_eq!(cat.to_string(), "datapath weight (buffer-to-MAC)");
+    }
+}

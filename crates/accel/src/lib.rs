@@ -1,0 +1,37 @@
+//! # fidelity-accel
+//!
+//! High-level accelerator architecture models for the FIdelity
+//! resilience-analysis framework: the flip-flop taxonomy and census of the
+//! paper's Table II ([`ff`]), dataflow descriptions that generate the inputs
+//! of Reuse Factor Analysis ([`dataflow`]), whole-design configuration
+//! ([`arch`]), the analytical performance model behind Class-3 activeness
+//! ([`perf`]), and ready-made NVDLA-like / Eyeriss-like presets
+//! ([`presets`]).
+//!
+//! Everything here is deliberately *RTL-free*: the paper's point is that
+//! these few facts — obtainable from block diagrams and architectural
+//! descriptions — suffice for accurate fault models.
+//!
+//! ## Example
+//!
+//! ```
+//! use fidelity_accel::presets;
+//!
+//! let cfg = presets::nvdla_like();
+//! cfg.validate().unwrap();
+//! assert_eq!(cfg.dataflow.lanes(), 16);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arch;
+pub mod dataflow;
+pub mod ff;
+pub mod perf;
+pub mod presets;
+
+pub use arch::{AcceleratorConfig, DataflowKind, InactiveModel};
+pub use dataflow::{EyerissDataflow, NeuronOffset, NvdlaDataflow, RfaInputs, UnitUse};
+pub use ff::{FfCategory, FfCensus, PipelineStage, VarType};
+pub use perf::{extract_work, LayerTiming, LayerWork};

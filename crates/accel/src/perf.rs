@@ -1,0 +1,206 @@
+//! Analytical performance model.
+//!
+//! The paper's Class-3 ("temporally not used") activeness analysis relies on
+//! NVDLA's open-source performance tool, which breaks a layer's execution
+//! into data-fetch and compute phases using only the scheduling algorithm
+//! and hardware parameters. This module is the equivalent analytical model:
+//! given a layer's work volume and the accelerator's bandwidths, it produces
+//! the per-phase cycle counts, from which the inactive fraction of each FF
+//! category follows.
+
+use fidelity_dnn::graph::{Engine, Trace};
+use fidelity_dnn::layers::LayerKind;
+
+use crate::arch::AcceleratorConfig;
+use crate::ff::{FfCategory, PipelineStage};
+
+/// Work volume of one layer: everything the performance model needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerWork {
+    /// Layer name.
+    pub name: String,
+    /// Layer family.
+    pub kind: LayerKind,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Activation values fetched.
+    pub input_elems: u64,
+    /// Weight values fetched.
+    pub weight_elems: u64,
+    /// Output values produced.
+    pub output_elems: u64,
+}
+
+/// Extracts the work volume of every node of an engine's network, using the
+/// shapes recorded in a fault-free trace.
+pub fn extract_work(engine: &Engine, trace: &Trace) -> Vec<LayerWork> {
+    let net = engine.network();
+    (0..net.node_count())
+        .map(|idx| {
+            let layer = net.layer(idx);
+            let inputs = engine.node_inputs(idx, trace);
+            let input_elems: u64 = inputs.iter().map(|t| t.len() as u64).sum();
+            let weight_elems: u64 = layer.weights().iter().map(|t| t.len() as u64).sum();
+            let shapes: Vec<&[usize]> = inputs.iter().map(|t| t.shape()).collect();
+            LayerWork {
+                name: layer.name().to_owned(),
+                kind: layer.kind(),
+                macs: layer.macs(&shapes),
+                input_elems,
+                weight_elems,
+                output_elems: trace.node_outputs[idx].len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Cycle breakdown of one layer's execution on the accelerator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerTiming {
+    /// Cycles spent filling the on-chip buffer.
+    pub fetch_cycles: u64,
+    /// Cycles the MAC array is busy.
+    pub mac_cycles: u64,
+    /// Cycles of post-processing (bias / activation / pooling / writeback).
+    pub post_cycles: u64,
+    /// End-to-end cycles: fetch and MAC overlap (double buffering), then
+    /// post-processing drains.
+    pub total_cycles: u64,
+}
+
+impl LayerTiming {
+    /// Computes the timing of one layer under a configuration.
+    pub fn analyze(cfg: &AcceleratorConfig, work: &LayerWork) -> LayerTiming {
+        let lanes = cfg.dataflow.lanes() as u64;
+        let mac_cycles = work.macs.div_ceil(lanes.max(1));
+        let fetch = (work.input_elems + work.weight_elems) as f64 / cfg.fetch_values_per_cycle;
+        let fetch_cycles = fetch.ceil() as u64;
+        let post = work.output_elems as f64 / cfg.post_values_per_cycle;
+        let post_cycles = post.ceil() as u64;
+        let total_cycles = fetch_cycles.max(mac_cycles) + post_cycles;
+        LayerTiming {
+            fetch_cycles,
+            mac_cycles,
+            post_cycles,
+            total_cycles: total_cycles.max(1),
+        }
+    }
+
+    /// Fraction of the layer's execution during which FFs of `cat` are idle
+    /// because their component has no work — the Class-3
+    /// `Perc_inactive(cat, Class 3, r)` term of Eq. 1.
+    ///
+    /// Fetch-path FFs (before the buffer) are busy during the fetch phase;
+    /// MAC-path and local-control FFs during the MAC phase; global-control
+    /// FFs hold live state for the whole layer.
+    pub fn class3_inactive(&self, cat: FfCategory) -> f64 {
+        let total = self.total_cycles as f64;
+        let busy = match cat {
+            FfCategory::Datapath {
+                stage: PipelineStage::BeforeBuffer,
+                ..
+            } => self.fetch_cycles as f64,
+            FfCategory::Datapath { .. } | FfCategory::LocalControl => self.mac_cycles as f64,
+            FfCategory::GlobalControl => total,
+        };
+        (1.0 - busy / total).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ff::VarType;
+    use crate::presets;
+
+    fn conv_work() -> LayerWork {
+        LayerWork {
+            name: "conv".into(),
+            kind: LayerKind::Conv,
+            macs: 16_000,
+            input_elems: 1_000,
+            weight_elems: 500,
+            output_elems: 2_000,
+        }
+    }
+
+    #[test]
+    fn mac_bound_layer_keeps_macs_busy() {
+        let cfg = presets::nvdla_like();
+        let t = LayerTiming::analyze(&cfg, &conv_work());
+        assert_eq!(t.mac_cycles, 1_000); // 16k MACs / 16 lanes
+        assert!(t.mac_cycles >= t.fetch_cycles);
+        let mac_cat = FfCategory::Datapath {
+            stage: PipelineStage::BufferToMac,
+            var: VarType::Weight,
+        };
+        // MAC path is the bottleneck: small idle fraction (only post drain).
+        assert!(t.class3_inactive(mac_cat) < 0.5);
+        // Global control is never temporally idle.
+        assert_eq!(t.class3_inactive(FfCategory::GlobalControl), 0.0);
+    }
+
+    #[test]
+    fn fetch_bound_layer_idles_macs() {
+        let cfg = presets::nvdla_like();
+        let work = LayerWork {
+            macs: 100,
+            input_elems: 100_000,
+            ..conv_work()
+        };
+        let t = LayerTiming::analyze(&cfg, &work);
+        assert!(t.fetch_cycles > t.mac_cycles);
+        let mac_cat = FfCategory::Datapath {
+            stage: PipelineStage::BufferToMac,
+            var: VarType::Input,
+        };
+        let fetch_cat = FfCategory::Datapath {
+            stage: PipelineStage::BeforeBuffer,
+            var: VarType::Input,
+        };
+        assert!(t.class3_inactive(mac_cat) > 0.9);
+        assert!(t.class3_inactive(fetch_cat) < t.class3_inactive(mac_cat));
+    }
+
+    #[test]
+    fn timing_never_zero_total() {
+        let cfg = presets::nvdla_like();
+        let work = LayerWork {
+            macs: 0,
+            input_elems: 0,
+            weight_elems: 0,
+            output_elems: 0,
+            ..conv_work()
+        };
+        let t = LayerTiming::analyze(&cfg, &work);
+        assert!(t.total_cycles >= 1);
+        let frac = t.class3_inactive(FfCategory::LocalControl);
+        assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn extract_work_counts_macs() {
+        use fidelity_dnn::graph::{Engine, NetworkBuilder};
+        use fidelity_dnn::layers::Dense;
+        use fidelity_dnn::precision::Precision;
+        use fidelity_dnn::tensor::Tensor;
+
+        let net = NetworkBuilder::new("t")
+            .input("x")
+            .layer(
+                Dense::new("fc", Tensor::full(vec![4, 8], 0.1)).unwrap(),
+                &["x"],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let trace = engine.trace(&[Tensor::full(vec![2, 8], 1.0)]).unwrap();
+        let work = extract_work(&engine, &trace);
+        assert_eq!(work.len(), 1);
+        assert_eq!(work[0].macs, 2 * 4 * 8);
+        assert_eq!(work[0].input_elems, 16);
+        assert_eq!(work[0].weight_elems, 32);
+        assert_eq!(work[0].output_elems, 8);
+    }
+}

@@ -1,0 +1,142 @@
+//! Ready-made accelerator configurations.
+
+use crate::arch::{AcceleratorConfig, DataflowKind, InactiveModel};
+use crate::dataflow::{EyerissDataflow, NvdlaDataflow};
+use crate::ff::{FfCategory, FfCensus, PipelineStage, VarType};
+
+fn dp(stage: PipelineStage, var: VarType) -> FfCategory {
+    FfCategory::Datapath { stage, var }
+}
+
+/// The NVDLA-like configuration the paper validates: 16 MAC lanes (`k = 4`),
+/// 16-cycle weight hold (`t = 16`), single-level on-chip buffer, and the FF
+/// census of Table II.
+///
+/// `total_ff_bits` is an estimate of the sequential state of an NVDLA-class
+/// design (≈0.9 Mbit ≈ 0.11 MB of flip-flops), calibrated so the paper's
+/// Eq.-2 magnitudes are reproduced (e.g. Yolo ≈ 9.5 FIT at the 10% metric
+/// implies the global-control term `600 · MB · 11.3%` must stay below that);
+/// like every input of the framework, it can be varied for sensitivity
+/// analysis (see the `sensitivity_sweep` example).
+pub fn nvdla_like() -> AcceleratorConfig {
+    let census = FfCensus::new(vec![
+        (dp(PipelineStage::BeforeBuffer, VarType::Input), 0.025),
+        (dp(PipelineStage::BeforeBuffer, VarType::Weight), 0.048),
+        (dp(PipelineStage::BufferToMac, VarType::Input), 0.162),
+        (dp(PipelineStage::BufferToMac, VarType::Weight), 0.216),
+        (dp(PipelineStage::AfterMac, VarType::Output), 0.379),
+        (FfCategory::LocalControl, 0.057),
+        (FfCategory::GlobalControl, 0.113),
+    ])
+    .expect("Table II census sums to 1");
+    AcceleratorConfig {
+        name: "nvdla-like".into(),
+        dataflow: DataflowKind::Nvdla(NvdlaDataflow::paper_config()),
+        total_ff_bits: 900_000,
+        census,
+        fetch_values_per_cycle: 8.0,
+        post_values_per_cycle: 4.0,
+        inactive: InactiveModel::default(),
+    }
+}
+
+/// A scaled-down NVDLA-like design point (8 lanes, 8-cycle weight hold,
+/// roughly half the sequential state) for design-space exploration: fewer
+/// lanes mean smaller reuse factors (fewer neurons per fault) but also less
+/// parallelism (longer exposure per layer).
+pub fn nvdla_small_like() -> AcceleratorConfig {
+    let mut cfg = nvdla_like();
+    cfg.name = "nvdla-small-like".into();
+    cfg.dataflow = DataflowKind::Nvdla(NvdlaDataflow {
+        lanes: 8,
+        weight_hold: 8,
+    });
+    cfg.total_ff_bits = 500_000;
+    cfg.fetch_values_per_cycle = 4.0;
+    cfg
+}
+
+/// A scaled-up NVDLA-like design point (32 lanes, 32-cycle weight hold,
+/// about double the sequential state).
+pub fn nvdla_large_like() -> AcceleratorConfig {
+    let mut cfg = nvdla_like();
+    cfg.name = "nvdla-large-like".into();
+    cfg.dataflow = DataflowKind::Nvdla(NvdlaDataflow {
+        lanes: 32,
+        weight_hold: 32,
+    });
+    cfg.total_ff_bits = 1_800_000;
+    cfg.fetch_values_per_cycle = 16.0;
+    cfg
+}
+
+/// An Eyeriss-like row-stationary configuration used by the Fig. 2(b)
+/// examples and the `custom_accelerator` example: a 12×12 PE array with
+/// 16-channel input reuse and a plausible FF census.
+pub fn eyeriss_like() -> AcceleratorConfig {
+    let census = FfCensus::new(vec![
+        (dp(PipelineStage::BeforeBuffer, VarType::Input), 0.030),
+        (dp(PipelineStage::BeforeBuffer, VarType::Weight), 0.050),
+        (dp(PipelineStage::BufferToMac, VarType::Input), 0.140),
+        (dp(PipelineStage::BufferToMac, VarType::Weight), 0.200),
+        (dp(PipelineStage::AfterMac, VarType::Output), 0.400),
+        (FfCategory::LocalControl, 0.060),
+        (FfCategory::GlobalControl, 0.120),
+    ])
+    .expect("census sums to 1");
+    AcceleratorConfig {
+        name: "eyeriss-like".into(),
+        dataflow: DataflowKind::Eyeriss(EyerissDataflow {
+            k: 12,
+            channel_reuse: 16,
+        }),
+        total_ff_bits: 800_000,
+        census,
+        fetch_values_per_cycle: 6.0,
+        post_values_per_cycle: 4.0,
+        inactive: InactiveModel::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvdla_census_matches_table2() {
+        let cfg = nvdla_like();
+        assert!((cfg.census.fraction(FfCategory::GlobalControl) - 0.113).abs() < 1e-12);
+        assert!(
+            (cfg.census
+                .fraction(dp(PipelineStage::AfterMac, VarType::Output))
+                - 0.379)
+                .abs()
+                < 1e-12
+        );
+        assert_eq!(cfg.census.len(), 7);
+    }
+
+    #[test]
+    fn design_points_validate_and_scale() {
+        let small = nvdla_small_like();
+        let large = nvdla_large_like();
+        small.validate().unwrap();
+        large.validate().unwrap();
+        assert!(small.total_ff_bits < nvdla_like().total_ff_bits);
+        assert!(large.total_ff_bits > nvdla_like().total_ff_bits);
+        assert_eq!(small.dataflow.lanes(), 8);
+        assert_eq!(large.dataflow.lanes(), 32);
+    }
+
+    #[test]
+    fn nvdla_geometry_matches_paper() {
+        let cfg = nvdla_like();
+        match cfg.dataflow {
+            DataflowKind::Nvdla(d) => {
+                assert_eq!(d.lanes, 16);
+                assert_eq!(d.weight_hold, 16);
+            }
+            _ => panic!("expected NVDLA dataflow"),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench: substrate inference cost — full forward vs. the
+//! trace/resume partial re-execution that makes campaigns fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fidelity_dnn::precision::Precision;
+use fidelity_workloads::{classification_suite, transformer_workload};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+
+    for (label, workload) in [
+        ("resnet", classification_suite(42).remove(1)),
+        ("transformer", transformer_workload(42)),
+    ] {
+        let inputs = workload.inputs.clone();
+        let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
+        group.bench_function(format!("{label}_forward"), |b| {
+            b.iter(|| engine.forward(&inputs).expect("fixed workload"))
+        });
+        // Resume from the last MAC layer: the common injection case.
+        let node = (0..engine.network().node_count()).rfind(|&i| engine.mac_spec(i, &trace).is_some())
+            .expect("has MAC layers");
+        let replacement = trace.node_outputs[node].clone();
+        group.bench_function(format!("{label}_resume_last_mac"), |b| {
+            b.iter(|| {
+                engine
+                    .resume(&trace, node, replacement.clone())
+                    .expect("fixed workload")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

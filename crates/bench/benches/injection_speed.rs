@@ -1,0 +1,65 @@
+//! Criterion bench: per-injection cost of FIdelity software fault injection
+//! vs. register-level simulation (the Sec. VI speed claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fidelity_core::inject::inject_once;
+use fidelity_core::models::SoftwareFaultModel;
+use fidelity_core::outcome::TopOneMatch;
+use fidelity_core::validate::{random_sites, rtl_layer_for};
+use fidelity_dnn::init::SplitMix64;
+use fidelity_dnn::precision::Precision;
+use fidelity_rtl::{Disturbance, RtlEngine};
+use fidelity_workloads::classification_suite;
+
+fn bench_injection(c: &mut Criterion) {
+    let workload = classification_suite(42).remove(0);
+    let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
+    let node = (0..engine.network().node_count())
+        .filter(|&i| engine.mac_spec(i, &trace).is_some())
+        .max_by_key(|&i| trace.node_outputs[i].len())
+        .expect("has MAC layers");
+    let rtl = RtlEngine::new(
+        rtl_layer_for(&engine, &trace, node).expect("lifts to RTL"),
+        16,
+        16,
+    );
+    let mut rng = SplitMix64::new(1);
+    let sites = random_sites(&rtl, 64, &mut rng);
+
+    let mut group = c.benchmark_group("per_injection");
+    group.bench_function("fidelity_software", |b| {
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| {
+            inject_once(
+                &engine,
+                &trace,
+                node,
+                SoftwareFaultModel::OutputValue,
+                &TopOneMatch,
+                &mut rng,
+            )
+            .expect("fixed workload")
+        })
+    });
+    group.bench_function("register_level", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let site = sites[i % sites.len()];
+            i += 1;
+            rtl.run(Disturbance::Ff(site))
+        })
+    });
+    group.bench_function("mixed_mode", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let site = sites[i % sites.len()];
+            i += 1;
+            let run = rtl.run(Disturbance::Ff(site));
+            engine.resume(&trace, node, run.output).expect("fixed workload")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_injection);
+criterion_main!(benches);

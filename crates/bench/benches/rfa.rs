@@ -1,0 +1,35 @@
+//! Criterion bench: Reuse Factor Analysis (Algorithm 1) cost as dataflow
+//! geometry scales — the analysis is meant to be cheap enough for early
+//! design-space exploration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fidelity_accel::dataflow::{EyerissDataflow, NvdlaDataflow};
+use fidelity_core::rfa::reuse_factor_analysis;
+
+fn bench_rfa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rfa");
+    for lanes in [16usize, 64, 256] {
+        let df = NvdlaDataflow {
+            lanes,
+            weight_hold: 16,
+        };
+        let inputs = df.example_a4();
+        group.bench_with_input(BenchmarkId::new("nvdla_input", lanes), &inputs, |b, i| {
+            b.iter(|| reuse_factor_analysis(i).expect("well-formed"))
+        });
+    }
+    for k in [12usize, 32, 64] {
+        let df = EyerissDataflow {
+            k,
+            channel_reuse: 16,
+        };
+        let inputs = df.example_b2();
+        group.bench_with_input(BenchmarkId::new("eyeriss_input", k), &inputs, |b, i| {
+            b.iter(|| reuse_factor_analysis(i).expect("well-formed"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rfa);
+criterion_main!(benches);

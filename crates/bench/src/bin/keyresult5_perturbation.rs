@@ -1,0 +1,92 @@
+//! E8 — Key result 5: large single-neuron perturbations are far more likely
+//! to cause application output errors than small ones.
+//!
+//! Reproduces the paper's split: among FP16 injections that corrupt exactly
+//! one output neuron (output/partial-sum and local-control faults), compare
+//! the output-error probability when |faulty − clean| ≤ 100 against > 100.
+
+use fidelity_core::campaign::run_campaign;
+use fidelity_core::outcome::{Outcome, TopOneMatch};
+use fidelity_dnn::precision::Precision;
+use fidelity_workloads::classification_suite;
+
+fn main() {
+    let cfg = fidelity_accel::presets::nvdla_like();
+    println!(
+        "Key result 5 — single-faulty-neuron perturbation magnitude vs. output errors (FP16 CNNs, {} samples/cell)",
+        fidelity_bench::samples_per_cell()
+    );
+    fidelity_bench::rule(74);
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14}",
+        "network", "small samples", "small err%", "large samples", "large err%"
+    );
+    fidelity_bench::rule(74);
+
+    let mut small = (0usize, 0usize); // (errors, total)
+    let mut large = (0usize, 0usize);
+    for workload in classification_suite(42) {
+        let name = workload.name.clone();
+        let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
+        let campaign = run_campaign(
+            &engine,
+            &trace,
+            &cfg,
+            &TopOneMatch,
+            &fidelity_bench::campaign_spec(0xF16_8, true),
+        )
+        .expect("campaign over fixed workloads");
+
+        let mut net_small = (0usize, 0usize);
+        let mut net_large = (0usize, 0usize);
+        for cell in &campaign.cells {
+            for event in &cell.events {
+                if event.faulty_neurons != 1 {
+                    continue;
+                }
+                let err = usize::from(event.outcome == Outcome::OutputError);
+                if event.max_perturbation <= 100.0 {
+                    net_small.0 += err;
+                    net_small.1 += 1;
+                } else {
+                    net_large.0 += err;
+                    net_large.1 += 1;
+                }
+            }
+        }
+        println!(
+            "{:<12} {:>14} {:>13.1}% {:>14} {:>13.1}%",
+            name,
+            net_small.1,
+            pct(net_small),
+            net_large.1,
+            pct(net_large)
+        );
+        small.0 += net_small.0;
+        small.1 += net_small.1;
+        large.0 += net_large.0;
+        large.1 += net_large.1;
+    }
+
+    fidelity_bench::rule(74);
+    println!(
+        "{:<12} {:>14} {:>13.1}% {:>14} {:>13.1}%",
+        "TOTAL",
+        small.1,
+        pct(small),
+        large.1,
+        pct(large)
+    );
+    println!(
+        "\nPaper: perturbation <= 100 → < 4% output errors; > 100 → > 45%. The shape to"
+    );
+    println!("check is a large gap between the two columns (here: {:.1}% vs {:.1}%).", pct(small), pct(large));
+}
+
+fn pct((err, total): (usize, usize)) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * err as f64 / total as f64
+    }
+}

@@ -1,0 +1,68 @@
+//! E1 — Table I / Fig. 2: Reuse Factor Analysis summary.
+//!
+//! Regenerates the paper's hand-derived reuse factors for every worked
+//! example of Fig. 2 (NVDLA-like targets a1–a4, Eyeriss-like b1–b3) by
+//! running Algorithm 1 on the dataflow-generated inputs, and prints the
+//! Table-I summary for the NVDLA configuration.
+
+use fidelity_accel::dataflow::{EyerissDataflow, NvdlaDataflow};
+use fidelity_core::rfa::reuse_factor_analysis;
+
+fn main() {
+    let nvdla = NvdlaDataflow::paper_config();
+    let eyeriss = EyerissDataflow {
+        k: 12,
+        channel_reuse: 16,
+    };
+
+    println!("Table I / Fig. 2 — Reuse Factor Analysis (Algorithm 1)");
+    fidelity_bench::rule(78);
+    println!(
+        "{:<52} {:>8} {:>12}",
+        "target flip-flop", "RF", "paper value"
+    );
+    fidelity_bench::rule(78);
+
+    let rows: Vec<(String, usize, String)> = vec![
+        row(&nvdla.example_a1(), format!("t = {}", nvdla.weight_hold)),
+        row(&nvdla.example_a2(), format!("t = {}", nvdla.weight_hold)),
+        row(&nvdla.example_a3(), "1".into()),
+        row(&nvdla.example_a4(), format!("k² = {}", nvdla.lanes)),
+        row(&eyeriss.example_b1(), format!("k = {}", eyeriss.k)),
+        row(
+            &eyeriss.example_b2(),
+            format!("k·t = {}", eyeriss.k * eyeriss.channel_reuse),
+        ),
+        row(&eyeriss.example_b3(), "1".into()),
+    ];
+    for (target, rf, paper) in rows {
+        println!("{target:<52} {rf:>8} {paper:>12}");
+    }
+
+    fidelity_bench::rule(78);
+    println!("\nTable I summary for the NVDLA-like configuration:");
+    println!("  before on-chip memory ........ RF = all neurons using the value (scheduling)");
+    println!(
+        "  buffer-to-MAC input .......... RF = {} (broadcast lanes)",
+        reuse_factor_analysis(&nvdla.input_operand_rfa())
+            .expect("well-formed inputs")
+            .rf()
+    );
+    println!(
+        "  buffer-to-MAC weight ......... RF = {} (weight-stationary hold)",
+        reuse_factor_analysis(&nvdla.weight_operand_rfa())
+            .expect("well-formed inputs")
+            .rf()
+    );
+    println!(
+        "  output / partial sum ......... RF = {}",
+        reuse_factor_analysis(&nvdla.output_rfa())
+            .expect("well-formed inputs")
+            .rf()
+    );
+}
+
+fn row(inputs: &fidelity_accel::dataflow::RfaInputs, paper: String) -> (String, usize, String) {
+    let result = reuse_factor_analysis(inputs).expect("well-formed inputs");
+    (inputs.target.clone(), result.rf(), paper)
+}

@@ -1,0 +1,93 @@
+//! E2 — Table II: NVDLA software fault models.
+//!
+//! Prints, for every FF category of the NVDLA-like census, the derived
+//! software fault model and the reuse-factor / faulty-neuron description the
+//! paper tabulates for convolution, fully-connected, and matmul layers.
+
+use fidelity_accel::presets;
+use fidelity_core::models::{model_for, SoftwareFaultModel};
+use fidelity_dnn::macspec::OperandKind;
+
+fn main() {
+    let cfg = presets::nvdla_like();
+    println!(
+        "Table II — software fault models for {} (lanes = {}, weight hold = {})",
+        cfg.name,
+        cfg.dataflow.lanes(),
+        match cfg.dataflow {
+            fidelity_accel::DataflowKind::Nvdla(d) => d.weight_hold,
+            fidelity_accel::DataflowKind::Eyeriss(d) => d.k,
+        }
+    );
+    fidelity_bench::rule(100);
+    println!(
+        "{:<34} {:>6}  {:<10} software fault model",
+        "FF category", "%FF", "RF"
+    );
+    fidelity_bench::rule(100);
+    for (category, frac) in cfg.census.iter() {
+        let model = model_for(category, &cfg).expect("census categories all have models");
+        let (rf, description) = describe(model);
+        println!(
+            "{:<34} {:>5.1}%  {:<10} {}",
+            category.to_string(),
+            frac * 100.0,
+            rf,
+            description
+        );
+    }
+    fidelity_bench::rule(100);
+    println!("\nPer-layer faulty-neuron geometry:");
+    println!("  conv:   before-buffer weight → whole output channel; buffer-to-MAC input →");
+    println!("          16 consecutive channels at one (h, w); buffer-to-MAC weight → ≤16");
+    println!("          consecutive positions in one channel; output/psum → 1 neuron.");
+    println!("  FC:     before-buffer input → all neurons; weight → one neuron per batch;");
+    println!("          buffer-to-MAC input → 16 consecutive features.");
+    println!("  matmul: input → output row window; weight → output column window.");
+}
+
+fn describe(model: SoftwareFaultModel) -> (String, String) {
+    match model {
+        SoftwareFaultModel::BeforeBuffer { kind } => (
+            "use count".into(),
+            format!(
+                "one bit flip in one stored {} value; all users faulty",
+                operand(kind)
+            ),
+        ),
+        SoftwareFaultModel::Operand {
+            kind,
+            window,
+            random_suffix,
+        } => (
+            format!("{}", window.positions * window.channels),
+            format!(
+                "one bit flip in one {} operand; window {}pos × {}ch{}",
+                operand(kind),
+                window.positions,
+                window.channels,
+                if random_suffix {
+                    ", random suffix"
+                } else {
+                    ""
+                }
+            ),
+        ),
+        SoftwareFaultModel::OutputValue => (
+            "1".into(),
+            "one bit flip at one output neuron / partial sum".into(),
+        ),
+        SoftwareFaultModel::LocalControl => (
+            "1".into(),
+            "random value at one output neuron".into(),
+        ),
+        SoftwareFaultModel::GlobalControl => ("ALL".into(), "system failure".into()),
+    }
+}
+
+fn operand(kind: OperandKind) -> &'static str {
+    match kind {
+        OperandKind::Input => "input",
+        OperandKind::Weight => "weight",
+    }
+}

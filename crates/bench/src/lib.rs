@@ -1,0 +1,95 @@
+//! Shared plumbing for the experiment regenerators (one binary per paper
+//! table/figure) and the Criterion benches.
+
+#![warn(missing_docs)]
+
+use fidelity_core::campaign::CampaignSpec;
+use fidelity_dnn::graph::{Engine, Trace};
+use fidelity_dnn::precision::Precision;
+use fidelity_workloads::Workload;
+
+/// Injection samples per (layer × category) cell. Override with the
+/// `FIDELITY_SAMPLES` environment variable; the default keeps every
+/// regenerator comfortably under a minute while staying statistically
+/// meaningful (Wilson 95% CI half-width ≲ 6 points per cell).
+pub fn samples_per_cell() -> usize {
+    std::env::var("FIDELITY_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250)
+}
+
+/// Validation sites per workload layer. Override with `FIDELITY_SITES`.
+pub fn validation_sites() -> usize {
+    std::env::var("FIDELITY_SITES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+/// The campaign spec used by the figure regenerators.
+pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
+    CampaignSpec {
+        samples_per_cell: samples_per_cell(),
+        seed,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        record_events,
+        target_ci_halfwidth: None,
+    }
+}
+
+/// Deploys a workload at a precision (calibrating integer scales on its own
+/// input) and records the fault-free trace.
+///
+/// # Panics
+///
+/// Panics on graph errors — the workload topologies are fixed, so an error
+/// here is a bug, not an input condition.
+pub fn deploy(workload: Workload, precision: Precision) -> (Engine, Trace) {
+    let calibration = vec![workload.inputs.clone()];
+    let engine = Engine::new(workload.network, precision, &calibration)
+        .unwrap_or_else(|e| panic!("deploying {}: {e}", workload.name));
+    let trace = engine
+        .trace(&workload.inputs)
+        .unwrap_or_else(|e| panic!("tracing {}: {e}", workload.name));
+    (engine, trace)
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a FIT value with sensible precision.
+pub fn fit(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelity_workloads::classification_suite;
+
+    #[test]
+    fn deploy_all_precisions() {
+        for precision in [Precision::Fp16, Precision::Int8] {
+            let w = classification_suite(1).remove(0);
+            let (engine, trace) = deploy(w, precision);
+            assert_eq!(engine.precision(), precision);
+            assert!(!trace.output.is_empty());
+        }
+    }
+
+    #[test]
+    fn fit_formatting() {
+        assert_eq!(fit(123.4), "123");
+        assert_eq!(fit(9.5), "9.50");
+        assert_eq!(fit(0.123), "0.123");
+    }
+}

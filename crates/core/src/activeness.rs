@@ -1,0 +1,143 @@
+//! FF activeness analysis — Eq. 1 of the paper.
+//!
+//! A fault in an inactive FF is always masked, so Eq. 2 discounts each
+//! category's contribution by the probability that an FF of that category is
+//! inactive during a layer. Three mutually-exclusive inactive classes are
+//! modeled (Sec. III-D step 1):
+//!
+//! 1. **Component not used** — e.g. the weight-decompression unit when
+//!    weights are uncompressed;
+//! 2. **Signal not used** — e.g. floating-point-only FFs during an integer
+//!    deployment;
+//! 3. **Temporally not used** — the component idles for part of the layer
+//!    (from the performance model's fetch/compute breakdown).
+
+use fidelity_accel::arch::AcceleratorConfig;
+use fidelity_accel::ff::{FfCategory, PipelineStage, VarType};
+use fidelity_accel::perf::LayerTiming;
+use fidelity_dnn::precision::Precision;
+
+/// Eq. 1: the probability that an FF of `cat` is inactive during a layer
+/// with timing `timing` at deployment precision `precision`:
+///
+/// `Prob_inactive(cat, r) = Σ_cl FF_Perc(cat, cl) · Perc_inactive(cat, cl, r)`
+///
+/// where Class 1/2 fractions come from the configuration's
+/// [`InactiveModel`](fidelity_accel::arch::InactiveModel) and the Class 3
+/// fraction from the performance model.
+pub fn prob_inactive(
+    cfg: &AcceleratorConfig,
+    cat: FfCategory,
+    timing: &LayerTiming,
+    precision: Precision,
+) -> f64 {
+    let class1 = class1_fraction(cfg, cat);
+    let class2 = class2_fraction(cfg, cat, precision);
+    // Classes are mutually exclusive and complete: the rest of the FFs are
+    // subject only to temporal inactivity.
+    let class3_pop = (1.0 - class1 - class2).max(0.0);
+    let class3_inactive = timing.class3_inactive(cat);
+    (class1 + class2 + class3_pop * class3_inactive).clamp(0.0, 1.0)
+}
+
+/// Class 1 ("component not used"): the weight-decompression unit sits on the
+/// weight fetch path and all our workloads use uncompressed weights, so its
+/// FFs are idle for entire layers.
+fn class1_fraction(cfg: &AcceleratorConfig, cat: FfCategory) -> f64 {
+    match cat {
+        FfCategory::Datapath {
+            stage: PipelineStage::BeforeBuffer,
+            var: VarType::Weight,
+        } => cfg.inactive.decompression_frac,
+        _ => 0.0,
+    }
+}
+
+/// Class 2 ("signal not used"): FP-only FFs idle under integer deployments
+/// and vice versa. Control FFs are precision-agnostic.
+fn class2_fraction(cfg: &AcceleratorConfig, cat: FfCategory, precision: Precision) -> f64 {
+    match cat {
+        FfCategory::Datapath { .. } => {
+            if precision.is_float() {
+                cfg.inactive.int_only_frac
+            } else {
+                cfg.inactive.fp_only_frac
+            }
+        }
+        FfCategory::LocalControl | FfCategory::GlobalControl => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelity_accel::perf::{LayerTiming, LayerWork};
+    use fidelity_accel::presets;
+    use fidelity_dnn::layers::LayerKind;
+
+    fn timing(cfg: &AcceleratorConfig) -> LayerTiming {
+        LayerTiming::analyze(
+            cfg,
+            &LayerWork {
+                name: "conv".into(),
+                kind: LayerKind::Conv,
+                macs: 50_000,
+                input_elems: 2_000,
+                weight_elems: 1_000,
+                output_elems: 4_000,
+            },
+        )
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let cfg = presets::nvdla_like();
+        let t = timing(&cfg);
+        for (cat, _) in cfg.census.iter() {
+            for precision in Precision::ALL {
+                let p = prob_inactive(&cfg, cat, &t, precision);
+                assert!((0.0..=1.0).contains(&p), "{cat}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_deployment_idles_fp_ffs() {
+        let cfg = presets::nvdla_like();
+        let t = timing(&cfg);
+        let cat = FfCategory::Datapath {
+            stage: PipelineStage::BufferToMac,
+            var: VarType::Input,
+        };
+        let p_int = prob_inactive(&cfg, cat, &t, Precision::Int8);
+        let p_fp = prob_inactive(&cfg, cat, &t, Precision::Fp16);
+        // fp_only_frac (0.15) > int_only_frac (0.10) in the default model.
+        assert!(p_int > p_fp);
+    }
+
+    #[test]
+    fn decompression_raises_before_buffer_weight_inactivity() {
+        let cfg = presets::nvdla_like();
+        let t = timing(&cfg);
+        let weight_cat = FfCategory::Datapath {
+            stage: PipelineStage::BeforeBuffer,
+            var: VarType::Weight,
+        };
+        let input_cat = FfCategory::Datapath {
+            stage: PipelineStage::BeforeBuffer,
+            var: VarType::Input,
+        };
+        assert!(
+            prob_inactive(&cfg, weight_cat, &t, Precision::Fp16)
+                > prob_inactive(&cfg, input_cat, &t, Precision::Fp16)
+        );
+    }
+
+    #[test]
+    fn global_control_is_mostly_active() {
+        let cfg = presets::nvdla_like();
+        let t = timing(&cfg);
+        let p = prob_inactive(&cfg, FfCategory::GlobalControl, &t, Precision::Fp16);
+        assert_eq!(p, 0.0);
+    }
+}

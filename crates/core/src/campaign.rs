@@ -1,0 +1,477 @@
+//! Statistical fault-injection campaigns (Fig. 3, step 2).
+//!
+//! A campaign runs a configured number of software injections for every
+//! (MAC layer × FF category) cell of a deployed network and tallies the
+//! outcome distribution, yielding the `Prob_SWmask(cat, r)` inputs of Eq. 2.
+//! Cells are independent, so they are distributed over worker threads; each
+//! cell owns a deterministic RNG stream, making campaigns bit-reproducible
+//! regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fidelity_accel::arch::AcceleratorConfig;
+use fidelity_accel::ff::FfCategory;
+use fidelity_dnn::graph::{Engine, Trace};
+use fidelity_dnn::init::SplitMix64;
+use fidelity_dnn::DnnError;
+
+use crate::inject::inject_once;
+use crate::models::{model_for, SoftwareFaultModel};
+use crate::outcome::{CorrectnessMetric, Outcome};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Injection samples per (layer × category) cell (the maximum, when
+    /// adaptive sampling is enabled).
+    pub samples_per_cell: usize,
+    /// Base RNG seed; campaigns are deterministic in (seed, spec).
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Whether to keep per-injection events (needed for the Key-Result-5
+    /// perturbation analysis; costs memory).
+    pub record_events: bool,
+    /// Adaptive sampling: stop a cell early once the 95% Wilson interval of
+    /// its masking probability is narrower than this half-width (the paper
+    /// sizes campaigns for a 95% confidence target). `None` always runs
+    /// `samples_per_cell`.
+    pub target_ci_halfwidth: Option<f64>,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            samples_per_cell: 200,
+            seed: 0xF1DE_117F,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            record_events: false,
+            target_ci_halfwidth: None,
+        }
+    }
+}
+
+/// One recorded injection (when `record_events` is set).
+#[derive(Debug, Clone, Copy)]
+pub struct InjectionEvent {
+    /// Number of faulty neurons at the corrupted layer.
+    pub faulty_neurons: usize,
+    /// Largest layer-level perturbation.
+    pub max_perturbation: f32,
+    /// Outcome class.
+    pub outcome: Outcome,
+}
+
+/// Outcome tally of one (layer × category) cell.
+#[derive(Debug, Clone)]
+pub struct CellStats {
+    /// Target node index.
+    pub node: usize,
+    /// Target layer name.
+    pub layer: String,
+    /// FF category.
+    pub category: FfCategory,
+    /// The software fault model applied.
+    pub model: SoftwareFaultModel,
+    /// Samples run.
+    pub samples: usize,
+    /// Masked outcomes.
+    pub masked: usize,
+    /// Application output errors.
+    pub output_error: usize,
+    /// System anomalies.
+    pub anomaly: usize,
+    /// Per-injection events (empty unless requested).
+    pub events: Vec<InjectionEvent>,
+}
+
+impl CellStats {
+    /// `Prob_SWmask` for this cell. Global-control cells are 0 by the
+    /// framework's definition.
+    pub fn prob_swmask(&self) -> f64 {
+        if matches!(self.model, SoftwareFaultModel::GlobalControl) {
+            return 0.0;
+        }
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.masked as f64 / self.samples as f64
+    }
+}
+
+/// All cells of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Per-cell statistics, ordered by (node, census order).
+    pub cells: Vec<CellStats>,
+}
+
+impl CampaignResult {
+    /// Total injections run.
+    pub fn total_samples(&self) -> usize {
+        self.cells.iter().map(|c| c.samples).sum()
+    }
+
+    /// `Prob_SWmask(cat, r)` for a given node, when the cell exists.
+    pub fn prob_swmask(&self, node: usize, category: FfCategory) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.node == node && c.category == category)
+            .map(CellStats::prob_swmask)
+    }
+
+    /// Target node indices covered by the campaign.
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.cells.iter().map(|c| c.node).collect();
+        v.dedup();
+        v
+    }
+}
+
+/// 95% Wilson score interval for a binomial proportion — the paper sizes its
+/// campaigns for a 95% confidence interval.
+pub fn wilson_interval(successes: usize, n: usize) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_964f64;
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let centre = p + z2 / (2.0 * nf);
+    let margin = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
+}
+
+/// Runs a campaign over every MAC layer of the deployed engine and every FF
+/// category of the accelerator's census.
+///
+/// # Errors
+///
+/// Propagates injection errors (which indicate a bug in target selection,
+/// not a fault outcome).
+pub fn run_campaign(
+    engine: &Engine,
+    trace: &Trace,
+    accel: &AcceleratorConfig,
+    metric: &dyn CorrectnessMetric,
+    spec: &CampaignSpec,
+) -> Result<CampaignResult, DnnError> {
+    let mac_nodes: Vec<usize> = (0..engine.network().node_count())
+        .filter(|&i| engine.mac_spec(i, trace).is_some())
+        .collect();
+
+    // Build the cell list up front (deterministic order).
+    struct CellPlan {
+        node: usize,
+        category: FfCategory,
+        model: SoftwareFaultModel,
+    }
+    let mut plans = Vec::new();
+    for &node in &mac_nodes {
+        for (category, _) in accel.census.iter() {
+            if let Some(model) = model_for(category, accel) {
+                plans.push(CellPlan {
+                    node,
+                    category,
+                    model,
+                });
+            }
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<CellStats>>> = Mutex::new(vec![None; plans.len()]);
+    let errors: Mutex<Vec<DnnError>> = Mutex::new(Vec::new());
+
+    let workers = spec.threads.clamp(1, plans.len().max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= plans.len() {
+                    break;
+                }
+                let plan = &plans[idx];
+                match run_cell(engine, trace, metric, spec, plan.node, plan.category, plan.model)
+                {
+                    Ok(stats) => results.lock().expect("no poisoned lock")[idx] = Some(stats),
+                    Err(e) => errors.lock().expect("no poisoned lock").push(e),
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    if let Some(e) = errors.into_inner().expect("no poisoned lock").pop() {
+        return Err(e);
+    }
+    let cells = results
+        .into_inner()
+        .expect("no poisoned lock")
+        .into_iter()
+        .map(|c| c.expect("every planned cell ran"))
+        .collect();
+    Ok(CampaignResult { cells })
+}
+
+fn run_cell(
+    engine: &Engine,
+    trace: &Trace,
+    metric: &dyn CorrectnessMetric,
+    spec: &CampaignSpec,
+    node: usize,
+    category: FfCategory,
+    model: SoftwareFaultModel,
+) -> Result<CellStats, DnnError> {
+    let mut stats = CellStats {
+        node,
+        layer: engine.network().layer(node).name().to_owned(),
+        category,
+        model,
+        samples: 0,
+        masked: 0,
+        output_error: 0,
+        anomaly: 0,
+        events: Vec::new(),
+    };
+    // Global control needs no simulation: Prob_SWmask is 0 by definition.
+    if matches!(model, SoftwareFaultModel::GlobalControl) {
+        stats.samples = spec.samples_per_cell;
+        stats.anomaly = spec.samples_per_cell;
+        return Ok(stats);
+    }
+    let mut rng = SplitMix64::new(
+        spec.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ cat_tag(category),
+    );
+    // Adaptive stopping checks the CI every `batch` samples, with a minimum
+    // sample floor so a lucky streak cannot end a cell after a handful of
+    // injections.
+    const ADAPTIVE_BATCH: usize = 50;
+    const ADAPTIVE_FLOOR: usize = 100;
+    for i in 0..spec.samples_per_cell {
+        if let Some(target) = spec.target_ci_halfwidth {
+            if i >= ADAPTIVE_FLOOR && i % ADAPTIVE_BATCH == 0 {
+                let (lo, hi) = wilson_interval(stats.masked, stats.samples);
+                if (hi - lo) / 2.0 <= target {
+                    break;
+                }
+            }
+        }
+        let inj = inject_once(engine, trace, node, model, metric, &mut rng)?;
+        stats.samples += 1;
+        match inj.outcome {
+            Outcome::Masked => stats.masked += 1,
+            Outcome::OutputError => stats.output_error += 1,
+            Outcome::SystemAnomaly => stats.anomaly += 1,
+        }
+        if spec.record_events {
+            stats.events.push(InjectionEvent {
+                faulty_neurons: inj.faulty_neurons,
+                max_perturbation: inj.max_perturbation,
+                outcome: inj.outcome,
+            });
+        }
+    }
+    Ok(stats)
+}
+
+fn cat_tag(category: FfCategory) -> u64 {
+    use fidelity_accel::ff::{PipelineStage, VarType};
+    match category {
+        FfCategory::Datapath { stage, var } => {
+            let s = match stage {
+                PipelineStage::BeforeBuffer => 1u64,
+                PipelineStage::BufferToMac => 2,
+                PipelineStage::AfterMac => 3,
+            };
+            let v = match var {
+                VarType::Input => 1u64,
+                VarType::Weight => 2,
+                VarType::Bias => 3,
+                VarType::PartialSum => 4,
+                VarType::Output => 5,
+            };
+            s * 31 + v
+        }
+        FfCategory::LocalControl => 1009,
+        FfCategory::GlobalControl => 2003,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::TopOneMatch;
+    use fidelity_accel::presets;
+    use fidelity_dnn::graph::NetworkBuilder;
+    use fidelity_dnn::init::uniform_tensor;
+    use fidelity_dnn::layers::{Activation, ActivationKind, Conv2d, Dense, Flatten, GlobalAvgPool};
+    use fidelity_dnn::precision::Precision;
+
+    fn tiny_engine() -> (Engine, Trace) {
+        let net = NetworkBuilder::new("clf")
+            .input("x")
+            .layer(
+                Conv2d::new("conv", uniform_tensor(1, vec![4, 2, 3, 3], 0.6))
+                    .unwrap()
+                    .with_padding(1, 1),
+                &["x"],
+            )
+            .unwrap()
+            .layer(Activation::new("relu", ActivationKind::Relu), &["conv"])
+            .unwrap()
+            .layer(GlobalAvgPool::new("gap"), &["relu"])
+            .unwrap()
+            .layer(Flatten::new("flat"), &["gap"])
+            .unwrap()
+            .layer(
+                Dense::new("fc", uniform_tensor(2, vec![5, 4], 0.6)).unwrap(),
+                &["flat"],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let engine = Engine::new(net, Precision::Fp16, &[]).unwrap();
+        let x = uniform_tensor(3, vec![1, 2, 6, 6], 1.0);
+        let trace = engine.trace(&[x]).unwrap();
+        (engine, trace)
+    }
+
+    #[test]
+    fn campaign_covers_all_cells() {
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let spec = CampaignSpec {
+            samples_per_cell: 20,
+            seed: 7,
+            threads: 4,
+            record_events: false,
+            target_ci_halfwidth: None,
+        };
+        let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+        // 2 MAC layers × 7 categories.
+        assert_eq!(result.cells.len(), 14);
+        assert_eq!(result.total_samples(), 14 * 20);
+        for cell in &result.cells {
+            assert_eq!(cell.masked + cell.output_error + cell.anomaly, cell.samples);
+        }
+    }
+
+    #[test]
+    fn campaign_is_reproducible_across_thread_counts() {
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let run = |threads: usize| {
+            let spec = CampaignSpec {
+                samples_per_cell: 30,
+                seed: 99,
+                threads,
+                record_events: false,
+                target_ci_halfwidth: None,
+            };
+            run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec)
+                .unwrap()
+                .cells
+                .iter()
+                .map(|c| (c.node, c.masked, c.output_error, c.anomaly))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn global_cells_never_mask() {
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let spec = CampaignSpec {
+            samples_per_cell: 5,
+            seed: 1,
+            threads: 2,
+            record_events: false,
+            target_ci_halfwidth: None,
+        };
+        let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+        for cell in result
+            .cells
+            .iter()
+            .filter(|c| c.category == FfCategory::GlobalControl)
+        {
+            assert_eq!(cell.prob_swmask(), 0.0);
+            assert_eq!(cell.anomaly, cell.samples);
+        }
+    }
+
+    #[test]
+    fn adaptive_sampling_stops_early_on_tight_ci() {
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let fixed = CampaignSpec {
+            samples_per_cell: 2000,
+            seed: 21,
+            threads: 2,
+            record_events: false,
+            target_ci_halfwidth: None,
+        };
+        let adaptive = CampaignSpec {
+            target_ci_halfwidth: Some(0.08),
+            ..fixed.clone()
+        };
+        let full = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &fixed).unwrap();
+        let early = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &adaptive).unwrap();
+        assert!(
+            early.total_samples() < full.total_samples(),
+            "adaptive should save samples: {} vs {}",
+            early.total_samples(),
+            full.total_samples()
+        );
+        // And the estimates agree within the combined CI slack.
+        for (a, b) in early.cells.iter().zip(&full.cells) {
+            assert_eq!(a.category, b.category);
+            assert!(
+                (a.prob_swmask() - b.prob_swmask()).abs() < 0.2,
+                "{}: {} vs {}",
+                a.category,
+                a.prob_swmask(),
+                b.prob_swmask()
+            );
+        }
+    }
+
+    #[test]
+    fn wilson_interval_sane() {
+        let (lo, hi) = wilson_interval(50, 100);
+        assert!(lo > 0.38 && lo < 0.5);
+        assert!(hi > 0.5 && hi < 0.62);
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+        let (lo0, _) = wilson_interval(0, 10);
+        assert!(lo0.abs() < 1e-12);
+        let (_, hi1) = wilson_interval(10, 10);
+        assert!((hi1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_recorded_when_requested() {
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let spec = CampaignSpec {
+            samples_per_cell: 10,
+            seed: 3,
+            threads: 1,
+            record_events: true,
+            target_ci_halfwidth: None,
+        };
+        let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+        let non_global: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.category != FfCategory::GlobalControl)
+            .collect();
+        assert!(non_global.iter().all(|c| c.events.len() == c.samples));
+    }
+}

@@ -1,0 +1,180 @@
+//! The software fault-injection engine: apply a model instance to one layer,
+//! propagate through the rest of the network, classify the outcome.
+//!
+//! Propagation reuses the fault-free trace and recomputes only the nodes
+//! downstream of the corrupted layer ([`fidelity_dnn::graph::Engine::resume`])
+//! — the reason FIdelity-style injection is orders of magnitude faster than
+//! register-level simulation.
+
+use fidelity_dnn::graph::{Engine, Trace};
+use fidelity_dnn::init::SplitMix64;
+use fidelity_dnn::tensor::Tensor;
+use fidelity_dnn::DnnError;
+
+use crate::models::{apply_model, ModelEffect, SoftwareFaultModel};
+use crate::outcome::{CorrectnessMetric, Outcome};
+
+/// Everything recorded about one injection experiment.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// Outcome class.
+    pub outcome: Outcome,
+    /// Number of faulty neurons in the corrupted layer (0 when masked at the
+    /// layer level or for modeled anomalies).
+    pub faulty_neurons: usize,
+    /// Largest |faulty − clean| perturbation at the corrupted layer.
+    pub max_perturbation: f32,
+    /// The final application output, when the run completed.
+    pub final_output: Option<Tensor>,
+}
+
+/// Runs one software fault-injection experiment.
+///
+/// # Errors
+///
+/// Returns [`DnnError`] when `node` is not a MAC layer or propagation fails.
+pub fn inject_once(
+    engine: &Engine,
+    trace: &Trace,
+    node: usize,
+    model: SoftwareFaultModel,
+    metric: &dyn CorrectnessMetric,
+    rng: &mut SplitMix64,
+) -> Result<Injection, DnnError> {
+    match apply_model(model, engine, trace, node, rng)? {
+        ModelEffect::Masked => Ok(Injection {
+            outcome: Outcome::Masked,
+            faulty_neurons: 0,
+            max_perturbation: 0.0,
+            final_output: None,
+        }),
+        ModelEffect::SystemFailure => Ok(Injection {
+            outcome: Outcome::SystemAnomaly,
+            faulty_neurons: usize::MAX,
+            max_perturbation: f32::INFINITY,
+            final_output: None,
+        }),
+        ModelEffect::Layer(app) => {
+            let final_output = engine.resume(trace, node, app.layer_output)?;
+            let outcome = if metric.is_correct(&trace.output, &final_output) {
+                Outcome::Masked
+            } else {
+                Outcome::OutputError
+            };
+            Ok(Injection {
+                outcome,
+                faulty_neurons: app.faulty_neurons.len(),
+                max_perturbation: app.max_perturbation,
+                final_output: Some(final_output),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::TopOneMatch;
+    use fidelity_dnn::graph::NetworkBuilder;
+    use fidelity_dnn::init::uniform_tensor;
+    use fidelity_dnn::layers::{Activation, ActivationKind, Dense, Flatten, GlobalAvgPool};
+    use fidelity_dnn::layers::Conv2d;
+    use fidelity_dnn::precision::Precision;
+
+    fn tiny_classifier() -> (Engine, Trace) {
+        let conv_w = uniform_tensor(1, vec![4, 2, 3, 3], 0.6);
+        let fc_w = uniform_tensor(2, vec![5, 4], 0.6);
+        let net = NetworkBuilder::new("clf")
+            .input("x")
+            .layer(
+                Conv2d::new("conv", conv_w).unwrap().with_padding(1, 1),
+                &["x"],
+            )
+            .unwrap()
+            .layer(Activation::new("relu", ActivationKind::Relu), &["conv"])
+            .unwrap()
+            .layer(GlobalAvgPool::new("gap"), &["relu"])
+            .unwrap()
+            .layer(Flatten::new("flat"), &["gap"])
+            .unwrap()
+            .layer(Dense::new("fc", fc_w).unwrap(), &["flat"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let engine = Engine::new(net, Precision::Fp16, &[]).unwrap();
+        let x = uniform_tensor(3, vec![1, 2, 6, 6], 1.0);
+        let trace = engine.trace(&[x]).unwrap();
+        (engine, trace)
+    }
+
+    #[test]
+    fn global_control_is_anomaly() {
+        let (engine, trace) = tiny_classifier();
+        let mut rng = SplitMix64::new(1);
+        let inj = inject_once(
+            &engine,
+            &trace,
+            0,
+            SoftwareFaultModel::GlobalControl,
+            &TopOneMatch,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(inj.outcome, Outcome::SystemAnomaly);
+    }
+
+    #[test]
+    fn output_value_faults_sometimes_mask_sometimes_fail() {
+        let (engine, trace) = tiny_classifier();
+        let mut rng = SplitMix64::new(2);
+        let mut masked = 0;
+        let mut failed = 0;
+        for _ in 0..200 {
+            let inj = inject_once(
+                &engine,
+                &trace,
+                0,
+                SoftwareFaultModel::OutputValue,
+                &TopOneMatch,
+                &mut rng,
+            )
+            .unwrap();
+            match inj.outcome {
+                Outcome::Masked => masked += 1,
+                Outcome::OutputError => failed += 1,
+                Outcome::SystemAnomaly => panic!("no anomaly expected"),
+            }
+        }
+        // A single bit flip in one of 144 conv outputs should often be
+        // masked by pooling, but exponent flips should sometimes flip the
+        // label.
+        assert!(masked > 0, "expected some masked outcomes");
+        assert!(failed > 0, "expected some output errors");
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let (engine, trace) = tiny_classifier();
+        let run = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            (0..20)
+                .map(|_| {
+                    inject_once(
+                        &engine,
+                        &trace,
+                        0,
+                        SoftwareFaultModel::OutputValue,
+                        &TopOneMatch,
+                        &mut rng,
+                    )
+                    .unwrap()
+                    .outcome
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        // Clean trace is never perturbed by injections.
+        let fresh = engine.trace(&[uniform_tensor(3, vec![1, 2, 6, 6], 1.0)]).unwrap();
+        assert_eq!(fresh.output.data(), trace.output.data());
+    }
+}

@@ -1,0 +1,86 @@
+//! Fault-injection outcome classification and correctness metrics.
+
+use fidelity_dnn::tensor::Tensor;
+
+/// Outcome of one fault-injection experiment (Sec. III-D step 2).
+///
+/// "System failure" in the paper's terminology covers both
+/// [`Outcome::OutputError`] and [`Outcome::SystemAnomaly`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The final output is sufficiently similar to the golden output.
+    Masked,
+    /// The application produced an incorrect output.
+    OutputError,
+    /// The system misbehaved structurally (time-out, hang, global-control
+    /// derailment).
+    SystemAnomaly,
+}
+
+impl Outcome {
+    /// Whether this outcome counts as a system failure in Eq. 2.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, Outcome::Masked)
+    }
+}
+
+/// An application-level correctness metric: decides whether a faulty final
+/// output is acceptable (Sec. V, Table IV).
+///
+/// Implementations: top-1 label match (classification), BLEU-score
+/// difference thresholds (translation), detection-precision difference
+/// thresholds (object detection) — the latter two live in
+/// `fidelity-workloads`.
+pub trait CorrectnessMetric: Sync {
+    /// Metric name for reports.
+    fn name(&self) -> &str;
+
+    /// Whether `observed` is acceptable relative to `golden`.
+    fn is_correct(&self, golden: &Tensor, observed: &Tensor) -> bool;
+}
+
+/// Top-1 label match: the classification metric of Table IV.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopOneMatch;
+
+impl CorrectnessMetric for TopOneMatch {
+    fn name(&self) -> &str {
+        "top-1 label match"
+    }
+
+    fn is_correct(&self, golden: &Tensor, observed: &Tensor) -> bool {
+        match (golden.argmax(), observed.argmax()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_classification() {
+        assert!(!Outcome::Masked.is_failure());
+        assert!(Outcome::OutputError.is_failure());
+        assert!(Outcome::SystemAnomaly.is_failure());
+    }
+
+    #[test]
+    fn top_one_match() {
+        let golden = Tensor::from_slice(&[0.1, 0.9, 0.0]);
+        let same = Tensor::from_slice(&[0.2, 0.5, 0.1]);
+        let diff = Tensor::from_slice(&[0.9, 0.1, 0.0]);
+        let m = TopOneMatch;
+        assert!(m.is_correct(&golden, &same));
+        assert!(!m.is_correct(&golden, &diff));
+    }
+
+    #[test]
+    fn top_one_all_nan_is_incorrect() {
+        let golden = Tensor::from_slice(&[0.1, 0.9]);
+        let nan = Tensor::from_slice(&[f32::NAN, f32::NAN]);
+        assert!(!TopOneMatch.is_correct(&golden, &nan));
+    }
+}

@@ -1,0 +1,228 @@
+//! Selective-protection exploration — the paper's "Architectural Insights".
+//!
+//! The paper observes that once per-category FIT contributions are known,
+//! a designer can (a) selectively protect only the FF categories that
+//! contribute most, sized to a resilience target, and (b) adapt that choice
+//! per workload, because the resilience-critical categories are workload
+//! dependent. This module turns those observations into an optimization:
+//! given a FIT breakdown and per-category protection costs, find the
+//! cheapest category set whose protection meets a FIT target.
+
+use fidelity_accel::ff::FfCategory;
+
+use crate::fit::FitBreakdown;
+
+/// Cost model for protecting one FF category (e.g. hardened flip-flops or
+/// parity+retry), expressed as relative area overhead per protected FF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtectionCost {
+    /// Category being protected.
+    pub category: FfCategory,
+    /// Area overhead of protecting one FF of this category, relative to the
+    /// unprotected FF (e.g. 0.4 = 40% larger cell).
+    pub overhead: f64,
+}
+
+/// Default cost model: control state is cheap to harden (few, wide cells);
+/// datapath pipeline registers are the bulk of the cost.
+pub fn default_costs(categories: impl Iterator<Item = FfCategory>) -> Vec<ProtectionCost> {
+    categories
+        .map(|category| ProtectionCost {
+            category,
+            overhead: match category {
+                FfCategory::GlobalControl => 0.25,
+                FfCategory::LocalControl => 0.30,
+                FfCategory::Datapath { .. } => 0.40,
+            },
+        })
+        .collect()
+}
+
+/// One step of the greedy selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectionStep {
+    /// Category protected at this step.
+    pub category: FfCategory,
+    /// FIT removed by protecting it.
+    pub fit_removed: f64,
+    /// Area cost incurred (census fraction × overhead).
+    pub cost: f64,
+    /// Remaining FIT after this step.
+    pub remaining_fit: f64,
+}
+
+/// Result of the selective-protection optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectionPlan {
+    /// Steps taken, in selection order.
+    pub steps: Vec<ProtectionStep>,
+    /// Whether the target was met.
+    pub met_target: bool,
+    /// FIT after all selected protections.
+    pub final_fit: f64,
+    /// Total relative area cost (Σ census fraction × overhead).
+    pub total_cost: f64,
+}
+
+impl ProtectionPlan {
+    /// The protected categories, in selection order.
+    pub fn protected(&self) -> Vec<FfCategory> {
+        self.steps.iter().map(|s| s.category).collect()
+    }
+}
+
+/// Greedily selects FF categories to protect until the FIT rate drops to
+/// `target_fit`, maximizing FIT-removed per unit cost at each step — the
+/// paper's "selectively protecting only the FFs in these categories may be
+/// sufficient to achieve a given resilience target while minimizing
+/// system-level costs".
+///
+/// `census_fraction(cat)` supplies the FF population share used for the
+/// cost term (`AcceleratorConfig::census` in practice).
+pub fn plan_selective_protection(
+    breakdown: &FitBreakdown,
+    costs: &[ProtectionCost],
+    census_fraction: impl Fn(FfCategory) -> f64,
+    target_fit: f64,
+) -> ProtectionPlan {
+    let mut remaining: Vec<(FfCategory, f64)> = breakdown.per_category.clone();
+    let mut fit = breakdown.total;
+    let mut steps = Vec::new();
+    let mut total_cost = 0.0;
+
+    while fit > target_fit {
+        // Pick the category with the best (FIT removed) / cost ratio.
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, contribution))| *contribution > 0.0)
+            .map(|(i, (cat, contribution))| {
+                let overhead = costs
+                    .iter()
+                    .find(|c| c.category == *cat)
+                    .map_or(0.4, |c| c.overhead);
+                let cost = census_fraction(*cat) * overhead;
+                (i, *cat, *contribution, cost)
+            })
+            .max_by(|a, b| {
+                let ra = a.2 / a.3.max(1e-12);
+                let rb = b.2 / b.3.max(1e-12);
+                ra.total_cmp(&rb)
+            });
+        let Some((idx, category, contribution, cost)) = best else {
+            break; // nothing left to protect
+        };
+        remaining.remove(idx);
+        fit -= contribution;
+        total_cost += cost;
+        steps.push(ProtectionStep {
+            category,
+            fit_removed: contribution,
+            cost,
+            remaining_fit: fit,
+        });
+    }
+
+    ProtectionPlan {
+        steps,
+        met_target: fit <= target_fit,
+        final_fit: fit,
+        total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelity_accel::ff::{PipelineStage, VarType};
+    use fidelity_accel::presets;
+
+    fn breakdown() -> FitBreakdown {
+        let dp = FfCategory::Datapath {
+            stage: PipelineStage::AfterMac,
+            var: VarType::Output,
+        };
+        let dp2 = FfCategory::Datapath {
+            stage: PipelineStage::BufferToMac,
+            var: VarType::Weight,
+        };
+        FitBreakdown {
+            total: 10.0,
+            datapath: 2.5,
+            local: 0.5,
+            global: 7.0,
+            per_category: vec![
+                (FfCategory::GlobalControl, 7.0),
+                (dp, 2.0),
+                (dp2, 0.5),
+                (FfCategory::LocalControl, 0.5),
+            ],
+        }
+    }
+
+    #[test]
+    fn global_control_is_protected_first() {
+        let cfg = presets::nvdla_like();
+        let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
+        let plan = plan_selective_protection(
+            &breakdown(),
+            &costs,
+            |c| cfg.census.fraction(c),
+            2.0,
+        );
+        assert!(plan.met_target);
+        assert_eq!(plan.steps[0].category, FfCategory::GlobalControl);
+        assert!(plan.final_fit <= 2.0);
+    }
+
+    #[test]
+    fn tighter_targets_cost_more() {
+        let cfg = presets::nvdla_like();
+        let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
+        let loose = plan_selective_protection(
+            &breakdown(),
+            &costs,
+            |c| cfg.census.fraction(c),
+            5.0,
+        );
+        let tight = plan_selective_protection(
+            &breakdown(),
+            &costs,
+            |c| cfg.census.fraction(c),
+            0.2,
+        );
+        assert!(tight.total_cost > loose.total_cost);
+        assert!(tight.steps.len() > loose.steps.len());
+    }
+
+    #[test]
+    fn unreachable_target_reports_not_met() {
+        let cfg = presets::nvdla_like();
+        let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
+        let plan = plan_selective_protection(
+            &breakdown(),
+            &costs,
+            |c| cfg.census.fraction(c),
+            -1.0,
+        );
+        assert!(!plan.met_target);
+        // Everything protected.
+        assert_eq!(plan.steps.len(), 4);
+        assert!(plan.final_fit.abs() < 1e-9);
+    }
+
+    #[test]
+    fn already_met_target_needs_no_steps() {
+        let cfg = presets::nvdla_like();
+        let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
+        let plan = plan_selective_protection(
+            &breakdown(),
+            &costs,
+            |c| cfg.census.fraction(c),
+            100.0,
+        );
+        assert!(plan.met_target);
+        assert!(plan.steps.is_empty());
+        assert_eq!(plan.total_cost, 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Reuse Factor Analysis — Algorithm 1 of the paper.
+//!
+//! Given the minimal microarchitectural inputs bundled in
+//! [`RfaInputs`] (see `fidelity_accel::dataflow` for how dataflow
+//! descriptions generate them), the analysis derives:
+//!
+//! 1. the **reuse factor** (RF) — the maximum number of output neurons a
+//!    single-cycle bit flip in the target FF can corrupt,
+//! 2. the relative locations of all possible faulty neurons, and
+//! 3. the order in which they are produced (the loop timestamp `l`).
+//!
+//! A random fault cycle is modeled by discarding the neurons of loops that
+//! completed before the flip ([`RfaResult::sample_effective`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fidelity_accel::dataflow::{NeuronOffset, RfaInputs};
+use fidelity_dnn::init::SplitMix64;
+
+/// A faulty neuron with the loop index at which it is (first) produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedNeuron {
+    /// Relative neuron coordinate.
+    pub neuron: NeuronOffset,
+    /// Loop timestamp `l` (Algorithm 1, line 6).
+    pub loop_index: usize,
+}
+
+/// Error for malformed Algorithm-1 inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RfaError {
+    target: String,
+}
+
+impl fmt::Display for RfaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed rfa inputs for target `{}`", self.target)
+    }
+}
+
+impl std::error::Error for RfaError {}
+
+/// The output of Reuse Factor Analysis for one target FF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RfaResult {
+    /// Description of the analyzed FF.
+    pub target: String,
+    /// `FF_value_cycles` of the analyzed FF (needed to model a random fault
+    /// cycle).
+    pub ff_value_cycles: usize,
+    /// Unique faulty neurons with their earliest production timestamp,
+    /// in insertion (computation) order.
+    pub faulty_neurons: Vec<TimedNeuron>,
+}
+
+impl RfaResult {
+    /// The reuse factor: `RF = |FaultyNeurons|` (Algorithm 1, line 11).
+    pub fn rf(&self) -> usize {
+        self.faulty_neurons.len()
+    }
+
+    /// Models a random injection cycle: chooses `p ∈ [0, FF_value_cycles)`
+    /// and keeps only neurons with timestamp `l ≥ p` — the loops that had
+    /// already consumed the (then-correct) value before the flip are
+    /// unaffected.
+    pub fn sample_effective(&self, rng: &mut SplitMix64) -> Vec<NeuronOffset> {
+        let p = if self.ff_value_cycles > 1 {
+            rng.next_below(self.ff_value_cycles as u64) as usize
+        } else {
+            0
+        };
+        self.faulty_neurons
+            .iter()
+            .filter(|t| t.loop_index >= p)
+            .map(|t| t.neuron)
+            .collect()
+    }
+}
+
+/// Runs Algorithm 1.
+///
+/// # Errors
+///
+/// Returns [`RfaError`] when the inputs violate their structural invariants
+/// (loop count must equal `FF_value_cycles`, and each unit must list one
+/// neuron set per in-effect cycle).
+pub fn reuse_factor_analysis(inputs: &RfaInputs) -> Result<RfaResult, RfaError> {
+    if !inputs.is_well_formed() {
+        return Err(RfaError {
+            target: inputs.target.clone(),
+        });
+    }
+    let mut seen: HashMap<NeuronOffset, usize> = HashMap::new();
+    let mut ordered: Vec<TimedNeuron> = Vec::new();
+    // Lines 2–10: l over value cycles, m over M_l, y over in-effect cycles,
+    // neuron over neurons(m)_{y,l}; insert (neuron, l) with deduplication.
+    for (l, units) in inputs.loops.iter().enumerate() {
+        for unit in units {
+            for per_cycle in &unit.neurons {
+                for &neuron in per_cycle {
+                    if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(neuron) {
+                        e.insert(l);
+                        ordered.push(TimedNeuron {
+                            neuron,
+                            loop_index: l,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(RfaResult {
+        target: inputs.target.clone(),
+        ff_value_cycles: inputs.ff_value_cycles,
+        faulty_neurons: ordered,
+    })
+}
+
+/// Combines the RFA results of the datapath FFs a *local control* FF is
+/// coupled with (Sec. III-B3): the RF is the sum of the coupled RFs and the
+/// faulty-neuron set is the deduplicated union.
+pub fn local_control_rfa(coupled: &[&RfaResult]) -> RfaResult {
+    let mut seen: HashMap<NeuronOffset, usize> = HashMap::new();
+    let mut ordered = Vec::new();
+    for r in coupled {
+        for t in &r.faulty_neurons {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(t.neuron) {
+                e.insert(t.loop_index);
+                ordered.push(*t);
+            }
+        }
+    }
+    RfaResult {
+        target: format!(
+            "local control coupled to [{}]",
+            coupled
+                .iter()
+                .map(|r| r.target.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        ff_value_cycles: coupled.iter().map(|r| r.ff_value_cycles).max().unwrap_or(1),
+        faulty_neurons: ordered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelity_accel::dataflow::{EyerissDataflow, NvdlaDataflow, UnitUse};
+
+    #[test]
+    fn fig2a_reuse_factors() {
+        // The paper's hand-derived RFs for the NVDLA-like example:
+        // a1 → t, a2 → t, a3 → 1, a4 → k².
+        let df = NvdlaDataflow {
+            lanes: 16,
+            weight_hold: 16,
+        };
+        assert_eq!(reuse_factor_analysis(&df.example_a1()).unwrap().rf(), 16);
+        assert_eq!(reuse_factor_analysis(&df.example_a2()).unwrap().rf(), 16);
+        assert_eq!(reuse_factor_analysis(&df.example_a3()).unwrap().rf(), 1);
+        assert_eq!(reuse_factor_analysis(&df.example_a4()).unwrap().rf(), 16);
+    }
+
+    #[test]
+    fn fig2b_reuse_factors() {
+        // b1 → k, b2 → k·t, b3 → 1.
+        let df = EyerissDataflow {
+            k: 7,
+            channel_reuse: 5,
+        };
+        assert_eq!(reuse_factor_analysis(&df.example_b1()).unwrap().rf(), 7);
+        assert_eq!(reuse_factor_analysis(&df.example_b2()).unwrap().rf(), 35);
+        assert_eq!(reuse_factor_analysis(&df.example_b3()).unwrap().rf(), 1);
+    }
+
+    #[test]
+    fn a1_neurons_are_consecutive_in_one_channel() {
+        let df = NvdlaDataflow {
+            lanes: 4,
+            weight_hold: 8,
+        };
+        let r = reuse_factor_analysis(&df.example_a1()).unwrap();
+        for (i, t) in r.faulty_neurons.iter().enumerate() {
+            assert_eq!(t.neuron.width, i as i32);
+            assert_eq!(t.neuron.channel, 0);
+            assert_eq!(t.loop_index, 0);
+        }
+    }
+
+    #[test]
+    fn a2_sampling_truncates_by_fault_cycle() {
+        let df = NvdlaDataflow {
+            lanes: 4,
+            weight_hold: 8,
+        };
+        let r = reuse_factor_analysis(&df.example_a2()).unwrap();
+        assert_eq!(r.ff_value_cycles, 8);
+        let mut rng = SplitMix64::new(1);
+        let mut sizes = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let eff = r.sample_effective(&mut rng);
+            assert!((1..=8).contains(&eff.len()));
+            sizes.insert(eff.len());
+        }
+        // Over 256 draws of p ∈ [0, 8) we should see several distinct sizes.
+        assert!(sizes.len() >= 4);
+    }
+
+    #[test]
+    fn deduplication_counts_unique_neurons() {
+        // Two units touching the same neuron → RF 1, earliest timestamp.
+        let inputs = RfaInputs {
+            target: "dup".into(),
+            ff_value_cycles: 2,
+            loops: vec![
+                vec![UnitUse {
+                    unit: 0,
+                    in_effect_cycles: 1,
+                    neurons: vec![vec![NeuronOffset::new(0, 0, 0, 0)]],
+                }],
+                vec![UnitUse {
+                    unit: 1,
+                    in_effect_cycles: 1,
+                    neurons: vec![vec![NeuronOffset::new(0, 0, 0, 0)]],
+                }],
+            ],
+        };
+        let r = reuse_factor_analysis(&inputs).unwrap();
+        assert_eq!(r.rf(), 1);
+        assert_eq!(r.faulty_neurons[0].loop_index, 0);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let bad = RfaInputs {
+            target: "bad".into(),
+            ff_value_cycles: 3,
+            loops: vec![vec![]],
+        };
+        assert!(reuse_factor_analysis(&bad).is_err());
+    }
+
+    #[test]
+    fn local_control_union() {
+        let df = NvdlaDataflow {
+            lanes: 4,
+            weight_hold: 8,
+        };
+        let a3 = reuse_factor_analysis(&df.example_a3()).unwrap();
+        let a4 = reuse_factor_analysis(&df.example_a4()).unwrap();
+        // a3's single neuron (0,0,0,0) is also in a4's set → union = 4.
+        let combined = local_control_rfa(&[&a3, &a4]);
+        assert_eq!(combined.rf(), 4);
+    }
+
+    #[test]
+    fn datapath_rf_property_4_holds_for_nvdla_examples() {
+        // RF of a FF in stage i >= RF in stage k for k > i along the weight
+        // flow: a1 (upstream) >= a2 (operand) >= a3 (single-cycle pipe).
+        let df = NvdlaDataflow {
+            lanes: 16,
+            weight_hold: 16,
+        };
+        let rf_a1 = reuse_factor_analysis(&df.example_a1()).unwrap().rf();
+        let rf_a2 = reuse_factor_analysis(&df.example_a2()).unwrap().rf();
+        let rf_a3 = reuse_factor_analysis(&df.example_a3()).unwrap().rf();
+        assert!(rf_a1 >= rf_a2 && rf_a2 >= rf_a3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared across the inference substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor operations, layer construction, and graph
+/// execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DnnError {
+    /// Two shapes that had to agree did not.
+    ShapeMismatch {
+        /// Operation that detected the mismatch.
+        context: &'static str,
+        /// What was required.
+        expected: String,
+        /// What was seen.
+        actual: String,
+    },
+    /// A layer or graph input name was referenced but never defined.
+    UnknownName {
+        /// The missing name.
+        name: String,
+    },
+    /// Two graph nodes (or a node and a graph input) share a name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A layer received the wrong number of inputs.
+    ArityMismatch {
+        /// Layer name.
+        layer: String,
+        /// Required input count.
+        expected: usize,
+        /// Provided input count.
+        actual: usize,
+    },
+    /// A configuration parameter was invalid (zero stride, empty kernel, ...).
+    InvalidConfig {
+        /// Human-readable description of the invalid parameter.
+        message: String,
+    },
+    /// The graph contains a cycle or references a node defined later.
+    NotTopological {
+        /// Offending node name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnnError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(f, "{context}: expected {expected}, got {actual}"),
+            DnnError::UnknownName { name } => write!(f, "unknown tensor or layer name `{name}`"),
+            DnnError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            DnnError::ArityMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(f, "layer `{layer}` expects {expected} inputs, got {actual}"),
+            DnnError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            DnnError::NotTopological { name } => {
+                write!(f, "node `{name}` consumes a tensor defined after it")
+            }
+        }
+    }
+}
+
+impl Error for DnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DnnError::UnknownName {
+            name: "conv9".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("conv9"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnnError>();
+    }
+}

@@ -1,0 +1,809 @@
+//! Network graphs, the executor, and precision-aware engines.
+//!
+//! A [`Network`] is a DAG of named layers. An [`Engine`] binds a network to a
+//! [`Precision`], calibrating per-tensor quantization scales from a
+//! fault-free run and rounding weights onto the representable grid — the
+//! software analogue of deploying a trained model onto an accelerator with a
+//! given datapath width.
+//!
+//! The engine exposes the two primitives fault injection needs:
+//!
+//! * [`Engine::trace`] — a fault-free run that records every intermediate
+//!   tensor, and
+//! * [`Engine::resume`] — re-execution from a corrupted intermediate tensor,
+//!   recomputing only downstream nodes (this is why software fault injection
+//!   is orders of magnitude faster than register-level simulation).
+
+use std::collections::HashMap;
+
+use crate::error::DnnError;
+use crate::layers::Layer;
+use crate::macspec::MacSpec;
+use crate::precision::{calibrate_scale, Precision, ValueCodec};
+use crate::tensor::Tensor;
+
+/// Where a node input comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Source {
+    /// The i-th graph input.
+    Input(usize),
+    /// The output of the i-th node.
+    Node(usize),
+}
+
+/// One node of a network: a layer plus its resolved input sources.
+struct Node {
+    layer: Box<dyn Layer>,
+    sources: Vec<Source>,
+}
+
+/// A directed acyclic graph of layers.
+///
+/// Build with [`NetworkBuilder`]; run through an [`Engine`].
+pub struct Network {
+    name: String,
+    input_names: Vec<String>,
+    nodes: Vec<Node>,
+    output: Source,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Network(name={}, inputs={:?}, nodes={})",
+            self.name,
+            self.input_names,
+            self.nodes.len()
+        )
+    }
+}
+
+impl Network {
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Names of the graph inputs, in binding order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Number of layer nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The layer at node `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn layer(&self, idx: usize) -> &dyn Layer {
+        self.nodes[idx].layer.as_ref()
+    }
+
+    /// Index of the node with the given layer name.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.layer.name() == name)
+    }
+
+    /// Iterates over `(index, layer)` pairs in topological order.
+    pub fn iter_layers(&self) -> impl Iterator<Item = (usize, &dyn Layer)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (i, n.layer.as_ref()))
+    }
+}
+
+/// Incrementally builds a [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// use fidelity_dnn::graph::NetworkBuilder;
+/// use fidelity_dnn::layers::{Activation, ActivationKind, Dense};
+/// use fidelity_dnn::tensor::Tensor;
+///
+/// # fn main() -> Result<(), fidelity_dnn::error::DnnError> {
+/// let net = NetworkBuilder::new("mlp")
+///     .input("x")
+///     .layer(Dense::new("fc", Tensor::full(vec![2, 2], 0.5))?, &["x"])?
+///     .layer(Activation::new("relu", ActivationKind::Relu), &["fc"])?
+///     .build()?;
+/// assert_eq!(net.node_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct NetworkBuilder {
+    name: String,
+    input_names: Vec<String>,
+    nodes: Vec<Node>,
+    names: HashMap<String, Source>,
+    output: Option<Source>,
+}
+
+impl std::fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NetworkBuilder(name={}, inputs={:?}, nodes={})",
+            self.name,
+            self.input_names,
+            self.nodes.len()
+        )
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts a new network.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            input_names: Vec::new(),
+            nodes: Vec::new(),
+            names: HashMap::new(),
+            output: None,
+        }
+    }
+
+    /// Declares a graph input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name (builder misuse is a programming error in
+    /// the network definition, surfaced eagerly).
+    pub fn input(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(
+            !self.names.contains_key(&name),
+            "duplicate graph name `{name}`"
+        );
+        self.names
+            .insert(name.clone(), Source::Input(self.input_names.len()));
+        self.input_names.push(name);
+        self
+    }
+
+    /// Appends a layer consuming the named tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::DuplicateName`] / [`DnnError::UnknownName`] /
+    /// [`DnnError::ArityMismatch`] on malformed wiring.
+    pub fn layer<L: Layer + 'static>(
+        mut self,
+        layer: L,
+        inputs: &[&str],
+    ) -> Result<Self, DnnError> {
+        let lname = layer.name().to_owned();
+        if self.names.contains_key(&lname) {
+            return Err(DnnError::DuplicateName { name: lname });
+        }
+        if let Some(expected) = layer.arity() {
+            if expected != inputs.len() {
+                return Err(DnnError::ArityMismatch {
+                    layer: lname,
+                    expected,
+                    actual: inputs.len(),
+                });
+            }
+        }
+        let mut sources = Vec::with_capacity(inputs.len());
+        for &inp in inputs {
+            let src = self.names.get(inp).ok_or_else(|| DnnError::UnknownName {
+                name: inp.to_owned(),
+            })?;
+            sources.push(*src);
+        }
+        let idx = self.nodes.len();
+        self.names.insert(lname, Source::Node(idx));
+        self.nodes.push(Node {
+            layer: Box::new(layer),
+            sources,
+        });
+        Ok(self)
+    }
+
+    /// Marks the named tensor as the network output (defaults to the last
+    /// layer added).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::UnknownName`] when the name is not defined.
+    pub fn output(mut self, name: &str) -> Result<Self, DnnError> {
+        let src = self.names.get(name).ok_or_else(|| DnnError::UnknownName {
+            name: name.to_owned(),
+        })?;
+        self.output = Some(*src);
+        Ok(self)
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] for an empty network.
+    pub fn build(self) -> Result<Network, DnnError> {
+        if self.nodes.is_empty() {
+            return Err(DnnError::InvalidConfig {
+                message: "network has no layers".into(),
+            });
+        }
+        let output = self.output.unwrap_or(Source::Node(self.nodes.len() - 1));
+        Ok(Network {
+            name: self.name,
+            input_names: self.input_names,
+            nodes: self.nodes,
+            output,
+        })
+    }
+}
+
+/// Recorded intermediates of one fault-free execution.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Quantized graph inputs, in binding order.
+    pub inputs: Vec<Tensor>,
+    /// Output tensor of every node, in topological order.
+    pub node_outputs: Vec<Tensor>,
+    /// The network output.
+    pub output: Tensor,
+}
+
+/// Per-tensor quantization scales calibrated from a fault-free run.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScheme {
+    /// Scale for each graph input.
+    pub input_scales: Vec<f32>,
+    /// Scale for each node's output tensor.
+    pub node_scales: Vec<f32>,
+    /// Scales for each node's weight tensors.
+    pub weight_scales: Vec<Vec<f32>>,
+}
+
+/// A network bound to a precision, with calibrated codecs and quantized
+/// weights: the runnable deployment that fault injection targets.
+pub struct Engine {
+    network: Network,
+    precision: Precision,
+    input_codecs: Vec<ValueCodec>,
+    node_codecs: Vec<ValueCodec>,
+    weight_codecs: Vec<Vec<ValueCodec>>,
+    node_bounds: Option<Vec<f32>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Engine(net={}, precision={}, nodes={})",
+            self.network.name(),
+            self.precision,
+            self.network.node_count()
+        )
+    }
+}
+
+impl Engine {
+    /// Prepares a network for execution at `precision`.
+    ///
+    /// For the integer formats, per-tensor scales are calibrated by running
+    /// the network once in FP32 on `calibration_inputs` and taking the
+    /// dynamic range of every intermediate (the paper quantized its
+    /// INT16/INT8 networks with TensorFlow's min/max scheme); weights are
+    /// then rounded onto the representable grid in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any shape error from the calibration run.
+    pub fn new(
+        mut network: Network,
+        precision: Precision,
+        calibration_inputs: &[Vec<Tensor>],
+    ) -> Result<Self, DnnError> {
+        let n_nodes = network.node_count();
+        let n_inputs = network.input_names.len();
+
+        // Track dynamic ranges over all calibration runs (FP32, no codecs).
+        let mut input_max = vec![0.0f32; n_inputs];
+        let mut node_max = vec![0.0f32; n_nodes];
+        if !precision.is_float() {
+            for sample in calibration_inputs {
+                let trace = run(&network, sample, None, None, None, None)?.1;
+                for (m, t) in input_max.iter_mut().zip(&trace.inputs) {
+                    *m = m.max(t.max_abs());
+                }
+                for (m, t) in node_max.iter_mut().zip(&trace.node_outputs) {
+                    *m = m.max(t.max_abs());
+                }
+            }
+        }
+
+        let make = |max_abs: f32| -> ValueCodec {
+            ValueCodec::new(precision, calibrate_scale(precision, max_abs))
+        };
+        let input_codecs: Vec<ValueCodec> = input_max.iter().map(|&m| make(m)).collect();
+        let node_codecs: Vec<ValueCodec> = node_max.iter().map(|&m| make(m)).collect();
+
+        // Weight codecs from weight dynamic range; quantize weights in place.
+        let mut weight_codecs = Vec::with_capacity(n_nodes);
+        for node in &mut network.nodes {
+            let codecs: Vec<ValueCodec> = node
+                .layer
+                .weights()
+                .iter()
+                .map(|w| make(w.max_abs()))
+                .collect();
+            if precision != Precision::Fp32 {
+                // Every weight tensor of a layer shares the layer's grid in
+                // our model; use the per-layer max for a single codec call.
+                if let Some(max_codec) = codecs
+                    .iter()
+                    .max_by(|a, b| a.scale().total_cmp(&b.scale()))
+                    .copied()
+                {
+                    node.layer.quantize_weights(&max_codec);
+                }
+            }
+            weight_codecs.push(codecs);
+        }
+
+        Ok(Engine {
+            network,
+            precision,
+            input_codecs,
+            node_codecs,
+            weight_codecs,
+            node_bounds: None,
+        })
+    }
+
+    /// Enables per-layer output range bounding — the hardware/software
+    /// co-design mitigation the paper proposes from its Key Result 5
+    /// ("bounding the values of output neurons"): a writeback-stage clamp
+    /// at `slack ×` each layer's fault-free dynamic range. Large faulty
+    /// values (the ones most likely to flip the application output) are
+    /// clipped; fault-free behaviour is unchanged because every clean value
+    /// is within its own range.
+    ///
+    /// Calibrates from a fault-free run on `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the calibration run. Returns
+    /// [`DnnError::InvalidConfig`] when `slack < 1` (which would alter
+    /// fault-free behaviour).
+    pub fn enable_range_bounding(
+        &mut self,
+        inputs: &[Tensor],
+        slack: f32,
+    ) -> Result<(), DnnError> {
+        // Negated comparison is deliberate: it rejects NaN slack too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(slack >= 1.0) {
+            return Err(DnnError::InvalidConfig {
+                message: format!("range-bounding slack must be >= 1, got {slack}"),
+            });
+        }
+        self.node_bounds = None; // calibrate unbounded
+        let trace = self.trace(inputs)?;
+        self.node_bounds = Some(
+            trace
+                .node_outputs
+                .iter()
+                .map(|t| t.max_abs() * slack)
+                .collect(),
+        );
+        Ok(())
+    }
+
+    /// Disables range bounding.
+    pub fn disable_range_bounding(&mut self) {
+        self.node_bounds = None;
+    }
+
+    /// The calibrated clamp bound of node `idx`, when bounding is enabled.
+    pub fn node_bound(&self, idx: usize) -> Option<f32> {
+        self.node_bounds.as_ref().map(|b| b[idx])
+    }
+
+    /// The deployed precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Output codec of node `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn node_codec(&self, idx: usize) -> ValueCodec {
+        self.node_codecs[idx]
+    }
+
+    /// Codec of weight tensor `widx` of node `idx`, when it exists.
+    pub fn weight_codec(&self, idx: usize, widx: usize) -> Option<ValueCodec> {
+        self.weight_codecs.get(idx).and_then(|v| v.get(widx)).copied()
+    }
+
+    /// Codec of graph input `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn input_codec(&self, idx: usize) -> ValueCodec {
+        self.input_codecs[idx]
+    }
+
+    /// Runs the network and returns the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from layers.
+    pub fn forward(&self, inputs: &[Tensor]) -> Result<Tensor, DnnError> {
+        Ok(self.run(inputs, None, None)?.0)
+    }
+
+    /// Runs the network recording all intermediates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from layers.
+    pub fn trace(&self, inputs: &[Tensor]) -> Result<Trace, DnnError> {
+        self.run(inputs, None, None).map(|(_, t)| t)
+    }
+
+    /// Re-runs from a fault-free [`Trace`] with the output of node
+    /// `node_idx` replaced by `replacement`, recomputing only nodes that
+    /// transitively depend on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node_idx` is out of range.
+    pub fn resume(
+        &self,
+        trace: &Trace,
+        node_idx: usize,
+        replacement: Tensor,
+    ) -> Result<Tensor, DnnError> {
+        assert!(node_idx < self.network.node_count(), "node index out of range");
+        Ok(self
+            .run(&trace.inputs, Some((node_idx, replacement)), Some(trace))?
+            .0)
+    }
+
+    /// The MAC geometry of node `idx` given the input shapes recorded in
+    /// `trace`, when the node is a MAC layer.
+    pub fn mac_spec(&self, idx: usize, trace: &Trace) -> Option<MacSpec> {
+        let node = &self.network.nodes[idx];
+        let shapes: Vec<&[usize]> = node
+            .sources
+            .iter()
+            .map(|src| match src {
+                Source::Input(i) => trace.inputs[*i].shape(),
+                Source::Node(i) => trace.node_outputs[*i].shape(),
+            })
+            .collect();
+        node.layer.mac_spec(&shapes)
+    }
+
+    /// The codecs of node `idx`'s input tensors (graph-input or producing
+    /// node codecs, in input order).
+    pub fn node_input_codecs(&self, idx: usize) -> Vec<ValueCodec> {
+        self.network.nodes[idx]
+            .sources
+            .iter()
+            .map(|src| match src {
+                Source::Input(i) => self.input_codecs[*i],
+                Source::Node(i) => self.node_codecs[*i],
+            })
+            .collect()
+    }
+
+    /// The input tensors of node `idx` as recorded in `trace`.
+    pub fn node_inputs<'t>(&self, idx: usize, trace: &'t Trace) -> Vec<&'t Tensor> {
+        self.network.nodes[idx]
+            .sources
+            .iter()
+            .map(|src| match src {
+                Source::Input(i) => &trace.inputs[*i],
+                Source::Node(i) => &trace.node_outputs[*i],
+            })
+            .collect()
+    }
+
+    fn run(
+        &self,
+        inputs: &[Tensor],
+        replace: Option<(usize, Tensor)>,
+        base: Option<&Trace>,
+    ) -> Result<(Tensor, Trace), DnnError> {
+        run(
+            &self.network,
+            inputs,
+            Some(&self.input_codecs),
+            Some(&self.node_codecs),
+            replace.map(|(i, t)| (i, t, base.expect("resume requires a base trace"))),
+            self.node_bounds.as_deref(),
+        )
+    }
+}
+
+/// Clamps a value to `[-bound, bound]`; non-finite values saturate to the
+/// bound (a magnitude comparator on the exponent field catches Inf/NaN).
+fn clamp_to_bound(v: f32, bound: f32) -> f32 {
+    if !v.is_finite() {
+        return if v.is_sign_negative() { -bound } else { bound };
+    }
+    v.clamp(-bound, bound)
+}
+
+/// Core executor shared by calibration (no codecs) and engine runs.
+fn run(
+    network: &Network,
+    inputs: &[Tensor],
+    input_codecs: Option<&[ValueCodec]>,
+    node_codecs: Option<&[ValueCodec]>,
+    replace: Option<(usize, Tensor, &Trace)>,
+    bounds: Option<&[f32]>,
+) -> Result<(Tensor, Trace), DnnError> {
+    if inputs.len() != network.input_names.len() {
+        return Err(DnnError::ArityMismatch {
+            layer: network.name.clone(),
+            expected: network.input_names.len(),
+            actual: inputs.len(),
+        });
+    }
+
+    let quantize = |t: &Tensor, codec: Option<&ValueCodec>| -> Tensor {
+        match codec {
+            Some(c) if c.precision() != Precision::Fp32 => t.map(|v| c.quantize(v)),
+            _ => t.clone(),
+        }
+    };
+
+    let q_inputs: Vec<Tensor> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| quantize(t, input_codecs.map(|c| &c[i])))
+        .collect();
+
+    // When resuming, mark which nodes must be recomputed: the replaced node's
+    // dependents only. All others reuse the base trace.
+    let mut dirty = vec![false; network.nodes.len()];
+    if let Some((ridx, _, _)) = replace {
+        dirty[ridx] = true;
+        for i in ridx + 1..network.nodes.len() {
+            if network.nodes[i].sources.iter().any(|s| match s {
+                Source::Node(j) => dirty[*j],
+                Source::Input(_) => false,
+            }) {
+                dirty[i] = true;
+            }
+        }
+    }
+
+    let apply_bound = |idx: usize, mut t: Tensor| -> Tensor {
+        if let Some(b) = bounds {
+            let bound = b[idx];
+            t.map_inplace(|v| clamp_to_bound(v, bound));
+        }
+        t
+    };
+
+    let mut outputs: Vec<Tensor> = Vec::with_capacity(network.nodes.len());
+    for (idx, node) in network.nodes.iter().enumerate() {
+        if let Some((ridx, ref replacement, base)) = replace {
+            if idx == ridx {
+                // The corrupted writeback passes through the same bounding
+                // hardware as a clean one.
+                outputs.push(apply_bound(idx, replacement.clone()));
+                continue;
+            }
+            if !dirty[idx] {
+                outputs.push(base.node_outputs[idx].clone());
+                continue;
+            }
+        }
+        let in_refs: Vec<&Tensor> = node
+            .sources
+            .iter()
+            .map(|src| match src {
+                Source::Input(i) => &q_inputs[*i],
+                Source::Node(i) => &outputs[*i],
+            })
+            .collect();
+        let raw = node.layer.forward(&in_refs)?;
+        outputs.push(apply_bound(idx, quantize(&raw, node_codecs.map(|c| &c[idx]))));
+    }
+
+    let out = match network.output {
+        Source::Input(i) => q_inputs[i].clone(),
+        Source::Node(i) => outputs[i].clone(),
+    };
+    let trace = Trace {
+        inputs: q_inputs,
+        node_outputs: outputs,
+        output: out.clone(),
+    };
+    Ok((out, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, ActivationKind, Add, Dense};
+
+    fn two_layer_net() -> Network {
+        let w1 = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let w2 = Tensor::from_vec(vec![2, 2], vec![2.0, 0.0, 0.0, 2.0]).unwrap();
+        NetworkBuilder::new("t")
+            .input("x")
+            .layer(Dense::new("fc1", w1).unwrap(), &["x"])
+            .unwrap()
+            .layer(Activation::new("relu", ActivationKind::Relu), &["fc1"])
+            .unwrap()
+            .layer(Dense::new("fc2", w2).unwrap(), &["relu"])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, -3.0]).unwrap();
+        let y = engine.forward(&[x]).unwrap();
+        assert_eq!(y.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_wiring() {
+        let w = Tensor::zeros(vec![2, 2]);
+        assert!(matches!(
+            NetworkBuilder::new("t")
+                .input("x")
+                .layer(Dense::new("fc", w.clone()).unwrap(), &["nope"]),
+            Err(DnnError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            NetworkBuilder::new("t")
+                .input("x")
+                .layer(Dense::new("x", w.clone()).unwrap(), &["x"]),
+            Err(DnnError::DuplicateName { .. })
+        ));
+        assert!(matches!(
+            NetworkBuilder::new("t")
+                .input("x")
+                .layer(Add::new("add"), &["x"]),
+            Err(DnnError::ArityMismatch { .. })
+        ));
+        assert!(NetworkBuilder::new("t").input("x").build().is_err());
+    }
+
+    #[test]
+    fn resume_matches_full_run_with_replacement() {
+        let engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
+        let trace = engine.trace(&[x]).unwrap();
+
+        // Corrupt fc1's output and resume.
+        let mut corrupted = trace.node_outputs[0].clone();
+        corrupted.data_mut()[0] = 100.0;
+        let y = engine.resume(&trace, 0, corrupted).unwrap();
+        assert_eq!(y.data(), &[200.0, 4.0]);
+        // Clean trace is untouched.
+        assert_eq!(trace.output.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn resume_skips_untouched_branches() {
+        // Diamond: x -> a; x -> b; add(a, b). Corrupting `a` must keep `b`
+        // from the base trace (same values).
+        let w = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let net = NetworkBuilder::new("d")
+            .input("x")
+            .layer(Dense::new("a", w.clone()).unwrap(), &["x"])
+            .unwrap()
+            .layer(Dense::new("b", w).unwrap(), &["x"])
+            .unwrap()
+            .layer(Add::new("add"), &["a", "b"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![3.0, 4.0]).unwrap();
+        let trace = engine.trace(&[x]).unwrap();
+        let mut corrupted = trace.node_outputs[0].clone();
+        corrupted.data_mut()[1] = -4.0;
+        let y = engine.resume(&trace, 0, corrupted).unwrap();
+        assert_eq!(y.data(), &[6.0, 0.0]);
+    }
+
+    #[test]
+    fn int8_quantization_bounds_error() {
+        let net = two_layer_net();
+        let x = Tensor::from_vec(vec![1, 2], vec![0.5, -0.25]).unwrap();
+        let engine = Engine::new(net, Precision::Int8, &[vec![x.clone()]]).unwrap();
+        let y = engine.forward(&[x]).unwrap();
+        // Identity->relu->2x with small values: quantization error is bounded
+        // by a few grid steps.
+        assert!((y.data()[0] - 1.0).abs() < 0.05);
+        assert_eq!(y.data()[1], 0.0);
+    }
+
+    #[test]
+    fn fp16_quantization_rounds_outputs() {
+        let net = two_layer_net();
+        let engine = Engine::new(net, Precision::Fp16, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![0.1, 0.2]).unwrap();
+        let y = engine.forward(&[x]).unwrap();
+        for &v in y.data() {
+            assert_eq!(crate::f16::round_to_f16(v), v);
+        }
+    }
+
+    #[test]
+    fn range_bounding_clamps_corrupted_values() {
+        let mut engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
+        engine.enable_range_bounding(&[x.clone()], 2.0).unwrap();
+        // Clean behaviour unchanged.
+        let trace = engine.trace(&[x]).unwrap();
+        assert_eq!(trace.output.data(), &[2.0, 4.0]);
+        // A huge injected value is clamped at the corrupted layer
+        // (fc1's clean max-abs is 2, slack 2 → bound 4).
+        let mut corrupted = trace.node_outputs[0].clone();
+        corrupted.data_mut()[0] = 1e9;
+        let y = engine.resume(&trace, 0, corrupted.clone()).unwrap();
+        assert_eq!(y.data(), &[8.0, 4.0]); // 4 (clamped) × 2
+        // NaN saturates to the bound instead of propagating.
+        corrupted.data_mut()[0] = f32::NAN;
+        let y = engine.resume(&trace, 0, corrupted).unwrap();
+        assert_eq!(y.data(), &[8.0, 4.0]);
+        // Disabled bounding lets the corruption through again.
+        engine.disable_range_bounding();
+        let trace = engine
+            .trace(&[Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap()])
+            .unwrap();
+        let mut corrupted = trace.node_outputs[0].clone();
+        corrupted.data_mut()[0] = 1e9;
+        let y = engine.resume(&trace, 0, corrupted).unwrap();
+        assert_eq!(y.data()[0], 2e9);
+    }
+
+    #[test]
+    fn range_bounding_rejects_sub_unit_slack() {
+        let mut engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
+        assert!(engine.enable_range_bounding(&[x.clone()], 0.5).is_err());
+        assert!(engine.enable_range_bounding(&[x], f32::NAN).is_err());
+    }
+
+    #[test]
+    fn named_output_selects_intermediate() {
+        let w = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let net = NetworkBuilder::new("t")
+            .input("x")
+            .layer(Dense::new("fc1", w.clone()).unwrap(), &["x"])
+            .unwrap()
+            .layer(Dense::new("fc2", w).unwrap(), &["fc1"])
+            .unwrap()
+            .output("fc1")
+            .unwrap()
+            .build()
+            .unwrap();
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![5.0, 6.0]).unwrap();
+        assert_eq!(engine.forward(&[x]).unwrap().data(), &[5.0, 6.0]);
+    }
+}

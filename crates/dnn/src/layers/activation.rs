@@ -1,0 +1,173 @@
+//! Pointwise non-linearities and softmax.
+
+use crate::error::DnnError;
+use crate::layers::{check_arity, Layer, LayerKind};
+use crate::tensor::Tensor;
+
+/// The supported pointwise non-linearities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    Relu,
+    /// `x` for `x > 0`, else `alpha·x` (Yolo-style).
+    LeakyRelu(f32),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// ReLU clipped at 6 (MobileNet-style).
+    Relu6,
+}
+
+impl ActivationKind {
+    /// Applies the non-linearity to one value.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::LeakyRelu(alpha) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            ActivationKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActivationKind::Tanh => x.tanh(),
+            ActivationKind::Relu6 => x.clamp(0.0, 6.0),
+        }
+    }
+}
+
+/// A pointwise activation layer.
+///
+/// # Examples
+///
+/// ```
+/// use fidelity_dnn::layers::{Activation, ActivationKind, Layer};
+/// use fidelity_dnn::tensor::Tensor;
+///
+/// let relu = Activation::new("relu", ActivationKind::Relu);
+/// let x = Tensor::from_slice(&[-1.0, 2.0]);
+/// assert_eq!(relu.forward(&[&x]).unwrap().data(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Activation {
+    name: String,
+    kind: ActivationKind,
+}
+
+impl Activation {
+    /// Creates an activation layer.
+    pub fn new(name: impl Into<String>, kind: ActivationKind) -> Self {
+        Activation {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The configured non-linearity.
+    pub fn activation_kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+impl Layer for Activation {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        Ok(inputs[0].map(|v| self.kind.apply(v)))
+    }
+}
+
+/// Softmax over the last dimension, computed with the max-subtraction trick
+/// for numerical stability.
+#[derive(Debug, Clone)]
+pub struct Softmax {
+    name: String,
+}
+
+impl Softmax {
+    /// Creates a softmax layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Softmax { name: name.into() }
+    }
+}
+
+impl Layer for Softmax {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Softmax
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        let last = *x.shape().last().unwrap_or(&1);
+        if last == 0 {
+            return Ok(x.clone());
+        }
+        let mut out = x.clone();
+        let rows = x.len() / last;
+        for r in 0..rows {
+            let row = &mut out.data_mut()[r * last..(r + 1) * last];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 && sum.is_finite() {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_kinds() {
+        assert_eq!(ActivationKind::Relu.apply(-3.0), 0.0);
+        assert_eq!(ActivationKind::LeakyRelu(0.1).apply(-3.0), -0.3);
+        assert_eq!(ActivationKind::Relu6.apply(9.0), 6.0);
+        assert!((ActivationKind::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((ActivationKind::Tanh.apply(0.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let sm = Softmax::new("sm");
+        let x = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let y = sm.forward(&[&x]).unwrap();
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| y.at2(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Monotone: larger logits get larger probabilities.
+        assert!(y.at2(0, 2) > y.at2(0, 1));
+    }
+
+    #[test]
+    fn softmax_survives_large_values() {
+        let sm = Softmax::new("sm");
+        let x = Tensor::from_vec(vec![1, 2], vec![10000.0, 9999.0]).unwrap();
+        let y = sm.forward(&[&x]).unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!(y.at2(0, 0) > y.at2(0, 1));
+    }
+}

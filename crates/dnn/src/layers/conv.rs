@@ -1,0 +1,234 @@
+//! 2-D convolution.
+
+use crate::error::DnnError;
+use crate::layers::{check_arity, Layer, LayerKind};
+use crate::macspec::{ConvSpec, MacSpec, Operands};
+use crate::precision::ValueCodec;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution over NCHW input with OIHW weights.
+///
+/// The forward pass uses [`MacSpec::forward_into`], whose per-neuron
+/// accumulation order is bit-identical to [`MacSpec::compute_at`], so the
+/// fault-injection engine's per-neuron recomputation never diverges from
+/// normal inference.
+///
+/// # Examples
+///
+/// ```
+/// use fidelity_dnn::layers::{Conv2d, Layer};
+/// use fidelity_dnn::tensor::Tensor;
+///
+/// # fn main() -> Result<(), fidelity_dnn::error::DnnError> {
+/// let weight = Tensor::full(vec![1, 1, 3, 3], 1.0 / 9.0);
+/// let conv = Conv2d::new("blur", weight)?.with_padding(1, 1);
+/// let input = Tensor::full(vec![1, 1, 8, 8], 1.0);
+/// let out = conv.forward(&[&input])?;
+/// assert_eq!(out.shape(), &[1, 1, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    weight: Tensor,
+    stride: (usize, usize),
+    padding: (usize, usize),
+    dilation: (usize, usize),
+    groups: usize,
+}
+
+impl Conv2d {
+    /// Creates a stride-1, unpadded, undilated, ungrouped convolution.
+    ///
+    /// `weight` must be rank 4 (`[out_c, in_c/groups, kh, kw]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] for a non-rank-4 or empty weight.
+    pub fn new(name: impl Into<String>, weight: Tensor) -> Result<Self, DnnError> {
+        if weight.rank() != 4 || weight.is_empty() {
+            return Err(DnnError::InvalidConfig {
+                message: format!(
+                    "conv weight must be non-empty rank 4, got shape {:?}",
+                    weight.shape()
+                ),
+            });
+        }
+        Ok(Conv2d {
+            name: name.into(),
+            weight,
+            stride: (1, 1),
+            padding: (0, 0),
+            dilation: (1, 1),
+            groups: 1,
+        })
+    }
+
+    /// Sets the stride.
+    pub fn with_stride(mut self, sh: usize, sw: usize) -> Self {
+        assert!(sh > 0 && sw > 0, "stride must be positive");
+        self.stride = (sh, sw);
+        self
+    }
+
+    /// Sets zero padding.
+    pub fn with_padding(mut self, ph: usize, pw: usize) -> Self {
+        self.padding = (ph, pw);
+        self
+    }
+
+    /// Sets dilation.
+    pub fn with_dilation(mut self, dh: usize, dw: usize) -> Self {
+        assert!(dh > 0 && dw > 0, "dilation must be positive");
+        self.dilation = (dh, dw);
+        self
+    }
+
+    /// Sets channel groups (`in_c` for depthwise convolution).
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        self.groups = groups;
+        self
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    fn spec_for(&self, input_shape: &[usize]) -> Result<ConvSpec, DnnError> {
+        if input_shape.len() != 4 {
+            return Err(DnnError::ShapeMismatch {
+                context: "Conv2d::forward",
+                expected: "rank-4 NCHW input".into(),
+                actual: format!("{input_shape:?}"),
+            });
+        }
+        let w = self.weight.shape();
+        let expected_in_c = w[1] * self.groups;
+        if input_shape[1] != expected_in_c {
+            return Err(DnnError::ShapeMismatch {
+                context: "Conv2d::forward",
+                expected: format!("{expected_in_c} input channels"),
+                actual: format!("{} input channels", input_shape[1]),
+            });
+        }
+        if !w[0].is_multiple_of(self.groups) {
+            return Err(DnnError::InvalidConfig {
+                message: format!(
+                    "out_c {} not divisible by groups {}",
+                    w[0], self.groups
+                ),
+            });
+        }
+        Ok(ConvSpec {
+            batch: input_shape[0],
+            in_c: input_shape[1],
+            in_h: input_shape[2],
+            in_w: input_shape[3],
+            out_c: w[0],
+            kh: w[2],
+            kw: w[3],
+            stride: self.stride,
+            padding: self.padding,
+            dilation: self.dilation,
+            groups: self.groups,
+        })
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn weights(&self) -> Vec<&Tensor> {
+        vec![&self.weight]
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let spec = MacSpec::Conv(self.spec_for(inputs[0].shape())?);
+        let ops = Operands {
+            input: inputs[0],
+            weight: &self.weight,
+        };
+        let mut out = Tensor::zeros(spec.out_shape());
+        spec.forward_into(&ops, out.data_mut());
+        Ok(out)
+    }
+
+    fn mac_spec(&self, input_shapes: &[&[usize]]) -> Option<MacSpec> {
+        input_shapes
+            .first()
+            .and_then(|s| self.spec_for(s).ok())
+            .map(MacSpec::Conv)
+    }
+
+    fn quantize_weights(&mut self, codec: &ValueCodec) {
+        self.weight.map_inplace(|v| codec.quantize(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::Precision;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut w = Tensor::zeros(vec![1, 1, 3, 3]);
+        w.set(&[0, 0, 1, 1], 1.0);
+        let conv = Conv2d::new("id", w).unwrap().with_padding(1, 1);
+        let input =
+            Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = conv.forward(&[&input]).unwrap();
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn stride_downsamples() {
+        let w = Tensor::full(vec![1, 1, 2, 2], 0.25);
+        let conv = Conv2d::new("avg", w).unwrap().with_stride(2, 2);
+        let input = Tensor::full(vec![1, 1, 4, 4], 4.0);
+        let out = conv.forward(&[&input]).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert!(out.data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let conv = Conv2d::new("c", Tensor::zeros(vec![2, 3, 1, 1])).unwrap();
+        let input = Tensor::zeros(vec![1, 4, 2, 2]);
+        assert!(conv.forward(&[&input]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_weight_rank() {
+        assert!(Conv2d::new("c", Tensor::zeros(vec![2, 3, 1])).is_err());
+    }
+
+    #[test]
+    fn depthwise_forward() {
+        // 2 channels, each with its own 1x1 kernel scaling by channel index+1.
+        let w = Tensor::from_vec(vec![2, 1, 1, 1], vec![1.0, 2.0]).unwrap();
+        let conv = Conv2d::new("dw", w).unwrap().with_groups(2);
+        let input = Tensor::full(vec![1, 2, 2, 2], 3.0);
+        let out = conv.forward(&[&input]).unwrap();
+        assert_eq!(out.at4(0, 0, 0, 0), 3.0);
+        assert_eq!(out.at4(0, 1, 1, 1), 6.0);
+    }
+
+    #[test]
+    fn quantize_weights_moves_onto_grid() {
+        let w = Tensor::from_vec(vec![1, 1, 1, 1], vec![0.3]).unwrap();
+        let mut conv = Conv2d::new("q", w).unwrap();
+        conv.quantize_weights(&ValueCodec::new(Precision::Int8, 0.25));
+        assert_eq!(conv.weights()[0].data()[0], 0.25);
+    }
+}

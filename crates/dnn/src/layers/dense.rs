@@ -1,0 +1,266 @@
+//! Fully-connected and matrix-multiplication layers.
+
+use crate::error::DnnError;
+use crate::layers::{check_arity, Layer, LayerKind};
+use crate::macspec::{DenseSpec, MacSpec, MatMulSpec, Operands};
+use crate::precision::ValueCodec;
+use crate::tensor::Tensor;
+
+/// A fully-connected layer: `output[b][o] = Σ_i weight[o][i] · input[b][i]`.
+///
+/// # Examples
+///
+/// ```
+/// use fidelity_dnn::layers::{Dense, Layer};
+/// use fidelity_dnn::tensor::Tensor;
+///
+/// # fn main() -> Result<(), fidelity_dnn::error::DnnError> {
+/// let w = Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0])?;
+/// let fc = Dense::new("fc", w)?;
+/// let x = Tensor::from_vec(vec![1, 3], vec![7.0, 8.0, 9.0])?;
+/// assert_eq!(fc.forward(&[&x])?.data(), &[7.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    name: String,
+    weight: Tensor,
+}
+
+impl Dense {
+    /// Creates a fully-connected layer from a `[out_features, in_features]`
+    /// weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] for a non-rank-2 or empty weight.
+    pub fn new(name: impl Into<String>, weight: Tensor) -> Result<Self, DnnError> {
+        if weight.rank() != 2 || weight.is_empty() {
+            return Err(DnnError::InvalidConfig {
+                message: format!(
+                    "dense weight must be non-empty rank 2, got shape {:?}",
+                    weight.shape()
+                ),
+            });
+        }
+        Ok(Dense {
+            name: name.into(),
+            weight,
+        })
+    }
+
+    fn spec_for(&self, input_shape: &[usize]) -> Result<DenseSpec, DnnError> {
+        if input_shape.len() != 2 {
+            return Err(DnnError::ShapeMismatch {
+                context: "Dense::forward",
+                expected: "rank-2 [batch, features] input".into(),
+                actual: format!("{input_shape:?}"),
+            });
+        }
+        let w = self.weight.shape();
+        if input_shape[1] != w[1] {
+            return Err(DnnError::ShapeMismatch {
+                context: "Dense::forward",
+                expected: format!("{} input features", w[1]),
+                actual: format!("{}", input_shape[1]),
+            });
+        }
+        Ok(DenseSpec {
+            batch: input_shape[0],
+            in_features: w[1],
+            out_features: w[0],
+        })
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dense
+    }
+
+    fn weights(&self) -> Vec<&Tensor> {
+        vec![&self.weight]
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let spec = MacSpec::Dense(self.spec_for(inputs[0].shape())?);
+        let ops = Operands {
+            input: inputs[0],
+            weight: &self.weight,
+        };
+        let mut out = Tensor::zeros(spec.out_shape());
+        spec.forward_into(&ops, out.data_mut());
+        Ok(out)
+    }
+
+    fn mac_spec(&self, input_shapes: &[&[usize]]) -> Option<MacSpec> {
+        input_shapes
+            .first()
+            .and_then(|s| self.spec_for(s).ok())
+            .map(MacSpec::Dense)
+    }
+
+    fn quantize_weights(&mut self, codec: &ValueCodec) {
+        self.weight.map_inplace(|v| codec.quantize(v));
+    }
+}
+
+/// A two-input matrix multiplication `A·B` (or `A·Bᵀ`), the attention
+/// primitive of Transformer workloads.
+///
+/// Accepts rank-2 operands, or rank-3 operands with equal leading batch
+/// dimensions.
+#[derive(Debug, Clone)]
+pub struct MatMul {
+    name: String,
+    transpose_b: bool,
+}
+
+impl MatMul {
+    /// Creates `A·B`.
+    pub fn new(name: impl Into<String>) -> Self {
+        MatMul {
+            name: name.into(),
+            transpose_b: false,
+        }
+    }
+
+    /// Creates `A·Bᵀ` (scores = `Q·Kᵀ` in attention).
+    pub fn transposed(name: impl Into<String>) -> Self {
+        MatMul {
+            name: name.into(),
+            transpose_b: true,
+        }
+    }
+
+    fn spec_for(&self, a: &[usize], b: &[usize]) -> Result<MatMulSpec, DnnError> {
+        let mismatch = |actual: String| DnnError::ShapeMismatch {
+            context: "MatMul::forward",
+            expected: "compatible matmul operands".into(),
+            actual,
+        };
+        let (batch, m, ka) = match a.len() {
+            2 => (1, a[0], a[1]),
+            3 => (a[0], a[1], a[2]),
+            _ => return Err(mismatch(format!("A rank {}", a.len()))),
+        };
+        let (bb, d0, d1) = match b.len() {
+            2 => (1, b[0], b[1]),
+            3 => (b[0], b[1], b[2]),
+            _ => return Err(mismatch(format!("B rank {}", b.len()))),
+        };
+        if bb != batch {
+            return Err(mismatch(format!("batch {batch} vs {bb}")));
+        }
+        let (kb, n) = if self.transpose_b { (d1, d0) } else { (d0, d1) };
+        if ka != kb {
+            return Err(mismatch(format!("contraction {ka} vs {kb}")));
+        }
+        Ok(MatMulSpec {
+            batch,
+            m,
+            k: ka,
+            n,
+            transpose_b: self.transpose_b,
+        })
+    }
+}
+
+impl Layer for MatMul {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::MatMul
+    }
+
+    fn arity(&self) -> Option<usize> {
+        Some(2)
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 2, inputs.len())?;
+        let spec = MacSpec::MatMul(self.spec_for(inputs[0].shape(), inputs[1].shape())?);
+        let ops = Operands {
+            input: inputs[0],
+            weight: inputs[1],
+        };
+        let mut out = Tensor::zeros(spec.out_shape());
+        spec.forward_into(&ops, out.data_mut());
+        Ok(out)
+    }
+
+    fn mac_spec(&self, input_shapes: &[&[usize]]) -> Option<MacSpec> {
+        if input_shapes.len() != 2 {
+            return None;
+        }
+        self.spec_for(input_shapes[0], input_shapes[1])
+            .ok()
+            .map(MacSpec::MatMul)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matches_manual() {
+        let w = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let fc = Dense::new("fc", w).unwrap();
+        let x = Tensor::from_vec(vec![2, 2], vec![1.0, 1.0, 2.0, 0.0]).unwrap();
+        let y = fc.forward(&[&x]).unwrap();
+        assert_eq!(y.shape(), &[2, 2]);
+        assert_eq!(y.data(), &[3.0, 7.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn dense_rejects_feature_mismatch() {
+        let fc = Dense::new("fc", Tensor::zeros(vec![2, 3])).unwrap();
+        assert!(fc.forward(&[&Tensor::zeros(vec![1, 4])]).is_err());
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let mm = MatMul::new("mm");
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let y = mm.forward(&[&a, &b]).unwrap();
+        assert_eq!(y.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let mm = MatMul::new("mm");
+        let a = Tensor::from_vec(vec![2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 2, 1], vec![1.0, 1.0, 2.0, 2.0]).unwrap();
+        let y = mm.forward(&[&a, &b]).unwrap();
+        assert_eq!(y.shape(), &[2, 1, 1]);
+        assert_eq!(y.data(), &[3.0, 14.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_plain() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let bt = Tensor::from_vec(vec![2, 2], vec![5.0, 7.0, 6.0, 8.0]).unwrap();
+        let plain = MatMul::new("p").forward(&[&a, &b]).unwrap();
+        let trans = MatMul::transposed("t").forward(&[&a, &bt]).unwrap();
+        assert_eq!(plain.data(), trans.data());
+    }
+
+    #[test]
+    fn matmul_rejects_contraction_mismatch() {
+        let mm = MatMul::new("mm");
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        assert!(mm.forward(&[&a, &b]).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Element-wise arithmetic, bias addition, and concatenation.
+
+use crate::error::DnnError;
+use crate::layers::{check_arity, Layer, LayerKind};
+use crate::precision::ValueCodec;
+use crate::tensor::Tensor;
+
+/// Bias addition.
+///
+/// For rank-4 inputs the bias is per channel (`[c]`); for rank 2/3 it is per
+/// last-dimension feature.
+///
+/// # Examples
+///
+/// ```
+/// use fidelity_dnn::layers::{BiasAdd, Layer};
+/// use fidelity_dnn::tensor::Tensor;
+///
+/// # fn main() -> Result<(), fidelity_dnn::error::DnnError> {
+/// let bias = BiasAdd::new("b", Tensor::from_slice(&[1.0, -1.0]))?;
+/// let x = Tensor::from_vec(vec![1, 2], vec![10.0, 10.0])?;
+/// assert_eq!(bias.forward(&[&x])?.data(), &[11.0, 9.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BiasAdd {
+    name: String,
+    bias: Tensor,
+}
+
+impl BiasAdd {
+    /// Creates a bias layer from a rank-1 bias vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] for a non-rank-1 or empty bias.
+    pub fn new(name: impl Into<String>, bias: Tensor) -> Result<Self, DnnError> {
+        if bias.rank() != 1 || bias.is_empty() {
+            return Err(DnnError::InvalidConfig {
+                message: format!("bias must be non-empty rank 1, got {:?}", bias.shape()),
+            });
+        }
+        Ok(BiasAdd {
+            name: name.into(),
+            bias,
+        })
+    }
+}
+
+impl Layer for BiasAdd {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Bias
+    }
+
+    fn weights(&self) -> Vec<&Tensor> {
+        vec![&self.bias]
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        let n = self.bias.len();
+        let mut out = x.clone();
+        match x.rank() {
+            4 => {
+                let (c, h, w) = (x.shape()[1], x.shape()[2], x.shape()[3]);
+                if c != n {
+                    return Err(DnnError::ShapeMismatch {
+                        context: "BiasAdd::forward",
+                        expected: format!("{n} channels"),
+                        actual: format!("{c}"),
+                    });
+                }
+                let hw = h * w;
+                for (off, v) in out.data_mut().iter_mut().enumerate() {
+                    let ch = (off / hw) % c;
+                    *v += self.bias.data()[ch];
+                }
+            }
+            2 | 3 => {
+                let last = *x.shape().last().expect("rank >= 2");
+                if last != n {
+                    return Err(DnnError::ShapeMismatch {
+                        context: "BiasAdd::forward",
+                        expected: format!("{n} features"),
+                        actual: format!("{last}"),
+                    });
+                }
+                for (off, v) in out.data_mut().iter_mut().enumerate() {
+                    *v += self.bias.data()[off % last];
+                }
+            }
+            r => {
+                return Err(DnnError::ShapeMismatch {
+                    context: "BiasAdd::forward",
+                    expected: "rank 2, 3 or 4 input".into(),
+                    actual: format!("rank {r}"),
+                })
+            }
+        }
+        Ok(out)
+    }
+
+    fn quantize_weights(&mut self, codec: &ValueCodec) {
+        self.bias.map_inplace(|v| codec.quantize(v));
+    }
+}
+
+/// Element-wise addition of two equal-shaped tensors (residual connections).
+#[derive(Debug, Clone)]
+pub struct Add {
+    name: String,
+}
+
+impl Add {
+    /// Creates an addition layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Add { name: name.into() }
+    }
+}
+
+impl Layer for Add {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Elementwise
+    }
+
+    fn arity(&self) -> Option<usize> {
+        Some(2)
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 2, inputs.len())?;
+        binary_elementwise(inputs[0], inputs[1], "Add::forward", |a, b| a + b)
+    }
+}
+
+/// Element-wise multiplication of two equal-shaped tensors (LSTM gating).
+#[derive(Debug, Clone)]
+pub struct Mul {
+    name: String,
+}
+
+impl Mul {
+    /// Creates a multiplication layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Mul { name: name.into() }
+    }
+}
+
+impl Layer for Mul {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Elementwise
+    }
+
+    fn arity(&self) -> Option<usize> {
+        Some(2)
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 2, inputs.len())?;
+        binary_elementwise(inputs[0], inputs[1], "Mul::forward", |a, b| a * b)
+    }
+}
+
+fn binary_elementwise(
+    a: &Tensor,
+    b: &Tensor,
+    context: &'static str,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor, DnnError> {
+    if a.shape() != b.shape() {
+        return Err(DnnError::ShapeMismatch {
+            context,
+            expected: format!("{:?}", a.shape()),
+            actual: format!("{:?}", b.shape()),
+        });
+    }
+    let mut out = a.clone();
+    for (v, &bv) in out.data_mut().iter_mut().zip(b.data()) {
+        *v = f(*v, bv);
+    }
+    Ok(out)
+}
+
+/// Multiplication by a compile-time constant (attention `1/√d` scaling).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    name: String,
+    factor: f32,
+}
+
+impl Scale {
+    /// Creates a constant-scale layer.
+    pub fn new(name: impl Into<String>, factor: f32) -> Self {
+        Scale {
+            name: name.into(),
+            factor,
+        }
+    }
+}
+
+impl Layer for Scale {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Elementwise
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        Ok(inputs[0].map(|v| v * self.factor))
+    }
+}
+
+/// Concatenation along a given axis (inception modules, Yolo routes).
+#[derive(Debug, Clone)]
+pub struct Concat {
+    name: String,
+    axis: usize,
+}
+
+impl Concat {
+    /// Creates a concatenation layer along `axis`.
+    pub fn new(name: impl Into<String>, axis: usize) -> Self {
+        Concat {
+            name: name.into(),
+            axis,
+        }
+    }
+}
+
+impl Layer for Concat {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Elementwise
+    }
+
+    fn arity(&self) -> Option<usize> {
+        None // variadic
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        if inputs.is_empty() {
+            return Err(DnnError::ArityMismatch {
+                layer: self.name.clone(),
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let rank = inputs[0].rank();
+        if self.axis >= rank {
+            return Err(DnnError::InvalidConfig {
+                message: format!("concat axis {} out of range for rank {rank}", self.axis),
+            });
+        }
+        let mut out_shape = inputs[0].shape().to_vec();
+        for t in &inputs[1..] {
+            if t.rank() != rank {
+                return Err(DnnError::ShapeMismatch {
+                    context: "Concat::forward",
+                    expected: format!("rank {rank}"),
+                    actual: format!("rank {}", t.rank()),
+                });
+            }
+            for (d, (&a, &b)) in out_shape.iter().zip(t.shape()).enumerate() {
+                if d != self.axis && a != b {
+                    return Err(DnnError::ShapeMismatch {
+                        context: "Concat::forward",
+                        expected: format!("dim {d} = {a}"),
+                        actual: format!("{b}"),
+                    });
+                }
+            }
+            out_shape[self.axis] += t.shape()[self.axis];
+        }
+
+        let outer: usize = out_shape[..self.axis].iter().product();
+        let inner: usize = out_shape[self.axis + 1..].iter().product();
+        let mut out = Tensor::zeros(out_shape.clone());
+        let mut axis_off = 0usize;
+        for t in inputs {
+            let t_axis = t.shape()[self.axis];
+            for o in 0..outer {
+                let src = &t.data()[o * t_axis * inner..(o + 1) * t_axis * inner];
+                let dst_start = (o * out_shape[self.axis] + axis_off) * inner;
+                out.data_mut()[dst_start..dst_start + t_axis * inner].copy_from_slice(src);
+            }
+            axis_off += t_axis;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_add_4d_per_channel() {
+        let bias = BiasAdd::new("b", Tensor::from_slice(&[1.0, 2.0])).unwrap();
+        let x = Tensor::zeros(vec![1, 2, 2, 2]);
+        let y = bias.forward(&[&x]).unwrap();
+        assert_eq!(y.at4(0, 0, 1, 1), 1.0);
+        assert_eq!(y.at4(0, 1, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn bias_add_rejects_mismatch() {
+        let bias = BiasAdd::new("b", Tensor::from_slice(&[1.0, 2.0])).unwrap();
+        assert!(bias.forward(&[&Tensor::zeros(vec![1, 3, 2, 2])]).is_err());
+        assert!(bias.forward(&[&Tensor::zeros(vec![1, 3])]).is_err());
+    }
+
+    #[test]
+    fn add_and_mul() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(Add::new("a").forward(&[&a, &b]).unwrap().data(), &[4.0, 6.0]);
+        assert_eq!(Mul::new("m").forward(&[&a, &b]).unwrap().data(), &[3.0, 8.0]);
+        let c = Tensor::from_slice(&[1.0]);
+        assert!(Add::new("a").forward(&[&a, &c]).is_err());
+    }
+
+    #[test]
+    fn concat_channels() {
+        let a = Tensor::full(vec![1, 1, 2, 2], 1.0);
+        let b = Tensor::full(vec![1, 2, 2, 2], 2.0);
+        let y = Concat::new("c", 1).forward(&[&a, &b]).unwrap();
+        assert_eq!(y.shape(), &[1, 3, 2, 2]);
+        assert_eq!(y.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(y.at4(0, 1, 0, 0), 2.0);
+        assert_eq!(y.at4(0, 2, 1, 1), 2.0);
+    }
+
+    #[test]
+    fn concat_last_axis() {
+        let a = Tensor::from_vec(vec![2, 1], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = Concat::new("c", 1).forward(&[&a, &b]).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_validates() {
+        let a = Tensor::zeros(vec![1, 2]);
+        let b = Tensor::zeros(vec![2, 2]);
+        assert!(Concat::new("c", 1).forward(&[&a, &b]).is_err());
+        assert!(Concat::new("c", 5).forward(&[&a]).is_err());
+        assert!(Concat::new("c", 0).forward(&[]).is_err());
+    }
+
+    #[test]
+    fn scale_scales() {
+        let s = Scale::new("s", 0.5);
+        let x = Tensor::from_slice(&[4.0]);
+        assert_eq!(s.forward(&[&x]).unwrap().data(), &[2.0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Layer implementations and the [`Layer`] trait.
+//!
+//! MAC layers (convolution, fully-connected, matrix multiplication) expose a
+//! [`MacSpec`] so the fault-injection engine can map operand elements to
+//! output neurons and recompute individual neurons with substituted faulty
+//! values.
+
+mod activation;
+mod conv;
+mod dense;
+mod elementwise;
+mod embedding;
+mod norm;
+mod pool;
+mod recurrent;
+mod shape_ops;
+
+pub use activation::{Activation, ActivationKind, Softmax};
+pub use conv::Conv2d;
+pub use dense::{Dense, MatMul};
+pub use elementwise::{Add, BiasAdd, Concat, Mul, Scale};
+pub use embedding::Embedding;
+pub use norm::{LayerNorm, ScaleShift};
+pub use pool::{GlobalAvgPool, Pool2d, PoolKind};
+pub use recurrent::Lstm;
+pub use shape_ops::{Flatten, Reshape, Slice, Transpose2d};
+
+use crate::error::DnnError;
+use crate::macspec::MacSpec;
+use crate::precision::ValueCodec;
+use crate::tensor::Tensor;
+
+/// Broad family of a layer, used by the resilience framework to decide which
+/// software fault models apply and by the performance model to cost layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// 2-D convolution (MAC layer).
+    Conv,
+    /// Fully-connected (MAC layer).
+    Dense,
+    /// Matrix multiplication (MAC layer).
+    MatMul,
+    /// Bias addition.
+    Bias,
+    /// Pointwise non-linearity.
+    Activation,
+    /// Softmax.
+    Softmax,
+    /// Spatial pooling.
+    Pool,
+    /// Normalization (batch-norm fold, layer-norm).
+    Norm,
+    /// Element-wise arithmetic / concatenation.
+    Elementwise,
+    /// Embedding lookup.
+    Embedding,
+    /// Recurrent cell.
+    Recurrent,
+    /// Pure data-movement (reshape, flatten, slice, transpose).
+    Shape,
+}
+
+impl LayerKind {
+    /// Whether the layer family performs multiply-accumulate computation on
+    /// the accelerator's MAC array (the layers of Table II).
+    pub fn is_mac(self) -> bool {
+        matches!(self, LayerKind::Conv | LayerKind::Dense | LayerKind::MatMul)
+    }
+}
+
+/// A network layer.
+///
+/// Layers are immutable during inference; weights can be quantized once via
+/// [`Layer::quantize_weights`] when an engine is prepared for a reduced
+/// precision.
+pub trait Layer: Send + Sync {
+    /// Unique layer name within its network.
+    fn name(&self) -> &str;
+
+    /// Layer family.
+    fn kind(&self) -> LayerKind;
+
+    /// Number of input tensors the layer consumes, or `None` when variadic.
+    fn arity(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    /// The layer's weight tensors (empty for weightless layers).
+    fn weights(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Runs the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError`] when input shapes are incompatible with the
+    /// layer's configuration.
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError>;
+
+    /// MAC geometry for this layer given its input shapes, when the layer is
+    /// a MAC layer.
+    fn mac_spec(&self, input_shapes: &[&[usize]]) -> Option<MacSpec> {
+        let _ = input_shapes;
+        None
+    }
+
+    /// Rounds the layer's weights onto the codec's representable grid.
+    ///
+    /// Engines call this once when preparing a reduced-precision deployment,
+    /// mirroring post-training quantization of a trained model.
+    fn quantize_weights(&mut self, codec: &ValueCodec) {
+        let _ = codec;
+    }
+
+    /// Number of multiply-accumulate operations for the given inputs
+    /// (0 for non-MAC layers).
+    fn macs(&self, input_shapes: &[&[usize]]) -> u64 {
+        self.mac_spec(input_shapes).map_or(0, |s| s.macs())
+    }
+}
+
+pub(crate) fn check_arity(layer: &str, expected: usize, actual: usize) -> Result<(), DnnError> {
+    if expected != actual {
+        return Err(DnnError::ArityMismatch {
+            layer: layer.to_owned(),
+            expected,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_kinds() {
+        assert!(LayerKind::Conv.is_mac());
+        assert!(LayerKind::Dense.is_mac());
+        assert!(LayerKind::MatMul.is_mac());
+        assert!(!LayerKind::Pool.is_mac());
+        assert!(!LayerKind::Bias.is_mac());
+    }
+}

@@ -1,0 +1,234 @@
+//! Spatial pooling layers.
+
+use crate::error::DnnError;
+use crate::layers::{check_arity, Layer, LayerKind};
+use crate::macspec::conv_out_dim;
+use crate::tensor::Tensor;
+
+/// Pooling reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Mean over the window (padding positions excluded from the count).
+    Avg,
+}
+
+/// 2-D max/average pooling over NCHW input.
+///
+/// # Examples
+///
+/// ```
+/// use fidelity_dnn::layers::{Layer, Pool2d, PoolKind};
+/// use fidelity_dnn::tensor::Tensor;
+///
+/// let pool = Pool2d::new("p", PoolKind::Max, 2).with_stride(2);
+/// let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+/// assert_eq!(pool.forward(&[&x]).unwrap().data(), &[5.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pool2d {
+    name: String,
+    kind: PoolKind,
+    k: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl Pool2d {
+    /// Creates a square pooling window of size `k` with stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(name: impl Into<String>, kind: PoolKind, k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        Pool2d {
+            name: name.into(),
+            kind,
+            k,
+            stride: k,
+            padding: 0,
+        }
+    }
+
+    /// Sets the stride.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+
+    /// Sets symmetric zero padding.
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+}
+
+impl Layer for Pool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        if x.rank() != 4 {
+            return Err(DnnError::ShapeMismatch {
+                context: "Pool2d::forward",
+                expected: "rank-4 NCHW input".into(),
+                actual: format!("{:?}", x.shape()),
+            });
+        }
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let oh = conv_out_dim(h, self.k, self.stride, self.padding, 1);
+        let ow = conv_out_dim(w, self.k, self.stride, self.padding, 1);
+        let mut out = Tensor::zeros(vec![b, c, oh, ow]);
+        for n in 0..b {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut acc = match self.kind {
+                            PoolKind::Max => f32::NEG_INFINITY,
+                            PoolKind::Avg => 0.0,
+                        };
+                        let mut count = 0usize;
+                        for ky in 0..self.k {
+                            let iy = (y * self.stride + ky) as isize - self.padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = (xx * self.stride + kx) as isize - self.padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let v = x.at4(n, ch, iy as usize, ix as usize);
+                                match self.kind {
+                                    PoolKind::Max => acc = acc.max(v),
+                                    PoolKind::Avg => acc += v,
+                                }
+                                count += 1;
+                            }
+                        }
+                        let v = match self.kind {
+                            PoolKind::Max => {
+                                if count == 0 {
+                                    0.0
+                                } else {
+                                    acc
+                                }
+                            }
+                            PoolKind::Avg => {
+                                if count == 0 {
+                                    0.0
+                                } else {
+                                    acc / count as f32
+                                }
+                            }
+                        };
+                        out.set4(n, ch, y, xx, v);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Global average pooling: NCHW → `[batch, channels]`.
+#[derive(Debug, Clone)]
+pub struct GlobalAvgPool {
+    name: String,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        GlobalAvgPool { name: name.into() }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        if x.rank() != 4 {
+            return Err(DnnError::ShapeMismatch {
+                context: "GlobalAvgPool::forward",
+                expected: "rank-4 NCHW input".into(),
+                actual: format!("{:?}", x.shape()),
+            });
+        }
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let hw = (h * w).max(1) as f32;
+        let mut out = Tensor::zeros(vec![b, c]);
+        for n in 0..b {
+            for ch in 0..c {
+                let mut s = 0.0f32;
+                for y in 0..h {
+                    for xx in 0..w {
+                        s += x.at4(n, ch, y, xx);
+                    }
+                }
+                out.set2(n, ch, s / hw);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_2x2() {
+        let p = Pool2d::new("p", PoolKind::Max, 2);
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            (0..16).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        let y = p.forward(&[&x]).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_excludes_padding() {
+        let p = Pool2d::new("p", PoolKind::Avg, 3).with_stride(1).with_padding(1);
+        let x = Tensor::full(vec![1, 1, 3, 3], 9.0);
+        let y = p.forward(&[&x]).unwrap();
+        // Every window averages only in-bounds values, so all outputs are 9.
+        assert!(y.data().iter().all(|&v| (v - 9.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let g = GlobalAvgPool::new("g");
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]).unwrap();
+        let y = g.forward(&[&x]).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn pool_rejects_non_4d() {
+        let p = Pool2d::new("p", PoolKind::Max, 2);
+        assert!(p.forward(&[&Tensor::zeros(vec![4, 4])]).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Pure data-movement layers: reshape, flatten, slice, transpose.
+
+use crate::error::DnnError;
+use crate::layers::{check_arity, Layer, LayerKind};
+use crate::tensor::Tensor;
+
+/// Reshape to a fixed target shape (element count must match at run time).
+#[derive(Debug, Clone)]
+pub struct Reshape {
+    name: String,
+    shape: Vec<usize>,
+}
+
+impl Reshape {
+    /// Creates a reshape to `shape`.
+    pub fn new(name: impl Into<String>, shape: Vec<usize>) -> Self {
+        Reshape {
+            name: name.into(),
+            shape,
+        }
+    }
+}
+
+impl Layer for Reshape {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Shape
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        inputs[0].reshaped(self.shape.clone())
+    }
+}
+
+/// Flatten all dimensions after the first: `[b, ...] → [b, prod(...)]`.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    name: String,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten { name: name.into() }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Shape
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        if x.rank() == 0 {
+            return Err(DnnError::ShapeMismatch {
+                context: "Flatten::forward",
+                expected: "rank >= 1".into(),
+                actual: "rank 0".into(),
+            });
+        }
+        let b = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.reshaped(vec![b, rest])
+    }
+}
+
+/// Slice of the last dimension: keeps columns `[start, start+len)`.
+///
+/// Used to split concatenated LSTM gate pre-activations.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    name: String,
+    start: usize,
+    len: usize,
+}
+
+impl Slice {
+    /// Creates a last-dimension slice of `len` columns starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(name: impl Into<String>, start: usize, len: usize) -> Self {
+        assert!(len > 0, "slice length must be positive");
+        Slice {
+            name: name.into(),
+            start,
+            len,
+        }
+    }
+}
+
+impl Layer for Slice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Shape
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        let last = *x.shape().last().unwrap_or(&0);
+        if self.start + self.len > last {
+            return Err(DnnError::ShapeMismatch {
+                context: "Slice::forward",
+                expected: format!("last dim >= {}", self.start + self.len),
+                actual: format!("{last}"),
+            });
+        }
+        let rows = x.len() / last;
+        let mut shape = x.shape().to_vec();
+        *shape.last_mut().expect("rank >= 1") = self.len;
+        let mut out = Tensor::zeros(shape);
+        for r in 0..rows {
+            let src = &x.data()[r * last + self.start..r * last + self.start + self.len];
+            out.data_mut()[r * self.len..(r + 1) * self.len].copy_from_slice(src);
+        }
+        Ok(out)
+    }
+}
+
+/// 2-D transpose: `[m, n] → [n, m]`.
+#[derive(Debug, Clone)]
+pub struct Transpose2d {
+    name: String,
+}
+
+impl Transpose2d {
+    /// Creates a 2-D transpose layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Transpose2d { name: name.into() }
+    }
+}
+
+impl Layer for Transpose2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Shape
+    }
+
+    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        if x.rank() != 2 {
+            return Err(DnnError::ShapeMismatch {
+                context: "Transpose2d::forward",
+                expected: "rank-2 input".into(),
+                actual: format!("{:?}", x.shape()),
+            });
+        }
+        let (m, n) = (x.shape()[0], x.shape()[1]);
+        let mut out = Tensor::zeros(vec![n, m]);
+        for r in 0..m {
+            for c in 0..n {
+                out.set2(c, r, x.at2(r, c));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_4d() {
+        let f = Flatten::new("f");
+        let x = Tensor::zeros(vec![2, 3, 4, 5]);
+        let y = f.forward(&[&x]).unwrap();
+        assert_eq!(y.shape(), &[2, 60]);
+    }
+
+    #[test]
+    fn slice_last_dim() {
+        let s = Slice::new("s", 1, 2);
+        let x = Tensor::from_vec(vec![2, 4], (0..8).map(|v| v as f32).collect()).unwrap();
+        let y = s.forward(&[&x]).unwrap();
+        assert_eq!(y.shape(), &[2, 2]);
+        assert_eq!(y.data(), &[1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_out_of_bounds() {
+        let s = Slice::new("s", 3, 2);
+        assert!(s.forward(&[&Tensor::zeros(vec![1, 4])]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Transpose2d::new("t");
+        let x = Tensor::from_vec(vec![2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        let y = t.forward(&[&x]).unwrap();
+        assert_eq!(y.shape(), &[3, 2]);
+        assert_eq!(y.at2(2, 1), 5.0);
+        let back = t.forward(&[&y]).unwrap();
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn reshape_validates_count() {
+        let r = Reshape::new("r", vec![2, 2]);
+        assert!(r.forward(&[&Tensor::zeros(vec![5])]).is_err());
+        assert!(r.forward(&[&Tensor::zeros(vec![4])]).is_ok());
+    }
+}

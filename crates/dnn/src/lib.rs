@@ -1,0 +1,56 @@
+//! # fidelity-dnn
+//!
+//! A from-scratch deep-neural-network inference substrate with first-class
+//! fault-injection hooks, built as the software execution platform for the
+//! FIdelity resilience-analysis framework (He, Balaprakash, Li — MICRO 2020).
+//!
+//! The crate provides:
+//!
+//! * [`tensor::Tensor`] — dense row-major tensors;
+//! * [`f16::F16`] — bit-accurate software binary16;
+//! * [`precision`] — precision codecs that define what a hardware bit flip
+//!   does to a stored value (the injection surface);
+//! * [`layers`] — convolution, fully-connected, matmul, pooling,
+//!   activations, normalization, attention primitives, LSTM, embedding;
+//! * [`macspec`] — the operand-to-neuron geometry of MAC layers used by the
+//!   fault models;
+//! * [`graph`] — network DAGs, precision-aware engines, and the
+//!   trace/resume executor that makes software fault injection fast.
+//!
+//! ## Example
+//!
+//! ```
+//! use fidelity_dnn::graph::{Engine, NetworkBuilder};
+//! use fidelity_dnn::layers::{Activation, ActivationKind, Dense};
+//! use fidelity_dnn::precision::Precision;
+//! use fidelity_dnn::tensor::Tensor;
+//!
+//! # fn main() -> Result<(), fidelity_dnn::error::DnnError> {
+//! let net = NetworkBuilder::new("mlp")
+//!     .input("x")
+//!     .layer(Dense::new("fc", Tensor::full(vec![4, 8], 0.1))?, &["x"])?
+//!     .layer(Activation::new("relu", ActivationKind::Relu), &["fc"])?
+//!     .build()?;
+//! let engine = Engine::new(net, Precision::Fp16, &[])?;
+//! let y = engine.forward(&[Tensor::full(vec![1, 8], 1.0)])?;
+//! assert_eq!(y.shape(), &[1, 4]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod f16;
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod macspec;
+pub mod precision;
+pub mod tensor;
+
+pub use error::DnnError;
+pub use graph::{Engine, Network, NetworkBuilder, Trace};
+pub use precision::{Precision, ValueCodec};
+pub use tensor::Tensor;

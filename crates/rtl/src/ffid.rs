@@ -1,0 +1,170 @@
+//! The simulated engine's flip-flop inventory and fault-site addressing.
+
+use std::fmt;
+
+use fidelity_accel::ff::{FfCategory, PipelineStage, VarType};
+
+/// Identifies one flip-flop (register) of the simulated engine.
+///
+/// The inventory mirrors the datapath of Fig. 2(a) and the control structure
+/// described in Sec. III-B3 of the paper: fetch-path registers feeding the
+/// on-chip buffer, operand registers between the buffer and the MAC lanes,
+/// per-lane accumulators and output registers, per-lane write-valid bits
+/// (local control), and the configuration/sequencing registers (global
+/// control).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FfId {
+    /// Fetch-path register for activation values (before the buffer).
+    FetchInput,
+    /// Fetch-path register for weight values (before the buffer).
+    FetchWeight,
+    /// The broadcast input operand register feeding all MAC lanes.
+    InputOperand,
+    /// The weight operand register of one MAC lane (weight-stationary).
+    WeightOperand {
+        /// MAC lane index.
+        lane: usize,
+    },
+    /// A partial-sum accumulator slot (one output neuron of the current
+    /// stripe). Stored at f32 accumulator width.
+    Accumulator {
+        /// MAC lane index.
+        lane: usize,
+        /// Stripe slot (output position within the stripe).
+        slot: usize,
+    },
+    /// The output register of one lane during writeback (value already
+    /// rounded to the deployment precision).
+    OutputReg {
+        /// MAC lane index.
+        lane: usize,
+    },
+    /// The write-valid bit of one lane (local control).
+    OutputValid {
+        /// MAC lane index.
+        lane: usize,
+    },
+    /// A configuration register (global control), by register-file index.
+    Config {
+        /// Index into [`crate::layer::cfg::NAMES`].
+        index: usize,
+    },
+    /// A sequencing counter (global control).
+    Sequencer {
+        /// Which counter.
+        counter: SeqCounter,
+    },
+}
+
+/// The engine's loop counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SeqCounter {
+    /// Output-channel group.
+    Group,
+    /// Output-position stripe.
+    Stripe,
+    /// Kernel / contraction step.
+    Kernel,
+    /// Cycle within the stripe.
+    Cycle,
+}
+
+impl FfId {
+    /// The Table-II category this FF belongs to.
+    pub fn category(self) -> FfCategory {
+        match self {
+            FfId::FetchInput => FfCategory::Datapath {
+                stage: PipelineStage::BeforeBuffer,
+                var: VarType::Input,
+            },
+            FfId::FetchWeight => FfCategory::Datapath {
+                stage: PipelineStage::BeforeBuffer,
+                var: VarType::Weight,
+            },
+            FfId::InputOperand => FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Input,
+            },
+            FfId::WeightOperand { .. } => FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Weight,
+            },
+            FfId::Accumulator { .. } => FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::PartialSum,
+            },
+            FfId::OutputReg { .. } => FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::Output,
+            },
+            FfId::OutputValid { .. } => FfCategory::LocalControl,
+            FfId::Config { .. } | FfId::Sequencer { .. } => FfCategory::GlobalControl,
+        }
+    }
+}
+
+impl fmt::Display for FfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FfId::FetchInput => write!(f, "fetch.input"),
+            FfId::FetchWeight => write!(f, "fetch.weight"),
+            FfId::InputOperand => write!(f, "operand.input"),
+            FfId::WeightOperand { lane } => write!(f, "operand.weight[{lane}]"),
+            FfId::Accumulator { lane, slot } => write!(f, "acc[{lane}][{slot}]"),
+            FfId::OutputReg { lane } => write!(f, "out.reg[{lane}]"),
+            FfId::OutputValid { lane } => write!(f, "out.valid[{lane}]"),
+            FfId::Config { index } => write!(f, "cfg[{index}]"),
+            FfId::Sequencer { counter } => write!(f, "seq.{counter:?}"),
+        }
+    }
+}
+
+/// A fault site: flip `bit` of `ff` at the start of `cycle` (after that
+/// cycle's register loads, before its combinational use — the standard
+/// single-cycle single-FF bit-flip abstraction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Target flip-flop.
+    pub ff: FfId,
+    /// Bit index within the register.
+    pub bit: u32,
+    /// Injection cycle.
+    pub cycle: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_table2() {
+        assert_eq!(
+            FfId::FetchInput.category(),
+            FfCategory::Datapath {
+                stage: PipelineStage::BeforeBuffer,
+                var: VarType::Input
+            }
+        );
+        assert_eq!(
+            FfId::WeightOperand { lane: 3 }.category(),
+            FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Weight
+            }
+        );
+        assert_eq!(FfId::OutputValid { lane: 0 }.category(), FfCategory::LocalControl);
+        assert_eq!(
+            FfId::Sequencer {
+                counter: SeqCounter::Kernel
+            }
+            .category(),
+            FfCategory::GlobalControl
+        );
+        assert_eq!(FfId::Config { index: 2 }.category(), FfCategory::GlobalControl);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(FfId::Accumulator { lane: 1, slot: 2 }.to_string(), "acc[1][2]");
+    }
+}

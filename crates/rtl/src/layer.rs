@@ -1,0 +1,391 @@
+//! The MAC layer a simulated engine executes, and the config-register
+//! address arithmetic.
+//!
+//! The engine computes every buffer address *from its configuration
+//! registers* each cycle (as hardware sequencing logic does), rather than
+//! from the original layer description. This is what gives global-control
+//! faults their authentic behaviour: a bit flip in a dimension register or a
+//! loop counter derails all subsequent addressing.
+
+use fidelity_dnn::macspec::MacSpec;
+use fidelity_dnn::precision::ValueCodec;
+use fidelity_dnn::tensor::Tensor;
+
+/// Indices into the engine's configuration register file.
+pub mod cfg {
+    /// Layer kind: 0 = conv, 1 = dense, 2 = matmul.
+    pub const KIND: usize = 0;
+    /// Output channels (conv) / output features (dense) / columns (matmul).
+    pub const CHANNELS: usize = 1;
+    /// Output positions: batch·oh·ow (conv) / batch (dense) / rows (matmul).
+    pub const POSITIONS: usize = 2;
+    /// Kernel / contraction steps per output neuron.
+    pub const KSTEPS: usize = 3;
+    /// Stripe length (weight-hold cycles, `t`).
+    pub const STRIPE: usize = 4;
+    /// Input channels.
+    pub const IN_C: usize = 5;
+    /// Input height.
+    pub const IN_H: usize = 6;
+    /// Input width.
+    pub const IN_W: usize = 7;
+    /// Output height.
+    pub const OUT_H: usize = 8;
+    /// Output width.
+    pub const OUT_W: usize = 9;
+    /// Kernel height.
+    pub const KH: usize = 10;
+    /// Kernel width.
+    pub const KW: usize = 11;
+    /// Vertical stride.
+    pub const STRIDE_H: usize = 12;
+    /// Horizontal stride.
+    pub const STRIDE_W: usize = 13;
+    /// Vertical padding.
+    pub const PAD_H: usize = 14;
+    /// Horizontal padding.
+    pub const PAD_W: usize = 15;
+    /// Vertical dilation.
+    pub const DIL_H: usize = 16;
+    /// Horizontal dilation.
+    pub const DIL_W: usize = 17;
+    /// Whether the matmul B operand is stored transposed (0/1).
+    pub const TRANS_B: usize = 18;
+    /// Number of configuration registers.
+    pub const COUNT: usize = 19;
+
+    /// Human-readable register names, indexed by register number.
+    pub const NAMES: [&str; COUNT] = [
+        "kind", "channels", "positions", "ksteps", "stripe", "in_c", "in_h", "in_w", "out_h",
+        "out_w", "kh", "kw", "stride_h", "stride_w", "pad_h", "pad_w", "dil_h", "dil_w",
+        "trans_b",
+    ];
+}
+
+/// Error constructing an [`RtlLayer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtlLayerError {
+    message: String,
+}
+
+impl std::fmt::Display for RtlLayerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported rtl layer: {}", self.message)
+    }
+}
+
+impl std::error::Error for RtlLayerError {}
+
+/// One MAC layer prepared for register-level execution: the geometry, the
+/// (already quantized) operand tensors, and the value codecs of the deployed
+/// precision.
+#[derive(Debug, Clone)]
+pub struct RtlLayer {
+    /// Layer geometry.
+    pub spec: MacSpec,
+    /// Quantized activation operand.
+    pub input: Tensor,
+    /// Quantized weight operand.
+    pub weight: Tensor,
+    /// Codec of activation values.
+    pub input_codec: ValueCodec,
+    /// Codec of weight values.
+    pub weight_codec: ValueCodec,
+    /// Codec of output values.
+    pub output_codec: ValueCodec,
+}
+
+impl RtlLayer {
+    /// Prepares a layer for register-level execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlLayerError`] for geometries the simulated engine does not
+    /// implement (grouped convolutions, batched matmuls).
+    pub fn new(
+        spec: MacSpec,
+        input: Tensor,
+        weight: Tensor,
+        input_codec: ValueCodec,
+        weight_codec: ValueCodec,
+        output_codec: ValueCodec,
+    ) -> Result<Self, RtlLayerError> {
+        match &spec {
+            MacSpec::Conv(c) => {
+                if c.groups != 1 {
+                    return Err(RtlLayerError {
+                        message: format!("grouped convolution (groups = {})", c.groups),
+                    });
+                }
+            }
+            MacSpec::MatMul(m) => {
+                if m.batch != 1 {
+                    return Err(RtlLayerError {
+                        message: format!("batched matmul (batch = {})", m.batch),
+                    });
+                }
+            }
+            MacSpec::Dense(_) => {}
+        }
+        Ok(RtlLayer {
+            spec,
+            input,
+            weight,
+            input_codec,
+            weight_codec,
+            output_codec,
+        })
+    }
+
+    /// Builds the configuration register file for this layer.
+    pub fn config_words(&self) -> Vec<u32> {
+        let mut w = vec![0u32; cfg::COUNT];
+        match &self.spec {
+            MacSpec::Conv(c) => {
+                w[cfg::KIND] = 0;
+                w[cfg::CHANNELS] = c.out_c as u32;
+                w[cfg::POSITIONS] = (c.batch * c.out_h() * c.out_w()) as u32;
+                w[cfg::KSTEPS] = (c.in_c * c.kh * c.kw) as u32;
+                w[cfg::IN_C] = c.in_c as u32;
+                w[cfg::IN_H] = c.in_h as u32;
+                w[cfg::IN_W] = c.in_w as u32;
+                w[cfg::OUT_H] = c.out_h() as u32;
+                w[cfg::OUT_W] = c.out_w() as u32;
+                w[cfg::KH] = c.kh as u32;
+                w[cfg::KW] = c.kw as u32;
+                w[cfg::STRIDE_H] = c.stride.0 as u32;
+                w[cfg::STRIDE_W] = c.stride.1 as u32;
+                w[cfg::PAD_H] = c.padding.0 as u32;
+                w[cfg::PAD_W] = c.padding.1 as u32;
+                w[cfg::DIL_H] = c.dilation.0 as u32;
+                w[cfg::DIL_W] = c.dilation.1 as u32;
+            }
+            MacSpec::Dense(d) => {
+                w[cfg::KIND] = 1;
+                w[cfg::CHANNELS] = d.out_features as u32;
+                w[cfg::POSITIONS] = d.batch as u32;
+                w[cfg::KSTEPS] = d.in_features as u32;
+            }
+            MacSpec::MatMul(m) => {
+                w[cfg::KIND] = 2;
+                w[cfg::CHANNELS] = m.n as u32;
+                w[cfg::POSITIONS] = m.m as u32;
+                w[cfg::KSTEPS] = m.k as u32;
+                w[cfg::TRANS_B] = m.transpose_b as u32;
+            }
+        }
+        w
+    }
+}
+
+/// Address of the activation value consumed at output position `p`, kernel
+/// step `k` — computed from config registers. `None` means the operand is
+/// gated this cycle (padding, or out-of-range under a faulted config).
+pub fn input_addr(w: &[u32], p: u64, k: u64, buf_len: usize) -> Option<u64> {
+    let addr = match w[cfg::KIND] {
+        0 => {
+            let (kw_r, kh_r) = (w[cfg::KW] as u64, w[cfg::KH] as u64);
+            if kw_r == 0 || kh_r == 0 || w[cfg::OUT_W] == 0 || w[cfg::OUT_H] == 0 {
+                return None;
+            }
+            let kx = k % kw_r;
+            let ky = (k / kw_r) % kh_r;
+            let ic = k / (kw_r * kh_r);
+            let out_hw = w[cfg::OUT_H] as u64 * w[cfg::OUT_W] as u64;
+            let b = p / out_hw;
+            let hw = p % out_hw;
+            let oh = hw / w[cfg::OUT_W] as u64;
+            let ow = hw % w[cfg::OUT_W] as u64;
+            let ih = (oh * w[cfg::STRIDE_H] as u64 + ky * w[cfg::DIL_H] as u64) as i64
+                - w[cfg::PAD_H] as i64;
+            let iw = (ow * w[cfg::STRIDE_W] as u64 + kx * w[cfg::DIL_W] as u64) as i64
+                - w[cfg::PAD_W] as i64;
+            if ih < 0
+                || iw < 0
+                || ih as u64 >= w[cfg::IN_H] as u64
+                || iw as u64 >= w[cfg::IN_W] as u64
+                || ic >= w[cfg::IN_C] as u64
+            {
+                return None;
+            }
+            ((b * w[cfg::IN_C] as u64 + ic) * w[cfg::IN_H] as u64 + ih as u64)
+                * w[cfg::IN_W] as u64
+                + iw as u64
+        }
+        // Dense and matmul share row-major activation addressing.
+        _ => p * w[cfg::KSTEPS] as u64 + k,
+    };
+    (addr < buf_len as u64).then_some(addr)
+}
+
+/// Address of the weight value consumed by output channel `c` at kernel step
+/// `k`.
+pub fn weight_addr(w: &[u32], c: u64, k: u64, buf_len: usize) -> Option<u64> {
+    let addr = match w[cfg::KIND] {
+        0 => {
+            let (kw_r, kh_r) = (w[cfg::KW] as u64, w[cfg::KH] as u64);
+            if kw_r == 0 || kh_r == 0 {
+                return None;
+            }
+            let kx = k % kw_r;
+            let ky = (k / kw_r) % kh_r;
+            let ic = k / (kw_r * kh_r);
+            ((c * w[cfg::IN_C] as u64 + ic) * kh_r + ky) * kw_r + kx
+        }
+        1 => c * w[cfg::KSTEPS] as u64 + k,
+        _ => {
+            if w[cfg::TRANS_B] != 0 {
+                c * w[cfg::KSTEPS] as u64 + k
+            } else {
+                k * w[cfg::CHANNELS] as u64 + c
+            }
+        }
+    };
+    (addr < buf_len as u64).then_some(addr)
+}
+
+/// Address in the output buffer of neuron (position `p`, channel `c`).
+pub fn out_addr(w: &[u32], p: u64, c: u64, buf_len: usize) -> Option<u64> {
+    let addr = match w[cfg::KIND] {
+        0 => {
+            let out_hw = w[cfg::OUT_H] as u64 * w[cfg::OUT_W] as u64;
+            if out_hw == 0 {
+                return None;
+            }
+            let b = p / out_hw;
+            let hw = p % out_hw;
+            (b * w[cfg::CHANNELS] as u64 + c) * out_hw + hw
+        }
+        _ => p * w[cfg::CHANNELS] as u64 + c,
+    };
+    (addr < buf_len as u64).then_some(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelity_dnn::macspec::{ConvSpec, DenseSpec, MatMulSpec};
+    use fidelity_dnn::precision::Precision;
+
+    fn conv_layer() -> RtlLayer {
+        let spec = ConvSpec {
+            batch: 1,
+            in_c: 2,
+            in_h: 4,
+            in_w: 4,
+            out_c: 3,
+            kh: 3,
+            kw: 3,
+            stride: (1, 1),
+            padding: (1, 1),
+            dilation: (1, 1),
+            groups: 1,
+        };
+        RtlLayer::new(
+            MacSpec::Conv(spec),
+            Tensor::zeros(vec![1, 2, 4, 4]),
+            Tensor::zeros(vec![3, 2, 3, 3]),
+            ValueCodec::float(Precision::Fp16),
+            ValueCodec::float(Precision::Fp16),
+            ValueCodec::float(Precision::Fp16),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conv_config_words() {
+        let layer = conv_layer();
+        let w = layer.config_words();
+        assert_eq!(w[cfg::KIND], 0);
+        assert_eq!(w[cfg::CHANNELS], 3);
+        assert_eq!(w[cfg::POSITIONS], 16);
+        assert_eq!(w[cfg::KSTEPS], 18);
+    }
+
+    #[test]
+    fn conv_addressing_matches_geometry() {
+        let layer = conv_layer();
+        let w = layer.config_words();
+        // Output (0,0) with padding 1: kernel step (ic=0, ky=0, kx=0) lands
+        // at input (-1,-1): gated.
+        assert_eq!(input_addr(&w, 0, 0, 32), None);
+        // Kernel step (ic=0, ky=1, kx=1) is the centre: input (0,0).
+        assert_eq!(input_addr(&w, 0, 4, 32), Some(0));
+        // Channel 1's first weight.
+        assert_eq!(weight_addr(&w, 1, 0, 54), Some(18));
+        // Output address of (p=5, c=2): hw=5.
+        assert_eq!(out_addr(&w, 5, 2, 48), Some(2 * 16 + 5));
+    }
+
+    #[test]
+    fn dense_addressing() {
+        let spec = DenseSpec {
+            batch: 2,
+            in_features: 3,
+            out_features: 4,
+        };
+        let layer = RtlLayer::new(
+            MacSpec::Dense(spec),
+            Tensor::zeros(vec![2, 3]),
+            Tensor::zeros(vec![4, 3]),
+            ValueCodec::float(Precision::Fp16),
+            ValueCodec::float(Precision::Fp16),
+            ValueCodec::float(Precision::Fp16),
+        )
+        .unwrap();
+        let w = layer.config_words();
+        assert_eq!(input_addr(&w, 1, 2, 6), Some(5));
+        assert_eq!(weight_addr(&w, 3, 1, 12), Some(10));
+        assert_eq!(out_addr(&w, 1, 3, 8), Some(7));
+        // Out of range under a faulted config.
+        assert_eq!(input_addr(&w, 9, 2, 6), None);
+    }
+
+    #[test]
+    fn matmul_transposed_addressing() {
+        let spec = MatMulSpec {
+            batch: 1,
+            m: 2,
+            k: 3,
+            n: 4,
+            transpose_b: true,
+        };
+        let layer = RtlLayer::new(
+            MacSpec::MatMul(spec),
+            Tensor::zeros(vec![2, 3]),
+            Tensor::zeros(vec![4, 3]),
+            ValueCodec::float(Precision::Fp16),
+            ValueCodec::float(Precision::Fp16),
+            ValueCodec::float(Precision::Fp16),
+        )
+        .unwrap();
+        let w = layer.config_words();
+        assert_eq!(weight_addr(&w, 2, 1, 12), Some(7)); // B[n=2][k=1]
+    }
+
+    #[test]
+    fn rejects_unsupported_geometries() {
+        let spec = ConvSpec {
+            batch: 1,
+            in_c: 2,
+            in_h: 2,
+            in_w: 2,
+            out_c: 2,
+            kh: 1,
+            kw: 1,
+            stride: (1, 1),
+            padding: (0, 0),
+            dilation: (1, 1),
+            groups: 2,
+        };
+        assert!(RtlLayer::new(
+            MacSpec::Conv(spec),
+            Tensor::zeros(vec![1, 2, 2, 2]),
+            Tensor::zeros(vec![2, 1, 1, 1]),
+            ValueCodec::float(Precision::Fp16),
+            ValueCodec::float(Precision::Fp16),
+            ValueCodec::float(Precision::Fp16),
+        )
+        .is_err());
+    }
+}

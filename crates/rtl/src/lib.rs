@@ -1,0 +1,59 @@
+//! # fidelity-rtl
+//!
+//! A cycle-driven, bit-accurate register-level simulator of an NVDLA-like
+//! convolution/FC/matmul engine, standing in for the Synopsys-VCS RTL
+//! simulations the paper uses as its golden reference (Sec. IV).
+//!
+//! The engine exposes a complete flip-flop inventory — fetch registers,
+//! operand registers, accumulators, output registers, valid bits,
+//! configuration registers and sequencing counters — each tagged with its
+//! Table-II category, and supports flipping any bit of any register at any
+//! cycle ([`ffid::FaultSite`]). Faulty runs are diffed against the
+//! fault-free run to obtain the observed set of faulty output neurons and
+//! their values ([`observe::ObservedFault`]), against which `fidelity-core`
+//! validates its software fault models.
+//!
+//! ## Example
+//!
+//! ```
+//! use fidelity_dnn::init::uniform_tensor;
+//! use fidelity_dnn::macspec::{DenseSpec, MacSpec};
+//! use fidelity_dnn::precision::{Precision, ValueCodec};
+//! use fidelity_rtl::{Disturbance, FaultSite, FfId, ObservedFault, RtlEngine, RtlLayer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let codec = ValueCodec::float(Precision::Fp16);
+//! let layer = RtlLayer::new(
+//!     MacSpec::Dense(DenseSpec { batch: 1, in_features: 8, out_features: 4 }),
+//!     uniform_tensor(1, vec![1, 8], 1.0).map(|v| codec.quantize(v)),
+//!     uniform_tensor(2, vec![4, 8], 1.0).map(|v| codec.quantize(v)),
+//!     codec,
+//!     codec,
+//!     codec,
+//! )?;
+//! let engine = RtlEngine::new(layer, 4, 4);
+//! let result = engine.run(Disturbance::Ff(FaultSite {
+//!     ff: FfId::InputOperand,
+//!     bit: 14,
+//!     cycle: engine.clean_cycles() / 2,
+//! }));
+//! let observed = ObservedFault::from_run(engine.clean_output(), &result);
+//! assert!(observed.reuse_factor() <= 4); // at most `lanes` neurons
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod ffid;
+pub mod layer;
+pub mod observe;
+pub mod systolic;
+
+pub use engine::{Disturbance, MemFault, RtlEngine, RunResult, SchedPoint};
+pub use ffid::{FaultSite, FfId, SeqCounter};
+pub use layer::{RtlLayer, RtlLayerError};
+pub use observe::ObservedFault;
+pub use systolic::{SysFaultSite, SysFfId, SysRunResult, SysSchedPoint, SystolicEngine};

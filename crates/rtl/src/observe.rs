@@ -1,0 +1,96 @@
+//! Extraction of observed fault effects from register-level runs.
+
+use fidelity_dnn::tensor::Tensor;
+
+use crate::engine::RunResult;
+
+/// The observable effect of one injected fault: the golden reference the
+/// paper's validation compares software fault models against (Sec. IV-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedFault {
+    /// Flat offsets of output neurons that differ from the fault-free run,
+    /// in ascending order.
+    pub faulty_neurons: Vec<usize>,
+    /// The faulty values, parallel to `faulty_neurons`.
+    pub faulty_values: Vec<f32>,
+    /// Whether the run hit the watchdog (system time-out).
+    pub timed_out: bool,
+}
+
+impl ObservedFault {
+    /// Diffs a faulty run against the fault-free output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two outputs have different shapes (they come from the
+    /// same engine, so this indicates a bug).
+    pub fn from_run(clean: &Tensor, result: &RunResult) -> Self {
+        let faulty_neurons = clean
+            .diff_indices(&result.output, 0.0)
+            .expect("same engine produces same shape");
+        let faulty_values = faulty_neurons
+            .iter()
+            .map(|&i| result.output.data()[i])
+            .collect();
+        ObservedFault {
+            faulty_neurons,
+            faulty_values,
+            timed_out: result.timed_out,
+        }
+    }
+
+    /// Whether the fault had no observable effect.
+    pub fn is_masked(&self) -> bool {
+        self.faulty_neurons.is_empty() && !self.timed_out
+    }
+
+    /// Number of faulty neurons (the observed reuse factor).
+    pub fn reuse_factor(&self) -> usize {
+        self.faulty_neurons.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_when_identical() {
+        let clean = Tensor::from_slice(&[1.0, 2.0]);
+        let result = RunResult {
+            output: clean.clone(),
+            cycles: 10,
+            timed_out: false,
+        };
+        let obs = ObservedFault::from_run(&clean, &result);
+        assert!(obs.is_masked());
+        assert_eq!(obs.reuse_factor(), 0);
+    }
+
+    #[test]
+    fn diff_extraction() {
+        let clean = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let result = RunResult {
+            output: Tensor::from_slice(&[1.0, -2.0, f32::NAN]),
+            cycles: 10,
+            timed_out: false,
+        };
+        let obs = ObservedFault::from_run(&clean, &result);
+        assert_eq!(obs.faulty_neurons, vec![1, 2]);
+        assert_eq!(obs.faulty_values[0], -2.0);
+        assert!(obs.faulty_values[1].is_nan());
+        assert!(!obs.is_masked());
+    }
+
+    #[test]
+    fn timeout_is_not_masked() {
+        let clean = Tensor::from_slice(&[1.0]);
+        let result = RunResult {
+            output: clean.clone(),
+            cycles: 10,
+            timed_out: true,
+        };
+        let obs = ObservedFault::from_run(&clean, &result);
+        assert!(!obs.is_masked());
+    }
+}

@@ -1,0 +1,815 @@
+//! A second register-level engine with an Eyeriss-like row-stationary
+//! dataflow, used to demonstrate that the FIdelity methodology ports across
+//! accelerator designs (the paper's Fig. 2(b) family).
+//!
+//! Geometry: a column of `pe_rows` processing elements computes `pe_rows`
+//! consecutive output rows in parallel. Weights are *broadcast* across the
+//! PEs (one shared weight operand register, reloaded every cycle — the
+//! column-travelling reuse of Fig. 2(b) target b1, so a weight-register
+//! fault corrupts up to `pe_rows` neurons in one output column). Each PE
+//! holds its *input* operand for `chan_reuse` consecutive output channels
+//! (Fig. 2(b) target b2's within-PE temporal reuse, so an input-register
+//! fault corrupts up to `chan_reuse` neurons in consecutive channels).
+//!
+//! Design-point note: the paper's b2 example additionally forwards inputs
+//! diagonally between PEs (RF = k·t). This engine realizes the simpler
+//! private-input variant (RF ≤ t); the dataflow description used to derive
+//! its software fault models is generated accordingly, which is precisely
+//! the point of Reuse Factor Analysis — the models follow whatever reuse
+//! the design actually implements.
+
+use fidelity_accel::ff::{FfCategory, PipelineStage, VarType};
+use fidelity_dnn::macspec::MacSpec;
+use fidelity_dnn::tensor::Tensor;
+
+use crate::layer::{cfg, input_addr, weight_addr, RtlLayer};
+
+/// Flip-flop inventory of the systolic engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SysFfId {
+    /// Fetch-path register for activations.
+    FetchInput,
+    /// Fetch-path register for weights.
+    FetchWeight,
+    /// Input operand register of one PE (held for `chan_reuse` cycles).
+    InputOperand {
+        /// PE (output-row) index.
+        pe: usize,
+    },
+    /// The shared broadcast weight operand register (reloaded every cycle).
+    WeightOperand,
+    /// Accumulator slot: one output neuron of the current (row, channel)
+    /// block at the current column.
+    Accumulator {
+        /// PE (output-row) index.
+        pe: usize,
+        /// Channel slot within the block.
+        slot: usize,
+    },
+    /// Output register of one PE during writeback.
+    OutputReg {
+        /// PE index.
+        pe: usize,
+    },
+    /// Write-valid bit of one PE (local control).
+    OutputValid {
+        /// PE index.
+        pe: usize,
+    },
+    /// Configuration register (global control).
+    Config {
+        /// Index into [`crate::layer::cfg::NAMES`].
+        index: usize,
+    },
+    /// Sequencer counter (global control).
+    Sequencer {
+        /// Which counter.
+        counter: SysCounter,
+    },
+}
+
+/// The systolic engine's loop counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SysCounter {
+    /// Output-channel block.
+    ChanBlock,
+    /// Output-row block.
+    RowBlock,
+    /// Output column.
+    Column,
+    /// Kernel step.
+    Kernel,
+    /// Cycle within the channel block.
+    Cycle,
+}
+
+impl SysFfId {
+    /// The Table-II category this FF belongs to.
+    pub fn category(self) -> FfCategory {
+        match self {
+            SysFfId::FetchInput => FfCategory::Datapath {
+                stage: PipelineStage::BeforeBuffer,
+                var: VarType::Input,
+            },
+            SysFfId::FetchWeight => FfCategory::Datapath {
+                stage: PipelineStage::BeforeBuffer,
+                var: VarType::Weight,
+            },
+            SysFfId::InputOperand { .. } => FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Input,
+            },
+            SysFfId::WeightOperand => FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Weight,
+            },
+            SysFfId::Accumulator { .. } => FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::PartialSum,
+            },
+            SysFfId::OutputReg { .. } => FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::Output,
+            },
+            SysFfId::OutputValid { .. } => FfCategory::LocalControl,
+            SysFfId::Config { .. } | SysFfId::Sequencer { .. } => FfCategory::GlobalControl,
+        }
+    }
+}
+
+/// A fault site in the systolic engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SysFaultSite {
+    /// Target flip-flop.
+    pub ff: SysFfId,
+    /// Bit to flip.
+    pub bit: u32,
+    /// Injection cycle (applied after that cycle's loads, before use).
+    pub cycle: u64,
+}
+
+/// What the systolic engine does at a given fault-free cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SysSchedPoint {
+    /// Streaming activation word `index`.
+    FetchInput {
+        /// Buffer word.
+        index: usize,
+    },
+    /// Streaming weight word `index`.
+    FetchWeight {
+        /// Buffer word.
+        index: usize,
+    },
+    /// A MAC cycle.
+    Compute {
+        /// Channel block.
+        chan_block: u64,
+        /// Row block.
+        row_block: u64,
+        /// Output column.
+        column: u64,
+        /// Kernel step.
+        kstep: u64,
+        /// Cycle (channel slot) within the block.
+        tc: u64,
+        /// Effective channel-block width.
+        t_eff: u64,
+    },
+    /// A writeback cycle (drains channel slot `tc`).
+    Writeback {
+        /// Channel block.
+        chan_block: u64,
+        /// Row block.
+        row_block: u64,
+        /// Output column.
+        column: u64,
+        /// Channel slot being drained.
+        tc: u64,
+        /// Effective channel-block width.
+        t_eff: u64,
+    },
+    /// Block-advance bubble.
+    Bubble,
+    /// Past the end.
+    Idle,
+}
+
+/// Outcome of one systolic run.
+#[derive(Debug, Clone)]
+pub struct SysRunResult {
+    /// Produced output (unwritten neurons remain zero).
+    pub output: Tensor,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Whether the watchdog fired.
+    pub timed_out: bool,
+}
+
+/// The Eyeriss-like row-stationary engine for one prepared convolution.
+#[derive(Debug)]
+pub struct SystolicEngine {
+    layer: RtlLayer,
+    pe_rows: usize,
+    chan_reuse: usize,
+    clean: SysRunResult,
+}
+
+const CTRL_WIDTH: u32 = 16;
+
+impl SystolicEngine {
+    /// Builds the engine (convolutions only — the row-stationary mapping is
+    /// defined over output rows) and runs it once fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is not a batch-1 convolution, if the geometry is
+    /// zero, or if the fault-free run fails to terminate.
+    pub fn new(layer: RtlLayer, pe_rows: usize, chan_reuse: usize) -> Self {
+        assert!(pe_rows > 0 && chan_reuse > 0, "geometry must be positive");
+        match &layer.spec {
+            MacSpec::Conv(c) => assert_eq!(c.batch, 1, "row-stationary mapping is batch-1"),
+            _ => panic!("systolic engine executes convolutions"),
+        }
+        let mut engine = SystolicEngine {
+            layer,
+            pe_rows,
+            chan_reuse,
+            clean: SysRunResult {
+                output: Tensor::zeros(vec![0]),
+                cycles: 0,
+                timed_out: false,
+            },
+        };
+        let clean = engine.execute(None, u64::MAX / 2);
+        assert!(!clean.timed_out, "fault-free run must terminate");
+        engine.clean = clean;
+        engine
+    }
+
+    /// The prepared layer.
+    pub fn layer(&self) -> &RtlLayer {
+        &self.layer
+    }
+
+    /// PE-column height (output rows per block).
+    pub fn pe_rows(&self) -> usize {
+        self.pe_rows
+    }
+
+    /// Input-register hold length (channels per block).
+    pub fn chan_reuse(&self) -> usize {
+        self.chan_reuse
+    }
+
+    /// Fault-free output.
+    pub fn clean_output(&self) -> &Tensor {
+        &self.clean.output
+    }
+
+    /// Fault-free cycle count.
+    pub fn clean_cycles(&self) -> u64 {
+        self.clean.cycles
+    }
+
+    /// Runs with one FF fault.
+    pub fn run(&self, site: SysFaultSite) -> SysRunResult {
+        self.execute(Some(site), self.clean.cycles * 4 + 1024)
+    }
+
+    /// Every FF with its bit width.
+    pub fn inventory(&self) -> Vec<(SysFfId, u32)> {
+        let ib = self.layer.input_codec.precision().bits();
+        let wb = self.layer.weight_codec.precision().bits();
+        let ob = self.layer.output_codec.precision().bits();
+        let mut v = vec![
+            (SysFfId::FetchInput, ib),
+            (SysFfId::FetchWeight, wb),
+            (SysFfId::WeightOperand, wb),
+        ];
+        for pe in 0..self.pe_rows {
+            v.push((SysFfId::InputOperand { pe }, ib));
+            for slot in 0..self.chan_reuse {
+                v.push((SysFfId::Accumulator { pe, slot }, 32));
+            }
+            v.push((SysFfId::OutputReg { pe }, ob));
+            v.push((SysFfId::OutputValid { pe }, 1));
+        }
+        for index in 0..cfg::COUNT {
+            v.push((SysFfId::Config { index }, CTRL_WIDTH));
+        }
+        for counter in [
+            SysCounter::ChanBlock,
+            SysCounter::RowBlock,
+            SysCounter::Column,
+            SysCounter::Kernel,
+            SysCounter::Cycle,
+        ] {
+            v.push((SysFfId::Sequencer { counter }, CTRL_WIDTH));
+        }
+        v
+    }
+
+    fn conv_dims(&self) -> (u64, u64, u64, u64) {
+        match &self.layer.spec {
+            MacSpec::Conv(c) => (
+                c.out_c as u64,
+                c.out_h() as u64,
+                c.out_w() as u64,
+                (c.in_c * c.kh * c.kw) as u64,
+            ),
+            _ => unreachable!("constructor enforces conv"),
+        }
+    }
+
+    /// The fault-free schedule at `cycle` (arithmetic mirror of the
+    /// sequencer, used to derive software fault models for concrete sites).
+    pub fn schedule_at(&self, cycle: u64) -> SysSchedPoint {
+        let n_in = self.layer.input.len() as u64;
+        let n_w = self.layer.weight.len() as u64;
+        if cycle < n_in {
+            return SysSchedPoint::FetchInput {
+                index: cycle as usize,
+            };
+        }
+        if cycle < n_in + n_w {
+            return SysSchedPoint::FetchWeight {
+                index: (cycle - n_in) as usize,
+            };
+        }
+        let mut rem = cycle - n_in - n_w;
+        let (out_c, out_h, out_w, ksteps) = self.conv_dims();
+        let t = self.chan_reuse as u64;
+        let k = self.pe_rows as u64;
+        let chan_blocks = out_c.div_ceil(t);
+        let row_blocks = out_h.div_ceil(k);
+        for cb in 0..chan_blocks {
+            let t_eff = (out_c - cb * t).min(t);
+            for rb in 0..row_blocks {
+                for col in 0..out_w {
+                    let compute = ksteps * t_eff;
+                    if rem < compute {
+                        return SysSchedPoint::Compute {
+                            chan_block: cb,
+                            row_block: rb,
+                            column: col,
+                            kstep: rem / t_eff,
+                            tc: rem % t_eff,
+                            t_eff,
+                        };
+                    }
+                    rem -= compute;
+                    if rem < t_eff {
+                        return SysSchedPoint::Writeback {
+                            chan_block: cb,
+                            row_block: rb,
+                            column: col,
+                            tc: rem,
+                            t_eff,
+                        };
+                    }
+                    rem -= t_eff;
+                    if rem == 0 {
+                        return SysSchedPoint::Bubble;
+                    }
+                    rem -= 1;
+                }
+            }
+        }
+        SysSchedPoint::Idle
+    }
+
+    #[allow(unused_assignments)]
+    fn execute(&self, fault: Option<SysFaultSite>, watchdog: u64) -> SysRunResult {
+        let layer = &self.layer;
+        let k = self.pe_rows;
+        let t = self.chan_reuse;
+
+        let mut cfgw = layer.config_words();
+        cfgw[cfg::STRIPE] = t as u32;
+        let mut cbuf_input = vec![0u32; layer.input.len()];
+        let mut cbuf_weight = vec![0u32; layer.weight.len()];
+        let mut fetch_input_reg = 0u32;
+        let mut fetch_weight_reg = 0u32;
+        let mut in_reg = vec![0u32; k];
+        let mut in_gated = vec![true; k];
+        let mut w_reg = 0u32;
+        let mut w_gated = true;
+        let mut acc = vec![vec![0.0f32; t]; k];
+        let mut out_reg = vec![0u32; k];
+        let mut valid = vec![0u8; k];
+        // cb, rb, col, ks, tc
+        let mut seq = [0u32; 5];
+        let mut out_mem = vec![0.0f32; layer.spec.out_len()];
+
+        let mut cycle: u64 = 0;
+        let mut timed_out = false;
+
+        macro_rules! apply_fault {
+            () => {
+                if let Some(site) = fault {
+                    if site.cycle == cycle {
+                        let mask = 1u32 << (site.bit.min(31));
+                        match site.ff {
+                            SysFfId::FetchInput => fetch_input_reg ^= mask,
+                            SysFfId::FetchWeight => fetch_weight_reg ^= mask,
+                            SysFfId::InputOperand { pe } => {
+                                if pe < k {
+                                    in_reg[pe] ^= mask;
+                                }
+                            }
+                            SysFfId::WeightOperand => w_reg ^= mask,
+                            SysFfId::Accumulator { pe, slot } => {
+                                if pe < k && slot < t {
+                                    acc[pe][slot] = f32::from_bits(acc[pe][slot].to_bits() ^ mask);
+                                }
+                            }
+                            SysFfId::OutputReg { pe } => {
+                                if pe < k {
+                                    out_reg[pe] ^= mask;
+                                }
+                            }
+                            SysFfId::OutputValid { pe } => {
+                                if pe < k {
+                                    valid[pe] ^= 1;
+                                }
+                            }
+                            SysFfId::Config { index } => {
+                                if index < cfgw.len() {
+                                    cfgw[index] ^= mask & ((1 << CTRL_WIDTH) - 1);
+                                }
+                            }
+                            SysFfId::Sequencer { counter } => {
+                                let idx = match counter {
+                                    SysCounter::ChanBlock => 0,
+                                    SysCounter::RowBlock => 1,
+                                    SysCounter::Column => 2,
+                                    SysCounter::Kernel => 3,
+                                    SysCounter::Cycle => 4,
+                                };
+                                seq[idx] ^= mask & ((1 << CTRL_WIDTH) - 1);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        // Fetch phase (identical to the NVDLA-like engine).
+        for (i, &value) in layer.input.data().iter().enumerate() {
+            fetch_input_reg = layer.input_codec.encode(value);
+            apply_fault!();
+            cbuf_input[i] = fetch_input_reg;
+            cycle += 1;
+        }
+        for (i, &value) in layer.weight.data().iter().enumerate() {
+            fetch_weight_reg = layer.weight_codec.encode(value);
+            apply_fault!();
+            cbuf_weight[i] = fetch_weight_reg;
+            cycle += 1;
+        }
+
+        #[derive(PartialEq)]
+        enum Phase {
+            Compute,
+            Writeback,
+        }
+        let mut phase = Phase::Compute;
+
+        loop {
+            if cycle >= watchdog {
+                timed_out = true;
+                break;
+            }
+            let out_c = cfgw[cfg::CHANNELS] as u64;
+            let out_h = cfgw[cfg::OUT_H] as u64;
+            let out_w = cfgw[cfg::OUT_W] as u64;
+            let ksteps = cfgw[cfg::KSTEPS] as u64;
+            let tt = cfgw[cfg::STRIPE] as u64;
+            if tt == 0 {
+                apply_fault!();
+                cycle += 1;
+                continue;
+            }
+            let chan_blocks = out_c.div_ceil(tt);
+            let row_blocks = out_h.div_ceil(self.pe_rows as u64);
+            if (seq[0] as u64) >= chan_blocks {
+                break;
+            }
+            let cb_base = seq[0] as u64 * tt;
+            let t_eff = if out_c > cb_base {
+                (out_c - cb_base).min(tt)
+            } else {
+                0
+            };
+            // Output "position" p in the layer's (position, channel)
+            // coordinate system: p = row * out_w + column (batch = 1).
+            let row_base = seq[1] as u64 * self.pe_rows as u64;
+            let col = seq[2] as u64;
+
+            match phase {
+                Phase::Compute => {
+                    if t_eff == 0
+                        || ksteps == 0
+                        || col >= out_w
+                        || (seq[3] as u64) >= ksteps
+                        || row_base >= out_h
+                    {
+                        apply_fault!();
+                        if t_eff == 0 || col >= out_w || row_base >= out_h {
+                            advance_block(&mut seq, out_w, row_blocks);
+                        } else {
+                            phase = Phase::Writeback;
+                            seq[4] = 0;
+                        }
+                        cycle += 1;
+                        continue;
+                    }
+                    if seq[3] == 0 && seq[4] == 0 {
+                        for pe_acc in acc.iter_mut() {
+                            for slot in pe_acc.iter_mut() {
+                                *slot = 0.0;
+                            }
+                        }
+                    }
+                    // Input loads: once per kernel step (held for the whole
+                    // channel block).
+                    if seq[4] == 0 {
+                        for pe in 0..k {
+                            let row = row_base + pe as u64;
+                            let p = row * out_w + col;
+                            match (row < out_h)
+                                .then(|| input_addr(&cfgw, p, seq[3] as u64, cbuf_input.len()))
+                                .flatten()
+                            {
+                                Some(a) => {
+                                    in_reg[pe] = cbuf_input[a as usize];
+                                    in_gated[pe] = false;
+                                }
+                                None => in_gated[pe] = true,
+                            }
+                        }
+                    }
+                    // Weight load: every cycle (channel changes per cycle),
+                    // broadcast to all PEs.
+                    let c = cb_base + seq[4] as u64;
+                    match (c < out_c)
+                        .then(|| weight_addr(&cfgw, c, seq[3] as u64, cbuf_weight.len()))
+                        .flatten()
+                    {
+                        Some(a) => {
+                            w_reg = cbuf_weight[a as usize];
+                            w_gated = false;
+                        }
+                        None => w_gated = true,
+                    }
+                    apply_fault!();
+                    // Use.
+                    if !w_gated {
+                        let w = layer.weight_codec.decode(w_reg);
+                        let slot = (seq[4] as usize).min(t - 1);
+                        for pe in 0..k {
+                            if !in_gated[pe] {
+                                let x = layer.input_codec.decode(in_reg[pe]);
+                                acc[pe][slot] += x * w;
+                            }
+                        }
+                    }
+                    // Advance: tc (channel) inner, then kernel step.
+                    seq[4] = seq[4].wrapping_add(1);
+                    if (seq[4] as u64) >= t_eff {
+                        seq[4] = 0;
+                        seq[3] = seq[3].wrapping_add(1);
+                        if (seq[3] as u64) >= ksteps {
+                            seq[3] = 0;
+                            phase = Phase::Writeback;
+                        }
+                    }
+                }
+                Phase::Writeback => {
+                    if t_eff == 0 || (seq[4] as u64) >= t_eff {
+                        apply_fault!();
+                        seq[4] = 0;
+                        phase = Phase::Compute;
+                        advance_block(&mut seq, out_w, row_blocks);
+                        cycle += 1;
+                        continue;
+                    }
+                    let slot = (seq[4] as usize).min(t - 1);
+                    let c = cb_base + seq[4] as u64;
+                    for pe in 0..k {
+                        let row = row_base + pe as u64;
+                        let value = layer.output_codec.quantize(acc[pe][slot]);
+                        out_reg[pe] = layer.output_codec.encode(value);
+                        valid[pe] = u8::from(row < out_h && c < out_c);
+                    }
+                    apply_fault!();
+                    for pe in 0..k {
+                        let row = row_base + pe as u64;
+                        if valid[pe] & 1 == 1 && row < out_h && c < out_c {
+                            let p = row * out_w + col;
+                            if let Some(a) = crate::layer::out_addr(&cfgw, p, c, out_mem.len()) {
+                                out_mem[a as usize] = layer.output_codec.decode(out_reg[pe]);
+                            }
+                        }
+                    }
+                    seq[4] = seq[4].wrapping_add(1);
+                }
+            }
+            cycle += 1;
+        }
+
+        let output = Tensor::from_vec(layer.spec.out_shape(), out_mem)
+            .expect("output buffer sized from spec");
+        SysRunResult {
+            output,
+            cycles: cycle,
+            timed_out,
+        }
+    }
+}
+
+/// Advances (column → row block → channel block) after a block completes.
+fn advance_block(seq: &mut [u32; 5], out_w: u64, row_blocks: u64) {
+    seq[3] = 0;
+    seq[4] = 0;
+    seq[2] = seq[2].wrapping_add(1);
+    if (seq[2] as u64) >= out_w {
+        seq[2] = 0;
+        seq[1] = seq[1].wrapping_add(1);
+        if (seq[1] as u64) >= row_blocks {
+            seq[1] = 0;
+            seq[0] = seq[0].wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelity_dnn::init::uniform_tensor;
+    use fidelity_dnn::macspec::{ConvSpec, Operands};
+    use fidelity_dnn::precision::{Precision, ValueCodec};
+
+    fn conv_layer() -> RtlLayer {
+        let spec = ConvSpec {
+            batch: 1,
+            in_c: 2,
+            in_h: 6,
+            in_w: 5,
+            out_c: 5,
+            kh: 3,
+            kw: 3,
+            stride: (1, 1),
+            padding: (1, 1),
+            dilation: (1, 1),
+            groups: 1,
+        };
+        let codec = ValueCodec::float(Precision::Fp16);
+        let input = uniform_tensor(11, vec![1, 2, 6, 5], 1.0).map(|v| codec.quantize(v));
+        let weight = uniform_tensor(12, vec![5, 2, 3, 3], 0.5).map(|v| codec.quantize(v));
+        RtlLayer::new(MacSpec::Conv(spec), input, weight, codec, codec, codec).unwrap()
+    }
+
+    #[test]
+    fn clean_run_matches_software_layer() {
+        let layer = conv_layer();
+        // Awkward geometry: 4 PEs over 6 rows, 3-channel blocks over 5.
+        let engine = SystolicEngine::new(layer.clone(), 4, 3);
+        let ops = Operands {
+            input: &layer.input,
+            weight: &layer.weight,
+        };
+        for off in 0..layer.spec.out_len() {
+            let sw = layer.output_codec.quantize(layer.spec.compute_at(&ops, off, None));
+            assert_eq!(
+                sw.to_bits(),
+                engine.clean_output().data()[off].to_bits(),
+                "neuron {off}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_mirrors_execution() {
+        let engine = SystolicEngine::new(conv_layer(), 3, 2);
+        assert_eq!(engine.schedule_at(engine.clean_cycles()), SysSchedPoint::Idle);
+        assert_ne!(
+            engine.schedule_at(engine.clean_cycles() - 1),
+            SysSchedPoint::Idle
+        );
+        let n_in = engine.layer().input.len() as u64;
+        let n_w = engine.layer().weight.len() as u64;
+        match engine.schedule_at(n_in + n_w) {
+            SysSchedPoint::Compute {
+                chan_block: 0,
+                row_block: 0,
+                column: 0,
+                kstep: 0,
+                tc: 0,
+                ..
+            } => {}
+            other => panic!("expected first compute cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weight_fault_hits_consecutive_rows_in_one_column() {
+        // Fig. 2(b) target b1: RF <= pe_rows, same output column, same
+        // channel, consecutive rows.
+        let layer = conv_layer();
+        let engine = SystolicEngine::new(layer.clone(), 4, 3);
+        let mut seen_multi = false;
+        for cycle in 0..engine.clean_cycles() {
+            if !matches!(engine.schedule_at(cycle), SysSchedPoint::Compute { .. }) {
+                continue;
+            }
+            let run = engine.run(SysFaultSite {
+                ff: SysFfId::WeightOperand,
+                bit: 13,
+                cycle,
+            });
+            let diffs = engine.clean_output().diff_indices(&run.output, 0.0).unwrap();
+            assert!(diffs.len() <= 4, "weight fault RF must be <= pe_rows");
+            if diffs.len() >= 2 {
+                let coords: Vec<(usize, usize)> =
+                    diffs.iter().map(|&o| layer.spec.coords_of(o)).collect();
+                let chans: std::collections::HashSet<usize> =
+                    coords.iter().map(|&(_, c)| c).collect();
+                assert_eq!(chans.len(), 1, "one channel");
+                let cols: std::collections::HashSet<usize> =
+                    coords.iter().map(|&(p, _)| p % 5).collect();
+                assert_eq!(cols.len(), 1, "one output column");
+                seen_multi = true;
+                break;
+            }
+        }
+        assert!(seen_multi, "no multi-row weight fault observed");
+    }
+
+    #[test]
+    fn input_fault_hits_consecutive_channels_in_one_position() {
+        // Fig. 2(b) target b2 (private-input variant): RF <= chan_reuse,
+        // consecutive channels at one spatial position.
+        let layer = conv_layer();
+        let engine = SystolicEngine::new(layer.clone(), 4, 3);
+        let mut seen_multi = false;
+        for cycle in 0..engine.clean_cycles() {
+            if !matches!(engine.schedule_at(cycle), SysSchedPoint::Compute { .. }) {
+                continue;
+            }
+            let run = engine.run(SysFaultSite {
+                ff: SysFfId::InputOperand { pe: 1 },
+                bit: 13,
+                cycle,
+            });
+            let diffs = engine.clean_output().diff_indices(&run.output, 0.0).unwrap();
+            assert!(diffs.len() <= 3, "input fault RF must be <= chan_reuse");
+            if diffs.len() >= 2 {
+                let coords: Vec<(usize, usize)> =
+                    diffs.iter().map(|&o| layer.spec.coords_of(o)).collect();
+                let positions: std::collections::HashSet<usize> =
+                    coords.iter().map(|&(p, _)| p).collect();
+                assert_eq!(positions.len(), 1, "one spatial position");
+                let mut chans: Vec<usize> = coords.iter().map(|&(_, c)| c).collect();
+                chans.sort_unstable();
+                for pair in chans.windows(2) {
+                    assert_eq!(pair[1], pair[0] + 1, "consecutive channels");
+                }
+                seen_multi = true;
+                break;
+            }
+        }
+        assert!(seen_multi, "no multi-channel input fault observed");
+    }
+
+    #[test]
+    fn accumulator_fault_is_single_neuron() {
+        let engine = SystolicEngine::new(conv_layer(), 4, 3);
+        for cycle in (0..engine.clean_cycles()).step_by(7) {
+            let run = engine.run(SysFaultSite {
+                ff: SysFfId::Accumulator { pe: 2, slot: 1 },
+                bit: 30,
+                cycle,
+            });
+            let diffs = engine.clean_output().diff_indices(&run.output, 0.0).unwrap();
+            assert!(diffs.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn global_faults_cause_large_damage_or_timeout() {
+        let engine = SystolicEngine::new(conv_layer(), 4, 3);
+        let fetch = (engine.layer().input.len() + engine.layer().weight.len()) as u64;
+        let run = engine.run(SysFaultSite {
+            ff: SysFfId::Config { index: cfg::KSTEPS },
+            bit: 9,
+            cycle: fetch + 5,
+        });
+        let damage = if run.timed_out {
+            true
+        } else {
+            engine
+                .clean_output()
+                .diff_indices(&run.output, 0.0)
+                .unwrap()
+                .len()
+                > 5
+        };
+        assert!(damage);
+    }
+
+    #[test]
+    fn inventory_is_complete() {
+        let engine = SystolicEngine::new(conv_layer(), 4, 3);
+        let inv = engine.inventory();
+        let cats: std::collections::HashSet<FfCategory> =
+            inv.iter().map(|(ff, _)| ff.category()).collect();
+        assert!(cats.contains(&FfCategory::LocalControl));
+        assert!(cats.contains(&FfCategory::GlobalControl));
+        assert_eq!(
+            inv.iter().filter(|(ff, _)| matches!(ff, SysFfId::InputOperand { .. })).count(),
+            4
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Inception-lite: a stem plus two inception modules with the four classic
+//! parallel branches (1×1, 1×1→3×3, 1×1→5×5, pool→1×1) and channel
+//! concatenation, followed by global pooling and a classifier.
+
+use fidelity_dnn::graph::{Network, NetworkBuilder};
+use fidelity_dnn::layers::{
+    Activation, ActivationKind, Concat, Dense, Flatten, GlobalAvgPool, Pool2d, PoolKind,
+};
+
+use super::{classifier_w, conv};
+
+/// Number of classes of the synthetic classification task.
+pub const CLASSES: usize = 10;
+
+/// Builds the Inception-lite classifier for `[1, 3, 16, 16]` inputs.
+///
+/// # Panics
+///
+/// Panics only on an internal wiring bug (the topology is fixed).
+pub fn inception_lite(seed: u64) -> Network {
+    let mut b = NetworkBuilder::new("inception-lite").input("x");
+    b = b
+        .layer(conv("stem", seed ^ 0x10, 16, 3, 3, 2, 1), &["x"])
+        .unwrap()
+        .layer(Activation::new("stem_relu", ActivationKind::Relu), &["stem"])
+        .unwrap();
+
+    let mut prev = "stem_relu".to_owned();
+    let mut prev_c = 16;
+    for m in 0..2u64 {
+        let p = |s: &str| format!("m{m}_{s}");
+        // Branch 0: 1×1.
+        b = b
+            .layer(conv(&p("b0"), seed ^ (0x20 + m), 8, prev_c, 1, 1, 0), &[&prev])
+            .unwrap();
+        // Branch 1: 1×1 → 3×3.
+        b = b
+            .layer(conv(&p("b1a"), seed ^ (0x30 + m), 8, prev_c, 1, 1, 0), &[&prev])
+            .unwrap()
+            .layer(conv(&p("b1b"), seed ^ (0x40 + m), 8, 8, 3, 1, 1), &[&p("b1a")])
+            .unwrap();
+        // Branch 2: 1×1 → 5×5.
+        b = b
+            .layer(conv(&p("b2a"), seed ^ (0x50 + m), 4, prev_c, 1, 1, 0), &[&prev])
+            .unwrap()
+            .layer(conv(&p("b2b"), seed ^ (0x60 + m), 4, 4, 5, 1, 2), &[&p("b2a")])
+            .unwrap();
+        // Branch 3: 3×3 max pool → 1×1.
+        b = b
+            .layer(
+                Pool2d::new(p("b3p"), PoolKind::Max, 3)
+                    .with_stride(1)
+                    .with_padding(1),
+                &[&prev],
+            )
+            .unwrap()
+            .layer(conv(&p("b3c"), seed ^ (0x70 + m), 4, prev_c, 1, 1, 0), &[&p("b3p")])
+            .unwrap();
+        // Concatenate the branches and apply the module non-linearity.
+        b = b
+            .layer(
+                Concat::new(p("cat"), 1),
+                &[&p("b0"), &p("b1b"), &p("b2b"), &p("b3c")],
+            )
+            .unwrap()
+            .layer(Activation::new(p("relu"), ActivationKind::Relu), &[&p("cat")])
+            .unwrap();
+        prev = p("relu");
+        prev_c = 8 + 8 + 4 + 4;
+        // Downsample between modules so the classifier pools over a small
+        // spatial field (deep real networks reach GAP at 7×7 or smaller;
+        // a wide pooling field would dilute per-neuron faults unrealistically).
+        if m == 0 {
+            b = b
+                .layer(Pool2d::new("down0", PoolKind::Max, 2), &[&prev])
+                .unwrap();
+            prev = "down0".to_owned();
+        }
+    }
+
+    b.layer(GlobalAvgPool::new("gap"), &[&prev])
+        .unwrap()
+        .layer(Flatten::new("flat"), &["gap"])
+        .unwrap()
+        .layer(
+            Dense::new("classifier", classifier_w(seed ^ 0x80, CLASSES, prev_c)).unwrap(),
+            &["flat"],
+        )
+        .unwrap()
+        .build()
+        .expect("inception-lite topology is fixed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synthetic_image;
+    use fidelity_dnn::graph::Engine;
+    use fidelity_dnn::precision::Precision;
+
+    #[test]
+    fn output_is_class_logits() {
+        let net = inception_lite(7);
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let out = engine.forward(&[synthetic_image(1, 3, 16)]).unwrap();
+        assert_eq!(out.shape(), &[1, CLASSES]);
+    }
+
+    #[test]
+    fn concat_branches_produce_24_channels() {
+        let net = inception_lite(7);
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let trace = engine.trace(&[synthetic_image(1, 3, 16)]).unwrap();
+        let idx = engine.network().node_index("m0_cat").unwrap();
+        assert_eq!(trace.node_outputs[idx].shape(), &[1, 24, 8, 8]);
+    }
+}

@@ -1,0 +1,182 @@
+//! LSTM-net: a recurrent classifier over sensor windows (UCI-HAR stand-in),
+//! built as an *unrolled* graph whose per-step gate projections are explicit
+//! fully-connected layers — the paper's "FC layer in LSTM" fault-injection
+//! target (Table III).
+//!
+//! The cell follows the standard equations with gate order i, f, g, o;
+//! weights are shared across the unrolled steps (the same tensors are
+//! installed in each step's Dense nodes). The monolithic
+//! [`fidelity_dnn::layers::Lstm`] layer computes identical values; a test
+//! asserts the two agree, which pins the unrolled wiring.
+
+use fidelity_dnn::graph::{Network, NetworkBuilder};
+use fidelity_dnn::layers::{
+    Activation, ActivationKind, Add, BiasAdd, Dense, Mul, Slice,
+};
+use fidelity_dnn::tensor::Tensor;
+
+use super::dense_w;
+
+/// Hidden-state width.
+pub const HIDDEN: usize = 8;
+/// Input features per step.
+pub const FEATURES: usize = 6;
+/// Unrolled time steps.
+pub const STEPS: usize = 3;
+/// Output classes (HAR activities).
+pub const CLASSES: usize = 5;
+
+/// The shared LSTM weights of a given seed.
+pub fn lstm_weights(seed: u64) -> (Tensor, Tensor, Tensor) {
+    (
+        dense_w(seed ^ 0x61, 4 * HIDDEN, FEATURES),
+        dense_w(seed ^ 0x62, 4 * HIDDEN, HIDDEN),
+        fidelity_dnn::init::uniform_tensor(seed ^ 0x63, vec![4 * HIDDEN], 0.1),
+    )
+}
+
+/// Builds the unrolled LSTM classifier. Inputs: one `[1, FEATURES]` tensor
+/// per step (`STEPS` of them). Output: `[1, CLASSES]` logits.
+pub fn lstm_net(seed: u64) -> (Network, usize, usize) {
+    let (w_ih, w_hh, bias) = lstm_weights(seed);
+
+    let mut b = NetworkBuilder::new("lstm-net");
+    for t in 0..STEPS {
+        b = b.input(format!("x{t}"));
+    }
+
+    // Zero initial hidden/cell state, produced by an all-zero projection of
+    // the first input (keeps the graph closed over its declared inputs).
+    b = b
+        .layer(
+            Dense::new("h_init", Tensor::zeros(vec![HIDDEN, FEATURES])).unwrap(),
+            &["x0"],
+        )
+        .unwrap()
+        .layer(
+            Dense::new("c_init", Tensor::zeros(vec![HIDDEN, FEATURES])).unwrap(),
+            &["x0"],
+        )
+        .unwrap();
+
+    let mut h_prev = "h_init".to_owned();
+    let mut c_prev = "c_init".to_owned();
+    for t in 0..STEPS {
+        let p = |s: &str| format!("t{t}_{s}");
+        b = b
+            // Gate pre-activations: W_ih·x_t + W_hh·h_{t-1} + bias.
+            .layer(Dense::new(p("xg"), w_ih.clone()).unwrap(), &[&format!("x{t}")])
+            .unwrap()
+            .layer(Dense::new(p("hg"), w_hh.clone()).unwrap(), &[&h_prev])
+            .unwrap()
+            .layer(Add::new(p("gsum")), &[&p("xg"), &p("hg")])
+            .unwrap()
+            .layer(BiasAdd::new(p("gates"), bias.clone()).unwrap(), &[&p("gsum")])
+            .unwrap()
+            // Split and activate the four gates.
+            .layer(Slice::new(p("i_pre"), 0, HIDDEN), &[&p("gates")])
+            .unwrap()
+            .layer(Slice::new(p("f_pre"), HIDDEN, HIDDEN), &[&p("gates")])
+            .unwrap()
+            .layer(Slice::new(p("g_pre"), 2 * HIDDEN, HIDDEN), &[&p("gates")])
+            .unwrap()
+            .layer(Slice::new(p("o_pre"), 3 * HIDDEN, HIDDEN), &[&p("gates")])
+            .unwrap()
+            .layer(Activation::new(p("i"), ActivationKind::Sigmoid), &[&p("i_pre")])
+            .unwrap()
+            .layer(Activation::new(p("f"), ActivationKind::Sigmoid), &[&p("f_pre")])
+            .unwrap()
+            .layer(Activation::new(p("g"), ActivationKind::Tanh), &[&p("g_pre")])
+            .unwrap()
+            .layer(Activation::new(p("o"), ActivationKind::Sigmoid), &[&p("o_pre")])
+            .unwrap()
+            // c_t = f ⊙ c_{t-1} + i ⊙ g;  h_t = o ⊙ tanh(c_t).
+            .layer(Mul::new(p("fc")), &[&p("f"), &c_prev])
+            .unwrap()
+            .layer(Mul::new(p("ig")), &[&p("i"), &p("g")])
+            .unwrap()
+            .layer(Add::new(p("c")), &[&p("fc"), &p("ig")])
+            .unwrap()
+            .layer(Activation::new(p("c_tanh"), ActivationKind::Tanh), &[&p("c")])
+            .unwrap()
+            .layer(Mul::new(p("h")), &[&p("o"), &p("c_tanh")])
+            .unwrap();
+        h_prev = p("h");
+        c_prev = p("c");
+    }
+
+    let net = b
+        .layer(
+            Dense::new("classifier", dense_w(seed ^ 0x64, CLASSES, HIDDEN)).unwrap(),
+            &[&h_prev],
+        )
+        .unwrap()
+        .build()
+        .expect("lstm-net topology is fixed");
+    (net, STEPS, FEATURES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::sensor_step;
+    use fidelity_dnn::graph::Engine;
+    use fidelity_dnn::layers::{Layer, Lstm};
+    use fidelity_dnn::precision::Precision;
+
+    #[test]
+    fn output_is_class_logits() {
+        let (net, steps, feats) = lstm_net(13);
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let inputs: Vec<Tensor> = (0..steps).map(|t| sensor_step(1, t, feats)).collect();
+        let out = engine.forward(&inputs).unwrap();
+        assert_eq!(out.shape(), &[1, CLASSES]);
+    }
+
+    #[test]
+    fn unrolled_graph_matches_monolithic_lstm() {
+        let seed = 13;
+        let (net, steps, feats) = lstm_net(seed);
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let inputs: Vec<Tensor> = (0..steps).map(|t| sensor_step(2, t, feats)).collect();
+        let trace = engine.trace(&inputs).unwrap();
+
+        // Reference: the monolithic layer over the stacked sequence.
+        let (w_ih, w_hh, bias) = lstm_weights(seed);
+        let lstm = Lstm::new("ref", w_ih, w_hh, bias).unwrap();
+        let mut seq = Tensor::zeros(vec![steps, feats]);
+        for (t, x) in inputs.iter().enumerate() {
+            for f in 0..feats {
+                seq.set2(t, f, x.at2(0, f));
+            }
+        }
+        let all_h = lstm.forward(&[&seq]).unwrap();
+
+        // Compare the final hidden state.
+        let h_idx = engine
+            .network()
+            .node_index(&format!("t{}_h", steps - 1))
+            .unwrap();
+        let unrolled_h = &trace.node_outputs[h_idx];
+        for j in 0..HIDDEN {
+            let a = all_h.at2(steps - 1, j);
+            let b = unrolled_h.at2(0, j);
+            assert!((a - b).abs() < 1e-5, "hidden {j}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gate_projections_are_fc_targets() {
+        let (net, steps, feats) = lstm_net(13);
+        let engine = Engine::new(net, Precision::Fp16, &[]).unwrap();
+        let inputs: Vec<Tensor> = (0..steps).map(|t| sensor_step(1, t, feats)).collect();
+        let trace = engine.trace(&inputs).unwrap();
+        let fc_targets = (0..engine.network().node_count())
+            .filter(|&i| {
+                engine.mac_spec(i, &trace).is_some()
+                    && engine.network().layer(i).name().contains("g")
+            })
+            .count();
+        assert!(fc_targets >= steps, "gate FCs should be MAC targets");
+    }
+}

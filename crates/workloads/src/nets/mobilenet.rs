@@ -1,0 +1,89 @@
+//! MobileNet-lite: a stem followed by depthwise-separable blocks
+//! (depthwise 3×3 + pointwise 1×1, ReLU6 activations), global pooling, and
+//! a classifier.
+
+use fidelity_dnn::graph::{Network, NetworkBuilder};
+use fidelity_dnn::init::kaiming_tensor;
+use fidelity_dnn::layers::{Activation, ActivationKind, Conv2d, Dense, Flatten, GlobalAvgPool};
+
+use super::{classifier_w, conv};
+
+/// Number of classes of the synthetic classification task.
+pub const CLASSES: usize = 10;
+
+fn depthwise(name: &str, seed: u64, channels: usize, stride: usize) -> Conv2d {
+    let weight = kaiming_tensor(seed, vec![channels, 1, 3, 3], 9);
+    Conv2d::new(name, weight)
+        .expect("rank-4 weight")
+        .with_stride(stride, stride)
+        .with_padding(1, 1)
+        .with_groups(channels)
+}
+
+/// Builds the MobileNet-lite classifier for `[1, 3, 16, 16]` inputs.
+pub fn mobilenet_lite(seed: u64) -> Network {
+    let mut b = NetworkBuilder::new("mobilenet-lite").input("x");
+    b = b
+        .layer(conv("stem", seed ^ 0xA1, 16, 3, 3, 2, 1), &["x"])
+        .unwrap()
+        .layer(Activation::new("stem_relu6", ActivationKind::Relu6), &["stem"])
+        .unwrap();
+
+    let blocks = [(16usize, 32usize, 1usize), (32, 64, 2)];
+    let mut prev = "stem_relu6".to_owned();
+    for (i, &(in_c, out_c, stride)) in blocks.iter().enumerate() {
+        let p = |s: &str| format!("ds{i}_{s}");
+        b = b
+            .layer(depthwise(&p("dw"), seed ^ (0xB0 + i as u64), in_c, stride), &[&prev])
+            .unwrap()
+            .layer(Activation::new(p("dw_relu6"), ActivationKind::Relu6), &[&p("dw")])
+            .unwrap()
+            .layer(
+                conv(&p("pw"), seed ^ (0xC0 + i as u64), out_c, in_c, 1, 1, 0),
+                &[&p("dw_relu6")],
+            )
+            .unwrap()
+            .layer(Activation::new(p("pw_relu6"), ActivationKind::Relu6), &[&p("pw")])
+            .unwrap();
+        prev = p("pw_relu6");
+    }
+
+    b.layer(GlobalAvgPool::new("gap"), &[&prev])
+        .unwrap()
+        .layer(Flatten::new("flat"), &["gap"])
+        .unwrap()
+        .layer(
+            Dense::new("classifier", classifier_w(seed ^ 0xD0, CLASSES, 64)).unwrap(),
+            &["flat"],
+        )
+        .unwrap()
+        .build()
+        .expect("mobilenet-lite topology is fixed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synthetic_image;
+    use fidelity_dnn::graph::Engine;
+    use fidelity_dnn::layers::LayerKind;
+    use fidelity_dnn::precision::Precision;
+
+    #[test]
+    fn output_is_class_logits() {
+        let net = mobilenet_lite(5);
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let out = engine.forward(&[synthetic_image(2, 3, 16)]).unwrap();
+        assert_eq!(out.shape(), &[1, CLASSES]);
+    }
+
+    #[test]
+    fn contains_depthwise_convolutions() {
+        let net = mobilenet_lite(5);
+        let depthwise_count = net
+            .iter_layers()
+            .filter(|(_, l)| l.kind() == LayerKind::Conv && l.name().contains("dw"))
+            .count();
+        assert_eq!(depthwise_count, 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Transformer-lite: a multi-head encoder–decoder translation model built
+//! from graph primitives, so that the attention matrix multiplications are
+//! first-class MatMul fault-injection targets (the paper's "MatMul layer in
+//! attention", Table III).
+//!
+//! Heads are realized as parallel attention branches with per-head
+//! projections, concatenated and mixed by an output projection — no
+//! reshape/transpose gymnastics, every step visible to fault injection.
+//!
+//! Simplifications vs. a full Transformer (documented in DESIGN.md): one
+//! encoder and one decoder block, learned positional embeddings fed as
+//! explicit position ids, greedy non-autoregressive decoding and no causal
+//! mask. The fault-relevant structure — Q/K/V projections, scaled
+//! dot-product attention via MatMul, softmax, head concat + output
+//! projection, residuals, layer norms, FFN — is all present.
+
+use fidelity_dnn::graph::{Network, NetworkBuilder};
+use fidelity_dnn::init::{kaiming_tensor, uniform_tensor};
+use fidelity_dnn::layers::{
+    Activation, ActivationKind, Add, Concat, Dense, Embedding, LayerNorm, MatMul, Scale, Softmax,
+};
+use fidelity_dnn::tensor::Tensor;
+
+use super::dense_w;
+
+/// Vocabulary size.
+pub const VOCAB: usize = 24;
+/// Model width.
+pub const D_MODEL: usize = 16;
+/// Attention heads (parallel branches of `D_MODEL / HEADS` width each).
+pub const HEADS: usize = 2;
+/// Feed-forward width.
+pub const D_FFN: usize = 32;
+/// Sequence length (source and target). Long enough that single-token
+/// decode errors move BLEU by less than the 10% threshold, so the 10% / 20%
+/// metrics genuinely differ (as in the paper's Fig. 5a).
+pub const SEQ: usize = 16;
+
+fn layer_norm(name: &str, seed: u64) -> LayerNorm {
+    let gamma = uniform_tensor(seed, vec![D_MODEL], 0.1).map(|v| 1.0 + v);
+    let beta = uniform_tensor(seed ^ 1, vec![D_MODEL], 0.05);
+    LayerNorm::new(name, gamma, beta).expect("rank-1 params")
+}
+
+/// Appends one multi-head attention block (self- or cross-attention) and
+/// returns the name of its output: per-head Q/K/V projections and scaled
+/// dot-product attention, head concat, output projection, residual, norm.
+fn attention(
+    mut b: NetworkBuilder,
+    prefix: &str,
+    seed: u64,
+    query_src: &str,
+    kv_src: &str,
+) -> (NetworkBuilder, String) {
+    let p = |s: String| format!("{prefix}_{s}");
+    let d_head = D_MODEL / HEADS;
+    let mut head_outputs = Vec::new();
+    for h in 0..HEADS {
+        let hp = |s: &str| p(format!("h{h}_{s}"));
+        let hs = seed ^ ((h as u64 + 1) << 8);
+        b = b
+            .layer(
+                Dense::new(hp("q"), dense_w(hs ^ 0x11, d_head, D_MODEL)).unwrap(),
+                &[query_src],
+            )
+            .unwrap()
+            .layer(
+                Dense::new(hp("k"), dense_w(hs ^ 0x12, d_head, D_MODEL)).unwrap(),
+                &[kv_src],
+            )
+            .unwrap()
+            .layer(
+                Dense::new(hp("v"), dense_w(hs ^ 0x13, d_head, D_MODEL)).unwrap(),
+                &[kv_src],
+            )
+            .unwrap()
+            .layer(MatMul::transposed(hp("scores")), &[&hp("q"), &hp("k")])
+            .unwrap()
+            .layer(
+                Scale::new(hp("scaled"), 1.0 / (d_head as f32).sqrt()),
+                &[&hp("scores")],
+            )
+            .unwrap()
+            .layer(Softmax::new(hp("attn")), &[&hp("scaled")])
+            .unwrap()
+            .layer(MatMul::new(hp("ctx")), &[&hp("attn"), &hp("v")])
+            .unwrap();
+        head_outputs.push(hp("ctx"));
+    }
+    let head_refs: Vec<&str> = head_outputs.iter().map(String::as_str).collect();
+    b = b
+        .layer(Concat::new(p("heads".into()), 1), &head_refs)
+        .unwrap()
+        .layer(
+            Dense::new(p("proj".into()), dense_w(seed ^ 0x15, D_MODEL, D_MODEL)).unwrap(),
+            &[&p("heads".into())],
+        )
+        .unwrap()
+        .layer(Add::new(p("res".into())), &[&p("proj".into()), query_src])
+        .unwrap()
+        .layer(layer_norm(&p("ln".into()), seed ^ 0x14), &[&p("res".into())])
+        .unwrap();
+    let out = p("ln".into());
+    (b, out)
+}
+
+/// Appends one feed-forward block with residual and norm.
+fn ffn(mut b: NetworkBuilder, prefix: &str, seed: u64, src: &str) -> (NetworkBuilder, String) {
+    let p = |s: &str| format!("{prefix}_{s}");
+    b = b
+        .layer(
+            Dense::new(p("ffn1"), dense_w(seed ^ 0x21, D_FFN, D_MODEL)).unwrap(),
+            &[src],
+        )
+        .unwrap()
+        .layer(Activation::new(p("ffn_relu"), ActivationKind::Relu), &[&p("ffn1")])
+        .unwrap()
+        .layer(
+            Dense::new(p("ffn2"), dense_w(seed ^ 0x22, D_MODEL, D_FFN)).unwrap(),
+            &[&p("ffn_relu")],
+        )
+        .unwrap()
+        .layer(Add::new(p("ffn_res")), &[&p("ffn2"), src])
+        .unwrap()
+        .layer(layer_norm(&p("ffn_ln"), seed ^ 0x23), &[&p("ffn_res")])
+        .unwrap();
+    let out = p("ffn_ln");
+    (b, out)
+}
+
+fn embedding_table(seed: u64, rows: usize) -> Tensor {
+    kaiming_tensor(seed, vec![rows, D_MODEL], D_MODEL)
+}
+
+/// Builds the Transformer-lite model. Inputs, in order: source token ids
+/// `[SEQ]`, source position ids `[SEQ]`, target token ids `[SEQ]`, target
+/// position ids `[SEQ]`. Output: logits `[SEQ, VOCAB]`.
+pub fn transformer_lite(seed: u64) -> (Network, usize) {
+    let mut b = NetworkBuilder::new("transformer-lite")
+        .input("src")
+        .input("src_pos")
+        .input("tgt")
+        .input("tgt_pos");
+
+    // Encoder embeddings: token + learned positional.
+    b = b
+        .layer(
+            Embedding::new("src_emb", embedding_table(seed ^ 0x31, VOCAB)).unwrap(),
+            &["src"],
+        )
+        .unwrap()
+        .layer(
+            Embedding::new("src_pos_emb", embedding_table(seed ^ 0x32, SEQ)).unwrap(),
+            &["src_pos"],
+        )
+        .unwrap()
+        .layer(Add::new("enc_in"), &["src_emb", "src_pos_emb"])
+        .unwrap();
+
+    let (b2, enc_attn) = attention(b, "enc_sa", seed ^ 0x41, "enc_in", "enc_in");
+    let (b3, memory) = ffn(b2, "enc", seed ^ 0x42, &enc_attn);
+    b = b3;
+
+    // Decoder embeddings.
+    b = b
+        .layer(
+            Embedding::new("tgt_emb", embedding_table(seed ^ 0x33, VOCAB)).unwrap(),
+            &["tgt"],
+        )
+        .unwrap()
+        .layer(
+            Embedding::new("tgt_pos_emb", embedding_table(seed ^ 0x34, SEQ)).unwrap(),
+            &["tgt_pos"],
+        )
+        .unwrap()
+        .layer(Add::new("dec_in"), &["tgt_emb", "tgt_pos_emb"])
+        .unwrap();
+
+    let (b4, dec_sa) = attention(b, "dec_sa", seed ^ 0x43, "dec_in", "dec_in");
+    let (b5, dec_ca) = attention(b4, "dec_ca", seed ^ 0x44, &dec_sa, &memory);
+    let (mut b6, dec_out) = ffn(b5, "dec", seed ^ 0x45, &dec_ca);
+
+    b6 = b6
+        .layer(
+            Dense::new("lm_head", dense_w(seed ^ 0x51, VOCAB, D_MODEL)).unwrap(),
+            &[&dec_out],
+        )
+        .unwrap();
+    (
+        b6.build().expect("transformer-lite topology is fixed"),
+        SEQ,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{position_ids, token_sequence};
+    use fidelity_dnn::graph::Engine;
+    use fidelity_dnn::layers::LayerKind;
+    use fidelity_dnn::precision::Precision;
+
+    fn inputs() -> Vec<Tensor> {
+        vec![
+            token_sequence(1, SEQ, VOCAB),
+            position_ids(SEQ),
+            token_sequence(2, SEQ, VOCAB),
+            position_ids(SEQ),
+        ]
+    }
+
+    #[test]
+    fn logits_shape() {
+        let (net, _) = transformer_lite(11);
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        let out = engine.forward(&inputs()).unwrap();
+        assert_eq!(out.shape(), &[SEQ, VOCAB]);
+    }
+
+    #[test]
+    fn attention_matmuls_are_mac_targets() {
+        let (net, _) = transformer_lite(11);
+        let engine = Engine::new(net, Precision::Fp16, &[]).unwrap();
+        let trace = engine.trace(&inputs()).unwrap();
+        let matmuls: Vec<usize> = (0..engine.network().node_count())
+            .filter(|&i| {
+                engine.network().layer(i).kind() == LayerKind::MatMul
+                    && engine.mac_spec(i, &trace).is_some()
+            })
+            .collect();
+        // (scores + ctx) × HEADS per attention block × 3 blocks.
+        assert_eq!(matmuls.len(), 2 * HEADS * 3);
+    }
+
+    #[test]
+    fn positional_embedding_breaks_symmetry() {
+        let (net, _) = transformer_lite(11);
+        let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
+        // Same token at every position must still produce different logits
+        // per position thanks to the positional embedding.
+        let same = Tensor::from_slice(&[3.0; SEQ]);
+        let out = engine
+            .forward(&[same.clone(), position_ids(SEQ), same, position_ids(SEQ)])
+            .unwrap();
+        let row0: Vec<f32> = (0..VOCAB).map(|c| out.at2(0, c)).collect();
+        let row1: Vec<f32> = (0..VOCAB).map(|c| out.at2(1, c)).collect();
+        assert_ne!(row0, row1);
+    }
+}

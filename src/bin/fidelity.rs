@@ -1,0 +1,323 @@
+//! `fidelity` — command-line front end to the resilience-analysis framework.
+//!
+//! ```text
+//! fidelity rfa      [--lanes N] [--hold N] [--eyeriss K T]
+//! fidelity analyze  --network NAME [--precision fp16|int16|int8]
+//!                   [--samples N] [--bounding SLACK] [--seed N]
+//! fidelity validate --network NAME [--layer NAME] [--sites N] [--systolic]
+//! fidelity protect  --network NAME [--target FIT] [--samples N]
+//! ```
+//!
+//! Networks: inception, resnet, mobilenet, yolo, transformer, lstm.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fidelity::accel::dataflow::{EyerissDataflow, NvdlaDataflow};
+use fidelity::core::analysis::analyze;
+use fidelity::core::campaign::CampaignSpec;
+use fidelity::core::fit::{ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB};
+use fidelity::core::outcome::{CorrectnessMetric, TopOneMatch};
+use fidelity::core::protect::{default_costs, plan_selective_protection};
+use fidelity::core::rfa::reuse_factor_analysis;
+use fidelity::core::validate::{random_sites, rtl_layer_for, validate_many};
+use fidelity::dnn::graph::Engine;
+use fidelity::dnn::init::SplitMix64;
+use fidelity::dnn::precision::Precision;
+use fidelity::rtl::RtlEngine;
+use fidelity::workloads::metrics::{BleuThreshold, DetectionThreshold};
+use fidelity::workloads::{
+    classification_suite, lstm_workload, transformer_workload, yolo_workload, Workload,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "rfa" => cmd_rfa(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "validate" => cmd_validate(&opts),
+        "protect" => cmd_protect(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fidelity rfa      [--lanes N] [--hold N] [--eyeriss K,T]
+  fidelity analyze  --network NAME [--precision fp16|int16|int8]
+                    [--samples N] [--bounding SLACK] [--seed N]
+  fidelity validate --network NAME [--layer NAME] [--sites N]
+  fidelity protect  --network NAME [--target FIT] [--samples N]
+
+networks: inception | resnet | mobilenet | yolo | transformer | lstm";
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} requires a value"))?;
+        opts.insert(key.to_owned(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn get<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+    }
+}
+
+fn workload(opts: &HashMap<String, String>, seed: u64) -> Result<Workload, String> {
+    let name = opts
+        .get("network")
+        .ok_or_else(|| "--network is required".to_owned())?;
+    Ok(match name.as_str() {
+        "inception" => classification_suite(seed).remove(0),
+        "resnet" => classification_suite(seed).remove(1),
+        "mobilenet" => classification_suite(seed).remove(2),
+        "yolo" => yolo_workload(seed),
+        "transformer" => transformer_workload(seed),
+        "lstm" => lstm_workload(seed),
+        other => return Err(format!("unknown network `{other}`")),
+    })
+}
+
+fn precision(opts: &HashMap<String, String>) -> Result<Precision, String> {
+    Ok(match opts.get("precision").map(String::as_str) {
+        None | Some("fp16") => Precision::Fp16,
+        Some("fp32") => Precision::Fp32,
+        Some("int16") => Precision::Int16,
+        Some("int8") => Precision::Int8,
+        Some(other) => return Err(format!("unknown precision `{other}`")),
+    })
+}
+
+fn metric_for(w: &Workload) -> Box<dyn CorrectnessMetric> {
+    match w.kind {
+        fidelity::workloads::WorkloadKind::Classification => Box::new(TopOneMatch),
+        fidelity::workloads::WorkloadKind::Translation => Box::new(BleuThreshold::ten_percent()),
+        fidelity::workloads::WorkloadKind::Detection => {
+            Box::new(DetectionThreshold::ten_percent())
+        }
+    }
+}
+
+fn cmd_rfa(opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(spec) = opts.get("eyeriss") {
+        let (k, t) = spec
+            .split_once(',')
+            .ok_or_else(|| "--eyeriss expects K,T".to_owned())?;
+        let df = EyerissDataflow {
+            k: k.trim().parse().map_err(|_| "bad K".to_owned())?,
+            channel_reuse: t.trim().parse().map_err(|_| "bad T".to_owned())?,
+        };
+        for inputs in [
+            df.example_b1(),
+            df.example_b2(),
+            df.example_b3(),
+            df.private_input_rfa(),
+            df.weight_broadcast_rfa(),
+        ] {
+            let r = reuse_factor_analysis(&inputs).map_err(|e| e.to_string())?;
+            println!("{:<56} RF = {}", inputs.target, r.rf());
+        }
+        return Ok(());
+    }
+    let df = NvdlaDataflow {
+        lanes: get(opts, "lanes", 16usize)?,
+        weight_hold: get(opts, "hold", 16usize)?,
+    };
+    for inputs in [
+        df.example_a1(),
+        df.example_a2(),
+        df.example_a3(),
+        df.example_a4(),
+    ] {
+        let r = reuse_factor_analysis(&inputs).map_err(|e| e.to_string())?;
+        println!("{:<56} RF = {}", inputs.target, r.rf());
+    }
+    Ok(())
+}
+
+fn deploy(
+    opts: &HashMap<String, String>,
+    seed: u64,
+) -> Result<(Engine, fidelity::dnn::graph::Trace, Box<dyn CorrectnessMetric>), String> {
+    let w = workload(opts, seed)?;
+    let metric = metric_for(&w);
+    let p = precision(opts)?;
+    let inputs = w.inputs.clone();
+    let mut engine =
+        Engine::new(w.network, p, std::slice::from_ref(&inputs)).map_err(|e| e.to_string())?;
+    if let Some(slack) = opts.get("bounding") {
+        let slack: f32 = slack.parse().map_err(|_| "--bounding: bad slack".to_owned())?;
+        engine
+            .enable_range_bounding(&inputs, slack)
+            .map_err(|e| e.to_string())?;
+    }
+    let trace = engine.trace(&inputs).map_err(|e| e.to_string())?;
+    Ok((engine, trace, metric))
+}
+
+fn spec_from(opts: &HashMap<String, String>) -> Result<CampaignSpec, String> {
+    Ok(CampaignSpec {
+        samples_per_cell: get(opts, "samples", 200usize)?,
+        seed: get(opts, "seed", 0xF1DEu64)?,
+        ..CampaignSpec::default()
+    })
+}
+
+fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
+    let seed = get(opts, "seed", 42u64)?;
+    let (engine, trace, metric) = deploy(opts, seed)?;
+    let accel = fidelity::accel::presets::nvdla_like();
+    let analysis = analyze(
+        &engine,
+        &trace,
+        &accel,
+        metric.as_ref(),
+        PAPER_RAW_FIT_PER_MB,
+        &spec_from(opts)?,
+    )
+    .map_err(|e| e.to_string())?;
+    let f = &analysis.fit;
+    println!(
+        "Accelerator_FIT_rate = {:.3}  (datapath {:.3}, local {:.3}, global {:.3})",
+        f.total, f.datapath, f.local, f.global
+    );
+    println!(
+        "with global control protected: {:.3}",
+        analysis.fit_global_protected.total
+    );
+    let budget = ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION);
+    println!(
+        "ASIL-D FF budget {budget}: {}",
+        if f.total > budget {
+            format!("{:.0}x over", f.total / budget)
+        } else {
+            "within budget".to_owned()
+        }
+    );
+    for term in &analysis.layer_terms {
+        println!("  layer {:<28} exec {:>8} cycles", term.name, term.exec_cycles);
+    }
+    if opts.get("detail").map(String::as_str) == Some("true") {
+        println!("\n{}", fidelity::core::report::campaign_table(&analysis.campaign));
+    }
+    Ok(())
+}
+
+fn cmd_validate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let seed = get(opts, "seed", 42u64)?;
+    let (engine, trace, _) = deploy(opts, seed)?;
+    let node = match opts.get("layer") {
+        Some(name) => engine
+            .network()
+            .node_index(name)
+            .ok_or_else(|| format!("layer `{name}` not found"))?,
+        None => (0..engine.network().node_count())
+            .filter(|&i| engine.mac_spec(i, &trace).is_some())
+            .max_by_key(|&i| trace.node_outputs[i].len())
+            .ok_or_else(|| "network has no MAC layer".to_owned())?,
+    };
+    let layer = rtl_layer_for(&engine, &trace, node)
+        .ok_or_else(|| "layer does not lift to the register-level engine".to_owned())?;
+    let rtl = RtlEngine::new(layer, 16, 16);
+    let mut rng = SplitMix64::new(seed);
+    let sites = random_sites(&rtl, get(opts, "sites", 1000usize)?, &mut rng);
+    let report = validate_many(&rtl, &sites);
+    println!(
+        "sites {}  masked-agreed {}  datapath {}/{} exact  local {}/{}  global {} ({} masked)  timeouts {}",
+        report.total,
+        report.masked_agreed,
+        report.datapath_exact,
+        report.datapath_cases,
+        report.local_match,
+        report.local_cases,
+        report.global_cases,
+        report.global_masked,
+        report.timeouts
+    );
+    if report.mismatches.is_empty() {
+        println!("NO MISMATCHES — models validated");
+        Ok(())
+    } else {
+        Err(format!("{} mismatches", report.mismatches.len()))
+    }
+}
+
+fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let seed = get(opts, "seed", 42u64)?;
+    let (engine, trace, metric) = deploy(opts, seed)?;
+    let accel = fidelity::accel::presets::nvdla_like();
+    let analysis = analyze(
+        &engine,
+        &trace,
+        &accel,
+        metric.as_ref(),
+        PAPER_RAW_FIT_PER_MB,
+        &spec_from(opts)?,
+    )
+    .map_err(|e| e.to_string())?;
+    let target = get(
+        opts,
+        "target",
+        ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION),
+    )?;
+    let costs = default_costs(accel.census.iter().map(|(c, _)| c));
+    let plan = plan_selective_protection(
+        &analysis.fit,
+        &costs,
+        |c| accel.census.fraction(c),
+        target,
+    );
+    println!(
+        "FIT {:.3} -> {:.3} (target {target}, met: {}, area cost {:.1}%)",
+        analysis.fit.total,
+        plan.final_fit,
+        plan.met_target,
+        plan.total_cost * 100.0
+    );
+    for step in &plan.steps {
+        println!(
+            "  protect {:<34} -{:.3} FIT (cost {:.2}%)",
+            step.category.to_string(),
+            step.fit_removed,
+            step.cost * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Integration: the `fidelity` command-line front end.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fidelity"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn rfa_prints_reuse_factors() {
+    let (ok, stdout, _) = run(&["rfa", "--lanes", "8", "--hold", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("RF = 8"), "{stdout}");
+    assert!(stdout.contains("RF = 4"), "{stdout}");
+}
+
+#[test]
+fn rfa_eyeriss_variant() {
+    let (ok, stdout, _) = run(&["rfa", "--eyeriss", "5,3"]);
+    assert!(ok);
+    assert!(stdout.contains("RF = 15"), "{stdout}"); // k·t of b2
+    assert!(stdout.contains("RF = 5"), "{stdout}");
+}
+
+#[test]
+fn analyze_reports_fit() {
+    let (ok, stdout, _) = run(&[
+        "analyze",
+        "--network",
+        "mobilenet",
+        "--samples",
+        "20",
+        "--seed",
+        "7",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Accelerator_FIT_rate"), "{stdout}");
+    assert!(stdout.contains("ASIL-D"), "{stdout}");
+}
+
+#[test]
+fn unknown_network_fails_with_usage() {
+    let (ok, _, stderr) = run(&["analyze", "--network", "alexnet"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown network"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_flag_value_is_reported() {
+    let (ok, _, stderr) = run(&["analyze", "--network"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires a value"), "{stderr}");
+}
+
+#[test]
+fn validate_small_run_passes() {
+    let (ok, stdout, _) = run(&[
+        "validate",
+        "--network",
+        "mobilenet",
+        "--layer",
+        "ds0_pw",
+        "--sites",
+        "120",
+        "--samples",
+        "10",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("NO MISMATCHES"), "{stdout}");
+}

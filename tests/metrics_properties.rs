@@ -1,0 +1,95 @@
+//! Property-based tests on the correctness metrics (BLEU, detection
+//! matching) — the application-level scoring the FIT rates hinge on.
+
+use fidelity::workloads::metrics::{bleu4, decode_tokens, detection_score, iou, Detection};
+use fidelity::dnn::tensor::Tensor;
+use proptest::prelude::*;
+
+fn token_seq(len: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..20, len..=len)
+}
+
+proptest! {
+    /// BLEU is 1 for identity and within [0, 1] always.
+    #[test]
+    fn bleu_bounds(reference in token_seq(12), hypothesis in token_seq(12)) {
+        let b = bleu4(&reference, &hypothesis);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!((bleu4(&reference, &reference) - 1.0).abs() < 1e-9);
+    }
+
+    /// BLEU is symmetric in corrupting more tokens: corrupting a superset
+    /// of positions can only lower (or keep) the score.
+    #[test]
+    fn bleu_monotone_in_corruption(reference in token_seq(16), p1 in 0usize..16, p2 in 0usize..16) {
+        let mut one = reference.clone();
+        one[p1] = 99;
+        let mut two = one.clone();
+        two[p2] = 98;
+        let b_one = bleu4(&reference, &one);
+        let b_two = bleu4(&reference, &two);
+        prop_assert!(b_two <= b_one + 1e-9, "{b_two} > {b_one}");
+    }
+
+    /// IoU is symmetric, in [0, 1], and 1 exactly on identical boxes.
+    #[test]
+    fn iou_properties(
+        x1 in -5.0f32..5.0, y1 in -5.0f32..5.0, w1 in 0.1f32..4.0, h1 in 0.1f32..4.0,
+        x2 in -5.0f32..5.0, y2 in -5.0f32..5.0, w2 in 0.1f32..4.0, h2 in 0.1f32..4.0,
+    ) {
+        let a = Detection { x: x1, y: y1, w: w1, h: h1, objectness: 0.9, class: 0 };
+        let b = Detection { x: x2, y: y2, w: w2, h: h2, objectness: 0.9, class: 0 };
+        let ab = iou(&a, &b);
+        let ba = iou(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-5).contains(&ab));
+        prop_assert!((iou(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    /// Detection score is 1 on identical sets and never exceeds 1.
+    #[test]
+    fn detection_score_bounds(n in 0usize..6, seed in 0u64..100) {
+        let mut rng = fidelity::dnn::init::SplitMix64::new(seed);
+        let dets: Vec<Detection> = (0..n)
+            .map(|_| Detection {
+                x: rng.next_f32() * 8.0,
+                y: rng.next_f32() * 8.0,
+                w: 0.5 + rng.next_f32(),
+                h: 0.5 + rng.next_f32(),
+                objectness: 0.9,
+                class: rng.next_below(3) as usize,
+            })
+            .collect();
+        prop_assert!((detection_score(&dets, &dets) - 1.0).abs() < 1e-9);
+        // Dropping one detection can only lower the score.
+        if !dets.is_empty() {
+            let fewer = &dets[..dets.len() - 1];
+            prop_assert!(detection_score(&dets, fewer) <= 1.0);
+        }
+    }
+
+    /// decode_tokens picks the argmax of every row.
+    #[test]
+    fn decode_tokens_matches_argmax(rows in 1usize..6, seed in 0u64..200) {
+        let vocab = 7;
+        let logits = fidelity::dnn::init::uniform_tensor(seed, vec![rows, vocab], 1.0);
+        let tokens = decode_tokens(&logits);
+        prop_assert_eq!(tokens.len(), rows);
+        for (r, &tok) in tokens.iter().enumerate() {
+            let row: Vec<f32> = (0..vocab).map(|c| logits.at2(r, c)).collect();
+            let best = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            prop_assert_eq!(tok, best);
+        }
+    }
+}
+
+#[test]
+fn decode_tokens_rejects_non_matrix() {
+    assert!(decode_tokens(&Tensor::zeros(vec![4])).is_empty());
+    assert!(decode_tokens(&Tensor::zeros(vec![2, 2, 2])).is_empty());
+}

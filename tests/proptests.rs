@@ -1,0 +1,251 @@
+//! Property-based tests on the core data structures and invariants.
+
+use fidelity::dnn::f16::{round_to_f16, F16};
+use fidelity::dnn::macspec::{ConvSpec, DenseSpec, MacSpec, MatMulSpec, OperandKind, Operands, Substitution};
+use fidelity::dnn::precision::{calibrate_scale, Precision, ValueCodec};
+use fidelity::dnn::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// binary16 round-trip: converting f32→f16→f32→f16 is stable after the
+    /// first rounding.
+    #[test]
+    fn f16_round_trip_idempotent(v in -1e6f32..1e6f32) {
+        let once = round_to_f16(v);
+        let twice = round_to_f16(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// binary16 conversion is monotone on finite values.
+    #[test]
+    fn f16_monotone(a in -6e4f32..6e4f32, b in -6e4f32..6e4f32) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(round_to_f16(lo) <= round_to_f16(hi));
+    }
+
+    /// binary16 rounding error is within half a ulp-ish bound (relative
+    /// 2^-11 for normals).
+    #[test]
+    fn f16_error_bounded(v in -6e4f32..6e4f32) {
+        let r = round_to_f16(v);
+        if v.abs() > 1e-4 {
+            prop_assert!(((r - v) / v).abs() <= 1.0 / 2048.0 + 1e-7, "{v} -> {r}");
+        }
+    }
+
+    /// Integer quantization: the grid error never exceeds half a step, and
+    /// quantize is idempotent.
+    #[test]
+    fn int_quantize_idempotent(v in -100.0f32..100.0, scale in 0.01f32..2.0) {
+        for precision in [Precision::Int8, Precision::Int16] {
+            let codec = ValueCodec::new(precision, scale);
+            let q = codec.quantize(v);
+            prop_assert_eq!(codec.quantize(q).to_bits(), q.to_bits());
+            if q.abs() < codec.max_magnitude() {
+                prop_assert!((q - v).abs() <= scale / 2.0 + 1e-5);
+            }
+        }
+    }
+
+    /// Bit flips on the integer grid stay decodable and differ from the
+    /// original unless the encoding saturated.
+    #[test]
+    fn int8_flip_changes_encoded_value(q in -127i32..=127, bit in 0u32..8) {
+        let codec = ValueCodec::new(Precision::Int8, 0.5);
+        let v = q as f32 * 0.5;
+        let flipped = codec.flip_bit(v, bit);
+        prop_assert_ne!(flipped.to_bits(), v.to_bits());
+        // Storage is two's complement, so a flip can land on -128 even
+        // though symmetric quantization clamps at ±127.
+        prop_assert!(flipped.abs() <= 128.0 * 0.5 + 1e-6);
+    }
+
+    /// Calibrated scales always produce codecs that can represent the
+    /// calibration range.
+    #[test]
+    fn calibration_covers_range(max_abs in 0.001f32..1e4) {
+        for precision in [Precision::Int8, Precision::Int16] {
+            let codec = ValueCodec::new(precision, calibrate_scale(precision, max_abs));
+            prop_assert!(codec.max_magnitude() >= max_abs * 0.999);
+        }
+    }
+}
+
+fn conv_strategy() -> impl Strategy<Value = ConvSpec> {
+    (
+        1usize..3,  // batch
+        1usize..4,  // in_c
+        3usize..8,  // in_h
+        3usize..8,  // in_w
+        1usize..5,  // out_c
+        1usize..4,  // kh
+        1usize..4,  // kw
+        1usize..3,  // stride
+        0usize..2,  // padding
+        1usize..3,  // dilation
+    )
+        .prop_map(|(batch, in_c, in_h, in_w, out_c, kh, kw, s, p, d)| ConvSpec {
+            batch,
+            in_c,
+            in_h,
+            in_w,
+            out_c,
+            kh,
+            kw,
+            stride: (s, s),
+            padding: (p, p),
+            dilation: (d, d),
+            groups: 1,
+        })
+        .prop_filter("non-empty output", |c| c.out_h() > 0 && c.out_w() > 0)
+}
+
+fn filled(shape: Vec<usize>, seed: u64) -> Tensor {
+    fidelity::dnn::init::uniform_tensor(seed, shape, 1.0)
+}
+
+proptest! {
+    /// A weight substitution changes exactly the neurons that
+    /// `neurons_using_weight` reports (up to arithmetic no-ops), never any
+    /// other neuron.
+    #[test]
+    fn conv_weight_users_are_sound(spec in conv_strategy(), seed in 0u64..1000) {
+        let c = spec.clone();
+        let input = filled(vec![c.batch, c.in_c, c.in_h, c.in_w], seed);
+        let weight = filled(vec![c.out_c, c.in_c, c.kh, c.kw], seed ^ 1);
+        let mac = MacSpec::Conv(c);
+        let ops = Operands { input: &input, weight: &weight };
+        let w_off = (seed as usize) % weight.len();
+        let subst = Substitution {
+            kind: OperandKind::Weight,
+            offset: w_off,
+            value: weight.data()[w_off] + 1000.0,
+        };
+        let users: std::collections::HashSet<usize> =
+            mac.neurons_using_weight(w_off).into_iter().collect();
+        for off in 0..mac.out_len() {
+            let clean = mac.compute_at(&ops, off, None);
+            let faulty = mac.compute_at(&ops, off, Some(&subst));
+            if !users.contains(&off) {
+                prop_assert_eq!(clean.to_bits(), faulty.to_bits(), "non-user {} changed", off);
+            }
+        }
+    }
+
+    /// Same soundness for input substitutions.
+    #[test]
+    fn conv_input_users_are_sound(spec in conv_strategy(), seed in 0u64..1000) {
+        let c = spec.clone();
+        let input = filled(vec![c.batch, c.in_c, c.in_h, c.in_w], seed);
+        let weight = filled(vec![c.out_c, c.in_c, c.kh, c.kw], seed ^ 1);
+        let mac = MacSpec::Conv(c);
+        let ops = Operands { input: &input, weight: &weight };
+        let in_off = (seed as usize) % input.len();
+        let subst = Substitution {
+            kind: OperandKind::Input,
+            offset: in_off,
+            value: input.data()[in_off] + 1000.0,
+        };
+        let users: std::collections::HashSet<usize> =
+            mac.neurons_using_input(in_off).into_iter().collect();
+        for off in 0..mac.out_len() {
+            let clean = mac.compute_at(&ops, off, None);
+            let faulty = mac.compute_at(&ops, off, Some(&subst));
+            if !users.contains(&off) {
+                prop_assert_eq!(clean.to_bits(), faulty.to_bits());
+            }
+        }
+    }
+
+    /// (position, channel) coordinates round-trip through offset_of/coords_of.
+    #[test]
+    fn coords_round_trip(spec in conv_strategy(), off_seed in 0usize..10_000) {
+        let mac = MacSpec::Conv(spec);
+        let off = off_seed % mac.out_len();
+        let (p, c) = mac.coords_of(off);
+        prop_assert!(p < mac.position_count());
+        prop_assert!(c < mac.channel_count());
+        prop_assert_eq!(mac.offset_of(p, c), off);
+    }
+
+    /// Accumulator flip after the final step equals an f32 bit flip of the
+    /// full sum.
+    #[test]
+    fn acc_flip_at_end_is_plain_flip(seed in 0u64..500, bit in 0u32..32) {
+        let d = DenseSpec { batch: 1, in_features: 7, out_features: 3 };
+        let input = filled(vec![1, 7], seed);
+        let weight = filled(vec![3, 7], seed ^ 1);
+        let mac = MacSpec::Dense(d);
+        let ops = Operands { input: &input, weight: &weight };
+        for off in 0..3 {
+            let clean = mac.compute_at(&ops, off, None);
+            let flipped = mac.compute_at_acc_flip(&ops, off, 7, bit);
+            let expect = f32::from_bits(clean.to_bits() ^ (1 << bit));
+            prop_assert!(
+                flipped.to_bits() == expect.to_bits()
+                    || (flipped.is_nan() && expect.is_nan())
+            );
+        }
+    }
+
+    /// Matmul users: a B-element substitution only affects its column.
+    #[test]
+    fn matmul_weight_users_are_sound(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..100) {
+        let spec = MacSpec::MatMul(MatMulSpec { batch: 1, m, k, n, transpose_b: false });
+        let a = filled(vec![m, k], seed);
+        let b = filled(vec![k, n], seed ^ 1);
+        let ops = Operands { input: &a, weight: &b };
+        let w_off = (seed as usize) % b.len();
+        let subst = Substitution { kind: OperandKind::Weight, offset: w_off, value: 999.0 };
+        let users: std::collections::HashSet<usize> =
+            spec.neurons_using_weight(w_off).into_iter().collect();
+        for off in 0..spec.out_len() {
+            let clean = spec.compute_at(&ops, off, None);
+            let faulty = spec.compute_at(&ops, off, Some(&subst));
+            if !users.contains(&off) {
+                prop_assert_eq!(clean.to_bits(), faulty.to_bits());
+            } else {
+                prop_assert_ne!(clean.to_bits(), faulty.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The register-level engine's fault-free output equals the software
+    /// layer for arbitrary conv geometry (the foundation of validation).
+    #[test]
+    fn rtl_clean_matches_software(spec in conv_strategy(), lanes in 1usize..6, stripe in 1usize..6) {
+        use fidelity::rtl::{RtlEngine, RtlLayer};
+        let c = spec.clone();
+        let codec = ValueCodec::float(Precision::Fp16);
+        let input = filled(vec![c.batch, c.in_c, c.in_h, c.in_w], 7).map(|v| codec.quantize(v));
+        let weight = filled(vec![c.out_c, c.in_c, c.kh, c.kw], 8).map(|v| codec.quantize(v));
+        let mac = MacSpec::Conv(c);
+        let layer = RtlLayer::new(mac.clone(), input.clone(), weight.clone(), codec, codec, codec).unwrap();
+        let engine = RtlEngine::new(layer, lanes, stripe);
+        let ops = Operands { input: &input, weight: &weight };
+        for off in 0..mac.out_len() {
+            let sw = codec.quantize(mac.compute_at(&ops, off, None));
+            prop_assert_eq!(sw.to_bits(), engine.clean_output().data()[off].to_bits());
+        }
+    }
+}
+
+#[test]
+fn f16_all_bit_patterns_survive_codec() {
+    // Exhaustive, not random: every 16-bit pattern decodes and re-encodes
+    // consistently through the codec used for fault injection.
+    let codec = ValueCodec::float(Precision::Fp16);
+    for bits in 0u16..=u16::MAX {
+        let v = F16::from_bits(bits).to_f32();
+        let re = codec.quantize(v);
+        if v.is_nan() {
+            assert!(re.is_nan());
+        } else {
+            assert_eq!(re.to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration: Reuse Factor Analysis reproduces every hand-derived number
+//! in the paper's Fig. 2 and respects the Datapath RF properties of
+//! Sec. III-B.
+
+use fidelity::accel::dataflow::{EyerissDataflow, NvdlaDataflow};
+use fidelity::core::rfa::{local_control_rfa, reuse_factor_analysis};
+use fidelity::dnn::init::SplitMix64;
+
+#[test]
+fn paper_fig2a_numbers() {
+    let df = NvdlaDataflow::paper_config();
+    assert_eq!(df.lanes, 16);
+    assert_eq!(df.weight_hold, 16);
+    assert_eq!(reuse_factor_analysis(&df.example_a1()).unwrap().rf(), 16);
+    assert_eq!(reuse_factor_analysis(&df.example_a2()).unwrap().rf(), 16);
+    assert_eq!(reuse_factor_analysis(&df.example_a3()).unwrap().rf(), 1);
+    assert_eq!(reuse_factor_analysis(&df.example_a4()).unwrap().rf(), 16);
+}
+
+#[test]
+fn paper_fig2b_numbers() {
+    for (k, t) in [(4usize, 4usize), (12, 16), (3, 7)] {
+        let df = EyerissDataflow {
+            k,
+            channel_reuse: t,
+        };
+        assert_eq!(reuse_factor_analysis(&df.example_b1()).unwrap().rf(), k);
+        assert_eq!(reuse_factor_analysis(&df.example_b2()).unwrap().rf(), k * t);
+        assert_eq!(reuse_factor_analysis(&df.example_b3()).unwrap().rf(), 1);
+    }
+}
+
+#[test]
+fn rf_property_4_monotone_along_pipeline() {
+    // A FF cannot drive another FF with a higher RF: a1 >= a2 >= a3 along
+    // the weight flow, for several geometries.
+    for (lanes, hold) in [(4usize, 4usize), (16, 16), (8, 32)] {
+        let df = NvdlaDataflow {
+            lanes,
+            weight_hold: hold,
+        };
+        let a1 = reuse_factor_analysis(&df.example_a1()).unwrap().rf();
+        let a2 = reuse_factor_analysis(&df.example_a2()).unwrap().rf();
+        let a3 = reuse_factor_analysis(&df.example_a3()).unwrap().rf();
+        assert!(a1 >= a2 && a2 >= a3, "lanes={lanes}, hold={hold}");
+    }
+}
+
+#[test]
+fn rf_equals_unique_faulty_neurons() {
+    let df = EyerissDataflow {
+        k: 6,
+        channel_reuse: 5,
+    };
+    let r = reuse_factor_analysis(&df.example_b2()).unwrap();
+    let unique: std::collections::HashSet<_> =
+        r.faulty_neurons.iter().map(|t| t.neuron).collect();
+    assert_eq!(unique.len(), r.rf());
+}
+
+#[test]
+fn a2_effective_sample_is_suffix_of_hold_window() {
+    let df = NvdlaDataflow {
+        lanes: 4,
+        weight_hold: 16,
+    };
+    let r = reuse_factor_analysis(&df.example_a2()).unwrap();
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..100 {
+        let eff = r.sample_effective(&mut rng);
+        // Effective neurons are a contiguous suffix of the width offsets.
+        let widths: Vec<i32> = eff.iter().map(|n| n.width).collect();
+        for pair in widths.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1);
+        }
+        assert_eq!(*widths.last().unwrap(), 15);
+    }
+}
+
+#[test]
+fn local_control_coupling_sums_rf() {
+    let df = NvdlaDataflow {
+        lanes: 8,
+        weight_hold: 4,
+    };
+    let a3 = reuse_factor_analysis(&df.example_a3()).unwrap();
+    let a4 = reuse_factor_analysis(&df.example_a4()).unwrap();
+    // Disjoint sets would sum; a3's neuron is inside a4's set, so the union
+    // is just a4's RF.
+    let combined = local_control_rfa(&[&a3, &a4]);
+    assert_eq!(combined.rf(), 8);
+    let alone = local_control_rfa(&[&a3]);
+    assert_eq!(alone.rf(), 1);
+}

@@ -1,0 +1,157 @@
+//! Integration: Reuse Factor Analysis predictions vs. exhaustive injection
+//! sweeps on the register-level engines.
+//!
+//! The RF derived by Algorithm 1 is the *maximum* number of faulty neurons a
+//! single-cycle flip in the target FF can produce. Sweeping every compute
+//! cycle of a real engine and measuring the observed faulty-neuron counts
+//! must (a) never exceed the RF and (b) actually reach it — otherwise either
+//! the analysis or the dataflow description is wrong.
+
+use fidelity::accel::dataflow::{EyerissDataflow, NvdlaDataflow};
+use fidelity::core::rfa::reuse_factor_analysis;
+use fidelity::dnn::init::uniform_tensor;
+use fidelity::dnn::macspec::{ConvSpec, MacSpec};
+use fidelity::dnn::precision::{Precision, ValueCodec};
+use fidelity::rtl::{
+    Disturbance, FaultSite, FfId, RtlLayer, RtlEngine, SysFaultSite, SysFfId, SystolicEngine,
+};
+
+fn conv_layer(seed: u64) -> RtlLayer {
+    let spec = ConvSpec {
+        batch: 1,
+        in_c: 2,
+        in_h: 6,
+        in_w: 6,
+        out_c: 6,
+        kh: 3,
+        kw: 3,
+        stride: (1, 1),
+        padding: (1, 1),
+        dilation: (1, 1),
+        groups: 1,
+    };
+    let codec = ValueCodec::float(Precision::Fp16);
+    // Offset inputs away from zero so exponent-bit flips are always visible
+    // (a zero operand masks any weight perturbation).
+    let input = uniform_tensor(seed, vec![1, 2, 6, 6], 0.5).map(|v| codec.quantize(v + 1.0));
+    let weight = uniform_tensor(seed ^ 1, vec![6, 2, 3, 3], 0.25).map(|v| codec.quantize(v + 0.5));
+    RtlLayer::new(MacSpec::Conv(spec), input, weight, codec, codec, codec).unwrap()
+}
+
+fn max_observed_nvdla(engine: &RtlEngine, ff: FfId, bit: u32) -> usize {
+    let mut max = 0;
+    for cycle in 0..engine.clean_cycles() {
+        let run = engine.run(Disturbance::Ff(FaultSite { ff, bit, cycle }));
+        let n = engine
+            .clean_output()
+            .diff_indices(&run.output, 0.0)
+            .unwrap()
+            .len();
+        max = max.max(n);
+    }
+    max
+}
+
+#[test]
+fn nvdla_input_operand_rf_matches_rfa() {
+    let lanes = 4;
+    let stripe = 4;
+    let engine = RtlEngine::new(conv_layer(3), lanes, stripe);
+    let df = NvdlaDataflow {
+        lanes,
+        weight_hold: stripe,
+    };
+    let rf = reuse_factor_analysis(&df.input_operand_rfa()).unwrap().rf();
+    // Exponent-bit flip in the broadcast input register: affects up to
+    // `lanes` neurons; output channels = 6 so partial lane groups cap some
+    // cycles at 2.
+    let observed = max_observed_nvdla(&engine, FfId::InputOperand, 13);
+    assert!(observed <= rf, "observed {observed} exceeds RF {rf}");
+    assert_eq!(observed, rf, "RF should be reached by some cycle");
+}
+
+#[test]
+fn nvdla_weight_operand_rf_matches_rfa() {
+    let lanes = 4;
+    let stripe = 4;
+    let engine = RtlEngine::new(conv_layer(4), lanes, stripe);
+    let df = NvdlaDataflow {
+        lanes,
+        weight_hold: stripe,
+    };
+    let rf = reuse_factor_analysis(&df.weight_operand_rfa()).unwrap().rf();
+    let observed = max_observed_nvdla(&engine, FfId::WeightOperand { lane: 1 }, 13);
+    assert!(observed <= rf);
+    assert_eq!(observed, rf);
+}
+
+#[test]
+fn nvdla_output_rf_is_one() {
+    let engine = RtlEngine::new(conv_layer(5), 4, 4);
+    let df = NvdlaDataflow {
+        lanes: 4,
+        weight_hold: 4,
+    };
+    let rf = reuse_factor_analysis(&df.output_rfa()).unwrap().rf();
+    assert_eq!(rf, 1);
+    let observed = max_observed_nvdla(&engine, FfId::OutputReg { lane: 2 }, 14);
+    assert!(observed <= 1);
+}
+
+#[test]
+fn systolic_weight_broadcast_rf_matches_rfa() {
+    let k = 3;
+    let t = 2;
+    let engine = SystolicEngine::new(conv_layer(6), k, t);
+    let df = EyerissDataflow {
+        k,
+        channel_reuse: t,
+    };
+    let rf = reuse_factor_analysis(&df.weight_broadcast_rfa()).unwrap().rf();
+    let mut observed = 0;
+    for cycle in 0..engine.clean_cycles() {
+        let run = engine.run(SysFaultSite {
+            ff: SysFfId::WeightOperand,
+            bit: 13,
+            cycle,
+        });
+        let n = engine
+            .clean_output()
+            .diff_indices(&run.output, 0.0)
+            .unwrap()
+            .len();
+        observed = observed.max(n);
+    }
+    assert!(observed <= rf, "observed {observed} exceeds RF {rf}");
+    assert_eq!(observed, rf);
+}
+
+#[test]
+fn systolic_private_input_rf_matches_rfa() {
+    let k = 3;
+    let t = 2;
+    let engine = SystolicEngine::new(conv_layer(7), k, t);
+    let df = EyerissDataflow {
+        k,
+        channel_reuse: t,
+    };
+    let analysis = reuse_factor_analysis(&df.private_input_rfa()).unwrap();
+    let rf = analysis.rf();
+    assert_eq!(rf, t);
+    let mut observed = 0;
+    for cycle in 0..engine.clean_cycles() {
+        let run = engine.run(SysFaultSite {
+            ff: SysFfId::InputOperand { pe: 0 },
+            bit: 13,
+            cycle,
+        });
+        let n = engine
+            .clean_output()
+            .diff_indices(&run.output, 0.0)
+            .unwrap()
+            .len();
+        observed = observed.max(n);
+    }
+    assert!(observed <= rf);
+    assert_eq!(observed, rf);
+}
