@@ -45,7 +45,7 @@ fn main() {
                 &cfg,
                 &TopOneMatch,
                 PAPER_RAW_FIT_PER_MB,
-                &fidelity_bench::campaign_spec(0xF16_D, false),
+                &fidelity_bench::campaign_spec(0xF16D, false),
             )
             .expect("analysis over fixed workloads");
             totals.datapath += analysis.fit.datapath;

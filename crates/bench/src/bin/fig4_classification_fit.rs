@@ -10,7 +10,7 @@ use fidelity_workloads::classification_suite;
 
 fn main() {
     let cfg = fidelity_accel::presets::nvdla_like();
-    let spec_seed = 0xF16_4;
+    let spec_seed = 0xF164;
     let budget = ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION);
 
     println!(
@@ -35,7 +35,11 @@ fn main() {
                 &cfg,
                 &TopOneMatch,
                 PAPER_RAW_FIT_PER_MB,
-                &fidelity_bench::campaign_spec(spec_seed, false),
+                &fidelity_bench::resilient_spec(
+                    &format!("fig4_{name}_{precision}"),
+                    spec_seed,
+                    false,
+                ),
             )
             .expect("analysis over fixed workloads");
             let f = &analysis.fit;

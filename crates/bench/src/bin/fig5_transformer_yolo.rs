@@ -10,6 +10,8 @@ use fidelity_dnn::precision::Precision;
 use fidelity_workloads::metrics::{BleuThreshold, DetectionThreshold};
 use fidelity_workloads::{transformer_workload, yolo_workload, Workload};
 
+type Case = (fn(u64) -> Workload, Box<dyn CorrectnessMetric>);
+
 fn main() {
     let cfg = fidelity_accel::presets::nvdla_like();
     println!(
@@ -24,7 +26,7 @@ fn main() {
     );
     fidelity_bench::rule(92);
 
-    let cases: Vec<(fn(u64) -> Workload, Box<dyn CorrectnessMetric>)> = vec![
+    let cases: Vec<Case> = vec![
         (
             transformer_workload as fn(u64) -> Workload,
             Box::new(BleuThreshold::ten_percent()),
@@ -35,7 +37,7 @@ fn main() {
     ];
 
     let mut totals = Vec::new();
-    for (build, metric) in cases {
+    for (case, (build, metric)) in cases.into_iter().enumerate() {
         let workload = build(42);
         let name = workload.name.clone();
         let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
@@ -45,7 +47,7 @@ fn main() {
             &cfg,
             metric.as_ref(),
             PAPER_RAW_FIT_PER_MB,
-            &fidelity_bench::campaign_spec(0xF16_5, false),
+            &fidelity_bench::resilient_spec(&format!("fig5_{name}_{case}"), 0xF165, false),
         )
         .expect("analysis over fixed workloads");
         let f = &analysis.fit;

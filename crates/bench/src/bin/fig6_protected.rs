@@ -34,7 +34,7 @@ fn main() {
             &cfg,
             &TopOneMatch,
             PAPER_RAW_FIT_PER_MB,
-            &fidelity_bench::campaign_spec(0xF16_6, false),
+            &fidelity_bench::resilient_spec(&format!("fig6_{name}"), 0xF166, false),
         )
         .expect("analysis over fixed workloads");
         let f = &analysis.fit_global_protected;

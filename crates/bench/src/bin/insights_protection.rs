@@ -19,7 +19,7 @@ use fidelity_workloads::classification_suite;
 fn main() {
     let cfg = fidelity_accel::presets::nvdla_like();
     let budget = ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION);
-    let spec = fidelity_bench::campaign_spec(0xF16_C, false);
+    let spec = fidelity_bench::campaign_spec(0xF16C, false);
 
     println!("Architectural insights ({} samples/cell)\n", spec.samples_per_cell);
 

@@ -33,7 +33,7 @@ fn main() {
             &trace,
             &cfg,
             &TopOneMatch,
-            &fidelity_bench::campaign_spec(0xF16_8, true),
+            &fidelity_bench::campaign_spec(0xF168, true),
         )
         .expect("campaign over fixed workloads");
 

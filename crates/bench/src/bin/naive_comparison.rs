@@ -47,7 +47,7 @@ fn main() {
             &cfg,
             metric.as_ref(),
             PAPER_RAW_FIT_PER_MB,
-            &fidelity_bench::campaign_spec(0xF16_A, false),
+            &fidelity_bench::campaign_spec(0xF16A, false),
         )
         .expect("analysis over fixed workloads");
         let naive = naive_fit_rate(
@@ -57,7 +57,7 @@ fn main() {
             &cfg,
             PAPER_RAW_FIT_PER_MB,
             naive_samples,
-            0xBAD_F1,
+            0x000B_ADF1,
         )
         .expect("naive campaign over fixed workloads");
         let ratio = if naive.fit_estimate > 0.0 {

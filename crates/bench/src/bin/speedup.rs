@@ -55,7 +55,7 @@ fn main() {
             .expect("workloads have MAC layers");
         let layer = rtl_layer_for(&engine, &trace, node).expect("MAC layer lifts to RTL");
         let rtl = RtlEngine::new(layer, 16, 16);
-        let mut rng = SplitMix64::new(0xF16_9);
+        let mut rng = SplitMix64::new(0xF169);
         let sites = random_sites(&rtl, reps, &mut rng);
 
         // Register-level: full cycle-driven run per injection.

@@ -84,7 +84,7 @@ fn main() {
     fidelity_bench::rule(118);
 
     let mut total = ValidationReport::default();
-    let mut rng = SplitMix64::new(0x5EC4_1D);
+    let mut rng = SplitMix64::new(0x005E_C41D);
     for case in cases {
         let (engine, trace) = fidelity_bench::deploy(case.workload, Precision::Fp16);
         let node = engine

@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 use fidelity_core::campaign::CampaignSpec;
+use fidelity_core::resilience::CheckpointSpec;
 use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::precision::Precision;
 use fidelity_workloads::Workload;
@@ -35,7 +36,30 @@ pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         record_events,
         target_ci_halfwidth: None,
+        resilience: Default::default(),
     }
+}
+
+/// True when the regenerator was launched with `--resume`: resume each
+/// campaign from its `results/<tag>.ckpt` checkpoint instead of restarting.
+pub fn resume_requested() -> bool {
+    std::env::args().any(|a| a == "--resume")
+}
+
+/// Like [`campaign_spec`], but checkpointing each campaign to
+/// `results/<tag>.ckpt` so an interrupted regenerator can be relaunched with
+/// `--resume` and skip every cell that already completed. `tag` must be
+/// unique per campaign within a binary (the checkpoint fingerprint does not
+/// cover deployment precision).
+pub fn resilient_spec(tag: &str, seed: u64, record_events: bool) -> CampaignSpec {
+    let mut spec = campaign_spec(seed, record_events);
+    let path = std::path::Path::new("results").join(format!("{tag}.ckpt"));
+    spec.resilience.checkpoint = Some(if resume_requested() {
+        CheckpointSpec::resuming(path)
+    } else {
+        CheckpointSpec::new(path)
+    });
+    spec
 }
 
 /// Deploys a workload at a precision (calibrating integer scales on its own

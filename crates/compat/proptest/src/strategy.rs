@@ -1,0 +1,244 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+
+/// Generates values of one type. The shim's strategies sample independently
+/// per case; there is no shrinking.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Rejects values failing the predicate (bounded resampling; panics when
+    /// the predicate is satisfied too rarely, as upstream eventually does).
+    fn prop_filter<F>(self, whence: impl Into<String>, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            predicate,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.generate(rng);
+            if (self.predicate)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1024 consecutive samples", self.whence);
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`crate::prop_oneof!`].
+pub struct Union<T> {
+    variants: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} variants)", self.variants.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// An empty union; populate with [`Union::or`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union {
+            variants: Vec::new(),
+        }
+    }
+
+    /// Adds one alternative.
+    #[must_use]
+    pub fn or(mut self, strategy: impl Strategy<Value = T> + 'static) -> Self {
+        self.variants.push(Box::new(strategy));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.variants.is_empty(), "prop_oneof! needs an alternative");
+        let idx = rng.below(self.variants.len() as u64) as usize;
+        self.variants[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8);
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let f = (-2.0f32..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn union_covers_all_variants() {
+        let s = Union::new().or(Just(1u8)).or(Just(2u8)).or((3u8..5).prop_map(|v| v));
+        let mut rng = TestRng::for_test("union");
+        let seen: std::collections::HashSet<u8> =
+            (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(seen.contains(&1) && seen.contains(&2) && (seen.contains(&3) || seen.contains(&4)));
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = TestRng::for_test("filter");
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+}

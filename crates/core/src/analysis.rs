@@ -117,6 +117,14 @@ pub fn analyze_multi(
         let trace = engine.trace(inputs)?;
         let mut sample_spec = spec.clone();
         sample_spec.seed = spec.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+        // Each sample is its own campaign with its own seed, so it also gets
+        // its own checkpoint file (`<path>.s<i>`): a resumed multi-sample
+        // analysis skips every sample campaign that already finished.
+        if let Some(ckpt) = sample_spec.resilience.checkpoint.as_mut() {
+            let mut path = ckpt.path.clone().into_os_string();
+            path.push(format!(".s{i}"));
+            ckpt.path = path.into();
+        }
         per_sample.push(analyze(engine, &trace, accel, metric, raw_fit_per_mb, &sample_spec)?);
     }
 
@@ -153,12 +161,13 @@ pub fn analyze_multi(
         &[FfCategory::GlobalControl],
     );
     // Concatenate the campaigns for inspection.
-    let campaign = CampaignResult {
-        cells: per_sample
-            .into_iter()
-            .flat_map(|s| s.campaign.cells)
-            .collect(),
-    };
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for s in per_sample {
+        cells.extend(s.campaign.cells);
+        failures.extend(s.campaign.failures);
+    }
+    let campaign = CampaignResult { cells, failures };
     Ok(ResilienceAnalysis {
         fit,
         fit_global_protected,
@@ -216,6 +225,7 @@ mod tests {
             threads: 2,
             record_events: false,
             target_ci_halfwidth: None,
+            resilience: Default::default(),
         };
         let samples: Vec<Vec<fidelity_dnn::Tensor>> = (0..3)
             .map(|i| vec![uniform_tensor(100 + i, vec![1, 2, 6, 6], 1.0)])
@@ -260,6 +270,7 @@ mod tests {
             threads: 2,
             record_events: false,
             target_ci_halfwidth: None,
+            resilience: Default::default(),
         };
         let analysis = analyze(
             &engine,

@@ -6,9 +6,20 @@
 //! Cells are independent, so they are distributed over worker threads; each
 //! cell owns a deterministic RNG stream, making campaigns bit-reproducible
 //! regardless of scheduling.
+//!
+//! Long campaigns run under the fault-tolerance policy of
+//! [`crate::resilience`]: cells execute inside a panic boundary with bounded
+//! retries, each injection can carry a wall-clock watchdog, and completed
+//! cells can be checkpointed to disk so an interrupted campaign resumes
+//! exactly where it stopped ([`CampaignRunner::resume_from`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
 
 use fidelity_accel::arch::AcceleratorConfig;
 use fidelity_accel::ff::FfCategory;
@@ -16,9 +27,13 @@ use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::init::SplitMix64;
 use fidelity_dnn::DnnError;
 
-use crate::inject::inject_once;
+use crate::inject::inject_once_guarded;
 use crate::models::{model_for, SoftwareFaultModel};
 use crate::outcome::{CorrectnessMetric, Outcome};
+use crate::resilience::{
+    campaign_fingerprint, parse_checkpoint, write_cell, write_header, CellFailure, ChaosMode,
+    FailureReason, ResilienceSpec,
+};
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +53,8 @@ pub struct CampaignSpec {
     /// sizes campaigns for a 95% confidence target). `None` always runs
     /// `samples_per_cell`.
     pub target_ci_halfwidth: Option<f64>,
+    /// Fault-tolerance policy: panic isolation, watchdogs, checkpointing.
+    pub resilience: ResilienceSpec,
 }
 
 impl Default for CampaignSpec {
@@ -48,6 +65,7 @@ impl Default for CampaignSpec {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             record_events: false,
             target_ci_halfwidth: None,
+            resilience: ResilienceSpec::default(),
         }
     }
 }
@@ -103,8 +121,13 @@ impl CellStats {
 /// All cells of a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
-    /// Per-cell statistics, ordered by (node, census order).
+    /// Per-cell statistics, ordered by (node, census order). Cells listed in
+    /// [`CampaignResult::failures`] carry the partial statistics of their
+    /// last attempt (possibly zero samples).
     pub cells: Vec<CellStats>,
+    /// Cells that exhausted their retries and degraded to partial
+    /// statistics. Empty for a healthy campaign.
+    pub failures: Vec<CellFailure>,
 }
 
 impl CampaignResult {
@@ -149,12 +172,14 @@ pub fn wilson_interval(successes: usize, n: usize) -> (f64, f64) {
 }
 
 /// Runs a campaign over every MAC layer of the deployed engine and every FF
-/// category of the accelerator's census.
+/// category of the accelerator's census, honoring `spec.resilience`.
+///
+/// Convenience wrapper around [`CampaignRunner::run`].
 ///
 /// # Errors
 ///
-/// Propagates injection errors (which indicate a bug in target selection,
-/// not a fault outcome).
+/// Returns [`DnnError::Campaign`] when the failure budget is exhausted or
+/// the checkpoint is unusable.
 pub fn run_campaign(
     engine: &Engine,
     trace: &Trace,
@@ -162,123 +187,471 @@ pub fn run_campaign(
     metric: &dyn CorrectnessMetric,
     spec: &CampaignSpec,
 ) -> Result<CampaignResult, DnnError> {
-    let mac_nodes: Vec<usize> = (0..engine.network().node_count())
-        .filter(|&i| engine.mac_spec(i, trace).is_some())
-        .collect();
-
-    // Build the cell list up front (deterministic order).
-    struct CellPlan {
-        node: usize,
-        category: FfCategory,
-        model: SoftwareFaultModel,
-    }
-    let mut plans = Vec::new();
-    for &node in &mac_nodes {
-        for (category, _) in accel.census.iter() {
-            if let Some(model) = model_for(category, accel) {
-                plans.push(CellPlan {
-                    node,
-                    category,
-                    model,
-                });
-            }
-        }
-    }
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<CellStats>>> = Mutex::new(vec![None; plans.len()]);
-    let errors: Mutex<Vec<DnnError>> = Mutex::new(Vec::new());
-
-    let workers = spec.threads.clamp(1, plans.len().max(1));
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= plans.len() {
-                    break;
-                }
-                let plan = &plans[idx];
-                match run_cell(engine, trace, metric, spec, plan.node, plan.category, plan.model)
-                {
-                    Ok(stats) => results.lock().expect("no poisoned lock")[idx] = Some(stats),
-                    Err(e) => errors.lock().expect("no poisoned lock").push(e),
-                }
-            });
-        }
-    })
-    .expect("campaign worker panicked");
-
-    if let Some(e) = errors.into_inner().expect("no poisoned lock").pop() {
-        return Err(e);
-    }
-    let cells = results
-        .into_inner()
-        .expect("no poisoned lock")
-        .into_iter()
-        .map(|c| c.expect("every planned cell ran"))
-        .collect();
-    Ok(CampaignResult { cells })
+    CampaignRunner::new(engine, trace, accel, metric, spec.clone()).run()
 }
 
-fn run_cell(
-    engine: &Engine,
-    trace: &Trace,
-    metric: &dyn CorrectnessMetric,
-    spec: &CampaignSpec,
+/// One planned (node, category) cell.
+struct CellPlan {
     node: usize,
     category: FfCategory,
     model: SoftwareFaultModel,
-) -> Result<CellStats, DnnError> {
-    let mut stats = CellStats {
-        node,
-        layer: engine.network().layer(node).name().to_owned(),
-        category,
-        model,
-        samples: 0,
-        masked: 0,
-        output_error: 0,
-        anomaly: 0,
-        events: Vec::new(),
-    };
-    // Global control needs no simulation: Prob_SWmask is 0 by definition.
-    if matches!(model, SoftwareFaultModel::GlobalControl) {
-        stats.samples = spec.samples_per_cell;
-        stats.anomaly = spec.samples_per_cell;
-        return Ok(stats);
+}
+
+/// The open checkpoint file plus the flush countdown.
+struct CkptState {
+    writer: BufWriter<File>,
+    unflushed: usize,
+}
+
+/// A campaign bound to its engine, workload trace, accelerator, and spec —
+/// the stateful entry point when checkpoint/resume or failure reporting is
+/// needed ([`run_campaign`] remains the one-shot convenience).
+pub struct CampaignRunner<'a> {
+    engine: &'a Engine,
+    trace: &'a Trace,
+    accel: &'a AcceleratorConfig,
+    metric: &'a dyn CorrectnessMetric,
+    spec: CampaignSpec,
+}
+
+impl std::fmt::Debug for CampaignRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CampaignRunner(net={}, samples_per_cell={})",
+            self.engine.network().name(),
+            self.spec.samples_per_cell
+        )
     }
-    let mut rng = SplitMix64::new(
-        spec.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ cat_tag(category),
-    );
-    // Adaptive stopping checks the CI every `batch` samples, with a minimum
-    // sample floor so a lucky streak cannot end a cell after a handful of
-    // injections.
-    const ADAPTIVE_BATCH: usize = 50;
-    const ADAPTIVE_FLOOR: usize = 100;
-    for i in 0..spec.samples_per_cell {
-        if let Some(target) = spec.target_ci_halfwidth {
-            if i >= ADAPTIVE_FLOOR && i % ADAPTIVE_BATCH == 0 {
-                let (lo, hi) = wilson_interval(stats.masked, stats.samples);
-                if (hi - lo) / 2.0 <= target {
-                    break;
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// Binds a campaign to its inputs.
+    pub fn new(
+        engine: &'a Engine,
+        trace: &'a Trace,
+        accel: &'a AcceleratorConfig,
+        metric: &'a dyn CorrectnessMetric,
+        spec: CampaignSpec,
+    ) -> Self {
+        CampaignRunner {
+            engine,
+            trace,
+            accel,
+            metric,
+            spec,
+        }
+    }
+
+    /// The bound spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Runs the campaign. When the spec's checkpoint has `resume` set and a
+    /// compatible checkpoint exists, completed cells are loaded from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::Campaign`] when the failure budget is exhausted
+    /// or the checkpoint is unusable.
+    pub fn run(&self) -> Result<CampaignResult, DnnError> {
+        let resume = self
+            .spec
+            .resilience
+            .checkpoint
+            .as_ref()
+            .filter(|c| c.resume)
+            .map(|c| c.path.clone());
+        self.execute(resume.as_deref())
+    }
+
+    /// Runs the campaign, first loading every completed cell from the
+    /// checkpoint at `path` (which must have been written by a campaign with
+    /// the same fingerprint: same network, seed, sampling plan). Cells are
+    /// deterministic in (seed, node, category), so the combined result is
+    /// bit-identical to an uninterrupted run. A missing file simply runs the
+    /// whole campaign; progress keeps being checkpointed to the spec's
+    /// configured path, or to `path` when none is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::Campaign`] on a fingerprint mismatch or corrupt
+    /// checkpoint, and for an exhausted failure budget as in
+    /// [`CampaignRunner::run`].
+    pub fn resume_from(&self, path: &Path) -> Result<CampaignResult, DnnError> {
+        self.execute(Some(path))
+    }
+
+    fn plans(&self) -> Vec<CellPlan> {
+        let mac_nodes: Vec<usize> = (0..self.engine.network().node_count())
+            .filter(|&i| self.engine.mac_spec(i, self.trace).is_some())
+            .collect();
+        let mut plans = Vec::new();
+        for &node in &mac_nodes {
+            for (category, _) in self.accel.census.iter() {
+                if let Some(model) = model_for(category, self.accel) {
+                    plans.push(CellPlan {
+                        node,
+                        category,
+                        model,
+                    });
                 }
             }
         }
-        let inj = inject_once(engine, trace, node, model, metric, &mut rng)?;
-        stats.samples += 1;
-        match inj.outcome {
-            Outcome::Masked => stats.masked += 1,
-            Outcome::OutputError => stats.output_error += 1,
-            Outcome::SystemAnomaly => stats.anomaly += 1,
+        plans
+    }
+
+    fn execute(&self, resume_path: Option<&Path>) -> Result<CampaignResult, DnnError> {
+        let spec = &self.spec;
+        let plans = self.plans();
+        let plan_ids: Vec<(usize, FfCategory)> =
+            plans.iter().map(|p| (p.node, p.category)).collect();
+        let fingerprint =
+            campaign_fingerprint(spec, self.engine.network().name(), &plan_ids);
+
+        // Load previously completed cells, when resuming.
+        let mut loaded: Vec<Option<CellStats>> = (0..plans.len()).map(|_| None).collect();
+        if let Some(path) = resume_path {
+            if path.exists() {
+                let file = File::open(path).map_err(|e| DnnError::Campaign {
+                    message: format!("cannot open checkpoint {}: {e}", path.display()),
+                })?;
+                let parsed = parse_checkpoint(BufReader::new(file))?;
+                if parsed.fingerprint != fingerprint {
+                    return Err(DnnError::Campaign {
+                        message: format!(
+                            "checkpoint {} belongs to a different campaign \
+                             (fingerprint {:016x}, expected {:016x})",
+                            path.display(),
+                            parsed.fingerprint,
+                            fingerprint
+                        ),
+                    });
+                }
+                for (idx, stats) in parsed.cells {
+                    let plan = plans.get(idx).ok_or_else(|| DnnError::Campaign {
+                        message: format!("checkpoint cell index {idx} out of range"),
+                    })?;
+                    if stats.node != plan.node || stats.category != plan.category {
+                        return Err(DnnError::Campaign {
+                            message: format!(
+                                "checkpoint cell {idx} does not match the plan \
+                                 (node {}, {})",
+                                plan.node, plan.category
+                            ),
+                        });
+                    }
+                    loaded[idx] = Some(stats);
+                }
+            }
         }
-        if spec.record_events {
-            stats.events.push(InjectionEvent {
-                faulty_neurons: inj.faulty_neurons,
-                max_perturbation: inj.max_perturbation,
-                outcome: inj.outcome,
-            });
+
+        // Open the checkpoint for writing: the configured path, else the
+        // explicit resume path. The file is rewritten from the loaded cells
+        // so a torn tail from the previous process does not linger.
+        let ckpt_path = spec
+            .resilience
+            .checkpoint
+            .as_ref()
+            .map(|c| c.path.as_path())
+            .or(resume_path);
+        let interval = spec
+            .resilience
+            .checkpoint
+            .as_ref()
+            .map_or(1, |c| c.interval_cells.max(1));
+        let ckpt: Option<Mutex<CkptState>> = match ckpt_path {
+            Some(path) => Some(Mutex::new(open_checkpoint(path, fingerprint, &loaded)?)),
+            None => None,
+        };
+
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let failure_count = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<CellStats>>> = Mutex::new(loaded);
+        let failures: Mutex<Vec<CellFailure>> = Mutex::new(Vec::new());
+        let errors: Mutex<Vec<DnnError>> = Mutex::new(Vec::new());
+        let fatal = |e: DnnError| {
+            lock(&errors).push(e);
+            abort.store(true, Ordering::Relaxed);
+        };
+
+        let max_attempts = spec.resilience.max_retries_per_cell + 1;
+        let workers = spec.threads.clamp(1, plans.len().max(1));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= plans.len() {
+                        break;
+                    }
+                    if lock(&results)[idx].is_some() {
+                        continue; // restored from the checkpoint
+                    }
+                    let plan = &plans[idx];
+                    let mut last: Option<(CellStats, FailureReason)> = None;
+                    let mut completed = None;
+                    for _attempt in 0..max_attempts {
+                        // Each attempt restarts the cell's RNG stream, so a
+                        // successful retry is bit-identical to a clean run.
+                        let mut stats = self.fresh_cell(plan);
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            self.run_cell(&mut stats, plan)
+                        }));
+                        match run {
+                            Ok(Ok(())) => {
+                                completed = Some(stats);
+                                break;
+                            }
+                            Ok(Err(e)) => {
+                                last = Some((stats, FailureReason::Error(e.to_string())));
+                            }
+                            Err(payload) => {
+                                last =
+                                    Some((stats, FailureReason::Panic(panic_text(&*payload))));
+                            }
+                        }
+                    }
+                    match completed {
+                        Some(stats) => {
+                            if let Some(state) = &ckpt {
+                                if let Err(e) = append_cell(state, interval, idx, &stats) {
+                                    fatal(e);
+                                }
+                            }
+                            lock(&results)[idx] = Some(stats);
+                        }
+                        None => {
+                            // Unreachable fallback: `last` is always set when
+                            // no attempt completed (max_attempts >= 1).
+                            let (partial, reason) = last.unwrap_or_else(|| {
+                                (
+                                    self.fresh_cell(plan),
+                                    FailureReason::Error("cell never ran".into()),
+                                )
+                            });
+                            let failed_so_far =
+                                failure_count.fetch_add(1, Ordering::Relaxed) + 1;
+                            lock(&failures).push(CellFailure {
+                                node: plan.node,
+                                layer: partial.layer.clone(),
+                                category: plan.category,
+                                attempts: max_attempts,
+                                samples_completed: partial.samples,
+                                reason,
+                            });
+                            // The degraded cell keeps its partial tally: fewer
+                            // samples simply widen its Wilson interval. It is
+                            // not checkpointed, so a resumed campaign retries.
+                            lock(&results)[idx] = Some(partial);
+                            if failed_so_far > spec.resilience.failure_budget {
+                                fatal(DnnError::Campaign {
+                                    message: format!(
+                                        "failure budget exhausted: {failed_so_far} cells \
+                                         failed (budget {})",
+                                        spec.resilience.failure_budget
+                                    ),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(state) = &ckpt {
+            let mut st = lock(state);
+            if let Err(e) = st.writer.flush() {
+                lock(&errors).push(DnnError::Campaign {
+                    message: format!("checkpoint flush failed: {e}"),
+                });
+            }
+        }
+        if let Some(e) = lock(&errors).first() {
+            return Err(e.clone());
+        }
+        let mut cells = Vec::with_capacity(plans.len());
+        for (idx, slot) in results
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .enumerate()
+        {
+            cells.push(slot.ok_or_else(|| DnnError::Campaign {
+                message: format!("internal: cell {idx} never ran"),
+            })?);
+        }
+        Ok(CampaignResult {
+            cells,
+            failures: failures.into_inner().unwrap_or_else(PoisonError::into_inner),
+        })
+    }
+
+    fn fresh_cell(&self, plan: &CellPlan) -> CellStats {
+        CellStats {
+            node: plan.node,
+            layer: self.engine.network().layer(plan.node).name().to_owned(),
+            category: plan.category,
+            model: plan.model,
+            samples: 0,
+            masked: 0,
+            output_error: 0,
+            anomaly: 0,
+            events: Vec::new(),
         }
     }
-    Ok(stats)
+
+    /// Runs one cell's injection loop into `stats`. The tally is passed in
+    /// by reference so a panic mid-loop leaves the samples completed so far
+    /// observable to the caller's recovery path.
+    fn run_cell(&self, stats: &mut CellStats, plan: &CellPlan) -> Result<(), DnnError> {
+        let spec = &self.spec;
+        // Global control needs no simulation: Prob_SWmask is 0 by definition.
+        if matches!(plan.model, SoftwareFaultModel::GlobalControl) {
+            stats.samples = spec.samples_per_cell;
+            stats.anomaly = spec.samples_per_cell;
+            return Ok(());
+        }
+        let chaos = spec
+            .resilience
+            .chaos
+            .as_ref()
+            .filter(|c| c.node == plan.node && c.category == plan.category);
+        let mut rng = SplitMix64::new(
+            spec.seed
+                ^ (plan.node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ cat_tag(plan.category),
+        );
+        // Adaptive stopping checks the CI every `batch` samples, with a
+        // minimum sample floor so a lucky streak cannot end a cell after a
+        // handful of injections.
+        const ADAPTIVE_BATCH: usize = 50;
+        const ADAPTIVE_FLOOR: usize = 100;
+        for i in 0..spec.samples_per_cell {
+            if let Some(target) = spec.target_ci_halfwidth {
+                if i >= ADAPTIVE_FLOOR && i % ADAPTIVE_BATCH == 0 {
+                    let (lo, hi) = wilson_interval(stats.masked, stats.samples);
+                    if (hi - lo) / 2.0 <= target {
+                        break;
+                    }
+                }
+            }
+            // The watchdog clock starts before any chaos delay: a slow
+            // injection and a stalled one are indistinguishable to it.
+            let deadline = spec
+                .resilience
+                .injection_deadline
+                .map(|d| Instant::now() + d);
+            if let Some(c) = chaos {
+                match c.mode {
+                    ChaosMode::PanicAtSample(k) if i == k => {
+                        panic!(
+                            "chaos: deliberate panic at sample {i} of cell (node {}, {})",
+                            plan.node, plan.category
+                        );
+                    }
+                    ChaosMode::PanicAtSample(_) => {}
+                    ChaosMode::DelayPerInjection(d) => std::thread::sleep(d),
+                }
+            }
+            let inj = inject_once_guarded(
+                self.engine,
+                self.trace,
+                plan.node,
+                plan.model,
+                self.metric,
+                &mut rng,
+                deadline,
+            )?;
+            stats.samples += 1;
+            match inj.outcome {
+                Outcome::Masked => stats.masked += 1,
+                Outcome::OutputError => stats.output_error += 1,
+                Outcome::SystemAnomaly => stats.anomaly += 1,
+            }
+            if spec.record_events {
+                stats.events.push(InjectionEvent {
+                    faulty_neurons: inj.faulty_neurons,
+                    max_perturbation: inj.max_perturbation,
+                    outcome: inj.outcome,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: a worker that panicked inside
+/// the runner's own bookkeeping (not the injection code, which unwinds
+/// before any lock is taken) still leaves consistent per-cell data.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Creates (or truncates) the checkpoint file and writes the header plus all
+/// already-completed cells.
+fn open_checkpoint(
+    path: &Path,
+    fingerprint: u64,
+    completed: &[Option<CellStats>],
+) -> Result<CkptState, DnnError> {
+    let io_err = |what: &str, e: std::io::Error| DnnError::Campaign {
+        message: format!("checkpoint {what} failed for {}: {e}", path.display()),
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| io_err("directory creation", e))?;
+        }
+    }
+    let file = File::create(path).map_err(|e| io_err("creation", e))?;
+    let mut writer = BufWriter::new(file);
+    write_header(&mut writer, fingerprint).map_err(|e| io_err("header write", e))?;
+    for (idx, cell) in completed.iter().enumerate() {
+        if let Some(cell) = cell {
+            write_cell(&mut writer, idx, cell).map_err(|e| io_err("cell write", e))?;
+        }
+    }
+    writer.flush().map_err(|e| io_err("flush", e))?;
+    Ok(CkptState {
+        writer,
+        unflushed: 0,
+    })
+}
+
+/// Appends one completed cell to the shared checkpoint, flushing every
+/// `interval` cells.
+fn append_cell(
+    state: &Mutex<CkptState>,
+    interval: usize,
+    idx: usize,
+    stats: &CellStats,
+) -> Result<(), DnnError> {
+    let mut st = lock(state);
+    let io_err = |e: std::io::Error| DnnError::Campaign {
+        message: format!("checkpoint write failed: {e}"),
+    };
+    write_cell(&mut st.writer, idx, stats).map_err(io_err)?;
+    st.unflushed += 1;
+    if st.unflushed >= interval {
+        st.writer.flush().map_err(io_err)?;
+        st.unflushed = 0;
+    }
+    Ok(())
 }
 
 fn cat_tag(category: FfCategory) -> u64 {
@@ -353,6 +726,7 @@ mod tests {
             threads: 4,
             record_events: false,
             target_ci_halfwidth: None,
+            resilience: ResilienceSpec::default(),
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         // 2 MAC layers × 7 categories.
@@ -374,6 +748,7 @@ mod tests {
                 threads,
                 record_events: false,
                 target_ci_halfwidth: None,
+                resilience: Default::default(),
             };
             run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec)
                 .unwrap()
@@ -395,6 +770,7 @@ mod tests {
             threads: 2,
             record_events: false,
             target_ci_halfwidth: None,
+            resilience: ResilienceSpec::default(),
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         for cell in result
@@ -417,6 +793,7 @@ mod tests {
             threads: 2,
             record_events: false,
             target_ci_halfwidth: None,
+            resilience: ResilienceSpec::default(),
         };
         let adaptive = CampaignSpec {
             target_ci_halfwidth: Some(0.08),
@@ -465,6 +842,7 @@ mod tests {
             threads: 1,
             record_events: true,
             target_ci_halfwidth: None,
+            resilience: ResilienceSpec::default(),
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         let non_global: Vec<_> = result

@@ -6,6 +6,8 @@
 //! — the reason FIdelity-style injection is orders of magnitude faster than
 //! register-level simulation.
 
+use std::time::Instant;
+
 use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::init::SplitMix64;
 use fidelity_dnn::tensor::Tensor;
@@ -41,34 +43,79 @@ pub fn inject_once(
     metric: &dyn CorrectnessMetric,
     rng: &mut SplitMix64,
 ) -> Result<Injection, DnnError> {
-    match apply_model(model, engine, trace, node, rng)? {
-        ModelEffect::Masked => Ok(Injection {
+    inject_once_guarded(engine, trace, node, model, metric, rng, None)
+}
+
+/// [`inject_once`] under a per-injection wall-clock deadline.
+///
+/// A propagation that overruns the deadline is a runaway from the campaign's
+/// point of view — the hardware watchdog would reset the accelerator — so it
+/// is classified as [`Outcome::SystemAnomaly`] rather than surfaced as an
+/// error. The RNG is advanced identically either way, keeping cell streams
+/// deterministic. `None` disables the watchdog.
+///
+/// # Errors
+///
+/// Returns [`DnnError`] when `node` is not a MAC layer or propagation fails
+/// for a non-timeout reason.
+pub fn inject_once_guarded(
+    engine: &Engine,
+    trace: &Trace,
+    node: usize,
+    model: SoftwareFaultModel,
+    metric: &dyn CorrectnessMetric,
+    rng: &mut SplitMix64,
+    deadline: Option<Instant>,
+) -> Result<Injection, DnnError> {
+    let timeout = |faulty_neurons: usize, max_perturbation: f32| Injection {
+        outcome: Outcome::SystemAnomaly,
+        faulty_neurons,
+        max_perturbation,
+        final_output: None,
+    };
+    let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+    let injection = match apply_model(model, engine, trace, node, rng)? {
+        ModelEffect::Masked => Injection {
             outcome: Outcome::Masked,
             faulty_neurons: 0,
             max_perturbation: 0.0,
             final_output: None,
-        }),
-        ModelEffect::SystemFailure => Ok(Injection {
+        },
+        ModelEffect::SystemFailure => Injection {
             outcome: Outcome::SystemAnomaly,
             faulty_neurons: usize::MAX,
             max_perturbation: f32::INFINITY,
             final_output: None,
-        }),
+        },
         ModelEffect::Layer(app) => {
-            let final_output = engine.resume(trace, node, app.layer_output)?;
+            let final_output =
+                match engine.resume_with_deadline(trace, node, app.layer_output, deadline) {
+                    Ok(out) => out,
+                    Err(DnnError::DeadlineExceeded) => {
+                        return Ok(timeout(app.faulty_neurons.len(), app.max_perturbation));
+                    }
+                    Err(e) => return Err(e),
+                };
             let outcome = if metric.is_correct(&trace.output, &final_output) {
                 Outcome::Masked
             } else {
                 Outcome::OutputError
             };
-            Ok(Injection {
+            Injection {
                 outcome,
                 faulty_neurons: app.faulty_neurons.len(),
                 max_perturbation: app.max_perturbation,
                 final_output: Some(final_output),
-            })
+            }
         }
+    };
+    // Even a completed injection that blew the deadline counts as a timeout:
+    // the watchdog semantics are "the accelerator was reset", regardless of
+    // what the propagation would eventually have produced.
+    if expired() {
+        return Ok(timeout(injection.faulty_neurons, injection.max_perturbation));
     }
+    Ok(injection)
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //!   to deployed networks;
 //! * [`inject`] / [`campaign`] — fast trace/resume software fault injection
 //!   and statistically-sized campaigns;
+//! * [`resilience`] — fault-tolerant campaign execution: panic isolation,
+//!   per-injection watchdogs, checkpoint/resume;
 //! * [`activeness`] — Eq. 1 (inactive-FF masking);
 //! * [`fit`] — Eq. 2 (`Accelerator_FIT_rate`) and ISO-26262 budgeting;
 //! * [`analysis`] — the full Fig.-3 flow;
@@ -44,6 +46,7 @@ pub mod naive;
 pub mod outcome;
 pub mod protect;
 pub mod report;
+pub mod resilience;
 pub mod rfa;
 pub mod validate;
 pub mod validate_systolic;
@@ -55,7 +58,10 @@ pub(crate) mod rtl_addr {
 }
 
 pub use analysis::{analyze, ResilienceAnalysis};
-pub use campaign::{run_campaign, CampaignResult, CampaignSpec};
+pub use campaign::{run_campaign, CampaignResult, CampaignRunner, CampaignSpec};
+pub use resilience::{
+    CellFailure, ChaosMode, ChaosSpec, CheckpointSpec, FailureReason, ResilienceSpec,
+};
 pub use fit::{accelerator_fit_rate, FitBreakdown, PAPER_RAW_FIT_PER_MB};
 pub use models::{model_for, SoftwareFaultModel};
 pub use outcome::{CorrectnessMetric, Outcome, TopOneMatch};

@@ -123,6 +123,7 @@ mod tests {
                 anomaly: 0,
                 events: vec![],
             }],
+            failures: vec![],
         };
         let table = campaign_table(&result);
         assert!(table.contains("conv"));
@@ -132,10 +133,12 @@ mod tests {
 
     #[test]
     fn validation_summary_counts() {
-        let mut report = ValidationReport::default();
-        report.total = 10;
-        report.datapath_cases = 4;
-        report.datapath_exact = 4;
+        let report = ValidationReport {
+            total: 10,
+            datapath_cases: 4,
+            datapath_exact: 4,
+            ..Default::default()
+        };
         let s = validation_summary(&report);
         assert!(s.contains("10 sites"));
         assert!(s.contains("4/4 exact"));

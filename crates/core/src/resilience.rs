@@ -1,0 +1,695 @@
+//! Campaign resilience: panic isolation, per-injection watchdogs, and
+//! checkpoint/resume for long-running campaigns.
+//!
+//! A statistically-sized campaign over a large workload runs millions of
+//! injections across hours; a single panicking fault model, a runaway
+//! propagation, or a pre-empted batch job must not discard the work already
+//! done. [`ResilienceSpec`] configures three independent defense layers that
+//! [`crate::campaign::CampaignRunner`] enforces:
+//!
+//! * **Panic isolation** — every cell runs under `catch_unwind` with bounded
+//!   retries; an unrecoverable cell degrades to its partial [`CellStats`]
+//!   (fewer samples → a wider Wilson interval) and is reported as a
+//!   [`CellFailure`] instead of aborting the campaign, until the campaign's
+//!   failure budget is exhausted.
+//! * **Per-injection watchdog** — a wall-clock deadline on each injection;
+//!   overruns classify as [`crate::outcome::Outcome::SystemAnomaly`], the
+//!   same verdict the hardware watchdog would deliver.
+//! * **Checkpoint/resume** — completed cells are persisted to a line-oriented
+//!   checkpoint file; a restarted campaign replays only the missing cells.
+//!   Because every cell owns a deterministic RNG stream, a resumed campaign
+//!   is bit-identical to an uninterrupted one.
+//!
+//! The checkpoint format is hand-rolled (one record per line, `done <idx>`
+//! completeness markers, f32 fields as exact bit patterns) so torn writes
+//! from a killed process are detected and discarded on resume.
+
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use fidelity_accel::ff::{FfCategory, PipelineStage, VarType};
+use fidelity_dnn::macspec::OperandKind;
+use fidelity_dnn::DnnError;
+
+use crate::campaign::{CampaignSpec, CellStats, InjectionEvent};
+use crate::models::{OperandWindow, SoftwareFaultModel};
+use crate::outcome::Outcome;
+
+/// Fault-tolerance policy for a campaign.
+#[derive(Debug, Clone)]
+pub struct ResilienceSpec {
+    /// Wall-clock deadline per injection. An injection that overruns it is
+    /// classified as a system anomaly (watchdog reset) instead of hanging a
+    /// worker. Campaigns with a deadline set are only statistically — not
+    /// bit — reproducible, since classification depends on host timing.
+    /// `None` (the default) disables the watchdog.
+    pub injection_deadline: Option<Duration>,
+    /// Retries after a cell's first failed attempt. A retried cell restarts
+    /// its RNG stream from scratch, so a successful retry is bit-identical
+    /// to a run that never failed.
+    pub max_retries_per_cell: usize,
+    /// Campaign-level cap on failed cells (after retries). Exceeding it
+    /// aborts the campaign with [`DnnError::Campaign`]; up to the budget,
+    /// failed cells degrade to their partial statistics.
+    pub failure_budget: usize,
+    /// Checkpoint persistence; `None` disables it.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Fault injection for the injector itself (tests and drills); `None` in
+    /// production.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl Default for ResilienceSpec {
+    fn default() -> Self {
+        ResilienceSpec {
+            injection_deadline: None,
+            max_retries_per_cell: 1,
+            failure_budget: 4,
+            checkpoint: None,
+            chaos: None,
+        }
+    }
+}
+
+/// Where and how often a campaign persists completed cells.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (conventionally `results/<campaign>.ckpt`).
+    pub path: PathBuf,
+    /// Flush to disk every N completed cells (min 1).
+    pub interval_cells: usize,
+    /// When set, an existing compatible checkpoint at `path` is loaded
+    /// before running and only missing cells are executed. A missing file
+    /// starts fresh; a checkpoint written for a different campaign
+    /// (fingerprint mismatch) is an error.
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// A write-only checkpoint at `path`, flushed after every cell.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            interval_cells: 1,
+            resume: false,
+        }
+    }
+
+    /// Like [`CheckpointSpec::new`], but resuming from `path` when a
+    /// compatible checkpoint exists there.
+    pub fn resuming(path: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            resume: true,
+            ..CheckpointSpec::new(path)
+        }
+    }
+}
+
+/// Deliberate malfunction injected into the campaign runner itself, aimed at
+/// one (node, category) cell. This is how the resilience machinery is tested
+/// without a genuinely buggy fault model.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Target node index.
+    pub node: usize,
+    /// Target FF category.
+    pub category: FfCategory,
+    /// What goes wrong.
+    pub mode: ChaosMode,
+}
+
+/// The malfunction a [`ChaosSpec`] triggers.
+#[derive(Debug, Clone, Copy)]
+pub enum ChaosMode {
+    /// Panic when the cell reaches the given sample index, on every attempt.
+    PanicAtSample(usize),
+    /// Sleep this long before every injection of the cell, simulating a
+    /// pathologically slow propagation (drives the watchdog).
+    DelayPerInjection(Duration),
+}
+
+/// Why a cell failed.
+#[derive(Debug, Clone)]
+pub enum FailureReason {
+    /// The injection code panicked; the payload rendered as text.
+    Panic(String),
+    /// The injection returned an error.
+    Error(String),
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureReason::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureReason::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+/// The record of one cell that exhausted its retries.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Target node index.
+    pub node: usize,
+    /// Target layer name.
+    pub layer: String,
+    /// FF category of the failed cell.
+    pub category: FfCategory,
+    /// Attempts made (first run + retries).
+    pub attempts: usize,
+    /// Samples the kept partial statistics contain (the RNG stream position
+    /// reached on the last attempt).
+    pub samples_completed: usize,
+    /// Why the last attempt failed.
+    pub reason: FailureReason,
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encoding
+// ---------------------------------------------------------------------------
+
+/// Checkpoint format magic + version line.
+const HEADER: &str = "fidelity-ckpt v1";
+
+/// FNV-1a over the campaign identity: everything that determines the cell
+/// plan and each cell's RNG stream. Two specs with the same fingerprint
+/// produce interchangeable checkpoints; the resilience policy itself is
+/// deliberately excluded (a resumed run may use different retry settings).
+pub fn campaign_fingerprint(
+    spec: &CampaignSpec,
+    network: &str,
+    plan: &[(usize, FfCategory)],
+) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(network.as_bytes());
+    eat(&spec.seed.to_le_bytes());
+    eat(&(spec.samples_per_cell as u64).to_le_bytes());
+    eat(&[u8::from(spec.record_events)]);
+    eat(
+        &spec
+            .target_ci_halfwidth
+            .map_or(u64::MAX, f64::to_bits)
+            .to_le_bytes(),
+    );
+    for &(node, cat) in plan {
+        eat(&(node as u64).to_le_bytes());
+        eat(cat_code(cat).as_bytes());
+    }
+    h
+}
+
+/// Writes the checkpoint header.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_header<W: Write>(w: &mut W, fingerprint: u64) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(w, "fingerprint {fingerprint:016x}")
+}
+
+/// Appends one completed cell, terminated by its `done` marker. A record cut
+/// short by a kill lacks the marker and is discarded on parse.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_cell<W: Write>(w: &mut W, idx: usize, cell: &CellStats) -> io::Result<()> {
+    writeln!(
+        w,
+        "cell {idx} {} {} {} {} {} {} {} {} {}",
+        cell.node,
+        cat_code(cell.category),
+        model_code(&cell.model),
+        cell.samples,
+        cell.masked,
+        cell.output_error,
+        cell.anomaly,
+        cell.events.len(),
+        cell.layer,
+    )?;
+    for ev in &cell.events {
+        writeln!(
+            w,
+            "ev {} {:08x} {}",
+            ev.faulty_neurons,
+            ev.max_perturbation.to_bits(),
+            outcome_code(ev.outcome),
+        )?;
+    }
+    writeln!(w, "done {idx}")
+}
+
+/// A parsed checkpoint: the campaign fingerprint plus every complete cell
+/// record, keyed by plan index.
+#[derive(Debug, Clone)]
+pub struct ParsedCheckpoint {
+    /// Fingerprint the checkpoint was written for.
+    pub fingerprint: u64,
+    /// Complete `(plan index, statistics)` records, in file order.
+    pub cells: Vec<(usize, CellStats)>,
+}
+
+/// Parses a checkpoint, keeping only records whose `done` marker made it to
+/// disk (a torn tail from a killed process is silently dropped — those cells
+/// simply rerun).
+///
+/// # Errors
+///
+/// Returns [`DnnError::Campaign`] on I/O errors, a bad header, or a
+/// structurally malformed record (which indicates corruption rather than a
+/// torn tail).
+pub fn parse_checkpoint<R: BufRead>(r: R) -> Result<ParsedCheckpoint, DnnError> {
+    let corrupt = |what: &str| DnnError::Campaign {
+        message: format!("corrupt checkpoint: {what}"),
+    };
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .transpose()
+        .map_err(|e| corrupt(&format!("read failed: {e}")))?
+        .ok_or_else(|| corrupt("empty file"))?;
+    if header != HEADER {
+        return Err(corrupt(&format!("bad header `{header}`")));
+    }
+    let fp_line = lines
+        .next()
+        .transpose()
+        .map_err(|e| corrupt(&format!("read failed: {e}")))?
+        .ok_or_else(|| corrupt("missing fingerprint"))?;
+    let fingerprint = fp_line
+        .strip_prefix("fingerprint ")
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| corrupt(&format!("bad fingerprint line `{fp_line}`")))?;
+
+    let mut cells = Vec::new();
+    // The record being accumulated: (idx, stats, events still expected).
+    let mut pending: Option<(usize, CellStats, usize)> = None;
+    for line in lines {
+        let line = match line {
+            Ok(l) => l,
+            // A torn final line can be unreadable; everything after it is
+            // lost anyway, so stop at the last complete record.
+            Err(_) => break,
+        };
+        if let Some(rest) = line.strip_prefix("cell ") {
+            // A new cell while one is pending means the previous record
+            // never completed; drop it.
+            pending = parse_cell_line(rest);
+            if pending.is_none() && !line_is_torn_tail(&line) {
+                return Err(corrupt(&format!("bad cell line `{line}`")));
+            }
+        } else if let Some(rest) = line.strip_prefix("ev ") {
+            if let Some((_, stats, expected)) = pending.as_mut() {
+                if *expected == 0 {
+                    return Err(corrupt("more events than declared"));
+                }
+                match parse_event_line(rest) {
+                    Some(ev) => {
+                        stats.events.push(ev);
+                        *expected -= 1;
+                    }
+                    None => {
+                        // Torn mid-event: discard the pending record.
+                        pending = None;
+                    }
+                }
+            }
+            // An `ev` with no pending cell: remnant of a dropped record.
+        } else if let Some(rest) = line.strip_prefix("done ") {
+            if let Some((idx, stats, expected)) = pending.take() {
+                let done_idx: Option<usize> = rest.trim().parse().ok();
+                if done_idx == Some(idx) && expected == 0 {
+                    cells.push((idx, stats));
+                }
+                // Mismatched or short record: drop it, keep parsing.
+            }
+        } else if line.trim().is_empty() {
+            // Blank line: ignore.
+        } else if line_is_torn_tail(&line) {
+            break;
+        } else {
+            return Err(corrupt(&format!("unrecognized line `{line}`")));
+        }
+    }
+    Ok(ParsedCheckpoint { fingerprint, cells })
+}
+
+/// A heuristic for the final, torn line of a killed writer: any prefix of a
+/// valid record keyword. Full garbage elsewhere in the file still errors.
+fn line_is_torn_tail(line: &str) -> bool {
+    ["cell", "ev", "done"]
+        .iter()
+        .any(|kw| kw.starts_with(line.split_whitespace().next().unwrap_or("")))
+}
+
+fn parse_cell_line(rest: &str) -> Option<(usize, CellStats, usize)> {
+    // cell <idx> <node> <cat> <model> <samples> <masked> <oe> <an> <nev> <layer...>
+    let mut it = rest.splitn(10, ' ');
+    let idx: usize = it.next()?.parse().ok()?;
+    let node: usize = it.next()?.parse().ok()?;
+    let category = parse_cat(it.next()?)?;
+    let model = parse_model(it.next()?)?;
+    let samples: usize = it.next()?.parse().ok()?;
+    let masked: usize = it.next()?.parse().ok()?;
+    let output_error: usize = it.next()?.parse().ok()?;
+    let anomaly: usize = it.next()?.parse().ok()?;
+    let nevents: usize = it.next()?.parse().ok()?;
+    let layer = it.next()?.to_owned();
+    Some((
+        idx,
+        CellStats {
+            node,
+            layer,
+            category,
+            model,
+            samples,
+            masked,
+            output_error,
+            anomaly,
+            events: Vec::with_capacity(nevents.min(4096)),
+        },
+        nevents,
+    ))
+}
+
+fn parse_event_line(rest: &str) -> Option<InjectionEvent> {
+    let mut it = rest.split(' ');
+    let faulty_neurons: usize = it.next()?.parse().ok()?;
+    let bits = u32::from_str_radix(it.next()?, 16).ok()?;
+    let outcome = parse_outcome(it.next()?)?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(InjectionEvent {
+        faulty_neurons,
+        max_perturbation: f32::from_bits(bits),
+        outcome,
+    })
+}
+
+fn outcome_code(o: Outcome) -> &'static str {
+    match o {
+        Outcome::Masked => "m",
+        Outcome::OutputError => "e",
+        Outcome::SystemAnomaly => "a",
+    }
+}
+
+fn parse_outcome(s: &str) -> Option<Outcome> {
+    match s {
+        "m" => Some(Outcome::Masked),
+        "e" => Some(Outcome::OutputError),
+        "a" => Some(Outcome::SystemAnomaly),
+        _ => None,
+    }
+}
+
+/// Compact, stable code for an FF category (`d:<stage>:<var>`, `lc`, `gc`).
+fn cat_code(cat: FfCategory) -> String {
+    match cat {
+        FfCategory::Datapath { stage, var } => {
+            let s = match stage {
+                PipelineStage::BeforeBuffer => "bb",
+                PipelineStage::BufferToMac => "bm",
+                PipelineStage::AfterMac => "am",
+            };
+            let v = match var {
+                VarType::Input => "i",
+                VarType::Weight => "w",
+                VarType::Bias => "b",
+                VarType::PartialSum => "p",
+                VarType::Output => "o",
+            };
+            format!("d:{s}:{v}")
+        }
+        FfCategory::LocalControl => "lc".to_owned(),
+        FfCategory::GlobalControl => "gc".to_owned(),
+    }
+}
+
+fn parse_cat(s: &str) -> Option<FfCategory> {
+    match s {
+        "lc" => return Some(FfCategory::LocalControl),
+        "gc" => return Some(FfCategory::GlobalControl),
+        _ => {}
+    }
+    let mut it = s.split(':');
+    if it.next()? != "d" {
+        return None;
+    }
+    let stage = match it.next()? {
+        "bb" => PipelineStage::BeforeBuffer,
+        "bm" => PipelineStage::BufferToMac,
+        "am" => PipelineStage::AfterMac,
+        _ => return None,
+    };
+    let var = match it.next()? {
+        "i" => VarType::Input,
+        "w" => VarType::Weight,
+        "b" => VarType::Bias,
+        "p" => VarType::PartialSum,
+        "o" => VarType::Output,
+        _ => return None,
+    };
+    if it.next().is_some() {
+        return None;
+    }
+    Some(FfCategory::Datapath { stage, var })
+}
+
+fn operand_code(kind: OperandKind) -> &'static str {
+    match kind {
+        OperandKind::Input => "i",
+        OperandKind::Weight => "w",
+    }
+}
+
+fn parse_operand(s: &str) -> Option<OperandKind> {
+    match s {
+        "i" => Some(OperandKind::Input),
+        "w" => Some(OperandKind::Weight),
+        _ => None,
+    }
+}
+
+/// Compact, stable code for a software fault model.
+fn model_code(model: &SoftwareFaultModel) -> String {
+    match model {
+        SoftwareFaultModel::BeforeBuffer { kind } => format!("bb:{}", operand_code(*kind)),
+        SoftwareFaultModel::Operand {
+            kind,
+            window,
+            random_suffix,
+        } => format!(
+            "op:{}:{}:{}:{}",
+            operand_code(*kind),
+            window.positions,
+            window.channels,
+            u8::from(*random_suffix),
+        ),
+        SoftwareFaultModel::OutputValue => "out".to_owned(),
+        SoftwareFaultModel::LocalControl => "lc".to_owned(),
+        SoftwareFaultModel::GlobalControl => "gc".to_owned(),
+    }
+}
+
+fn parse_model(s: &str) -> Option<SoftwareFaultModel> {
+    match s {
+        "out" => return Some(SoftwareFaultModel::OutputValue),
+        "lc" => return Some(SoftwareFaultModel::LocalControl),
+        "gc" => return Some(SoftwareFaultModel::GlobalControl),
+        _ => {}
+    }
+    let mut it = s.split(':');
+    let model = match it.next()? {
+        "bb" => SoftwareFaultModel::BeforeBuffer {
+            kind: parse_operand(it.next()?)?,
+        },
+        "op" => SoftwareFaultModel::Operand {
+            kind: parse_operand(it.next()?)?,
+            window: OperandWindow {
+                positions: it.next()?.parse().ok()?,
+                channels: it.next()?.parse().ok()?,
+            },
+            random_suffix: match it.next()? {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            },
+        },
+        _ => return None,
+    };
+    if it.next().is_some() {
+        return None;
+    }
+    Some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> CellStats {
+        CellStats {
+            node: 3,
+            layer: "conv block 2".to_owned(), // spaces round-trip
+            category: FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Weight,
+            },
+            model: SoftwareFaultModel::Operand {
+                kind: OperandKind::Weight,
+                window: OperandWindow {
+                    positions: 16,
+                    channels: 1,
+                },
+                random_suffix: true,
+            },
+            samples: 100,
+            masked: 60,
+            output_error: 30,
+            anomaly: 10,
+            events: vec![
+                InjectionEvent {
+                    faulty_neurons: 5,
+                    max_perturbation: f32::NAN,
+                    outcome: Outcome::OutputError,
+                },
+                InjectionEvent {
+                    faulty_neurons: 0,
+                    max_perturbation: 0.25,
+                    outcome: Outcome::Masked,
+                },
+            ],
+        }
+    }
+
+    fn assert_cells_eq(a: &CellStats, b: &CellStats) {
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.layer, b.layer);
+        assert_eq!(a.category, b.category);
+        assert_eq!(a.model, b.model);
+        assert_eq!(
+            (a.samples, a.masked, a.output_error, a.anomaly),
+            (b.samples, b.masked, b.output_error, b.anomaly)
+        );
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.faulty_neurons, y.faulty_neurons);
+            assert_eq!(x.max_perturbation.to_bits(), y.max_perturbation.to_bits());
+            assert_eq!(x.outcome, y.outcome);
+        }
+    }
+
+    #[test]
+    fn cell_round_trips_including_nan_events() {
+        let cell = sample_cell();
+        let mut buf = Vec::new();
+        write_header(&mut buf, 0xDEAD_BEEF).unwrap();
+        write_cell(&mut buf, 7, &cell).unwrap();
+        let parsed = parse_checkpoint(&buf[..]).unwrap();
+        assert_eq!(parsed.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.cells[0].0, 7);
+        assert_cells_eq(&parsed.cells[0].1, &cell);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let cell = sample_cell();
+        let mut buf = Vec::new();
+        write_header(&mut buf, 1).unwrap();
+        write_cell(&mut buf, 0, &cell).unwrap();
+        write_cell(&mut buf, 1, &cell).unwrap();
+        // Kill mid-write: truncate inside the second record.
+        let s = String::from_utf8(buf).unwrap();
+        let second = s.match_indices("cell 1 ").next().unwrap().0;
+        let torn = &s[..second + 20];
+        let parsed = parse_checkpoint(torn.as_bytes()).unwrap();
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.cells[0].0, 0);
+    }
+
+    #[test]
+    fn record_without_done_marker_is_dropped() {
+        let cell = sample_cell();
+        let mut buf = Vec::new();
+        write_header(&mut buf, 1).unwrap();
+        write_cell(&mut buf, 0, &cell).unwrap();
+        let mut s = String::from_utf8(buf).unwrap();
+        s = s.replace("done 0\n", "");
+        let parsed = parse_checkpoint(s.as_bytes()).unwrap();
+        assert!(parsed.cells.is_empty());
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        assert!(parse_checkpoint(&b"not a checkpoint\n"[..]).is_err());
+        assert!(parse_checkpoint(&b""[..]).is_err());
+        assert!(parse_checkpoint(&b"fidelity-ckpt v1\nfingerprint zz\n"[..]).is_err());
+    }
+
+    #[test]
+    fn all_categories_and_models_round_trip() {
+        let cats = [
+            FfCategory::LocalControl,
+            FfCategory::GlobalControl,
+            FfCategory::Datapath {
+                stage: PipelineStage::BeforeBuffer,
+                var: VarType::Bias,
+            },
+            FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::PartialSum,
+            },
+        ];
+        for cat in cats {
+            assert_eq!(parse_cat(&cat_code(cat)), Some(cat));
+        }
+        let models = [
+            SoftwareFaultModel::BeforeBuffer {
+                kind: OperandKind::Input,
+            },
+            SoftwareFaultModel::Operand {
+                kind: OperandKind::Input,
+                window: OperandWindow {
+                    positions: 1,
+                    channels: 16,
+                },
+                random_suffix: false,
+            },
+            SoftwareFaultModel::OutputValue,
+            SoftwareFaultModel::LocalControl,
+            SoftwareFaultModel::GlobalControl,
+        ];
+        for model in models {
+            assert_eq!(parse_model(&model_code(&model)), Some(model));
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_identity_fields_only() {
+        let base = CampaignSpec::default();
+        let plan = [(0usize, FfCategory::LocalControl)];
+        let fp = campaign_fingerprint(&base, "net", &plan);
+        let mut other = base.clone();
+        other.threads = base.threads + 1; // scheduling is irrelevant
+        assert_eq!(fp, campaign_fingerprint(&other, "net", &plan));
+        let mut reseeded = base.clone();
+        reseeded.seed ^= 1;
+        assert_ne!(fp, campaign_fingerprint(&reseeded, "net", &plan));
+        assert_ne!(fp, campaign_fingerprint(&base, "other-net", &plan));
+        assert_ne!(
+            fp,
+            campaign_fingerprint(&base, "net", &[(1, FfCategory::LocalControl)])
+        );
+    }
+}

@@ -46,6 +46,16 @@ pub enum DnnError {
         /// Offending node name.
         name: String,
     },
+    /// A fault-injection campaign failed for an operational reason that is
+    /// not a fault outcome (failure budget exhausted, corrupt or mismatched
+    /// checkpoint, ...).
+    Campaign {
+        /// Human-readable description of the campaign failure.
+        message: String,
+    },
+    /// A cooperative execution deadline expired mid-run (the per-injection
+    /// watchdog fired).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for DnnError {
@@ -67,6 +77,8 @@ impl fmt::Display for DnnError {
             DnnError::NotTopological { name } => {
                 write!(f, "node `{name}` consumes a tensor defined after it")
             }
+            DnnError::Campaign { message } => write!(f, "campaign failed: {message}"),
+            DnnError::DeadlineExceeded => write!(f, "execution deadline exceeded"),
         }
     }
 }

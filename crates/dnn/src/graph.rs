@@ -15,6 +15,7 @@
 //!   is orders of magnitude faster than register-level simulation).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use crate::error::DnnError;
 use crate::layers::Layer;
@@ -309,7 +310,7 @@ impl Engine {
         let mut node_max = vec![0.0f32; n_nodes];
         if !precision.is_float() {
             for sample in calibration_inputs {
-                let trace = run(&network, sample, None, None, None, None)?.1;
+                let trace = run(&network, sample, None, None, None, None, None)?.1;
                 for (m, t) in input_max.iter_mut().zip(&trace.inputs) {
                     *m = m.max(t.max_abs());
                 }
@@ -464,21 +465,53 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates shape errors from layers.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `node_idx` is out of range.
+    /// Propagates shape errors from layers. Returns
+    /// [`DnnError::InvalidConfig`] when `node_idx` is out of range.
     pub fn resume(
         &self,
         trace: &Trace,
         node_idx: usize,
         replacement: Tensor,
     ) -> Result<Tensor, DnnError> {
-        assert!(node_idx < self.network.node_count(), "node index out of range");
-        Ok(self
-            .run(&trace.inputs, Some((node_idx, replacement)), Some(trace))?
-            .0)
+        self.resume_with_deadline(trace, node_idx, replacement, None)
+    }
+
+    /// [`Engine::resume`] under a cooperative wall-clock deadline.
+    ///
+    /// The executor checks the deadline at every node boundary; a runaway
+    /// propagation is cut short with [`DnnError::DeadlineExceeded`] instead
+    /// of hanging the campaign worker. `None` disables the watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from layers. Returns
+    /// [`DnnError::InvalidConfig`] when `node_idx` is out of range and
+    /// [`DnnError::DeadlineExceeded`] when the deadline fires.
+    pub fn resume_with_deadline(
+        &self,
+        trace: &Trace,
+        node_idx: usize,
+        replacement: Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<Tensor, DnnError> {
+        if node_idx >= self.network.node_count() {
+            return Err(DnnError::InvalidConfig {
+                message: format!(
+                    "resume node index {node_idx} out of range (network has {} nodes)",
+                    self.network.node_count()
+                ),
+            });
+        }
+        Ok(run(
+            &self.network,
+            &trace.inputs,
+            Some(&self.input_codecs),
+            Some(&self.node_codecs),
+            Some((node_idx, replacement, trace)),
+            self.node_bounds.as_deref(),
+            deadline,
+        )?
+        .0)
     }
 
     /// The MAC geometry of node `idx` given the input shapes recorded in
@@ -527,13 +560,21 @@ impl Engine {
         replace: Option<(usize, Tensor)>,
         base: Option<&Trace>,
     ) -> Result<(Tensor, Trace), DnnError> {
+        // A replacement without a base trace cannot happen: the only caller
+        // that passes `replace` is `resume_with_deadline`, which supplies the
+        // trace alongside it. Dropping the replacement is safe either way.
+        let replace = match (replace, base) {
+            (Some((i, t)), Some(trace)) => Some((i, t, trace)),
+            _ => None,
+        };
         run(
             &self.network,
             inputs,
             Some(&self.input_codecs),
             Some(&self.node_codecs),
-            replace.map(|(i, t)| (i, t, base.expect("resume requires a base trace"))),
+            replace,
             self.node_bounds.as_deref(),
+            None,
         )
     }
 }
@@ -547,7 +588,8 @@ fn clamp_to_bound(v: f32, bound: f32) -> f32 {
     v.clamp(-bound, bound)
 }
 
-/// Core executor shared by calibration (no codecs) and engine runs.
+/// Core executor shared by calibration (no codecs) and engine runs. The
+/// deadline, when set, is checked at every node boundary.
 fn run(
     network: &Network,
     inputs: &[Tensor],
@@ -555,6 +597,7 @@ fn run(
     node_codecs: Option<&[ValueCodec]>,
     replace: Option<(usize, Tensor, &Trace)>,
     bounds: Option<&[f32]>,
+    deadline: Option<Instant>,
 ) -> Result<(Tensor, Trace), DnnError> {
     if inputs.len() != network.input_names.len() {
         return Err(DnnError::ArityMismatch {
@@ -602,6 +645,11 @@ fn run(
 
     let mut outputs: Vec<Tensor> = Vec::with_capacity(network.nodes.len());
     for (idx, node) in network.nodes.iter().enumerate() {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(DnnError::DeadlineExceeded);
+            }
+        }
         if let Some((ridx, ref replacement, base)) = replace {
             if idx == ridx {
                 // The corrupted writeback passes through the same bounding
@@ -756,7 +804,7 @@ mod tests {
     fn range_bounding_clamps_corrupted_values() {
         let mut engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
         let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
-        engine.enable_range_bounding(&[x.clone()], 2.0).unwrap();
+        engine.enable_range_bounding(std::slice::from_ref(&x), 2.0).unwrap();
         // Clean behaviour unchanged.
         let trace = engine.trace(&[x]).unwrap();
         assert_eq!(trace.output.data(), &[2.0, 4.0]);
@@ -785,7 +833,7 @@ mod tests {
     fn range_bounding_rejects_sub_unit_slack() {
         let mut engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
         let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
-        assert!(engine.enable_range_bounding(&[x.clone()], 0.5).is_err());
+        assert!(engine.enable_range_bounding(std::slice::from_ref(&x), 0.5).is_err());
         assert!(engine.enable_range_bounding(&[x], f32::NAN).is_err());
     }
 

@@ -837,11 +837,11 @@ mod tests {
             };
             let mut fused = vec![0.0f32; spec.out_len()];
             spec.forward_into(&ops, &mut fused);
-            for off in 0..spec.out_len() {
+            for (off, fused_value) in fused.iter().enumerate() {
                 let per_neuron = spec.compute_at(&ops, off, None);
                 assert_eq!(
                     per_neuron.to_bits(),
-                    fused[off].to_bits(),
+                    fused_value.to_bits(),
                     "spec {i}, neuron {off}"
                 );
             }

@@ -16,6 +16,8 @@
 //! derail execution authentically (wrong data, dropped writes, or watchdog
 //! time-outs).
 
+use std::time::Instant;
+
 use fidelity_dnn::tensor::Tensor;
 
 use crate::ffid::{FaultSite, FfId, SeqCounter};
@@ -168,7 +170,21 @@ impl RtlEngine {
     /// Runs with a disturbance. The watchdog fires at 4× the fault-free
     /// cycle count (plus slack), flagging the run as timed out.
     pub fn run(&self, disturbance: Disturbance) -> RunResult {
-        self.execute(Some(disturbance), self.clean.cycles * 4 + 1024)
+        self.run_with_deadline(disturbance, None)
+    }
+
+    /// [`RtlEngine::run`] under an additional wall-clock deadline.
+    ///
+    /// The cycle watchdog bounds *simulated* time; the deadline bounds *host*
+    /// time, protecting campaign workers from pathologically slow runs. It is
+    /// checked every 4096 simulated cycles; expiry flags the run as timed out
+    /// exactly like the cycle watchdog. `None` disables the check.
+    pub fn run_with_deadline(
+        &self,
+        disturbance: Disturbance,
+        deadline: Option<Instant>,
+    ) -> RunResult {
+        self.execute_guarded(Some(disturbance), self.clean.cycles * 4 + 1024, deadline)
     }
 
     /// Every flip-flop of the engine with its width in bits.
@@ -265,11 +281,20 @@ impl RtlEngine {
         SchedPoint::Idle
     }
 
+    fn execute(&self, disturbance: Option<Disturbance>, watchdog: u64) -> RunResult {
+        self.execute_guarded(disturbance, watchdog, None)
+    }
+
     // Faults may flip a register that is never read again (e.g. the fetch
     // register during the compute phase); those writes are intentionally
     // dead — that is exactly what makes the fault masked.
     #[allow(unused_assignments)]
-    fn execute(&self, disturbance: Option<Disturbance>, watchdog: u64) -> RunResult {
+    fn execute_guarded(
+        &self,
+        disturbance: Option<Disturbance>,
+        watchdog: u64,
+        deadline: Option<Instant>,
+    ) -> RunResult {
         let layer = &self.layer;
         let lanes = self.lanes;
 
@@ -388,6 +413,14 @@ impl RtlEngine {
             if cycle >= watchdog {
                 timed_out = true;
                 break;
+            }
+            if cycle & 0xFFF == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        timed_out = true;
+                        break;
+                    }
+                }
             }
             let c_total = cfgw[cfg::CHANNELS] as u64;
             let p_total = cfgw[cfg::POSITIONS] as u64;

@@ -166,7 +166,7 @@ mod tests {
         workloads.push(transformer_workload(42));
         workloads.push(lstm_workload(42));
         for w in workloads {
-            let engine = Engine::new(w.network, Precision::Fp16, &[w.inputs.clone()])
+            let engine = Engine::new(w.network, Precision::Fp16, std::slice::from_ref(&w.inputs))
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let out = engine
                 .forward(&w.inputs)

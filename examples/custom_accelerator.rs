@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 3 — a small campaign + FIT rate on a CNN.
     let workload = fidelity::workloads::classification_suite(7).remove(2); // mobilenet
-    let engine = Engine::new(workload.network, Precision::Fp16, &[workload.inputs.clone()])?;
+    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
     let trace = engine.trace(&workload.inputs)?;
     let spec = CampaignSpec {
         samples_per_cell: 80,

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Deploy a workload at FP16.
     let workload = fidelity::workloads::classification_suite(42).remove(0);
     println!("workload:    {} (image classification)", workload.name);
-    let engine = Engine::new(workload.network, Precision::Fp16, &[workload.inputs.clone()])?;
+    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
     let trace = engine.trace(&workload.inputs)?;
 
     // 3. Run the FIdelity flow: activeness analysis, software fault-injection

@@ -65,7 +65,7 @@ fn run_once(
     raw: f64,
 ) -> Result<f64, Box<dyn std::error::Error>> {
     let workload = fidelity::workloads::classification_suite(42).remove(1); // resnet
-    let engine = Engine::new(workload.network, Precision::Fp16, &[workload.inputs.clone()])?;
+    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
     let trace = engine.trace(&workload.inputs)?;
     let analysis = analyze(&engine, &trace, &cfg, &TopOneMatch, raw, spec)?;
     Ok(analysis.fit.total)

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // register-level engine (16 lanes, 16-cycle weight hold — the paper's
     // validated NVDLA geometry).
     let workload = fidelity::workloads::classification_suite(42).remove(1);
-    let engine = Engine::new(workload.network, Precision::Fp16, &[workload.inputs.clone()])?;
+    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
     let trace = engine.trace(&workload.inputs)?;
     let node = engine.network().node_index("r1_c1").expect("resnet conv exists");
     let layer = rtl_layer_for(&engine, &trace, node).expect("conv lifts to RTL");

@@ -4,6 +4,7 @@
 //! fidelity rfa      [--lanes N] [--hold N] [--eyeriss K T]
 //! fidelity analyze  --network NAME [--precision fp16|int16|int8]
 //!                   [--samples N] [--bounding SLACK] [--seed N]
+//!                   [--checkpoint PATH] [--resume]
 //! fidelity validate --network NAME [--layer NAME] [--sites N] [--systolic]
 //! fidelity protect  --network NAME [--target FIT] [--samples N]
 //! ```
@@ -16,6 +17,7 @@ use std::process::ExitCode;
 use fidelity::accel::dataflow::{EyerissDataflow, NvdlaDataflow};
 use fidelity::core::analysis::analyze;
 use fidelity::core::campaign::CampaignSpec;
+use fidelity::core::resilience::CheckpointSpec;
 use fidelity::core::fit::{ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB};
 use fidelity::core::outcome::{CorrectnessMetric, TopOneMatch};
 use fidelity::core::protect::{default_costs, plan_selective_protection};
@@ -67,10 +69,14 @@ const USAGE: &str = "usage:
   fidelity rfa      [--lanes N] [--hold N] [--eyeriss K,T]
   fidelity analyze  --network NAME [--precision fp16|int16|int8]
                     [--samples N] [--bounding SLACK] [--seed N]
+                    [--checkpoint PATH] [--resume]
   fidelity validate --network NAME [--layer NAME] [--sites N]
   fidelity protect  --network NAME [--target FIT] [--samples N]
 
 networks: inception | resnet | mobilenet | yolo | transformer | lstm";
+
+/// Flags that take no value; their presence maps to `"true"`.
+const BARE_FLAGS: &[&str] = &["resume"];
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -79,6 +85,10 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        if BARE_FLAGS.contains(&key) {
+            opts.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{key} requires a value"))?;
@@ -193,11 +203,23 @@ fn deploy(
 }
 
 fn spec_from(opts: &HashMap<String, String>) -> Result<CampaignSpec, String> {
-    Ok(CampaignSpec {
+    let mut spec = CampaignSpec {
         samples_per_cell: get(opts, "samples", 200usize)?,
         seed: get(opts, "seed", 0xF1DEu64)?,
         ..CampaignSpec::default()
-    })
+    };
+    match (opts.get("checkpoint"), opts.contains_key("resume")) {
+        (Some(path), resume) => {
+            spec.resilience.checkpoint = Some(if resume {
+                CheckpointSpec::resuming(path)
+            } else {
+                CheckpointSpec::new(path)
+            });
+        }
+        (None, true) => return Err("--resume requires --checkpoint PATH".to_owned()),
+        (None, false) => {}
+    }
+    Ok(spec)
 }
 
 fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {

@@ -27,7 +27,7 @@ fn run(
     metric: &dyn CorrectnessMetric,
     samples: usize,
 ) -> fidelity::core::analysis::ResilienceAnalysis {
-    let engine = Engine::new(workload.network, precision, &[workload.inputs.clone()]).unwrap();
+    let engine = Engine::new(workload.network, precision, std::slice::from_ref(&workload.inputs)).unwrap();
     let trace = engine.trace(&workload.inputs).unwrap();
     let accel = fidelity::accel::presets::nvdla_like();
     analyze(&engine, &trace, &accel, metric, PAPER_RAW_FIT_PER_MB, &spec(samples)).unwrap()

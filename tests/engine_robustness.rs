@@ -15,7 +15,7 @@ use proptest::prelude::*;
 
 fn nvdla_engine() -> RtlEngine {
     let w = classification_suite(31).remove(2); // mobilenet
-    let engine = Engine::new(w.network, Precision::Fp16, &[w.inputs.clone()]).unwrap();
+    let engine = Engine::new(w.network, Precision::Fp16, std::slice::from_ref(&w.inputs)).unwrap();
     let trace = engine.trace(&w.inputs).unwrap();
     let node = engine.network().node_index("ds0_pw").unwrap();
     RtlEngine::new(rtl_layer_for(&engine, &trace, node).unwrap(), 4, 4)
@@ -23,7 +23,7 @@ fn nvdla_engine() -> RtlEngine {
 
 fn systolic_engine() -> SystolicEngine {
     let w = classification_suite(31).remove(1); // resnet
-    let engine = Engine::new(w.network, Precision::Fp16, &[w.inputs.clone()]).unwrap();
+    let engine = Engine::new(w.network, Precision::Fp16, std::slice::from_ref(&w.inputs)).unwrap();
     let trace = engine.trace(&w.inputs).unwrap();
     let node = engine.network().node_index("r2_c2").unwrap();
     SystolicEngine::new(rtl_layer_for(&engine, &trace, node).unwrap(), 3, 2)

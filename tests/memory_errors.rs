@@ -12,7 +12,7 @@ use fidelity::workloads::classification_suite;
 
 fn setup() -> RtlEngine {
     let w = classification_suite(21).remove(1);
-    let engine = Engine::new(w.network, Precision::Fp16, &[w.inputs.clone()]).unwrap();
+    let engine = Engine::new(w.network, Precision::Fp16, std::slice::from_ref(&w.inputs)).unwrap();
     let trace = engine.trace(&w.inputs).unwrap();
     let node = engine.network().node_index("r1_c1").unwrap();
     RtlEngine::new(rtl_layer_for(&engine, &trace, node).unwrap(), 8, 8)

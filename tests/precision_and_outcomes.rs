@@ -29,7 +29,7 @@ fn fp16_faults_produce_larger_perturbations_than_int8() {
     let mut max_int8 = 0.0f32;
     for precision in [Precision::Fp16, Precision::Int8] {
         let w = classification_suite(9).remove(1);
-        let engine = Engine::new(w.network, precision, &[w.inputs.clone()]).unwrap();
+        let engine = Engine::new(w.network, precision, std::slice::from_ref(&w.inputs)).unwrap();
         let trace = engine.trace(&w.inputs).unwrap();
         let campaign = run_campaign(&engine, &trace, &accel, &TopOneMatch, &spec(80, true)).unwrap();
         let max_pert = campaign
@@ -57,7 +57,7 @@ fn large_perturbations_cause_more_output_errors() {
     let mut small = (0usize, 0usize);
     let mut large = (0usize, 0usize);
     for workload in classification_suite(11) {
-        let engine = Engine::new(workload.network, Precision::Fp16, &[workload.inputs.clone()])
+        let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))
             .unwrap();
         let trace = engine.trace(&workload.inputs).unwrap();
         let campaign =
@@ -89,7 +89,7 @@ fn before_buffer_weight_fault_can_break_top1() {
     // actually change the application output: keep injecting until a fault
     // flips the label, then verify the outcome classification agrees.
     let w = classification_suite(5).remove(0);
-    let engine = Engine::new(w.network, Precision::Fp16, &[w.inputs.clone()]).unwrap();
+    let engine = Engine::new(w.network, Precision::Fp16, std::slice::from_ref(&w.inputs)).unwrap();
     let trace = engine.trace(&w.inputs).unwrap();
     let node = engine.network().node_index("stem").unwrap();
     let mut rng = SplitMix64::new(1);
@@ -121,7 +121,7 @@ fn int8_outcomes_differ_from_fp16_under_same_seed() {
     let accel = fidelity::accel::presets::nvdla_like();
     let masked_frac = |precision| {
         let w = classification_suite(13).remove(2);
-        let engine = Engine::new(w.network, precision, &[w.inputs.clone()]).unwrap();
+        let engine = Engine::new(w.network, precision, std::slice::from_ref(&w.inputs)).unwrap();
         let trace = engine.trace(&w.inputs).unwrap();
         let campaign = run_campaign(&engine, &trace, &accel, &TopOneMatch, &spec(60, false)).unwrap();
         let (masked, total) = campaign

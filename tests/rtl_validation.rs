@@ -19,7 +19,7 @@ fn validate_layer(
     seed: u64,
 ) {
     let name = workload.name.clone();
-    let engine = Engine::new(workload.network, precision, &[workload.inputs.clone()]).unwrap();
+    let engine = Engine::new(workload.network, precision, std::slice::from_ref(&workload.inputs)).unwrap();
     let trace = engine.trace(&workload.inputs).unwrap();
     let node = engine.network().node_index(layer).expect("layer exists");
     let rtl_layer = rtl_layer_for(&engine, &trace, node).expect("lifts to RTL");
@@ -69,7 +69,7 @@ fn attention_matmul_fp16() {
 #[test]
 fn global_control_failure_rate_is_dominant() {
     let w = classification_suite(42).remove(1);
-    let engine = Engine::new(w.network, Precision::Fp16, &[w.inputs.clone()]).unwrap();
+    let engine = Engine::new(w.network, Precision::Fp16, std::slice::from_ref(&w.inputs)).unwrap();
     let trace = engine.trace(&w.inputs).unwrap();
     let node = engine.network().node_index("r1_c1").unwrap();
     let rtl = RtlEngine::new(rtl_layer_for(&engine, &trace, node).unwrap(), 16, 16);
