@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use crate::dataflow::{EyerissDataflow, NvdlaDataflow};
-use crate::ff::FfCensus;
+use crate::dataflow::{EyerissDataflow, NvdlaDataflow, ReuseAxis, RfaInputs};
+use crate::ff::{FfCategory, FfCensus};
 
 /// Which dataflow family an accelerator implements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,6 +20,24 @@ impl DataflowKind {
         match self {
             DataflowKind::Nvdla(d) => d.lanes,
             DataflowKind::Eyeriss(d) => d.k * d.k,
+        }
+    }
+
+    /// The canonical Algorithm-1 input bundle for a Table-II FF category, or
+    /// `None` when the category has no fixed dataflow reuse window. See
+    /// [`NvdlaDataflow::rfa_inputs_for`].
+    pub fn rfa_inputs_for(&self, cat: FfCategory) -> Option<RfaInputs> {
+        match self {
+            DataflowKind::Nvdla(d) => d.rfa_inputs_for(cat),
+            DataflowKind::Eyeriss(d) => d.rfa_inputs_for(cat),
+        }
+    }
+
+    /// The neuron axis this dataflow's temporal operand reuse walks.
+    pub fn reuse_axis(&self) -> ReuseAxis {
+        match self {
+            DataflowKind::Nvdla(_) => ReuseAxis::Width,
+            DataflowKind::Eyeriss(_) => ReuseAxis::Height,
         }
     }
 }
@@ -112,6 +130,11 @@ impl AcceleratorConfig {
         if self.dataflow.lanes() == 0 {
             return Err(ConfigError {
                 message: "dataflow must have at least one lane".into(),
+            });
+        }
+        if self.census.is_empty() {
+            return Err(ConfigError {
+                message: "ff census must not be empty".into(),
             });
         }
         for (label, v) in [

@@ -16,6 +16,20 @@
 //! the Algorithm-1 implementation can be checked against every reuse factor
 //! the paper derives by hand (t, 1..t, 1, k², k, k·t, 1).
 
+use crate::ff::{FfCategory, PipelineStage, VarType};
+
+/// Which [`NeuronOffset`] axis a dataflow's *temporal* operand reuse walks:
+/// the position dimension of an operand-register fault window maps to
+/// consecutive offsets along this axis (the channel dimension always maps to
+/// the channel axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReuseAxis {
+    /// Row-major scan positions (NVDLA-like weight-stationary holds).
+    Width,
+    /// PE rows of a systolic column (Eyeriss-like arrays).
+    Height,
+}
+
 /// Relative output-neuron coordinate `(batch, height, width, channel)`, as
 /// used by Algorithm 1. The reference neuron is `(0, 0, 0, 0)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -196,6 +210,31 @@ impl NvdlaDataflow {
         r.target = "output / partial-sum FF".into();
         r
     }
+
+    /// The canonical Algorithm-1 input bundle for a Table-II FF category, or
+    /// `None` when the category's faulty-neuron set is not a fixed dataflow
+    /// window (before-buffer faults corrupt a stored value whose use set is
+    /// data-dependent; control faults couple to whole datapath groups).
+    ///
+    /// This is the hook the static fault-model verifier uses to re-derive
+    /// each Table-II recipe independently of `model_for`.
+    pub fn rfa_inputs_for(&self, cat: FfCategory) -> Option<RfaInputs> {
+        match cat {
+            FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Input,
+            } => Some(self.input_operand_rfa()),
+            FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Weight | VarType::Bias,
+            } => Some(self.weight_operand_rfa()),
+            FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::Output | VarType::PartialSum | VarType::Bias,
+            } => Some(self.output_rfa()),
+            _ => None,
+        }
+    }
 }
 
 /// The Eyeriss-like row-stationary systolic dataflow of Fig. 2(b): a `k×k`
@@ -297,6 +336,57 @@ impl EyerissDataflow {
             }]],
         }
     }
+
+    /// The time-resolved Algorithm-1 view of the column-travelling weight of
+    /// `b1`: the value hops one PE row per cycle, so value cycle `l` is in
+    /// effect exactly at row `l`. RF is still `k`, but a random fault cycle
+    /// `p` now truncates the affected rows to the suffix `p..k` — the chain
+    /// stage hit by the flip and everything downstream of it. This is the
+    /// per-category derivation the Table-II weight-operand recipe (with its
+    /// random position suffix) must match.
+    pub fn weight_chain_rfa(&self) -> RfaInputs {
+        RfaInputs {
+            target: "buffer-to-MAC weight FF (column-travelling chain)".into(),
+            ff_value_cycles: self.k,
+            loops: (0..self.k)
+                .map(|l| {
+                    vec![UnitUse {
+                        unit: l,
+                        in_effect_cycles: 1,
+                        neurons: vec![vec![NeuronOffset::new(0, l as i32, 0, 0)]],
+                    }]
+                })
+                .collect(),
+        }
+    }
+
+    /// RFA inputs for output / partial-sum FFs (RF = 1, same shape as `b3`).
+    pub fn output_rfa(&self) -> RfaInputs {
+        let mut r = self.example_b3();
+        r.target = "output / partial-sum FF".into();
+        r
+    }
+
+    /// The canonical Algorithm-1 input bundle for a Table-II FF category
+    /// under the Fig. 2(b) row-stationary dataflow (see
+    /// [`NvdlaDataflow::rfa_inputs_for`] for the contract).
+    pub fn rfa_inputs_for(&self, cat: FfCategory) -> Option<RfaInputs> {
+        match cat {
+            FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Input,
+            } => Some(self.example_b2()),
+            FfCategory::Datapath {
+                stage: PipelineStage::BufferToMac,
+                var: VarType::Weight | VarType::Bias,
+            } => Some(self.weight_chain_rfa()),
+            FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::Output | VarType::PartialSum | VarType::Bias,
+            } => Some(self.output_rfa()),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +433,52 @@ mod tests {
             .map(|u| u.neurons[0][0].channel)
             .collect();
         assert_eq!(chans, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn per_category_hooks_cover_windowed_categories() {
+        use crate::ff::{FfCategory, PipelineStage, VarType};
+        let nv = NvdlaDataflow::paper_config();
+        let ey = EyerissDataflow {
+            k: 6,
+            channel_reuse: 4,
+        };
+        for cat in FfCategory::enumerate() {
+            let windowed = matches!(
+                cat,
+                FfCategory::Datapath {
+                    stage: PipelineStage::BufferToMac,
+                    var: VarType::Input | VarType::Weight | VarType::Bias,
+                } | FfCategory::Datapath {
+                    stage: PipelineStage::AfterMac,
+                    var: VarType::Output | VarType::PartialSum | VarType::Bias,
+                }
+            );
+            assert_eq!(nv.rfa_inputs_for(cat).is_some(), windowed, "nvdla {cat}");
+            assert_eq!(ey.rfa_inputs_for(cat).is_some(), windowed, "eyeriss {cat}");
+            if let Some(inputs) = nv.rfa_inputs_for(cat) {
+                assert!(inputs.is_well_formed(), "nvdla {cat} malformed");
+            }
+            if let Some(inputs) = ey.rfa_inputs_for(cat) {
+                assert!(inputs.is_well_formed(), "eyeriss {cat} malformed");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_chain_is_time_resolved_b1() {
+        let df = EyerissDataflow {
+            k: 5,
+            channel_reuse: 3,
+        };
+        let chain = df.weight_chain_rfa();
+        assert!(chain.is_well_formed());
+        assert_eq!(chain.ff_value_cycles, 5);
+        // One PE row per value cycle, same total footprint as b1.
+        for (l, units) in chain.loops.iter().enumerate() {
+            assert_eq!(units.len(), 1);
+            assert_eq!(units[0].neurons[0][0].height, l as i32);
+        }
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub enum PipelineStage {
     AfterMac,
 }
 
+impl PipelineStage {
+    /// Every pipeline stage, in dataflow order.
+    pub const ALL: [PipelineStage; 3] = [
+        PipelineStage::BeforeBuffer,
+        PipelineStage::BufferToMac,
+        PipelineStage::AfterMac,
+    ];
+}
+
 /// Variable type a datapath FF holds (Accelerator Property 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum VarType {
@@ -33,6 +42,17 @@ pub enum VarType {
     PartialSum,
     /// Completed output neuron values.
     Output,
+}
+
+impl VarType {
+    /// Every variable type.
+    pub const ALL: [VarType; 5] = [
+        VarType::Input,
+        VarType::Weight,
+        VarType::Bias,
+        VarType::PartialSum,
+        VarType::Output,
+    ];
 }
 
 impl fmt::Display for VarType {
@@ -66,6 +86,51 @@ pub enum FfCategory {
     GlobalControl,
 }
 
+impl FfCategory {
+    /// Enumerates the full finite category domain: every
+    /// `stage × var` datapath combination plus the two control classes
+    /// (3 · 5 + 2 = 17 categories). Static analyses iterate this set to
+    /// prove totality of per-category derivations.
+    pub fn enumerate() -> impl Iterator<Item = FfCategory> {
+        PipelineStage::ALL
+            .into_iter()
+            .flat_map(|stage| {
+                VarType::ALL
+                    .into_iter()
+                    .map(move |var| FfCategory::Datapath { stage, var })
+            })
+            .chain([FfCategory::LocalControl, FfCategory::GlobalControl])
+    }
+
+    /// The Table-II census row this category is counted under. The census
+    /// merges bias storage with the weight path it rides on and partial
+    /// sums with the output registers they become, so several fine-grained
+    /// categories share one `%FF` row:
+    ///
+    /// * `Bias` at `BeforeBuffer`/`BufferToMac` → the `Weight` row,
+    /// * `PartialSum`/`Bias` at `AfterMac` → the `Output` row,
+    /// * everything else maps to itself.
+    pub fn census_category(self) -> FfCategory {
+        match self {
+            FfCategory::Datapath {
+                stage: stage @ (PipelineStage::BeforeBuffer | PipelineStage::BufferToMac),
+                var: VarType::Bias,
+            } => FfCategory::Datapath {
+                stage,
+                var: VarType::Weight,
+            },
+            FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::PartialSum | VarType::Bias,
+            } => FfCategory::Datapath {
+                stage: PipelineStage::AfterMac,
+                var: VarType::Output,
+            },
+            other => other,
+        }
+    }
+}
+
 impl fmt::Display for FfCategory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -83,10 +148,31 @@ impl fmt::Display for FfCategory {
     }
 }
 
+/// What made a census invalid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CensusErrorKind {
+    /// A fraction was NaN or infinite.
+    NonFiniteFraction,
+    /// A fraction was negative.
+    NegativeFraction,
+    /// The same category appeared twice.
+    DuplicateCategory,
+    /// The fractions do not sum to 1 (within `1e-6`).
+    BadSum,
+}
+
 /// Error for an inconsistent FF census.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CensusError {
+    kind: CensusErrorKind,
     message: String,
+}
+
+impl CensusError {
+    /// Which invariant was violated.
+    pub fn kind(&self) -> CensusErrorKind {
+        self.kind
+    }
 }
 
 impl fmt::Display for CensusError {
@@ -114,13 +200,21 @@ impl FfCensus {
     pub fn new(entries: Vec<(FfCategory, f64)>) -> Result<Self, CensusError> {
         let mut sum = 0.0;
         for (i, (cat, frac)) in entries.iter().enumerate() {
-            if !frac.is_finite() || *frac < 0.0 {
+            if !frac.is_finite() {
                 return Err(CensusError {
+                    kind: CensusErrorKind::NonFiniteFraction,
+                    message: format!("fraction for {cat} is {frac}"),
+                });
+            }
+            if *frac < 0.0 {
+                return Err(CensusError {
+                    kind: CensusErrorKind::NegativeFraction,
                     message: format!("fraction for {cat} is {frac}"),
                 });
             }
             if entries[..i].iter().any(|(c, _)| c == cat) {
                 return Err(CensusError {
+                    kind: CensusErrorKind::DuplicateCategory,
                     message: format!("category {cat} appears twice"),
                 });
             }
@@ -128,6 +222,7 @@ impl FfCensus {
         }
         if (sum - 1.0).abs() > 1e-6 {
             return Err(CensusError {
+                kind: CensusErrorKind::BadSum,
                 message: format!("fractions sum to {sum}, expected 1.0"),
             });
         }
@@ -208,5 +303,67 @@ mod tests {
     fn display_is_readable() {
         let cat = dp(PipelineStage::BufferToMac, VarType::Weight);
         assert_eq!(cat.to_string(), "datapath weight (buffer-to-MAC)");
+    }
+
+    #[test]
+    fn enumerate_covers_the_full_domain() {
+        let all: Vec<FfCategory> = FfCategory::enumerate().collect();
+        assert_eq!(all.len(), 3 * 5 + 2);
+        // No duplicates.
+        for (i, a) in all.iter().enumerate() {
+            assert!(!all[..i].contains(a), "{a} enumerated twice");
+        }
+        assert!(all.contains(&FfCategory::LocalControl));
+        assert!(all.contains(&FfCategory::GlobalControl));
+        assert!(all.contains(&dp(PipelineStage::AfterMac, VarType::PartialSum)));
+    }
+
+    #[test]
+    fn census_category_merges_into_table2_rows() {
+        assert_eq!(
+            dp(PipelineStage::AfterMac, VarType::PartialSum).census_category(),
+            dp(PipelineStage::AfterMac, VarType::Output)
+        );
+        assert_eq!(
+            dp(PipelineStage::BufferToMac, VarType::Bias).census_category(),
+            dp(PipelineStage::BufferToMac, VarType::Weight)
+        );
+        assert_eq!(
+            dp(PipelineStage::AfterMac, VarType::Bias).census_category(),
+            dp(PipelineStage::AfterMac, VarType::Output)
+        );
+        // Fixed point: a census row maps to itself.
+        for cat in FfCategory::enumerate() {
+            let row = cat.census_category();
+            assert_eq!(row.census_category(), row);
+        }
+    }
+
+    #[test]
+    fn census_error_kinds_are_distinguished() {
+        let nan = FfCensus::new(vec![(FfCategory::LocalControl, f64::NAN)]).unwrap_err();
+        assert_eq!(nan.kind(), CensusErrorKind::NonFiniteFraction);
+
+        let inf = FfCensus::new(vec![(FfCategory::LocalControl, f64::INFINITY)]).unwrap_err();
+        assert_eq!(inf.kind(), CensusErrorKind::NonFiniteFraction);
+
+        let neg = FfCensus::new(vec![
+            (FfCategory::LocalControl, 1.5),
+            (FfCategory::GlobalControl, -0.5),
+        ])
+        .unwrap_err();
+        assert_eq!(neg.kind(), CensusErrorKind::NegativeFraction);
+        assert!(neg.to_string().contains("global control"));
+
+        let dup = FfCensus::new(vec![
+            (FfCategory::LocalControl, 0.5),
+            (FfCategory::LocalControl, 0.5),
+        ])
+        .unwrap_err();
+        assert_eq!(dup.kind(), CensusErrorKind::DuplicateCategory);
+
+        let sum = FfCensus::new(vec![(FfCategory::LocalControl, 0.9)]).unwrap_err();
+        assert_eq!(sum.kind(), CensusErrorKind::BadSum);
+        assert!(sum.to_string().contains("0.9"));
     }
 }

@@ -98,9 +98,34 @@ pub fn eyeriss_like() -> AcceleratorConfig {
     }
 }
 
+/// Every shipped preset, in documentation order. Static analyses iterate
+/// this list so a newly added preset is verified without further wiring.
+pub fn all() -> Vec<AcceleratorConfig> {
+    vec![
+        nvdla_like(),
+        nvdla_small_like(),
+        nvdla_large_like(),
+        eyeriss_like(),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_presets_validate_and_have_unique_names() {
+        let presets = all();
+        assert_eq!(presets.len(), 4);
+        for (i, cfg) in presets.iter().enumerate() {
+            cfg.validate().unwrap();
+            assert!(
+                !presets[..i].iter().any(|p| p.name == cfg.name),
+                "duplicate preset name {}",
+                cfg.name
+            );
+        }
+    }
 
     #[test]
     fn nvdla_census_matches_table2() {

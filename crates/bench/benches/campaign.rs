@@ -27,7 +27,7 @@ fn bench_campaign(c: &mut Criterion) {
         resilience: Default::default(),
     };
     group.bench_function("fixed_300_per_cell", |b| {
-        b.iter(|| run_campaign(&engine, &trace, &accel, &TopOneMatch, &fixed).expect("runs"))
+        b.iter(|| run_campaign(&engine, &trace, &accel, &TopOneMatch, &fixed).expect("runs"));
     });
 
     let adaptive = CampaignSpec {
@@ -35,7 +35,7 @@ fn bench_campaign(c: &mut Criterion) {
         ..fixed.clone()
     };
     group.bench_function("adaptive_ci_0.05", |b| {
-        b.iter(|| run_campaign(&engine, &trace, &accel, &TopOneMatch, &adaptive).expect("runs"))
+        b.iter(|| run_campaign(&engine, &trace, &accel, &TopOneMatch, &adaptive).expect("runs"));
     });
 
     group.finish();

@@ -15,10 +15,11 @@ fn bench_inference(c: &mut Criterion) {
         let inputs = workload.inputs.clone();
         let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
         group.bench_function(format!("{label}_forward"), |b| {
-            b.iter(|| engine.forward(&inputs).expect("fixed workload"))
+            b.iter(|| engine.forward(&inputs).expect("fixed workload"));
         });
         // Resume from the last MAC layer: the common injection case.
-        let node = (0..engine.network().node_count()).rfind(|&i| engine.mac_spec(i, &trace).is_some())
+        let node = (0..engine.network().node_count())
+            .rfind(|&i| engine.mac_spec(i, &trace).is_some())
             .expect("has MAC layers");
         let replacement = trace.node_outputs[node].clone();
         group.bench_function(format!("{label}_resume_last_mac"), |b| {
@@ -26,7 +27,7 @@ fn bench_inference(c: &mut Criterion) {
                 engine
                     .resume(&trace, node, replacement.clone())
                     .expect("fixed workload")
-            })
+            });
         });
     }
     group.finish();

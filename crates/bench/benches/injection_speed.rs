@@ -39,7 +39,7 @@ fn bench_injection(c: &mut Criterion) {
                 &mut rng,
             )
             .expect("fixed workload")
-        })
+        });
     });
     group.bench_function("register_level", |b| {
         let mut i = 0usize;
@@ -47,7 +47,7 @@ fn bench_injection(c: &mut Criterion) {
             let site = sites[i % sites.len()];
             i += 1;
             rtl.run(Disturbance::Ff(site))
-        })
+        });
     });
     group.bench_function("mixed_mode", |b| {
         let mut i = 0usize;
@@ -55,8 +55,10 @@ fn bench_injection(c: &mut Criterion) {
             let site = sites[i % sites.len()];
             i += 1;
             let run = rtl.run(Disturbance::Ff(site));
-            engine.resume(&trace, node, run.output).expect("fixed workload")
-        })
+            engine
+                .resume(&trace, node, run.output)
+                .expect("fixed workload")
+        });
     });
     group.finish();
 }

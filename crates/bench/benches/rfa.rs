@@ -15,7 +15,7 @@ fn bench_rfa(c: &mut Criterion) {
         };
         let inputs = df.example_a4();
         group.bench_with_input(BenchmarkId::new("nvdla_input", lanes), &inputs, |b, i| {
-            b.iter(|| reuse_factor_analysis(i).expect("well-formed"))
+            b.iter(|| reuse_factor_analysis(i).expect("well-formed"));
         });
     }
     for k in [12usize, 32, 64] {
@@ -25,7 +25,7 @@ fn bench_rfa(c: &mut Criterion) {
         };
         let inputs = df.example_b2();
         group.bench_with_input(BenchmarkId::new("eyeriss_input", k), &inputs, |b, i| {
-            b.iter(|| reuse_factor_analysis(i).expect("well-formed"))
+            b.iter(|| reuse_factor_analysis(i).expect("well-formed"));
         });
     }
     group.finish();

@@ -17,7 +17,10 @@ fn main() {
     let (engine, trace) = fidelity_bench::deploy(workload, precision);
     let work = extract_work(&engine, &trace);
 
-    println!("FF activeness (Eq. 1) — {name} at {precision} on {}", cfg.name);
+    println!(
+        "FF activeness (Eq. 1) — {name} at {precision} on {}",
+        cfg.name
+    );
     fidelity_bench::rule(104);
     println!(
         "{:<14} {:>9} {:>9} {:>9}   Prob_inactive per category",

@@ -3,7 +3,9 @@
 //! contributions (top-1 correctness metric, raw FF FIT = 600/MB).
 
 use fidelity_core::analysis::analyze;
-use fidelity_core::fit::{ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB};
+use fidelity_core::fit::{
+    ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB,
+};
 use fidelity_core::outcome::TopOneMatch;
 use fidelity_dnn::precision::Precision;
 use fidelity_workloads::classification_suite;
@@ -63,6 +65,8 @@ fn main() {
     fidelity_bench::rule(86);
     println!("Expected shapes (paper key results 1, 2, 4):");
     println!("  - every total far exceeds the 0.2 ASIL-D FF budget (Key result 1);");
-    println!("  - global control dominates, but datapath+local alone still exceed 0.2 (Key result 2);");
+    println!(
+        "  - global control dominates, but datapath+local alone still exceed 0.2 (Key result 2);"
+    );
     println!("  - FP16 networks generally have higher FIT than INT16/INT8; INT8 >= INT16 (Key result 4).");
 }

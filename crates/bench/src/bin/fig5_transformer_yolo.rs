@@ -31,9 +31,15 @@ fn main() {
             transformer_workload as fn(u64) -> Workload,
             Box::new(BleuThreshold::ten_percent()),
         ),
-        (transformer_workload, Box::new(BleuThreshold::twenty_percent())),
+        (
+            transformer_workload,
+            Box::new(BleuThreshold::twenty_percent()),
+        ),
         (yolo_workload, Box::new(DetectionThreshold::ten_percent())),
-        (yolo_workload, Box::new(DetectionThreshold::twenty_percent())),
+        (
+            yolo_workload,
+            Box::new(DetectionThreshold::twenty_percent()),
+        ),
     ];
 
     let mut totals = Vec::new();
@@ -60,7 +66,12 @@ fn main() {
             fidelity_bench::fit(f.global),
             fidelity_bench::fit(f.total)
         );
-        totals.push((name, metric.name().to_owned(), f.total, f.datapath + f.local));
+        totals.push((
+            name,
+            metric.name().to_owned(),
+            f.total,
+            f.datapath + f.local,
+        ));
     }
 
     fidelity_bench::rule(92);

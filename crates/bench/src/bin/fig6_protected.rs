@@ -4,7 +4,9 @@
 //! the 0.2 ASIL-D FF budget, so resilience analysis for those FFs matters.
 
 use fidelity_core::analysis::analyze;
-use fidelity_core::fit::{ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB};
+use fidelity_core::fit::{
+    ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB,
+};
 use fidelity_core::outcome::TopOneMatch;
 use fidelity_dnn::precision::Precision;
 use fidelity_workloads::classification_suite;
@@ -47,7 +49,11 @@ fn main() {
             fidelity_bench::fit(f.datapath),
             fidelity_bench::fit(f.local),
             fidelity_bench::fit(f.total),
-            if over { "still OVER budget" } else { "within budget" }
+            if over {
+                "still OVER budget"
+            } else {
+                "within budget"
+            }
         );
     }
     fidelity_bench::rule(76);
@@ -56,6 +62,8 @@ fn main() {
         println!("datapath and local-control FFs need resilience analysis too (Key result 2).");
     } else {
         println!("Note: some workloads fall within budget at this configuration; the paper's");
-        println!("conclusion holds for its NVDLA point — rerun with more samples or a larger census.");
+        println!(
+            "conclusion holds for its NVDLA point — rerun with more samples or a larger census."
+        );
     }
 }

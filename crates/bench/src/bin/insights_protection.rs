@@ -10,7 +10,9 @@
 //!    rate; large perturbations (the dangerous ones) are clipped.
 
 use fidelity_core::analysis::analyze;
-use fidelity_core::fit::{ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB};
+use fidelity_core::fit::{
+    ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB,
+};
 use fidelity_core::outcome::TopOneMatch;
 use fidelity_core::protect::{default_costs, plan_selective_protection};
 use fidelity_dnn::precision::Precision;
@@ -21,22 +23,28 @@ fn main() {
     let budget = ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION);
     let spec = fidelity_bench::campaign_spec(0xF16C, false);
 
-    println!("Architectural insights ({} samples/cell)\n", spec.samples_per_cell);
+    println!(
+        "Architectural insights ({} samples/cell)\n",
+        spec.samples_per_cell
+    );
 
     // ---------- 1 & 2: selective / adaptive protection ----------
     println!("1) Selective protection to reach the {budget} FIT budget:");
     for workload in classification_suite(42) {
         let name = workload.name.clone();
         let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
-        let analysis = analyze(&engine, &trace, &cfg, &TopOneMatch, PAPER_RAW_FIT_PER_MB, &spec)
-            .expect("analysis over fixed workloads");
+        let analysis = analyze(
+            &engine,
+            &trace,
+            &cfg,
+            &TopOneMatch,
+            PAPER_RAW_FIT_PER_MB,
+            &spec,
+        )
+        .expect("analysis over fixed workloads");
         let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
-        let plan = plan_selective_protection(
-            &analysis.fit,
-            &costs,
-            |c| cfg.census.fraction(c),
-            budget,
-        );
+        let plan =
+            plan_selective_protection(&analysis.fit, &costs, |c| cfg.census.fraction(c), budget);
         println!(
             "  {:<12} FIT {:>6} -> {:>6}  (met: {}, area cost {:.1}% of FF area)",
             name,
@@ -65,15 +73,29 @@ fn main() {
         let name = workload.name.clone();
         let inputs = workload.inputs.clone();
         let (mut engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
-        let base = analyze(&engine, &trace, &cfg, &TopOneMatch, PAPER_RAW_FIT_PER_MB, &spec)
-            .expect("analysis over fixed workloads");
+        let base = analyze(
+            &engine,
+            &trace,
+            &cfg,
+            &TopOneMatch,
+            PAPER_RAW_FIT_PER_MB,
+            &spec,
+        )
+        .expect("analysis over fixed workloads");
 
         engine
             .enable_range_bounding(&inputs, 1.5)
             .expect("slack >= 1");
         let trace_b = engine.trace(&inputs).expect("bounded trace");
-        let bounded = analyze(&engine, &trace_b, &cfg, &TopOneMatch, PAPER_RAW_FIT_PER_MB, &spec)
-            .expect("bounded analysis");
+        let bounded = analyze(
+            &engine,
+            &trace_b,
+            &cfg,
+            &TopOneMatch,
+            PAPER_RAW_FIT_PER_MB,
+            &spec,
+        )
+        .expect("bounded analysis");
 
         let b0 = base.fit.datapath + base.fit.local;
         let b1 = bounded.fit.datapath + bounded.fit.local;

@@ -77,10 +77,12 @@ fn main() {
         large.1,
         pct(large)
     );
+    println!("\nPaper: perturbation <= 100 → < 4% output errors; > 100 → > 45%. The shape to");
     println!(
-        "\nPaper: perturbation <= 100 → < 4% output errors; > 100 → > 45%. The shape to"
+        "check is a large gap between the two columns (here: {:.1}% vs {:.1}%).",
+        pct(small),
+        pct(large)
     );
-    println!("check is a large gap between the two columns (here: {:.1}% vs {:.1}%).", pct(small), pct(large));
 }
 
 fn pct((err, total): (usize, usize)) -> f64 {

@@ -9,11 +9,11 @@
 use fidelity_core::analysis::analyze;
 use fidelity_core::fit::PAPER_RAW_FIT_PER_MB;
 use fidelity_core::naive::naive_fit_rate;
+use fidelity_core::outcome::CorrectnessMetric;
 use fidelity_core::outcome::TopOneMatch;
 use fidelity_dnn::precision::Precision;
-use fidelity_workloads::{classification_suite, yolo_workload};
 use fidelity_workloads::metrics::DetectionThreshold;
-use fidelity_core::outcome::CorrectnessMetric;
+use fidelity_workloads::{classification_suite, yolo_workload};
 
 fn main() {
     let cfg = fidelity_accel::presets::nvdla_like();

@@ -66,21 +66,16 @@ fn describe(model: SoftwareFaultModel) -> (String, String) {
                 operand(kind),
                 window.positions,
                 window.channels,
-                if random_suffix {
-                    ", random suffix"
-                } else {
-                    ""
-                }
+                if random_suffix { ", random suffix" } else { "" }
             ),
         ),
         SoftwareFaultModel::OutputValue => (
             "1".into(),
             "one bit flip at one output neuron / partial sum".into(),
         ),
-        SoftwareFaultModel::LocalControl => (
-            "1".into(),
-            "random value at one output neuron".into(),
-        ),
+        SoftwareFaultModel::LocalControl => {
+            ("1".into(), "random value at one output neuron".into())
+        }
         SoftwareFaultModel::GlobalControl => ("ALL".into(), "system failure".into()),
     }
 }

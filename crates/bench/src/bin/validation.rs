@@ -141,7 +141,10 @@ fn main() {
         "  global-control faults: {:.1}% masked in RTL (paper: ~9.5%); FIdelity conservatively models them as failures",
         global_masked_pct
     );
-    println!("  time-outs observed: {} (paper: 72, all global control)", total.timeouts);
+    println!(
+        "  time-outs observed: {} (paper: 72, all global control)",
+        total.timeouts
+    );
     if total.mismatches.is_empty() {
         println!("  NO MISMATCHES — software fault models fully validated");
     } else {

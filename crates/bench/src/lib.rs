@@ -33,7 +33,7 @@ pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
     CampaignSpec {
         samples_per_cell: samples_per_cell(),
         seed,
-        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        threads: std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
         record_events,
         target_ci_halfwidth: None,
         resilience: Default::default(),

@@ -119,8 +119,7 @@ impl Bencher {
         let iters = if once.is_zero() {
             1024
         } else {
-            (Duration::from_millis(10).as_nanos() / once.as_nanos().max(1))
-                .clamp(1, 1024) as u64
+            (Duration::from_millis(10).as_nanos() / once.as_nanos().max(1)).clamp(1, 1024) as u64
         };
         self.per_sample_iters = iters;
         let n = self.samples.capacity().max(1);

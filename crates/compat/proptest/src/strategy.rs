@@ -96,7 +96,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter `{}` rejected 1024 consecutive samples", self.whence);
+        panic!(
+            "prop_filter `{}` rejected 1024 consecutive samples",
+            self.whence
+        );
     }
 }
 
@@ -132,7 +135,10 @@ impl<T> Strategy for Union<T> {
     type Value = T;
 
     fn generate(&self, rng: &mut TestRng) -> T {
-        assert!(!self.variants.is_empty(), "prop_oneof! needs an alternative");
+        assert!(
+            !self.variants.is_empty(),
+            "prop_oneof! needs an alternative"
+        );
         let idx = rng.below(self.variants.len() as u64) as usize;
         self.variants[idx].generate(rng)
     }
@@ -226,10 +232,12 @@ mod tests {
 
     #[test]
     fn union_covers_all_variants() {
-        let s = Union::new().or(Just(1u8)).or(Just(2u8)).or((3u8..5).prop_map(|v| v));
+        let s = Union::new()
+            .or(Just(1u8))
+            .or(Just(2u8))
+            .or((3u8..5).prop_map(|v| v));
         let mut rng = TestRng::for_test("union");
-        let seen: std::collections::HashSet<u8> =
-            (0..200).map(|_| s.generate(&mut rng)).collect();
+        let seen: std::collections::HashSet<u8> = (0..200).map(|_| s.generate(&mut rng)).collect();
         assert!(seen.contains(&1) && seen.contains(&2) && (seen.contains(&3) || seen.contains(&4)));
     }
 

@@ -40,6 +40,21 @@ pub fn prob_inactive(
     (class1 + class2 + class3_pop * class3_inactive).clamp(0.0, 1.0)
 }
 
+/// The Class 1/2 population fractions of `cat` under `precision`, exposed so
+/// static analyses can check the Eq.-1 partition invariants (each fraction
+/// in `[0, 1]`, the two classes disjoint: their sum must not exceed 1, with
+/// the remainder forming the Class-3 population).
+pub fn class_partition(
+    cfg: &AcceleratorConfig,
+    cat: FfCategory,
+    precision: Precision,
+) -> (f64, f64) {
+    (
+        class1_fraction(cfg, cat),
+        class2_fraction(cfg, cat, precision),
+    )
+}
+
 /// Class 1 ("component not used"): the weight-decompression unit sits on the
 /// weight fetch path and all our workloads use uncompressed weights, so its
 /// FFs are idle for entire layers.

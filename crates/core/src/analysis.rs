@@ -125,7 +125,14 @@ pub fn analyze_multi(
             path.push(format!(".s{i}"));
             ckpt.path = path.into();
         }
-        per_sample.push(analyze(engine, &trace, accel, metric, raw_fit_per_mb, &sample_spec)?);
+        per_sample.push(analyze(
+            engine,
+            &trace,
+            accel,
+            metric,
+            raw_fit_per_mb,
+            &sample_spec,
+        )?);
     }
 
     // Average the per-(layer, category) masking terms across samples, then
@@ -140,11 +147,16 @@ pub fn analyze_multi(
                     .layer_terms
                     .iter()
                     .find(|t| t.name == terms.name)
+                    // Per-sample analyses all come from the same deployed
+                    // network, so the lookup cannot fail.
+                    // statcheck:allow(panic-path)
                     .expect("same network across samples");
                 let c = t
                     .categories
                     .iter()
                     .find(|c| c.category == cat.category)
+                    // Same accelerator census for every sample, see above.
+                    // statcheck:allow(panic-path)
                     .expect("same census across samples");
                 mask += c.prob_swmask;
                 inactive += c.prob_inactive;
@@ -249,10 +261,17 @@ mod tests {
             let mut s = spec.clone();
             s.seed = spec.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
             per_sample.push(
-                analyze(&engine, &trace, &cfg, &TopOneMatch, PAPER_RAW_FIT_PER_MB, &s)
-                    .unwrap()
-                    .fit
-                    .total,
+                analyze(
+                    &engine,
+                    &trace,
+                    &cfg,
+                    &TopOneMatch,
+                    PAPER_RAW_FIT_PER_MB,
+                    &s,
+                )
+                .unwrap()
+                .fit
+                .total,
             );
         }
         let lo = per_sample.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -288,9 +307,7 @@ mod tests {
         // least contribute substantially.
         assert!(fit.global > 0.0);
         // Fig. 6 scenario removes exactly the global part.
-        assert!(
-            (analysis.fit_global_protected.total - (fit.total - fit.global)).abs() < 1e-9
-        );
+        assert!((analysis.fit_global_protected.total - (fit.total - fit.global)).abs() < 1e-9);
         // Layer terms cover both MAC layers.
         assert_eq!(analysis.layer_terms.len(), 2);
     }

@@ -62,7 +62,7 @@ impl Default for CampaignSpec {
         CampaignSpec {
             samples_per_cell: 200,
             seed: 0xF1DE_117F,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
             record_events: false,
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
@@ -307,8 +307,7 @@ impl<'a> CampaignRunner<'a> {
         let plans = self.plans();
         let plan_ids: Vec<(usize, FfCategory)> =
             plans.iter().map(|p| (p.node, p.category)).collect();
-        let fingerprint =
-            campaign_fingerprint(spec, self.engine.network().name(), &plan_ids);
+        let fingerprint = campaign_fingerprint(spec, self.engine.network().name(), &plan_ids);
 
         // Load previously completed cells, when resuming.
         let mut loaded: Vec<Option<CellStats>> = (0..plans.len()).map(|_| None).collect();
@@ -399,9 +398,8 @@ impl<'a> CampaignRunner<'a> {
                         // Each attempt restarts the cell's RNG stream, so a
                         // successful retry is bit-identical to a clean run.
                         let mut stats = self.fresh_cell(plan);
-                        let run = catch_unwind(AssertUnwindSafe(|| {
-                            self.run_cell(&mut stats, plan)
-                        }));
+                        let run =
+                            catch_unwind(AssertUnwindSafe(|| self.run_cell(&mut stats, plan)));
                         match run {
                             Ok(Ok(())) => {
                                 completed = Some(stats);
@@ -411,8 +409,7 @@ impl<'a> CampaignRunner<'a> {
                                 last = Some((stats, FailureReason::Error(e.to_string())));
                             }
                             Err(payload) => {
-                                last =
-                                    Some((stats, FailureReason::Panic(panic_text(&*payload))));
+                                last = Some((stats, FailureReason::Panic(panic_text(&*payload))));
                             }
                         }
                     }
@@ -434,8 +431,7 @@ impl<'a> CampaignRunner<'a> {
                                     FailureReason::Error("cell never ran".into()),
                                 )
                             });
-                            let failed_so_far =
-                                failure_count.fetch_add(1, Ordering::Relaxed) + 1;
+                            let failed_so_far = failure_count.fetch_add(1, Ordering::Relaxed) + 1;
                             lock(&failures).push(CellFailure {
                                 node: plan.node,
                                 layer: partial.layer.clone(),
@@ -488,7 +484,9 @@ impl<'a> CampaignRunner<'a> {
         }
         Ok(CampaignResult {
             cells,
-            failures: failures.into_inner().unwrap_or_else(PoisonError::into_inner),
+            failures: failures
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner),
         })
     }
 
@@ -546,10 +544,15 @@ impl<'a> CampaignRunner<'a> {
             let deadline = spec
                 .resilience
                 .injection_deadline
+                // The monotonic watchdog clock bounds wall time by design
+                // and never feeds campaign statistics.
+                // statcheck:allow(wall-clock)
                 .map(|d| Instant::now() + d);
             if let Some(c) = chaos {
                 match c.mode {
                     ChaosMode::PanicAtSample(k) if i == k => {
+                        // Deliberate: exercises the panic-isolation path.
+                        // statcheck:allow(panic-path)
                         panic!(
                             "chaos: deliberate panic at sample {i} of cell (node {}, {})",
                             plan.node, plan.category

@@ -94,11 +94,8 @@ pub fn accelerator_fit_rate(
                 continue;
             }
             let frac = cfg.census.fraction(term.category);
-            let contrib = raw_total
-                * w
-                * frac
-                * (1.0 - term.prob_inactive)
-                * (1.0 - term.prob_swmask);
+            let contrib =
+                raw_total * w * frac * (1.0 - term.prob_inactive) * (1.0 - term.prob_swmask);
             match per_category.iter_mut().find(|(c, _)| *c == term.category) {
                 Some((_, v)) => *v += contrib,
                 None => per_category.push((term.category, contrib)),
@@ -179,15 +176,23 @@ mod tests {
         // Global control is unmasked in both layers; the datapath+local part
         // only contributes in the short layer (10% weight).
         let expected = raw_total * (0.113 + 0.1 * 0.887);
-        assert!((b.total - expected).abs() < 1e-9, "{} vs {expected}", b.total);
+        assert!(
+            (b.total - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            b.total
+        );
     }
 
     #[test]
     fn protection_zeroes_category() {
         let cfg = presets::nvdla_like();
         let unprotected = accelerator_fit_rate(&cfg, 600.0, &[layer("l", 10, 0.5)], &[]);
-        let protected =
-            accelerator_fit_rate(&cfg, 600.0, &[layer("l", 10, 0.5)], &[FfCategory::GlobalControl]);
+        let protected = accelerator_fit_rate(
+            &cfg,
+            600.0,
+            &[layer("l", 10, 0.5)],
+            &[FfCategory::GlobalControl],
+        );
         assert_eq!(protected.global, 0.0);
         assert!((unprotected.total - unprotected.global - protected.total).abs() < 1e-9);
     }

@@ -73,6 +73,8 @@ pub fn inject_once_guarded(
         max_perturbation,
         final_output: None,
     };
+    // Monotonic watchdog deadline check; never feeds campaign statistics.
+    // statcheck:allow(wall-clock)
     let expired = || deadline.is_some_and(|d| Instant::now() >= d);
     let injection = match apply_model(model, engine, trace, node, rng)? {
         ModelEffect::Masked => Injection {
@@ -113,7 +115,10 @@ pub fn inject_once_guarded(
     // the watchdog semantics are "the accelerator was reset", regardless of
     // what the propagation would eventually have produced.
     if expired() {
-        return Ok(timeout(injection.faulty_neurons, injection.max_perturbation));
+        return Ok(timeout(
+            injection.faulty_neurons,
+            injection.max_perturbation,
+        ));
     }
     Ok(injection)
 }
@@ -124,8 +129,8 @@ mod tests {
     use crate::outcome::TopOneMatch;
     use fidelity_dnn::graph::NetworkBuilder;
     use fidelity_dnn::init::uniform_tensor;
-    use fidelity_dnn::layers::{Activation, ActivationKind, Dense, Flatten, GlobalAvgPool};
     use fidelity_dnn::layers::Conv2d;
+    use fidelity_dnn::layers::{Activation, ActivationKind, Dense, Flatten, GlobalAvgPool};
     use fidelity_dnn::precision::Precision;
 
     fn tiny_classifier() -> (Engine, Trace) {
@@ -221,7 +226,9 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         // Clean trace is never perturbed by injections.
-        let fresh = engine.trace(&[uniform_tensor(3, vec![1, 2, 6, 6], 1.0)]).unwrap();
+        let fresh = engine
+            .trace(&[uniform_tensor(3, vec![1, 2, 6, 6], 1.0)])
+            .unwrap();
         assert_eq!(fresh.output.data(), trace.output.data());
     }
 }

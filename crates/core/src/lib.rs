@@ -59,11 +59,11 @@ pub(crate) mod rtl_addr {
 
 pub use analysis::{analyze, ResilienceAnalysis};
 pub use campaign::{run_campaign, CampaignResult, CampaignRunner, CampaignSpec};
-pub use resilience::{
-    CellFailure, ChaosMode, ChaosSpec, CheckpointSpec, FailureReason, ResilienceSpec,
-};
 pub use fit::{accelerator_fit_rate, FitBreakdown, PAPER_RAW_FIT_PER_MB};
 pub use models::{model_for, SoftwareFaultModel};
 pub use outcome::{CorrectnessMetric, Outcome, TopOneMatch};
+pub use resilience::{
+    CellFailure, ChaosMode, ChaosSpec, CheckpointSpec, FailureReason, ResilienceSpec,
+};
 pub use rfa::{reuse_factor_analysis, RfaResult};
 pub use validate::{predict, random_sites, validate_many, Prediction, ValidationReport};

@@ -97,9 +97,11 @@ pub fn model_for(cat: FfCategory, cfg: &AcceleratorConfig) -> Option<SoftwareFau
     };
     match cat {
         FfCategory::Datapath { stage, var } => match (stage, var) {
-            (PipelineStage::BeforeBuffer, VarType::Input) => Some(SoftwareFaultModel::BeforeBuffer {
-                kind: OperandKind::Input,
-            }),
+            (PipelineStage::BeforeBuffer, VarType::Input) => {
+                Some(SoftwareFaultModel::BeforeBuffer {
+                    kind: OperandKind::Input,
+                })
+            }
             (PipelineStage::BeforeBuffer, VarType::Weight | VarType::Bias) => {
                 Some(SoftwareFaultModel::BeforeBuffer {
                     kind: OperandKind::Weight,
@@ -166,11 +168,7 @@ struct MacOperands<'a> {
     weight_codec: ValueCodec,
 }
 
-fn mac_operands<'a>(
-    engine: &'a Engine,
-    trace: &'a Trace,
-    node: usize,
-) -> Option<MacOperands<'a>> {
+fn mac_operands<'a>(engine: &'a Engine, trace: &'a Trace, node: usize) -> Option<MacOperands<'a>> {
     let spec = engine.mac_spec(node, trace)?;
     let inputs = engine.node_inputs(node, trace);
     let input_codecs = engine.node_input_codecs(node);
@@ -368,8 +366,8 @@ fn select_window(
     // Position block: computation-order chunks of `window.positions`.
     let n_pos_blocks = positions.len().div_ceil(window.positions);
     let pb = rng.next_below(n_pos_blocks as u64) as usize;
-    let pos_block = &positions[pb * window.positions
-        ..((pb + 1) * window.positions).min(positions.len())];
+    let pos_block =
+        &positions[pb * window.positions..((pb + 1) * window.positions).min(positions.len())];
     let pos_block: Vec<usize> = if random_suffix && pos_block.len() > 1 {
         let start = rng.next_below(pos_block.len() as u64) as usize;
         pos_block[start..].to_vec()
@@ -435,7 +433,11 @@ mod tests {
             var: VarType::Input,
         };
         match model_for(cat, &cfg) {
-            Some(SoftwareFaultModel::Operand { kind, window, random_suffix }) => {
+            Some(SoftwareFaultModel::Operand {
+                kind,
+                window,
+                random_suffix,
+            }) => {
                 assert_eq!(kind, OperandKind::Input);
                 assert_eq!(window.channels, 16);
                 assert_eq!(window.positions, 1);
@@ -551,7 +553,15 @@ mod tests {
     fn output_value_fault_is_single_neuron() {
         let (engine, trace) = conv_engine();
         let mut rng = SplitMix64::new(8);
-        match apply_model(SoftwareFaultModel::OutputValue, &engine, &trace, 0, &mut rng).unwrap() {
+        match apply_model(
+            SoftwareFaultModel::OutputValue,
+            &engine,
+            &trace,
+            0,
+            &mut rng,
+        )
+        .unwrap()
+        {
             ModelEffect::Layer(app) => {
                 assert_eq!(app.faulty_neurons.len(), 1);
             }
@@ -565,7 +575,14 @@ mod tests {
         let (engine, trace) = conv_engine();
         let mut rng = SplitMix64::new(9);
         assert!(matches!(
-            apply_model(SoftwareFaultModel::GlobalControl, &engine, &trace, 0, &mut rng).unwrap(),
+            apply_model(
+                SoftwareFaultModel::GlobalControl,
+                &engine,
+                &trace,
+                0,
+                &mut rng
+            )
+            .unwrap(),
             ModelEffect::SystemFailure
         ));
     }
@@ -585,6 +602,13 @@ mod tests {
         let engine = Engine::new(net, Precision::Fp16, &[]).unwrap();
         let trace = engine.trace(&[uniform_tensor(2, vec![1, 4], 1.0)]).unwrap();
         let mut rng = SplitMix64::new(3);
-        assert!(apply_model(SoftwareFaultModel::OutputValue, &engine, &trace, 1, &mut rng).is_err());
+        assert!(apply_model(
+            SoftwareFaultModel::OutputValue,
+            &engine,
+            &trace,
+            1,
+            &mut rng
+        )
+        .is_err());
     }
 }

@@ -42,7 +42,11 @@ pub fn naive_fit_rate(
     seed: u64,
 ) -> Result<NaiveResult, DnnError> {
     // Architectural states = all node outputs, weighted by element count.
-    let sizes: Vec<usize> = trace.node_outputs.iter().map(|t| t.len()).collect();
+    let sizes: Vec<usize> = trace
+        .node_outputs
+        .iter()
+        .map(fidelity_dnn::Tensor::len)
+        .collect();
     let total: usize = sizes.iter().sum();
     let mut rng = SplitMix64::new(seed);
     let mut masked = 0usize;
@@ -121,8 +125,7 @@ mod tests {
             .trace(&[uniform_tensor(3, vec![1, 2, 6, 6], 1.0)])
             .unwrap();
         let cfg = presets::nvdla_like();
-        let res =
-            naive_fit_rate(&engine, &trace, &TopOneMatch, &cfg, 600.0, 200, 11).unwrap();
+        let res = naive_fit_rate(&engine, &trace, &TopOneMatch, &cfg, 600.0, 200, 11).unwrap();
         assert_eq!(res.samples, 200);
         let raw_total = 600.0 * cfg.ff_megabytes();
         assert!(res.fit_estimate >= 0.0 && res.fit_estimate <= raw_total);

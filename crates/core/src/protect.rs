@@ -164,12 +164,7 @@ mod tests {
     fn global_control_is_protected_first() {
         let cfg = presets::nvdla_like();
         let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
-        let plan = plan_selective_protection(
-            &breakdown(),
-            &costs,
-            |c| cfg.census.fraction(c),
-            2.0,
-        );
+        let plan = plan_selective_protection(&breakdown(), &costs, |c| cfg.census.fraction(c), 2.0);
         assert!(plan.met_target);
         assert_eq!(plan.steps[0].category, FfCategory::GlobalControl);
         assert!(plan.final_fit <= 2.0);
@@ -179,18 +174,10 @@ mod tests {
     fn tighter_targets_cost_more() {
         let cfg = presets::nvdla_like();
         let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
-        let loose = plan_selective_protection(
-            &breakdown(),
-            &costs,
-            |c| cfg.census.fraction(c),
-            5.0,
-        );
-        let tight = plan_selective_protection(
-            &breakdown(),
-            &costs,
-            |c| cfg.census.fraction(c),
-            0.2,
-        );
+        let loose =
+            plan_selective_protection(&breakdown(), &costs, |c| cfg.census.fraction(c), 5.0);
+        let tight =
+            plan_selective_protection(&breakdown(), &costs, |c| cfg.census.fraction(c), 0.2);
         assert!(tight.total_cost > loose.total_cost);
         assert!(tight.steps.len() > loose.steps.len());
     }
@@ -199,12 +186,8 @@ mod tests {
     fn unreachable_target_reports_not_met() {
         let cfg = presets::nvdla_like();
         let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
-        let plan = plan_selective_protection(
-            &breakdown(),
-            &costs,
-            |c| cfg.census.fraction(c),
-            -1.0,
-        );
+        let plan =
+            plan_selective_protection(&breakdown(), &costs, |c| cfg.census.fraction(c), -1.0);
         assert!(!plan.met_target);
         // Everything protected.
         assert_eq!(plan.steps.len(), 4);
@@ -215,12 +198,8 @@ mod tests {
     fn already_met_target_needs_no_steps() {
         let cfg = presets::nvdla_like();
         let costs = default_costs(cfg.census.iter().map(|(c, _)| c));
-        let plan = plan_selective_protection(
-            &breakdown(),
-            &costs,
-            |c| cfg.census.fraction(c),
-            100.0,
-        );
+        let plan =
+            plan_selective_protection(&breakdown(), &costs, |c| cfg.census.fraction(c), 100.0);
         assert!(plan.met_target);
         assert!(plan.steps.is_empty());
         assert_eq!(plan.total_cost, 0.0);

@@ -192,12 +192,10 @@ pub fn campaign_fingerprint(
     eat(&spec.seed.to_le_bytes());
     eat(&(spec.samples_per_cell as u64).to_le_bytes());
     eat(&[u8::from(spec.record_events)]);
-    eat(
-        &spec
-            .target_ci_halfwidth
-            .map_or(u64::MAX, f64::to_bits)
-            .to_le_bytes(),
-    );
+    eat(&spec
+        .target_ci_halfwidth
+        .map_or(u64::MAX, f64::to_bits)
+        .to_le_bytes());
     for &(node, cat) in plan {
         eat(&(node as u64).to_le_bytes());
         eat(cat_code(cat).as_bytes());
@@ -293,12 +291,9 @@ pub fn parse_checkpoint<R: BufRead>(r: R) -> Result<ParsedCheckpoint, DnnError> 
     // The record being accumulated: (idx, stats, events still expected).
     let mut pending: Option<(usize, CellStats, usize)> = None;
     for line in lines {
-        let line = match line {
-            Ok(l) => l,
-            // A torn final line can be unreadable; everything after it is
-            // lost anyway, so stop at the last complete record.
-            Err(_) => break,
-        };
+        // A torn final line can be unreadable; everything after it is
+        // lost anyway, so stop at the last complete record.
+        let Ok(line) = line else { break };
         if let Some(rest) = line.strip_prefix("cell ") {
             // A new cell while one is pending means the previous record
             // never completed; drop it.

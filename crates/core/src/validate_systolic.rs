@@ -122,8 +122,7 @@ pub fn predict_systolic(engine: &SystolicEngine, site: SysFaultSite) -> Predicti
                     return Prediction::Masked;
                 }
                 let p = row * out_w + column;
-                let Some(addr) =
-                    crate::rtl_addr::input_addr(&cfgw, p, kstep, layer.input.len())
+                let Some(addr) = crate::rtl_addr::input_addr(&cfgw, p, kstep, layer.input.len())
                 else {
                     return Prediction::Masked;
                 };
@@ -144,11 +143,11 @@ pub fn predict_systolic(engine: &SystolicEngine, site: SysFaultSite) -> Predicti
                     }
                     let off = spec.offset_of(p as usize, c as usize);
                     offsets.push(off);
-                    values.push(Some(
-                        layer
-                            .output_codec
-                            .quantize(spec.compute_at(&operands, off, Some(&subst))),
-                    ));
+                    values.push(Some(layer.output_codec.quantize(spec.compute_at(
+                        &operands,
+                        off,
+                        Some(&subst),
+                    ))));
                 }
                 finish(offsets, values)
             }
@@ -167,8 +166,7 @@ pub fn predict_systolic(engine: &SystolicEngine, site: SysFaultSite) -> Predicti
                 if c >= out_c {
                     return Prediction::Masked;
                 }
-                let Some(addr) =
-                    crate::rtl_addr::weight_addr(&cfgw, c, kstep, layer.weight.len())
+                let Some(addr) = crate::rtl_addr::weight_addr(&cfgw, c, kstep, layer.weight.len())
                 else {
                     return Prediction::Masked;
                 };
@@ -187,18 +185,16 @@ pub fn predict_systolic(engine: &SystolicEngine, site: SysFaultSite) -> Predicti
                         continue;
                     }
                     let p = row * out_w + column;
-                    if crate::rtl_addr::input_addr(&cfgw, p, kstep, layer.input.len())
-                        .is_none()
-                    {
+                    if crate::rtl_addr::input_addr(&cfgw, p, kstep, layer.input.len()).is_none() {
                         continue; // that PE's MAC is gated (padding)
                     }
                     let off = spec.offset_of(p as usize, c as usize);
                     offsets.push(off);
-                    values.push(Some(
-                        layer
-                            .output_codec
-                            .quantize(spec.compute_at(&operands, off, Some(&subst))),
-                    ));
+                    values.push(Some(layer.output_codec.quantize(spec.compute_at(
+                        &operands,
+                        off,
+                        Some(&subst),
+                    ))));
                 }
                 finish(offsets, values)
             }
@@ -251,9 +247,12 @@ pub fn predict_systolic(engine: &SystolicEngine, site: SysFaultSite) -> Predicti
             }
             let p = row * out_w + col;
             let off = spec.offset_of(p as usize, c as usize);
-            let value = layer
-                .output_codec
-                .quantize(spec.compute_at_acc_flip(&operands, off, flip_before, site.bit));
+            let value = layer.output_codec.quantize(spec.compute_at_acc_flip(
+                &operands,
+                off,
+                flip_before,
+                site.bit,
+            ));
             finish(vec![off], vec![Some(value)])
         }
         SysFfId::OutputReg { pe } => match sched {
@@ -355,6 +354,8 @@ pub fn validate_systolic_site(
                 && observed.faulty_neurons.iter().all(|n| offsets.contains(n))
             {
                 Agreement::LocalNeuronMatch {
+                    // Bit-exact: the engine writes a literal zero on drop.
+                    // statcheck:allow(float-eq)
                     value_was_zero: observed_values.first().is_some_and(|v| *v == 0.0),
                 }
             } else {
@@ -384,10 +385,7 @@ pub fn validate_systolic_site(
 }
 
 /// Validates a batch of systolic sites into the shared report format.
-pub fn validate_systolic_many(
-    engine: &SystolicEngine,
-    sites: &[SysFaultSite],
-) -> ValidationReport {
+pub fn validate_systolic_many(engine: &SystolicEngine, sites: &[SysFaultSite]) -> ValidationReport {
     let mut report = ValidationReport::default();
     for &site in sites {
         let (category, timed_out, agreement) = validate_systolic_site(engine, site);
@@ -470,8 +468,7 @@ mod tests {
         let codec = ValueCodec::new(precision, 0.01);
         let input = uniform_tensor(21, vec![1, 2, 6, 5], 1.0).map(|v| codec.quantize(v));
         let weight = uniform_tensor(22, vec![5, 2, 3, 3], 0.5).map(|v| codec.quantize(v));
-        let layer =
-            RtlLayer::new(MacSpec::Conv(spec), input, weight, codec, codec, codec).unwrap();
+        let layer = RtlLayer::new(MacSpec::Conv(spec), input, weight, codec, codec, codec).unwrap();
         SystolicEngine::new(layer, 4, 3)
     }
 

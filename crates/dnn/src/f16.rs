@@ -163,7 +163,10 @@ impl F16 {
     ///
     /// Panics if `bit >= 16`.
     pub fn with_bit_flipped(self, bit: u32) -> Self {
-        assert!(bit < Self::BITS, "bit index {bit} out of range for binary16");
+        assert!(
+            bit < Self::BITS,
+            "bit index {bit} out of range for binary16"
+        );
         F16(self.0 ^ (1 << bit))
     }
 }
@@ -230,7 +233,11 @@ mod tests {
             if h.is_nan() {
                 assert!(F16::from_f32(h.to_f32()).is_nan());
             } else {
-                assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits, "bits 0x{bits:04X}");
+                assert_eq!(
+                    F16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits 0x{bits:04X}"
+                );
             }
         }
     }

@@ -92,7 +92,10 @@ impl Network {
 
     /// Iterates over `(index, layer)` pairs in topological order.
     pub fn iter_layers(&self) -> impl Iterator<Item = (usize, &dyn Layer)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (i, n.layer.as_ref()))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, n.layer.as_ref()))
     }
 }
 
@@ -374,11 +377,7 @@ impl Engine {
     /// Propagates shape errors from the calibration run. Returns
     /// [`DnnError::InvalidConfig`] when `slack < 1` (which would alter
     /// fault-free behaviour).
-    pub fn enable_range_bounding(
-        &mut self,
-        inputs: &[Tensor],
-        slack: f32,
-    ) -> Result<(), DnnError> {
+    pub fn enable_range_bounding(&mut self, inputs: &[Tensor], slack: f32) -> Result<(), DnnError> {
         // Negated comparison is deliberate: it rejects NaN slack too.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(slack >= 1.0) {
@@ -429,7 +428,10 @@ impl Engine {
 
     /// Codec of weight tensor `widx` of node `idx`, when it exists.
     pub fn weight_codec(&self, idx: usize, widx: usize) -> Option<ValueCodec> {
-        self.weight_codecs.get(idx).and_then(|v| v.get(widx)).copied()
+        self.weight_codecs
+            .get(idx)
+            .and_then(|v| v.get(widx))
+            .copied()
     }
 
     /// Codec of graph input `idx`.
@@ -646,6 +648,8 @@ fn run(
     let mut outputs: Vec<Tensor> = Vec::with_capacity(network.nodes.len());
     for (idx, node) in network.nodes.iter().enumerate() {
         if let Some(d) = deadline {
+            // Monotonic watchdog deadline; never feeds campaign statistics.
+            // statcheck:allow(wall-clock)
             if Instant::now() >= d {
                 return Err(DnnError::DeadlineExceeded);
             }
@@ -671,7 +675,10 @@ fn run(
             })
             .collect();
         let raw = node.layer.forward(&in_refs)?;
-        outputs.push(apply_bound(idx, quantize(&raw, node_codecs.map(|c| &c[idx]))));
+        outputs.push(apply_bound(
+            idx,
+            quantize(&raw, node_codecs.map(|c| &c[idx])),
+        ));
     }
 
     let out = match network.output {
@@ -804,7 +811,9 @@ mod tests {
     fn range_bounding_clamps_corrupted_values() {
         let mut engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
         let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
-        engine.enable_range_bounding(std::slice::from_ref(&x), 2.0).unwrap();
+        engine
+            .enable_range_bounding(std::slice::from_ref(&x), 2.0)
+            .unwrap();
         // Clean behaviour unchanged.
         let trace = engine.trace(&[x]).unwrap();
         assert_eq!(trace.output.data(), &[2.0, 4.0]);
@@ -814,7 +823,7 @@ mod tests {
         corrupted.data_mut()[0] = 1e9;
         let y = engine.resume(&trace, 0, corrupted.clone()).unwrap();
         assert_eq!(y.data(), &[8.0, 4.0]); // 4 (clamped) × 2
-        // NaN saturates to the bound instead of propagating.
+                                           // NaN saturates to the bound instead of propagating.
         corrupted.data_mut()[0] = f32::NAN;
         let y = engine.resume(&trace, 0, corrupted).unwrap();
         assert_eq!(y.data(), &[8.0, 4.0]);
@@ -833,7 +842,9 @@ mod tests {
     fn range_bounding_rejects_sub_unit_slack() {
         let mut engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
         let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
-        assert!(engine.enable_range_bounding(std::slice::from_ref(&x), 0.5).is_err());
+        assert!(engine
+            .enable_range_bounding(std::slice::from_ref(&x), 0.5)
+            .is_err());
         assert!(engine.enable_range_bounding(&[x], f32::NAN).is_err());
     }
 

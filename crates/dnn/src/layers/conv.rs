@@ -116,10 +116,7 @@ impl Conv2d {
         }
         if !w[0].is_multiple_of(self.groups) {
             return Err(DnnError::InvalidConfig {
-                message: format!(
-                    "out_c {} not divisible by groups {}",
-                    w[0], self.groups
-                ),
+                message: format!("out_c {} not divisible by groups {}", w[0], self.groups),
             });
         }
         Ok(ConvSpec {
@@ -185,8 +182,7 @@ mod tests {
         let mut w = Tensor::zeros(vec![1, 1, 3, 3]);
         w.set(&[0, 0, 1, 1], 1.0);
         let conv = Conv2d::new("id", w).unwrap().with_padding(1, 1);
-        let input =
-            Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let input = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let out = conv.forward(&[&input]).unwrap();
         assert_eq!(out.data(), input.data());
     }

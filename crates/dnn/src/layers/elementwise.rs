@@ -333,8 +333,14 @@ mod tests {
     fn add_and_mul() {
         let a = Tensor::from_slice(&[1.0, 2.0]);
         let b = Tensor::from_slice(&[3.0, 4.0]);
-        assert_eq!(Add::new("a").forward(&[&a, &b]).unwrap().data(), &[4.0, 6.0]);
-        assert_eq!(Mul::new("m").forward(&[&a, &b]).unwrap().data(), &[3.0, 8.0]);
+        assert_eq!(
+            Add::new("a").forward(&[&a, &b]).unwrap().data(),
+            &[4.0, 6.0]
+        );
+        assert_eq!(
+            Mul::new("m").forward(&[&a, &b]).unwrap().data(),
+            &[3.0, 8.0]
+        );
         let c = Tensor::from_slice(&[1.0]);
         assert!(Add::new("a").forward(&[&a, &c]).is_err());
     }

@@ -21,11 +21,7 @@ impl ScaleShift {
     ///
     /// Returns [`DnnError::InvalidConfig`] unless both are rank 1 and equal
     /// length.
-    pub fn new(
-        name: impl Into<String>,
-        gamma: Tensor,
-        beta: Tensor,
-    ) -> Result<Self, DnnError> {
+    pub fn new(name: impl Into<String>, gamma: Tensor, beta: Tensor) -> Result<Self, DnnError> {
         if gamma.rank() != 1 || beta.rank() != 1 || gamma.len() != beta.len() || gamma.is_empty() {
             return Err(DnnError::InvalidConfig {
                 message: format!(
@@ -124,11 +120,7 @@ impl LayerNorm {
     ///
     /// Returns [`DnnError::InvalidConfig`] unless both are rank 1 and equal
     /// length.
-    pub fn new(
-        name: impl Into<String>,
-        gamma: Tensor,
-        beta: Tensor,
-    ) -> Result<Self, DnnError> {
+    pub fn new(name: impl Into<String>, gamma: Tensor, beta: Tensor) -> Result<Self, DnnError> {
         if gamma.rank() != 1 || beta.rank() != 1 || gamma.len() != beta.len() || gamma.is_empty() {
             return Err(DnnError::InvalidConfig {
                 message: format!(
@@ -222,16 +214,16 @@ mod tests {
     #[test]
     fn layer_norm_zero_mean_unit_var() {
         let d = 8;
-        let ln = LayerNorm::new(
-            "ln",
-            Tensor::full(vec![d], 1.0),
-            Tensor::zeros(vec![d]),
-        )
-        .unwrap();
+        let ln = LayerNorm::new("ln", Tensor::full(vec![d], 1.0), Tensor::zeros(vec![d])).unwrap();
         let x = Tensor::from_vec(vec![1, d], (0..d).map(|v| v as f32).collect()).unwrap();
         let y = ln.forward(&[&x]).unwrap();
         let mean: f32 = y.data().iter().sum::<f32>() / d as f32;
-        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let var: f32 = y
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / d as f32;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

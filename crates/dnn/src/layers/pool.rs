@@ -198,11 +198,7 @@ mod tests {
     #[test]
     fn max_pool_2x2() {
         let p = Pool2d::new("p", PoolKind::Max, 2);
-        let x = Tensor::from_vec(
-            vec![1, 1, 4, 4],
-            (0..16).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
         let y = p.forward(&[&x]).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
@@ -210,7 +206,9 @@ mod tests {
 
     #[test]
     fn avg_pool_excludes_padding() {
-        let p = Pool2d::new("p", PoolKind::Avg, 3).with_stride(1).with_padding(1);
+        let p = Pool2d::new("p", PoolKind::Avg, 3)
+            .with_stride(1)
+            .with_padding(1);
         let x = Tensor::full(vec![1, 1, 3, 3], 9.0);
         let y = p.forward(&[&x]).unwrap();
         // Every window averages only in-bounds values, so all outputs are 9.

@@ -88,12 +88,24 @@ pub struct ConvSpec {
 impl ConvSpec {
     /// Output height.
     pub fn out_h(&self) -> usize {
-        conv_out_dim(self.in_h, self.kh, self.stride.0, self.padding.0, self.dilation.0)
+        conv_out_dim(
+            self.in_h,
+            self.kh,
+            self.stride.0,
+            self.padding.0,
+            self.dilation.0,
+        )
     }
 
     /// Output width.
     pub fn out_w(&self) -> usize {
-        conv_out_dim(self.in_w, self.kw, self.stride.1, self.padding.1, self.dilation.1)
+        conv_out_dim(
+            self.in_w,
+            self.kw,
+            self.stride.1,
+            self.padding.1,
+            self.dilation.1,
+        )
     }
 
     /// Input channels per group.
@@ -348,8 +360,7 @@ impl MacSpec {
                                         let in_row = (in_plane + ih as usize) * c.in_w;
                                         let w_row = w_plane + kh * c.kw;
                                         for kw in 0..c.kw {
-                                            let iw = (ow * c.stride.1 + kw * c.dilation.1)
-                                                as isize
+                                            let iw = (ow * c.stride.1 + kw * c.dilation.1) as isize
                                                 - c.padding.1 as isize;
                                             if iw < 0 || iw as usize >= c.in_w {
                                                 continue;
@@ -611,7 +622,8 @@ mod tests {
             dilation: (1, 1),
             groups: 1,
         };
-        let input = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let input =
+            Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
         let weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         let spec = MacSpec::Conv(c);
         let ops = Operands {
@@ -817,9 +829,10 @@ mod tests {
                     vec![c.batch, c.in_c, c.in_h, c.in_w],
                     vec![c.out_c, c.group_in_c(), c.kh, c.kw],
                 ),
-                MacSpec::Dense(d) => {
-                    (vec![d.batch, d.in_features], vec![d.out_features, d.in_features])
-                }
+                MacSpec::Dense(d) => (
+                    vec![d.batch, d.in_features],
+                    vec![d.out_features, d.in_features],
+                ),
                 MacSpec::MatMul(m) => {
                     let b = if m.transpose_b {
                         vec![m.batch, m.n, m.k]

@@ -416,6 +416,8 @@ impl RtlEngine {
             }
             if cycle & 0xFFF == 0 {
                 if let Some(d) = deadline {
+                    // Monotonic watchdog deadline; never feeds statistics.
+                    // statcheck:allow(wall-clock)
                     if Instant::now() >= d {
                         timed_out = true;
                         break;
@@ -467,7 +469,7 @@ impl RtlEngine {
                     }
                     // Loads.
                     if seq[2] == 0 && seq[3] == 0 {
-                        for lane_acc in acc.iter_mut() {
+                        for lane_acc in &mut acc {
                             for slot in lane_acc.iter_mut() {
                                 *slot = 0.0;
                             }
@@ -555,6 +557,8 @@ impl RtlEngine {
         }
 
         let output = Tensor::from_vec(layer.spec.out_shape(), out_mem)
+            // The buffer is allocated from the same spec two lines up.
+            // statcheck:allow(panic-path)
             .expect("output buffer sized from spec");
         RunResult {
             output,
@@ -600,7 +604,9 @@ mod tests {
             weight: &layer.weight,
         };
         for off in 0..layer.spec.out_len() {
-            let sw = layer.output_codec.quantize(layer.spec.compute_at(&ops, off, None));
+            let sw = layer
+                .output_codec
+                .quantize(layer.spec.compute_at(&ops, off, None));
             let hw = engine.clean_output().data()[off];
             assert_eq!(sw.to_bits(), hw.to_bits(), "neuron {off}");
         }
@@ -616,7 +622,9 @@ mod tests {
             weight: &layer.weight,
         };
         for off in 0..layer.spec.out_len() {
-            let sw = layer.output_codec.quantize(layer.spec.compute_at(&ops, off, None));
+            let sw = layer
+                .output_codec
+                .quantize(layer.spec.compute_at(&ops, off, None));
             assert_eq!(sw.to_bits(), engine.clean_output().data()[off].to_bits());
         }
     }
@@ -639,7 +647,10 @@ mod tests {
                 .clean_output()
                 .diff_indices(&result.output, 0.0)
                 .unwrap();
-            assert!(diffs.len() <= 1, "output reg fault must hit at most 1 neuron");
+            assert!(
+                diffs.len() <= 1,
+                "output reg fault must hit at most 1 neuron"
+            );
             if diffs.len() == 1 {
                 found = true;
                 break;

@@ -56,8 +56,24 @@ pub mod cfg {
 
     /// Human-readable register names, indexed by register number.
     pub const NAMES: [&str; COUNT] = [
-        "kind", "channels", "positions", "ksteps", "stripe", "in_c", "in_h", "in_w", "out_h",
-        "out_w", "kh", "kw", "stride_h", "stride_w", "pad_h", "pad_w", "dil_h", "dil_w",
+        "kind",
+        "channels",
+        "positions",
+        "ksteps",
+        "stripe",
+        "in_c",
+        "in_h",
+        "in_w",
+        "out_h",
+        "out_w",
+        "kh",
+        "kw",
+        "stride_h",
+        "stride_w",
+        "pad_h",
+        "pad_w",
+        "dil_h",
+        "dil_w",
         "trans_b",
     ];
 }
@@ -208,8 +224,7 @@ pub fn input_addr(w: &[u32], p: u64, k: u64, buf_len: usize) -> Option<u64> {
             {
                 return None;
             }
-            ((b * w[cfg::IN_C] as u64 + ic) * w[cfg::IN_H] as u64 + ih as u64)
-                * w[cfg::IN_W] as u64
+            ((b * w[cfg::IN_C] as u64 + ic) * w[cfg::IN_H] as u64 + ih as u64) * w[cfg::IN_W] as u64
                 + iw as u64
         }
         // Dense and matmul share row-major activation addressing.

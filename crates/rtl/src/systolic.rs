@@ -83,7 +83,45 @@ pub enum SysCounter {
     Cycle,
 }
 
+impl SysCounter {
+    /// Every sequencing counter.
+    pub const ALL: [SysCounter; 5] = [
+        SysCounter::ChanBlock,
+        SysCounter::RowBlock,
+        SysCounter::Column,
+        SysCounter::Kernel,
+        SysCounter::Cycle,
+    ];
+}
+
 impl SysFfId {
+    /// Enumerates the complete flip-flop inventory of a systolic engine
+    /// instance with `pe_rows` PE rows and `chan_slots` accumulator slots
+    /// per PE (the channel-block length). The NVDLA-bank counterpart is
+    /// [`crate::ffid::FfId::inventory`].
+    pub fn inventory(pe_rows: usize, chan_slots: usize) -> Vec<SysFfId> {
+        let mut ffs = vec![
+            SysFfId::FetchInput,
+            SysFfId::FetchWeight,
+            SysFfId::WeightOperand,
+        ];
+        for pe in 0..pe_rows {
+            ffs.push(SysFfId::InputOperand { pe });
+            for slot in 0..chan_slots {
+                ffs.push(SysFfId::Accumulator { pe, slot });
+            }
+            ffs.push(SysFfId::OutputReg { pe });
+            ffs.push(SysFfId::OutputValid { pe });
+        }
+        for index in 0..crate::layer::cfg::COUNT {
+            ffs.push(SysFfId::Config { index });
+        }
+        for counter in SysCounter::ALL {
+            ffs.push(SysFfId::Sequencer { counter });
+        }
+        ffs
+    }
+
     /// The Table-II category this FF belongs to.
     pub fn category(self) -> FfCategory {
         match self {
@@ -209,6 +247,8 @@ impl SystolicEngine {
         assert!(pe_rows > 0 && chan_reuse > 0, "geometry must be positive");
         match &layer.spec {
             MacSpec::Conv(c) => assert_eq!(c.batch, 1, "row-stationary mapping is batch-1"),
+            // Documented constructor precondition, never hit mid-campaign.
+            // statcheck:allow(panic-path)
             _ => panic!("systolic engine executes convolutions"),
         }
         let mut engine = SystolicEngine {
@@ -506,7 +546,7 @@ impl SystolicEngine {
                         continue;
                     }
                     if seq[3] == 0 && seq[4] == 0 {
-                        for pe_acc in acc.iter_mut() {
+                        for pe_acc in &mut acc {
                             for slot in pe_acc.iter_mut() {
                                 *slot = 0.0;
                             }
@@ -600,6 +640,8 @@ impl SystolicEngine {
         }
 
         let output = Tensor::from_vec(layer.spec.out_shape(), out_mem)
+            // The buffer is allocated from the same spec two lines up.
+            // statcheck:allow(panic-path)
             .expect("output buffer sized from spec");
         SysRunResult {
             output,
@@ -661,7 +703,9 @@ mod tests {
             weight: &layer.weight,
         };
         for off in 0..layer.spec.out_len() {
-            let sw = layer.output_codec.quantize(layer.spec.compute_at(&ops, off, None));
+            let sw = layer
+                .output_codec
+                .quantize(layer.spec.compute_at(&ops, off, None));
             assert_eq!(
                 sw.to_bits(),
                 engine.clean_output().data()[off].to_bits(),
@@ -673,7 +717,10 @@ mod tests {
     #[test]
     fn schedule_mirrors_execution() {
         let engine = SystolicEngine::new(conv_layer(), 3, 2);
-        assert_eq!(engine.schedule_at(engine.clean_cycles()), SysSchedPoint::Idle);
+        assert_eq!(
+            engine.schedule_at(engine.clean_cycles()),
+            SysSchedPoint::Idle
+        );
         assert_ne!(
             engine.schedule_at(engine.clean_cycles() - 1),
             SysSchedPoint::Idle
@@ -709,7 +756,10 @@ mod tests {
                 bit: 13,
                 cycle,
             });
-            let diffs = engine.clean_output().diff_indices(&run.output, 0.0).unwrap();
+            let diffs = engine
+                .clean_output()
+                .diff_indices(&run.output, 0.0)
+                .unwrap();
             assert!(diffs.len() <= 4, "weight fault RF must be <= pe_rows");
             if diffs.len() >= 2 {
                 let coords: Vec<(usize, usize)> =
@@ -743,7 +793,10 @@ mod tests {
                 bit: 13,
                 cycle,
             });
-            let diffs = engine.clean_output().diff_indices(&run.output, 0.0).unwrap();
+            let diffs = engine
+                .clean_output()
+                .diff_indices(&run.output, 0.0)
+                .unwrap();
             assert!(diffs.len() <= 3, "input fault RF must be <= chan_reuse");
             if diffs.len() >= 2 {
                 let coords: Vec<(usize, usize)> =
@@ -772,7 +825,10 @@ mod tests {
                 bit: 30,
                 cycle,
             });
-            let diffs = engine.clean_output().diff_indices(&run.output, 0.0).unwrap();
+            let diffs = engine
+                .clean_output()
+                .diff_indices(&run.output, 0.0)
+                .unwrap();
             assert!(diffs.len() <= 1);
         }
     }
@@ -808,7 +864,9 @@ mod tests {
         assert!(cats.contains(&FfCategory::LocalControl));
         assert!(cats.contains(&FfCategory::GlobalControl));
         assert_eq!(
-            inv.iter().filter(|(ff, _)| matches!(ff, SysFfId::InputOperand { .. })).count(),
+            inv.iter()
+                .filter(|(ff, _)| matches!(ff, SysFfId::InputOperand { .. }))
+                .count(),
             4
         );
     }

@@ -1,0 +1,409 @@
+//! A minimal token-level Rust scanner for the determinism lint.
+//!
+//! The build environment is offline, so the lint cannot lean on `syn` or a
+//! rustc driver; a hand-rolled lexer is enough because every lint rule is a
+//! local token-pattern property. The lexer understands exactly the parts of
+//! the grammar that would otherwise cause false positives: line/block/doc
+//! comments (nesting included), string/char/byte literals with escapes, raw
+//! strings with arbitrary `#` fences, lifetimes vs. char literals, and
+//! numeric literals with float detection.
+
+/// What a token is, at the granularity the lint rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// Any numeric literal that is *not* a float.
+    Int,
+    /// A float literal (`1.0`, `1e3`, `2f64`, `3.`, …).
+    Float,
+    /// A string / char / byte-string literal (contents are opaque).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// Punctuation; multi-char operators the rules care about are combined
+    /// (`==`, `!=`, `::`).
+    Punct,
+    /// A line or block comment (doc comments included), text preserved.
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Verbatim source text (for `Literal`, delimiters included).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the exact identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the exact punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        // The lint rules only dispatch on ASCII structure; non-ASCII bytes
+        // ride along inside identifiers/comments/strings untouched.
+        self.src.get(self.pos + ahead).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs swallow the
+/// rest of the file as a single token, which is the conservative behaviour
+/// for a linter (rustc will reject such a file anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                push(&mut out, &cur, start, line, TokenKind::Comment, src);
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(&mut out, &cur, start, line, TokenKind::Comment, src);
+            }
+            '"' => {
+                lex_string(&mut cur);
+                push(&mut out, &cur, start, line, TokenKind::Literal, src);
+            }
+            'b' if cur.peek(1) == Some('"') => {
+                cur.bump();
+                lex_string(&mut cur);
+                push(&mut out, &cur, start, line, TokenKind::Literal, src);
+            }
+            'r' | 'b' if is_raw_string_start(&cur) => {
+                lex_raw_string(&mut cur);
+                push(&mut out, &cur, start, line, TokenKind::Literal, src);
+            }
+            '\'' => {
+                // Disambiguate char literal from lifetime: a lifetime is `'`
+                // followed by an identifier *not* closed by another `'`.
+                let is_lifetime = cur.peek(1).is_some_and(is_ident_start)
+                    && cur.peek(2).is_some_and(|c| c != '\'')
+                    && cur.peek(1) != Some('\\');
+                if is_lifetime {
+                    cur.bump();
+                    cur.eat_while(is_ident_continue);
+                    push(&mut out, &cur, start, line, TokenKind::Lifetime, src);
+                } else {
+                    cur.bump();
+                    if cur.peek(0) == Some('\\') {
+                        cur.bump();
+                        cur.bump();
+                        cur.eat_while(|c| c != '\'');
+                    } else {
+                        cur.bump();
+                    }
+                    if cur.peek(0) == Some('\'') {
+                        cur.bump();
+                    }
+                    push(&mut out, &cur, start, line, TokenKind::Literal, src);
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                push(&mut out, &cur, start, line, kind, src);
+            }
+            _ if is_ident_start(c) => {
+                cur.eat_while(is_ident_continue);
+                push(&mut out, &cur, start, line, TokenKind::Ident, src);
+            }
+            _ => {
+                cur.bump();
+                // Combine the two-char operators the rules dispatch on.
+                let combined = matches!(
+                    (c, cur.peek(0)),
+                    ('=', Some('=')) | ('!', Some('=')) | (':', Some(':'))
+                );
+                if combined {
+                    cur.bump();
+                }
+                push(&mut out, &cur, start, line, TokenKind::Punct, src);
+            }
+        }
+    }
+    out
+}
+
+fn push(
+    out: &mut Vec<Token>,
+    cur: &Cursor<'_>,
+    start: usize,
+    line: usize,
+    kind: TokenKind,
+    src: &str,
+) {
+    out.push(Token {
+        kind,
+        text: src[start..cur.pos].to_owned(),
+        line,
+    });
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+fn is_raw_string_start(cur: &Cursor<'_>) -> bool {
+    // `r"`, `r#"`, `br"`, `br#"` (any number of fences).
+    let mut i = 1;
+    if cur.peek(0) == Some('b') {
+        if cur.peek(1) != Some('r') {
+            return false;
+        }
+        i = 2;
+    }
+    while cur.peek(i) == Some('#') {
+        i += 1;
+    }
+    cur.peek(i) == Some('"')
+}
+
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    if cur.peek(0) == Some('b') {
+        cur.bump();
+    }
+    cur.bump(); // `r`
+    let mut fences = 0usize;
+    while cur.peek(0) == Some('#') {
+        cur.bump();
+        fences += 1;
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('"') => {
+                let mut closed = 0usize;
+                while closed < fences && cur.peek(0) == Some('#') {
+                    cur.bump();
+                    closed += 1;
+                }
+                if closed == fences {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    // Hex / octal / binary literals are never floats.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return TokenKind::Int;
+    }
+    let mut float = false;
+    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    // A `.` makes it a float unless it starts a method call (`1.max(2)`) or
+    // a range (`0..n`).
+    if cur.peek(0) == Some('.') && cur.peek(1) != Some('.') {
+        let after = cur.peek(1);
+        let method_call = after.is_some_and(is_ident_start);
+        if !method_call {
+            float = true;
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    if matches!(cur.peek(0), Some('e' | 'E'))
+        && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek(1), Some('+' | '-'))
+                && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        float = true;
+        cur.bump();
+        if matches!(cur.peek(0), Some('+' | '-')) {
+            cur.bump();
+        }
+        cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    // Type suffix: `1f64` is a float, `1u32` is not.
+    if cur.peek(0) == Some('f')
+        && (cur.peek(1) == Some('3') && cur.peek(2) == Some('2')
+            || cur.peek(1) == Some('6') && cur.peek(2) == Some('4'))
+    {
+        float = true;
+    }
+    cur.eat_while(is_ident_continue);
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_raw_strings_are_opaque() {
+        let toks = kinds(r##"let s = r#"Instant::now()"#; // Instant::now()"##);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(*k == TokenKind::Ident && t == "Instant")));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Comment)
+                .count(),
+            1
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'b'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_detection() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("1e3", TokenKind::Float),
+            ("1.5e-3", TokenKind::Float),
+            ("2f64", TokenKind::Float),
+            ("3.", TokenKind::Float),
+            ("7", TokenKind::Int),
+            ("0xff", TokenKind::Int),
+            ("1_000u64", TokenKind::Int),
+        ] {
+            assert_eq!(lex(src)[0].kind, kind, "{src}");
+        }
+        // `1.max(2)` and `0..n` must not produce floats.
+        assert!(lex("1.max(2)").iter().all(|t| t.kind != TokenKind::Float));
+        assert!(lex("0..n").iter().all(|t| t.kind != TokenKind::Float));
+    }
+
+    #[test]
+    fn two_char_operators_combine() {
+        let toks = kinds("a == b != c :: d = e");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "::", "="]);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+}

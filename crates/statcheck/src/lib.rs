@@ -1,0 +1,20 @@
+//! `fidelity-statcheck` — static analyses over the FIdelity framework.
+//!
+//! Two independent layers, both wired into CI:
+//!
+//! * [`verifier`] — the **model-level static verifier**: exhaustively checks
+//!   the finite FF-category × MAC-layer-family × preset domain for
+//!   inventory/census completeness, Table-II recipe ↔ Reuse-Factor-Analysis
+//!   equivalence (with minimized neuron-set counterexamples), and Eq.-1 /
+//!   Eq.-2 arithmetic invariants;
+//! * [`lint`] — the **source-level determinism lint**: a token-level scanner
+//!   over the campaign crates that flags wall-clock reads, ambient RNG,
+//!   panicking shortcuts on campaign paths, and exact float comparison, with
+//!   `// statcheck:allow(<rule>)` escape hatches.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lint;
+pub mod report;
+pub mod verifier;

@@ -1,0 +1,400 @@
+//! The source-level determinism lint.
+//!
+//! FIdelity's statistical claims (Sec. V) assume campaigns are exactly
+//! reproducible from a seed; wall-clock reads, ambient RNG, and panicking
+//! shortcuts silently break that. These properties are all local token
+//! patterns, so a scanner over the campaign crates catches them without a
+//! full parse.
+//!
+//! Suppression: a `// statcheck:allow(rule-a, rule-b)` comment on the same
+//! line as the finding, or on the line directly above it, silences those
+//! rules for that line. Every allow should carry a justification in the
+//! surrounding comment.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A determinism lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// `Instant::now()` / `SystemTime` — wall-clock reads make campaign
+    /// traces irreproducible.
+    WallClock,
+    /// Ambient randomness (`thread_rng`, `OsRng`, `from_entropy`,
+    /// `rand::random`, `getrandom`) — all campaign randomness must flow from
+    /// an explicit seeded generator.
+    AmbientRng,
+    /// `.unwrap()` / `.expect()` / `panic!` / `todo!` / `unimplemented!` on
+    /// campaign paths — a panic mid-campaign loses completed injections;
+    /// campaign code must return errors.
+    PanicPath,
+    /// `==` / `!=` against a float literal — exact float comparison makes
+    /// masking verdicts depend on rounding mode and optimization level.
+    FloatEq,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 4] = [
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::PanicPath,
+        Rule::FloatEq,
+    ];
+
+    /// The stable name used in reports and `statcheck:allow(...)` lists.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::PanicPath => "panic-path",
+            Rule::FloatEq => "float-eq",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// What was matched, e.g. `Instant::now`.
+    pub matched: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.matched
+        )
+    }
+}
+
+/// Lint configuration.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Path substrings on which [`Rule::PanicPath`] applies (campaign
+    /// execution paths; library construction code may still panic on
+    /// programmer error).
+    pub campaign_paths: Vec<String>,
+    /// Whether to skip `#[cfg(test)]` modules (tests may use wall clocks and
+    /// unwrap freely).
+    pub skip_test_modules: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            campaign_paths: [
+                "core/src/campaign.rs",
+                "core/src/inject.rs",
+                "core/src/resilience.rs",
+                "core/src/analysis.rs",
+                "core/src/models.rs",
+                "rtl/src/engine.rs",
+                "rtl/src/systolic.rs",
+                "dnn/src/graph.rs",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+            skip_test_modules: true,
+        }
+    }
+}
+
+impl LintConfig {
+    fn panic_rule_applies(&self, path: &Path) -> bool {
+        let p = path.to_string_lossy().replace('\\', "/");
+        self.campaign_paths.iter().any(|c| p.contains(c.as_str()))
+    }
+}
+
+/// Lints one source file.
+pub fn lint_source(path: &Path, src: &str, config: &LintConfig) -> Vec<Finding> {
+    let tokens = lex(src);
+    let allows = collect_allows(&tokens);
+    let test_lines = if config.skip_test_modules {
+        test_module_lines(&tokens)
+    } else {
+        Vec::new()
+    };
+    let panic_applies = config.panic_rule_applies(path);
+
+    let mut findings = Vec::new();
+    // Significant tokens only; comments participate via `allows`.
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+
+    let mut emit = |rule: Rule, line: usize, matched: &str| {
+        if in_ranges(&test_lines, line) {
+            return;
+        }
+        if allows
+            .iter()
+            .any(|(l, r)| *r == rule && (*l == line || *l + 1 == line))
+        {
+            return;
+        }
+        findings.push(Finding {
+            path: path.to_owned(),
+            line,
+            rule,
+            matched: matched.to_owned(),
+        });
+    };
+
+    for (i, t) in sig.iter().enumerate() {
+        let next = |k: usize| sig.get(i + k).copied();
+        match t.kind {
+            TokenKind::Ident => match t.text.as_str() {
+                // -------------------------------------------- wall-clock --
+                "Instant" | "SystemTime"
+                    if next(1).is_some_and(|n| n.is_punct("::"))
+                        && next(2).is_some_and(|n| n.is_ident("now")) =>
+                {
+                    emit(Rule::WallClock, t.line, &format!("{}::now", t.text));
+                }
+                "SystemTime" => emit(Rule::WallClock, t.line, "SystemTime"),
+                // ------------------------------------------- ambient-rng --
+                "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => {
+                    emit(Rule::AmbientRng, t.line, &t.text);
+                }
+                "rand"
+                    if next(1).is_some_and(|n| n.is_punct("::"))
+                        && next(2).is_some_and(|n| n.is_ident("random")) =>
+                {
+                    emit(Rule::AmbientRng, t.line, "rand::random");
+                }
+                // -------------------------------------------- panic-path --
+                "panic" | "todo" | "unimplemented"
+                    if panic_applies && next(1).is_some_and(|n| n.is_punct("!")) =>
+                {
+                    emit(Rule::PanicPath, t.line, &format!("{}!", t.text));
+                }
+                "unwrap" | "expect"
+                    if panic_applies
+                        && i > 0
+                        && sig[i - 1].is_punct(".")
+                        && next(1).is_some_and(|n| n.is_punct("(")) =>
+                {
+                    emit(Rule::PanicPath, t.line, &format!(".{}()", t.text));
+                }
+                _ => {}
+            },
+            // ------------------------------------------------- float-eq --
+            TokenKind::Punct if t.text == "==" || t.text == "!=" => {
+                let float_neighbor = (i > 0 && sig[i - 1].kind == TokenKind::Float)
+                    || next(1).is_some_and(|n| n.kind == TokenKind::Float);
+                if float_neighbor {
+                    emit(Rule::FloatEq, t.line, &format!("float {}", t.text));
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+/// Extracts `(line, rule)` pairs from `statcheck:allow(...)` comments.
+fn collect_allows(tokens: &[Token]) -> Vec<(usize, Rule)> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(idx) = t.text.find("statcheck:allow(") else {
+            continue;
+        };
+        let rest = &t.text[idx + "statcheck:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        for name in rest[..close].split(',') {
+            let name = name.trim();
+            if let Some(rule) = Rule::ALL.iter().find(|r| r.name() == name) {
+                out.push((t.line, *rule));
+            }
+        }
+    }
+    out
+}
+
+/// Approximates `#[cfg(test)] mod … { … }` extents by brace matching from
+/// the `mod` that follows the attribute.
+fn test_module_lines(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = sig[i].is_punct("#")
+            && sig.get(i + 1).is_some_and(|t| t.is_punct("["))
+            && sig.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && sig.get(i + 3).is_some_and(|t| t.is_punct("("))
+            && sig.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && sig.get(i + 5).is_some_and(|t| t.is_punct(")"))
+            && sig.get(i + 6).is_some_and(|t| t.is_punct("]"));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the annotated item and match it.
+        let mut j = i + 7;
+        while j < sig.len() && !sig[j].is_punct("{") {
+            j += 1;
+        }
+        if j == sig.len() {
+            break;
+        }
+        let start_line = sig[i].line;
+        let mut depth = 0isize;
+        let mut end_line = sig[j].line;
+        while j < sig.len() {
+            if sig[j].is_punct("{") {
+                depth += 1;
+            } else if sig[j].is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = sig[j].line;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = j + 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|(a, b)| (*a..=*b).contains(&line))
+}
+
+/// Recursively lints every `.rs` file under `roots`, returning findings in
+/// path order. Missing roots are skipped (the lint may run from an
+/// unexpected working directory; the CLI validates roots separately).
+pub fn lint_paths(roots: &[PathBuf], config: &LintConfig) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for root in roots {
+        collect_rs_files(root, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&file, &src, config));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_owned());
+        }
+        return Ok(());
+    }
+    if !root.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(root)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let config = LintConfig {
+            campaign_paths: vec!["campaign".into()],
+            skip_test_modules: true,
+        };
+        lint_source(Path::new("campaign/x.rs"), src, &config)
+    }
+
+    #[test]
+    fn wall_clock_fires_and_allows_suppress() {
+        let f = run("let t = Instant::now();");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+
+        let f = run("let t = Instant::now(); // statcheck:allow(wall-clock)");
+        assert!(f.is_empty());
+
+        let f = run("// statcheck:allow(wall-clock)\nlet t = Instant::now();");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn allow_only_suppresses_named_rules() {
+        let f = run("let t = Instant::now(); // statcheck:allow(float-eq)");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn panic_rule_is_campaign_path_scoped() {
+        let config = LintConfig::default();
+        let src = "fn f() { x.unwrap(); }";
+        assert!(lint_source(Path::new("crates/core/src/ff.rs"), src, &config).is_empty());
+        assert_eq!(
+            lint_source(Path::new("crates/core/src/campaign.rs"), src, &config).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unreachable_is_not_flagged() {
+        assert!(run("match x { _ => unreachable!() }").is_empty());
+    }
+
+    #[test]
+    fn float_eq_needs_a_float_neighbor() {
+        assert_eq!(run("if x == 1.0 {}").len(), 1);
+        assert_eq!(run("if 0.5 != y {}").len(), 1);
+        assert!(run("if x == 1 {}").is_empty());
+        assert!(run("if a == b {}").is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); let t = Instant::now(); }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        assert!(run("// Instant::now() in prose\nlet s = \"thread_rng\";").is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Finding and report types shared by the model-level verifier.
+
+use std::fmt;
+
+use fidelity_accel::dataflow::NeuronOffset;
+use fidelity_accel::ff::FfCategory;
+use fidelity_dnn::layers::LayerKind;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong.
+    Warning,
+    /// A broken invariant; the verifier fails.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which verifier check produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckId {
+    /// FF-inventory ↔ census coverage (check a).
+    InventoryCensus,
+    /// Census fraction domain / disjointness / sum (check a).
+    CensusFractions,
+    /// Table-II recipe ↔ Algorithm-1 derivation equivalence (check b).
+    ModelVsRfa,
+    /// Window realizability in each MAC layer family's coordinate
+    /// arithmetic (check b, layer axis).
+    LayerGeometry,
+    /// Eq.-1 activeness domain and class partition (check c).
+    Activeness,
+    /// Eq.-2 FIT arithmetic unit consistency (check c).
+    FitArithmetic,
+}
+
+impl CheckId {
+    /// Stable identifier used in reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            CheckId::InventoryCensus => "inventory-census",
+            CheckId::CensusFractions => "census-fractions",
+            CheckId::ModelVsRfa => "model-vs-rfa",
+            CheckId::LayerGeometry => "layer-geometry",
+            CheckId::Activeness => "activeness",
+            CheckId::FitArithmetic => "fit-arithmetic",
+        }
+    }
+}
+
+impl fmt::Display for CheckId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A minimized counterexample for a faulty-neuron-set divergence: the two
+/// sets plus their symmetric difference, so the report pinpoints the exact
+/// neurons the recipe and the Algorithm-1 derivation disagree on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NeuronSetMismatch {
+    /// The FF category whose recipe diverged.
+    pub category: FfCategory,
+    /// The MAC layer family the counterexample is instantiated for.
+    pub layer_kind: LayerKind,
+    /// Neuron set the Table-II recipe produces.
+    pub recipe: Vec<NeuronOffset>,
+    /// Neuron set Algorithm 1 derives.
+    pub derived: Vec<NeuronOffset>,
+    /// Derived neurons the recipe misses (minimization of the divergence).
+    pub missing: Vec<NeuronOffset>,
+    /// Recipe neurons Algorithm 1 never derives.
+    pub extra: Vec<NeuronOffset>,
+}
+
+fn fmt_neurons(ns: &[NeuronOffset]) -> String {
+    let body: Vec<String> = ns
+        .iter()
+        .take(8)
+        .map(|n| format!("({},{},{},{})", n.batch, n.height, n.width, n.channel))
+        .collect();
+    let ellipsis = if ns.len() > 8 { ", …" } else { "" };
+    format!("{{{}{}}}", body.join(", "), ellipsis)
+}
+
+impl fmt::Display for NeuronSetMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "category `{}` on {:?} layer: recipe {} ({} neurons) vs derived {} ({} neurons); missing {}, extra {}",
+            self.category,
+            self.layer_kind,
+            fmt_neurons(&self.recipe),
+            self.recipe.len(),
+            fmt_neurons(&self.derived),
+            self.derived.len(),
+            fmt_neurons(&self.missing),
+            fmt_neurons(&self.extra),
+        )
+    }
+}
+
+/// One verifier finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Severity (all current checks emit errors).
+    pub severity: Severity,
+    /// Which check fired.
+    pub check: CheckId,
+    /// What was being checked, e.g. `preset nvdla-like · datapath weight
+    /// (buffer-to-MAC)`.
+    pub subject: String,
+    /// Human-readable statement of the broken invariant.
+    pub message: String,
+    /// Minimized neuron-set counterexample, when the finding is a recipe ↔
+    /// derivation divergence.
+    pub counterexample: Option<NeuronSetMismatch>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.check, self.subject, self.message
+        )?;
+        if let Some(cx) = &self.counterexample {
+            write!(f, "\n    counterexample: {cx}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a full verifier run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Number of elementary checks evaluated (for reporting coverage).
+    pub checks_run: usize,
+    /// Findings, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Whether the run found no errors.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.checks_run += other.checks_run;
+        self.violations.extend(other.violations);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        write!(
+            f,
+            "{} checks, {} violations ({} errors)",
+            self.checks_run,
+            self.violations.len(),
+            self.error_count()
+        )
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: every rule suppressed by a statcheck:allow annotation.
+use std::time::Instant;
+
+fn watchdog(deadline: Instant, x: f64, v: Option<u32>) -> bool {
+    // The watchdog deadline is monotonic-clock arithmetic, not a campaign
+    // input. statcheck:allow(wall-clock)
+    let late = Instant::now() >= deadline;
+    // statcheck:allow(ambient-rng) — documented escape hatch
+    let salt: u64 = rand::random();
+    let n = v.unwrap(); // statcheck:allow(panic-path)
+    // statcheck:allow(float-eq)
+    let exact = x == 1.0;
+    late && exact && salt == 0 && n == 0
+}

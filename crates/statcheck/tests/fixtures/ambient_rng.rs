@@ -1,0 +1,11 @@
+// Fixture: every ambient-randomness pattern the lint must flag.
+fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    let seeded = SmallRng::from_entropy();
+    let os = OsRng;
+    let x: u64 = rand::random();
+    let mut buf = [0u8; 8];
+    getrandom(&mut buf).unwrap();
+    let _ = (rng, seeded, os, x);
+    0
+}

@@ -1,0 +1,27 @@
+// Fixture: deterministic campaign code; the lint must stay silent.
+fn campaign(seed: u64, tolerance: f64, xs: &[f64]) -> Result<usize, String> {
+    let mut state = seed;
+    let mut hits = 0usize;
+    for &x in xs {
+        state = state.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        if (x - 1.0).abs() < tolerance {
+            hits += 1;
+        }
+    }
+    // Strings and comments mentioning Instant::now() or thread_rng are prose.
+    let _label = "Instant::now() is forbidden here";
+    Ok(hits + (state % 2) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_use_clocks_and_unwrap() {
+        let t = Instant::now();
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: exact float comparisons.
+fn verdicts(x: f64, y: f64) -> bool {
+    let a = x == 1.0;
+    let b = 0.5 != y;
+    let c = x == y; // no literal: needs value-flow analysis, not flagged
+    let d = 3 == 3; // integers compare exactly, not flagged
+    a && b && c && d
+}

@@ -1,0 +1,16 @@
+// Fixture: panicking shortcuts on a campaign path.
+fn run(results: Option<Vec<u32>>) -> u32 {
+    let rs = results.unwrap();
+    let first = rs.first().expect("at least one result");
+    if rs.len() > 1 {
+        panic!("too many results");
+    }
+    if rs.is_empty() {
+        todo!();
+    }
+    match first {
+        0 => unimplemented!(),
+        // `unreachable!` documents an invariant, it is not flagged.
+        _ => unreachable!("guarded above"),
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: every wall-clock read pattern the lint must flag.
+use std::time::{Instant, SystemTime};
+
+fn timestamps() -> u64 {
+    let started = Instant::now();
+    let epoch = SystemTime::now();
+    let _ = (started, epoch);
+    0
+}

@@ -1,0 +1,94 @@
+//! Fixture-based tests for the determinism lint: every rule fires on its
+//! fixture, every `statcheck:allow` suppresses, and clean code stays clean.
+
+use std::path::{Path, PathBuf};
+
+use fidelity_statcheck::lint::{lint_source, LintConfig, Rule};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    (path, src)
+}
+
+fn config() -> LintConfig {
+    LintConfig {
+        // The panic rule is path-scoped; opt the relevant fixtures in.
+        campaign_paths: vec!["panic_path".into(), "allowed".into()],
+        skip_test_modules: true,
+    }
+}
+
+fn run(name: &str) -> Vec<(Rule, usize)> {
+    let (path, src) = fixture(name);
+    lint_source(&path, &src, &config())
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn wall_clock_fixture_fires() {
+    let findings = run("wall_clock.rs");
+    assert!(!findings.is_empty());
+    assert!(findings.iter().all(|(r, _)| *r == Rule::WallClock));
+    // Both the Instant::now() and the SystemTime reads are caught.
+    assert!(findings.len() >= 2, "{findings:?}");
+}
+
+#[test]
+fn ambient_rng_fixture_fires() {
+    let findings = run("ambient_rng.rs");
+    let rng: Vec<_> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::AmbientRng)
+        .collect();
+    // thread_rng, from_entropy, OsRng, rand::random, getrandom.
+    assert_eq!(rng.len(), 5, "{findings:?}");
+}
+
+#[test]
+fn panic_path_fixture_fires() {
+    let findings = run("panic_path.rs");
+    let panics: Vec<_> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::PanicPath)
+        .collect();
+    // unwrap, expect, panic!, todo!, unimplemented! — but not unreachable!.
+    assert_eq!(panics.len(), 5, "{findings:?}");
+}
+
+#[test]
+fn panic_rule_needs_a_campaign_path() {
+    let (path, src) = fixture("panic_path.rs");
+    let off_path = LintConfig {
+        campaign_paths: vec!["somewhere-else".into()],
+        skip_test_modules: true,
+    };
+    assert!(lint_source(&path, &src, &off_path).is_empty());
+}
+
+#[test]
+fn float_eq_fixture_fires() {
+    let findings = run("float_eq.rs");
+    let eqs: Vec<_> = findings
+        .iter()
+        .filter(|(r, _)| *r == Rule::FloatEq)
+        .collect();
+    // `x == 1.0` and `0.5 != y`; `x == y` and `3 == 3` stay silent.
+    assert_eq!(eqs.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn allow_annotations_suppress_every_rule() {
+    let findings = run("allowed.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let findings = run("clean.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+}

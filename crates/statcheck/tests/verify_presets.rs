@@ -1,0 +1,170 @@
+//! Integration tests for the model-level static verifier: the shipped
+//! presets must verify clean, and a deliberately corrupted fault model must
+//! be caught with a counterexample naming the category, the layer family,
+//! and the mismatched neuron sets.
+
+use fidelity_accel::ff::{FfCategory, PipelineStage, VarType};
+use fidelity_accel::presets;
+use fidelity_core::models::{model_for, OperandWindow, SoftwareFaultModel};
+use fidelity_statcheck::report::CheckId;
+use fidelity_statcheck::verifier::{verify_all, verify_preset_with, MAC_LAYER_KINDS};
+
+#[test]
+fn all_shipped_presets_verify_clean() {
+    let report = verify_all();
+    assert!(
+        report.is_clean(),
+        "shipped presets must pass the static verifier:\n{report}"
+    );
+    // The domain is finite but non-trivial; make sure the verifier actually
+    // enumerated it rather than short-circuiting.
+    assert!(
+        report.checks_run > 400,
+        "suspiciously few checks ran: {}",
+        report.checks_run
+    );
+}
+
+#[test]
+fn corrupted_weight_reuse_factor_is_caught_with_counterexample() {
+    let cfg = presets::nvdla_like();
+    let weight_cat = FfCategory::Datapath {
+        stage: PipelineStage::BufferToMac,
+        var: VarType::Weight,
+    };
+
+    // Corrupt exactly one Table-II recipe: halve the weight-stationary hold
+    // window, as if the recipe author had mistaken the reuse factor.
+    let report = verify_preset_with(&cfg, &|cat, cfg| {
+        let model = model_for(cat, cfg)?;
+        if cat == weight_cat {
+            if let SoftwareFaultModel::Operand {
+                kind,
+                window,
+                random_suffix,
+            } = model
+            {
+                return Some(SoftwareFaultModel::Operand {
+                    kind,
+                    window: OperandWindow {
+                        positions: window.positions / 2,
+                        channels: window.channels,
+                    },
+                    random_suffix,
+                });
+            }
+        }
+        Some(model)
+    });
+
+    assert!(!report.is_clean(), "the corruption must be detected");
+    let mismatches: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.check == CheckId::ModelVsRfa && v.counterexample.is_some())
+        .collect();
+    assert!(
+        !mismatches.is_empty(),
+        "divergence must carry a neuron-set counterexample:\n{report}"
+    );
+
+    // The counterexample names the corrupted category, is instantiated for
+    // every MAC layer family, and pinpoints the missing neurons.
+    for kind in MAC_LAYER_KINDS {
+        let cx = mismatches
+            .iter()
+            .filter_map(|v| v.counterexample.as_ref())
+            .find(|cx| cx.layer_kind == kind)
+            .unwrap_or_else(|| panic!("no counterexample for {kind:?}:\n{report}"));
+        assert_eq!(cx.category, weight_cat);
+        // Recipe covers 8 of the 16 derived positions: 8 missing, 0 extra.
+        assert_eq!(cx.recipe.len(), 8);
+        assert_eq!(cx.derived.len(), 16);
+        assert_eq!(cx.missing.len(), 8);
+        assert!(cx.extra.is_empty());
+        // The rendered counterexample names everything a human needs.
+        let text = cx.to_string();
+        assert!(text.contains("buffer-to-MAC"), "{text}");
+        assert!(text.contains(&format!("{kind:?}")), "{text}");
+    }
+
+    // No other category is implicated.
+    for v in &report.violations {
+        assert!(v.subject.contains("weight"), "unexpected violation: {v}");
+    }
+}
+
+#[test]
+fn missing_recipe_for_censused_category_is_caught() {
+    let cfg = presets::eyeriss_like();
+    let report = verify_preset_with(&cfg, &|cat, cfg| {
+        if cat == FfCategory::LocalControl {
+            return None;
+        }
+        model_for(cat, cfg)
+    });
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.check == CheckId::ModelVsRfa && v.message.contains("no software fault model")));
+}
+
+#[test]
+fn swapped_operand_kind_is_caught() {
+    let cfg = presets::nvdla_like();
+    let report = verify_preset_with(&cfg, &|cat, cfg| {
+        let model = model_for(cat, cfg)?;
+        if let SoftwareFaultModel::Operand {
+            kind,
+            window,
+            random_suffix,
+        } = model
+        {
+            // Swap which operand every windowed recipe corrupts.
+            let swapped = match kind {
+                fidelity_dnn::macspec::OperandKind::Input => {
+                    fidelity_dnn::macspec::OperandKind::Weight
+                }
+                fidelity_dnn::macspec::OperandKind::Weight => {
+                    fidelity_dnn::macspec::OperandKind::Input
+                }
+            };
+            return Some(SoftwareFaultModel::Operand {
+                kind: swapped,
+                window,
+                random_suffix,
+            });
+        }
+        Some(model)
+    });
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.message.contains("operand") && v.check == CheckId::ModelVsRfa));
+}
+
+#[test]
+fn dropped_random_suffix_is_caught() {
+    let cfg = presets::nvdla_like();
+    let report = verify_preset_with(&cfg, &|cat, cfg| {
+        let model = model_for(cat, cfg)?;
+        if let SoftwareFaultModel::Operand {
+            kind,
+            window,
+            random_suffix: true,
+        } = model
+        {
+            // Pretend the multi-cycle weight hold never truncates.
+            return Some(SoftwareFaultModel::Operand {
+                kind,
+                window,
+                random_suffix: false,
+            });
+        }
+        Some(model)
+    });
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.message.contains("never truncates")));
+}

@@ -21,9 +21,9 @@ pub fn synthetic_image(seed: u64, channels: usize, size: usize) -> Tensor {
         centres.push((
             rng.next_f32() * size as f32,
             rng.next_f32() * size as f32,
-            0.5 + rng.next_f32() * 1.5,              // amplitude
+            0.5 + rng.next_f32() * 1.5,                 // amplitude
             1.0 + rng.next_f32() * (size as f32 / 4.0), // radius
-            rng.next_below(channels as u64) as usize, // dominant channel
+            rng.next_below(channels as u64) as usize,   // dominant channel
         ));
     }
     for c in 0..channels {
@@ -82,7 +82,11 @@ mod tests {
         assert_eq!(a.data(), b.data());
         // Blobs create spatial variance.
         let mean = a.sum() / a.len() as f32;
-        let var: f32 = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var: f32 = a
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / a.len() as f32;
         assert!(var > 0.01);
     }

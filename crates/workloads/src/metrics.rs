@@ -302,9 +302,11 @@ mod tests {
 
     #[test]
     fn bleu_threshold_metric() {
-        let golden =
-            Tensor::from_vec(vec![6, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0])
-                .unwrap();
+        let golden = Tensor::from_vec(
+            vec![6, 2],
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
+        )
+        .unwrap();
         let m10 = BleuThreshold::ten_percent();
         assert!(m10.is_correct(&golden, &golden));
         // Corrupt half the rows.

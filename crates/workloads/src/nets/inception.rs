@@ -22,7 +22,10 @@ pub fn inception_lite(seed: u64) -> Network {
     b = b
         .layer(conv("stem", seed ^ 0x10, 16, 3, 3, 2, 1), &["x"])
         .unwrap()
-        .layer(Activation::new("stem_relu", ActivationKind::Relu), &["stem"])
+        .layer(
+            Activation::new("stem_relu", ActivationKind::Relu),
+            &["stem"],
+        )
         .unwrap();
 
     let mut prev = "stem_relu".to_owned();
@@ -31,19 +34,34 @@ pub fn inception_lite(seed: u64) -> Network {
         let p = |s: &str| format!("m{m}_{s}");
         // Branch 0: 1×1.
         b = b
-            .layer(conv(&p("b0"), seed ^ (0x20 + m), 8, prev_c, 1, 1, 0), &[&prev])
+            .layer(
+                conv(&p("b0"), seed ^ (0x20 + m), 8, prev_c, 1, 1, 0),
+                &[&prev],
+            )
             .unwrap();
         // Branch 1: 1×1 → 3×3.
         b = b
-            .layer(conv(&p("b1a"), seed ^ (0x30 + m), 8, prev_c, 1, 1, 0), &[&prev])
+            .layer(
+                conv(&p("b1a"), seed ^ (0x30 + m), 8, prev_c, 1, 1, 0),
+                &[&prev],
+            )
             .unwrap()
-            .layer(conv(&p("b1b"), seed ^ (0x40 + m), 8, 8, 3, 1, 1), &[&p("b1a")])
+            .layer(
+                conv(&p("b1b"), seed ^ (0x40 + m), 8, 8, 3, 1, 1),
+                &[&p("b1a")],
+            )
             .unwrap();
         // Branch 2: 1×1 → 5×5.
         b = b
-            .layer(conv(&p("b2a"), seed ^ (0x50 + m), 4, prev_c, 1, 1, 0), &[&prev])
+            .layer(
+                conv(&p("b2a"), seed ^ (0x50 + m), 4, prev_c, 1, 1, 0),
+                &[&prev],
+            )
             .unwrap()
-            .layer(conv(&p("b2b"), seed ^ (0x60 + m), 4, 4, 5, 1, 2), &[&p("b2a")])
+            .layer(
+                conv(&p("b2b"), seed ^ (0x60 + m), 4, 4, 5, 1, 2),
+                &[&p("b2a")],
+            )
             .unwrap();
         // Branch 3: 3×3 max pool → 1×1.
         b = b
@@ -54,7 +72,10 @@ pub fn inception_lite(seed: u64) -> Network {
                 &[&prev],
             )
             .unwrap()
-            .layer(conv(&p("b3c"), seed ^ (0x70 + m), 4, prev_c, 1, 1, 0), &[&p("b3p")])
+            .layer(
+                conv(&p("b3c"), seed ^ (0x70 + m), 4, prev_c, 1, 1, 0),
+                &[&p("b3p")],
+            )
             .unwrap();
         // Concatenate the branches and apply the module non-linearity.
         b = b
@@ -63,7 +84,10 @@ pub fn inception_lite(seed: u64) -> Network {
                 &[&p("b0"), &p("b1b"), &p("b2b"), &p("b3c")],
             )
             .unwrap()
-            .layer(Activation::new(p("relu"), ActivationKind::Relu), &[&p("cat")])
+            .layer(
+                Activation::new(p("relu"), ActivationKind::Relu),
+                &[&p("cat")],
+            )
             .unwrap();
         prev = p("relu");
         prev_c = 8 + 8 + 4 + 4;

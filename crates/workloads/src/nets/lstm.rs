@@ -10,9 +10,7 @@
 //! asserts the two agree, which pins the unrolled wiring.
 
 use fidelity_dnn::graph::{Network, NetworkBuilder};
-use fidelity_dnn::layers::{
-    Activation, ActivationKind, Add, BiasAdd, Dense, Mul, Slice,
-};
+use fidelity_dnn::layers::{Activation, ActivationKind, Add, BiasAdd, Dense, Mul, Slice};
 use fidelity_dnn::tensor::Tensor;
 
 use super::dense_w;
@@ -65,13 +63,19 @@ pub fn lstm_net(seed: u64) -> (Network, usize, usize) {
         let p = |s: &str| format!("t{t}_{s}");
         b = b
             // Gate pre-activations: W_ih·x_t + W_hh·h_{t-1} + bias.
-            .layer(Dense::new(p("xg"), w_ih.clone()).unwrap(), &[&format!("x{t}")])
+            .layer(
+                Dense::new(p("xg"), w_ih.clone()).unwrap(),
+                &[&format!("x{t}")],
+            )
             .unwrap()
             .layer(Dense::new(p("hg"), w_hh.clone()).unwrap(), &[&h_prev])
             .unwrap()
             .layer(Add::new(p("gsum")), &[&p("xg"), &p("hg")])
             .unwrap()
-            .layer(BiasAdd::new(p("gates"), bias.clone()).unwrap(), &[&p("gsum")])
+            .layer(
+                BiasAdd::new(p("gates"), bias.clone()).unwrap(),
+                &[&p("gsum")],
+            )
             .unwrap()
             // Split and activate the four gates.
             .layer(Slice::new(p("i_pre"), 0, HIDDEN), &[&p("gates")])
@@ -82,13 +86,25 @@ pub fn lstm_net(seed: u64) -> (Network, usize, usize) {
             .unwrap()
             .layer(Slice::new(p("o_pre"), 3 * HIDDEN, HIDDEN), &[&p("gates")])
             .unwrap()
-            .layer(Activation::new(p("i"), ActivationKind::Sigmoid), &[&p("i_pre")])
+            .layer(
+                Activation::new(p("i"), ActivationKind::Sigmoid),
+                &[&p("i_pre")],
+            )
             .unwrap()
-            .layer(Activation::new(p("f"), ActivationKind::Sigmoid), &[&p("f_pre")])
+            .layer(
+                Activation::new(p("f"), ActivationKind::Sigmoid),
+                &[&p("f_pre")],
+            )
             .unwrap()
-            .layer(Activation::new(p("g"), ActivationKind::Tanh), &[&p("g_pre")])
+            .layer(
+                Activation::new(p("g"), ActivationKind::Tanh),
+                &[&p("g_pre")],
+            )
             .unwrap()
-            .layer(Activation::new(p("o"), ActivationKind::Sigmoid), &[&p("o_pre")])
+            .layer(
+                Activation::new(p("o"), ActivationKind::Sigmoid),
+                &[&p("o_pre")],
+            )
             .unwrap()
             // c_t = f ⊙ c_{t-1} + i ⊙ g;  h_t = o ⊙ tanh(c_t).
             .layer(Mul::new(p("fc")), &[&p("f"), &c_prev])
@@ -97,7 +113,10 @@ pub fn lstm_net(seed: u64) -> (Network, usize, usize) {
             .unwrap()
             .layer(Add::new(p("c")), &[&p("fc"), &p("ig")])
             .unwrap()
-            .layer(Activation::new(p("c_tanh"), ActivationKind::Tanh), &[&p("c")])
+            .layer(
+                Activation::new(p("c_tanh"), ActivationKind::Tanh),
+                &[&p("c")],
+            )
             .unwrap()
             .layer(Mul::new(p("h")), &[&p("o"), &p("c_tanh")])
             .unwrap();

@@ -26,7 +26,10 @@ pub fn mobilenet_lite(seed: u64) -> Network {
     b = b
         .layer(conv("stem", seed ^ 0xA1, 16, 3, 3, 2, 1), &["x"])
         .unwrap()
-        .layer(Activation::new("stem_relu6", ActivationKind::Relu6), &["stem"])
+        .layer(
+            Activation::new("stem_relu6", ActivationKind::Relu6),
+            &["stem"],
+        )
         .unwrap();
 
     let blocks = [(16usize, 32usize, 1usize), (32, 64, 2)];
@@ -34,16 +37,25 @@ pub fn mobilenet_lite(seed: u64) -> Network {
     for (i, &(in_c, out_c, stride)) in blocks.iter().enumerate() {
         let p = |s: &str| format!("ds{i}_{s}");
         b = b
-            .layer(depthwise(&p("dw"), seed ^ (0xB0 + i as u64), in_c, stride), &[&prev])
+            .layer(
+                depthwise(&p("dw"), seed ^ (0xB0 + i as u64), in_c, stride),
+                &[&prev],
+            )
             .unwrap()
-            .layer(Activation::new(p("dw_relu6"), ActivationKind::Relu6), &[&p("dw")])
+            .layer(
+                Activation::new(p("dw_relu6"), ActivationKind::Relu6),
+                &[&p("dw")],
+            )
             .unwrap()
             .layer(
                 conv(&p("pw"), seed ^ (0xC0 + i as u64), out_c, in_c, 1, 1, 0),
                 &[&p("dw_relu6")],
             )
             .unwrap()
-            .layer(Activation::new(p("pw_relu6"), ActivationKind::Relu6), &[&p("pw")])
+            .layer(
+                Activation::new(p("pw_relu6"), ActivationKind::Relu6),
+                &[&p("pw")],
+            )
             .unwrap();
         prev = p("pw_relu6");
     }

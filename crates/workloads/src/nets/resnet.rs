@@ -2,19 +2,18 @@
 //! ReLU / 3×3 conv / folded BN + identity-or-projection skip), global
 //! pooling, and a classifier.
 
+use super::{classifier_w, conv};
 use fidelity_dnn::graph::{Network, NetworkBuilder};
 use fidelity_dnn::layers::{
     Activation, ActivationKind, Add, Dense, Flatten, GlobalAvgPool, ScaleShift,
 };
-use super::{classifier_w, conv};
 
 /// Number of classes of the synthetic classification task.
 pub const CLASSES: usize = 10;
 
 fn bn(name: String, channels: usize, seed: u64) -> ScaleShift {
     // Folded batch-norm with mild per-channel variation.
-    let gamma = fidelity_dnn::init::uniform_tensor(seed, vec![channels], 0.2)
-        .map(|v| 1.0 + v);
+    let gamma = fidelity_dnn::init::uniform_tensor(seed, vec![channels], 0.2).map(|v| 1.0 + v);
     let beta = fidelity_dnn::init::uniform_tensor(seed ^ 1, vec![channels], 0.1);
     ScaleShift::new(name, gamma, beta).expect("equal-length rank-1 params")
 }
@@ -25,7 +24,10 @@ pub fn resnet_lite(seed: u64) -> Network {
     b = b
         .layer(conv("stem", seed ^ 0x01, 16, 3, 3, 2, 1), &["x"])
         .unwrap()
-        .layer(Activation::new("stem_relu", ActivationKind::Relu), &["stem"])
+        .layer(
+            Activation::new("stem_relu", ActivationKind::Relu),
+            &["stem"],
+        )
         .unwrap();
 
     // Block 1: identity skip, 16 → 16 channels.
@@ -34,7 +36,10 @@ pub fn resnet_lite(seed: u64) -> Network {
         .unwrap()
         .layer(bn("r1_bn1".into(), 16, seed ^ 0x03), &["r1_c1"])
         .unwrap()
-        .layer(Activation::new("r1_relu1", ActivationKind::Relu), &["r1_bn1"])
+        .layer(
+            Activation::new("r1_relu1", ActivationKind::Relu),
+            &["r1_bn1"],
+        )
         .unwrap()
         .layer(conv("r1_c2", seed ^ 0x04, 16, 16, 3, 1, 1), &["r1_relu1"])
         .unwrap()
@@ -51,7 +56,10 @@ pub fn resnet_lite(seed: u64) -> Network {
         .unwrap()
         .layer(bn("r2_bn1".into(), 32, seed ^ 0x07), &["r2_c1"])
         .unwrap()
-        .layer(Activation::new("r2_relu1", ActivationKind::Relu), &["r2_bn1"])
+        .layer(
+            Activation::new("r2_relu1", ActivationKind::Relu),
+            &["r2_bn1"],
+        )
         .unwrap()
         .layer(conv("r2_c2", seed ^ 0x08, 32, 32, 3, 1, 1), &["r2_relu1"])
         .unwrap()

@@ -98,7 +98,10 @@ fn attention(
         .unwrap()
         .layer(Add::new(p("res".into())), &[&p("proj".into()), query_src])
         .unwrap()
-        .layer(layer_norm(&p("ln".into()), seed ^ 0x14), &[&p("res".into())])
+        .layer(
+            layer_norm(&p("ln".into()), seed ^ 0x14),
+            &[&p("res".into())],
+        )
         .unwrap();
     let out = p("ln".into());
     (b, out)
@@ -113,7 +116,10 @@ fn ffn(mut b: NetworkBuilder, prefix: &str, seed: u64, src: &str) -> (NetworkBui
             &[src],
         )
         .unwrap()
-        .layer(Activation::new(p("ffn_relu"), ActivationKind::Relu), &[&p("ffn1")])
+        .layer(
+            Activation::new(p("ffn_relu"), ActivationKind::Relu),
+            &[&p("ffn1")],
+        )
         .unwrap()
         .layer(
             Dense::new(p("ffn2"), dense_w(seed ^ 0x22, D_MODEL, D_FFN)).unwrap(),
@@ -186,10 +192,7 @@ pub fn transformer_lite(seed: u64) -> (Network, usize) {
             &[&dec_out],
         )
         .unwrap();
-    (
-        b6.build().expect("transformer-lite topology is fixed"),
-        SEQ,
-    )
+    (b6.build().expect("transformer-lite topology is fixed"), SEQ)
 }
 
 #[cfg(test)]

@@ -35,7 +35,10 @@ pub fn yolo_lite(seed: u64) -> Network {
         .unwrap()
         .layer(Activation::new("a3", leaky), &["c3"])
         .unwrap()
-        .layer(conv("head", seed ^ 0xE4, GRID_CHANNELS, 64, 1, 1, 0), &["a3"])
+        .layer(
+            conv("head", seed ^ 0xE4, GRID_CHANNELS, 64, 1, 1, 0),
+            &["a3"],
+        )
         .unwrap()
         .build()
         .expect("yolo-lite topology is fixed")

@@ -22,9 +22,8 @@ use fidelity::dnn::precision::Precision;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = fidelity::accel::presets::eyeriss_like();
-    let df = match cfg.dataflow {
-        DataflowKind::Eyeriss(d) => d,
-        _ => unreachable!("preset is Eyeriss-like"),
+    let DataflowKind::Eyeriss(df) = cfg.dataflow else {
+        unreachable!("preset is Eyeriss-like")
     };
 
     // Step 1 — Reuse Factor Analysis on the Fig. 2(b) targets.
@@ -50,20 +49,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nderived software fault models:");
     for (category, frac) in cfg.census.iter() {
         if let Some(model) = model_for(category, &cfg) {
-            println!("  {:<34} ({:>4.1}%)  {:?}", category.to_string(), frac * 100.0, model);
+            println!(
+                "  {:<34} ({:>4.1}%)  {:?}",
+                category.to_string(),
+                frac * 100.0,
+                model
+            );
         }
     }
 
     // Step 3 — a small campaign + FIT rate on a CNN.
     let workload = fidelity::workloads::classification_suite(7).remove(2); // mobilenet
-    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
+    let engine = Engine::new(
+        workload.network,
+        Precision::Fp16,
+        std::slice::from_ref(&workload.inputs),
+    )?;
     let trace = engine.trace(&workload.inputs)?;
     let spec = CampaignSpec {
         samples_per_cell: 80,
         seed: 3,
         ..CampaignSpec::default()
     };
-    let analysis = analyze(&engine, &trace, &cfg, &TopOneMatch, PAPER_RAW_FIT_PER_MB, &spec)?;
+    let analysis = analyze(
+        &engine,
+        &trace,
+        &cfg,
+        &TopOneMatch,
+        PAPER_RAW_FIT_PER_MB,
+        &spec,
+    )?;
     println!(
         "\nmobilenet on the Eyeriss-like design: FIT = {:.2} (datapath {:.2}, local {:.3}, global {:.2})",
         analysis.fit.total, analysis.fit.datapath, analysis.fit.local, analysis.fit.global

@@ -20,9 +20,16 @@ use fidelity::rtl::{Disturbance, MemFault, ObservedFault, RtlEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = fidelity::workloads::classification_suite(42).remove(2); // mobilenet
-    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
+    let engine = Engine::new(
+        workload.network,
+        Precision::Fp16,
+        std::slice::from_ref(&workload.inputs),
+    )?;
     let trace = engine.trace(&workload.inputs)?;
-    let node = engine.network().node_index("ds0_pw").expect("pointwise conv");
+    let node = engine
+        .network()
+        .node_index("ds0_pw")
+        .expect("pointwise conv");
     let layer = rtl_layer_for(&engine, &trace, node).expect("conv lifts to RTL");
     let rtl = RtlEngine::new(layer.clone(), 8, 8);
 

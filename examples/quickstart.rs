@@ -7,7 +7,9 @@
 
 use fidelity::core::analysis::analyze;
 use fidelity::core::campaign::{wilson_interval, CampaignSpec};
-use fidelity::core::fit::{ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB};
+use fidelity::core::fit::{
+    ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB,
+};
 use fidelity::core::outcome::TopOneMatch;
 use fidelity::dnn::graph::Engine;
 use fidelity::dnn::precision::Precision;
@@ -28,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Deploy a workload at FP16.
     let workload = fidelity::workloads::classification_suite(42).remove(0);
     println!("workload:    {} (image classification)", workload.name);
-    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
+    let engine = Engine::new(
+        workload.network,
+        Precision::Fp16,
+        std::slice::from_ref(&workload.inputs),
+    )?;
     let trace = engine.trace(&workload.inputs)?;
 
     // 3. Run the FIdelity flow: activeness analysis, software fault-injection
@@ -38,9 +44,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 1,
         ..CampaignSpec::default()
     };
-    let analysis = analyze(&engine, &trace, &accel, &TopOneMatch, PAPER_RAW_FIT_PER_MB, &spec)?;
+    let analysis = analyze(
+        &engine,
+        &trace,
+        &accel,
+        &TopOneMatch,
+        PAPER_RAW_FIT_PER_MB,
+        &spec,
+    )?;
 
-    println!("\ncampaign:    {} injections", analysis.campaign.total_samples());
+    println!(
+        "\ncampaign:    {} injections",
+        analysis.campaign.total_samples()
+    );
     for cell in analysis.campaign.cells.iter().take(7) {
         let (lo, hi) = wilson_interval(cell.masked, cell.samples.max(1));
         println!(
@@ -58,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fit = &analysis.fit;
     let budget = ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION);
     println!("\nAccelerator_FIT_rate = {:.2}", fit.total);
-    println!("  datapath: {:.2}   local control: {:.3}   global control: {:.2}", fit.datapath, fit.local, fit.global);
+    println!(
+        "  datapath: {:.2}   local control: {:.3}   global control: {:.2}",
+        fit.datapath, fit.local, fit.global
+    );
     println!(
         "  ASIL-D FF budget is {budget}; this deployment is {:.0}x over — unprotected FFs are not safe for automotive use (Key result 1).",
         fit.total / budget

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep 1: raw FF FIT rate (technology node / environment).
     println!("sweep 1 — raw FF FIT rate (scales Eq. 2 linearly):");
-    let base = run_once(fidelity::accel::presets::nvdla_like(), &spec, PAPER_RAW_FIT_PER_MB)?;
+    let base = run_once(
+        fidelity::accel::presets::nvdla_like(),
+        &spec,
+        PAPER_RAW_FIT_PER_MB,
+    )?;
     for raw in [150.0, 300.0, 600.0, 1200.0] {
         let fit = base * raw / PAPER_RAW_FIT_PER_MB;
         println!("  raw = {raw:>6} FIT/MB  ->  Accelerator_FIT_rate = {fit:.2}");
@@ -65,7 +69,11 @@ fn run_once(
     raw: f64,
 ) -> Result<f64, Box<dyn std::error::Error>> {
     let workload = fidelity::workloads::classification_suite(42).remove(1); // resnet
-    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
+    let engine = Engine::new(
+        workload.network,
+        Precision::Fp16,
+        std::slice::from_ref(&workload.inputs),
+    )?;
     let trace = engine.trace(&workload.inputs)?;
     let analysis = analyze(&engine, &trace, &cfg, &TopOneMatch, raw, spec)?;
     Ok(analysis.fit.total)

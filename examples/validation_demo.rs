@@ -20,9 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // register-level engine (16 lanes, 16-cycle weight hold — the paper's
     // validated NVDLA geometry).
     let workload = fidelity::workloads::classification_suite(42).remove(1);
-    let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))?;
+    let engine = Engine::new(
+        workload.network,
+        Precision::Fp16,
+        std::slice::from_ref(&workload.inputs),
+    )?;
     let trace = engine.trace(&workload.inputs)?;
-    let node = engine.network().node_index("r1_c1").expect("resnet conv exists");
+    let node = engine
+        .network()
+        .node_index("r1_c1")
+        .expect("resnet conv exists");
     let layer = rtl_layer_for(&engine, &trace, node).expect("conv lifts to RTL");
     let rtl = RtlEngine::new(layer, 16, 16);
     println!(
@@ -72,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Software prediction for the very same site.
     match predict(&rtl, site) {
         Prediction::Neurons { offsets, values } => {
-            println!("software model says:   {} faulty neurons {:?}", offsets.len(), offsets);
+            println!(
+                "software model says:   {} faulty neurons {:?}",
+                offsets.len(),
+                offsets
+            );
             for (off, val) in offsets.iter().zip(&values) {
                 let clean = rtl.clean_output().data()[*off];
                 println!(
@@ -88,7 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = validate_site(&rtl, site);
     match outcome.agreement {
         Agreement::DatapathExact => {
-            println!("\nverdict: EXACT MATCH — same neurons, bit-identical values (Sec. IV-C).")
+            println!("\nverdict: EXACT MATCH — same neurons, bit-identical values (Sec. IV-C).");
         }
         other => println!("\nverdict: {other:?}"),
     }

@@ -7,6 +7,8 @@
 //!                   [--checkpoint PATH] [--resume]
 //! fidelity validate --network NAME [--layer NAME] [--sites N] [--systolic]
 //! fidelity protect  --network NAME [--target FIT] [--samples N]
+//! fidelity statcheck [--preset NAME]
+//! fidelity lint     [--root PATH]...
 //! ```
 //!
 //! Networks: inception, resnet, mobilenet, yolo, transformer, lstm.
@@ -17,10 +19,12 @@ use std::process::ExitCode;
 use fidelity::accel::dataflow::{EyerissDataflow, NvdlaDataflow};
 use fidelity::core::analysis::analyze;
 use fidelity::core::campaign::CampaignSpec;
-use fidelity::core::resilience::CheckpointSpec;
-use fidelity::core::fit::{ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB};
+use fidelity::core::fit::{
+    ff_fit_budget, ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION, PAPER_RAW_FIT_PER_MB,
+};
 use fidelity::core::outcome::{CorrectnessMetric, TopOneMatch};
 use fidelity::core::protect::{default_costs, plan_selective_protection};
+use fidelity::core::resilience::CheckpointSpec;
 use fidelity::core::rfa::reuse_factor_analysis;
 use fidelity::core::validate::{random_sites, rtl_layer_for, validate_many};
 use fidelity::dnn::graph::Engine;
@@ -50,6 +54,8 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&opts),
         "validate" => cmd_validate(&opts),
         "protect" => cmd_protect(&opts),
+        "statcheck" => cmd_statcheck(&opts),
+        "lint" => cmd_lint(rest, &opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -72,6 +78,8 @@ const USAGE: &str = "usage:
                     [--checkpoint PATH] [--resume]
   fidelity validate --network NAME [--layer NAME] [--sites N]
   fidelity protect  --network NAME [--target FIT] [--samples N]
+  fidelity statcheck [--preset NAME]
+  fidelity lint     [--root PATH]...
 
 networks: inception | resnet | mobilenet | yolo | transformer | lstm";
 
@@ -139,9 +147,7 @@ fn metric_for(w: &Workload) -> Box<dyn CorrectnessMetric> {
     match w.kind {
         fidelity::workloads::WorkloadKind::Classification => Box::new(TopOneMatch),
         fidelity::workloads::WorkloadKind::Translation => Box::new(BleuThreshold::ten_percent()),
-        fidelity::workloads::WorkloadKind::Detection => {
-            Box::new(DetectionThreshold::ten_percent())
-        }
+        fidelity::workloads::WorkloadKind::Detection => Box::new(DetectionThreshold::ten_percent()),
     }
 }
 
@@ -185,7 +191,14 @@ fn cmd_rfa(opts: &HashMap<String, String>) -> Result<(), String> {
 fn deploy(
     opts: &HashMap<String, String>,
     seed: u64,
-) -> Result<(Engine, fidelity::dnn::graph::Trace, Box<dyn CorrectnessMetric>), String> {
+) -> Result<
+    (
+        Engine,
+        fidelity::dnn::graph::Trace,
+        Box<dyn CorrectnessMetric>,
+    ),
+    String,
+> {
     let w = workload(opts, seed)?;
     let metric = metric_for(&w);
     let p = precision(opts)?;
@@ -193,7 +206,9 @@ fn deploy(
     let mut engine =
         Engine::new(w.network, p, std::slice::from_ref(&inputs)).map_err(|e| e.to_string())?;
     if let Some(slack) = opts.get("bounding") {
-        let slack: f32 = slack.parse().map_err(|_| "--bounding: bad slack".to_owned())?;
+        let slack: f32 = slack
+            .parse()
+            .map_err(|_| "--bounding: bad slack".to_owned())?;
         engine
             .enable_range_bounding(&inputs, slack)
             .map_err(|e| e.to_string())?;
@@ -254,10 +269,16 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
         }
     );
     for term in &analysis.layer_terms {
-        println!("  layer {:<28} exec {:>8} cycles", term.name, term.exec_cycles);
+        println!(
+            "  layer {:<28} exec {:>8} cycles",
+            term.name, term.exec_cycles
+        );
     }
     if opts.get("detail").map(String::as_str) == Some("true") {
-        println!("\n{}", fidelity::core::report::campaign_table(&analysis.campaign));
+        println!(
+            "\n{}",
+            fidelity::core::report::campaign_table(&analysis.campaign)
+        );
     }
     Ok(())
 }
@@ -301,6 +322,64 @@ fn cmd_validate(opts: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
+fn cmd_statcheck(opts: &HashMap<String, String>) -> Result<(), String> {
+    let report = match opts.get("preset") {
+        Some(name) => {
+            let cfg = fidelity::accel::presets::all()
+                .into_iter()
+                .find(|c| c.name == *name)
+                .ok_or_else(|| format!("unknown preset `{name}`"))?;
+            fidelity::statcheck::verifier::verify_preset(&cfg)
+        }
+        None => fidelity::statcheck::verifier::verify_all(),
+    };
+    println!("{report}");
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "statcheck failed: {} error(s)",
+            report.error_count()
+        ))
+    }
+}
+
+fn cmd_lint(args: &[String], _opts: &HashMap<String, String>) -> Result<(), String> {
+    // `--root` may repeat, which the flag map cannot express; read it from
+    // the raw argument list instead.
+    let mut roots: Vec<std::path::PathBuf> = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .filter(|(flag, _)| flag.as_str() == "--root")
+        .map(|(_, value)| std::path::PathBuf::from(value))
+        .collect();
+    if roots.is_empty() {
+        roots = ["crates/core", "crates/dnn", "crates/rtl"]
+            .iter()
+            .map(std::path::PathBuf::from)
+            .collect();
+        if !roots.iter().all(|r| r.is_dir()) {
+            return Err(
+                "default lint roots not found; run from the workspace root or pass --root PATH"
+                    .to_owned(),
+            );
+        }
+    }
+    let config = fidelity::statcheck::lint::LintConfig::default();
+    let findings = fidelity::statcheck::lint::lint_paths(&roots, &config)
+        .map_err(|e| format!("lint failed: {e}"))?;
+    for f in &findings {
+        println!("{f}");
+    }
+    // Warnings are errors: a single nondeterminism finding fails the gate.
+    if findings.is_empty() {
+        println!("determinism lint: clean");
+        Ok(())
+    } else {
+        Err(format!("determinism lint: {} finding(s)", findings.len()))
+    }
+}
+
 fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
     let seed = get(opts, "seed", 42u64)?;
     let (engine, trace, metric) = deploy(opts, seed)?;
@@ -320,12 +399,8 @@ fn cmd_protect(opts: &HashMap<String, String>) -> Result<(), String> {
         ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION),
     )?;
     let costs = default_costs(accel.census.iter().map(|(c, _)| c));
-    let plan = plan_selective_protection(
-        &analysis.fit,
-        &costs,
-        |c| accel.census.fraction(c),
-        target,
-    );
+    let plan =
+        plan_selective_protection(&analysis.fit, &costs, |c| accel.census.fraction(c), target);
     println!(
         "FIT {:.3} -> {:.3} (target {target}, met: {}, area cost {:.1}%)",
         analysis.fit.total,

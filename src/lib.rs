@@ -12,7 +12,10 @@
 //! * [`core`] — the FIdelity framework itself (Reuse Factor Analysis,
 //!   software fault models, campaigns, Eq. 1/Eq. 2, validation);
 //! * [`workloads`] — representative networks, synthetic data, and
-//!   correctness metrics.
+//!   correctness metrics;
+//! * [`statcheck`] — static analyses: the model-level fault-model verifier
+//!   and the source-level determinism lint (`fidelity statcheck`,
+//!   `fidelity lint`).
 //!
 //! ## Quickstart
 //!
@@ -42,4 +45,5 @@ pub use fidelity_accel as accel;
 pub use fidelity_core as core;
 pub use fidelity_dnn as dnn;
 pub use fidelity_rtl as rtl;
+pub use fidelity_statcheck as statcheck;
 pub use fidelity_workloads as workloads;

@@ -83,7 +83,16 @@ impl Drop for ScratchCkpt {
 
 /// Everything that must match for two campaign cells to be "bit-identical",
 /// with float fields compared by their bit patterns.
-type CellKey = (usize, String, String, usize, usize, usize, usize, Vec<(usize, u32, String)>);
+type CellKey = (
+    usize,
+    String,
+    String,
+    usize,
+    usize,
+    usize,
+    usize,
+    Vec<(usize, u32, String)>,
+);
 
 fn cell_key(c: &CellStats) -> CellKey {
     (
@@ -195,17 +204,19 @@ fn arb_cell() -> impl Strategy<Value = CellStats> {
         (0usize..500, 0usize..500, 0usize..500),
         prop::collection::vec(arb_event(), 0..6),
     )
-        .prop_map(|(node, cat, model, (masked, output_error, anomaly), events)| CellStats {
-            node,
-            layer: format!("layer_{node}"),
-            category: ALL_CATEGORIES[cat],
-            model,
-            samples: masked + output_error + anomaly,
-            masked,
-            output_error,
-            anomaly,
-            events,
-        })
+        .prop_map(
+            |(node, cat, model, (masked, output_error, anomaly), events)| CellStats {
+                node,
+                layer: format!("layer_{node}"),
+                category: ALL_CATEGORIES[cat],
+                model,
+                samples: masked + output_error + anomaly,
+                masked,
+                output_error,
+                anomaly,
+                events,
+            },
+        )
 }
 
 proptest! {
@@ -340,13 +351,19 @@ fn watchdog_reclassifies_stalled_injections_as_anomalies() {
     });
     let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &stalled).unwrap();
 
-    assert!(result.failures.is_empty(), "timeouts are outcomes, not failures");
+    assert!(
+        result.failures.is_empty(),
+        "timeouts are outcomes, not failures"
+    );
     let victim = result
         .cells
         .iter()
         .find(|c| (c.node, c.category) == (node, category))
         .unwrap();
-    assert_eq!(victim.anomaly, victim.samples, "every stalled sample times out");
+    assert_eq!(
+        victim.anomaly, victim.samples,
+        "every stalled sample times out"
+    );
     assert!(victim
         .events
         .iter()
@@ -385,8 +402,10 @@ fn killed_campaign_resumes_bit_identically() {
     assert!(err.to_string().contains("failure budget exhausted"));
 
     // The checkpoint holds some, but not all, cells.
-    let parsed =
-        parse_checkpoint(std::io::BufReader::new(std::fs::File::open(&ckpt.0).unwrap())).unwrap();
+    let parsed = parse_checkpoint(std::io::BufReader::new(
+        std::fs::File::open(&ckpt.0).unwrap(),
+    ))
+    .unwrap();
     assert!(!parsed.cells.is_empty(), "kill left no completed cells");
     assert!(
         parsed.cells.len() < baseline.cells.len(),

@@ -27,18 +27,37 @@ fn run(
     metric: &dyn CorrectnessMetric,
     samples: usize,
 ) -> fidelity::core::analysis::ResilienceAnalysis {
-    let engine = Engine::new(workload.network, precision, std::slice::from_ref(&workload.inputs)).unwrap();
+    let engine = Engine::new(
+        workload.network,
+        precision,
+        std::slice::from_ref(&workload.inputs),
+    )
+    .unwrap();
     let trace = engine.trace(&workload.inputs).unwrap();
     let accel = fidelity::accel::presets::nvdla_like();
-    analyze(&engine, &trace, &accel, metric, PAPER_RAW_FIT_PER_MB, &spec(samples)).unwrap()
+    analyze(
+        &engine,
+        &trace,
+        &accel,
+        metric,
+        PAPER_RAW_FIT_PER_MB,
+        &spec(samples),
+    )
+    .unwrap()
 }
 
 #[test]
 fn breakdown_invariants_hold_for_every_family() {
     let cases: Vec<(Workload, Box<dyn CorrectnessMetric>)> = vec![
         (classification_suite(1).remove(0), Box::new(TopOneMatch)),
-        (yolo_workload(1), Box::new(DetectionThreshold::ten_percent())),
-        (transformer_workload(1), Box::new(BleuThreshold::ten_percent())),
+        (
+            yolo_workload(1),
+            Box::new(DetectionThreshold::ten_percent()),
+        ),
+        (
+            transformer_workload(1),
+            Box::new(BleuThreshold::ten_percent()),
+        ),
         (lstm_workload(1), Box::new(TopOneMatch)),
     ];
     for (workload, metric) in cases {

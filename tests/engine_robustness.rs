@@ -8,7 +8,7 @@ use fidelity::dnn::graph::Engine;
 use fidelity::dnn::init::SplitMix64;
 use fidelity::dnn::precision::Precision;
 use fidelity::rtl::{
-    Disturbance, FaultSite, FfId, SeqCounter, SysFaultSite, SysFfId, RtlEngine, SystolicEngine,
+    Disturbance, FaultSite, FfId, RtlEngine, SeqCounter, SysFaultSite, SysFfId, SystolicEngine,
 };
 use fidelity::workloads::classification_suite;
 use proptest::prelude::*;

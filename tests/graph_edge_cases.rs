@@ -40,7 +40,9 @@ fn wrong_input_count_is_reported() {
         .unwrap();
     let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
     match engine.forward(&[]) {
-        Err(DnnError::ArityMismatch { expected, actual, .. }) => {
+        Err(DnnError::ArityMismatch {
+            expected, actual, ..
+        }) => {
             assert_eq!((expected, actual), (1, 0));
         }
         other => panic!("expected arity error, got {other:?}"),

@@ -35,9 +35,7 @@ fn weight_memory_flip_matches_before_buffer_model() {
         let observed = ObservedFault::from_run(rtl.clean_output(), &run);
 
         // The before-buffer software model for the same word.
-        let faulty_value = layer
-            .weight_codec
-            .flip_bit(layer.weight.data()[index], bit);
+        let faulty_value = layer.weight_codec.flip_bit(layer.weight.data()[index], bit);
         let subst = Substitution {
             kind: OperandKind::Weight,
             offset: index,
@@ -83,13 +81,13 @@ fn input_memory_flip_affects_receptive_fields_only() {
             bit: 14, // exponent bit: visible if the value is used at all
         }));
         let observed = ObservedFault::from_run(rtl.clean_output(), &run);
-        let users: std::collections::HashSet<usize> = layer
-            .spec
-            .neurons_using_input(index)
-            .into_iter()
-            .collect();
+        let users: std::collections::HashSet<usize> =
+            layer.spec.neurons_using_input(index).into_iter().collect();
         for n in &observed.faulty_neurons {
-            assert!(users.contains(n), "neuron {n} does not use input word {index}");
+            assert!(
+                users.contains(n),
+                "neuron {n} does not use input word {index}"
+            );
         }
     }
 }

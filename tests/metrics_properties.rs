@@ -1,8 +1,8 @@
 //! Property-based tests on the correctness metrics (BLEU, detection
 //! matching) — the application-level scoring the FIT rates hinge on.
 
-use fidelity::workloads::metrics::{bleu4, decode_tokens, detection_score, iou, Detection};
 use fidelity::dnn::tensor::Tensor;
+use fidelity::workloads::metrics::{bleu4, decode_tokens, detection_score, iou, Detection};
 use proptest::prelude::*;
 
 fn token_seq(len: usize) -> impl Strategy<Value = Vec<usize>> {

@@ -31,7 +31,8 @@ fn fp16_faults_produce_larger_perturbations_than_int8() {
         let w = classification_suite(9).remove(1);
         let engine = Engine::new(w.network, precision, std::slice::from_ref(&w.inputs)).unwrap();
         let trace = engine.trace(&w.inputs).unwrap();
-        let campaign = run_campaign(&engine, &trace, &accel, &TopOneMatch, &spec(80, true)).unwrap();
+        let campaign =
+            run_campaign(&engine, &trace, &accel, &TopOneMatch, &spec(80, true)).unwrap();
         let max_pert = campaign
             .cells
             .iter()
@@ -57,8 +58,12 @@ fn large_perturbations_cause_more_output_errors() {
     let mut small = (0usize, 0usize);
     let mut large = (0usize, 0usize);
     for workload in classification_suite(11) {
-        let engine = Engine::new(workload.network, Precision::Fp16, std::slice::from_ref(&workload.inputs))
-            .unwrap();
+        let engine = Engine::new(
+            workload.network,
+            Precision::Fp16,
+            std::slice::from_ref(&workload.inputs),
+        )
+        .unwrap();
         let trace = engine.trace(&workload.inputs).unwrap();
         let campaign =
             run_campaign(&engine, &trace, &accel, &TopOneMatch, &spec(120, true)).unwrap();
@@ -123,7 +128,8 @@ fn int8_outcomes_differ_from_fp16_under_same_seed() {
         let w = classification_suite(13).remove(2);
         let engine = Engine::new(w.network, precision, std::slice::from_ref(&w.inputs)).unwrap();
         let trace = engine.trace(&w.inputs).unwrap();
-        let campaign = run_campaign(&engine, &trace, &accel, &TopOneMatch, &spec(60, false)).unwrap();
+        let campaign =
+            run_campaign(&engine, &trace, &accel, &TopOneMatch, &spec(60, false)).unwrap();
         let (masked, total) = campaign
             .cells
             .iter()

@@ -1,7 +1,9 @@
 //! Property-based tests on the core data structures and invariants.
 
 use fidelity::dnn::f16::{round_to_f16, F16};
-use fidelity::dnn::macspec::{ConvSpec, DenseSpec, MacSpec, MatMulSpec, OperandKind, Operands, Substitution};
+use fidelity::dnn::macspec::{
+    ConvSpec, DenseSpec, MacSpec, MatMulSpec, OperandKind, Operands, Substitution,
+};
 use fidelity::dnn::precision::{calibrate_scale, Precision, ValueCodec};
 use fidelity::dnn::tensor::Tensor;
 use proptest::prelude::*;
@@ -73,30 +75,32 @@ proptest! {
 
 fn conv_strategy() -> impl Strategy<Value = ConvSpec> {
     (
-        1usize..3,  // batch
-        1usize..4,  // in_c
-        3usize..8,  // in_h
-        3usize..8,  // in_w
-        1usize..5,  // out_c
-        1usize..4,  // kh
-        1usize..4,  // kw
-        1usize..3,  // stride
-        0usize..2,  // padding
-        1usize..3,  // dilation
+        1usize..3, // batch
+        1usize..4, // in_c
+        3usize..8, // in_h
+        3usize..8, // in_w
+        1usize..5, // out_c
+        1usize..4, // kh
+        1usize..4, // kw
+        1usize..3, // stride
+        0usize..2, // padding
+        1usize..3, // dilation
     )
-        .prop_map(|(batch, in_c, in_h, in_w, out_c, kh, kw, s, p, d)| ConvSpec {
-            batch,
-            in_c,
-            in_h,
-            in_w,
-            out_c,
-            kh,
-            kw,
-            stride: (s, s),
-            padding: (p, p),
-            dilation: (d, d),
-            groups: 1,
-        })
+        .prop_map(
+            |(batch, in_c, in_h, in_w, out_c, kh, kw, s, p, d)| ConvSpec {
+                batch,
+                in_c,
+                in_h,
+                in_w,
+                out_c,
+                kh,
+                kw,
+                stride: (s, s),
+                padding: (p, p),
+                dilation: (d, d),
+                groups: 1,
+            },
+        )
         .prop_filter("non-empty output", |c| c.out_h() > 0 && c.out_w() > 0)
 }
 

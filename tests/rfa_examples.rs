@@ -53,8 +53,7 @@ fn rf_equals_unique_faulty_neurons() {
         channel_reuse: 5,
     };
     let r = reuse_factor_analysis(&df.example_b2()).unwrap();
-    let unique: std::collections::HashSet<_> =
-        r.faulty_neurons.iter().map(|t| t.neuron).collect();
+    let unique: std::collections::HashSet<_> = r.faulty_neurons.iter().map(|t| t.neuron).collect();
     assert_eq!(unique.len(), r.rf());
 }
 

@@ -13,7 +13,7 @@ use fidelity::dnn::init::uniform_tensor;
 use fidelity::dnn::macspec::{ConvSpec, MacSpec};
 use fidelity::dnn::precision::{Precision, ValueCodec};
 use fidelity::rtl::{
-    Disturbance, FaultSite, FfId, RtlLayer, RtlEngine, SysFaultSite, SysFfId, SystolicEngine,
+    Disturbance, FaultSite, FfId, RtlEngine, RtlLayer, SysFaultSite, SysFfId, SystolicEngine,
 };
 
 fn conv_layer(seed: u64) -> RtlLayer {
@@ -79,7 +79,9 @@ fn nvdla_weight_operand_rf_matches_rfa() {
         lanes,
         weight_hold: stripe,
     };
-    let rf = reuse_factor_analysis(&df.weight_operand_rfa()).unwrap().rf();
+    let rf = reuse_factor_analysis(&df.weight_operand_rfa())
+        .unwrap()
+        .rf();
     let observed = max_observed_nvdla(&engine, FfId::WeightOperand { lane: 1 }, 13);
     assert!(observed <= rf);
     assert_eq!(observed, rf);
@@ -107,7 +109,9 @@ fn systolic_weight_broadcast_rf_matches_rfa() {
         k,
         channel_reuse: t,
     };
-    let rf = reuse_factor_analysis(&df.weight_broadcast_rfa()).unwrap().rf();
+    let rf = reuse_factor_analysis(&df.weight_broadcast_rfa())
+        .unwrap()
+        .rf();
     let mut observed = 0;
     for cycle in 0..engine.clean_cycles() {
         let run = engine.run(SysFaultSite {

@@ -19,7 +19,12 @@ fn validate_layer(
     seed: u64,
 ) {
     let name = workload.name.clone();
-    let engine = Engine::new(workload.network, precision, std::slice::from_ref(&workload.inputs)).unwrap();
+    let engine = Engine::new(
+        workload.network,
+        precision,
+        std::slice::from_ref(&workload.inputs),
+    )
+    .unwrap();
     let trace = engine.trace(&workload.inputs).unwrap();
     let node = engine.network().node_index(layer).expect("layer exists");
     let rtl_layer = rtl_layer_for(&engine, &trace, node).expect("lifts to RTL");
@@ -78,9 +83,7 @@ fn global_control_failure_rate_is_dominant() {
     let inventory: Vec<_> = rtl
         .inventory()
         .into_iter()
-        .filter(|(ff, _)| {
-            ff.category() == fidelity::accel::ff::FfCategory::GlobalControl
-        })
+        .filter(|(ff, _)| ff.category() == fidelity::accel::ff::FfCategory::GlobalControl)
         .collect();
     let sites: Vec<_> = (0..200)
         .map(|_| {
