@@ -25,6 +25,7 @@ fn bench_campaign(c: &mut Criterion) {
         record_events: false,
         target_ci_halfwidth: None,
         resilience: Default::default(),
+        progress: None,
     };
     group.bench_function("fixed_300_per_cell", |b| {
         b.iter(|| run_campaign(&engine, &trace, &accel, &TopOneMatch, &fixed).expect("runs"));

@@ -1,5 +1,8 @@
 //! Criterion bench: per-injection cost of FIdelity software fault injection
-//! vs. register-level simulation (the Sec. VI speed claim).
+//! vs. register-level simulation (the Sec. VI speed claim), plus the
+//! telemetry overhead pair (instrumented vs. uninstrumented hot path).
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fidelity_core::inject::inject_once;
@@ -63,5 +66,71 @@ fn bench_injection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_injection);
+/// Discards every event: isolates the facade/instrumentation cost from
+/// sink I/O.
+struct NullSink;
+
+impl fidelity_obs::trace::TraceSink for NullSink {
+    fn record(&self, _event: &fidelity_obs::trace::TraceEvent<'_>) {}
+}
+
+/// Measures the telemetry overhead on the per-injection hot path.
+///
+/// `uninstrumented` runs with the facade in its default disabled state (no
+/// sink, timing off) — the configuration every figure regenerator uses unless
+/// `--trace`/`--metrics` is passed, and the one the <2% overhead budget in
+/// EXPERIMENTS.md applies to. `instrumented` installs a discarding sink and
+/// enables timing, then performs the same per-injection bookkeeping the
+/// campaign runner does (stopwatch read, histogram record, counter
+/// increment), bounding the fully-enabled cost.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let workload = classification_suite(42).remove(0);
+    let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
+    let node = (0..engine.network().node_count())
+        .filter(|&i| engine.mac_spec(i, &trace).is_some())
+        .max_by_key(|&i| trace.node_outputs[i].len())
+        .expect("has MAC layers");
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("uninstrumented", |b| {
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            inject_once(
+                &engine,
+                &trace,
+                node,
+                SoftwareFaultModel::OutputValue,
+                &TopOneMatch,
+                &mut rng,
+            )
+            .expect("fixed workload")
+        });
+    });
+    group.bench_function("instrumented", |b| {
+        fidelity_obs::install_sink(Arc::new(NullSink));
+        let injections = fidelity_obs::metrics::counter("bench.injections");
+        let latency = fidelity_obs::metrics::histogram("bench.injection_ns");
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            let sw = fidelity_obs::clock::Stopwatch::start_if(fidelity_obs::timing_enabled());
+            let out = inject_once(
+                &engine,
+                &trace,
+                node,
+                SoftwareFaultModel::OutputValue,
+                &TopOneMatch,
+                &mut rng,
+            )
+            .expect("fixed workload");
+            latency.record_opt(sw.elapsed_ns());
+            injections.inc();
+            out
+        });
+        fidelity_obs::clear_sink();
+        fidelity_obs::set_timing(false);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_injection, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -11,6 +11,7 @@ use fidelity_dnn::precision::Precision;
 use fidelity_workloads::classification_suite;
 
 fn main() {
+    fidelity_bench::init_telemetry();
     let cfg = fidelity_accel::presets::nvdla_like();
     let spec_seed = 0xF164;
     let budget = ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION);
@@ -69,4 +70,5 @@ fn main() {
         "  - global control dominates, but datapath+local alone still exceed 0.2 (Key result 2);"
     );
     println!("  - FP16 networks generally have higher FIT than INT16/INT8; INT8 >= INT16 (Key result 4).");
+    fidelity_bench::finish_telemetry();
 }

@@ -13,6 +13,7 @@ use fidelity_workloads::{transformer_workload, yolo_workload, Workload};
 type Case = (fn(u64) -> Workload, Box<dyn CorrectnessMetric>);
 
 fn main() {
+    fidelity_bench::init_telemetry();
     let cfg = fidelity_accel::presets::nvdla_like();
     println!(
         "Fig. 5 — Accelerator_FIT_rate for Transformer & Yolo (FP16, raw {} FIT/MB, {} samples/cell)",
@@ -91,4 +92,5 @@ fn main() {
             );
         }
     }
+    fidelity_bench::finish_telemetry();
 }

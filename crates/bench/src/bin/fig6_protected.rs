@@ -12,6 +12,7 @@ use fidelity_dnn::precision::Precision;
 use fidelity_workloads::classification_suite;
 
 fn main() {
+    fidelity_bench::init_telemetry();
     let cfg = fidelity_accel::presets::nvdla_like();
     let budget = ff_fit_budget(ASIL_D_CHIPSET_FIT, NVDLA_FF_AREA_FRACTION);
 
@@ -66,4 +67,5 @@ fn main() {
             "conclusion holds for its NVDLA point — rerun with more samples or a larger census."
         );
     }
+    fidelity_bench::finish_telemetry();
 }

@@ -28,7 +28,8 @@ pub fn validation_sites() -> usize {
         .unwrap_or(2000)
 }
 
-/// The campaign spec used by the figure regenerators.
+/// The campaign spec used by the figure regenerators. Enables the live
+/// progress reporter when the binary was launched with `--progress`.
 pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
     CampaignSpec {
         samples_per_cell: samples_per_cell(),
@@ -37,6 +38,7 @@ pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
         record_events,
         target_ci_halfwidth: None,
         resilience: Default::default(),
+        progress: progress_requested().then(fidelity_obs::progress::ProgressSpec::default),
     }
 }
 
@@ -44,6 +46,50 @@ pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
 /// campaign from its `results/<tag>.ckpt` checkpoint instead of restarting.
 pub fn resume_requested() -> bool {
     std::env::args().any(|a| a == "--resume")
+}
+
+/// True when the regenerator was launched with `--progress`.
+pub fn progress_requested() -> bool {
+    std::env::args().any(|a| a == "--progress")
+}
+
+/// Applies the shared telemetry flags to a regenerator binary. Call once at
+/// the top of `main`:
+///
+/// * `--trace FILE` installs the JSONL trace sink;
+/// * `--metrics` enables timing instrumentation (the snapshot prints from
+///   [`finish_telemetry`]);
+/// * `--progress` is consumed by [`campaign_spec`].
+///
+/// # Panics
+///
+/// Panics when `--trace` is missing its file argument or the sink cannot be
+/// created — regenerators treat bad invocations as fatal.
+pub fn init_telemetry() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(pos + 1)
+            .filter(|p| !p.starts_with("--"))
+            .unwrap_or_else(|| panic!("--trace requires a file path"));
+        fidelity_obs::install_jsonl_sink(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("--trace {path}: {e}"));
+    }
+    if args.iter().any(|a| a == "--metrics") {
+        fidelity_obs::set_timing(true);
+    }
+}
+
+/// Tears telemetry down at the end of a regenerator: flushes the trace sink
+/// (a flush failure is reported on stderr, not fatal) and prints the metrics
+/// snapshot when `--metrics` was given.
+pub fn finish_telemetry() {
+    if let Err(e) = fidelity_obs::flush() {
+        eprintln!("warning: {e}");
+    }
+    if std::env::args().any(|a| a == "--metrics") {
+        print!("{}", fidelity_obs::metrics::snapshot());
+    }
 }
 
 /// Like [`campaign_spec`], but checkpointing each campaign to

@@ -42,9 +42,13 @@ pub fn analyze(
     spec: &CampaignSpec,
 ) -> Result<ResilienceAnalysis, DnnError> {
     // Step 1+2: campaign over MAC layers and categories.
-    let campaign = run_campaign(engine, trace, accel, metric, spec)?;
+    let campaign = {
+        let _span = fidelity_obs::span!("analysis.campaign");
+        run_campaign(engine, trace, accel, metric, spec)?
+    };
 
     // Performance model for exec times and Class-3 activeness.
+    let _span = fidelity_obs::span!("analysis.fit");
     let work = extract_work(engine, trace);
     let precision = engine.precision();
 
@@ -238,6 +242,7 @@ mod tests {
             record_events: false,
             target_ci_halfwidth: None,
             resilience: Default::default(),
+            progress: None,
         };
         let samples: Vec<Vec<fidelity_dnn::Tensor>> = (0..3)
             .map(|i| vec![uniform_tensor(100 + i, vec![1, 2, 6, 6], 1.0)])
@@ -290,6 +295,7 @@ mod tests {
             record_events: false,
             target_ci_halfwidth: None,
             resilience: Default::default(),
+            progress: None,
         };
         let analysis = analyze(
             &engine,

@@ -18,21 +18,24 @@ use std::io::{BufReader, BufWriter, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use fidelity_accel::arch::AcceleratorConfig;
 use fidelity_accel::ff::FfCategory;
 use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::init::SplitMix64;
 use fidelity_dnn::DnnError;
+use fidelity_obs::event;
+use fidelity_obs::metrics::{Counter, Histogram};
+use fidelity_obs::progress::{CampaignProgress, CategoryKind, OutcomeKind, ProgressSpec};
+use fidelity_obs::{clock, timing_enabled};
 
 use crate::inject::inject_once_guarded;
 use crate::models::{model_for, SoftwareFaultModel};
 use crate::outcome::{CorrectnessMetric, Outcome};
 use crate::resilience::{
-    campaign_fingerprint, parse_checkpoint, write_cell, write_header, CellFailure, ChaosMode,
-    FailureReason, ResilienceSpec,
+    campaign_fingerprint, cat_code, parse_checkpoint, write_cell, write_header, CellFailure,
+    ChaosMode, FailureReason, ResilienceSpec,
 };
 
 /// Campaign configuration.
@@ -55,6 +58,10 @@ pub struct CampaignSpec {
     pub target_ci_halfwidth: Option<f64>,
     /// Fault-tolerance policy: panic isolation, watchdogs, checkpointing.
     pub resilience: ResilienceSpec,
+    /// Live progress telemetry to stderr (`--progress`). `None` keeps the
+    /// campaign silent. Excluded from the checkpoint fingerprint: reporting
+    /// never changes the statistics.
+    pub progress: Option<ProgressSpec>,
 }
 
 impl Default for CampaignSpec {
@@ -66,6 +73,7 @@ impl Default for CampaignSpec {
             record_events: false,
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
+            progress: None,
         }
     }
 }
@@ -154,21 +162,12 @@ impl CampaignResult {
 
 /// 95% Wilson score interval for a binomial proportion — the paper sizes its
 /// campaigns for a 95% confidence interval.
+///
+/// Delegates to [`fidelity_obs::stats::wilson95`], the workspace's canonical
+/// implementation (the live progress line uses the same one, so displayed
+/// bounds always agree with adaptive-stopping decisions).
 pub fn wilson_interval(successes: usize, n: usize) -> (f64, f64) {
-    if n == 0 {
-        return (0.0, 1.0);
-    }
-    let z = 1.959_964f64;
-    let nf = n as f64;
-    let p = successes as f64 / nf;
-    let z2 = z * z;
-    let denom = 1.0 + z2 / nf;
-    let centre = p + z2 / (2.0 * nf);
-    let margin = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
-    (
-        ((centre - margin) / denom).max(0.0),
-        ((centre + margin) / denom).min(1.0),
-    )
+    fidelity_obs::stats::wilson95(successes, n)
 }
 
 /// Runs a campaign over every MAC layer of the deployed engine and every FF
@@ -201,6 +200,48 @@ struct CellPlan {
 struct CkptState {
     writer: BufWriter<File>,
     unflushed: usize,
+}
+
+/// Cached handles into the global metrics registry — resolved once per
+/// campaign so the hot path pays one relaxed `fetch_add` per increment, not
+/// a registry lock.
+struct CampaignMetrics {
+    injections: Arc<Counter>,
+    cells_done: Arc<Counter>,
+    retries: Arc<Counter>,
+    watchdog: Arc<Counter>,
+    /// Per-injection latency (recorded only while timing is enabled).
+    injection_ns: Arc<Histogram>,
+}
+
+impl CampaignMetrics {
+    fn handles() -> Self {
+        CampaignMetrics {
+            injections: fidelity_obs::metrics::counter("campaign.injections"),
+            cells_done: fidelity_obs::metrics::counter("campaign.cells_done"),
+            retries: fidelity_obs::metrics::counter("campaign.cell_retries"),
+            watchdog: fidelity_obs::metrics::counter("campaign.watchdog_fires"),
+            injection_ns: fidelity_obs::metrics::histogram("campaign.injection_ns"),
+        }
+    }
+}
+
+/// Maps the accelerator's FF category onto the coarse kind the
+/// dependency-free progress reporter tallies.
+fn category_kind(cat: FfCategory) -> CategoryKind {
+    match cat {
+        FfCategory::Datapath { .. } => CategoryKind::Datapath,
+        FfCategory::LocalControl => CategoryKind::LocalControl,
+        FfCategory::GlobalControl => CategoryKind::GlobalControl,
+    }
+}
+
+fn outcome_kind(outcome: Outcome) -> OutcomeKind {
+    match outcome {
+        Outcome::Masked => OutcomeKind::Masked,
+        Outcome::OutputError => OutcomeKind::OutputError,
+        Outcome::SystemAnomaly => OutcomeKind::Anomaly,
+    }
 }
 
 /// A campaign bound to its engine, workload trace, accelerator, and spec —
@@ -346,6 +387,44 @@ impl<'a> CampaignRunner<'a> {
             }
         }
 
+        // Telemetry: the campaign lifecycle is traced, counted, and (when
+        // asked for) rendered live. All of it is a no-op without a sink or
+        // `spec.progress`.
+        let campaign_sw = clock::Stopwatch::start_if(timing_enabled());
+        let metrics = CampaignMetrics::handles();
+        let net = self.engine.network().name().to_owned();
+        let restored = loaded.iter().filter(|c| c.is_some()).count();
+        event!(
+            "campaign.start",
+            net = &net,
+            cells = plans.len(),
+            samples_per_cell = spec.samples_per_cell,
+            seed = spec.seed,
+            threads = spec.threads,
+        );
+        let progress = spec.progress.as_ref().map(|p| {
+            CampaignProgress::new(
+                net.clone(),
+                p,
+                plans.len(),
+                spec.samples_per_cell,
+                spec.resilience.failure_budget,
+            )
+        });
+        if restored > 0 {
+            // A resumed campaign announces where it picks up instead of
+            // silently restarting the display from zero.
+            event!(
+                "campaign.resume",
+                net = &net,
+                restored = restored,
+                remaining = plans.len() - restored,
+            );
+            if let Some(p) = &progress {
+                p.set_restored(restored);
+            }
+        }
+
         // Open the checkpoint for writing: the configured path, else the
         // explicit resume path. The file is rewritten from the loaded cells
         // so a torn tail from the previous process does not linger.
@@ -392,14 +471,17 @@ impl<'a> CampaignRunner<'a> {
                         continue; // restored from the checkpoint
                     }
                     let plan = &plans[idx];
+                    let cat = cat_code(plan.category);
+                    let cell_sw = clock::Stopwatch::start_if(timing_enabled());
                     let mut last: Option<(CellStats, FailureReason)> = None;
                     let mut completed = None;
-                    for _attempt in 0..max_attempts {
+                    for attempt in 0..max_attempts {
                         // Each attempt restarts the cell's RNG stream, so a
                         // successful retry is bit-identical to a clean run.
                         let mut stats = self.fresh_cell(plan);
-                        let run =
-                            catch_unwind(AssertUnwindSafe(|| self.run_cell(&mut stats, plan)));
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            self.run_cell(&mut stats, plan, progress.as_ref(), &metrics)
+                        }));
                         match run {
                             Ok(Ok(())) => {
                                 completed = Some(stats);
@@ -412,12 +494,45 @@ impl<'a> CampaignRunner<'a> {
                                 last = Some((stats, FailureReason::Panic(panic_text(&*payload))));
                             }
                         }
+                        if attempt + 1 < max_attempts {
+                            metrics.retries.inc();
+                            if let Some(p) = &progress {
+                                p.on_retry();
+                            }
+                            event!(
+                                "cell.retry",
+                                node = plan.node,
+                                cat = &cat,
+                                attempt = attempt + 1,
+                                reason = last.as_ref().map_or("", |(_, r)| reason_kind(r)),
+                            );
+                        }
                     }
                     match completed {
                         Some(stats) => {
+                            event!(
+                                "cell.done",
+                                node = plan.node,
+                                cat = &cat,
+                                samples = stats.samples,
+                                masked = stats.masked,
+                                output_error = stats.output_error,
+                                anomaly = stats.anomaly,
+                                elapsed_us = cell_sw.elapsed_us().unwrap_or(0),
+                            );
+                            metrics.cells_done.inc();
+                            if let Some(p) = &progress {
+                                p.on_cell_done();
+                            }
                             if let Some(state) = &ckpt {
-                                if let Err(e) = append_cell(state, interval, idx, &stats) {
-                                    fatal(e);
+                                match append_cell(state, interval, idx, &stats) {
+                                    Ok(flushed) => {
+                                        event!("checkpoint.cell", idx = idx, node = plan.node);
+                                        if flushed {
+                                            event!("checkpoint.flush", upto = idx);
+                                        }
+                                    }
+                                    Err(e) => fatal(e),
                                 }
                             }
                             lock(&results)[idx] = Some(stats);
@@ -432,6 +547,17 @@ impl<'a> CampaignRunner<'a> {
                                 )
                             });
                             let failed_so_far = failure_count.fetch_add(1, Ordering::Relaxed) + 1;
+                            event!(
+                                "cell.failed",
+                                node = plan.node,
+                                cat = &cat,
+                                attempts = max_attempts,
+                                samples = partial.samples,
+                                reason = reason_kind(&reason),
+                            );
+                            if let Some(p) = &progress {
+                                p.on_cell_failed();
+                            }
                             lock(&failures).push(CellFailure {
                                 node: plan.node,
                                 layer: partial.layer.clone(),
@@ -466,9 +592,17 @@ impl<'a> CampaignRunner<'a> {
                 lock(&errors).push(DnnError::Campaign {
                     message: format!("checkpoint flush failed: {e}"),
                 });
+            } else {
+                event!("checkpoint.flush", upto = plans.len());
             }
         }
+        // The progress line terminates even on the error path, so an aborted
+        // campaign does not leave a torn `\r` line on the terminal.
+        if let Some(p) = &progress {
+            p.finish();
+        }
         if let Some(e) = lock(&errors).first() {
+            event!("campaign.abort", net = &net, error = &e.to_string());
             return Err(e.clone());
         }
         let mut cells = Vec::with_capacity(plans.len());
@@ -482,12 +616,27 @@ impl<'a> CampaignRunner<'a> {
                 message: format!("internal: cell {idx} never ran"),
             })?);
         }
-        Ok(CampaignResult {
+        let result = CampaignResult {
             cells,
             failures: failures
                 .into_inner()
                 .unwrap_or_else(PoisonError::into_inner),
-        })
+        };
+        let (masked, output_error, anomaly) = result.cells.iter().fold((0, 0, 0), |acc, c| {
+            (acc.0 + c.masked, acc.1 + c.output_error, acc.2 + c.anomaly)
+        });
+        event!(
+            "campaign.finish",
+            net = &net,
+            cells = result.cells.len(),
+            injections = result.total_samples(),
+            masked = masked,
+            output_error = output_error,
+            anomaly = anomaly,
+            failures = result.failures.len(),
+            elapsed_us = campaign_sw.elapsed_us().unwrap_or(0),
+        );
+        Ok(result)
     }
 
     fn fresh_cell(&self, plan: &CellPlan) -> CellStats {
@@ -507,14 +656,27 @@ impl<'a> CampaignRunner<'a> {
     /// Runs one cell's injection loop into `stats`. The tally is passed in
     /// by reference so a panic mid-loop leaves the samples completed so far
     /// observable to the caller's recovery path.
-    fn run_cell(&self, stats: &mut CellStats, plan: &CellPlan) -> Result<(), DnnError> {
+    fn run_cell(
+        &self,
+        stats: &mut CellStats,
+        plan: &CellPlan,
+        progress: Option<&CampaignProgress>,
+        metrics: &CampaignMetrics,
+    ) -> Result<(), DnnError> {
         let spec = &self.spec;
         // Global control needs no simulation: Prob_SWmask is 0 by definition.
         if matches!(plan.model, SoftwareFaultModel::GlobalControl) {
             stats.samples = spec.samples_per_cell;
             stats.anomaly = spec.samples_per_cell;
+            metrics.injections.add(spec.samples_per_cell as u64);
+            if let Some(p) = progress {
+                for _ in 0..spec.samples_per_cell {
+                    p.on_injection(CategoryKind::GlobalControl, OutcomeKind::Anomaly);
+                }
+            }
             return Ok(());
         }
+        let kind = category_kind(plan.category);
         let chaos = spec
             .resilience
             .chaos
@@ -540,14 +702,10 @@ impl<'a> CampaignRunner<'a> {
                 }
             }
             // The watchdog clock starts before any chaos delay: a slow
-            // injection and a stalled one are indistinguishable to it.
-            let deadline = spec
-                .resilience
-                .injection_deadline
-                // The monotonic watchdog clock bounds wall time by design
-                // and never feeds campaign statistics.
-                // statcheck:allow(wall-clock)
-                .map(|d| Instant::now() + d);
+            // injection and a stalled one are indistinguishable to it. Time
+            // comes from the obs clock — the workspace's one sanctioned
+            // wall-clock site — and never feeds campaign statistics.
+            let deadline = spec.resilience.injection_deadline.map(|d| clock::now() + d);
             if let Some(c) = chaos {
                 match c.mode {
                     ChaosMode::PanicAtSample(k) if i == k => {
@@ -562,6 +720,7 @@ impl<'a> CampaignRunner<'a> {
                     ChaosMode::DelayPerInjection(d) => std::thread::sleep(d),
                 }
             }
+            let inj_sw = clock::Stopwatch::start_if(timing_enabled());
             let inj = inject_once_guarded(
                 self.engine,
                 self.trace,
@@ -571,11 +730,23 @@ impl<'a> CampaignRunner<'a> {
                 &mut rng,
                 deadline,
             )?;
+            metrics.injection_ns.record_opt(inj_sw.elapsed_ns());
+            metrics.injections.inc();
             stats.samples += 1;
             match inj.outcome {
                 Outcome::Masked => stats.masked += 1,
                 Outcome::OutputError => stats.output_error += 1,
                 Outcome::SystemAnomaly => stats.anomaly += 1,
+            }
+            if inj.watchdog {
+                metrics.watchdog.inc();
+                event!("watchdog.fired", node = plan.node, sample = i);
+                if let Some(p) = progress {
+                    p.on_watchdog();
+                }
+            }
+            if let Some(p) = progress {
+                p.on_injection(kind, outcome_kind(inj.outcome));
             }
             if spec.record_events {
                 stats.events.push(InjectionEvent {
@@ -594,6 +765,14 @@ impl<'a> CampaignRunner<'a> {
 /// before any lock is taken) still leaves consistent per-cell data.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Short tag for trace events (full messages live in [`CellFailure`]).
+fn reason_kind(reason: &FailureReason) -> &'static str {
+    match reason {
+        FailureReason::Error(_) => "error",
+        FailureReason::Panic(_) => "panic",
+    }
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -637,13 +816,14 @@ fn open_checkpoint(
 }
 
 /// Appends one completed cell to the shared checkpoint, flushing every
-/// `interval` cells.
+/// `interval` cells. Returns whether this append flushed (for the
+/// `checkpoint.flush` trace event).
 fn append_cell(
     state: &Mutex<CkptState>,
     interval: usize,
     idx: usize,
     stats: &CellStats,
-) -> Result<(), DnnError> {
+) -> Result<bool, DnnError> {
     let mut st = lock(state);
     let io_err = |e: std::io::Error| DnnError::Campaign {
         message: format!("checkpoint write failed: {e}"),
@@ -653,8 +833,9 @@ fn append_cell(
     if st.unflushed >= interval {
         st.writer.flush().map_err(io_err)?;
         st.unflushed = 0;
+        return Ok(true);
     }
-    Ok(())
+    Ok(false)
 }
 
 fn cat_tag(category: FfCategory) -> u64 {
@@ -730,6 +911,7 @@ mod tests {
             record_events: false,
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
+            progress: None,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         // 2 MAC layers × 7 categories.
@@ -752,6 +934,7 @@ mod tests {
                 record_events: false,
                 target_ci_halfwidth: None,
                 resilience: Default::default(),
+                progress: None,
             };
             run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec)
                 .unwrap()
@@ -774,6 +957,7 @@ mod tests {
             record_events: false,
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
+            progress: None,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         for cell in result
@@ -797,6 +981,7 @@ mod tests {
             record_events: false,
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
+            progress: None,
         };
         let adaptive = CampaignSpec {
             target_ci_halfwidth: Some(0.08),
@@ -846,6 +1031,7 @@ mod tests {
             record_events: true,
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
+            progress: None,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         let non_global: Vec<_> = result

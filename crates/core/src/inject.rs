@@ -28,6 +28,10 @@ pub struct Injection {
     pub max_perturbation: f32,
     /// The final application output, when the run completed.
     pub final_output: Option<Tensor>,
+    /// Whether the outcome was forced by the watchdog (deadline overrun)
+    /// rather than the fault model itself — telemetry distinguishes watchdog
+    /// resets from modeled anomalies.
+    pub watchdog: bool,
 }
 
 /// Runs one software fault-injection experiment.
@@ -72,22 +76,25 @@ pub fn inject_once_guarded(
         faulty_neurons,
         max_perturbation,
         final_output: None,
+        watchdog: true,
     };
-    // Monotonic watchdog deadline check; never feeds campaign statistics.
-    // statcheck:allow(wall-clock)
-    let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+    // Monotonic watchdog deadline check via the obs clock (the workspace's
+    // sanctioned wall-clock site); never feeds campaign statistics.
+    let expired = || deadline.is_some_and(|d| fidelity_obs::clock::now() >= d);
     let injection = match apply_model(model, engine, trace, node, rng)? {
         ModelEffect::Masked => Injection {
             outcome: Outcome::Masked,
             faulty_neurons: 0,
             max_perturbation: 0.0,
             final_output: None,
+            watchdog: false,
         },
         ModelEffect::SystemFailure => Injection {
             outcome: Outcome::SystemAnomaly,
             faulty_neurons: usize::MAX,
             max_perturbation: f32::INFINITY,
             final_output: None,
+            watchdog: false,
         },
         ModelEffect::Layer(app) => {
             let final_output =
@@ -108,6 +115,7 @@ pub fn inject_once_guarded(
                 faulty_neurons: app.faulty_neurons.len(),
                 max_perturbation: app.max_perturbation,
                 final_output: Some(final_output),
+                watchdog: false,
             }
         }
     };

@@ -408,7 +408,7 @@ fn parse_outcome(s: &str) -> Option<Outcome> {
 }
 
 /// Compact, stable code for an FF category (`d:<stage>:<var>`, `lc`, `gc`).
-fn cat_code(cat: FfCategory) -> String {
+pub(crate) fn cat_code(cat: FfCategory) -> String {
     match cat {
         FfCategory::Datapath { stage, var } => {
             let s = match stage {

@@ -86,6 +86,7 @@ impl RfaResult {
 /// (loop count must equal `FF_value_cycles`, and each unit must list one
 /// neuron set per in-effect cycle).
 pub fn reuse_factor_analysis(inputs: &RfaInputs) -> Result<RfaResult, RfaError> {
+    let derive_sw = fidelity_obs::clock::Stopwatch::start_if(fidelity_obs::timing_enabled());
     if !inputs.is_well_formed() {
         return Err(RfaError {
             target: inputs.target.clone(),
@@ -109,6 +110,11 @@ pub fn reuse_factor_analysis(inputs: &RfaInputs) -> Result<RfaResult, RfaError> 
                 }
             }
         }
+    }
+    // Registry lookup only when timing produced a sample — the disabled path
+    // stays lock-free.
+    if let Some(ns) = derive_sw.elapsed_ns() {
+        fidelity_obs::metrics::histogram("rfa.derive_ns").record(ns);
     }
     Ok(RfaResult {
         target: inputs.target.clone(),

@@ -648,9 +648,10 @@ fn run(
     let mut outputs: Vec<Tensor> = Vec::with_capacity(network.nodes.len());
     for (idx, node) in network.nodes.iter().enumerate() {
         if let Some(d) = deadline {
-            // Monotonic watchdog deadline; never feeds campaign statistics.
-            // statcheck:allow(wall-clock)
-            if Instant::now() >= d {
+            // Monotonic watchdog deadline via the obs clock (the workspace's
+            // sanctioned wall-clock site); never feeds campaign statistics.
+            if fidelity_obs::clock::now() >= d {
+                fidelity_obs::metrics::counter("dnn.deadline_exceeded").inc();
                 return Err(DnnError::DeadlineExceeded);
             }
         }

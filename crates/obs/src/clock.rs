@@ -1,0 +1,98 @@
+//! The workspace's single wall-clock authority.
+//!
+//! FIdelity's statistical claims require campaigns to be deterministic in
+//! their seed, so the determinism lint bans wall-clock reads everywhere on
+//! campaign paths (`fidelity lint`, rule `wall-clock`). Telemetry and the
+//! watchdogs still need real time, though — this module is the one place
+//! allowed to read it. Everything here is *monotonic* process time: absolute
+//! (calendar) time is deliberately not exposed, so no timestamp can leak
+//! host-identifying state into traces, and no instrumented value can ever
+//! feed campaign statistics by accident.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The process epoch: first read wins, every timestamp is relative to it.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    // The single sanctioned wall-clock read: monotonic, telemetry-only.
+    // statcheck:allow(wall-clock)
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Current monotonic instant. Watchdog deadlines and telemetry timing must
+/// come from here rather than reading the clock directly, so the lint keeps
+/// a single audited wall-clock site.
+pub fn now() -> Instant {
+    let e = epoch();
+    // Monotonic watchdog/telemetry clock; never feeds campaign statistics.
+    // statcheck:allow(wall-clock)
+    let n = Instant::now();
+    // `epoch()` is also the first read, so `n >= e` always holds; the max
+    // guards the theoretical equal-instant case on coarse clocks.
+    n.max(e)
+}
+
+/// Microseconds since the process epoch (the `t_us` field of trace events).
+pub fn since_epoch_us() -> u64 {
+    u64::try_from(now().duration_since(epoch()).as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A stopwatch that only reads the clock when armed — the facade's way of
+/// keeping timing off hot paths unless telemetry asked for it.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Starts a running stopwatch.
+    pub fn start() -> Self {
+        Stopwatch { start: Some(now()) }
+    }
+
+    /// Starts only when `armed`; otherwise the stopwatch is inert and every
+    /// later call is a no-op costing one branch.
+    pub fn start_if(armed: bool) -> Self {
+        Stopwatch {
+            start: armed.then(now),
+        }
+    }
+
+    /// Elapsed time, when the stopwatch was armed.
+    pub fn elapsed(&self) -> Option<Duration> {
+        self.start.map(|s| now().duration_since(s))
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`; `None` when inert.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.elapsed()
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Elapsed microseconds, saturating; `None` when inert.
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.elapsed()
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_is_monotone_and_relative() {
+        let a = since_epoch_us();
+        let b = since_epoch_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn inert_stopwatch_reports_nothing() {
+        let sw = Stopwatch::start_if(false);
+        assert!(sw.elapsed_ns().is_none());
+        let sw = Stopwatch::start_if(true);
+        assert!(sw.elapsed_ns().is_some());
+    }
+}

@@ -1,0 +1,338 @@
+//! Atomic metrics: counters, gauges, and fixed-bucket log2 histograms, with
+//! a process-global registry snapshotted into a [`MetricsReport`].
+//!
+//! Recording is lock-free (relaxed atomics) and always-on — a counter
+//! increment costs one `fetch_add`, cheap against the microsecond-scale
+//! injections it counts. The expensive part of latency metrics is reading
+//! the clock, which callers gate behind [`crate::timing_enabled`] via
+//! [`crate::clock::Stopwatch::start_if`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of finite log2 buckets. Bucket `0` holds exact zeros; bucket `i`
+/// (1 ≤ i < `LOG2_BUCKETS`) holds `[2^(i-1), 2^i)`; bucket `LOG2_BUCKETS`
+/// is the +∞ overflow bucket, `[2^(LOG2_BUCKETS-1), ∞)`. With 40 finite
+/// buckets the histogram resolves nanosecond latencies up to ~550 s and
+/// cycle counts up to ~5·10¹¹ before overflowing.
+pub const LOG2_BUCKETS: usize = 40;
+
+/// The bucket index a value lands in (see [`LOG2_BUCKETS`]).
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(LOG2_BUCKETS)
+    }
+}
+
+/// The exclusive upper bound of bucket `i`, or `None` for the overflow
+/// bucket (+∞).
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i >= LOG2_BUCKETS {
+        None
+    } else if i == 0 {
+        Some(1)
+    } else {
+        Some(1u64 << i)
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; LOG2_BUCKETS + 1],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a sample only when `Some` — pairs with
+    /// [`crate::clock::Stopwatch::elapsed_ns`] so disabled timing costs one
+    /// branch.
+    pub fn record_opt(&self, v: Option<u64>) {
+        if let Some(v) = v {
+            self.record(v);
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for reporting (individual loads are atomic;
+    /// concurrent recording may skew count/sum by in-flight samples).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket counts (`LOG2_BUCKETS + 1` entries, last is overflow).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 < q ≤ 1);
+    /// `None` when the quantile falls in the overflow bucket or the
+    /// histogram is empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        None
+    }
+
+    /// Samples in the overflow (+∞) bucket.
+    pub fn overflow(&self) -> u64 {
+        self.buckets.last().copied().unwrap_or(0)
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The counter registered under `name`, creating it on first use. A name
+/// already registered as a different kind yields a detached instance (still
+/// functional, absent from reports) — telemetry must not panic the process.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+    {
+        Metric::Counter(c) => Arc::clone(c),
+        _ => Arc::new(Counter::default()),
+    }
+}
+
+/// The gauge registered under `name` (see [`counter`] for the semantics).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+    {
+        Metric::Gauge(g) => Arc::clone(g),
+        _ => Arc::new(Gauge::default()),
+    }
+}
+
+/// The histogram registered under `name` (see [`counter`] for the
+/// semantics).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+    {
+        Metric::Histogram(h) => Arc::clone(h),
+        _ => Arc::new(Histogram::default()),
+    }
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Snapshots the registry.
+pub fn snapshot() -> MetricsReport {
+    let reg = lock_registry();
+    let mut report = MetricsReport::default();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => report.counters.push((name.clone(), c.get())),
+            Metric::Gauge(g) => report.gauges.push((name.clone(), g.get())),
+            Metric::Histogram(h) => report.histograms.push((name.clone(), h.snapshot())),
+        }
+    }
+    report
+}
+
+fn bound_str(b: Option<u64>) -> String {
+    b.map_or_else(|| "+inf".to_owned(), |v| v.to_string())
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics")?;
+        for (name, v) in &self.counters {
+            writeln!(f, "  counter   {name:<32} {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "  gauge     {name:<32} {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  histogram {name:<32} count {} mean {:.0} p50<={} p90<={} p99<={} overflow {}",
+                h.count,
+                h.mean(),
+                bound_str(h.quantile_bound(0.50)),
+                bound_str(h.quantile_bound(0.90)),
+                bound_str(h.quantile_bound(0.99)),
+                h.overflow(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_returns_same_instance() {
+        let a = counter("test.metrics.same");
+        let b = counter("test.metrics.same");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn kind_mismatch_detaches_instead_of_panicking() {
+        let c = counter("test.metrics.kind");
+        c.inc();
+        let h = histogram("test.metrics.kind");
+        h.record(5);
+        assert_eq!(h.count(), 1); // detached but functional
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_registered_metrics() {
+        counter("test.metrics.snap").add(7);
+        gauge("test.metrics.snapg").set(-3);
+        let report = snapshot();
+        assert!(report
+            .counters
+            .iter()
+            .any(|(n, v)| n == "test.metrics.snap" && *v == 7));
+        assert!(report
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "test.metrics.snapg" && *v == -3));
+        assert!(!format!("{report}").is_empty());
+    }
+}

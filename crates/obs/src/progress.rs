@@ -1,0 +1,352 @@
+//! Live campaign progress: injections/sec, ETA, running masking estimates
+//! with Wilson bounds, and failure-budget consumption, rendered to stderr.
+//!
+//! The reporter is fed by the campaign runner through lock-free atomic
+//! recording calls; rendering happens opportunistically from whichever
+//! worker thread crosses the configured interval (no dedicated thread, no
+//! locks on the hot path). On a terminal the line redraws in place (`\r`);
+//! when stderr is redirected (CI logs) each render is a plain line.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::clock;
+use crate::stats::wilson95;
+
+/// How a campaign's progress should be reported.
+#[derive(Debug, Clone)]
+pub struct ProgressSpec {
+    /// Minimum time between renders.
+    pub interval: Duration,
+}
+
+impl Default for ProgressSpec {
+    fn default() -> Self {
+        ProgressSpec {
+            interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Coarse flip-flop category kind, as the progress line tallies masking.
+/// (The observability crate is dependency-free, so it cannot name
+/// `fidelity_accel::ff::FfCategory`; the campaign runner maps onto this.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CategoryKind {
+    /// Datapath FFs (any stage × variable).
+    Datapath,
+    /// Local-control FFs.
+    LocalControl,
+    /// Global-control FFs.
+    GlobalControl,
+}
+
+impl CategoryKind {
+    const ALL: [CategoryKind; 3] = [
+        CategoryKind::Datapath,
+        CategoryKind::LocalControl,
+        CategoryKind::GlobalControl,
+    ];
+
+    fn short(self) -> &'static str {
+        match self {
+            CategoryKind::Datapath => "dp",
+            CategoryKind::LocalControl => "lc",
+            CategoryKind::GlobalControl => "gc",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CategoryKind::Datapath => 0,
+            CategoryKind::LocalControl => 1,
+            CategoryKind::GlobalControl => 2,
+        }
+    }
+}
+
+/// Injection outcome, as the progress line tallies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Fault masked.
+    Masked,
+    /// Application output error.
+    OutputError,
+    /// System anomaly (including watchdog resets).
+    Anomaly,
+}
+
+#[derive(Debug, Default)]
+struct KindTally {
+    samples: AtomicU64,
+    masked: AtomicU64,
+}
+
+/// Check the clock only every this many injections — keeps the hot path at
+/// one `fetch_add` per injection between renders.
+const RENDER_CHECK_EVERY: u64 = 128;
+
+/// Live telemetry for one running campaign.
+#[derive(Debug)]
+pub struct CampaignProgress {
+    label: String,
+    interval_us: u64,
+    cells_total: usize,
+    samples_per_cell: usize,
+    failure_budget: usize,
+    start_us: u64,
+    tty: bool,
+
+    restored: AtomicUsize,
+    cells_done: AtomicUsize,
+    injections: AtomicU64,
+    masked: AtomicU64,
+    output_error: AtomicU64,
+    anomaly: AtomicU64,
+    per_kind: [KindTally; 3],
+    retries: AtomicU64,
+    watchdog: AtomicU64,
+    failures: AtomicUsize,
+
+    last_render_us: AtomicU64,
+    rendering: AtomicBool,
+    rendered_once: AtomicBool,
+}
+
+impl CampaignProgress {
+    /// Creates a reporter for a campaign of `cells_total` cells, each up to
+    /// `samples_per_cell` injections, with the given failure budget.
+    pub fn new(
+        label: impl Into<String>,
+        spec: &ProgressSpec,
+        cells_total: usize,
+        samples_per_cell: usize,
+        failure_budget: usize,
+    ) -> Self {
+        CampaignProgress {
+            label: label.into(),
+            interval_us: u64::try_from(spec.interval.as_micros()).unwrap_or(u64::MAX),
+            cells_total,
+            samples_per_cell,
+            failure_budget,
+            start_us: clock::since_epoch_us(),
+            tty: std::io::stderr().is_terminal(),
+            restored: AtomicUsize::new(0),
+            cells_done: AtomicUsize::new(0),
+            injections: AtomicU64::new(0),
+            masked: AtomicU64::new(0),
+            output_error: AtomicU64::new(0),
+            anomaly: AtomicU64::new(0),
+            per_kind: Default::default(),
+            retries: AtomicU64::new(0),
+            watchdog: AtomicU64::new(0),
+            failures: AtomicUsize::new(0),
+            last_render_us: AtomicU64::new(0),
+            rendering: AtomicBool::new(false),
+            rendered_once: AtomicBool::new(false),
+        }
+    }
+
+    /// Reports cells restored from a checkpoint, so the display resumes from
+    /// where the interrupted campaign stopped instead of from zero.
+    pub fn set_restored(&self, restored: usize) {
+        self.restored.store(restored, Ordering::Relaxed);
+        self.maybe_render(true);
+    }
+
+    /// Records one injection outcome.
+    pub fn on_injection(&self, kind: CategoryKind, outcome: OutcomeKind) {
+        let n = self.injections.fetch_add(1, Ordering::Relaxed) + 1;
+        match outcome {
+            OutcomeKind::Masked => &self.masked,
+            OutcomeKind::OutputError => &self.output_error,
+            OutcomeKind::Anomaly => &self.anomaly,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let tally = &self.per_kind[kind.index()];
+        tally.samples.fetch_add(1, Ordering::Relaxed);
+        if outcome == OutcomeKind::Masked {
+            tally.masked.fetch_add(1, Ordering::Relaxed);
+        }
+        if n.is_multiple_of(RENDER_CHECK_EVERY) {
+            self.maybe_render(false);
+        }
+    }
+
+    /// Records a completed cell.
+    pub fn on_cell_done(&self) {
+        self.cells_done.fetch_add(1, Ordering::Relaxed);
+        self.maybe_render(false);
+    }
+
+    /// Records a retried cell attempt.
+    pub fn on_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a watchdog-classified injection (deadline overrun).
+    pub fn on_watchdog(&self) {
+        self.watchdog.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cell that exhausted its retries (failure-budget
+    /// consumption).
+    pub fn on_cell_failed(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        self.maybe_render(false);
+    }
+
+    /// Forces a final render and terminates the in-place line.
+    pub fn finish(&self) {
+        self.maybe_render(true);
+        if self.tty && self.rendered_once.load(Ordering::Relaxed) {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err);
+        }
+    }
+
+    fn maybe_render(&self, force: bool) {
+        let now_us = clock::since_epoch_us();
+        let last = self.last_render_us.load(Ordering::Relaxed);
+        if !force && now_us.saturating_sub(last) < self.interval_us {
+            return;
+        }
+        // Single-flight: a second thread arriving mid-render just skips.
+        if self.rendering.swap(true, Ordering::Acquire) {
+            return;
+        }
+        self.last_render_us.store(now_us, Ordering::Relaxed);
+        self.render(now_us);
+        self.rendering.store(false, Ordering::Release);
+    }
+
+    fn render(&self, now_us: u64) {
+        let restored = self.restored.load(Ordering::Relaxed);
+        let done = self.cells_done.load(Ordering::Relaxed) + restored;
+        let injections = self.injections.load(Ordering::Relaxed);
+        let masked = self.masked.load(Ordering::Relaxed);
+        let failures = self.failures.load(Ordering::Relaxed);
+        let elapsed_s = (now_us.saturating_sub(self.start_us)) as f64 / 1e6;
+        let rate = if elapsed_s > 0.0 {
+            injections as f64 / elapsed_s
+        } else {
+            0.0
+        };
+
+        // ETA from the remaining-cell injection estimate at the current rate
+        // (adaptive sampling can finish cells early, so this is an upper
+        // bound).
+        let remaining_cells = self.cells_total.saturating_sub(done);
+        let remaining_inj = remaining_cells as u64 * self.samples_per_cell as u64;
+        let eta = if rate > 0.0 {
+            fmt_secs(remaining_inj as f64 / rate)
+        } else {
+            "?".to_owned()
+        };
+
+        let (lo, hi) = wilson95(masked as usize, injections as usize);
+        let mut kinds = String::new();
+        for kind in CategoryKind::ALL {
+            let t = &self.per_kind[kind.index()];
+            let n = t.samples.load(Ordering::Relaxed) as usize;
+            if n == 0 {
+                continue;
+            }
+            let m = t.masked.load(Ordering::Relaxed) as usize;
+            let (klo, khi) = wilson95(m, n);
+            let _ = std::fmt::Write::write_fmt(
+                &mut kinds,
+                format_args!(
+                    " {} {:.2}±{:.2}",
+                    kind.short(),
+                    m as f64 / n as f64,
+                    (khi - klo) / 2.0
+                ),
+            );
+        }
+
+        let restored_note = if restored > 0 {
+            format!(" ({restored} restored)")
+        } else {
+            String::new()
+        };
+        let line = format!(
+            "[{}] cells {}/{}{} | inj {} ({}/s) | mask {:.2} [{:.2},{:.2}]{} | retry {} wdt {} fail {}/{} | ETA {}",
+            self.label,
+            done,
+            self.cells_total,
+            restored_note,
+            injections,
+            rate.round() as u64,
+            if injections == 0 { 0.0 } else { masked as f64 / injections as f64 },
+            lo,
+            hi,
+            kinds,
+            self.retries.load(Ordering::Relaxed),
+            self.watchdog.load(Ordering::Relaxed),
+            failures,
+            self.failure_budget,
+            eta,
+        );
+        self.rendered_once.store(true, Ordering::Relaxed);
+        let mut err = std::io::stderr().lock();
+        if self.tty {
+            // Redraw in place, clearing any longer previous line.
+            let _ = write!(err, "\r{line}\x1b[K");
+            let _ = err.flush();
+        } else {
+            let _ = writeln!(err, "{line}");
+        }
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    let s = s.round().max(0.0) as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_finish_does_not_panic() {
+        let p = CampaignProgress::new(
+            "test",
+            &ProgressSpec {
+                interval: Duration::from_secs(3600),
+            },
+            4,
+            10,
+            2,
+        );
+        p.set_restored(1);
+        for _ in 0..10 {
+            p.on_injection(CategoryKind::Datapath, OutcomeKind::Masked);
+        }
+        p.on_injection(CategoryKind::GlobalControl, OutcomeKind::Anomaly);
+        p.on_cell_done();
+        p.on_retry();
+        p.on_watchdog();
+        p.on_cell_failed();
+        p.finish();
+        assert_eq!(p.injections.load(Ordering::Relaxed), 11);
+        assert_eq!(p.masked.load(Ordering::Relaxed), 10);
+        assert_eq!(p.cells_done.load(Ordering::Relaxed), 1);
+        assert_eq!(p.restored.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn seconds_format_is_compact() {
+        assert_eq!(fmt_secs(5.2), "5s");
+        assert_eq!(fmt_secs(65.0), "1m05s");
+        assert_eq!(fmt_secs(3700.0), "1h01m");
+    }
+}

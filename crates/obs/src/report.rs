@@ -1,0 +1,322 @@
+//! Post-hoc trace summarization for `fidelity report --trace <file>`:
+//! phase breakdown from span durations, outcome tallies, the slowest cells,
+//! and retry/watchdog totals, all recovered from a JSONL trace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::json::{self, Json};
+
+/// How many slowest cells the summary keeps.
+pub const SLOWEST_CELLS: usize = 5;
+
+/// Aggregate of all `span` events sharing one name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of spans.
+    pub count: u64,
+    /// Total duration across spans, microseconds.
+    pub total_us: u64,
+}
+
+/// One `cell.done` record, kept for the slowest-cells table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellStat {
+    /// Graph node id.
+    pub node: u64,
+    /// FF category tag.
+    pub cat: String,
+    /// Injections sampled in the cell.
+    pub samples: u64,
+    /// Wall time spent on the cell, microseconds (0 when timing was off).
+    pub elapsed_us: u64,
+}
+
+/// Everything `fidelity report` prints, recovered from one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Total events parsed.
+    pub events: u64,
+    /// Events per `ev` name.
+    pub by_name: BTreeMap<String, u64>,
+    /// Span aggregates keyed by span name.
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Masked / output-error / anomaly tallies (from `campaign.finish` when
+    /// present, otherwise summed over `cell.done`).
+    pub masked: u64,
+    /// SDC tally.
+    pub output_error: u64,
+    /// Anomaly tally (includes watchdog-classified injections).
+    pub anomaly: u64,
+    /// Cells completed (`cell.done` events).
+    pub cells_done: u64,
+    /// Cells restored from a checkpoint (`campaign.resume`).
+    pub cells_restored: u64,
+    /// Cell attempts retried.
+    pub retries: u64,
+    /// Watchdog deadline overruns.
+    pub watchdog: u64,
+    /// Cells that exhausted their retry budget.
+    pub cells_failed: u64,
+    /// Checkpoint cell appends observed.
+    pub checkpoint_cells: u64,
+    /// Slowest cells, descending by `elapsed_us` (at most
+    /// [`SLOWEST_CELLS`]).
+    pub slowest: Vec<CellStat>,
+    /// Trace duration: max − min `t_us` over all events.
+    pub span_us: u64,
+}
+
+fn field_u64(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+impl TraceSummary {
+    fn absorb(&mut self, v: &Json, t_range: &mut Option<(u64, u64)>) {
+        let name = v.get("ev").and_then(Json::as_str).unwrap_or("?").to_owned();
+        self.events += 1;
+        *self.by_name.entry(name.clone()).or_insert(0) += 1;
+        if let Some(t) = v.get("t_us").and_then(Json::as_u64) {
+            *t_range = Some(match *t_range {
+                None => (t, t),
+                Some((lo, hi)) => (lo.min(t), hi.max(t)),
+            });
+        }
+        match name.as_str() {
+            "span" => {
+                let phase = v.get("name").and_then(Json::as_str).unwrap_or("?");
+                let stat = self.phases.entry(phase.to_owned()).or_default();
+                stat.count += 1;
+                stat.total_us += field_u64(v, "dur_us");
+            }
+            "cell.done" => {
+                self.cells_done += 1;
+                self.slowest.push(CellStat {
+                    node: field_u64(v, "node"),
+                    cat: v
+                        .get("cat")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_owned(),
+                    samples: field_u64(v, "samples"),
+                    elapsed_us: field_u64(v, "elapsed_us"),
+                });
+            }
+            "cell.retry" => self.retries += 1,
+            "cell.failed" => self.cells_failed += 1,
+            "watchdog.fired" => self.watchdog += 1,
+            "campaign.resume" => self.cells_restored = field_u64(v, "restored"),
+            "checkpoint.cell" => self.checkpoint_cells += 1,
+            _ => {}
+        }
+    }
+
+    fn finalize(&mut self, finish: Option<&Json>, cell_tallies: (u64, u64, u64)) {
+        if let Some(f) = finish {
+            self.masked = field_u64(f, "masked");
+            self.output_error = field_u64(f, "output_error");
+            self.anomaly = field_u64(f, "anomaly");
+        } else {
+            (self.masked, self.output_error, self.anomaly) = cell_tallies;
+        }
+        self.slowest
+            .sort_by_key(|c| std::cmp::Reverse(c.elapsed_us));
+        self.slowest.truncate(SLOWEST_CELLS);
+    }
+}
+
+/// Summarizes a JSONL trace read from `reader`.
+///
+/// # Errors
+///
+/// Returns a description (with line number) for any unparseable line, and
+/// rejects traces with zero events — an empty trace means the instrumented
+/// run recorded nothing, which the CI smoke test treats as a failure.
+pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut t_range = None;
+    let mut finish: Option<Json> = None;
+    let mut cell_tallies = (0u64, 0u64, 0u64);
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", idx + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(&line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if v.get("ev").and_then(Json::as_str).is_none() {
+            return Err(format!("line {}: record has no `ev` field", idx + 1));
+        }
+        if v.get("ev").and_then(Json::as_str) == Some("cell.done") {
+            cell_tallies.0 += field_u64(&v, "masked");
+            cell_tallies.1 += field_u64(&v, "output_error");
+            cell_tallies.2 += field_u64(&v, "anomaly");
+        }
+        summary.absorb(&v, &mut t_range);
+        if v.get("ev").and_then(Json::as_str) == Some("campaign.finish") {
+            finish = Some(v);
+        }
+    }
+    if summary.events == 0 {
+        return Err("trace contains no events".to_owned());
+    }
+    if let Some((lo, hi)) = t_range {
+        summary.span_us = hi - lo;
+    }
+    summary.finalize(finish.as_ref(), cell_tallies);
+    Ok(summary)
+}
+
+/// Summarizes the JSONL trace file at `path` (see [`summarize`]).
+///
+/// # Errors
+///
+/// As [`summarize`], plus file-open failures.
+pub fn summarize_file(path: &Path) -> Result<TraceSummary, String> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| format!("cannot open trace {}: {e}", path.display()))?;
+    summarize(std::io::BufReader::new(file))
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} events over {:.3} s",
+            self.events,
+            self.span_us as f64 / 1e6
+        )?;
+
+        writeln!(f, "\nevents")?;
+        for (name, n) in &self.by_name {
+            writeln!(f, "  {name:<20} {n}")?;
+        }
+
+        if !self.phases.is_empty() {
+            writeln!(f, "\nphases (span time)")?;
+            let total: u64 = self.phases.values().map(|p| p.total_us).sum();
+            for (name, p) in &self.phases {
+                writeln!(
+                    f,
+                    "  {name:<20} {:>10.3} s  ({:>5.1}%)  n={}",
+                    p.total_us as f64 / 1e6,
+                    pct(p.total_us, total),
+                    p.count
+                )?;
+            }
+        }
+
+        let injections = self.masked + self.output_error + self.anomaly;
+        writeln!(f, "\noutcomes ({injections} injections)")?;
+        writeln!(
+            f,
+            "  masked               {:>8}  ({:.1}%)",
+            self.masked,
+            pct(self.masked, injections)
+        )?;
+        writeln!(
+            f,
+            "  output_error         {:>8}  ({:.1}%)",
+            self.output_error,
+            pct(self.output_error, injections)
+        )?;
+        writeln!(
+            f,
+            "  anomaly              {:>8}  ({:.1}%)",
+            self.anomaly,
+            pct(self.anomaly, injections)
+        )?;
+
+        writeln!(f, "\ncells")?;
+        writeln!(f, "  done                 {:>8}", self.cells_done)?;
+        if self.cells_restored > 0 {
+            writeln!(f, "  restored             {:>8}", self.cells_restored)?;
+        }
+        writeln!(f, "  retried attempts     {:>8}", self.retries)?;
+        writeln!(f, "  failed (budget)      {:>8}", self.cells_failed)?;
+        writeln!(f, "  watchdog fires       {:>8}", self.watchdog)?;
+        writeln!(f, "  checkpoint appends   {:>8}", self.checkpoint_cells)?;
+
+        if self.slowest.iter().any(|c| c.elapsed_us > 0) {
+            writeln!(f, "\nslowest cells")?;
+            for c in &self.slowest {
+                writeln!(
+                    f,
+                    "  node {:<5} {:<14} {:>10.3} s  ({} samples)",
+                    c.node,
+                    c.cat,
+                    c.elapsed_us as f64 / 1e6,
+                    c.samples
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        "{\"ev\":\"campaign.start\",\"t_us\":0,\"seq\":0,\"cells\":2}\n",
+        "{\"ev\":\"span\",\"t_us\":5,\"seq\":1,\"name\":\"rfa\",\"dur_us\":5}\n",
+        "{\"ev\":\"cell.done\",\"t_us\":10,\"seq\":2,\"node\":1,\"cat\":\"dp\",",
+        "\"samples\":4,\"masked\":3,\"output_error\":1,\"anomaly\":0,\"elapsed_us\":9}\n",
+        "{\"ev\":\"cell.retry\",\"t_us\":11,\"seq\":3,\"node\":2,\"attempt\":1}\n",
+        "{\"ev\":\"cell.done\",\"t_us\":20,\"seq\":4,\"node\":2,\"cat\":\"gc\",",
+        "\"samples\":4,\"masked\":2,\"output_error\":0,\"anomaly\":2,\"elapsed_us\":15}\n",
+        "{\"ev\":\"campaign.finish\",\"t_us\":21,\"seq\":5,\"masked\":5,",
+        "\"output_error\":1,\"anomaly\":2}\n",
+    );
+
+    #[test]
+    fn summarizes_outcomes_phases_and_slowest() {
+        let s = summarize(TRACE.as_bytes()).unwrap();
+        assert_eq!(s.events, 6);
+        assert_eq!((s.masked, s.output_error, s.anomaly), (5, 1, 2));
+        assert_eq!(s.cells_done, 2);
+        assert_eq!(s.retries, 1);
+        assert_eq!(
+            s.phases["rfa"],
+            PhaseStat {
+                count: 1,
+                total_us: 5
+            }
+        );
+        assert_eq!(s.slowest[0].node, 2);
+        assert_eq!(s.span_us, 21);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn tallies_fall_back_to_cell_done_without_finish() {
+        let partial: String = TRACE.lines().take(5).fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+        let s = summarize(partial.as_bytes()).unwrap();
+        assert_eq!((s.masked, s.output_error, s.anomaly), (5, 1, 2));
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_traces() {
+        assert!(summarize(&b""[..]).is_err());
+        assert!(summarize(&b"not json\n"[..])
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(summarize(&b"{\"no_ev\":1}\n"[..])
+            .unwrap_err()
+            .contains("no `ev`"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Small statistical helpers shared by the progress reporter and the
+//! framework proper.
+
+/// 95% Wilson score interval for a binomial proportion.
+///
+/// This is the canonical implementation for the workspace —
+/// `fidelity_core::campaign::wilson_interval` delegates here, and the live
+/// progress line uses it for its running masking-probability bounds (the
+/// paper sizes campaigns for a 95% confidence target).
+pub fn wilson95(successes: usize, n: usize) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.959_964f64;
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let centre = p + z2 / (2.0 * nf);
+    let margin = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_point_estimate() {
+        let (lo, hi) = wilson95(50, 100);
+        assert!(lo < 0.5 && hi > 0.5);
+        assert_eq!(wilson95(0, 0), (0.0, 1.0));
+        assert!(wilson95(0, 10).0.abs() < 1e-12);
+        assert!((wilson95(10, 10).1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,344 @@
+//! Span/event tracing: typed events, the sink abstraction, and the JSONL
+//! file sink.
+//!
+//! Emission goes through the global facade in the crate root ([`crate::event!`],
+//! [`crate::span!`], [`crate::emit_event`]); this module defines what an
+//! event *is* and where it goes. Everything here runs on campaign worker
+//! threads, so it must never panic and never block longer than one buffered
+//! write.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::clock;
+use crate::json;
+
+/// A typed field value. Borrowed strings keep the hot path allocation-free;
+/// temporaries in an [`crate::event!`] call live until the end of the
+/// emitting statement, which is all the sink needs (sinks serialize or copy
+/// before returning).
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// An unsigned integer (counts, indices, durations).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (probabilities, rates). Non-finite values serialize as null.
+    F64(f64),
+    /// A borrowed string (names, reasons).
+    Str(&'a str),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl<'a> From<$t> for Value<'a> {
+            fn from(v: $t) -> Self {
+                Value::$variant(v as $conv)
+            }
+        })*
+    };
+}
+value_from!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    u16 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+);
+
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl<'a> From<&'a String> for Value<'a> {
+    fn from(v: &'a String) -> Self {
+        Value::Str(v.as_str())
+    }
+}
+
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One field: `(key, value)`. Keys are static by construction (the `event!`
+/// macro stringifies identifiers).
+pub type Field<'a> = (&'static str, Value<'a>);
+
+/// A trace event as handed to sinks: name, monotonic timestamp, global
+/// sequence number, and the call site's fields.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent<'a> {
+    /// Event name, dot-separated by convention (`campaign.start`,
+    /// `cell.done`, `span`).
+    pub name: &'a str,
+    /// Microseconds since the process epoch ([`clock::since_epoch_us`]).
+    pub t_us: u64,
+    /// Global emission sequence number (total order across threads).
+    pub seq: u64,
+    /// Call-site fields.
+    pub fields: &'a [Field<'a>],
+}
+
+impl TraceEvent<'_> {
+    /// Serializes the event as one JSONL line (no trailing newline).
+    /// Reserved keys `ev`, `t_us`, `seq` come first; a field colliding with
+    /// a reserved key is prefixed with `f_` rather than dropped.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        out.push_str("{\"ev\":");
+        json::escape_into(&mut out, self.name);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(",\"t_us\":{},\"seq\":{}", self.t_us, self.seq),
+        );
+        for (key, value) in self.fields {
+            out.push(',');
+            if matches!(*key, "ev" | "t_us" | "seq") {
+                json::escape_into(&mut out, &format!("f_{key}"));
+            } else {
+                json::escape_into(&mut out, key);
+            }
+            out.push(':');
+            match value {
+                Value::U64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                }
+                Value::I64(v) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{v}"));
+                }
+                Value::F64(v) => json::number_into(&mut out, *v),
+                Value::Str(v) => json::escape_into(&mut out, v),
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Where trace events go. Implementations must be thread-safe and must not
+/// panic: a broken sink degrades to dropped events, never a dead campaign.
+pub trait TraceSink: Send + Sync {
+    /// Records one event. Called from campaign worker threads.
+    fn record(&self, event: &TraceEvent<'_>);
+
+    /// Flushes buffered events to durable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's description of what failed (the CLI surfaces it).
+    fn flush(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Buffered JSONL file sink: one event per line, flushed on demand.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    /// Events dropped because a write failed (disk full, closed fd).
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JsonlSink(dropped={})",
+            self.dropped.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl JsonlSink {
+    /// Creates (or truncates) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the file cannot be created.
+    pub fn create(path: &Path) -> Result<Self, String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        let file = File::create(path)
+            .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Events dropped due to write errors so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent<'_>) {
+        let line = event.to_json_line();
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if writeln!(w, "{line}").is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) -> Result<(), String> {
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        w.flush().map_err(|e| format!("trace flush failed: {e}"))?;
+        let dropped = self.dropped();
+        if dropped > 0 {
+            return Err(format!("{dropped} trace event(s) dropped by write errors"));
+        }
+        Ok(())
+    }
+}
+
+/// An owned copy of an event, as kept by [`MemorySink`].
+#[derive(Debug, Clone)]
+pub struct OwnedEvent {
+    /// Event name.
+    pub name: String,
+    /// Microseconds since the process epoch.
+    pub t_us: u64,
+    /// Global sequence number.
+    pub seq: u64,
+    /// Fields rendered to `(key, json-fragment)` pairs.
+    pub fields: Vec<(String, String)>,
+}
+
+/// In-memory sink for tests and overhead benches.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<OwnedEvent>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Snapshot of recorded events.
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent<'_>) {
+        let owned = OwnedEvent {
+            name: event.name.to_owned(),
+            t_us: event.t_us,
+            seq: event.seq,
+            fields: event
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), format!("{v:?}")))
+                .collect(),
+        };
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(owned);
+    }
+}
+
+/// Builds a [`TraceEvent`] stamped with the current time and the next global
+/// sequence number, then hands it to `sink`.
+pub fn record_now(sink: &dyn TraceSink, name: &str, fields: &[Field<'_>]) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let event = TraceEvent {
+        name,
+        t_us: clock::since_epoch_us(),
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        fields,
+    };
+    sink.record(&event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn json_line_is_parseable_and_ordered() {
+        let ev = TraceEvent {
+            name: "cell.done",
+            t_us: 42,
+            seq: 7,
+            fields: &[
+                ("node", Value::U64(3)),
+                ("layer", Value::Str("conv \"2\"")),
+                ("p", Value::F64(0.25)),
+                ("ok", Value::Bool(true)),
+                ("delta", Value::I64(-4)),
+            ],
+        };
+        let line = ev.to_json_line();
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("ev").and_then(Json::as_str), Some("cell.done"));
+        assert_eq!(v.get("t_us").and_then(Json::as_u64), Some(42));
+        assert_eq!(v.get("node").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("layer").and_then(Json::as_str), Some("conv \"2\""));
+        assert_eq!(v.get("p").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("delta").and_then(Json::as_f64), Some(-4.0));
+    }
+
+    #[test]
+    fn reserved_keys_are_renamed_not_dropped() {
+        let ev = TraceEvent {
+            name: "x",
+            t_us: 1,
+            seq: 2,
+            fields: &[("seq", Value::U64(99))],
+        };
+        let v = crate::json::parse(&ev.to_json_line()).unwrap();
+        assert_eq!(v.get("seq").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("f_seq").and_then(Json::as_u64), Some(99));
+    }
+
+    #[test]
+    fn nan_field_serializes_as_null() {
+        let ev = TraceEvent {
+            name: "x",
+            t_us: 0,
+            seq: 0,
+            fields: &[("v", Value::F64(f64::NAN))],
+        };
+        let v = crate::json::parse(&ev.to_json_line()).unwrap();
+        assert_eq!(v.get("v"), Some(&Json::Null));
+    }
+}

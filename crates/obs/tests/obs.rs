@@ -1,0 +1,175 @@
+//! Integration tests for the observability layer: histogram bucket
+//! boundaries (including the +∞ overflow bucket and zero-valued samples),
+//! JSONL sink round-trips through the trace parser, and counter exactness
+//! under concurrency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fidelity_obs::json::Json;
+use fidelity_obs::metrics::{bucket_index, bucket_upper_bound, Counter, Histogram, LOG2_BUCKETS};
+use fidelity_obs::trace::{JsonlSink, TraceEvent, TraceSink, Value};
+use fidelity_obs::{json, report};
+
+#[test]
+fn histogram_bucket_boundaries_are_exact() {
+    // Bucket 0 is exact zeros; bucket i (i >= 1) is [2^(i-1), 2^i).
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    for i in 1..LOG2_BUCKETS {
+        let lower = 1u64 << (i - 1);
+        assert_eq!(bucket_index(lower), i, "lower edge of bucket {i}");
+        assert_eq!(bucket_index(2 * lower - 1), i, "upper edge of bucket {i}");
+    }
+    // Everything at or past 2^(LOG2_BUCKETS-1) lands in the overflow bucket.
+    assert_eq!(bucket_index(1u64 << (LOG2_BUCKETS - 1)), LOG2_BUCKETS);
+    assert_eq!(bucket_index(u64::MAX), LOG2_BUCKETS);
+
+    assert_eq!(bucket_upper_bound(0), Some(1));
+    assert_eq!(bucket_upper_bound(1), Some(2));
+    assert_eq!(
+        bucket_upper_bound(LOG2_BUCKETS - 1),
+        Some(1u64 << (LOG2_BUCKETS - 1))
+    );
+    assert_eq!(
+        bucket_upper_bound(LOG2_BUCKETS),
+        None,
+        "overflow bucket is +inf"
+    );
+}
+
+#[test]
+fn histogram_handles_zero_and_overflow_samples() {
+    let h = Histogram::default();
+    h.record(0);
+    h.record(0);
+    h.record(7);
+    h.record(u64::MAX / 2); // far past the last finite bucket
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 4);
+    assert_eq!(snap.buckets[0], 2, "zeros land in bucket 0");
+    assert_eq!(snap.buckets[bucket_index(7)], 1);
+    assert_eq!(snap.overflow(), 1);
+    // p50 falls among the zeros; p99 falls in the overflow bucket (+inf).
+    assert_eq!(snap.quantile_bound(0.50), Some(1));
+    assert_eq!(snap.quantile_bound(0.99), None);
+    assert!(snap.mean() > 0.0);
+}
+
+#[test]
+fn jsonl_sink_round_trips_through_the_parser() {
+    let dir = std::env::temp_dir().join(format!("fidelity-obs-test-{}", std::process::id()));
+    let path = dir.join("roundtrip.jsonl");
+    let sink = JsonlSink::create(&path).expect("create sink");
+
+    let events: &[(&str, &[(&'static str, Value<'_>)])] = &[
+        (
+            "campaign.start",
+            &[("cells", Value::U64(12)), ("seed", Value::U64(7))],
+        ),
+        (
+            "cell.done",
+            &[
+                ("node", Value::U64(3)),
+                ("cat", Value::Str("dp_s1_act \"q\"")),
+                ("masked", Value::U64(9)),
+                ("p", Value::F64(0.75)),
+                ("timed_out", Value::Bool(false)),
+            ],
+        ),
+        (
+            "campaign.finish",
+            &[("masked", Value::U64(9)), ("delta", Value::I64(-2))],
+        ),
+    ];
+    for (i, (name, fields)) in events.iter().enumerate() {
+        sink.record(&TraceEvent {
+            name,
+            t_us: i as u64 * 10,
+            seq: i as u64,
+            fields,
+        });
+    }
+    sink.flush().expect("flush");
+    assert_eq!(sink.dropped(), 0);
+
+    let text = std::fs::read_to_string(&path).expect("read trace");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), events.len());
+    for (line, (name, _)) in lines.iter().zip(events) {
+        let v = json::parse(line).expect("every line parses");
+        assert_eq!(v.get("ev").and_then(Json::as_str), Some(*name));
+    }
+    let cell = json::parse(lines[1]).expect("cell line");
+    assert_eq!(
+        cell.get("cat").and_then(Json::as_str),
+        Some("dp_s1_act \"q\"")
+    );
+    assert_eq!(cell.get("p").and_then(Json::as_f64), Some(0.75));
+
+    // The report layer consumes the same file end to end.
+    let summary = report::summarize_file(&path).expect("summarize");
+    assert_eq!(summary.events, 3);
+    assert_eq!(summary.cells_done, 1);
+    assert_eq!(summary.masked, 9);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn counters_are_exact_under_concurrency() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let counter = Arc::new(Counter::default());
+    let histogram = Arc::new(Histogram::default());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            let histogram = Arc::clone(&histogram);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    histogram.record(t as u64 * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), total);
+    let snap = histogram.snapshot();
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total);
+}
+
+#[test]
+fn memory_sink_sees_every_event_from_every_thread() {
+    // Exercise the full emit path (sequence numbering + sink dispatch)
+    // concurrently through a counting sink.
+    struct CountingSink(AtomicU64);
+    impl TraceSink for CountingSink {
+        fn record(&self, _event: &TraceEvent<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let sink = Arc::new(CountingSink(AtomicU64::new(0)));
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let sink = Arc::clone(&sink);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    fidelity_obs::trace::record_now(
+                        sink.as_ref(),
+                        "bench.tick",
+                        &[("i", Value::U64(i))],
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(sink.0.load(Ordering::Relaxed), THREADS * PER_THREAD);
+}

@@ -16,12 +16,32 @@
 //! derail execution authentically (wrong data, dropped writes, or watchdog
 //! time-outs).
 
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use fidelity_dnn::tensor::Tensor;
+use fidelity_obs::metrics::{Counter, Histogram};
 
 use crate::ffid::{FaultSite, FfId, SeqCounter};
 use crate::layer::{cfg, input_addr, out_addr, weight_addr, RtlLayer};
+
+/// Cached handles into the global metrics registry: register-level runs are
+/// the expensive validation path, so their volume and cycle counts are
+/// always counted (single relaxed `fetch_add`s per *run*, not per cycle).
+struct RtlMetrics {
+    runs: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    run_cycles: Arc<Histogram>,
+}
+
+fn rtl_metrics() -> &'static RtlMetrics {
+    static METRICS: OnceLock<RtlMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| RtlMetrics {
+        runs: fidelity_obs::metrics::counter("rtl.runs"),
+        timeouts: fidelity_obs::metrics::counter("rtl.timeouts"),
+        run_cycles: fidelity_obs::metrics::histogram("rtl.run_cycles"),
+    })
+}
 
 /// A single-bit flip in an on-chip memory word (the Sec. III-E memory-error
 /// extension; not a flip-flop fault).
@@ -416,9 +436,10 @@ impl RtlEngine {
             }
             if cycle & 0xFFF == 0 {
                 if let Some(d) = deadline {
-                    // Monotonic watchdog deadline; never feeds statistics.
-                    // statcheck:allow(wall-clock)
-                    if Instant::now() >= d {
+                    // Monotonic watchdog deadline via the obs clock (the
+                    // workspace's sanctioned wall-clock site); never feeds
+                    // statistics.
+                    if fidelity_obs::clock::now() >= d {
                         timed_out = true;
                         break;
                     }
@@ -560,6 +581,12 @@ impl RtlEngine {
             // The buffer is allocated from the same spec two lines up.
             // statcheck:allow(panic-path)
             .expect("output buffer sized from spec");
+        let metrics = rtl_metrics();
+        metrics.runs.inc();
+        if timed_out {
+            metrics.timeouts.inc();
+        }
+        metrics.run_cycles.record(cycle);
         RunResult {
             output,
             cycles: cycle,

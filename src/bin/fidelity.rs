@@ -7,9 +7,15 @@
 //!                   [--checkpoint PATH] [--resume]
 //! fidelity validate --network NAME [--layer NAME] [--sites N] [--systolic]
 //! fidelity protect  --network NAME [--target FIT] [--samples N]
+//! fidelity report   --trace FILE
 //! fidelity statcheck [--preset NAME]
 //! fidelity lint     [--root PATH]...
 //! ```
+//!
+//! Telemetry flags (accepted by `analyze`, `validate`, and `protect`):
+//! `--trace FILE` streams structured JSONL events, `--progress` renders a
+//! live campaign status line on stderr, and `--metrics` prints a metrics
+//! snapshot (counters, gauges, latency histograms) after the run.
 //!
 //! Networks: inception, resnet, mobilenet, yolo, transformer, lstm.
 
@@ -49,11 +55,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `report` reads an existing trace file; installing a sink on it would
+    // truncate the input, so telemetry setup is skipped there.
+    let telemetry = !matches!(command.as_str(), "report" | "help" | "--help" | "-h");
+    if telemetry {
+        if let Err(e) = setup_telemetry(&opts) {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "rfa" => cmd_rfa(&opts),
         "analyze" => cmd_analyze(&opts),
         "validate" => cmd_validate(&opts),
         "protect" => cmd_protect(&opts),
+        "report" => cmd_report(&opts),
         "statcheck" => cmd_statcheck(&opts),
         "lint" => cmd_lint(rest, &opts),
         "help" | "--help" | "-h" => {
@@ -61,6 +77,13 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
+    };
+    // Flush the trace sink (and print metrics) even when the command failed,
+    // so abort events reach the trace file.
+    let result = if telemetry {
+        result.and(finish_telemetry(&opts))
+    } else {
+        result
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -78,13 +101,46 @@ const USAGE: &str = "usage:
                     [--checkpoint PATH] [--resume]
   fidelity validate --network NAME [--layer NAME] [--sites N]
   fidelity protect  --network NAME [--target FIT] [--samples N]
+  fidelity report   --trace FILE
   fidelity statcheck [--preset NAME]
   fidelity lint     [--root PATH]...
+
+telemetry (analyze | validate | protect):
+  --trace FILE      write structured JSONL trace events to FILE
+  --progress        live campaign status line on stderr
+  --metrics         print a metrics snapshot after the run
 
 networks: inception | resnet | mobilenet | yolo | transformer | lstm";
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BARE_FLAGS: &[&str] = &["resume"];
+const BARE_FLAGS: &[&str] = &["resume", "progress", "metrics"];
+
+/// Applies the shared telemetry flags before the command runs: `--trace FILE`
+/// installs the JSONL sink, `--metrics` enables timing instrumentation.
+fn setup_telemetry(opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = opts.get("trace") {
+        fidelity::obs::install_jsonl_sink(std::path::Path::new(path))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    if opts.contains_key("metrics") {
+        fidelity::obs::set_timing(true);
+    }
+    Ok(())
+}
+
+/// Tears telemetry down after the command: flushes the trace sink (surfacing
+/// write errors) and prints the metrics snapshot when `--metrics` was given.
+fn finish_telemetry(opts: &HashMap<String, String>) -> Result<(), String> {
+    let flushed = if opts.contains_key("trace") {
+        fidelity::obs::flush().map_err(|e| format!("trace flush: {e}"))
+    } else {
+        Ok(())
+    };
+    if opts.contains_key("metrics") {
+        print!("{}", fidelity::obs::metrics::snapshot());
+    }
+    flushed
+}
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -223,6 +279,9 @@ fn spec_from(opts: &HashMap<String, String>) -> Result<CampaignSpec, String> {
         seed: get(opts, "seed", 0xF1DEu64)?,
         ..CampaignSpec::default()
     };
+    if opts.contains_key("progress") {
+        spec.progress = Some(fidelity::obs::progress::ProgressSpec::default());
+    }
     match (opts.get("checkpoint"), opts.contains_key("resume")) {
         (Some(path), resume) => {
             spec.resilience.checkpoint = Some(if resume {
@@ -322,6 +381,16 @@ fn cmd_validate(opts: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
+fn cmd_report(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts
+        .get("trace")
+        .ok_or_else(|| "report requires --trace FILE".to_owned())?;
+    let summary = fidelity::obs::report::summarize_file(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("{summary}");
+    Ok(())
+}
+
 fn cmd_statcheck(opts: &HashMap<String, String>) -> Result<(), String> {
     let report = match opts.get("preset") {
         Some(name) => {
@@ -354,7 +423,7 @@ fn cmd_lint(args: &[String], _opts: &HashMap<String, String>) -> Result<(), Stri
         .map(|(_, value)| std::path::PathBuf::from(value))
         .collect();
     if roots.is_empty() {
-        roots = ["crates/core", "crates/dnn", "crates/rtl"]
+        roots = ["crates/core", "crates/dnn", "crates/rtl", "crates/obs"]
             .iter()
             .map(std::path::PathBuf::from)
             .collect();

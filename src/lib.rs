@@ -15,7 +15,9 @@
 //!   correctness metrics;
 //! * [`statcheck`] — static analyses: the model-level fault-model verifier
 //!   and the source-level determinism lint (`fidelity statcheck`,
-//!   `fidelity lint`).
+//!   `fidelity lint`);
+//! * [`obs`] — the zero-dependency observability layer (structured tracing,
+//!   metrics, live campaign progress, trace reports).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@
 pub use fidelity_accel as accel;
 pub use fidelity_core as core;
 pub use fidelity_dnn as dnn;
+pub use fidelity_obs as obs;
 pub use fidelity_rtl as rtl;
 pub use fidelity_statcheck as statcheck;
 pub use fidelity_workloads as workloads;

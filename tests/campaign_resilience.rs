@@ -61,6 +61,7 @@ fn spec(samples: usize, seed: u64) -> CampaignSpec {
         record_events: true,
         target_ci_halfwidth: None,
         resilience: ResilienceSpec::default(),
+        progress: None,
     }
 }
 

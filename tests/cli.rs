@@ -62,6 +62,74 @@ fn missing_flag_value_is_reported() {
 }
 
 #[test]
+fn trace_progress_metrics_and_report_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("fidelity-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("campaign.jsonl");
+    let trace_str = trace.to_str().expect("utf-8 temp path");
+
+    let (ok, stdout, stderr) = run(&[
+        "analyze",
+        "--network",
+        "lstm",
+        "--samples",
+        "3",
+        "--seed",
+        "7",
+        "--trace",
+        trace_str,
+        "--progress",
+        "--metrics",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    // --metrics snapshot comes after the FIT report.
+    assert!(stdout.contains("campaign.injections"), "{stdout}");
+    // --progress renders the live status line on stderr.
+    assert!(stderr.contains("cells"), "{stderr}");
+
+    // Every line of the trace is an object with the reserved keys, and the
+    // lifecycle events are present.
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!body.is_empty(), "trace must not be empty");
+    for line in body.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"ev\":"), "{line}");
+        assert!(line.contains("\"t_us\":"), "{line}");
+    }
+    assert!(body.contains("\"ev\":\"campaign.start\""), "{body}");
+    assert!(body.contains("\"ev\":\"cell.done\""), "{body}");
+    assert!(body.contains("\"ev\":\"campaign.finish\""), "{body}");
+
+    // `fidelity report` summarizes the same file.
+    let (ok, stdout, stderr) = run(&["report", "--trace", trace_str]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("events"), "{stdout}");
+    assert!(stdout.contains("campaign.finish"), "{stdout}");
+    assert!(stdout.contains("outcomes"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_requires_trace_flag() {
+    let (ok, _, stderr) = run(&["report"]);
+    assert!(!ok);
+    assert!(stderr.contains("report requires --trace"), "{stderr}");
+}
+
+#[test]
+fn report_rejects_empty_trace() {
+    let dir = std::env::temp_dir().join(format!("fidelity-cli-empty-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("empty.jsonl");
+    std::fs::write(&trace, "").expect("write empty trace");
+    let (ok, _, stderr) = run(&["report", "--trace", trace.to_str().expect("utf-8")]);
+    assert!(!ok);
+    assert!(stderr.contains("no events"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn validate_small_run_passes() {
     let (ok, stdout, _) = run(&[
         "validate",
