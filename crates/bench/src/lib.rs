@@ -28,13 +28,34 @@ pub fn validation_sites() -> usize {
         .unwrap_or(2000)
 }
 
+/// Campaign worker threads for the regenerators: `--jobs N` on the command
+/// line, else the `FIDELITY_JOBS` environment variable, else every core.
+/// Campaigns are bit-identical for any value, so this only trades
+/// wall-clock for cores.
+pub fn jobs() -> usize {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| argv.get(i + 1))
+        .or_else(|| {
+            argv.iter()
+                .find_map(|a| a.strip_prefix("--jobs=").map(|_| a))
+        })
+        .map(|v| v.trim_start_matches("--jobs=").to_owned())
+        .or_else(|| std::env::var("FIDELITY_JOBS").ok())
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, std::num::NonZero::get))
+}
+
 /// The campaign spec used by the figure regenerators. Enables the live
-/// progress reporter when the binary was launched with `--progress`.
+/// progress reporter when the binary was launched with `--progress`, and
+/// honors `--jobs` / `FIDELITY_JOBS` for the worker count.
 pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
     CampaignSpec {
         samples_per_cell: samples_per_cell(),
         seed,
-        threads: std::thread::available_parallelism().map_or(4, std::num::NonZero::get),
+        threads: jobs(),
         record_events,
         target_ci_halfwidth: None,
         resilience: Default::default(),

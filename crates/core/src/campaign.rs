@@ -3,9 +3,13 @@
 //! A campaign runs a configured number of software injections for every
 //! (MAC layer × FF category) cell of a deployed network and tallies the
 //! outcome distribution, yielding the `Prob_SWmask(cat, r)` inputs of Eq. 2.
-//! Cells are independent, so they are distributed over worker threads; each
-//! cell owns a deterministic RNG stream, making campaigns bit-reproducible
-//! regardless of scheduling.
+//! Cells are independent, so they are sharded across the `fidelity-par`
+//! work-stealing pool ([`ParallelCampaignRunner`]); each cell derives its
+//! own RNG stream from `(campaign seed, cell id)`, never from shared state,
+//! making campaigns bit-reproducible regardless of worker count or steal
+//! order. Checkpoint records go through an ordered commit buffer, so the
+//! on-disk file is always the same deterministic prefix a serial run would
+//! have written.
 //!
 //! Long campaigns run under the fault-tolerance policy of
 //! [`crate::resilience`]: cells execute inside a panic boundary with bounded
@@ -13,6 +17,7 @@
 //! cells can be checkpointed to disk so an interrupted campaign resumes
 //! exactly where it stopped ([`CampaignRunner::resume_from`]).
 
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -29,6 +34,7 @@ use fidelity_obs::event;
 use fidelity_obs::metrics::{Counter, Histogram};
 use fidelity_obs::progress::{CampaignProgress, CategoryKind, OutcomeKind, ProgressSpec};
 use fidelity_obs::{clock, timing_enabled};
+use fidelity_par::{PoolSpec, ShardPlan, WorkStealPool};
 
 use crate::inject::inject_once_guarded;
 use crate::models::{model_for, SoftwareFaultModel};
@@ -196,10 +202,61 @@ struct CellPlan {
     model: SoftwareFaultModel,
 }
 
-/// The open checkpoint file plus the flush countdown.
-struct CkptState {
+/// The open checkpoint file behind an ordered commit buffer.
+///
+/// Workers complete cells out of order, but the file must stay a
+/// deterministic prefix of what a serial run writes — otherwise the bytes
+/// (and any resumed campaign's view of them) would depend on scheduling.
+/// Completed cells therefore park in `pending` until every lower-indexed
+/// cell has been committed or skipped; the cursor then drains them to disk
+/// in plan order. Failed cells commit as a skip: the cursor advances without
+/// writing a record, so a resumed campaign retries them.
+struct OrderedCommit {
     writer: BufWriter<File>,
+    /// Flush every N written records.
+    interval: usize,
     unflushed: usize,
+    /// Lowest plan index not yet committed or skipped.
+    cursor: usize,
+    /// Out-of-order completions waiting for the cursor. `None` marks a skip
+    /// (failed cell, or a cell already rewritten at open from the resume
+    /// checkpoint).
+    pending: BTreeMap<usize, Option<CellStats>>,
+}
+
+/// What one [`OrderedCommit::commit`] call put on disk.
+struct CommitReceipt {
+    /// Plan indices whose records were written by this call, in order.
+    written: Vec<usize>,
+    /// Whether the flush interval elapsed and the file was flushed.
+    flushed: bool,
+}
+
+impl OrderedCommit {
+    /// Parks one completed (`Some`) or failed (`None`) cell and drains every
+    /// now-contiguous entry to disk in plan-index order.
+    fn commit(&mut self, idx: usize, entry: Option<CellStats>) -> Result<CommitReceipt, DnnError> {
+        let io_err = |e: std::io::Error| DnnError::Campaign {
+            message: format!("checkpoint write failed: {e}"),
+        };
+        self.pending.insert(idx, entry);
+        let mut written = Vec::new();
+        while let Some(slot) = self.pending.remove(&self.cursor) {
+            if let Some(stats) = slot {
+                write_cell(&mut self.writer, self.cursor, &stats).map_err(io_err)?;
+                written.push(self.cursor);
+                self.unflushed += 1;
+            }
+            self.cursor += 1;
+        }
+        let mut flushed = false;
+        if self.unflushed >= self.interval {
+            self.writer.flush().map_err(io_err)?;
+            self.unflushed = 0;
+            flushed = true;
+        }
+        Ok(CommitReceipt { written, flushed })
+    }
 }
 
 /// Cached handles into the global metrics registry — resolved once per
@@ -304,7 +361,7 @@ impl<'a> CampaignRunner<'a> {
             .as_ref()
             .filter(|c| c.resume)
             .map(|c| c.path.clone());
-        self.execute(resume.as_deref())
+        self.execute(resume.as_deref(), self.spec.threads)
     }
 
     /// Runs the campaign, first loading every completed cell from the
@@ -321,7 +378,7 @@ impl<'a> CampaignRunner<'a> {
     /// checkpoint, and for an exhausted failure budget as in
     /// [`CampaignRunner::run`].
     pub fn resume_from(&self, path: &Path) -> Result<CampaignResult, DnnError> {
-        self.execute(Some(path))
+        self.execute(Some(path), self.spec.threads)
     }
 
     fn plans(&self) -> Vec<CellPlan> {
@@ -343,7 +400,7 @@ impl<'a> CampaignRunner<'a> {
         plans
     }
 
-    fn execute(&self, resume_path: Option<&Path>) -> Result<CampaignResult, DnnError> {
+    fn execute(&self, resume_path: Option<&Path>, jobs: usize) -> Result<CampaignResult, DnnError> {
         let spec = &self.spec;
         let plans = self.plans();
         let plan_ids: Vec<(usize, FfCategory)> =
@@ -394,13 +451,14 @@ impl<'a> CampaignRunner<'a> {
         let metrics = CampaignMetrics::handles();
         let net = self.engine.network().name().to_owned();
         let restored = loaded.iter().filter(|c| c.is_some()).count();
+        let workers = jobs.clamp(1, plans.len().max(1));
         event!(
             "campaign.start",
             net = &net,
             cells = plans.len(),
             samples_per_cell = spec.samples_per_cell,
             seed = spec.seed,
-            threads = spec.threads,
+            threads = workers,
         );
         let progress = spec.progress.as_ref().map(|p| {
             CampaignProgress::new(
@@ -439,150 +497,167 @@ impl<'a> CampaignRunner<'a> {
             .checkpoint
             .as_ref()
             .map_or(1, |c| c.interval_cells.max(1));
-        let ckpt: Option<Mutex<CkptState>> = match ckpt_path {
-            Some(path) => Some(Mutex::new(open_checkpoint(path, fingerprint, &loaded)?)),
+        let ckpt: Option<Mutex<OrderedCommit>> = match ckpt_path {
+            Some(path) => Some(Mutex::new(open_checkpoint(
+                path,
+                fingerprint,
+                interval,
+                &loaded,
+            )?)),
             None => None,
         };
 
-        let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let failure_count = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<CellStats>>> = Mutex::new(loaded);
-        let failures: Mutex<Vec<CellFailure>> = Mutex::new(Vec::new());
+        let failures: Mutex<Vec<(usize, CellFailure)>> = Mutex::new(Vec::new());
         let errors: Mutex<Vec<DnnError>> = Mutex::new(Vec::new());
         let fatal = |e: DnnError| {
             lock(&errors).push(e);
             abort.store(true, Ordering::Relaxed);
         };
+        // Records a cell's verdict in the ordered commit buffer: `Some` is a
+        // completed cell to persist, `None` a failed (or restored) one the
+        // cursor must skip. Either way the cursor only moves in plan order,
+        // so the checkpoint bytes cannot depend on scheduling.
+        let commit = |idx: usize, entry: Option<CellStats>| {
+            if let Some(state) = &ckpt {
+                match lock(state).commit(idx, entry) {
+                    Ok(receipt) => {
+                        for &widx in &receipt.written {
+                            event!("checkpoint.cell", idx = widx, node = plans[widx].node);
+                        }
+                        if receipt.flushed {
+                            event!("checkpoint.flush", upto = idx);
+                        }
+                    }
+                    Err(e) => fatal(e),
+                }
+            }
+        };
 
         let max_attempts = spec.resilience.max_retries_per_cell + 1;
-        let workers = spec.threads.clamp(1, plans.len().max(1));
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    if abort.load(Ordering::Relaxed) {
+        let pool = WorkStealPool::new(PoolSpec {
+            workers,
+            seed: spec.seed,
+            plan: ShardPlan::Balanced,
+        });
+        pool.run(plans.len(), |idx| {
+            if abort.load(Ordering::Relaxed) {
+                return;
+            }
+            if lock(&results)[idx].is_some() {
+                return; // restored from the checkpoint (pre-skipped at open)
+            }
+            let plan = &plans[idx];
+            let cat = cat_code(plan.category);
+            let cell_sw = clock::Stopwatch::start_if(timing_enabled());
+            let mut last: Option<(CellStats, FailureReason)> = None;
+            let mut completed = None;
+            for attempt in 0..max_attempts {
+                // Each attempt restarts the cell's RNG stream, so a
+                // successful retry is bit-identical to a clean run.
+                let mut stats = self.fresh_cell(plan);
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    self.run_cell(&mut stats, plan, progress.as_ref(), &metrics)
+                }));
+                match run {
+                    Ok(Ok(())) => {
+                        completed = Some(stats);
                         break;
                     }
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= plans.len() {
-                        break;
+                    Ok(Err(e)) => {
+                        last = Some((stats, FailureReason::Error(e.to_string())));
                     }
-                    if lock(&results)[idx].is_some() {
-                        continue; // restored from the checkpoint
+                    Err(payload) => {
+                        last = Some((stats, FailureReason::Panic(panic_text(&*payload))));
                     }
-                    let plan = &plans[idx];
-                    let cat = cat_code(plan.category);
-                    let cell_sw = clock::Stopwatch::start_if(timing_enabled());
-                    let mut last: Option<(CellStats, FailureReason)> = None;
-                    let mut completed = None;
-                    for attempt in 0..max_attempts {
-                        // Each attempt restarts the cell's RNG stream, so a
-                        // successful retry is bit-identical to a clean run.
-                        let mut stats = self.fresh_cell(plan);
-                        let run = catch_unwind(AssertUnwindSafe(|| {
-                            self.run_cell(&mut stats, plan, progress.as_ref(), &metrics)
-                        }));
-                        match run {
-                            Ok(Ok(())) => {
-                                completed = Some(stats);
-                                break;
-                            }
-                            Ok(Err(e)) => {
-                                last = Some((stats, FailureReason::Error(e.to_string())));
-                            }
-                            Err(payload) => {
-                                last = Some((stats, FailureReason::Panic(panic_text(&*payload))));
-                            }
-                        }
-                        if attempt + 1 < max_attempts {
-                            metrics.retries.inc();
-                            if let Some(p) = &progress {
-                                p.on_retry();
-                            }
-                            event!(
-                                "cell.retry",
-                                node = plan.node,
-                                cat = &cat,
-                                attempt = attempt + 1,
-                                reason = last.as_ref().map_or("", |(_, r)| reason_kind(r)),
-                            );
-                        }
+                }
+                if attempt + 1 < max_attempts {
+                    metrics.retries.inc();
+                    if let Some(p) = &progress {
+                        p.on_retry();
                     }
-                    match completed {
-                        Some(stats) => {
-                            event!(
-                                "cell.done",
-                                node = plan.node,
-                                cat = &cat,
-                                samples = stats.samples,
-                                masked = stats.masked,
-                                output_error = stats.output_error,
-                                anomaly = stats.anomaly,
-                                elapsed_us = cell_sw.elapsed_us().unwrap_or(0),
-                            );
-                            metrics.cells_done.inc();
-                            if let Some(p) = &progress {
-                                p.on_cell_done();
-                            }
-                            if let Some(state) = &ckpt {
-                                match append_cell(state, interval, idx, &stats) {
-                                    Ok(flushed) => {
-                                        event!("checkpoint.cell", idx = idx, node = plan.node);
-                                        if flushed {
-                                            event!("checkpoint.flush", upto = idx);
-                                        }
-                                    }
-                                    Err(e) => fatal(e),
-                                }
-                            }
-                            lock(&results)[idx] = Some(stats);
-                        }
-                        None => {
-                            // Unreachable fallback: `last` is always set when
-                            // no attempt completed (max_attempts >= 1).
-                            let (partial, reason) = last.unwrap_or_else(|| {
-                                (
-                                    self.fresh_cell(plan),
-                                    FailureReason::Error("cell never ran".into()),
-                                )
-                            });
-                            let failed_so_far = failure_count.fetch_add(1, Ordering::Relaxed) + 1;
-                            event!(
-                                "cell.failed",
-                                node = plan.node,
-                                cat = &cat,
-                                attempts = max_attempts,
-                                samples = partial.samples,
-                                reason = reason_kind(&reason),
-                            );
-                            if let Some(p) = &progress {
-                                p.on_cell_failed();
-                            }
-                            lock(&failures).push(CellFailure {
-                                node: plan.node,
-                                layer: partial.layer.clone(),
-                                category: plan.category,
-                                attempts: max_attempts,
-                                samples_completed: partial.samples,
-                                reason,
-                            });
-                            // The degraded cell keeps its partial tally: fewer
-                            // samples simply widen its Wilson interval. It is
-                            // not checkpointed, so a resumed campaign retries.
-                            lock(&results)[idx] = Some(partial);
-                            if failed_so_far > spec.resilience.failure_budget {
-                                fatal(DnnError::Campaign {
-                                    message: format!(
-                                        "failure budget exhausted: {failed_so_far} cells \
-                                         failed (budget {})",
-                                        spec.resilience.failure_budget
-                                    ),
-                                });
-                                break;
-                            }
-                        }
+                    event!(
+                        "cell.retry",
+                        node = plan.node,
+                        cat = &cat,
+                        attempt = attempt + 1,
+                        reason = last.as_ref().map_or("", |(_, r)| reason_kind(r)),
+                    );
+                }
+            }
+            match completed {
+                Some(stats) => {
+                    event!(
+                        "cell.done",
+                        node = plan.node,
+                        cat = &cat,
+                        samples = stats.samples,
+                        masked = stats.masked,
+                        output_error = stats.output_error,
+                        anomaly = stats.anomaly,
+                        elapsed_us = cell_sw.elapsed_us().unwrap_or(0),
+                    );
+                    metrics.cells_done.inc();
+                    if let Some(p) = &progress {
+                        p.on_cell_done();
                     }
-                });
+                    commit(idx, Some(stats.clone()));
+                    lock(&results)[idx] = Some(stats);
+                }
+                None => {
+                    // Unreachable fallback: `last` is always set when
+                    // no attempt completed (max_attempts >= 1).
+                    let (partial, reason) = last.unwrap_or_else(|| {
+                        (
+                            self.fresh_cell(plan),
+                            FailureReason::Error("cell never ran".into()),
+                        )
+                    });
+                    let failed_so_far = failure_count.fetch_add(1, Ordering::Relaxed) + 1;
+                    event!(
+                        "cell.failed",
+                        node = plan.node,
+                        cat = &cat,
+                        attempts = max_attempts,
+                        samples = partial.samples,
+                        reason = reason_kind(&reason),
+                    );
+                    if let Some(p) = &progress {
+                        p.on_cell_failed();
+                    }
+                    lock(&failures).push((
+                        idx,
+                        CellFailure {
+                            node: plan.node,
+                            layer: partial.layer.clone(),
+                            category: plan.category,
+                            attempts: max_attempts,
+                            samples_completed: partial.samples,
+                            reason,
+                        },
+                    ));
+                    // The degraded cell keeps its partial tally: fewer
+                    // samples simply widen its Wilson interval. The ordered
+                    // commit records a skip (no bytes), so a resumed
+                    // campaign retries the cell.
+                    commit(idx, None);
+                    lock(&results)[idx] = Some(partial);
+                    // Exactly one worker observes the count crossing the
+                    // budget — the one whose `fetch_add` lands on budget + 1
+                    // — so the abort fires once with a message that does not
+                    // depend on how many other cells failed concurrently.
+                    if failed_so_far == spec.resilience.failure_budget + 1 {
+                        fatal(DnnError::Campaign {
+                            message: format!(
+                                "failure budget exhausted: {failed_so_far} cells \
+                                 failed (budget {})",
+                                spec.resilience.failure_budget
+                            ),
+                        });
+                    }
+                }
             }
         });
 
@@ -616,11 +691,16 @@ impl<'a> CampaignRunner<'a> {
                 message: format!("internal: cell {idx} never ran"),
             })?);
         }
+        // Failures were pushed in completion order, which depends on
+        // scheduling; reporting them in plan order keeps the result (and
+        // anything diffing it) deterministic across worker counts.
+        let mut indexed_failures = failures
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        indexed_failures.sort_by_key(|&(idx, _)| idx);
         let result = CampaignResult {
             cells,
-            failures: failures
-                .into_inner()
-                .unwrap_or_else(PoisonError::into_inner),
+            failures: indexed_failures.into_iter().map(|(_, f)| f).collect(),
         };
         let (masked, output_error, anomaly) = result.cells.iter().fold((0, 0, 0), |acc, c| {
             (acc.0 + c.masked, acc.1 + c.output_error, acc.2 + c.anomaly)
@@ -680,8 +760,8 @@ impl<'a> CampaignRunner<'a> {
         let chaos = spec
             .resilience
             .chaos
-            .as_ref()
-            .filter(|c| c.node == plan.node && c.category == plan.category);
+            .iter()
+            .find(|c| c.node == plan.node && c.category == plan.category);
         let mut rng = SplitMix64::new(
             spec.seed
                 ^ (plan.node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -760,6 +840,94 @@ impl<'a> CampaignRunner<'a> {
     }
 }
 
+/// A campaign runner with an explicit worker count, sharding cells over the
+/// `fidelity-par` work-stealing pool.
+///
+/// [`CampaignRunner`] already executes in parallel using `spec.threads`;
+/// this façade is the entry point for callers that choose the degree of
+/// parallelism at the call site (the CLI's `--jobs`, benchmarks sweeping
+/// worker counts, determinism tests comparing job counts). The determinism
+/// contract is identical either way: every cell derives its RNG stream from
+/// `(campaign seed, cell id)` alone, all shared accounting is commutative,
+/// and checkpoint records pass through the ordered commit buffer — so for
+/// any `jobs` value the results and checkpoint bytes are bit-identical to a
+/// serial run.
+pub struct ParallelCampaignRunner<'a> {
+    runner: CampaignRunner<'a>,
+    jobs: usize,
+}
+
+impl std::fmt::Debug for ParallelCampaignRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Parallel{:?} jobs={}", self.runner, self.jobs)
+    }
+}
+
+impl<'a> ParallelCampaignRunner<'a> {
+    /// Binds a campaign to its inputs; the worker count starts at
+    /// `spec.threads` and can be overridden with
+    /// [`ParallelCampaignRunner::with_jobs`].
+    pub fn new(
+        engine: &'a Engine,
+        trace: &'a Trace,
+        accel: &'a AcceleratorConfig,
+        metric: &'a dyn CorrectnessMetric,
+        spec: CampaignSpec,
+    ) -> Self {
+        let jobs = spec.threads.max(1);
+        ParallelCampaignRunner {
+            runner: CampaignRunner::new(engine, trace, accel, metric, spec),
+            jobs,
+        }
+    }
+
+    /// Sets the worker count (min 1). Results do not depend on it.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The effective worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The bound spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        self.runner.spec()
+    }
+
+    /// Runs the campaign on `jobs` workers; semantics are exactly
+    /// [`CampaignRunner::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::Campaign`] when the failure budget is exhausted
+    /// or the checkpoint is unusable.
+    pub fn run(&self) -> Result<CampaignResult, DnnError> {
+        let resume = self
+            .runner
+            .spec
+            .resilience
+            .checkpoint
+            .as_ref()
+            .filter(|c| c.resume)
+            .map(|c| c.path.clone());
+        self.runner.execute(resume.as_deref(), self.jobs)
+    }
+
+    /// Resumes from `path` on `jobs` workers; semantics are exactly
+    /// [`CampaignRunner::resume_from`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CampaignRunner::resume_from`].
+    pub fn resume_from(&self, path: &Path) -> Result<CampaignResult, DnnError> {
+        self.runner.execute(Some(path), self.jobs)
+    }
+}
+
 /// Locks a mutex, recovering from poisoning: a worker that panicked inside
 /// the runner's own bookkeeping (not the injection code, which unwinds
 /// before any lock is taken) still leaves consistent per-cell data.
@@ -785,13 +953,15 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Creates (or truncates) the checkpoint file and writes the header plus all
-/// already-completed cells.
+/// Creates (or truncates) the checkpoint file, writes the header plus all
+/// already-completed cells in plan-index order, and marks those indices as
+/// pre-committed skips so the ordered cursor passes over them.
 fn open_checkpoint(
     path: &Path,
     fingerprint: u64,
+    interval: usize,
     completed: &[Option<CellStats>],
-) -> Result<CkptState, DnnError> {
+) -> Result<OrderedCommit, DnnError> {
     let io_err = |what: &str, e: std::io::Error| DnnError::Campaign {
         message: format!("checkpoint {what} failed for {}: {e}", path.display()),
     };
@@ -803,39 +973,27 @@ fn open_checkpoint(
     let file = File::create(path).map_err(|e| io_err("creation", e))?;
     let mut writer = BufWriter::new(file);
     write_header(&mut writer, fingerprint).map_err(|e| io_err("header write", e))?;
+    let mut pending = BTreeMap::new();
     for (idx, cell) in completed.iter().enumerate() {
         if let Some(cell) = cell {
             write_cell(&mut writer, idx, cell).map_err(|e| io_err("cell write", e))?;
+            pending.insert(idx, None);
         }
     }
     writer.flush().map_err(|e| io_err("flush", e))?;
-    Ok(CkptState {
+    let mut state = OrderedCommit {
         writer,
+        interval,
         unflushed: 0,
-    })
-}
-
-/// Appends one completed cell to the shared checkpoint, flushing every
-/// `interval` cells. Returns whether this append flushed (for the
-/// `checkpoint.flush` trace event).
-fn append_cell(
-    state: &Mutex<CkptState>,
-    interval: usize,
-    idx: usize,
-    stats: &CellStats,
-) -> Result<bool, DnnError> {
-    let mut st = lock(state);
-    let io_err = |e: std::io::Error| DnnError::Campaign {
-        message: format!("checkpoint write failed: {e}"),
+        cursor: 0,
+        pending,
     };
-    write_cell(&mut st.writer, idx, stats).map_err(io_err)?;
-    st.unflushed += 1;
-    if st.unflushed >= interval {
-        st.writer.flush().map_err(io_err)?;
-        st.unflushed = 0;
-        return Ok(true);
+    // Advance past any restored prefix right away; the loop writes nothing
+    // (every entry is a skip), so no I/O error can surface here.
+    while state.pending.remove(&state.cursor).is_some() {
+        state.cursor += 1;
     }
-    Ok(false)
+    Ok(state)
 }
 
 fn cat_tag(category: FfCategory) -> u64 {
@@ -1004,6 +1162,171 @@ mod tests {
                 a.category,
                 a.prob_swmask(),
                 b.prob_swmask()
+            );
+        }
+    }
+
+    /// Scratch path for checkpoint-writing tests; unique per test name and
+    /// process so parallel test threads never collide.
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fidelity-campaign-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// The first and last non-global cells of the plan, as chaos victims
+    /// (global-control cells never reach the injection loop, so chaos cannot
+    /// fire there).
+    fn victim_pair(result: &CampaignResult) -> ((usize, FfCategory), (usize, FfCategory)) {
+        let non_global: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.category != FfCategory::GlobalControl)
+            .collect();
+        let first = non_global.first().unwrap();
+        let last = non_global.last().unwrap();
+        ((first.node, first.category), (last.node, last.category))
+    }
+
+    /// Regression (serial-ordering bug): failures used to be reported in
+    /// completion order, which depends on scheduling. They must come back in
+    /// plan order for any worker count — even when the chaos specs are
+    /// listed in the opposite order.
+    #[test]
+    fn failures_are_reported_in_plan_order() {
+        use crate::resilience::{ChaosMode, ChaosSpec};
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let mut spec = CampaignSpec {
+            samples_per_cell: 10,
+            seed: 13,
+            threads: 8,
+            record_events: false,
+            target_ci_halfwidth: None,
+            resilience: ResilienceSpec::default(),
+            progress: None,
+        };
+        let baseline = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+        let ((n1, c1), (n2, c2)) = victim_pair(&baseline);
+        spec.resilience.max_retries_per_cell = 0;
+        spec.resilience.failure_budget = 10;
+        // Reverse order in the spec: the report order must not follow it.
+        spec.resilience.chaos = vec![
+            ChaosSpec {
+                node: n2,
+                category: c2,
+                mode: ChaosMode::PanicAtSample(0),
+            },
+            ChaosSpec {
+                node: n1,
+                category: c1,
+                mode: ChaosMode::PanicAtSample(0),
+            },
+        ];
+        for _ in 0..4 {
+            let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+            assert_eq!(result.failures.len(), 2);
+            assert_eq!(
+                (result.failures[0].node, result.failures[0].category),
+                (n1, c1)
+            );
+            assert_eq!(
+                (result.failures[1].node, result.failures[1].category),
+                (n2, c2)
+            );
+        }
+    }
+
+    /// Regression (serial-ordering bug): the failure-budget abort used to
+    /// fire in every worker that observed the count above budget, with a
+    /// message carrying whatever count that worker happened to see. Now only
+    /// the worker whose increment lands exactly on budget + 1 aborts, so the
+    /// error is byte-identical for any job count.
+    #[test]
+    fn budget_abort_message_is_deterministic_across_job_counts() {
+        use crate::resilience::{ChaosMode, ChaosSpec};
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let mut spec = CampaignSpec {
+            samples_per_cell: 10,
+            seed: 29,
+            threads: 1,
+            record_events: false,
+            target_ci_halfwidth: None,
+            resilience: ResilienceSpec::default(),
+            progress: None,
+        };
+        let baseline = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+        let ((n1, c1), (n2, c2)) = victim_pair(&baseline);
+        spec.resilience.max_retries_per_cell = 0;
+        spec.resilience.failure_budget = 0;
+        spec.resilience.chaos = vec![
+            ChaosSpec {
+                node: n1,
+                category: c1,
+                mode: ChaosMode::PanicAtSample(0),
+            },
+            ChaosSpec {
+                node: n2,
+                category: c2,
+                mode: ChaosMode::PanicAtSample(0),
+            },
+        ];
+        let message = |jobs: usize| {
+            ParallelCampaignRunner::new(&engine, &trace, &cfg, &TopOneMatch, spec.clone())
+                .with_jobs(jobs)
+                .run()
+                .unwrap_err()
+                .to_string()
+        };
+        let serial = message(1);
+        assert!(
+            serial.contains("1 cells failed (budget 0)"),
+            "unexpected message: {serial}"
+        );
+        for jobs in [2, 4, 8] {
+            assert_eq!(serial, message(jobs), "jobs={jobs}");
+        }
+    }
+
+    /// Regression (serial-ordering bug): checkpoint records used to be
+    /// appended in completion order, so the file bytes depended on
+    /// scheduling. The ordered commit buffer must make them identical for
+    /// any worker count, including with per-injection events in the records.
+    #[test]
+    fn checkpoint_bytes_identical_across_job_counts() {
+        use crate::resilience::CheckpointSpec;
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let bytes = |jobs: usize| {
+            let path = scratch(&format!("ordered-commit-{jobs}.ckpt"));
+            let spec = CampaignSpec {
+                samples_per_cell: 15,
+                seed: 41,
+                threads: 1,
+                record_events: true,
+                target_ci_halfwidth: None,
+                resilience: ResilienceSpec {
+                    checkpoint: Some(CheckpointSpec::new(&path)),
+                    ..ResilienceSpec::default()
+                },
+                progress: None,
+            };
+            ParallelCampaignRunner::new(&engine, &trace, &cfg, &TopOneMatch, spec)
+                .with_jobs(jobs)
+                .run()
+                .unwrap();
+            let data = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            data
+        };
+        let serial = bytes(1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                serial,
+                bytes(jobs),
+                "checkpoint bytes diverge at jobs={jobs}"
             );
         }
     }

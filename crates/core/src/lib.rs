@@ -58,7 +58,9 @@ pub(crate) mod rtl_addr {
 }
 
 pub use analysis::{analyze, ResilienceAnalysis};
-pub use campaign::{run_campaign, CampaignResult, CampaignRunner, CampaignSpec};
+pub use campaign::{
+    run_campaign, CampaignResult, CampaignRunner, CampaignSpec, ParallelCampaignRunner,
+};
 pub use fit::{accelerator_fit_rate, FitBreakdown, PAPER_RAW_FIT_PER_MB};
 pub use models::{model_for, SoftwareFaultModel};
 pub use outcome::{CorrectnessMetric, Outcome, TopOneMatch};

@@ -55,9 +55,10 @@ pub struct ResilienceSpec {
     pub failure_budget: usize,
     /// Checkpoint persistence; `None` disables it.
     pub checkpoint: Option<CheckpointSpec>,
-    /// Fault injection for the injector itself (tests and drills); `None` in
-    /// production.
-    pub chaos: Option<ChaosSpec>,
+    /// Fault injection for the injector itself (tests and drills); empty in
+    /// production. Several specs may target different cells at once, which
+    /// is how multi-cell failure accounting is exercised.
+    pub chaos: Vec<ChaosSpec>,
 }
 
 impl Default for ResilienceSpec {
@@ -67,7 +68,7 @@ impl Default for ResilienceSpec {
             max_retries_per_cell: 1,
             failure_budget: 4,
             checkpoint: None,
-            chaos: None,
+            chaos: Vec::new(),
         }
     }
 }

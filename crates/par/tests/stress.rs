@@ -1,0 +1,127 @@
+//! Concurrency stress tests for the work-stealing pool: randomized steal
+//! pressure, a panicking task in the mix, and exactness of the shared `obs`
+//! counters the campaign runner aggregates through the pool (mirroring the
+//! 8-thread contention test in `crates/obs`).
+
+use std::panic::catch_unwind;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use fidelity_par::{PoolSpec, ShardPlan, WorkStealPool};
+
+/// N workers × M tasks under every shard plan and a sweep of seeds: every
+/// task executes exactly once, the pool returns (scoped workers exited), and
+/// the executed count is exact.
+#[test]
+fn no_lost_or_duplicated_tasks_under_steal_pressure() {
+    const TASKS: usize = 600;
+    for workers in [1, 2, 3, 4, 8] {
+        for (seed, plan) in [
+            (1, ShardPlan::Balanced),
+            (2, ShardPlan::RoundRobin(1)),
+            (3, ShardPlan::RoundRobin(7)),
+            (4, ShardPlan::Funnel),
+            (0xDEAD_BEEF, ShardPlan::Funnel),
+        ] {
+            let pool = WorkStealPool::new(PoolSpec {
+                workers,
+                seed,
+                plan,
+            });
+            let counts: Vec<AtomicU32> = (0..TASKS).map(|_| AtomicU32::new(0)).collect();
+            let stats = pool.run(TASKS, |i| {
+                // Uneven task costs drive rebalancing: every 13th task is
+                // ~100x heavier than the rest.
+                let spins = if i % 13 == 0 { 5_000 } else { 50 };
+                for s in 0..spins {
+                    std::hint::black_box(s);
+                }
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(
+                stats.executed, TASKS as u64,
+                "workers={workers} plan={plan:?}"
+            );
+            assert_eq!(stats.panicked, 0);
+            assert_eq!(stats.workers, workers.min(TASKS));
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c.load(Ordering::Relaxed),
+                    1,
+                    "task {i} ran wrong number of times (workers={workers}, plan={plan:?})"
+                );
+            }
+        }
+    }
+}
+
+/// A panicking task in the middle of a funnel run: the payload is re-raised
+/// from `run`, but only after every other task executed exactly once — the
+/// panic neither loses nor duplicates work, and the pool still shuts down
+/// cleanly (the scope in `run` cannot return with live workers).
+#[test]
+fn panicking_task_loses_nothing() {
+    const TASKS: usize = 300;
+    let counts: Vec<AtomicU32> = (0..TASKS).map(|_| AtomicU32::new(0)).collect();
+    let pool = WorkStealPool::new(PoolSpec {
+        workers: 8,
+        seed: 11,
+        plan: ShardPlan::Funnel,
+    });
+    let result = catch_unwind(|| {
+        pool.run(TASKS, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            assert!(i != 150, "chaos: task 150 panics");
+        });
+    });
+    assert!(result.is_err(), "the task panic must be re-raised");
+    for (i, c) in counts.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} lost or duplicated");
+    }
+}
+
+/// Exactness of `obs` metrics under pool contention: 8 workers hammering one
+/// shared counter and histogram through the pool lose no increments. This is
+/// the cross-crate version of the obs-internal contention test — the
+/// campaign runner relies on it when aggregating per-worker telemetry.
+#[test]
+fn obs_counters_are_exact_across_workers() {
+    const TASKS: usize = 4_000;
+    const PER_TASK: u64 = 5;
+    let counter = fidelity_obs::metrics::counter("par.stress.increments");
+    let histogram = fidelity_obs::metrics::histogram("par.stress.values");
+    let before = counter.get();
+    let pool = WorkStealPool::new(PoolSpec {
+        workers: 8,
+        seed: 77,
+        plan: ShardPlan::RoundRobin(3),
+    });
+    let stats = pool.run(TASKS, |i| {
+        for _ in 0..PER_TASK {
+            counter.inc();
+        }
+        histogram.record(i as u64);
+    });
+    assert_eq!(stats.executed, TASKS as u64);
+    assert_eq!(
+        counter.get() - before,
+        TASKS as u64 * PER_TASK,
+        "lost counter increments under contention"
+    );
+    assert_eq!(histogram.count(), TASKS as u64);
+}
+
+/// Repeated runs on one pool object: the pool is reusable configuration,
+/// and sequential runs do not interfere (fresh deques and termination state
+/// per run).
+#[test]
+fn pool_is_reusable_across_runs() {
+    let pool = WorkStealPool::new(PoolSpec::new(4));
+    for round in 0..5 {
+        let counts: Vec<AtomicU32> = (0..128).map(|_| AtomicU32::new(0)).collect();
+        let stats = pool.run(128, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(stats.executed, 128, "round {round}");
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

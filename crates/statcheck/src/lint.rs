@@ -108,6 +108,8 @@ impl Default for LintConfig {
                 "core/src/resilience.rs",
                 "core/src/analysis.rs",
                 "core/src/models.rs",
+                "par/src/pool.rs",
+                "par/src/lib.rs",
                 "rtl/src/engine.rs",
                 "rtl/src/systolic.rs",
                 "dnn/src/graph.rs",

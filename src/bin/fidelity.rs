@@ -4,7 +4,7 @@
 //! fidelity rfa      [--lanes N] [--hold N] [--eyeriss K T]
 //! fidelity analyze  --network NAME [--precision fp16|int16|int8]
 //!                   [--samples N] [--bounding SLACK] [--seed N]
-//!                   [--checkpoint PATH] [--resume]
+//!                   [--jobs N] [--checkpoint PATH] [--resume]
 //! fidelity validate --network NAME [--layer NAME] [--sites N] [--systolic]
 //! fidelity protect  --network NAME [--target FIT] [--samples N]
 //! fidelity report   --trace FILE
@@ -98,9 +98,9 @@ const USAGE: &str = "usage:
   fidelity rfa      [--lanes N] [--hold N] [--eyeriss K,T]
   fidelity analyze  --network NAME [--precision fp16|int16|int8]
                     [--samples N] [--bounding SLACK] [--seed N]
-                    [--checkpoint PATH] [--resume]
+                    [--jobs N] [--checkpoint PATH] [--resume]
   fidelity validate --network NAME [--layer NAME] [--sites N]
-  fidelity protect  --network NAME [--target FIT] [--samples N]
+  fidelity protect  --network NAME [--target FIT] [--samples N] [--jobs N]
   fidelity report   --trace FILE
   fidelity statcheck [--preset NAME]
   fidelity lint     [--root PATH]...
@@ -109,6 +109,10 @@ telemetry (analyze | validate | protect):
   --trace FILE      write structured JSONL trace events to FILE
   --progress        live campaign status line on stderr
   --metrics         print a metrics snapshot after the run
+
+parallelism (analyze | protect):
+  --jobs N          campaign worker threads (default: all cores); results
+                    are bit-identical for any N
 
 networks: inception | resnet | mobilenet | yolo | transformer | lstm";
 
@@ -279,6 +283,18 @@ fn spec_from(opts: &HashMap<String, String>) -> Result<CampaignSpec, String> {
         seed: get(opts, "seed", 0xF1DEu64)?,
         ..CampaignSpec::default()
     };
+    // `--jobs N` pins the worker count (default: available parallelism).
+    // Campaign results are bit-identical for any value; the flag only trades
+    // wall-clock for cores.
+    if let Some(jobs) = opts.get("jobs") {
+        let jobs: usize = jobs
+            .parse()
+            .map_err(|_| format!("--jobs: cannot parse `{jobs}`"))?;
+        if jobs == 0 {
+            return Err("--jobs must be at least 1".to_owned());
+        }
+        spec.threads = jobs;
+    }
     if opts.contains_key("progress") {
         spec.progress = Some(fidelity::obs::progress::ProgressSpec::default());
     }
@@ -423,10 +439,16 @@ fn cmd_lint(args: &[String], _opts: &HashMap<String, String>) -> Result<(), Stri
         .map(|(_, value)| std::path::PathBuf::from(value))
         .collect();
     if roots.is_empty() {
-        roots = ["crates/core", "crates/dnn", "crates/rtl", "crates/obs"]
-            .iter()
-            .map(std::path::PathBuf::from)
-            .collect();
+        roots = [
+            "crates/core",
+            "crates/dnn",
+            "crates/rtl",
+            "crates/obs",
+            "crates/par",
+        ]
+        .iter()
+        .map(std::path::PathBuf::from)
+        .collect();
         if !roots.iter().all(|r| r.is_dir()) {
             return Err(
                 "default lint roots not found; run from the workspace root or pass --root PATH"

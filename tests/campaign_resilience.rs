@@ -273,11 +273,11 @@ fn panicking_cell_degrades_without_aborting_campaign() {
     let (node, category) = victim_cell(&baseline);
 
     let mut chaotic = spec(20, 77);
-    chaotic.resilience.chaos = Some(ChaosSpec {
+    chaotic.resilience.chaos = vec![ChaosSpec {
         node,
         category,
         mode: ChaosMode::PanicAtSample(3),
-    });
+    }];
     let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &chaotic).unwrap();
 
     // Exactly one cell failed, with the panic payload preserved; retries
@@ -317,11 +317,11 @@ fn failure_budget_zero_aborts_campaign() {
     let mut chaotic = spec(10, 5);
     chaotic.resilience.failure_budget = 0;
     chaotic.resilience.max_retries_per_cell = 0;
-    chaotic.resilience.chaos = Some(ChaosSpec {
+    chaotic.resilience.chaos = vec![ChaosSpec {
         node,
         category,
         mode: ChaosMode::PanicAtSample(0),
-    });
+    }];
     let err = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &chaotic).unwrap_err();
     assert!(
         err.to_string().contains("failure budget exhausted"),
@@ -345,11 +345,11 @@ fn watchdog_reclassifies_stalled_injections_as_anomalies() {
     // of this micro-network finish far inside 250 ms.
     let mut stalled = spec(3, 11);
     stalled.resilience.injection_deadline = Some(Duration::from_millis(250));
-    stalled.resilience.chaos = Some(ChaosSpec {
+    stalled.resilience.chaos = vec![ChaosSpec {
         node,
         category,
         mode: ChaosMode::DelayPerInjection(Duration::from_millis(400)),
-    });
+    }];
     let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &stalled).unwrap();
 
     assert!(
@@ -394,11 +394,11 @@ fn killed_campaign_resumes_bit_identically() {
     killed.resilience.failure_budget = 0;
     killed.resilience.max_retries_per_cell = 0;
     killed.resilience.checkpoint = Some(CheckpointSpec::new(&ckpt.0));
-    killed.resilience.chaos = Some(ChaosSpec {
+    killed.resilience.chaos = vec![ChaosSpec {
         node,
         category,
         mode: ChaosMode::PanicAtSample(0),
-    });
+    }];
     let err = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &killed).unwrap_err();
     assert!(err.to_string().contains("failure budget exhausted"));
 
