@@ -1,26 +1,227 @@
 //! Criterion bench: per-injection cost of FIdelity software fault injection
 //! vs. register-level simulation (the Sec. VI speed claim), plus the
 //! telemetry overhead pair (instrumented vs. uninstrumented hot path).
+//!
+//! Before any timing, every MAC layer of the workload is self-checked: the
+//! packed kernels must reproduce `compute_at` bit-for-bit, so a perf
+//! regression can never silently buy speed with accuracy. The measured
+//! numbers (mean/best ns per injection for the pooled and allocating paths,
+//! per-layer kernel throughput, workspace pool hit rate) are merged into
+//! `BENCH_injection.json` at the workspace root. `FIDELITY_BENCH_QUICK=1`
+//! runs the self-check plus a short measurement and skips the Criterion
+//! sweeps — the CI smoke mode.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use fidelity_core::inject::inject_once;
+use criterion::{black_box, criterion_group, Criterion};
+use fidelity_bench::report;
+use fidelity_core::inject::{inject_once, inject_once_pooled};
 use fidelity_core::models::SoftwareFaultModel;
 use fidelity_core::outcome::TopOneMatch;
 use fidelity_core::validate::{random_sites, rtl_layer_for};
+use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::init::SplitMix64;
+use fidelity_dnn::macspec::{MacSpec, Operands};
 use fidelity_dnn::precision::Precision;
+use fidelity_dnn::tensor::Tensor;
+use fidelity_dnn::workspace::Workspace;
+use fidelity_obs::json::Json;
 use fidelity_rtl::{Disturbance, RtlEngine};
 use fidelity_workloads::classification_suite;
+
+/// The largest MAC layer: the representative injection target.
+fn target_node(engine: &Engine, trace: &Trace) -> usize {
+    (0..engine.network().node_count())
+        .filter(|&i| engine.mac_spec(i, trace).is_some())
+        .max_by_key(|&i| trace.node_outputs[i].len())
+        .expect("has MAC layers")
+}
+
+/// The operand pair of a MAC node (MatMul takes both from the trace; Conv
+/// and Dense keep their weight in the layer).
+fn operands_for<'a>(engine: &'a Engine, trace: &'a Trace, node: usize) -> Operands<'a> {
+    let spec = engine.mac_spec(node, trace).expect("MAC node");
+    let input = engine.node_input_at(node, 0, trace);
+    let weight: &Tensor = if matches!(spec, MacSpec::MatMul(_)) {
+        engine.node_input_at(node, 1, trace)
+    } else {
+        engine
+            .network()
+            .layer(node)
+            .weights()
+            .into_iter()
+            .next()
+            .expect("MAC layer has a weight")
+    };
+    Operands { input, weight }
+}
+
+/// Asserts that the packed kernels reproduce the per-neuron reference path
+/// bit-for-bit on every MAC layer. Returns the number of layers checked.
+fn kernel_self_check(engine: &Engine, trace: &Trace) -> usize {
+    let mut ws = Workspace::new();
+    let mut checked = 0;
+    for node in 0..engine.network().node_count() {
+        let Some(spec) = engine.mac_spec(node, trace) else {
+            continue;
+        };
+        let operands = operands_for(engine, trace, node);
+        let mut out = vec![0.0f32; spec.out_len()];
+        spec.forward_into_scratch(&operands, &mut out, ws.kernel_scratch());
+        for (off, &v) in out.iter().enumerate() {
+            let reference = spec.compute_at(&operands, off, None);
+            assert_eq!(
+                v.to_bits(),
+                reference.to_bits(),
+                "kernel/compute_at mismatch: node {node} ({}) offset {off}: \
+                 {v} != {reference}",
+                engine.network().layer(node).name(),
+            );
+        }
+        checked += 1;
+    }
+    checked
+}
+
+/// Times `forward_into_scratch` on every MAC layer; returns the `kernels`
+/// report section.
+fn kernel_throughput(engine: &Engine, trace: &Trace, reps: usize) -> Json {
+    let mut ws = Workspace::new();
+    let mut rows = Vec::new();
+    for node in 0..engine.network().node_count() {
+        let Some(spec) = engine.mac_spec(node, trace) else {
+            continue;
+        };
+        let operands = operands_for(engine, trace, node);
+        let mut out = vec![0.0f32; spec.out_len()];
+        spec.forward_into_scratch(&operands, &mut out, ws.kernel_scratch()); // warm
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            spec.forward_into_scratch(&operands, &mut out, ws.kernel_scratch());
+            black_box(&mut out);
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        let (mean_ns, best_ns) = report::mean_best(&samples);
+        rows.push(report::obj([
+            (
+                "layer",
+                Json::Str(engine.network().layer(node).name().to_owned()),
+            ),
+            ("macs", Json::Num(spec.macs() as f64)),
+            ("out_elems", Json::Num(spec.out_len() as f64)),
+            ("mean_ns", Json::Num(mean_ns)),
+            ("best_ns", Json::Num(best_ns)),
+            ("gmac_per_s", Json::Num(spec.macs() as f64 / mean_ns)),
+        ]));
+    }
+    Json::Arr(rows)
+}
+
+/// Times the pooled and allocating injection paths on the target node and
+/// writes the `per_injection` + `workspace` report sections.
+fn measure_injections(
+    engine: &Engine,
+    trace: &Trace,
+    network: &str,
+    node: usize,
+    reps: usize,
+) -> (f64, f64) {
+    let shoot_pooled = |rng: &mut SplitMix64, ws: &mut Workspace| {
+        inject_once_pooled(
+            engine,
+            trace,
+            node,
+            SoftwareFaultModel::OutputValue,
+            &TopOneMatch,
+            rng,
+            None,
+            ws,
+        )
+        .expect("fixed workload")
+    };
+    let mut ws = Workspace::new();
+    let mut rng_pooled = SplitMix64::new(2);
+    for _ in 0..5 {
+        black_box(shoot_pooled(&mut rng_pooled, &mut ws)); // warm the pool
+    }
+    ws.reset_counters();
+
+    // The two paths are timed in alternating batches so a background-load
+    // burst degrades both equally instead of skewing whichever block it
+    // happened to land on.
+    let mut rng_alloc = SplitMix64::new(2);
+    let samples = reps.clamp(1, 20);
+    let batch = (reps / samples).max(1);
+    let mut pooled = Vec::with_capacity(samples);
+    let mut alloc = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(shoot_pooled(&mut rng_pooled, &mut ws));
+        }
+        pooled.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(
+                inject_once(
+                    engine,
+                    trace,
+                    node,
+                    SoftwareFaultModel::OutputValue,
+                    &TopOneMatch,
+                    &mut rng_alloc,
+                )
+                .expect("fixed workload"),
+            );
+        }
+        alloc.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    let (pooled_mean, pooled_best) = report::mean_best(&pooled);
+    let (alloc_mean, alloc_best) = report::mean_best(&alloc);
+
+    report::update(
+        "per_injection",
+        report::obj([
+            ("network", Json::Str(network.to_owned())),
+            ("precision", Json::Str("Fp16".to_owned())),
+            ("node", Json::Num(node as f64)),
+            ("reps", Json::Num(reps as f64)),
+            // Keyed by the Criterion benchmark names so the report reads
+            // like the bench output: `fidelity_software` is the allocating
+            // `inject_once` entry point, `_pooled` the workspace-backed one.
+            (
+                "fidelity_software",
+                report::obj([
+                    ("mean_ns", Json::Num(alloc_mean)),
+                    ("best_ns", Json::Num(alloc_best)),
+                ]),
+            ),
+            (
+                "fidelity_software_pooled",
+                report::obj([
+                    ("mean_ns", Json::Num(pooled_mean)),
+                    ("best_ns", Json::Num(pooled_best)),
+                ]),
+            ),
+        ]),
+    );
+    report::update(
+        "workspace",
+        report::obj([
+            ("hits", Json::Num(ws.hits() as f64)),
+            ("misses", Json::Num(ws.misses() as f64)),
+            ("hit_rate", Json::Num(ws.hit_rate())),
+        ]),
+    );
+    (pooled_mean, alloc_mean)
+}
 
 fn bench_injection(c: &mut Criterion) {
     let workload = classification_suite(42).remove(0);
     let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
-    let node = (0..engine.network().node_count())
-        .filter(|&i| engine.mac_spec(i, &trace).is_some())
-        .max_by_key(|&i| trace.node_outputs[i].len())
-        .expect("has MAC layers");
+    let node = target_node(&engine, &trace);
     let rtl = RtlEngine::new(
         rtl_layer_for(&engine, &trace, node).expect("lifts to RTL"),
         16,
@@ -40,6 +241,23 @@ fn bench_injection(c: &mut Criterion) {
                 SoftwareFaultModel::OutputValue,
                 &TopOneMatch,
                 &mut rng,
+            )
+            .expect("fixed workload")
+        });
+    });
+    group.bench_function("fidelity_software_pooled", |b| {
+        let mut rng = SplitMix64::new(2);
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            inject_once_pooled(
+                &engine,
+                &trace,
+                node,
+                SoftwareFaultModel::OutputValue,
+                &TopOneMatch,
+                &mut rng,
+                None,
+                &mut ws,
             )
             .expect("fixed workload")
         });
@@ -86,10 +304,7 @@ impl fidelity_obs::trace::TraceSink for NullSink {
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let workload = classification_suite(42).remove(0);
     let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
-    let node = (0..engine.network().node_count())
-        .filter(|&i| engine.mac_spec(i, &trace).is_some())
-        .max_by_key(|&i| trace.node_outputs[i].len())
-        .expect("has MAC layers");
+    let node = target_node(&engine, &trace);
 
     let mut group = c.benchmark_group("telemetry_overhead");
     group.bench_function("uninstrumented", |b| {
@@ -133,4 +348,34 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_injection, bench_telemetry_overhead);
-criterion_main!(benches);
+
+fn main() {
+    // `cargo test` may invoke harness-less bench targets with libtest flags;
+    // only measure under `cargo bench` (or a bare invocation).
+    if std::env::args().any(|a| a == "--test" || a == "--list") {
+        return;
+    }
+    let quick = report::quick();
+    let workload = classification_suite(42).remove(0);
+    let network = workload.name.clone();
+    let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
+
+    // The bitwise gate comes first: nothing is timed until the packed
+    // kernels are proven identical to the reference accumulation.
+    let checked = kernel_self_check(&engine, &trace);
+    eprintln!("kernel self-check: {checked} MAC layers bitwise-identical to compute_at");
+
+    let node = target_node(&engine, &trace);
+    let (inj_reps, kern_reps) = if quick { (20, 3) } else { (200, 20) };
+    let (pooled_mean, alloc_mean) = measure_injections(&engine, &trace, &network, node, inj_reps);
+    eprintln!(
+        "per_injection ({network}): pooled mean {:.1}us, allocating mean {:.1}us",
+        pooled_mean / 1e3,
+        alloc_mean / 1e3
+    );
+    report::update("kernels", kernel_throughput(&engine, &trace, kern_reps));
+
+    if !quick {
+        benches();
+    }
+}

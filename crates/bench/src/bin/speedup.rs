@@ -15,12 +15,14 @@ use std::time::Instant;
 /// would cost; the measured columns are from the compact simulator itself.
 const RTL_SECONDS_PER_CYCLE: f64 = 1e-3;
 
+use fidelity_bench::report;
 use fidelity_core::inject::inject_once;
 use fidelity_core::models::SoftwareFaultModel;
 use fidelity_core::outcome::TopOneMatch;
 use fidelity_core::validate::{random_sites, rtl_layer_for};
 use fidelity_dnn::init::SplitMix64;
 use fidelity_dnn::precision::Precision;
+use fidelity_obs::json::Json;
 use fidelity_rtl::{Disturbance, RtlEngine};
 use fidelity_workloads::classification_suite;
 
@@ -29,6 +31,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let mut rows: Vec<Json> = Vec::new();
 
     println!("Sec. VI — per-injection wall-clock comparison ({reps} injections each)");
     fidelity_bench::rule(112);
@@ -98,6 +101,15 @@ fn main() {
         // cheap software remainder.
         let est_rtl = rtl.clean_cycles() as f64 * RTL_SECONDS_PER_CYCLE;
         let est_mixed = est_rtl + (mixed_time - rtl_time).max(0.0);
+        rows.push(report::obj([
+            ("network", Json::Str(name.clone())),
+            ("reps", Json::Num(reps as f64)),
+            ("register_level_ns", Json::Num(rtl_time * 1e9)),
+            ("mixed_mode_ns", Json::Num(mixed_time * 1e9)),
+            ("software_ns", Json::Num(sw_time * 1e9)),
+            ("est_rtl_over_sw", Json::Num(est_rtl / sw_time)),
+            ("est_mixed_over_sw", Json::Num(est_mixed / sw_time)),
+        ]));
         println!(
             "{:<12} {:>12.1}us {:>12.1}us {:>12.1}us {:>10} {:>11.0}s {:>13.0}x {:>13.0}x",
             name,
@@ -110,6 +122,7 @@ fn main() {
             est_mixed / sw_time
         );
     }
+    report::update("speedup", Json::Arr(rows));
     fidelity_bench::rule(112);
     println!("The compact golden simulator models registers, not gates, so its measured");
     println!("wall-clock understates true RTL cost by orders of magnitude. Scaling its cycle");

@@ -151,6 +151,131 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+pub mod report {
+    //! Machine-readable bench results.
+    //!
+    //! The perf benches (`injection_speed`, `inference`, the `speedup`
+    //! regenerator) each merge their own section into one
+    //! `BENCH_injection.json` at the workspace root, so a partial bench run
+    //! updates only its rows and the file stays the union of the latest
+    //! measurements. The format is the hand-rolled [`fidelity_obs::json`]
+    //! value (the build is offline; no serde).
+
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    use fidelity_obs::json::{self, Json};
+
+    /// True when `FIDELITY_BENCH_QUICK` is set (and not `0`): the CI smoke
+    /// mode — run the bitwise self-checks and a handful of timed reps, skip
+    /// the full Criterion sweeps.
+    pub fn quick() -> bool {
+        std::env::var("FIDELITY_BENCH_QUICK").is_ok_and(|v| v != "0")
+    }
+
+    /// Where the report lives: `FIDELITY_BENCH_JSON` when set, else
+    /// `BENCH_injection.json` at the workspace root (stable regardless of
+    /// the working directory cargo gives a bench or a bin).
+    pub fn path() -> PathBuf {
+        std::env::var_os("FIDELITY_BENCH_JSON").map_or_else(
+            || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_injection.json"),
+            PathBuf::from,
+        )
+    }
+
+    /// Builds a JSON object from literal key/value pairs.
+    pub fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Inserts or replaces `section` at the top level of the report file,
+    /// preserving every other section. A missing or unparsable file starts
+    /// fresh; write failures warn on stderr (benches must not die on a
+    /// read-only checkout).
+    pub fn update(section: &str, value: Json) {
+        let p = path();
+        let mut root: BTreeMap<String, Json> = std::fs::read_to_string(&p)
+            .ok()
+            .and_then(|s| json::parse(&s).ok())
+            .and_then(|j| match j {
+                Json::Obj(m) => Some(m),
+                _ => None,
+            })
+            .unwrap_or_default();
+        root.insert(section.to_owned(), value);
+        let mut out = String::new();
+        render(&Json::Obj(root), &mut out, 0);
+        out.push('\n');
+        match std::fs::write(&p, out) {
+            Ok(()) => eprintln!("wrote section `{section}` to {}", p.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", p.display()),
+        }
+    }
+
+    /// Pretty-prints a JSON value (2-space indent, stable key order).
+    pub fn render(j: &Json, out: &mut String, indent: usize) {
+        match j {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => json::number_into(out, *n),
+            Json::Str(s) => json::escape_into(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    render(item, out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                if m.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    json::escape_into(out, k);
+                    out.push_str(": ");
+                    render(v, out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Mean and best of a set of per-rep nanosecond samples.
+    pub fn mean_best(samples_ns: &[f64]) -> (f64, f64) {
+        if samples_ns.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let best = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        (mean, best)
+    }
+}
+
 /// Formats a FIT value with sensible precision.
 pub fn fit(v: f64) -> String {
     if v >= 100.0 {
@@ -182,5 +307,27 @@ mod tests {
         assert_eq!(fit(123.4), "123");
         assert_eq!(fit(9.5), "9.50");
         assert_eq!(fit(0.123), "0.123");
+    }
+
+    #[test]
+    fn report_render_round_trips() {
+        use fidelity_obs::json::{parse, Json};
+        let v = report::obj([
+            ("mean_ns", Json::Num(123.5)),
+            ("label", Json::Str("per_injection/fidelity_software".into())),
+            (
+                "kernels",
+                Json::Arr(vec![report::obj([("layer", Json::Str("conv".into()))])]),
+            ),
+        ]);
+        let mut s = String::new();
+        report::render(&v, &mut s, 0);
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn report_mean_best() {
+        assert_eq!(report::mean_best(&[2.0, 4.0]), (3.0, 2.0));
+        assert_eq!(report::mean_best(&[]), (0.0, 0.0));
     }
 }

@@ -29,6 +29,7 @@ use fidelity_accel::arch::AcceleratorConfig;
 use fidelity_accel::ff::FfCategory;
 use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::init::SplitMix64;
+use fidelity_dnn::workspace::Workspace;
 use fidelity_dnn::DnnError;
 use fidelity_obs::event;
 use fidelity_obs::metrics::{Counter, Histogram};
@@ -36,7 +37,7 @@ use fidelity_obs::progress::{CampaignProgress, CategoryKind, OutcomeKind, Progre
 use fidelity_obs::{clock, timing_enabled};
 use fidelity_par::{PoolSpec, ShardPlan, WorkStealPool};
 
-use crate::inject::inject_once_guarded;
+use crate::inject::inject_once_pooled;
 use crate::models::{model_for, SoftwareFaultModel};
 use crate::outcome::{CorrectnessMetric, Outcome};
 use crate::resilience::{
@@ -542,124 +543,131 @@ impl<'a> CampaignRunner<'a> {
             seed: spec.seed,
             plan: ShardPlan::Balanced,
         });
-        pool.run(plans.len(), |idx| {
-            if abort.load(Ordering::Relaxed) {
-                return;
-            }
-            if lock(&results)[idx].is_some() {
-                return; // restored from the checkpoint (pre-skipped at open)
-            }
-            let plan = &plans[idx];
-            let cat = cat_code(plan.category);
-            let cell_sw = clock::Stopwatch::start_if(timing_enabled());
-            let mut last: Option<(CellStats, FailureReason)> = None;
-            let mut completed = None;
-            for attempt in 0..max_attempts {
-                // Each attempt restarts the cell's RNG stream, so a
-                // successful retry is bit-identical to a clean run.
-                let mut stats = self.fresh_cell(plan);
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    self.run_cell(&mut stats, plan, progress.as_ref(), &metrics)
-                }));
-                match run {
-                    Ok(Ok(())) => {
-                        completed = Some(stats);
-                        break;
+        // One workspace per worker: injection tensors come from (and return
+        // to) the worker's pool, so steady-state cells allocate nothing.
+        // Workspaces never influence values, so sharding stays deterministic.
+        pool.run_with(
+            plans.len(),
+            |_worker| Workspace::new(),
+            |ws, idx| {
+                if abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                if lock(&results)[idx].is_some() {
+                    return; // restored from the checkpoint (pre-skipped at open)
+                }
+                let plan = &plans[idx];
+                let cat = cat_code(plan.category);
+                let cell_sw = clock::Stopwatch::start_if(timing_enabled());
+                let mut last: Option<(CellStats, FailureReason)> = None;
+                let mut completed = None;
+                for attempt in 0..max_attempts {
+                    // Each attempt restarts the cell's RNG stream, so a
+                    // successful retry is bit-identical to a clean run.
+                    let mut stats = self.fresh_cell(plan);
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        self.run_cell(&mut stats, plan, progress.as_ref(), &metrics, &mut *ws)
+                    }));
+                    match run {
+                        Ok(Ok(())) => {
+                            completed = Some(stats);
+                            break;
+                        }
+                        Ok(Err(e)) => {
+                            last = Some((stats, FailureReason::Error(e.to_string())));
+                        }
+                        Err(payload) => {
+                            last = Some((stats, FailureReason::Panic(panic_text(&*payload))));
+                        }
                     }
-                    Ok(Err(e)) => {
-                        last = Some((stats, FailureReason::Error(e.to_string())));
-                    }
-                    Err(payload) => {
-                        last = Some((stats, FailureReason::Panic(panic_text(&*payload))));
+                    if attempt + 1 < max_attempts {
+                        metrics.retries.inc();
+                        if let Some(p) = &progress {
+                            p.on_retry();
+                        }
+                        event!(
+                            "cell.retry",
+                            node = plan.node,
+                            cat = &cat,
+                            attempt = attempt + 1,
+                            reason = last.as_ref().map_or("", |(_, r)| reason_kind(r)),
+                        );
                     }
                 }
-                if attempt + 1 < max_attempts {
-                    metrics.retries.inc();
-                    if let Some(p) = &progress {
-                        p.on_retry();
+                match completed {
+                    Some(stats) => {
+                        event!(
+                            "cell.done",
+                            node = plan.node,
+                            cat = &cat,
+                            samples = stats.samples,
+                            masked = stats.masked,
+                            output_error = stats.output_error,
+                            anomaly = stats.anomaly,
+                            elapsed_us = cell_sw.elapsed_us().unwrap_or(0),
+                        );
+                        metrics.cells_done.inc();
+                        if let Some(p) = &progress {
+                            p.on_cell_done();
+                        }
+                        commit(idx, Some(stats.clone()));
+                        lock(&results)[idx] = Some(stats);
                     }
-                    event!(
-                        "cell.retry",
-                        node = plan.node,
-                        cat = &cat,
-                        attempt = attempt + 1,
-                        reason = last.as_ref().map_or("", |(_, r)| reason_kind(r)),
-                    );
-                }
-            }
-            match completed {
-                Some(stats) => {
-                    event!(
-                        "cell.done",
-                        node = plan.node,
-                        cat = &cat,
-                        samples = stats.samples,
-                        masked = stats.masked,
-                        output_error = stats.output_error,
-                        anomaly = stats.anomaly,
-                        elapsed_us = cell_sw.elapsed_us().unwrap_or(0),
-                    );
-                    metrics.cells_done.inc();
-                    if let Some(p) = &progress {
-                        p.on_cell_done();
-                    }
-                    commit(idx, Some(stats.clone()));
-                    lock(&results)[idx] = Some(stats);
-                }
-                None => {
-                    // Unreachable fallback: `last` is always set when
-                    // no attempt completed (max_attempts >= 1).
-                    let (partial, reason) = last.unwrap_or_else(|| {
-                        (
-                            self.fresh_cell(plan),
-                            FailureReason::Error("cell never ran".into()),
-                        )
-                    });
-                    let failed_so_far = failure_count.fetch_add(1, Ordering::Relaxed) + 1;
-                    event!(
-                        "cell.failed",
-                        node = plan.node,
-                        cat = &cat,
-                        attempts = max_attempts,
-                        samples = partial.samples,
-                        reason = reason_kind(&reason),
-                    );
-                    if let Some(p) = &progress {
-                        p.on_cell_failed();
-                    }
-                    lock(&failures).push((
-                        idx,
-                        CellFailure {
-                            node: plan.node,
-                            layer: partial.layer.clone(),
-                            category: plan.category,
-                            attempts: max_attempts,
-                            samples_completed: partial.samples,
-                            reason,
-                        },
-                    ));
-                    // The degraded cell keeps its partial tally: fewer
-                    // samples simply widen its Wilson interval. The ordered
-                    // commit records a skip (no bytes), so a resumed
-                    // campaign retries the cell.
-                    commit(idx, None);
-                    lock(&results)[idx] = Some(partial);
-                    // Exactly one worker observes the count crossing the
-                    // budget — the one whose `fetch_add` lands on budget + 1
-                    // — so the abort fires once with a message that does not
-                    // depend on how many other cells failed concurrently.
-                    if failed_so_far == spec.resilience.failure_budget + 1 {
-                        fatal(DnnError::Campaign {
-                            message: format!(
-                                "failure budget exhausted: {failed_so_far} cells \
-                                 failed (budget {})",
-                                spec.resilience.failure_budget
-                            ),
+                    None => {
+                        // Unreachable fallback: `last` is always set when
+                        // no attempt completed (max_attempts >= 1).
+                        let (partial, reason) = last.unwrap_or_else(|| {
+                            (
+                                self.fresh_cell(plan),
+                                FailureReason::Error("cell never ran".into()),
+                            )
                         });
+                        let failed_so_far = failure_count.fetch_add(1, Ordering::Relaxed) + 1;
+                        event!(
+                            "cell.failed",
+                            node = plan.node,
+                            cat = &cat,
+                            attempts = max_attempts,
+                            samples = partial.samples,
+                            reason = reason_kind(&reason),
+                        );
+                        if let Some(p) = &progress {
+                            p.on_cell_failed();
+                        }
+                        lock(&failures).push((
+                            idx,
+                            CellFailure {
+                                node: plan.node,
+                                layer: partial.layer.clone(),
+                                category: plan.category,
+                                attempts: max_attempts,
+                                samples_completed: partial.samples,
+                                reason,
+                            },
+                        ));
+                        // The degraded cell keeps its partial tally: fewer
+                        // samples simply widen its Wilson interval. The ordered
+                        // commit records a skip (no bytes), so a resumed
+                        // campaign retries the cell.
+                        commit(idx, None);
+                        lock(&results)[idx] = Some(partial);
+                        // Exactly one worker observes the count crossing the
+                        // budget — the one whose `fetch_add` lands on budget + 1
+                        // — so the abort fires once with a message that does not
+                        // depend on how many other cells failed concurrently.
+                        if failed_so_far == spec.resilience.failure_budget + 1 {
+                            fatal(DnnError::Campaign {
+                                message: format!(
+                                    "failure budget exhausted: {failed_so_far} cells \
+                                 failed (budget {})",
+                                    spec.resilience.failure_budget
+                                ),
+                            });
+                        }
                     }
                 }
-            }
-        });
+            },
+        );
 
         if let Some(state) = &ckpt {
             let mut st = lock(state);
@@ -742,6 +750,7 @@ impl<'a> CampaignRunner<'a> {
         plan: &CellPlan,
         progress: Option<&CampaignProgress>,
         metrics: &CampaignMetrics,
+        ws: &mut Workspace,
     ) -> Result<(), DnnError> {
         let spec = &self.spec;
         // Global control needs no simulation: Prob_SWmask is 0 by definition.
@@ -801,7 +810,7 @@ impl<'a> CampaignRunner<'a> {
                 }
             }
             let inj_sw = clock::Stopwatch::start_if(timing_enabled());
-            let inj = inject_once_guarded(
+            let inj = inject_once_pooled(
                 self.engine,
                 self.trace,
                 plan.node,
@@ -809,6 +818,7 @@ impl<'a> CampaignRunner<'a> {
                 self.metric,
                 &mut rng,
                 deadline,
+                ws,
             )?;
             metrics.injection_ns.record_opt(inj_sw.elapsed_ns());
             metrics.injections.inc();

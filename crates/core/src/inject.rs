@@ -11,9 +11,10 @@ use std::time::Instant;
 use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::init::SplitMix64;
 use fidelity_dnn::tensor::Tensor;
+use fidelity_dnn::workspace::Workspace;
 use fidelity_dnn::DnnError;
 
-use crate::models::{apply_model, ModelEffect, SoftwareFaultModel};
+use crate::models::{apply_model_pooled, ModelEffect, SoftwareFaultModel};
 use crate::outcome::{CorrectnessMetric, Outcome};
 
 /// Everything recorded about one injection experiment.
@@ -71,6 +72,48 @@ pub fn inject_once_guarded(
     rng: &mut SplitMix64,
     deadline: Option<Instant>,
 ) -> Result<Injection, DnnError> {
+    let mut ws = Workspace::new();
+    inject_once_core(
+        engine, trace, node, model, metric, rng, deadline, &mut ws, true,
+    )
+}
+
+/// [`inject_once_guarded`] drawing every tensor — the corrupted layer
+/// output, the recomputed downstream tensors, the final output — from a
+/// caller-owned [`Workspace`], so a warm pool makes steady-state injection
+/// allocation-free. The final output is recycled after classification
+/// (`final_output` is `None`); callers that need it use
+/// [`inject_once_guarded`]. Outcomes and RNG consumption are identical.
+///
+/// # Errors
+///
+/// As for [`inject_once_guarded`].
+#[allow(clippy::too_many_arguments)]
+pub fn inject_once_pooled(
+    engine: &Engine,
+    trace: &Trace,
+    node: usize,
+    model: SoftwareFaultModel,
+    metric: &dyn CorrectnessMetric,
+    rng: &mut SplitMix64,
+    deadline: Option<Instant>,
+    ws: &mut Workspace,
+) -> Result<Injection, DnnError> {
+    inject_once_core(engine, trace, node, model, metric, rng, deadline, ws, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn inject_once_core(
+    engine: &Engine,
+    trace: &Trace,
+    node: usize,
+    model: SoftwareFaultModel,
+    metric: &dyn CorrectnessMetric,
+    rng: &mut SplitMix64,
+    deadline: Option<Instant>,
+    ws: &mut Workspace,
+    keep_output: bool,
+) -> Result<Injection, DnnError> {
     let timeout = |faulty_neurons: usize, max_perturbation: f32| Injection {
         outcome: Outcome::SystemAnomaly,
         faulty_neurons,
@@ -81,7 +124,7 @@ pub fn inject_once_guarded(
     // Monotonic watchdog deadline check via the obs clock (the workspace's
     // sanctioned wall-clock site); never feeds campaign statistics.
     let expired = || deadline.is_some_and(|d| fidelity_obs::clock::now() >= d);
-    let injection = match apply_model(model, engine, trace, node, rng)? {
+    let injection = match apply_model_pooled(model, engine, trace, node, rng, ws)? {
         ModelEffect::Masked => Injection {
             outcome: Outcome::Masked,
             faulty_neurons: 0,
@@ -97,24 +140,29 @@ pub fn inject_once_guarded(
             watchdog: false,
         },
         ModelEffect::Layer(app) => {
-            let final_output =
-                match engine.resume_with_deadline(trace, node, app.layer_output, deadline) {
-                    Ok(out) => out,
-                    Err(DnnError::DeadlineExceeded) => {
-                        return Ok(timeout(app.faulty_neurons.len(), app.max_perturbation));
-                    }
-                    Err(e) => return Err(e),
-                };
-            let outcome = if metric.is_correct(&trace.output, &final_output) {
+            let resumed = match engine.resume_pooled(trace, node, app.layer_output, deadline, ws) {
+                Ok(out) => out,
+                Err(DnnError::DeadlineExceeded) => {
+                    return Ok(timeout(app.faulty_neurons.len(), app.max_perturbation));
+                }
+                Err(e) => return Err(e),
+            };
+            let outcome = if metric.is_correct(&trace.output, resumed.tensor()) {
                 Outcome::Masked
             } else {
                 Outcome::OutputError
+            };
+            let final_output = if keep_output {
+                Some(resumed.into_owned())
+            } else {
+                resumed.recycle_into(ws);
+                None
             };
             Injection {
                 outcome,
                 faulty_neurons: app.faulty_neurons.len(),
                 max_perturbation: app.max_perturbation,
-                final_output: Some(final_output),
+                final_output,
                 watchdog: false,
             }
         }
@@ -210,6 +258,82 @@ mod tests {
         // label.
         assert!(masked > 0, "expected some masked outcomes");
         assert!(failed > 0, "expected some output errors");
+    }
+
+    #[test]
+    fn pooled_and_guarded_injections_agree() {
+        use fidelity_dnn::macspec::OperandKind;
+        let (engine, trace) = tiny_classifier();
+        let mut ws = Workspace::new();
+        let models = [
+            SoftwareFaultModel::OutputValue,
+            SoftwareFaultModel::LocalControl,
+            SoftwareFaultModel::BeforeBuffer {
+                kind: OperandKind::Input,
+            },
+            SoftwareFaultModel::BeforeBuffer {
+                kind: OperandKind::Weight,
+            },
+        ];
+        for model in models {
+            let mut r1 = SplitMix64::new(99);
+            let mut r2 = SplitMix64::new(99);
+            for _ in 0..25 {
+                let a = inject_once_guarded(&engine, &trace, 0, model, &TopOneMatch, &mut r1, None)
+                    .unwrap();
+                let b = inject_once_pooled(
+                    &engine,
+                    &trace,
+                    0,
+                    model,
+                    &TopOneMatch,
+                    &mut r2,
+                    None,
+                    &mut ws,
+                )
+                .unwrap();
+                assert_eq!(a.outcome, b.outcome);
+                assert_eq!(a.faulty_neurons, b.faulty_neurons);
+                assert_eq!(a.max_perturbation.to_bits(), b.max_perturbation.to_bits());
+                assert_eq!(a.watchdog, b.watchdog);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_injection_is_allocation_free_after_warmup() {
+        let (engine, trace) = tiny_classifier();
+        let mut ws = Workspace::new();
+        let mut rng = SplitMix64::new(7);
+        let shoot = |ws: &mut Workspace, rng: &mut SplitMix64| {
+            inject_once_pooled(
+                &engine,
+                &trace,
+                0,
+                SoftwareFaultModel::OutputValue,
+                &TopOneMatch,
+                rng,
+                None,
+                ws,
+            )
+            .unwrap()
+        };
+        for _ in 0..10 {
+            shoot(&mut ws, &mut rng);
+        }
+        ws.reset_counters();
+        for _ in 0..50 {
+            shoot(&mut ws, &mut rng);
+        }
+        // The pool-hit metric is the zero-allocation acceptance check:
+        // `unsafe_code` is forbidden workspace-wide, so a counting global
+        // allocator is off the table.
+        assert!(ws.hits() > 0);
+        assert_eq!(
+            ws.misses(),
+            0,
+            "steady-state injections must draw every f32 buffer from the pool"
+        );
     }
 
     #[test]

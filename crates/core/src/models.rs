@@ -17,6 +17,7 @@ use fidelity_dnn::init::SplitMix64;
 use fidelity_dnn::macspec::{MacSpec, OperandKind, Operands, Substitution};
 use fidelity_dnn::precision::ValueCodec;
 use fidelity_dnn::tensor::Tensor;
+use fidelity_dnn::workspace::Workspace;
 use fidelity_dnn::DnnError;
 
 /// The 2-D extent of the output-neuron window a buffer-to-MAC operand fault
@@ -170,22 +171,29 @@ struct MacOperands<'a> {
 
 fn mac_operands<'a>(engine: &'a Engine, trace: &'a Trace, node: usize) -> Option<MacOperands<'a>> {
     let spec = engine.mac_spec(node, trace)?;
-    let inputs = engine.node_inputs(node, trace);
-    let input_codecs = engine.node_input_codecs(node);
-    let layer = engine.network().layer(node);
+    let n_src = engine.node_source_count(node);
+    if n_src == 0 {
+        return None;
+    }
     let (weight, weight_codec) = if matches!(spec, MacSpec::MatMul(_)) {
-        (inputs.get(1).copied()?, *input_codecs.get(1)?)
+        if n_src < 2 {
+            return None;
+        }
+        (
+            engine.node_input_at(node, 1, trace),
+            engine.node_input_codec_at(node, 1),
+        )
     } else {
         // Conv / Dense keep their weight in the layer. We look it up through
         // the trace-independent accessor; codec index 0 is the main weight.
-        let w = layer.weights().into_iter().next()?;
+        let w = engine.network().layer(node).weights().into_iter().next()?;
         (w, engine.weight_codec(node, 0)?)
     };
     Some(MacOperands {
         spec,
-        input: inputs.first().copied()?,
+        input: engine.node_input_at(node, 0, trace),
         weight,
-        input_codec: *input_codecs.first()?,
+        input_codec: engine.node_input_codec_at(node, 0),
         weight_codec,
     })
 }
@@ -202,6 +210,26 @@ pub fn apply_model(
     trace: &Trace,
     node: usize,
     rng: &mut SplitMix64,
+) -> Result<ModelEffect, DnnError> {
+    let mut ws = Workspace::new();
+    apply_model_pooled(model, engine, trace, node, rng, &mut ws)
+}
+
+/// [`apply_model`] drawing the corrupted layer output from a caller-owned
+/// [`Workspace`] instead of the global allocator — the campaign hot path.
+/// Sampling, RNG consumption, and every produced value are identical to
+/// [`apply_model`]; only the memory source differs.
+///
+/// # Errors
+///
+/// Returns [`DnnError`] if `node` is not a MAC layer.
+pub fn apply_model_pooled(
+    model: SoftwareFaultModel,
+    engine: &Engine,
+    trace: &Trace,
+    node: usize,
+    rng: &mut SplitMix64,
+    ws: &mut Workspace,
 ) -> Result<ModelEffect, DnnError> {
     if matches!(model, SoftwareFaultModel::GlobalControl) {
         return Ok(ModelEffect::SystemFailure);
@@ -248,7 +276,7 @@ pub fn apply_model(
     let mut faulty_neurons = Vec::new();
     let mut faulty_values = Vec::new();
     let mut max_pert = 0.0f32;
-    let mut layer_output = clean_out.clone();
+    let mut layer_output = ws.clone_of(clean_out);
     for (off, val) in neurons.into_iter().zip(values) {
         let clean = clean_out.data()[off];
         let differs = val.is_nan() || clean.is_nan() || (val - clean).abs() > 0.0;
@@ -265,6 +293,7 @@ pub fn apply_model(
         }
     }
     if faulty_neurons.is_empty() {
+        ws.recycle(layer_output);
         return Ok(ModelEffect::Masked);
     }
     Ok(ModelEffect::Layer(FaultApplication {
@@ -384,13 +413,17 @@ fn select_window(
     };
     let gsel = groups[rng.next_below(groups.len() as u64) as usize];
 
-    let user_set: std::collections::HashSet<usize> = users.iter().copied().collect();
+    // `neurons_using_input` / `neurons_using_weight` emit offsets in strictly
+    // ascending order for every MacSpec kind (their loops walk batch, then
+    // channel, then position with monotone offset formulas), so membership is
+    // a binary search — no per-injection hash set.
+    debug_assert!(users.windows(2).all(|w| w[0] < w[1]));
     let mut out = Vec::new();
     for &p in &pos_block {
         for &c in &channels {
             if c / window.channels == gsel {
                 let off = spec.offset_of(p, c);
-                if user_set.contains(&off) {
+                if users.binary_search(&off).is_ok() {
                     out.push(off);
                 }
             }

@@ -173,12 +173,11 @@ pub fn predict(engine: &RtlEngine, site: FaultSite) -> Prediction {
                 return Prediction::Masked;
             }
             let off = spec.offset_of((s_base + slot as u64) as usize, c as usize);
-            let value = layer.output_codec.quantize(spec.compute_at_acc_flip(
-                &operands,
-                off,
-                flip_before,
-                site.bit,
-            ));
+            let flip = fidelity_dnn::macspec::AccFlip::new(flip_before, site.bit)
+                .expect("accumulator fault sites carry f32 bit indices (inventory width 32)");
+            let value = layer
+                .output_codec
+                .quantize(spec.compute_at_acc_flip(&operands, off, flip));
             finish_neurons(engine, vec![off], vec![Some(value)])
         }
         FfId::OutputReg { lane } => match sched {

@@ -247,12 +247,11 @@ pub fn predict_systolic(engine: &SystolicEngine, site: SysFaultSite) -> Predicti
             }
             let p = row * out_w + col;
             let off = spec.offset_of(p as usize, c as usize);
-            let value = layer.output_codec.quantize(spec.compute_at_acc_flip(
-                &operands,
-                off,
-                flip_before,
-                site.bit,
-            ));
+            let flip = fidelity_dnn::macspec::AccFlip::new(flip_before, site.bit)
+                .expect("accumulator fault sites carry f32 bit indices (inventory width 32)");
+            let value = layer
+                .output_codec
+                .quantize(spec.compute_at_acc_flip(&operands, off, flip));
             finish(vec![off], vec![Some(value)])
         }
         SysFfId::OutputReg { pe } => match sched {

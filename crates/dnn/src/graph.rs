@@ -22,6 +22,7 @@ use crate::layers::Layer;
 use crate::macspec::MacSpec;
 use crate::precision::{calibrate_scale, Precision, ValueCodec};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Where a node input comes from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -274,6 +275,11 @@ pub struct Engine {
     node_codecs: Vec<ValueCodec>,
     weight_codecs: Vec<Vec<ValueCodec>>,
     node_bounds: Option<Vec<f32>>,
+    /// Transitive-dependents bitset per node, built once at construction:
+    /// bit `j` of `downstream[i]` is set iff node `j` must be recomputed
+    /// when node `i`'s output changes. Lets `resume` skip unaffected nodes
+    /// without re-walking the graph per injection.
+    downstream: Vec<Vec<u64>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -312,8 +318,9 @@ impl Engine {
         let mut input_max = vec![0.0f32; n_inputs];
         let mut node_max = vec![0.0f32; n_nodes];
         if !precision.is_float() {
+            let mut ws = Workspace::new();
             for sample in calibration_inputs {
-                let trace = run(&network, sample, None, None, None, None, None)?.1;
+                let trace = run(&network, sample, None, None, None, None, None, &mut ws)?.1;
                 for (m, t) in input_max.iter_mut().zip(&trace.inputs) {
                     *m = m.max(t.max_abs());
                 }
@@ -352,6 +359,7 @@ impl Engine {
             weight_codecs.push(codecs);
         }
 
+        let downstream = build_downstream(&network);
         Ok(Engine {
             network,
             precision,
@@ -359,6 +367,7 @@ impl Engine {
             node_codecs,
             weight_codecs,
             node_bounds: None,
+            downstream,
         })
     }
 
@@ -452,6 +461,31 @@ impl Engine {
         Ok(self.run(inputs, None, None)?.0)
     }
 
+    /// [`Engine::forward`] drawing temporaries from a caller-held
+    /// [`Workspace`], so repeated inference reuses buffers instead of
+    /// allocating. Results are bit-identical to [`Engine::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from layers.
+    pub fn forward_pooled(
+        &self,
+        inputs: &[Tensor],
+        ws: &mut Workspace,
+    ) -> Result<Tensor, DnnError> {
+        Ok(run(
+            &self.network,
+            inputs,
+            Some(&self.input_codecs),
+            Some(&self.node_codecs),
+            None,
+            self.node_bounds.as_deref(),
+            None,
+            ws,
+        )?
+        .0)
+    }
+
     /// Runs the network recording all intermediates.
     ///
     /// # Errors
@@ -496,24 +530,158 @@ impl Engine {
         replacement: Tensor,
         deadline: Option<Instant>,
     ) -> Result<Tensor, DnnError> {
-        if node_idx >= self.network.node_count() {
+        let mut ws = Workspace::new();
+        Ok(self
+            .resume_pooled(trace, node_idx, replacement, deadline, &mut ws)?
+            .into_owned())
+    }
+
+    /// The allocation-free injection hot path: like
+    /// [`Engine::resume_with_deadline`], but every recomputed tensor is drawn
+    /// from `ws` and clean nodes are *borrowed* from the trace instead of
+    /// cloned. After a warm-up injection the steady state performs zero heap
+    /// allocation (measurable via [`Workspace::hit_rate`]).
+    ///
+    /// Which nodes to recompute comes from the transitive-dependents bitsets
+    /// built at engine construction — no per-injection graph walk.
+    ///
+    /// Results are bit-identical to [`Engine::resume_with_deadline`]: the
+    /// accumulation order, quantization and bounding of every recomputed
+    /// value are unchanged; only the provenance of the memory differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from layers. Returns
+    /// [`DnnError::InvalidConfig`] when `node_idx` is out of range and
+    /// [`DnnError::DeadlineExceeded`] when the deadline fires.
+    pub fn resume_pooled<'t>(
+        &self,
+        trace: &'t Trace,
+        node_idx: usize,
+        replacement: Tensor,
+        deadline: Option<Instant>,
+        ws: &mut Workspace,
+    ) -> Result<ResumedOutput<'t>, DnnError> {
+        let n = self.network.node_count();
+        if node_idx >= n {
             return Err(DnnError::InvalidConfig {
                 message: format!(
-                    "resume node index {node_idx} out of range (network has {} nodes)",
-                    self.network.node_count()
+                    "resume node index {node_idx} out of range (network has {n} nodes)"
                 ),
             });
         }
-        Ok(run(
-            &self.network,
-            &trace.inputs,
-            Some(&self.input_codecs),
-            Some(&self.node_codecs),
-            Some((node_idx, replacement, trace)),
-            self.node_bounds.as_deref(),
-            deadline,
-        )?
-        .0)
+        if let Some(d) = deadline {
+            if fidelity_obs::clock::now() >= d {
+                fidelity_obs::metrics::counter("dnn.deadline_exceeded").inc();
+                return Err(DnnError::DeadlineExceeded);
+            }
+        }
+
+        let down = &self.downstream[node_idx];
+        let mut slots = ws.take_slots(n);
+
+        // The corrupted writeback passes through the same bounding hardware
+        // as a clean one; it is deliberately NOT re-quantized (matching the
+        // fault model: the corruption is what the datapath wrote back).
+        let mut repl = replacement;
+        if let Some(bounds) = &self.node_bounds {
+            let bound = bounds[node_idx];
+            repl.map_inplace(|v| clamp_to_bound(v, bound));
+        }
+        slots[node_idx] = Some(repl);
+
+        let mut failure: Option<DnnError> = None;
+        for idx in node_idx + 1..n {
+            if down[idx / 64] >> (idx % 64) & 1 == 0 {
+                continue; // not downstream of the corruption: trace is valid
+            }
+            if let Some(d) = deadline {
+                if fidelity_obs::clock::now() >= d {
+                    fidelity_obs::metrics::counter("dnn.deadline_exceeded").inc();
+                    failure = Some(DnnError::DeadlineExceeded);
+                    break;
+                }
+            }
+            let node = &self.network.nodes[idx];
+            let resolve = |src: &Source| -> &Tensor {
+                match src {
+                    Source::Input(i) => &trace.inputs[*i],
+                    Source::Node(j) => match &slots[*j] {
+                        Some(t) => t,
+                        None => &trace.node_outputs[*j],
+                    },
+                }
+            };
+            // Input refs live on the stack for the common arities; a node
+            // wider than the buffer (huge concat) falls back to a Vec.
+            let mut ref_buf: [&Tensor; 8] = [&trace.output; 8];
+            let ref_vec: Vec<&Tensor>;
+            let in_refs: &[&Tensor] = if node.sources.len() <= ref_buf.len() {
+                for (k, src) in node.sources.iter().enumerate() {
+                    ref_buf[k] = resolve(src);
+                }
+                &ref_buf[..node.sources.len()]
+            } else {
+                ref_vec = node.sources.iter().map(resolve).collect();
+                &ref_vec
+            };
+            match node.layer.forward(in_refs, ws) {
+                Ok(mut raw) => {
+                    let codec = self.node_codecs[idx];
+                    // Same on-grid skip as the full executor: value-
+                    // preserving layers whose sources share this codec emit
+                    // values the quantizer maps to themselves.
+                    let on_grid = self.node_bounds.is_none()
+                        && node.layer.values_preserved()
+                        && node.sources.iter().all(|src| match src {
+                            Source::Input(i) => self.input_codecs[*i] == codec,
+                            Source::Node(j) => self.node_codecs[*j] == codec,
+                        });
+                    if codec.precision() != Precision::Fp32 && !on_grid {
+                        raw.map_inplace(|v| codec.quantize(v));
+                    }
+                    if let Some(bounds) = &self.node_bounds {
+                        let bound = bounds[idx];
+                        raw.map_inplace(|v| clamp_to_bound(v, bound));
+                    }
+                    slots[idx] = Some(raw);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            ws.put_slots(slots);
+            return Err(e);
+        }
+
+        let out = match self.network.output {
+            Source::Input(i) => ResumedOutput::Borrowed(&trace.inputs[i]),
+            Source::Node(i) => match slots[i].take() {
+                Some(t) => ResumedOutput::Owned(t),
+                None => ResumedOutput::Borrowed(&trace.node_outputs[i]),
+            },
+        };
+        ws.put_slots(slots);
+        Ok(out)
+    }
+
+    /// Whether node `dependent` transitively consumes node `of`'s output
+    /// (from the precomputed downstream bitsets).
+    pub fn depends_on(&self, dependent: usize, of: usize) -> bool {
+        self.downstream
+            .get(of)
+            .is_some_and(|d| d[dependent / 64] >> (dependent % 64) & 1 == 1)
+    }
+
+    /// Number of nodes that must be recomputed when node `idx` is corrupted.
+    pub fn downstream_count(&self, idx: usize) -> usize {
+        self.downstream[idx]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// The MAC geometry of node `idx` given the input shapes recorded in
@@ -556,6 +724,41 @@ impl Engine {
             .collect()
     }
 
+    /// Number of input tensors node `idx` consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn node_source_count(&self, idx: usize) -> usize {
+        self.network.nodes[idx].sources.len()
+    }
+
+    /// The `k`-th input tensor of node `idx` as recorded in `trace` — the
+    /// allocation-free counterpart of [`Engine::node_inputs`] for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` or `k` is out of range.
+    pub fn node_input_at<'t>(&self, idx: usize, k: usize, trace: &'t Trace) -> &'t Tensor {
+        match self.network.nodes[idx].sources[k] {
+            Source::Input(i) => &trace.inputs[i],
+            Source::Node(i) => &trace.node_outputs[i],
+        }
+    }
+
+    /// The codec of the `k`-th input tensor of node `idx` — the
+    /// allocation-free counterpart of [`Engine::node_input_codecs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` or `k` is out of range.
+    pub fn node_input_codec_at(&self, idx: usize, k: usize) -> ValueCodec {
+        match self.network.nodes[idx].sources[k] {
+            Source::Input(i) => self.input_codecs[i],
+            Source::Node(i) => self.node_codecs[i],
+        }
+    }
+
     fn run(
         &self,
         inputs: &[Tensor],
@@ -569,6 +772,7 @@ impl Engine {
             (Some((i, t)), Some(trace)) => Some((i, t, trace)),
             _ => None,
         };
+        let mut ws = Workspace::new();
         run(
             &self.network,
             inputs,
@@ -577,8 +781,70 @@ impl Engine {
             replace,
             self.node_bounds.as_deref(),
             None,
+            &mut ws,
         )
     }
+}
+
+/// The result of a pooled resume: the network output, either borrowed from
+/// the clean trace (the corruption never reached it) or owned (recomputed).
+#[derive(Debug)]
+pub enum ResumedOutput<'t> {
+    /// The output was unaffected by the corruption; this borrows the clean
+    /// trace's tensor without copying.
+    Borrowed(&'t Tensor),
+    /// The output was recomputed (its buffer came from the workspace pool;
+    /// hand it back via [`Workspace::recycle`] when done).
+    Owned(Tensor),
+}
+
+impl ResumedOutput<'_> {
+    /// The output tensor.
+    pub fn tensor(&self) -> &Tensor {
+        match self {
+            ResumedOutput::Borrowed(t) => t,
+            ResumedOutput::Owned(t) => t,
+        }
+    }
+
+    /// Converts to an owned tensor, cloning when borrowed.
+    pub fn into_owned(self) -> Tensor {
+        match self {
+            ResumedOutput::Borrowed(t) => t.clone(),
+            ResumedOutput::Owned(t) => t,
+        }
+    }
+
+    /// Returns the output's buffers to `ws` when owned (no-op when
+    /// borrowed) — the steady-state epilogue of an injection.
+    pub fn recycle_into(self, ws: &mut Workspace) {
+        if let ResumedOutput::Owned(t) = self {
+            ws.recycle(t);
+        }
+    }
+}
+
+/// Builds the transitive-dependents bitset for every node: walking nodes in
+/// reverse topological order, each consumer folds its own downstream set
+/// into its producers'.
+fn build_downstream(network: &Network) -> Vec<Vec<u64>> {
+    let n = network.nodes.len();
+    let words = n.div_ceil(64);
+    let mut down = vec![vec![0u64; words]; n];
+    for j in (0..n).rev() {
+        for src in &network.nodes[j].sources {
+            if let Source::Node(i) = src {
+                // Topological order guarantees i < j, so the split is safe.
+                let (head, tail) = down.split_at_mut(j);
+                let di = &mut head[*i];
+                for (a, b) in di.iter_mut().zip(tail[0].iter()) {
+                    *a |= *b;
+                }
+                di[j / 64] |= 1 << (j % 64);
+            }
+        }
+    }
+    down
 }
 
 /// Clamps a value to `[-bound, bound]`; non-finite values saturate to the
@@ -592,6 +858,7 @@ fn clamp_to_bound(v: f32, bound: f32) -> f32 {
 
 /// Core executor shared by calibration (no codecs) and engine runs. The
 /// deadline, when set, is checked at every node boundary.
+#[allow(clippy::too_many_arguments)]
 fn run(
     network: &Network,
     inputs: &[Tensor],
@@ -600,6 +867,7 @@ fn run(
     replace: Option<(usize, Tensor, &Trace)>,
     bounds: Option<&[f32]>,
     deadline: Option<Instant>,
+    ws: &mut Workspace,
 ) -> Result<(Tensor, Trace), DnnError> {
     if inputs.len() != network.input_names.len() {
         return Err(DnnError::ArityMismatch {
@@ -675,11 +943,24 @@ fn run(
                 Source::Node(i) => &outputs[*i],
             })
             .collect();
-        let raw = node.layer.forward(&in_refs)?;
-        outputs.push(apply_bound(
-            idx,
-            quantize(&raw, node_codecs.map(|c| &c[idx])),
-        ));
+        let mut raw = node.layer.forward(&in_refs, ws)?;
+        if let Some(c) = node_codecs.map(|cs| &cs[idx]) {
+            // Value-preserving layers (concat, reshape, max-pool, ReLU) fed
+            // exclusively by sources already on this codec's grid emit
+            // values the quantizer would map to themselves — skip the
+            // per-element pass. Bounding clamps can move values off-grid, so
+            // the skip only applies unbounded.
+            let on_grid = bounds.is_none()
+                && node.layer.values_preserved()
+                && node.sources.iter().all(|src| match src {
+                    Source::Input(i) => input_codecs.is_some_and(|ic| ic[*i] == *c),
+                    Source::Node(j) => node_codecs.is_some_and(|nc| nc[*j] == *c),
+                });
+            if c.precision() != Precision::Fp32 && !on_grid {
+                raw.map_inplace(|v| c.quantize(v));
+            }
+        }
+        outputs.push(apply_bound(idx, raw));
     }
 
     let out = match network.output {
@@ -805,6 +1086,57 @@ mod tests {
         let y = engine.forward(&[x]).unwrap();
         for &v in y.data() {
             assert_eq!(crate::f16::round_to_f16(v), v);
+        }
+    }
+
+    /// Backs the value-preserving quantize skip: every traced node output —
+    /// including those of skipped layers (ReLU, max-pool, concat, flatten) —
+    /// must already sit on its codec's grid, i.e. re-quantization is a
+    /// bitwise no-op. Runs both precisions the executors skip under.
+    #[test]
+    fn trace_outputs_are_quantize_idempotent() {
+        use crate::layers::{Concat, Conv2d, Flatten, Pool2d, PoolKind};
+
+        let net = || {
+            let conv_w = crate::init::uniform_tensor(11, vec![4, 2, 3, 3], 0.6);
+            let fc_w = crate::init::uniform_tensor(12, vec![3, 32], 0.6);
+            NetworkBuilder::new("grid")
+                .input("x")
+                .layer(
+                    Conv2d::new("conv", conv_w).unwrap().with_padding(1, 1),
+                    &["x"],
+                )
+                .unwrap()
+                .layer(Activation::new("relu", ActivationKind::Relu), &["conv"])
+                .unwrap()
+                .layer(
+                    Pool2d::new("pool", PoolKind::Max, 2).with_stride(2),
+                    &["relu"],
+                )
+                .unwrap()
+                .layer(Concat::new("cat", 1), &["pool", "pool"])
+                .unwrap()
+                .layer(Flatten::new("flat"), &["cat"])
+                .unwrap()
+                .layer(Dense::new("fc", fc_w).unwrap(), &["flat"])
+                .unwrap()
+                .build()
+                .unwrap()
+        };
+        let x = crate::init::uniform_tensor(13, vec![1, 2, 4, 4], 1.0);
+        for precision in [Precision::Fp16, Precision::Int8] {
+            let engine = Engine::new(net(), precision, &[vec![x.clone()]]).unwrap();
+            let trace = engine.trace(std::slice::from_ref(&x)).unwrap();
+            for idx in 0..engine.network().node_count() {
+                let codec = engine.node_codec(idx);
+                for (k, &v) in trace.node_outputs[idx].data().iter().enumerate() {
+                    assert_eq!(
+                        codec.quantize(v).to_bits(),
+                        v.to_bits(),
+                        "{precision:?} node {idx} elem {k} off-grid"
+                    );
+                }
+            }
         }
     }
 

@@ -3,6 +3,7 @@
 use crate::error::DnnError;
 use crate::layers::{check_arity, Layer, LayerKind};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// The supported pointwise non-linearities.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -48,7 +49,7 @@ impl ActivationKind {
 ///
 /// let relu = Activation::new("relu", ActivationKind::Relu);
 /// let x = Tensor::from_slice(&[-1.0, 2.0]);
-/// assert_eq!(relu.forward(&[&x]).unwrap().data(), &[0.0, 2.0]);
+/// assert_eq!(relu.forward_alloc(&[&x]).unwrap().data(), &[0.0, 2.0]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Activation {
@@ -80,9 +81,18 @@ impl Layer for Activation {
         LayerKind::Activation
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
-        Ok(inputs[0].map(|v| self.kind.apply(v)))
+        let mut out = ws.clone_of(inputs[0]);
+        out.map_inplace(|v| self.kind.apply(v));
+        Ok(out)
+    }
+
+    fn values_preserved(&self) -> bool {
+        // Only ReLU passes inputs through unchanged (or emits zero). Relu6's
+        // 6.0 clip and LeakyRelu's scaled slope produce values that need not
+        // lie on an integer codec's grid.
+        matches!(self.kind, ActivationKind::Relu)
     }
 }
 
@@ -109,14 +119,14 @@ impl Layer for Softmax {
         LayerKind::Softmax
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         let last = *x.shape().last().unwrap_or(&1);
         if last == 0 {
-            return Ok(x.clone());
+            return Ok(ws.clone_of(x));
         }
-        let mut out = x.clone();
+        let mut out = ws.clone_of(x);
         let rows = x.len() / last;
         for r in 0..rows {
             let row = &mut out.data_mut()[r * last..(r + 1) * last];
@@ -153,7 +163,7 @@ mod tests {
     fn softmax_rows_sum_to_one() {
         let sm = Softmax::new("sm");
         let x = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
-        let y = sm.forward(&[&x]).unwrap();
+        let y = sm.forward_alloc(&[&x]).unwrap();
         for r in 0..2 {
             let s: f32 = (0..3).map(|c| y.at2(r, c)).sum();
             assert!((s - 1.0).abs() < 1e-5);
@@ -166,7 +176,7 @@ mod tests {
     fn softmax_survives_large_values() {
         let sm = Softmax::new("sm");
         let x = Tensor::from_vec(vec![1, 2], vec![10000.0, 9999.0]).unwrap();
-        let y = sm.forward(&[&x]).unwrap();
+        let y = sm.forward_alloc(&[&x]).unwrap();
         assert!(y.data().iter().all(|v| v.is_finite()));
         assert!(y.at2(0, 0) > y.at2(0, 1));
     }

@@ -5,6 +5,7 @@ use crate::layers::{check_arity, Layer, LayerKind};
 use crate::macspec::{ConvSpec, MacSpec, Operands};
 use crate::precision::ValueCodec;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A 2-D convolution over NCHW input with OIHW weights.
 ///
@@ -23,7 +24,7 @@ use crate::tensor::Tensor;
 /// let weight = Tensor::full(vec![1, 1, 3, 3], 1.0 / 9.0);
 /// let conv = Conv2d::new("blur", weight)?.with_padding(1, 1);
 /// let input = Tensor::full(vec![1, 1, 8, 8], 1.0);
-/// let out = conv.forward(&[&input])?;
+/// let out = conv.forward_alloc(&[&input])?;
 /// assert_eq!(out.shape(), &[1, 1, 8, 8]);
 /// # Ok(())
 /// # }
@@ -148,15 +149,17 @@ impl Layer for Conv2d {
         vec![&self.weight]
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
-        let spec = MacSpec::Conv(self.spec_for(inputs[0].shape())?);
+        let c = self.spec_for(inputs[0].shape())?;
+        let dims = [c.batch, c.out_c, c.out_h(), c.out_w()];
+        let spec = MacSpec::Conv(c);
         let ops = Operands {
             input: inputs[0],
             weight: &self.weight,
         };
-        let mut out = Tensor::zeros(spec.out_shape());
-        spec.forward_into(&ops, out.data_mut());
+        let mut out = ws.zeros(&dims);
+        spec.forward_into_scratch(&ops, out.data_mut(), ws.kernel_scratch());
         Ok(out)
     }
 
@@ -183,7 +186,7 @@ mod tests {
         w.set(&[0, 0, 1, 1], 1.0);
         let conv = Conv2d::new("id", w).unwrap().with_padding(1, 1);
         let input = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let out = conv.forward(&[&input]).unwrap();
+        let out = conv.forward_alloc(&[&input]).unwrap();
         assert_eq!(out.data(), input.data());
     }
 
@@ -192,7 +195,7 @@ mod tests {
         let w = Tensor::full(vec![1, 1, 2, 2], 0.25);
         let conv = Conv2d::new("avg", w).unwrap().with_stride(2, 2);
         let input = Tensor::full(vec![1, 1, 4, 4], 4.0);
-        let out = conv.forward(&[&input]).unwrap();
+        let out = conv.forward_alloc(&[&input]).unwrap();
         assert_eq!(out.shape(), &[1, 1, 2, 2]);
         assert!(out.data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
     }
@@ -201,7 +204,7 @@ mod tests {
     fn rejects_wrong_channel_count() {
         let conv = Conv2d::new("c", Tensor::zeros(vec![2, 3, 1, 1])).unwrap();
         let input = Tensor::zeros(vec![1, 4, 2, 2]);
-        assert!(conv.forward(&[&input]).is_err());
+        assert!(conv.forward_alloc(&[&input]).is_err());
     }
 
     #[test]
@@ -215,7 +218,7 @@ mod tests {
         let w = Tensor::from_vec(vec![2, 1, 1, 1], vec![1.0, 2.0]).unwrap();
         let conv = Conv2d::new("dw", w).unwrap().with_groups(2);
         let input = Tensor::full(vec![1, 2, 2, 2], 3.0);
-        let out = conv.forward(&[&input]).unwrap();
+        let out = conv.forward_alloc(&[&input]).unwrap();
         assert_eq!(out.at4(0, 0, 0, 0), 3.0);
         assert_eq!(out.at4(0, 1, 1, 1), 6.0);
     }

@@ -5,6 +5,7 @@ use crate::layers::{check_arity, Layer, LayerKind};
 use crate::macspec::{DenseSpec, MacSpec, MatMulSpec, Operands};
 use crate::precision::ValueCodec;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A fully-connected layer: `output[b][o] = Σ_i weight[o][i] · input[b][i]`.
 ///
@@ -18,7 +19,7 @@ use crate::tensor::Tensor;
 /// let w = Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0])?;
 /// let fc = Dense::new("fc", w)?;
 /// let x = Tensor::from_vec(vec![1, 3], vec![7.0, 8.0, 9.0])?;
-/// assert_eq!(fc.forward(&[&x])?.data(), &[7.0, 8.0]);
+/// assert_eq!(fc.forward_alloc(&[&x])?.data(), &[7.0, 8.0]);
 /// # Ok(())
 /// # }
 /// ```
@@ -87,15 +88,17 @@ impl Layer for Dense {
         vec![&self.weight]
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
-        let spec = MacSpec::Dense(self.spec_for(inputs[0].shape())?);
+        let d = self.spec_for(inputs[0].shape())?;
+        let dims = [d.batch, d.out_features];
+        let spec = MacSpec::Dense(d);
         let ops = Operands {
             input: inputs[0],
             weight: &self.weight,
         };
-        let mut out = Tensor::zeros(spec.out_shape());
-        spec.forward_into(&ops, out.data_mut());
+        let mut out = ws.zeros(&dims);
+        spec.forward_into_scratch(&ops, out.data_mut(), ws.kernel_scratch());
         Ok(out)
     }
 
@@ -185,15 +188,22 @@ impl Layer for MatMul {
         Some(2)
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 2, inputs.len())?;
-        let spec = MacSpec::MatMul(self.spec_for(inputs[0].shape(), inputs[1].shape())?);
+        let m = self.spec_for(inputs[0].shape(), inputs[1].shape())?;
+        let dims3 = [m.batch, m.m, m.n];
+        let dims: &[usize] = if m.batch == 1 {
+            &dims3[1..]
+        } else {
+            &dims3[..]
+        };
+        let spec = MacSpec::MatMul(m);
         let ops = Operands {
             input: inputs[0],
             weight: inputs[1],
         };
-        let mut out = Tensor::zeros(spec.out_shape());
-        spec.forward_into(&ops, out.data_mut());
+        let mut out = ws.zeros(dims);
+        spec.forward_into_scratch(&ops, out.data_mut(), ws.kernel_scratch());
         Ok(out)
     }
 
@@ -216,7 +226,7 @@ mod tests {
         let w = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let fc = Dense::new("fc", w).unwrap();
         let x = Tensor::from_vec(vec![2, 2], vec![1.0, 1.0, 2.0, 0.0]).unwrap();
-        let y = fc.forward(&[&x]).unwrap();
+        let y = fc.forward_alloc(&[&x]).unwrap();
         assert_eq!(y.shape(), &[2, 2]);
         assert_eq!(y.data(), &[3.0, 7.0, 2.0, 6.0]);
     }
@@ -224,7 +234,7 @@ mod tests {
     #[test]
     fn dense_rejects_feature_mismatch() {
         let fc = Dense::new("fc", Tensor::zeros(vec![2, 3])).unwrap();
-        assert!(fc.forward(&[&Tensor::zeros(vec![1, 4])]).is_err());
+        assert!(fc.forward_alloc(&[&Tensor::zeros(vec![1, 4])]).is_err());
     }
 
     #[test]
@@ -232,7 +242,7 @@ mod tests {
         let mm = MatMul::new("mm");
         let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
-        let y = mm.forward(&[&a, &b]).unwrap();
+        let y = mm.forward_alloc(&[&a, &b]).unwrap();
         assert_eq!(y.data(), &[58.0, 64.0, 139.0, 154.0]);
     }
 
@@ -241,7 +251,7 @@ mod tests {
         let mm = MatMul::new("mm");
         let a = Tensor::from_vec(vec![2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let b = Tensor::from_vec(vec![2, 2, 1], vec![1.0, 1.0, 2.0, 2.0]).unwrap();
-        let y = mm.forward(&[&a, &b]).unwrap();
+        let y = mm.forward_alloc(&[&a, &b]).unwrap();
         assert_eq!(y.shape(), &[2, 1, 1]);
         assert_eq!(y.data(), &[3.0, 14.0]);
     }
@@ -251,8 +261,8 @@ mod tests {
         let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
         let bt = Tensor::from_vec(vec![2, 2], vec![5.0, 7.0, 6.0, 8.0]).unwrap();
-        let plain = MatMul::new("p").forward(&[&a, &b]).unwrap();
-        let trans = MatMul::transposed("t").forward(&[&a, &bt]).unwrap();
+        let plain = MatMul::new("p").forward_alloc(&[&a, &b]).unwrap();
+        let trans = MatMul::transposed("t").forward_alloc(&[&a, &bt]).unwrap();
         assert_eq!(plain.data(), trans.data());
     }
 
@@ -261,6 +271,6 @@ mod tests {
         let mm = MatMul::new("mm");
         let a = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![4, 2]);
-        assert!(mm.forward(&[&a, &b]).is_err());
+        assert!(mm.forward_alloc(&[&a, &b]).is_err());
     }
 }

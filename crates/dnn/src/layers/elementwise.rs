@@ -4,6 +4,7 @@ use crate::error::DnnError;
 use crate::layers::{check_arity, Layer, LayerKind};
 use crate::precision::ValueCodec;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Bias addition.
 ///
@@ -19,7 +20,7 @@ use crate::tensor::Tensor;
 /// # fn main() -> Result<(), fidelity_dnn::error::DnnError> {
 /// let bias = BiasAdd::new("b", Tensor::from_slice(&[1.0, -1.0]))?;
 /// let x = Tensor::from_vec(vec![1, 2], vec![10.0, 10.0])?;
-/// assert_eq!(bias.forward(&[&x])?.data(), &[11.0, 9.0]);
+/// assert_eq!(bias.forward_alloc(&[&x])?.data(), &[11.0, 9.0]);
 /// # Ok(())
 /// # }
 /// ```
@@ -61,11 +62,11 @@ impl Layer for BiasAdd {
         vec![&self.bias]
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         let n = self.bias.len();
-        let mut out = x.clone();
+        let mut out = ws.clone_of(x);
         match x.rank() {
             4 => {
                 let (c, h, w) = (x.shape()[1], x.shape()[2], x.shape()[3]);
@@ -137,9 +138,9 @@ impl Layer for Add {
         Some(2)
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 2, inputs.len())?;
-        binary_elementwise(inputs[0], inputs[1], "Add::forward", |a, b| a + b)
+        binary_elementwise(inputs[0], inputs[1], "Add::forward", ws, |a, b| a + b)
     }
 }
 
@@ -169,9 +170,9 @@ impl Layer for Mul {
         Some(2)
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 2, inputs.len())?;
-        binary_elementwise(inputs[0], inputs[1], "Mul::forward", |a, b| a * b)
+        binary_elementwise(inputs[0], inputs[1], "Mul::forward", ws, |a, b| a * b)
     }
 }
 
@@ -179,6 +180,7 @@ fn binary_elementwise(
     a: &Tensor,
     b: &Tensor,
     context: &'static str,
+    ws: &mut Workspace,
     f: impl Fn(f32, f32) -> f32,
 ) -> Result<Tensor, DnnError> {
     if a.shape() != b.shape() {
@@ -188,7 +190,7 @@ fn binary_elementwise(
             actual: format!("{:?}", b.shape()),
         });
     }
-    let mut out = a.clone();
+    let mut out = ws.clone_of(a);
     for (v, &bv) in out.data_mut().iter_mut().zip(b.data()) {
         *v = f(*v, bv);
     }
@@ -221,9 +223,11 @@ impl Layer for Scale {
         LayerKind::Elementwise
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
-        Ok(inputs[0].map(|v| v * self.factor))
+        let mut out = ws.clone_of(inputs[0]);
+        out.map_inplace(|v| v * self.factor);
+        Ok(out)
     }
 }
 
@@ -257,7 +261,7 @@ impl Layer for Concat {
         None // variadic
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         if inputs.is_empty() {
             return Err(DnnError::ArityMismatch {
                 layer: self.name.clone(),
@@ -271,7 +275,7 @@ impl Layer for Concat {
                 message: format!("concat axis {} out of range for rank {rank}", self.axis),
             });
         }
-        let mut out_shape = inputs[0].shape().to_vec();
+        let mut out_shape = ws.shape_vec(inputs[0].shape());
         for t in &inputs[1..] {
             if t.rank() != rank {
                 return Err(DnnError::ShapeMismatch {
@@ -294,7 +298,7 @@ impl Layer for Concat {
 
         let outer: usize = out_shape[..self.axis].iter().product();
         let inner: usize = out_shape[self.axis + 1..].iter().product();
-        let mut out = Tensor::zeros(out_shape.clone());
+        let mut out = ws.zeros(&out_shape);
         let mut axis_off = 0usize;
         for t in inputs {
             let t_axis = t.shape()[self.axis];
@@ -305,7 +309,12 @@ impl Layer for Concat {
             }
             axis_off += t_axis;
         }
+        ws.recycle_shape(out_shape);
         Ok(out)
+    }
+
+    fn values_preserved(&self) -> bool {
+        true // pure data movement
     }
 }
 
@@ -317,7 +326,7 @@ mod tests {
     fn bias_add_4d_per_channel() {
         let bias = BiasAdd::new("b", Tensor::from_slice(&[1.0, 2.0])).unwrap();
         let x = Tensor::zeros(vec![1, 2, 2, 2]);
-        let y = bias.forward(&[&x]).unwrap();
+        let y = bias.forward_alloc(&[&x]).unwrap();
         assert_eq!(y.at4(0, 0, 1, 1), 1.0);
         assert_eq!(y.at4(0, 1, 0, 0), 2.0);
     }
@@ -325,8 +334,10 @@ mod tests {
     #[test]
     fn bias_add_rejects_mismatch() {
         let bias = BiasAdd::new("b", Tensor::from_slice(&[1.0, 2.0])).unwrap();
-        assert!(bias.forward(&[&Tensor::zeros(vec![1, 3, 2, 2])]).is_err());
-        assert!(bias.forward(&[&Tensor::zeros(vec![1, 3])]).is_err());
+        assert!(bias
+            .forward_alloc(&[&Tensor::zeros(vec![1, 3, 2, 2])])
+            .is_err());
+        assert!(bias.forward_alloc(&[&Tensor::zeros(vec![1, 3])]).is_err());
     }
 
     #[test]
@@ -334,22 +345,22 @@ mod tests {
         let a = Tensor::from_slice(&[1.0, 2.0]);
         let b = Tensor::from_slice(&[3.0, 4.0]);
         assert_eq!(
-            Add::new("a").forward(&[&a, &b]).unwrap().data(),
+            Add::new("a").forward_alloc(&[&a, &b]).unwrap().data(),
             &[4.0, 6.0]
         );
         assert_eq!(
-            Mul::new("m").forward(&[&a, &b]).unwrap().data(),
+            Mul::new("m").forward_alloc(&[&a, &b]).unwrap().data(),
             &[3.0, 8.0]
         );
         let c = Tensor::from_slice(&[1.0]);
-        assert!(Add::new("a").forward(&[&a, &c]).is_err());
+        assert!(Add::new("a").forward_alloc(&[&a, &c]).is_err());
     }
 
     #[test]
     fn concat_channels() {
         let a = Tensor::full(vec![1, 1, 2, 2], 1.0);
         let b = Tensor::full(vec![1, 2, 2, 2], 2.0);
-        let y = Concat::new("c", 1).forward(&[&a, &b]).unwrap();
+        let y = Concat::new("c", 1).forward_alloc(&[&a, &b]).unwrap();
         assert_eq!(y.shape(), &[1, 3, 2, 2]);
         assert_eq!(y.at4(0, 0, 0, 0), 1.0);
         assert_eq!(y.at4(0, 1, 0, 0), 2.0);
@@ -360,7 +371,7 @@ mod tests {
     fn concat_last_axis() {
         let a = Tensor::from_vec(vec![2, 1], vec![1.0, 2.0]).unwrap();
         let b = Tensor::from_vec(vec![2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
-        let y = Concat::new("c", 1).forward(&[&a, &b]).unwrap();
+        let y = Concat::new("c", 1).forward_alloc(&[&a, &b]).unwrap();
         assert_eq!(y.shape(), &[2, 3]);
         assert_eq!(y.data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
     }
@@ -369,15 +380,15 @@ mod tests {
     fn concat_validates() {
         let a = Tensor::zeros(vec![1, 2]);
         let b = Tensor::zeros(vec![2, 2]);
-        assert!(Concat::new("c", 1).forward(&[&a, &b]).is_err());
-        assert!(Concat::new("c", 5).forward(&[&a]).is_err());
-        assert!(Concat::new("c", 0).forward(&[]).is_err());
+        assert!(Concat::new("c", 1).forward_alloc(&[&a, &b]).is_err());
+        assert!(Concat::new("c", 5).forward_alloc(&[&a]).is_err());
+        assert!(Concat::new("c", 0).forward_alloc(&[]).is_err());
     }
 
     #[test]
     fn scale_scales() {
         let s = Scale::new("s", 0.5);
         let x = Tensor::from_slice(&[4.0]);
-        assert_eq!(s.forward(&[&x]).unwrap().data(), &[2.0]);
+        assert_eq!(s.forward_alloc(&[&x]).unwrap().data(), &[2.0]);
     }
 }

@@ -4,6 +4,7 @@ use crate::error::DnnError;
 use crate::layers::{check_arity, Layer, LayerKind};
 use crate::precision::ValueCodec;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Embedding lookup: a rank-1 tensor of (rounded) token ids becomes a
 /// `[seq, dim]` matrix of embedding rows.
@@ -60,7 +61,7 @@ impl Layer for Embedding {
         vec![&self.table]
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let ids = inputs[0];
         if ids.rank() != 1 {
@@ -71,7 +72,7 @@ impl Layer for Embedding {
             });
         }
         let (vocab, dim) = (self.vocab(), self.dim());
-        let mut out = Tensor::zeros(vec![ids.len(), dim]);
+        let mut out = ws.zeros(&[ids.len(), dim]);
         for (t, &idf) in ids.data().iter().enumerate() {
             let id = if idf.is_finite() && idf >= 0.0 {
                 (idf.round() as usize).min(vocab - 1)
@@ -98,7 +99,7 @@ mod tests {
         let table = Tensor::from_vec(vec![3, 2], vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1]).unwrap();
         let emb = Embedding::new("e", table).unwrap();
         let ids = Tensor::from_slice(&[2.0, 0.0]);
-        let y = emb.forward(&[&ids]).unwrap();
+        let y = emb.forward_alloc(&[&ids]).unwrap();
         assert_eq!(y.shape(), &[2, 2]);
         assert_eq!(y.data(), &[2.0, 2.1, 0.0, 0.1]);
     }
@@ -108,7 +109,7 @@ mod tests {
         let table = Tensor::from_vec(vec![2, 1], vec![5.0, 7.0]).unwrap();
         let emb = Embedding::new("e", table).unwrap();
         let ids = Tensor::from_slice(&[99.0, -3.0, f32::NAN]);
-        let y = emb.forward(&[&ids]).unwrap();
+        let y = emb.forward_alloc(&[&ids]).unwrap();
         assert_eq!(y.data(), &[7.0, 7.0, 7.0]);
     }
 }

@@ -29,6 +29,7 @@ use crate::error::DnnError;
 use crate::macspec::MacSpec;
 use crate::precision::ValueCodec;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Broad family of a layer, used by the resilience framework to decide which
 /// software fault models apply and by the performance model to cost layers.
@@ -91,19 +92,49 @@ pub trait Layer: Send + Sync {
         Vec::new()
     }
 
-    /// Runs the layer.
+    /// Runs the layer, drawing the output tensor and any temporaries from
+    /// `ws` so hot loops (campaign injections) never touch the global
+    /// allocator in steady state. Pooling never affects values — outputs are
+    /// bit-identical to an allocating run.
     ///
     /// # Errors
     ///
     /// Returns [`DnnError`] when input shapes are incompatible with the
     /// layer's configuration.
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError>;
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError>;
+
+    /// Runs the layer with a throwaway workspace — the convenient form for
+    /// one-off calls and tests, where allocation cost is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Layer::forward`].
+    fn forward_alloc(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+        let mut ws = Workspace::new();
+        self.forward(inputs, &mut ws)
+    }
 
     /// MAC geometry for this layer given its input shapes, when the layer is
     /// a MAC layer.
     fn mac_spec(&self, input_shapes: &[&[usize]]) -> Option<MacSpec> {
         let _ = input_shapes;
         None
+    }
+
+    /// Whether every output element is bitwise one of the input elements or
+    /// `+0.0` (for any inputs and shapes). For such layers re-quantization is
+    /// a no-op whenever the inputs already lie on the consumer codec's grid:
+    /// grids are closed under round-to-grid, and `+0.0` quantizes to itself
+    /// under every codec. The engine uses this to skip the per-element
+    /// quantize pass on data-movement and selection layers (concat, reshape,
+    /// max-pool, ReLU) when producer and consumer codecs are equal.
+    ///
+    /// Only return `true` when the property holds for *all* inputs, including
+    /// non-finite values: a max-pool window of NaNs yields `-inf`, which is
+    /// on the binary16 grid, and integer grids cannot contain non-finite
+    /// inputs in the first place.
+    fn values_preserved(&self) -> bool {
+        false
     }
 
     /// Rounds the layer's weights onto the codec's representable grid.

@@ -4,6 +4,7 @@ use crate::error::DnnError;
 use crate::layers::{check_arity, Layer, LayerKind};
 use crate::precision::ValueCodec;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Per-channel affine transform `y = gamma·x + beta`, i.e. an inference-time
 /// (folded) batch normalization.
@@ -52,11 +53,11 @@ impl Layer for ScaleShift {
         vec![&self.gamma, &self.beta]
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         let n = self.gamma.len();
-        let mut out = x.clone();
+        let mut out = ws.clone_of(x);
         match x.rank() {
             4 => {
                 let (c, h, w) = (x.shape()[1], x.shape()[2], x.shape()[3]);
@@ -152,7 +153,7 @@ impl Layer for LayerNorm {
         vec![&self.gamma, &self.beta]
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         let last = *x.shape().last().unwrap_or(&0);
@@ -163,7 +164,7 @@ impl Layer for LayerNorm {
                 actual: format!("{last}"),
             });
         }
-        let mut out = x.clone();
+        let mut out = ws.clone_of(x);
         let rows = x.len() / last;
         for r in 0..rows {
             let row = &mut out.data_mut()[r * last..(r + 1) * last];
@@ -196,7 +197,7 @@ mod tests {
         )
         .unwrap();
         let x = Tensor::full(vec![1, 2, 1, 1], 4.0);
-        let y = ss.forward(&[&x]).unwrap();
+        let y = ss.forward_alloc(&[&x]).unwrap();
         assert_eq!(y.at4(0, 0, 0, 0), 9.0);
         assert_eq!(y.at4(0, 1, 0, 0), 2.0);
     }
@@ -216,7 +217,7 @@ mod tests {
         let d = 8;
         let ln = LayerNorm::new("ln", Tensor::full(vec![d], 1.0), Tensor::zeros(vec![d])).unwrap();
         let x = Tensor::from_vec(vec![1, d], (0..d).map(|v| v as f32).collect()).unwrap();
-        let y = ln.forward(&[&x]).unwrap();
+        let y = ln.forward_alloc(&[&x]).unwrap();
         let mean: f32 = y.data().iter().sum::<f32>() / d as f32;
         let var: f32 = y
             .data()
@@ -236,6 +237,6 @@ mod tests {
             Tensor::from_slice(&[0.0, 0.0]),
         )
         .unwrap();
-        assert!(ln.forward(&[&Tensor::zeros(vec![1, 3])]).is_err());
+        assert!(ln.forward_alloc(&[&Tensor::zeros(vec![1, 3])]).is_err());
     }
 }

@@ -4,6 +4,7 @@ use crate::error::DnnError;
 use crate::layers::{check_arity, Layer, LayerKind};
 use crate::macspec::conv_out_dim;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Pooling reduction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,7 +25,7 @@ pub enum PoolKind {
 ///
 /// let pool = Pool2d::new("p", PoolKind::Max, 2).with_stride(2);
 /// let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).unwrap();
-/// assert_eq!(pool.forward(&[&x]).unwrap().data(), &[5.0]);
+/// assert_eq!(pool.forward_alloc(&[&x]).unwrap().data(), &[5.0]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pool2d {
@@ -75,7 +76,7 @@ impl Layer for Pool2d {
         LayerKind::Pool
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         if x.rank() != 4 {
@@ -88,56 +89,65 @@ impl Layer for Pool2d {
         let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let oh = conv_out_dim(h, self.k, self.stride, self.padding, 1);
         let ow = conv_out_dim(w, self.k, self.stride, self.padding, 1);
-        let mut out = Tensor::zeros(vec![b, c, oh, ow]);
-        for n in 0..b {
-            for ch in 0..c {
-                for y in 0..oh {
-                    for xx in 0..ow {
-                        let mut acc = match self.kind {
-                            PoolKind::Max => f32::NEG_INFINITY,
-                            PoolKind::Avg => 0.0,
-                        };
-                        let mut count = 0usize;
-                        for ky in 0..self.k {
-                            let iy = (y * self.stride + ky) as isize - self.padding as isize;
-                            if iy < 0 || iy as usize >= h {
-                                continue;
-                            }
-                            for kx in 0..self.k {
-                                let ix = (xx * self.stride + kx) as isize - self.padding as isize;
-                                if ix < 0 || ix as usize >= w {
-                                    continue;
-                                }
-                                let v = x.at4(n, ch, iy as usize, ix as usize);
-                                match self.kind {
-                                    PoolKind::Max => acc = acc.max(v),
-                                    PoolKind::Avg => acc += v,
-                                }
-                                count += 1;
-                            }
-                        }
-                        let v = match self.kind {
-                            PoolKind::Max => {
-                                if count == 0 {
-                                    0.0
-                                } else {
-                                    acc
-                                }
-                            }
-                            PoolKind::Avg => {
-                                if count == 0 {
-                                    0.0
-                                } else {
-                                    acc / count as f32
-                                }
-                            }
-                        };
-                        out.set4(n, ch, y, xx, v);
+        let (k, s, p) = (self.k, self.stride, self.padding);
+        // Padding-valid window bounds are hoisted per row/column: the window
+        // rows touch `iy = y·s + ky − p ∈ [0, h)`, a contiguous `ky` range
+        // (and likewise for columns), so the inner loops walk plain slices.
+        // Per output the reduction visits the same values in the same
+        // ky→kx order as the naive quadruple loop, so results — including
+        // the single-chain Avg accumulation — are bit-identical.
+        let xd = x.data();
+        let mut out = ws.zeros(&[b, c, oh, ow]);
+        let od = out.data_mut();
+        for plane_idx in 0..b * c {
+            let plane = &xd[plane_idx * h * w..][..h * w];
+            let out_plane = &mut od[plane_idx * oh * ow..][..oh * ow];
+            for y in 0..oh {
+                let y0 = y * s;
+                let ky_lo = p.saturating_sub(y0);
+                let ky_hi = k.min((h + p).saturating_sub(y0));
+                let out_row = &mut out_plane[y * ow..][..ow];
+                for (xx, out_v) in out_row.iter_mut().enumerate() {
+                    let x0 = xx * s;
+                    let kx_lo = p.saturating_sub(x0);
+                    let kx_hi = k.min((w + p).saturating_sub(x0));
+                    if ky_lo >= ky_hi || kx_lo >= kx_hi {
+                        *out_v = 0.0; // window entirely in padding
+                        continue;
                     }
+                    let seg = x0 + kx_lo - p..x0 + kx_hi - p;
+                    *out_v = match self.kind {
+                        PoolKind::Max => {
+                            let mut acc = f32::NEG_INFINITY;
+                            for ky in ky_lo..ky_hi {
+                                let row = &plane[(y0 + ky - p) * w..][..w];
+                                for &v in &row[seg.clone()] {
+                                    acc = acc.max(v);
+                                }
+                            }
+                            acc
+                        }
+                        PoolKind::Avg => {
+                            let mut acc = 0.0f32;
+                            for ky in ky_lo..ky_hi {
+                                let row = &plane[(y0 + ky - p) * w..][..w];
+                                for &v in &row[seg.clone()] {
+                                    acc += v;
+                                }
+                            }
+                            acc / ((ky_hi - ky_lo) * (kx_hi - kx_lo)) as f32
+                        }
+                    };
                 }
             }
         }
         Ok(out)
+    }
+
+    fn values_preserved(&self) -> bool {
+        // Max selects an input (or emits 0.0 / −inf for degenerate windows,
+        // both grid-closed); Avg divides and produces new values.
+        self.kind == PoolKind::Max
     }
 }
 
@@ -163,7 +173,7 @@ impl Layer for GlobalAvgPool {
         LayerKind::Pool
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         if x.rank() != 4 {
@@ -175,17 +185,17 @@ impl Layer for GlobalAvgPool {
         }
         let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let hw = (h * w).max(1) as f32;
-        let mut out = Tensor::zeros(vec![b, c]);
-        for n in 0..b {
-            for ch in 0..c {
-                let mut s = 0.0f32;
-                for y in 0..h {
-                    for xx in 0..w {
-                        s += x.at4(n, ch, y, xx);
-                    }
-                }
-                out.set2(n, ch, s / hw);
+        let xd = x.data();
+        let mut out = ws.zeros(&[b, c]);
+        let od = out.data_mut();
+        for (plane_idx, out_v) in od.iter_mut().enumerate() {
+            // Row-major plane walk: same single-chain accumulation order as
+            // the nested y/x loop.
+            let mut s = 0.0f32;
+            for &v in &xd[plane_idx * h * w..][..h * w] {
+                s += v;
             }
+            *out_v = s / hw;
         }
         Ok(out)
     }
@@ -199,7 +209,7 @@ mod tests {
     fn max_pool_2x2() {
         let p = Pool2d::new("p", PoolKind::Max, 2);
         let x = Tensor::from_vec(vec![1, 1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
-        let y = p.forward(&[&x]).unwrap();
+        let y = p.forward_alloc(&[&x]).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
     }
@@ -210,7 +220,7 @@ mod tests {
             .with_stride(1)
             .with_padding(1);
         let x = Tensor::full(vec![1, 1, 3, 3], 9.0);
-        let y = p.forward(&[&x]).unwrap();
+        let y = p.forward_alloc(&[&x]).unwrap();
         // Every window averages only in-bounds values, so all outputs are 9.
         assert!(y.data().iter().all(|&v| (v - 9.0).abs() < 1e-6));
     }
@@ -219,7 +229,7 @@ mod tests {
     fn global_avg_pool() {
         let g = GlobalAvgPool::new("g");
         let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]).unwrap();
-        let y = g.forward(&[&x]).unwrap();
+        let y = g.forward_alloc(&[&x]).unwrap();
         assert_eq!(y.shape(), &[1, 2]);
         assert_eq!(y.data(), &[2.0, 15.0]);
     }
@@ -227,6 +237,91 @@ mod tests {
     #[test]
     fn pool_rejects_non_4d() {
         let p = Pool2d::new("p", PoolKind::Max, 2);
-        assert!(p.forward(&[&Tensor::zeros(vec![4, 4])]).is_err());
+        assert!(p.forward_alloc(&[&Tensor::zeros(vec![4, 4])]).is_err());
+    }
+
+    /// The naive quadruple loop the packed forward replaced; kept as the
+    /// semantic reference for the differential test below.
+    fn pool_reference(pool: &Pool2d, x: &Tensor) -> Tensor {
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let oh = conv_out_dim(h, pool.k, pool.stride, pool.padding, 1);
+        let ow = conv_out_dim(w, pool.k, pool.stride, pool.padding, 1);
+        let mut out = Tensor::zeros(vec![b, c, oh, ow]);
+        for n in 0..b {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut acc = match pool.kind {
+                            PoolKind::Max => f32::NEG_INFINITY,
+                            PoolKind::Avg => 0.0,
+                        };
+                        let mut count = 0usize;
+                        for ky in 0..pool.k {
+                            let iy = (y * pool.stride + ky) as isize - pool.padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..pool.k {
+                                let ix = (xx * pool.stride + kx) as isize - pool.padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let v = x.at4(n, ch, iy as usize, ix as usize);
+                                match pool.kind {
+                                    PoolKind::Max => acc = acc.max(v),
+                                    PoolKind::Avg => acc += v,
+                                }
+                                count += 1;
+                            }
+                        }
+                        let v = if count == 0 {
+                            0.0
+                        } else {
+                            match pool.kind {
+                                PoolKind::Max => acc,
+                                PoolKind::Avg => acc / count as f32,
+                            }
+                        };
+                        out.set4(n, ch, y, xx, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn packed_pool_matches_naive_reference_bitwise() {
+        use crate::init::{uniform_tensor, SplitMix64};
+        let mut seed = SplitMix64::new(0x9001_1234_5678);
+        let configs = [
+            // (k, stride, padding, h, w) — includes windows fully in padding
+            // (k=3, p=3 corners), stride > k gaps, and stride 1 overlaps.
+            (2, 2, 0, 6, 6),
+            (3, 1, 1, 5, 7),
+            (3, 2, 1, 7, 7),
+            (3, 3, 3, 4, 4),
+            (2, 3, 0, 7, 5),
+            (4, 2, 2, 8, 8),
+            (1, 1, 0, 3, 3),
+        ];
+        for (i, &(k, s, p, h, w)) in configs.iter().enumerate() {
+            let x = uniform_tensor(seed.next_u64(), vec![2, 3, h, w], 4.0);
+            for kind in [PoolKind::Max, PoolKind::Avg] {
+                let pool = Pool2d::new(format!("p{i}"), kind, k)
+                    .with_stride(s)
+                    .with_padding(p);
+                let fast = pool.forward_alloc(&[&x]).unwrap();
+                let naive = pool_reference(&pool, &x);
+                assert_eq!(fast.shape(), naive.shape());
+                for (a, b) in fast.data().iter().zip(naive.data()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{kind:?} k={k} s={s} p={p} h={h} w={w}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -4,6 +4,7 @@ use crate::error::DnnError;
 use crate::layers::{check_arity, ActivationKind, Layer, LayerKind};
 use crate::precision::ValueCodec;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A single-direction LSTM processing a `[seq, in]` sequence and returning
 /// all hidden states `[seq, hidden]`.
@@ -82,7 +83,7 @@ impl Layer for Lstm {
         vec![&self.w_ih, &self.w_hh, &self.bias]
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         if x.rank() != 2 || x.shape()[1] != self.w_ih.shape()[1] {
@@ -94,14 +95,15 @@ impl Layer for Lstm {
         }
         let (seq, in_dim) = (x.shape()[0], x.shape()[1]);
         let h = self.hidden;
-        let mut hidden = vec![0.0f32; h];
-        let mut cell = vec![0.0f32; h];
-        let mut out = Tensor::zeros(vec![seq, h]);
+        let mut hidden = ws.take_buf(h);
+        let mut cell = ws.take_buf(h);
+        // Fully overwritten each timestep, so one pooled buffer serves all.
+        let mut gates = ws.take_buf(4 * h);
+        let mut out = ws.zeros(&[seq, h]);
 
         for t in 0..seq {
             let xt = &x.data()[t * in_dim..(t + 1) * in_dim];
             // Gate pre-activations: bias + W_ih·x + W_hh·h.
-            let mut gates = vec![0.0f32; 4 * h];
             for (g, gate) in gates.iter_mut().enumerate() {
                 let mut acc = self.bias.data()[g];
                 for (i, &xv) in xt.iter().enumerate() {
@@ -122,6 +124,9 @@ impl Layer for Lstm {
                 out.set2(t, j, hidden[j]);
             }
         }
+        ws.recycle_buf(hidden);
+        ws.recycle_buf(cell);
+        ws.recycle_buf(gates);
         Ok(out)
     }
 
@@ -148,7 +153,7 @@ mod tests {
     fn single_step_matches_manual() {
         let lstm = tiny_lstm();
         let x = Tensor::from_vec(vec![1, 1], vec![2.0]).unwrap();
-        let y = lstm.forward(&[&x]).unwrap();
+        let y = lstm.forward_alloc(&[&x]).unwrap();
         // i=f=o=sigmoid(2), g=tanh(2); c=i*g; h=o*tanh(c).
         let s = 1.0 / (1.0 + (-2.0f32).exp());
         let c = s * 2.0f32.tanh();
@@ -161,8 +166,8 @@ mod tests {
         let lstm = tiny_lstm();
         let x1 = Tensor::from_vec(vec![1, 1], vec![1.0]).unwrap();
         let x2 = Tensor::from_vec(vec![2, 1], vec![1.0, 1.0]).unwrap();
-        let y1 = lstm.forward(&[&x1]).unwrap();
-        let y2 = lstm.forward(&[&x2]).unwrap();
+        let y1 = lstm.forward_alloc(&[&x1]).unwrap();
+        let y2 = lstm.forward_alloc(&[&x2]).unwrap();
         assert!((y2.at2(0, 0) - y1.at2(0, 0)).abs() < 1e-6);
         assert!(y2.at2(1, 0) != y2.at2(0, 0)); // second step sees carried cell state
     }
@@ -174,6 +179,6 @@ mod tests {
         let bias = Tensor::zeros(vec![4]);
         assert!(Lstm::new("bad", w_ih, w_hh, bias).is_err());
         let lstm = tiny_lstm();
-        assert!(lstm.forward(&[&Tensor::zeros(vec![1, 3])]).is_err());
+        assert!(lstm.forward_alloc(&[&Tensor::zeros(vec![1, 3])]).is_err());
     }
 }

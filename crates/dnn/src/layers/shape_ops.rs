@@ -3,6 +3,7 @@
 use crate::error::DnnError;
 use crate::layers::{check_arity, Layer, LayerKind};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Reshape to a fixed target shape (element count must match at run time).
 #[derive(Debug, Clone)]
@@ -30,9 +31,22 @@ impl Layer for Reshape {
         LayerKind::Shape
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
-        inputs[0].reshaped(self.shape.clone())
+        let x = inputs[0];
+        let n: usize = self.shape.iter().product();
+        if n != x.len() {
+            return Err(DnnError::ShapeMismatch {
+                context: "Tensor::reshaped",
+                expected: format!("{} elements", x.len()),
+                actual: format!("shape {:?} = {n} elements", self.shape),
+            });
+        }
+        Ok(ws.reshaped(x, &self.shape))
+    }
+
+    fn values_preserved(&self) -> bool {
+        true // pure data movement
     }
 }
 
@@ -58,7 +72,7 @@ impl Layer for Flatten {
         LayerKind::Shape
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         if x.rank() == 0 {
@@ -70,7 +84,11 @@ impl Layer for Flatten {
         }
         let b = x.shape()[0];
         let rest: usize = x.shape()[1..].iter().product();
-        x.reshaped(vec![b, rest])
+        Ok(ws.reshaped(x, &[b, rest]))
+    }
+
+    fn values_preserved(&self) -> bool {
+        true // pure data movement
     }
 }
 
@@ -109,7 +127,7 @@ impl Layer for Slice {
         LayerKind::Shape
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         let last = *x.shape().last().unwrap_or(&0);
@@ -121,14 +139,19 @@ impl Layer for Slice {
             });
         }
         let rows = x.len() / last;
-        let mut shape = x.shape().to_vec();
+        let mut shape = ws.shape_vec(x.shape());
         *shape.last_mut().expect("rank >= 1") = self.len;
-        let mut out = Tensor::zeros(shape);
+        let mut out = ws.zeros(&shape);
+        ws.recycle_shape(shape);
         for r in 0..rows {
             let src = &x.data()[r * last + self.start..r * last + self.start + self.len];
             out.data_mut()[r * self.len..(r + 1) * self.len].copy_from_slice(src);
         }
         Ok(out)
+    }
+
+    fn values_preserved(&self) -> bool {
+        true // pure data movement
     }
 }
 
@@ -154,7 +177,7 @@ impl Layer for Transpose2d {
         LayerKind::Shape
     }
 
-    fn forward(&self, inputs: &[&Tensor]) -> Result<Tensor, DnnError> {
+    fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 1, inputs.len())?;
         let x = inputs[0];
         if x.rank() != 2 {
@@ -165,13 +188,17 @@ impl Layer for Transpose2d {
             });
         }
         let (m, n) = (x.shape()[0], x.shape()[1]);
-        let mut out = Tensor::zeros(vec![n, m]);
+        let mut out = ws.zeros(&[n, m]);
         for r in 0..m {
             for c in 0..n {
                 out.set2(c, r, x.at2(r, c));
             }
         }
         Ok(out)
+    }
+
+    fn values_preserved(&self) -> bool {
+        true // pure data movement
     }
 }
 
@@ -183,7 +210,7 @@ mod tests {
     fn flatten_4d() {
         let f = Flatten::new("f");
         let x = Tensor::zeros(vec![2, 3, 4, 5]);
-        let y = f.forward(&[&x]).unwrap();
+        let y = f.forward_alloc(&[&x]).unwrap();
         assert_eq!(y.shape(), &[2, 60]);
     }
 
@@ -191,7 +218,7 @@ mod tests {
     fn slice_last_dim() {
         let s = Slice::new("s", 1, 2);
         let x = Tensor::from_vec(vec![2, 4], (0..8).map(|v| v as f32).collect()).unwrap();
-        let y = s.forward(&[&x]).unwrap();
+        let y = s.forward_alloc(&[&x]).unwrap();
         assert_eq!(y.shape(), &[2, 2]);
         assert_eq!(y.data(), &[1.0, 2.0, 5.0, 6.0]);
     }
@@ -199,24 +226,24 @@ mod tests {
     #[test]
     fn slice_out_of_bounds() {
         let s = Slice::new("s", 3, 2);
-        assert!(s.forward(&[&Tensor::zeros(vec![1, 4])]).is_err());
+        assert!(s.forward_alloc(&[&Tensor::zeros(vec![1, 4])]).is_err());
     }
 
     #[test]
     fn transpose_round_trip() {
         let t = Transpose2d::new("t");
         let x = Tensor::from_vec(vec![2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
-        let y = t.forward(&[&x]).unwrap();
+        let y = t.forward_alloc(&[&x]).unwrap();
         assert_eq!(y.shape(), &[3, 2]);
         assert_eq!(y.at2(2, 1), 5.0);
-        let back = t.forward(&[&y]).unwrap();
+        let back = t.forward_alloc(&[&y]).unwrap();
         assert_eq!(back.data(), x.data());
     }
 
     #[test]
     fn reshape_validates_count() {
         let r = Reshape::new("r", vec![2, 2]);
-        assert!(r.forward(&[&Tensor::zeros(vec![5])]).is_err());
-        assert!(r.forward(&[&Tensor::zeros(vec![4])]).is_ok());
+        assert!(r.forward_alloc(&[&Tensor::zeros(vec![5])]).is_err());
+        assert!(r.forward_alloc(&[&Tensor::zeros(vec![4])]).is_ok());
     }
 }

@@ -49,8 +49,10 @@ pub mod layers;
 pub mod macspec;
 pub mod precision;
 pub mod tensor;
+pub mod workspace;
 
 pub use error::DnnError;
-pub use graph::{Engine, Network, NetworkBuilder, Trace};
+pub use graph::{Engine, Network, NetworkBuilder, ResumedOutput, Trace};
 pub use precision::{Precision, ValueCodec};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

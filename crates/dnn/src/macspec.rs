@@ -12,6 +12,7 @@
 //! by the register-level simulator (`fidelity-rtl`), which is what makes
 //! software fault models bit-exact against the golden reference.
 
+use crate::error::DnnError;
 use crate::tensor::Tensor;
 
 /// Which operand of a MAC layer a substitution applies to.
@@ -33,6 +34,50 @@ pub struct Substitution {
     pub offset: usize,
     /// The faulty value.
     pub value: f32,
+}
+
+/// A validated transient accumulator bit flip: IEEE-754 f32 bit `bit` of
+/// the running accumulator is flipped just before the term of kernel step
+/// `flip_before_step` is accumulated (a step count of `kernel_steps()` or
+/// more flips after the final term).
+///
+/// Construction rejects out-of-range bit indices, so downstream code never
+/// has to clamp silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccFlip {
+    flip_before_step: usize,
+    bit: u32,
+}
+
+impl AccFlip {
+    /// Validates and builds an accumulator flip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] when `bit` is not a valid f32 bit
+    /// index (`0..=31`). The flip step needs no validation: any value at or
+    /// past `kernel_steps()` means "flip after the final term".
+    pub fn new(flip_before_step: usize, bit: u32) -> Result<AccFlip, DnnError> {
+        if bit >= 32 {
+            return Err(DnnError::InvalidConfig {
+                message: format!("accumulator flip bit {bit} out of range for f32 (0..=31)"),
+            });
+        }
+        Ok(AccFlip {
+            flip_before_step,
+            bit,
+        })
+    }
+
+    /// Kernel step before which the flip is applied.
+    pub fn flip_before_step(&self) -> usize {
+        self.flip_before_step
+    }
+
+    /// The flipped f32 bit index (`0..=31`).
+    pub fn bit(&self) -> u32 {
+        self.bit
+    }
 }
 
 /// The two operand tensors of a MAC layer.
@@ -261,10 +306,9 @@ impl MacSpec {
         }
     }
 
-    /// Computes one output neuron with a transient flip of accumulator bit
-    /// `bit` (IEEE-754 f32 encoding) applied just before the term of kernel
-    /// step `flip_before_step` is accumulated (pass `kernel_steps()` or more
-    /// to flip after the final term).
+    /// Computes one output neuron with a transient accumulator bit flip
+    /// ([`AccFlip`]) applied just before the term of its kernel step is
+    /// accumulated.
     ///
     /// Accumulation order is identical to [`MacSpec::compute_at`] and to the
     /// register-level simulator, so the result is bit-exact against a
@@ -273,25 +317,44 @@ impl MacSpec {
         &self,
         operands: &Operands<'_>,
         out_offset: usize,
-        flip_before_step: usize,
-        bit: u32,
+        flip: AccFlip,
+    ) -> f32 {
+        self.accumulate(operands, out_offset, None, Some(flip))
+    }
+
+    /// The one definition of the per-neuron accumulation loop. Every other
+    /// evaluator — [`MacSpec::compute_at`], [`MacSpec::compute_at_acc_flip`],
+    /// and (by bit-equality tests) the packed [`MacSpec::forward_into`]
+    /// kernels — reduces to this term order: gated (padding) steps are
+    /// genuinely skipped, never accumulated as `+0.0`, and terms are added
+    /// in ascending kernel-step order.
+    fn accumulate(
+        &self,
+        operands: &Operands<'_>,
+        out_offset: usize,
+        subst: Option<&Substitution>,
+        flip: Option<AccFlip>,
     ) -> f32 {
         let mut acc = 0.0f32;
         let mut flipped = false;
         let total = self.kernel_steps();
         for step in 0..total {
-            if step == flip_before_step {
-                acc = f32::from_bits(acc.to_bits() ^ (1 << bit.min(31)));
-                flipped = true;
+            if let Some(f) = flip {
+                if step == f.flip_before_step {
+                    acc = f32::from_bits(acc.to_bits() ^ (1 << f.bit));
+                    flipped = true;
+                }
             }
             if let Some((in_off, w_off)) = self.term_offsets(out_offset, step) {
-                let x = operands.fetch(OperandKind::Input, in_off, None);
-                let w = operands.fetch(OperandKind::Weight, w_off, None);
+                let x = operands.fetch(OperandKind::Input, in_off, subst);
+                let w = operands.fetch(OperandKind::Weight, w_off, subst);
                 acc += x * w;
             }
         }
-        if !flipped {
-            acc = f32::from_bits(acc.to_bits() ^ (1 << bit.min(31)));
+        if let Some(f) = flip {
+            if !flipped {
+                acc = f32::from_bits(acc.to_bits() ^ (1 << f.bit));
+            }
         }
         acc
     }
@@ -323,89 +386,98 @@ impl MacSpec {
         }
     }
 
-    /// Computes the whole output tensor into `out` (flat row-major), using
-    /// fused loops for speed. The accumulation order per neuron is identical
-    /// to [`MacSpec::compute_at`] — a test asserts bit-equality — so layer
-    /// forwards and per-neuron fault recomputation never diverge.
+    /// Computes the whole output tensor into `out` (flat row-major) with a
+    /// temporary [`KernelScratch`]. Hot paths should prefer
+    /// [`MacSpec::forward_into_scratch`] with a reused scratch so the panel
+    /// and accumulator buffers are not reallocated per call.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.out_len()`.
     pub fn forward_into(&self, operands: &Operands<'_>, out: &mut [f32]) {
+        let mut scratch = KernelScratch::default();
+        self.forward_into_scratch(operands, out, &mut scratch);
+    }
+
+    /// Computes the whole output tensor into `out` (flat row-major) using
+    /// packed kernels: padding-valid `kh`/`ow` ranges are hoisted out of the
+    /// inner loops, conv input rows are packed once per (batch, group,
+    /// output row) into an im2col-style panel reused across the group's
+    /// output channels, and the inner loops run over contiguous slices with
+    /// no bounds checks.
+    ///
+    /// The accumulation order per neuron is byte-for-byte identical to
+    /// [`MacSpec::compute_at`] — gated padding terms are skipped outright
+    /// (never accumulated as `+0.0`, which would perturb signed zeros and
+    /// non-finite values) and terms are added in ascending kernel-step order
+    /// — so layer forwards and per-neuron fault recomputation never diverge.
+    /// Tests assert bit-equality per neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.out_len()`.
+    pub fn forward_into_scratch(
+        &self,
+        operands: &Operands<'_>,
+        out: &mut [f32],
+        scratch: &mut KernelScratch,
+    ) {
         assert_eq!(out.len(), self.out_len(), "output buffer size mismatch");
         let x = operands.input.data();
         let w = operands.weight.data();
         match self {
-            MacSpec::Conv(c) => {
-                let (oh_dim, ow_dim) = (c.out_h(), c.out_w());
-                let gic = c.group_in_c();
-                let goc = c.group_out_c();
-                let mut off = 0usize;
-                for b in 0..c.batch {
-                    for oc in 0..c.out_c {
-                        let ic_base = (oc / goc) * gic;
-                        let w_base = oc * gic * c.kh * c.kw;
-                        for oh in 0..oh_dim {
-                            for ow in 0..ow_dim {
-                                let mut acc = 0.0f32;
-                                for ic in 0..gic {
-                                    let in_plane = (b * c.in_c + ic_base + ic) * c.in_h;
-                                    let w_plane = w_base + ic * c.kh * c.kw;
-                                    for kh in 0..c.kh {
-                                        let ih = (oh * c.stride.0 + kh * c.dilation.0) as isize
-                                            - c.padding.0 as isize;
-                                        if ih < 0 || ih as usize >= c.in_h {
-                                            continue;
-                                        }
-                                        let in_row = (in_plane + ih as usize) * c.in_w;
-                                        let w_row = w_plane + kh * c.kw;
-                                        for kw in 0..c.kw {
-                                            let iw = (ow * c.stride.1 + kw * c.dilation.1) as isize
-                                                - c.padding.1 as isize;
-                                            if iw < 0 || iw as usize >= c.in_w {
-                                                continue;
-                                            }
-                                            acc += x[in_row + iw as usize] * w[w_row + kw];
-                                        }
-                                    }
-                                }
-                                out[off] = acc;
-                                off += 1;
-                            }
-                        }
-                    }
-                }
-            }
+            MacSpec::Conv(c) => conv_forward_packed(c, x, w, out, scratch),
             MacSpec::Dense(d) => {
                 for b in 0..d.batch {
                     let x_row = &x[b * d.in_features..(b + 1) * d.in_features];
-                    for o in 0..d.out_features {
+                    let out_row = &mut out[b * d.out_features..(b + 1) * d.out_features];
+                    for (o, out_v) in out_row.iter_mut().enumerate() {
                         let w_row = &w[o * d.in_features..(o + 1) * d.in_features];
                         let mut acc = 0.0f32;
-                        for i in 0..d.in_features {
-                            acc += x_row[i] * w_row[i];
+                        for (xv, wv) in x_row.iter().zip(w_row) {
+                            acc += xv * wv;
                         }
-                        out[b * d.out_features + o] = acc;
+                        *out_v = acc;
                     }
                 }
             }
             MacSpec::MatMul(m) => {
-                for g in 0..m.batch {
-                    for r in 0..m.m {
-                        let a_row = &x[(g * m.m + r) * m.k..(g * m.m + r + 1) * m.k];
-                        for cc in 0..m.n {
-                            let mut acc = 0.0f32;
-                            if m.transpose_b {
-                                let b_row = &w[(g * m.n + cc) * m.k..(g * m.n + cc + 1) * m.k];
-                                for kk in 0..m.k {
-                                    acc += a_row[kk] * b_row[kk];
+                if m.transpose_b {
+                    for g in 0..m.batch {
+                        for r in 0..m.m {
+                            let a_row = &x[(g * m.m + r) * m.k..][..m.k];
+                            let out_row = &mut out[(g * m.m + r) * m.n..][..m.n];
+                            for (cc, out_v) in out_row.iter_mut().enumerate() {
+                                let b_row = &w[(g * m.n + cc) * m.k..][..m.k];
+                                let mut acc = 0.0f32;
+                                for (av, bv) in a_row.iter().zip(b_row) {
+                                    acc += av * bv;
                                 }
-                            } else {
-                                for kk in 0..m.k {
-                                    acc += a_row[kk] * w[(g * m.k + kk) * m.n + cc];
+                                *out_v = acc;
+                            }
+                        }
+                    }
+                } else {
+                    // B is walked row-contiguously by interchanging the
+                    // loops: a row of accumulators (one per output column)
+                    // receives the `kk`-th term of every column before the
+                    // next `kk` — per neuron this is still ascending
+                    // contraction order, identical to `compute_at`.
+                    scratch.acc.clear();
+                    scratch.acc.resize(m.n, 0.0);
+                    let acc = &mut scratch.acc[..m.n];
+                    for g in 0..m.batch {
+                        let b_mat = &w[g * m.k * m.n..][..m.k * m.n];
+                        for r in 0..m.m {
+                            let a_row = &x[(g * m.m + r) * m.k..][..m.k];
+                            acc.fill(0.0);
+                            for (kk, av) in a_row.iter().enumerate() {
+                                let b_row = &b_mat[kk * m.n..][..m.n];
+                                for (a, bv) in acc.iter_mut().zip(b_row) {
+                                    *a += av * bv;
                                 }
                             }
-                            out[(g * m.m + r) * m.n + cc] = acc;
+                            out[(g * m.m + r) * m.n..][..m.n].copy_from_slice(acc);
                         }
                     }
                 }
@@ -426,15 +498,7 @@ impl MacSpec {
         out_offset: usize,
         subst: Option<&Substitution>,
     ) -> f32 {
-        let mut acc = 0.0f32;
-        for step in 0..self.kernel_steps() {
-            if let Some((in_off, w_off)) = self.term_offsets(out_offset, step) {
-                let x = operands.fetch(OperandKind::Input, in_off, subst);
-                let w = operands.fetch(OperandKind::Weight, w_off, subst);
-                acc += x * w;
-            }
-        }
-        acc
+        self.accumulate(operands, out_offset, subst, None)
     }
 
     /// Flat output offsets of every neuron that consumes the weight-operand
@@ -493,6 +557,180 @@ impl MacSpec {
                 let m0 = rem / mm.k;
                 let base = g * mm.m * mm.n + m0 * mm.n;
                 (base..base + mm.n).collect()
+            }
+        }
+    }
+}
+
+/// Reusable scratch buffers for the packed [`MacSpec::forward_into_scratch`]
+/// kernels: the im2col-style panel, the per-output-row accumulator, and the
+/// hoisted per-`kw` valid output-column ranges.
+///
+/// Contents are transient — every kernel invocation fully re-derives what it
+/// reads — so one scratch can be reused across layers and specs of any
+/// shape. Reuse only saves the allocations.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Packed input panel: `kernel_steps × out_w` values per (batch, group,
+    /// output row). Only padding-valid regions are written and read.
+    panel: Vec<f32>,
+    /// One accumulator per output column (conv) / output column (matmul).
+    acc: Vec<f32>,
+    /// Per-`kw` valid `[lo, hi)` output-column ranges.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl KernelScratch {
+    /// A scratch with empty buffers; they grow on first use.
+    pub fn new() -> Self {
+        KernelScratch::default()
+    }
+}
+
+/// Packed conv kernel. See [`MacSpec::forward_into_scratch`] for the
+/// bit-identity contract.
+fn conv_forward_packed(c: &ConvSpec, x: &[f32], w: &[f32], out: &mut [f32], s: &mut KernelScratch) {
+    let (oh_dim, ow_dim) = (c.out_h(), c.out_w());
+    if oh_dim == 0 || ow_dim == 0 {
+        return;
+    }
+    let gic = c.group_in_c();
+    let goc = c.group_out_c();
+    let (s0, s1) = c.stride;
+    let (p0, p1) = c.padding;
+    let (d0, d1) = c.dilation;
+    let khw = c.kh * c.kw;
+    let steps = gic * khw;
+
+    // Valid output columns for each kernel column, hoisted out of every
+    // loop below: `iw = ow·s1 + kw·d1 − p1` must land in `[0, in_w)`, and
+    // because `iw` is monotone in `ow` the valid set is one contiguous
+    // range.
+    let KernelScratch { panel, acc, ranges } = s;
+    ranges.clear();
+    for kw_i in 0..c.kw {
+        let shift = kw_i * d1;
+        let lo = if shift >= p1 {
+            0
+        } else {
+            (p1 - shift).div_ceil(s1)
+        };
+        let hi = if c.in_w + p1 <= shift {
+            0
+        } else {
+            ((c.in_w + p1 - shift - 1) / s1 + 1).min(ow_dim)
+        };
+        ranges.push((lo.min(hi), hi));
+    }
+
+    acc.clear();
+    acc.resize(ow_dim, 0.0);
+    let acc = &mut acc[..ow_dim];
+    // Packing pays off only when the panel is reused across several output
+    // channels; depthwise groups (one output channel each) read the input
+    // directly.
+    let pack = goc > 1;
+    if pack {
+        panel.clear();
+        panel.resize(steps * ow_dim, 0.0);
+    }
+
+    for b in 0..c.batch {
+        for group in 0..c.groups {
+            let ic_base = group * gic;
+            for oh in 0..oh_dim {
+                // Valid kernel rows for this output row, by the same
+                // monotonicity argument as the column ranges.
+                let row0 = oh * s0;
+                let kh_lo = if row0 >= p0 {
+                    0
+                } else {
+                    (p0 - row0).div_ceil(d0)
+                };
+                let kh_hi = if c.in_h + p0 <= row0 {
+                    0
+                } else {
+                    ((c.in_h + p0 - row0 - 1) / d0 + 1).min(c.kh)
+                };
+                let kh_lo = kh_lo.min(kh_hi);
+
+                if pack {
+                    // Pack every padding-valid (ic, kh, kw) input row
+                    // segment once; the panel row for kernel step
+                    // (ic, kh, kw) holds the input value each output column
+                    // would read.
+                    for ic in 0..gic {
+                        let in_plane = (b * c.in_c + ic_base + ic) * c.in_h;
+                        for kh_i in kh_lo..kh_hi {
+                            let ih = row0 + kh_i * d0 - p0;
+                            let in_row = (in_plane + ih) * c.in_w;
+                            for (kw_i, &(lo, hi)) in ranges.iter().enumerate() {
+                                if lo >= hi {
+                                    continue;
+                                }
+                                let dst_base = (ic * khw + kh_i * c.kw + kw_i) * ow_dim;
+                                let dst = &mut panel[dst_base + lo..dst_base + hi];
+                                let src_start = in_row + lo * s1 + kw_i * d1 - p1;
+                                if s1 == 1 {
+                                    dst.copy_from_slice(&x[src_start..src_start + (hi - lo)]);
+                                } else {
+                                    for (dv, sv) in
+                                        dst.iter_mut().zip(x[src_start..].iter().step_by(s1))
+                                    {
+                                        *dv = *sv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                for oc_g in 0..goc {
+                    let oc = group * goc + oc_g;
+                    let w_base = oc * steps;
+                    acc.fill(0.0);
+                    for ic in 0..gic {
+                        let w_plane = w_base + ic * khw;
+                        let in_plane = (b * c.in_c + ic_base + ic) * c.in_h;
+                        for kh_i in kh_lo..kh_hi {
+                            let w_row = w_plane + kh_i * c.kw;
+                            let in_row = (in_plane + (row0 + kh_i * d0 - p0)) * c.in_w;
+                            for (kw_i, &(lo, hi)) in ranges.iter().enumerate() {
+                                if lo >= hi {
+                                    continue;
+                                }
+                                let wv = w[w_row + kw_i];
+                                if pack {
+                                    let src = (ic * khw + kh_i * c.kw + kw_i) * ow_dim;
+                                    for (a, pv) in
+                                        acc[lo..hi].iter_mut().zip(&panel[src + lo..src + hi])
+                                    {
+                                        *a += pv * wv;
+                                    }
+                                } else {
+                                    let src_start = in_row + lo * s1 + kw_i * d1 - p1;
+                                    if s1 == 1 {
+                                        for (a, xv) in acc[lo..hi]
+                                            .iter_mut()
+                                            .zip(&x[src_start..src_start + (hi - lo)])
+                                        {
+                                            *a += xv * wv;
+                                        }
+                                    } else {
+                                        for (a, xv) in acc[lo..hi]
+                                            .iter_mut()
+                                            .zip(x[src_start..].iter().step_by(s1))
+                                        {
+                                            *a += xv * wv;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let out_base = ((b * c.out_c + oc) * oh_dim + oh) * ow_dim;
+                    out[out_base..out_base + ow_dim].copy_from_slice(acc);
+                }
             }
         }
     }
@@ -857,6 +1095,95 @@ mod tests {
                     fused_value.to_bits(),
                     "spec {i}, neuron {off}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn acc_flip_rejects_out_of_range_bit() {
+        assert!(AccFlip::new(0, 31).is_ok());
+        assert!(AccFlip::new(usize::MAX, 0).is_ok());
+        for bad in [32u32, 33, 64, u32::MAX] {
+            let err = AccFlip::new(3, bad).expect_err("bit out of range must be rejected");
+            assert!(
+                matches!(err, DnnError::InvalidConfig { .. }),
+                "expected InvalidConfig, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn acc_flip_matches_manual_flip_positions() {
+        let spec = MacSpec::Dense(DenseSpec {
+            batch: 1,
+            in_features: 3,
+            out_features: 1,
+        });
+        let input = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let weight = Tensor::from_vec(vec![1, 3], vec![4.0, 5.0, 6.0]).unwrap();
+        let ops = Operands {
+            input: &input,
+            weight: &weight,
+        };
+        // Flip bit 1 before step 1: acc = 4 → flip → then + 10 + 18.
+        let flipped = f32::from_bits(4.0f32.to_bits() ^ 0b10);
+        let want = flipped + 10.0 + 18.0;
+        let got = spec.compute_at_acc_flip(&ops, 0, AccFlip::new(1, 1).unwrap());
+        assert_eq!(got.to_bits(), want.to_bits());
+        // Flip past the last step: flip the clean result.
+        let clean = spec.compute_at(&ops, 0, None);
+        let got = spec.compute_at_acc_flip(&ops, 0, AccFlip::new(99, 7).unwrap());
+        assert_eq!(
+            got.to_bits(),
+            f32::from_bits(clean.to_bits() ^ (1 << 7)).to_bits()
+        );
+    }
+
+    #[test]
+    fn forward_into_scratch_reuse_is_bit_identical() {
+        use crate::init::uniform_tensor;
+        // One scratch reused across different specs must give the same bits
+        // as a fresh scratch per call.
+        let specs = [
+            MacSpec::Conv(small_conv()),
+            MacSpec::Dense(DenseSpec {
+                batch: 2,
+                in_features: 9,
+                out_features: 4,
+            }),
+            MacSpec::MatMul(MatMulSpec {
+                batch: 2,
+                m: 3,
+                k: 5,
+                n: 4,
+                transpose_b: false,
+            }),
+        ];
+        let mut reused = KernelScratch::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let (in_shape, w_shape) = match spec {
+                MacSpec::Conv(c) => (
+                    vec![c.batch, c.in_c, c.in_h, c.in_w],
+                    vec![c.out_c, c.group_in_c(), c.kh, c.kw],
+                ),
+                MacSpec::Dense(d) => (
+                    vec![d.batch, d.in_features],
+                    vec![d.out_features, d.in_features],
+                ),
+                MacSpec::MatMul(m) => (vec![m.batch, m.m, m.k], vec![m.batch, m.k, m.n]),
+            };
+            let input = uniform_tensor(7 + i as u64, in_shape, 1.0);
+            let weight = uniform_tensor(13 + i as u64, w_shape, 1.0);
+            let ops = Operands {
+                input: &input,
+                weight: &weight,
+            };
+            let mut fresh = vec![0.0f32; spec.out_len()];
+            spec.forward_into(&ops, &mut fresh);
+            let mut pooled = vec![0.0f32; spec.out_len()];
+            spec.forward_into_scratch(&ops, &mut pooled, &mut reused);
+            for (off, (a, b)) in fresh.iter().zip(&pooled).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "spec {i}, neuron {off}");
             }
         }
     }

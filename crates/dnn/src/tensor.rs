@@ -128,6 +128,25 @@ impl Tensor {
         self.data
     }
 
+    /// Consumes the tensor and returns its shape and flat storage, so both
+    /// buffers can be recycled (see [`crate::workspace::Workspace`]).
+    pub fn into_parts(self) -> (Vec<usize>, Vec<f32>) {
+        (self.shape, self.data)
+    }
+
+    /// Assembles a tensor from a shape and a matching flat buffer — the
+    /// allocation-free counterpart of [`Tensor::from_vec`] used by the
+    /// workspace pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_parts(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, data.len(), "Tensor::from_parts length mismatch");
+        Tensor { shape, data }
+    }
+
     /// Computes the flat offset of a multi-dimensional index.
     ///
     /// # Panics

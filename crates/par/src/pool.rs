@@ -132,6 +132,48 @@ impl WorkStealPool {
     where
         F: Fn(usize) + Sync,
     {
+        self.run_with_catching(tasks, |_| (), |(), idx| f(idx))
+    }
+
+    /// Like [`WorkStealPool::run`], but every worker owns a mutable state
+    /// value built by `init(worker_index)` before its first task; each task
+    /// the worker executes (own or stolen) receives `&mut` to that state.
+    ///
+    /// Worker state exists for allocation reuse only (e.g. one tensor
+    /// workspace per campaign worker). Which tasks share a state value
+    /// depends on scheduling, so state must never influence task results —
+    /// the pool's determinism contract assumes exactly that.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first task panic, as [`WorkStealPool::run`] does. A
+    /// panicking task may leave its worker's state partially updated; the
+    /// state is still reused for subsequent tasks, which is sound only
+    /// under the results-independence rule above.
+    pub fn run_with<S, I, F>(&self, tasks: usize, init: I, f: F) -> RunStats
+    where
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        let (stats, payload) = self.run_with_catching(tasks, init, f);
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+        stats
+    }
+
+    /// [`WorkStealPool::run_with`] returning the first panic payload instead
+    /// of re-raising it.
+    pub fn run_with_catching<S, I, F>(
+        &self,
+        tasks: usize,
+        init: I,
+        f: F,
+    ) -> (RunStats, Option<Box<dyn std::any::Any + Send>>)
+    where
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut S, usize) + Sync,
+    {
         let workers = self.spec.workers.clamp(1, tasks.max(1));
         let shared = Shared {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -146,9 +188,13 @@ impl WorkStealPool {
             std::thread::scope(|s| {
                 for w in 0..workers {
                     let shared = &shared;
+                    let init = &init;
                     let f = &f;
                     let seed = self.spec.seed;
-                    s.spawn(move || worker_loop(w, seed, shared, f));
+                    s.spawn(move || {
+                        let mut state = init(w);
+                        worker_loop(w, seed, shared, &mut state, f);
+                    });
                 }
             });
         }
@@ -203,7 +249,13 @@ fn distribute(shared: &Shared, tasks: usize, workers: usize, plan: ShardPlan) {
     }
 }
 
-fn worker_loop<F: Fn(usize) + Sync>(w: usize, seed: u64, shared: &Shared, f: &F) {
+fn worker_loop<S, F: Fn(&mut S, usize) + Sync>(
+    w: usize,
+    seed: u64,
+    shared: &Shared,
+    state: &mut S,
+    f: &F,
+) {
     let nworkers = shared.queues.len();
     let mut rng = XorShift64::new(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     loop {
@@ -214,7 +266,7 @@ fn worker_loop<F: Fn(usize) + Sync>(w: usize, seed: u64, shared: &Shared, f: &F)
         // and under contention each shard still completes front-first.
         let own = lock(&shared.queues[w]).pop_front();
         if let Some(idx) = own {
-            execute(idx, shared, f);
+            execute(idx, shared, state, f);
             continue;
         }
         if shared.remaining.load(Ordering::Acquire) == 0 {
@@ -250,7 +302,7 @@ fn worker_loop<F: Fn(usize) + Sync>(w: usize, seed: u64, shared: &Shared, f: &F)
             }
         }
         match got {
-            Some(idx) => execute(idx, shared, f),
+            Some(idx) => execute(idx, shared, state, f),
             None => {
                 // Every queue looked empty but tasks are still executing on
                 // other workers. Tasks never enqueue new work, so this tail
@@ -264,8 +316,8 @@ fn worker_loop<F: Fn(usize) + Sync>(w: usize, seed: u64, shared: &Shared, f: &F)
     }
 }
 
-fn execute<F: Fn(usize) + Sync>(idx: usize, shared: &Shared, f: &F) {
-    if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(idx))) {
+fn execute<S, F: Fn(&mut S, usize) + Sync>(idx: usize, shared: &Shared, state: &mut S, f: &F) {
+    if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(state, idx))) {
         shared.panicked.fetch_add(1, Ordering::Relaxed);
         let mut slot = lock(&shared.payload);
         if slot.is_none() {
@@ -378,6 +430,28 @@ mod tests {
             });
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn run_with_builds_one_state_per_worker() {
+        let pool = WorkStealPool::new(PoolSpec::new(4));
+        let inits = AtomicU32::new(0);
+        let done = AtomicU32::new(0);
+        let stats = pool.run_with(
+            128,
+            |_w| {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |local, _idx| {
+                *local += 1;
+                done.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(stats.executed, 128);
+        assert_eq!(done.load(Ordering::Relaxed), 128);
+        // One state per spawned worker, built exactly once.
+        assert_eq!(inits.load(Ordering::Relaxed) as usize, stats.workers);
     }
 
     #[test]

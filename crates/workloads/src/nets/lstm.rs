@@ -169,7 +169,7 @@ mod tests {
                 seq.set2(t, f, x.at2(0, f));
             }
         }
-        let all_h = lstm.forward(&[&seq]).unwrap();
+        let all_h = lstm.forward_alloc(&[&seq]).unwrap();
 
         // Compare the final hidden state.
         let h_idx = engine

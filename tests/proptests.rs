@@ -2,7 +2,7 @@
 
 use fidelity::dnn::f16::{round_to_f16, F16};
 use fidelity::dnn::macspec::{
-    ConvSpec, DenseSpec, MacSpec, MatMulSpec, OperandKind, Operands, Substitution,
+    AccFlip, ConvSpec, DenseSpec, MacSpec, MatMulSpec, OperandKind, Operands, Substitution,
 };
 use fidelity::dnn::precision::{calibrate_scale, Precision, ValueCodec};
 use fidelity::dnn::tensor::Tensor;
@@ -183,7 +183,7 @@ proptest! {
         let ops = Operands { input: &input, weight: &weight };
         for off in 0..3 {
             let clean = mac.compute_at(&ops, off, None);
-            let flipped = mac.compute_at_acc_flip(&ops, off, 7, bit);
+            let flipped = mac.compute_at_acc_flip(&ops, off, AccFlip::new(7, bit).unwrap());
             let expect = f32::from_bits(clean.to_bits() ^ (1 << bit));
             prop_assert!(
                 flipped.to_bits() == expect.to_bits()
@@ -251,5 +251,70 @@ fn f16_all_bit_patterns_survive_codec() {
         } else {
             assert_eq!(re.to_bits(), v.to_bits());
         }
+    }
+}
+
+fn conv_packed_strategy() -> impl Strategy<Value = ConvSpec> {
+    // Richer geometry than `conv_strategy`: channel groups, asymmetric
+    // stride/padding/dilation — the edge cases the packed kernel's hoisted
+    // valid ranges must get right.
+    (
+        (1usize..3, 1usize..4), // batch, groups
+        (1usize..3, 1usize..4), // in_c per group, out_c per group
+        (3usize..9, 3usize..9), // in_h, in_w
+        (1usize..4, 1usize..4), // kh, kw
+        (1usize..4, 1usize..3), // stride
+        (0usize..3, 0usize..3), // padding
+        (1usize..3, 1usize..3), // dilation
+    )
+        .prop_map(
+            |((batch, groups), (gic, goc), (in_h, in_w), (kh, kw), stride, padding, dilation)| {
+                ConvSpec {
+                    batch,
+                    in_c: gic * groups,
+                    in_h,
+                    in_w,
+                    out_c: goc * groups,
+                    kh,
+                    kw,
+                    stride,
+                    padding,
+                    dilation,
+                    groups,
+                }
+            },
+        )
+        .prop_filter("non-empty output", |c| c.out_h() > 0 && c.out_w() > 0)
+}
+
+proptest! {
+    /// The packed forward kernel is bit-identical to per-neuron
+    /// `compute_at` across groups, dilation, asymmetric padding, and stride
+    /// edge cases — the kernel invariant everything else rests on.
+    #[test]
+    fn packed_conv_kernel_matches_compute_at(spec in conv_packed_strategy(), seed in 0u64..10_000) {
+        let c = spec.clone();
+        let input = filled(vec![c.batch, c.in_c, c.in_h, c.in_w], seed);
+        let weight = filled(vec![c.out_c, c.group_in_c(), c.kh, c.kw], seed ^ 1);
+        let mac = MacSpec::Conv(c);
+        let ops = Operands { input: &input, weight: &weight };
+        let mut out = vec![0.0f32; mac.out_len()];
+        mac.forward_into(&ops, &mut out);
+        for (off, got) in out.iter().enumerate() {
+            let want = mac.compute_at(&ops, off, None);
+            prop_assert_eq!(want.to_bits(), got.to_bits(), "neuron {}", off);
+        }
+    }
+
+    /// `offset_of`/`coords_of` round-trip on the richer (grouped,
+    /// asymmetric) conv geometry.
+    #[test]
+    fn packed_conv_coords_round_trip(spec in conv_packed_strategy(), off_seed in 0usize..100_000) {
+        let mac = MacSpec::Conv(spec);
+        let off = off_seed % mac.out_len();
+        let (p, ch) = mac.coords_of(off);
+        prop_assert!(p < mac.position_count());
+        prop_assert!(ch < mac.channel_count());
+        prop_assert_eq!(mac.offset_of(p, ch), off);
     }
 }
