@@ -35,7 +35,7 @@ use fidelity_obs::event;
 use fidelity_obs::metrics::{Counter, Histogram};
 use fidelity_obs::progress::{CampaignProgress, CategoryKind, OutcomeKind, ProgressSpec};
 use fidelity_obs::{clock, timing_enabled};
-use fidelity_par::{PoolSpec, ShardPlan, WorkStealPool};
+use fidelity_par::{CancelToken, PoolSpec, ShardPlan, WorkStealPool};
 
 use crate::inject::inject_once_pooled;
 use crate::models::{model_for, SoftwareFaultModel};
@@ -538,10 +538,13 @@ impl<'a> CampaignRunner<'a> {
         };
 
         let max_attempts = spec.resilience.max_retries_per_cell + 1;
+        let cancel = spec.resilience.cancel.as_ref();
+        let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
         let pool = WorkStealPool::new(PoolSpec {
             workers,
             seed: spec.seed,
             plan: ShardPlan::Balanced,
+            cancel: spec.resilience.cancel.clone(),
         });
         // One workspace per worker: injection tensors come from (and return
         // to) the worker's pool, so steady-state cells allocate nothing.
@@ -550,7 +553,7 @@ impl<'a> CampaignRunner<'a> {
             plans.len(),
             |_worker| Workspace::new(),
             |ws, idx| {
-                if abort.load(Ordering::Relaxed) {
+                if abort.load(Ordering::Relaxed) || cancelled() {
                     return;
                 }
                 if lock(&results)[idx].is_some() {
@@ -592,6 +595,18 @@ impl<'a> CampaignRunner<'a> {
                             attempt = attempt + 1,
                             reason = last.as_ref().map_or("", |(_, r)| reason_kind(r)),
                         );
+                        // Back off before the retry; the wait is derived from
+                        // (seed, cell, retry) so the schedule replays exactly.
+                        // A cancellation or abort cuts the wait short — the
+                        // cell then lands on the failure path with its partial
+                        // tally, like any cell that exhausted its attempts.
+                        let wait = spec
+                            .resilience
+                            .retry_backoff
+                            .delay(spec.seed, idx, attempt + 1);
+                        if !sleep_unless(wait, || abort.load(Ordering::Relaxed) || cancelled()) {
+                            break;
+                        }
                     }
                 }
                 match completed {
@@ -683,6 +698,23 @@ impl<'a> CampaignRunner<'a> {
         // campaign does not leave a torn `\r` line on the terminal.
         if let Some(p) = &progress {
             p.finish();
+        }
+        if cancelled() {
+            // Cells finished before the token fired were committed above, so
+            // the checkpoint left behind resumes cleanly. A token that fired
+            // after the last cell completed is a no-op: the run is whole.
+            let done = lock(&results).iter().filter(|c| c.is_some()).count();
+            if done < plans.len() {
+                event!(
+                    "campaign.cancel",
+                    net = &net,
+                    done = done,
+                    total = plans.len()
+                );
+                return Err(DnnError::Campaign {
+                    message: format!("campaign cancelled after {done}/{} cells", plans.len()),
+                });
+            }
         }
         if let Some(e) = lock(&errors).first() {
             event!("campaign.abort", net = &net, error = &e.to_string());
@@ -963,6 +995,23 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Sleeps for `total`, polling `interrupted` in short slices so a
+/// cancellation or abort cuts a long backoff wait short. Returns `false`
+/// when the wait was interrupted.
+fn sleep_unless(total: std::time::Duration, interrupted: impl Fn() -> bool) -> bool {
+    const SLICE: std::time::Duration = std::time::Duration::from_millis(5);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if interrupted() {
+            return false;
+        }
+        let step = remaining.min(SLICE);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+    !interrupted()
+}
+
 /// Creates (or truncates) the checkpoint file, writes the header plus all
 /// already-completed cells in plan-index order, and marks those indices as
 /// pre-committed skips so the ordered cursor passes over them.
@@ -1183,6 +1232,56 @@ mod tests {
             std::env::temp_dir().join(format!("fidelity-campaign-tests-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// Cancellation skips work, reports a distinct error, and leaves a
+    /// checkpoint that resumes to the same bytes as an uninterrupted run.
+    #[test]
+    fn cancelled_campaign_errors_and_checkpoint_resumes_bit_identical() {
+        use crate::resilience::CheckpointSpec;
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let base = |ckpt: CheckpointSpec, cancel: Option<CancelToken>| CampaignSpec {
+            samples_per_cell: 12,
+            seed: 23,
+            threads: 2,
+            record_events: true,
+            target_ci_halfwidth: None,
+            resilience: ResilienceSpec {
+                checkpoint: Some(ckpt),
+                cancel,
+                ..ResilienceSpec::default()
+            },
+            progress: None,
+        };
+
+        let ref_path = scratch("cancel-ref.ckpt");
+        let spec = base(CheckpointSpec::new(&ref_path), None);
+        run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+        let ref_bytes = std::fs::read(&ref_path).unwrap();
+        std::fs::remove_file(&ref_path).ok();
+
+        // A pre-fired token: every cell is skipped and the run reports
+        // cancellation instead of fabricating results.
+        let path = scratch("cancel-resume.ckpt");
+        let token = CancelToken::new();
+        token.cancel();
+        let spec = base(CheckpointSpec::new(&path), Some(token));
+        let err = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("cancelled after 0/"),
+            "unexpected error: {err}"
+        );
+
+        // The checkpoint left behind (header only) resumes cleanly, and the
+        // finished file is bit-identical to the uninterrupted run's.
+        let spec = base(CheckpointSpec::resuming(&path), None);
+        let resumed = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+        assert!(resumed.failures.is_empty());
+        assert_eq!(std::fs::read(&path).unwrap(), ref_bytes);
+        std::fs::remove_file(&path).ok();
     }
 
     /// The first and last non-global cells of the plan, as chaos victims

@@ -29,8 +29,10 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use fidelity_accel::ff::{FfCategory, PipelineStage, VarType};
+use fidelity_dnn::init::SplitMix64;
 use fidelity_dnn::macspec::OperandKind;
 use fidelity_dnn::DnnError;
+use fidelity_par::CancelToken;
 
 use crate::campaign::{CampaignSpec, CellStats, InjectionEvent};
 use crate::models::{OperandWindow, SoftwareFaultModel};
@@ -49,12 +51,21 @@ pub struct ResilienceSpec {
     /// its RNG stream from scratch, so a successful retry is bit-identical
     /// to a run that never failed.
     pub max_retries_per_cell: usize,
+    /// Wait schedule between retry attempts. See [`RetryBackoff`]; the
+    /// default backs off exponentially with seeded jitter. Use
+    /// [`RetryBackoff::none`] to restore immediate retry.
+    pub retry_backoff: RetryBackoff,
     /// Campaign-level cap on failed cells (after retries). Exceeding it
     /// aborts the campaign with [`DnnError::Campaign`]; up to the budget,
     /// failed cells degrade to their partial statistics.
     pub failure_budget: usize,
     /// Checkpoint persistence; `None` disables it.
     pub checkpoint: Option<CheckpointSpec>,
+    /// Cooperative cancellation. When the token fires, queued cells are
+    /// skipped, cells mid-flight run to completion and commit to the
+    /// checkpoint, and the campaign returns a "cancelled" error — leaving a
+    /// resumable checkpoint behind. `None` (the default) disables it.
+    pub cancel: Option<CancelToken>,
     /// Fault injection for the injector itself (tests and drills); empty in
     /// production. Several specs may target different cells at once, which
     /// is how multi-cell failure accounting is exercised.
@@ -66,8 +77,10 @@ impl Default for ResilienceSpec {
         ResilienceSpec {
             injection_deadline: None,
             max_retries_per_cell: 1,
+            retry_backoff: RetryBackoff::default(),
             failure_budget: 4,
             checkpoint: None,
+            cancel: None,
             chaos: Vec::new(),
         }
     }
@@ -105,6 +118,88 @@ impl CheckpointSpec {
             ..CheckpointSpec::new(path)
         }
     }
+}
+
+/// Wait schedule between a cell's retry attempts.
+///
+/// Immediate retry is the wrong reflex for the failures retries exist to
+/// absorb — a host under transient memory pressure, a watchdog tripping
+/// under load — because hammering the same cell back-to-back tends to
+/// reproduce the failure. Delays instead grow exponentially from `base`,
+/// bounded by `cap`, with jitter so a fleet of failing cells does not retry
+/// in lockstep. The jitter is *deterministic*: it comes from a `SplitMix64`
+/// stream keyed on the campaign seed, the cell index, and the retry number,
+/// so two runs of the same spec wait the exact same schedule — retries stay
+/// reproducible like everything else in a campaign.
+#[derive(Debug, Clone)]
+pub struct RetryBackoff {
+    /// Nominal delay before the first retry. [`Duration::ZERO`] disables
+    /// waiting entirely (immediate retry).
+    pub base: Duration,
+    /// Growth factor per retry: retry `n` nominally waits
+    /// `base * factor^(n-1)`.
+    pub factor: u32,
+    /// Upper bound on the nominal delay of any single retry.
+    pub cap: Duration,
+    /// Jitter as a percentage of the nominal delay (clamped to 100): retry
+    /// `n` waits a value drawn uniformly from
+    /// `nominal ± nominal * jitter_pct / 100`.
+    pub jitter_pct: u8,
+}
+
+impl Default for RetryBackoff {
+    fn default() -> Self {
+        RetryBackoff {
+            base: Duration::from_millis(25),
+            factor: 2,
+            cap: Duration::from_secs(1),
+            jitter_pct: 20,
+        }
+    }
+}
+
+impl RetryBackoff {
+    /// Immediate retry — the schedule every delay of which is zero.
+    pub const fn none() -> Self {
+        RetryBackoff {
+            base: Duration::ZERO,
+            factor: 2,
+            cap: Duration::ZERO,
+            jitter_pct: 0,
+        }
+    }
+
+    /// The delay before retry `retry` (1-based; `0` means "first attempt"
+    /// and never waits) of plan cell `cell` in a campaign seeded with
+    /// `seed`. Pure: the same inputs always produce the same delay.
+    pub fn delay(&self, seed: u64, cell: usize, retry: usize) -> Duration {
+        if retry == 0 || self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let base_us = duration_us(self.base);
+        let cap_us = duration_us(self.cap);
+        let mut nominal = base_us;
+        for _ in 1..retry {
+            nominal = nominal.saturating_mul(u64::from(self.factor));
+            if nominal >= cap_us {
+                break;
+            }
+        }
+        nominal = nominal.min(cap_us);
+        let span = nominal.saturating_mul(u64::from(self.jitter_pct.min(100))) / 100;
+        let mut rng = SplitMix64::new(
+            seed ^ (cell as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (retry as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        // `2 * span + 1` possible outcomes centred on the nominal delay.
+        let jittered = nominal - span + rng.next_below(2 * span + 1);
+        Duration::from_micros(jittered)
+    }
+}
+
+/// Saturating microseconds of a `Duration` (fits any schedule we care about).
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Deliberate malfunction injected into the campaign runner itself, aimed at
@@ -289,9 +384,12 @@ pub fn parse_checkpoint<R: BufRead>(r: R) -> Result<ParsedCheckpoint, DnnError> 
         .ok_or_else(|| corrupt(&format!("bad fingerprint line `{fp_line}`")))?;
 
     let mut cells = Vec::new();
+    let mut committed = std::collections::HashSet::new();
     // The record being accumulated: (idx, stats, events still expected).
     let mut pending: Option<(usize, CellStats, usize)> = None;
-    for line in lines {
+    for (off, line) in lines.enumerate() {
+        // Header and fingerprint occupy lines 1-2; data starts at line 3.
+        let lineno = off + 3;
         // A torn final line can be unreadable; everything after it is
         // lost anyway, so stop at the last complete record.
         let Ok(line) = line else { break };
@@ -299,8 +397,20 @@ pub fn parse_checkpoint<R: BufRead>(r: R) -> Result<ParsedCheckpoint, DnnError> 
             // A new cell while one is pending means the previous record
             // never completed; drop it.
             pending = parse_cell_line(rest);
-            if pending.is_none() && !line_is_torn_tail(&line) {
-                return Err(corrupt(&format!("bad cell line `{line}`")));
+            match &pending {
+                // A second record for an already-committed cell cannot come
+                // from a torn tail (the writer commits each index once);
+                // it means a concurrent writer or silent corruption, and
+                // last-write-wins would mask it.
+                Some((idx, ..)) if committed.contains(idx) => {
+                    return Err(corrupt(&format!(
+                        "duplicate record for cell {idx} at line {lineno}"
+                    )));
+                }
+                None if !line_is_torn_tail(&line) => {
+                    return Err(corrupt(&format!("bad cell line `{line}`")));
+                }
+                _ => {}
             }
         } else if let Some(rest) = line.strip_prefix("ev ") {
             if let Some((_, stats, expected)) = pending.as_mut() {
@@ -323,6 +433,7 @@ pub fn parse_checkpoint<R: BufRead>(r: R) -> Result<ParsedCheckpoint, DnnError> 
             if let Some((idx, stats, expected)) = pending.take() {
                 let done_idx: Option<usize> = rest.trim().parse().ok();
                 if done_idx == Some(idx) && expected == 0 {
+                    committed.insert(idx);
                     cells.push((idx, stats));
                 }
                 // Mismatched or short record: drop it, keep parsing.
@@ -624,6 +735,76 @@ mod tests {
         s = s.replace("done 0\n", "");
         let parsed = parse_checkpoint(s.as_bytes()).unwrap();
         assert!(parsed.cells.is_empty());
+    }
+
+    #[test]
+    fn duplicate_cell_record_is_rejected_with_line_number() {
+        let cell = sample_cell();
+        let mut buf = Vec::new();
+        write_header(&mut buf, 1).unwrap();
+        write_cell(&mut buf, 0, &cell).unwrap();
+        write_cell(&mut buf, 0, &cell).unwrap();
+        let err = parse_checkpoint(&buf[..]).unwrap_err().to_string();
+        // Record 0 spans lines 3-6 (cell + 2 events + done); the duplicate
+        // `cell` line lands on line 7.
+        assert!(
+            err.contains("duplicate record for cell 0 at line 7"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn distinct_cells_still_parse_after_duplicate_check() {
+        let cell = sample_cell();
+        let mut buf = Vec::new();
+        write_header(&mut buf, 1).unwrap();
+        write_cell(&mut buf, 0, &cell).unwrap();
+        write_cell(&mut buf, 1, &cell).unwrap();
+        let parsed = parse_checkpoint(&buf[..]).unwrap();
+        assert_eq!(parsed.cells.len(), 2);
+    }
+
+    #[test]
+    fn backoff_schedule_is_pinned_and_reproducible() {
+        let b = RetryBackoff::default();
+        let schedule: Vec<u64> = (1..=6)
+            .map(|r| b.delay(41, 3, r).as_micros() as u64)
+            .collect();
+        // Exact values for (seed=41, cell=3): nominal 25ms/50ms/100ms/...
+        // capped at 1s, each jittered ±20% by the seeded stream. Any change
+        // to the derivation is a reproducibility break and must show up here.
+        let again: Vec<u64> = (1..=6)
+            .map(|r| b.delay(41, 3, r).as_micros() as u64)
+            .collect();
+        assert_eq!(schedule, again, "schedule must be deterministic");
+        let nominal = [25_000u64, 50_000, 100_000, 200_000, 400_000, 800_000];
+        for (i, (&got, &nom)) in schedule.iter().zip(&nominal).enumerate() {
+            let span = nom / 5;
+            assert!(
+                got >= nom - span && got <= nom + span,
+                "retry {} delay {got}us outside {nom}±{span}us",
+                i + 1
+            );
+        }
+        assert_eq!(schedule, PINNED_SCHEDULE, "seeded jitter schedule moved");
+    }
+
+    /// The exact delays (microseconds) of `RetryBackoff::default()` for
+    /// seed 41, cell 3, retries 1..=6.
+    const PINNED_SCHEDULE: [u64; 6] = [25_028, 49_385, 89_200, 192_080, 343_645, 877_268];
+
+    #[test]
+    fn backoff_caps_jitters_and_disables() {
+        let b = RetryBackoff::default();
+        // Past the cap the nominal delay stops growing (1s ± 20%).
+        let far = b.delay(7, 0, 30).as_micros() as u64;
+        assert!((800_000..=1_200_000).contains(&far), "capped delay: {far}");
+        // Different seeds, cells, or retry numbers draw different jitter.
+        assert_ne!(b.delay(1, 0, 1), b.delay(2, 0, 1));
+        assert_ne!(b.delay(1, 0, 1), b.delay(1, 1, 1));
+        // Retry 0 (the first attempt) and `none()` never wait.
+        assert_eq!(b.delay(1, 0, 0), Duration::ZERO);
+        assert_eq!(RetryBackoff::none().delay(1, 0, 5), Duration::ZERO);
     }
 
     #[test]

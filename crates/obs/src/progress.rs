@@ -9,6 +9,7 @@
 
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use crate::clock;
@@ -19,12 +20,20 @@ use crate::stats::wilson95;
 pub struct ProgressSpec {
     /// Minimum time between renders.
     pub interval: Duration,
+    /// Render the live line to stderr. Services that consume snapshots
+    /// programmatically (via [`ProgressSpec::share`]) turn this off.
+    pub render: bool,
+    /// Optional shared outlet: every render also publishes a
+    /// [`ProgressSnapshot`] here, for status endpoints and event streams.
+    pub share: Option<ProgressShare>,
 }
 
 impl Default for ProgressSpec {
     fn default() -> Self {
         ProgressSpec {
             interval: Duration::from_millis(500),
+            render: true,
+            share: None,
         }
     }
 }
@@ -83,6 +92,208 @@ struct KindTally {
     masked: AtomicU64,
 }
 
+/// Per-category slice of a [`ProgressSnapshot`].
+#[derive(Debug, Clone)]
+pub struct KindSnapshot {
+    /// Category the tally covers.
+    pub kind: CategoryKind,
+    /// Injections tallied for this category.
+    pub samples: u64,
+    /// Masked outcomes.
+    pub masked: u64,
+    /// Wilson 95% lower bound on the masking probability.
+    pub lo: f64,
+    /// Wilson 95% upper bound.
+    pub hi: f64,
+}
+
+/// A point-in-time copy of a campaign's progress counters, with derived
+/// rates and Wilson bounds — the machine-readable twin of the stderr line.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    /// Campaign label (network name).
+    pub label: String,
+    /// Cells finished so far, including restored ones.
+    pub cells_done: usize,
+    /// Total cells planned.
+    pub cells_total: usize,
+    /// Cells restored from a checkpoint at start.
+    pub restored: usize,
+    /// Injections run.
+    pub injections: u64,
+    /// Masked outcomes.
+    pub masked: u64,
+    /// Application output errors.
+    pub output_error: u64,
+    /// System anomalies.
+    pub anomaly: u64,
+    /// Injections per second since the campaign started.
+    pub rate_per_sec: f64,
+    /// Wilson 95% lower bound on the overall masking probability.
+    pub masked_lo: f64,
+    /// Wilson 95% upper bound.
+    pub masked_hi: f64,
+    /// Per-category tallies (only categories with samples).
+    pub per_kind: Vec<KindSnapshot>,
+    /// Cell attempts retried.
+    pub retries: u64,
+    /// Watchdog-classified injections.
+    pub watchdog: u64,
+    /// Cells that exhausted their retries.
+    pub failures: usize,
+    /// The campaign's failure budget.
+    pub failure_budget: usize,
+    /// Microseconds since the campaign started.
+    pub elapsed_us: u64,
+    /// Estimated seconds to completion (upper bound), when the rate is
+    /// non-zero.
+    pub eta_secs: Option<f64>,
+    /// Whether this is the final snapshot of the run.
+    pub finished: bool,
+}
+
+impl ProgressSnapshot {
+    /// Renders the snapshot as one JSON object (the event-stream wire
+    /// format; hand-rolled via [`crate::json`], like the trace sink).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_str_field(&mut s, "label", &self.label);
+        push_num_field(&mut s, "cells_done", self.cells_done as f64);
+        push_num_field(&mut s, "cells_total", self.cells_total as f64);
+        push_num_field(&mut s, "restored", self.restored as f64);
+        push_num_field(&mut s, "injections", self.injections as f64);
+        push_num_field(&mut s, "masked", self.masked as f64);
+        push_num_field(&mut s, "output_error", self.output_error as f64);
+        push_num_field(&mut s, "anomaly", self.anomaly as f64);
+        push_num_field(&mut s, "rate_per_sec", self.rate_per_sec);
+        push_num_field(&mut s, "masked_lo", self.masked_lo);
+        push_num_field(&mut s, "masked_hi", self.masked_hi);
+        s.push_str("\"per_kind\":[");
+        for (i, k) in self.per_kind.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            push_str_field(&mut s, "kind", k.kind.short());
+            push_num_field(&mut s, "samples", k.samples as f64);
+            push_num_field(&mut s, "masked", k.masked as f64);
+            push_num_field(&mut s, "lo", k.lo);
+            push_num_field(&mut s, "hi", k.hi);
+            s.pop(); // trailing comma
+            s.push('}');
+        }
+        s.push_str("],");
+        push_num_field(&mut s, "retries", self.retries as f64);
+        push_num_field(&mut s, "watchdog", self.watchdog as f64);
+        push_num_field(&mut s, "failures", self.failures as f64);
+        push_num_field(&mut s, "failure_budget", self.failure_budget as f64);
+        push_num_field(&mut s, "elapsed_us", self.elapsed_us as f64);
+        match self.eta_secs {
+            Some(eta) => push_num_field(&mut s, "eta_secs", eta),
+            None => s.push_str("\"eta_secs\":null,"),
+        }
+        s.push_str("\"finished\":");
+        s.push_str(if self.finished { "true" } else { "false" });
+        s.push('}');
+        s
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    crate::json::escape_into(out, key);
+    out.push(':');
+    crate::json::escape_into(out, value);
+    out.push(',');
+}
+
+fn push_num_field(out: &mut String, key: &str, value: f64) {
+    crate::json::escape_into(out, key);
+    out.push(':');
+    crate::json::number_into(out, value);
+    out.push(',');
+}
+
+/// Bounded per-subscriber buffer: a stalled event-stream consumer loses
+/// intermediate snapshots (each one supersedes the last) instead of ever
+/// back-pressuring the campaign.
+const SUBSCRIBER_BUFFER: usize = 64;
+
+#[derive(Debug, Default)]
+struct ShareInner {
+    latest: Mutex<Option<ProgressSnapshot>>,
+    seq: AtomicU64,
+    subscribers: Mutex<Vec<mpsc::SyncSender<ProgressSnapshot>>>,
+}
+
+/// A cloneable snapshot outlet shared between a running campaign and its
+/// observers. The campaign publishes on every render; observers either poll
+/// [`ProgressShare::latest`] (status endpoints) or [`ProgressShare::subscribe`]
+/// for a pushed stream (event streams). Publishing never blocks: slow
+/// subscribers drop intermediate snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressShare {
+    inner: Arc<ShareInner>,
+}
+
+impl ProgressShare {
+    /// A fresh share with no snapshot yet.
+    pub fn new() -> Self {
+        ProgressShare::default()
+    }
+
+    /// The most recent snapshot, if any render has happened.
+    pub fn latest(&self) -> Option<ProgressSnapshot> {
+        self.inner
+            .latest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Monotonic publish counter (0 before the first snapshot).
+    pub fn seq(&self) -> u64 {
+        self.inner.seq.load(Ordering::Acquire)
+    }
+
+    /// Subscribes to pushed snapshots. The stream ends (receiver errors)
+    /// when every publisher clone of the share is gone; consumers should
+    /// also stop on a snapshot with `finished == true`.
+    pub fn subscribe(&self) -> mpsc::Receiver<ProgressSnapshot> {
+        let (tx, rx) = mpsc::sync_channel(SUBSCRIBER_BUFFER);
+        self.inner
+            .subscribers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(tx);
+        rx
+    }
+
+    /// Publishes one snapshot: stores it as latest, bumps the sequence
+    /// counter, and pushes it to every live subscriber (dropping it for
+    /// subscribers with full buffers, pruning disconnected ones).
+    pub fn publish(&self, snap: ProgressSnapshot) {
+        {
+            let mut latest = self
+                .inner
+                .latest
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *latest = Some(snap.clone());
+        }
+        self.inner.seq.fetch_add(1, Ordering::AcqRel);
+        let mut subs = self
+            .inner
+            .subscribers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        subs.retain(|tx| match tx.try_send(snap.clone()) {
+            Ok(()) | Err(mpsc::TrySendError::Full(_)) => true,
+            Err(mpsc::TrySendError::Disconnected(_)) => false,
+        });
+    }
+}
+
 /// Check the clock only every this many injections — keeps the hot path at
 /// one `fetch_add` per injection between renders.
 const RENDER_CHECK_EVERY: u64 = 128;
@@ -97,6 +308,8 @@ pub struct CampaignProgress {
     failure_budget: usize,
     start_us: u64,
     tty: bool,
+    render_stderr: bool,
+    share: Option<ProgressShare>,
 
     restored: AtomicUsize,
     cells_done: AtomicUsize,
@@ -112,6 +325,7 @@ pub struct CampaignProgress {
     last_render_us: AtomicU64,
     rendering: AtomicBool,
     rendered_once: AtomicBool,
+    finished: AtomicBool,
 }
 
 impl CampaignProgress {
@@ -132,6 +346,8 @@ impl CampaignProgress {
             failure_budget,
             start_us: clock::since_epoch_us(),
             tty: std::io::stderr().is_terminal(),
+            render_stderr: spec.render,
+            share: spec.share.clone(),
             restored: AtomicUsize::new(0),
             cells_done: AtomicUsize::new(0),
             injections: AtomicU64::new(0),
@@ -145,6 +361,7 @@ impl CampaignProgress {
             last_render_us: AtomicU64::new(0),
             rendering: AtomicBool::new(false),
             rendered_once: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
         }
     }
 
@@ -197,12 +414,81 @@ impl CampaignProgress {
         self.maybe_render(false);
     }
 
-    /// Forces a final render and terminates the in-place line.
+    /// Forces a final render (publishing a `finished` snapshot to the
+    /// share) and terminates the in-place line.
     pub fn finish(&self) {
+        self.finished.store(true, Ordering::Relaxed);
         self.maybe_render(true);
-        if self.tty && self.rendered_once.load(Ordering::Relaxed) {
+        if self.render_stderr && self.tty && self.rendered_once.load(Ordering::Relaxed) {
             let mut err = std::io::stderr().lock();
             let _ = writeln!(err);
+        }
+    }
+
+    /// A point-in-time copy of the counters with derived rates and bounds —
+    /// the same data the stderr line renders, machine-readable.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        self.snapshot_at(clock::since_epoch_us())
+    }
+
+    fn snapshot_at(&self, now_us: u64) -> ProgressSnapshot {
+        let restored = self.restored.load(Ordering::Relaxed);
+        let done = self.cells_done.load(Ordering::Relaxed) + restored;
+        let injections = self.injections.load(Ordering::Relaxed);
+        let masked = self.masked.load(Ordering::Relaxed);
+        let elapsed_us = now_us.saturating_sub(self.start_us);
+        let elapsed_s = elapsed_us as f64 / 1e6;
+        let rate = if elapsed_s > 0.0 {
+            injections as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        // ETA from the remaining-cell injection estimate at the current rate
+        // (adaptive sampling can finish cells early, so this is an upper
+        // bound).
+        let remaining_cells = self.cells_total.saturating_sub(done);
+        let remaining_inj = remaining_cells as u64 * self.samples_per_cell as u64;
+        let eta_secs = (rate > 0.0).then(|| remaining_inj as f64 / rate);
+        let (lo, hi) = wilson95(masked as usize, injections as usize);
+        let per_kind = CategoryKind::ALL
+            .iter()
+            .filter_map(|&kind| {
+                let t = &self.per_kind[kind.index()];
+                let n = t.samples.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let m = t.masked.load(Ordering::Relaxed);
+                let (klo, khi) = wilson95(m as usize, n as usize);
+                Some(KindSnapshot {
+                    kind,
+                    samples: n,
+                    masked: m,
+                    lo: klo,
+                    hi: khi,
+                })
+            })
+            .collect();
+        ProgressSnapshot {
+            label: self.label.clone(),
+            cells_done: done,
+            cells_total: self.cells_total,
+            restored,
+            injections,
+            masked,
+            output_error: self.output_error.load(Ordering::Relaxed),
+            anomaly: self.anomaly.load(Ordering::Relaxed),
+            rate_per_sec: rate,
+            masked_lo: lo,
+            masked_hi: hi,
+            per_kind,
+            retries: self.retries.load(Ordering::Relaxed),
+            watchdog: self.watchdog.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            failure_budget: self.failure_budget,
+            elapsed_us,
+            eta_secs,
+            finished: self.finished.load(Ordering::Relaxed),
         }
     }
 
@@ -222,71 +508,55 @@ impl CampaignProgress {
     }
 
     fn render(&self, now_us: u64) {
-        let restored = self.restored.load(Ordering::Relaxed);
-        let done = self.cells_done.load(Ordering::Relaxed) + restored;
-        let injections = self.injections.load(Ordering::Relaxed);
-        let masked = self.masked.load(Ordering::Relaxed);
-        let failures = self.failures.load(Ordering::Relaxed);
-        let elapsed_s = (now_us.saturating_sub(self.start_us)) as f64 / 1e6;
-        let rate = if elapsed_s > 0.0 {
-            injections as f64 / elapsed_s
-        } else {
-            0.0
-        };
+        let snap = self.snapshot_at(now_us);
+        if let Some(share) = &self.share {
+            share.publish(snap.clone());
+        }
+        if !self.render_stderr {
+            return;
+        }
 
-        // ETA from the remaining-cell injection estimate at the current rate
-        // (adaptive sampling can finish cells early, so this is an upper
-        // bound).
-        let remaining_cells = self.cells_total.saturating_sub(done);
-        let remaining_inj = remaining_cells as u64 * self.samples_per_cell as u64;
-        let eta = if rate > 0.0 {
-            fmt_secs(remaining_inj as f64 / rate)
-        } else {
-            "?".to_owned()
+        let eta = match snap.eta_secs {
+            Some(s) => fmt_secs(s),
+            None => "?".to_owned(),
         };
-
-        let (lo, hi) = wilson95(masked as usize, injections as usize);
         let mut kinds = String::new();
-        for kind in CategoryKind::ALL {
-            let t = &self.per_kind[kind.index()];
-            let n = t.samples.load(Ordering::Relaxed) as usize;
-            if n == 0 {
-                continue;
-            }
-            let m = t.masked.load(Ordering::Relaxed) as usize;
-            let (klo, khi) = wilson95(m, n);
+        for k in &snap.per_kind {
             let _ = std::fmt::Write::write_fmt(
                 &mut kinds,
                 format_args!(
                     " {} {:.2}±{:.2}",
-                    kind.short(),
-                    m as f64 / n as f64,
-                    (khi - klo) / 2.0
+                    k.kind.short(),
+                    k.masked as f64 / k.samples as f64,
+                    (k.hi - k.lo) / 2.0
                 ),
             );
         }
-
-        let restored_note = if restored > 0 {
-            format!(" ({restored} restored)")
+        let restored_note = if snap.restored > 0 {
+            format!(" ({} restored)", snap.restored)
         } else {
             String::new()
         };
         let line = format!(
             "[{}] cells {}/{}{} | inj {} ({}/s) | mask {:.2} [{:.2},{:.2}]{} | retry {} wdt {} fail {}/{} | ETA {}",
-            self.label,
-            done,
-            self.cells_total,
+            snap.label,
+            snap.cells_done,
+            snap.cells_total,
             restored_note,
-            injections,
-            rate.round() as u64,
-            if injections == 0 { 0.0 } else { masked as f64 / injections as f64 },
-            lo,
-            hi,
+            snap.injections,
+            snap.rate_per_sec.round() as u64,
+            if snap.injections == 0 {
+                0.0
+            } else {
+                snap.masked as f64 / snap.injections as f64
+            },
+            snap.masked_lo,
+            snap.masked_hi,
             kinds,
-            self.retries.load(Ordering::Relaxed),
-            self.watchdog.load(Ordering::Relaxed),
-            failures,
-            self.failure_budget,
+            snap.retries,
+            snap.watchdog,
+            snap.failures,
+            snap.failure_budget,
             eta,
         );
         self.rendered_once.store(true, Ordering::Relaxed);
@@ -322,6 +592,7 @@ mod tests {
             "test",
             &ProgressSpec {
                 interval: Duration::from_secs(3600),
+                ..ProgressSpec::default()
             },
             4,
             10,
@@ -348,5 +619,110 @@ mod tests {
         assert_eq!(fmt_secs(5.2), "5s");
         assert_eq!(fmt_secs(65.0), "1m05s");
         assert_eq!(fmt_secs(3700.0), "1h01m");
+    }
+
+    fn quiet_spec(share: Option<ProgressShare>) -> ProgressSpec {
+        ProgressSpec {
+            interval: Duration::from_micros(0),
+            render: false,
+            share,
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_counters_and_serializes() {
+        let p = CampaignProgress::new("snapnet", &quiet_spec(None), 4, 10, 2);
+        for _ in 0..8 {
+            p.on_injection(CategoryKind::Datapath, OutcomeKind::Masked);
+        }
+        p.on_injection(CategoryKind::Datapath, OutcomeKind::OutputError);
+        p.on_injection(CategoryKind::LocalControl, OutcomeKind::Anomaly);
+        p.on_cell_done();
+        let snap = p.snapshot();
+        assert_eq!(snap.label, "snapnet");
+        assert_eq!(snap.injections, 10);
+        assert_eq!(snap.masked, 8);
+        assert_eq!(snap.output_error, 1);
+        assert_eq!(snap.anomaly, 1);
+        assert_eq!(snap.cells_done, 1);
+        assert_eq!(snap.cells_total, 4);
+        assert!(!snap.finished);
+        assert_eq!(snap.per_kind.len(), 2);
+        let dp = &snap.per_kind[0];
+        assert_eq!((dp.samples, dp.masked), (9, 8));
+        assert!(dp.lo <= 8.0 / 9.0 && 8.0 / 9.0 <= dp.hi);
+        // The JSON form parses back and carries the same counters.
+        let json = crate::json::parse(&snap.to_json()).unwrap();
+        assert_eq!(
+            json.get("injections").and_then(crate::json::Json::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            json.get("label").and_then(crate::json::Json::as_str),
+            Some("snapnet")
+        );
+        assert_eq!(
+            json.get("per_kind").and_then(|v| match v {
+                crate::json::Json::Arr(a) => Some(a.len()),
+                _ => None,
+            }),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn share_publishes_latest_and_streams_to_subscribers() {
+        let share = ProgressShare::new();
+        let rx = share.subscribe();
+        let p = CampaignProgress::new("sharenet", &quiet_spec(Some(share.clone())), 2, 4, 0);
+        assert_eq!(share.seq(), 0);
+        for _ in 0..RENDER_CHECK_EVERY {
+            p.on_injection(CategoryKind::Datapath, OutcomeKind::Masked);
+        }
+        assert!(share.seq() > 0, "render interval elapsed, must publish");
+        let first = share.latest().unwrap();
+        assert_eq!(first.label, "sharenet");
+        p.finish();
+        let last = share.latest().unwrap();
+        assert!(last.finished);
+        // The subscriber saw every published snapshot in order, ending with
+        // the finished one.
+        let mut streamed = Vec::new();
+        while let Ok(s) = rx.try_recv() {
+            streamed.push(s);
+        }
+        assert_eq!(streamed.len() as u64, share.seq());
+        assert!(streamed.last().unwrap().finished);
+    }
+
+    #[test]
+    fn slow_subscribers_never_block_publish() {
+        let share = ProgressShare::new();
+        let _rx = share.subscribe(); // never drained
+        let p = CampaignProgress::new("noblock", &quiet_spec(Some(share.clone())), 1, 1, 0);
+        // Publish far more snapshots than the subscriber buffer holds; the
+        // campaign side must not stall or error.
+        for _ in 0..(SUBSCRIBER_BUFFER as u64 + 16) * RENDER_CHECK_EVERY {
+            p.on_injection(CategoryKind::Datapath, OutcomeKind::Masked);
+        }
+        p.finish();
+        assert!(share.seq() > SUBSCRIBER_BUFFER as u64);
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let share = ProgressShare::new();
+        let rx = share.subscribe();
+        drop(rx);
+        let p = CampaignProgress::new("prune", &quiet_spec(Some(share.clone())), 1, 1, 0);
+        p.on_cell_done();
+        p.finish();
+        assert!(share.seq() >= 1);
+        assert!(share
+            .inner
+            .subscribers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty());
     }
 }

@@ -31,8 +31,10 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod pool;
 
+pub use cancel::CancelToken;
 pub use pool::{run_indexed, PoolSpec, RunStats, ShardPlan, WorkStealPool};
 
 /// Minimal xorshift64* generator for victim selection. Scheduling noise must

@@ -11,7 +11,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use crate::XorShift64;
+use crate::{CancelToken, XorShift64};
 
 /// How task indices are dealt onto worker deques before execution starts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,10 @@ pub struct PoolSpec {
     pub seed: u64,
     /// Initial task distribution.
     pub plan: ShardPlan,
+    /// Cooperative cancellation. Once the token fires, queued tasks are
+    /// drained without executing (counted in [`RunStats::skipped`]); tasks
+    /// already executing run to completion. `None` never cancels.
+    pub cancel: Option<CancelToken>,
 }
 
 impl PoolSpec {
@@ -48,7 +52,15 @@ impl PoolSpec {
             workers,
             seed: 0x5EED_F1DE,
             plan: ShardPlan::Balanced,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 }
 
@@ -61,6 +73,9 @@ pub struct RunStats {
     pub stolen: u64,
     /// Tasks whose closure panicked (payload re-raised by [`WorkStealPool::run`]).
     pub panicked: u64,
+    /// Tasks drained without executing because the run was cancelled.
+    /// `executed + skipped` always equals the task count.
+    pub skipped: u64,
     /// Workers that actually ran (after clamping).
     pub workers: usize,
 }
@@ -86,6 +101,7 @@ struct Shared {
     executed: AtomicU64,
     stolen: AtomicU64,
     panicked: AtomicU64,
+    skipped: AtomicU64,
     /// First panic payload, re-raised after the run drains.
     payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
@@ -181,6 +197,7 @@ impl WorkStealPool {
             executed: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
             payload: Mutex::new(None),
         };
         distribute(&shared, tasks, workers, self.spec.plan);
@@ -191,9 +208,10 @@ impl WorkStealPool {
                     let init = &init;
                     let f = &f;
                     let seed = self.spec.seed;
+                    let cancel = self.spec.cancel.clone();
                     s.spawn(move || {
                         let mut state = init(w);
-                        worker_loop(w, seed, shared, &mut state, f);
+                        worker_loop(w, seed, cancel, shared, &mut state, f);
                     });
                 }
             });
@@ -202,6 +220,7 @@ impl WorkStealPool {
             executed: shared.executed.load(Ordering::Relaxed),
             stolen: shared.stolen.load(Ordering::Relaxed),
             panicked: shared.panicked.load(Ordering::Relaxed),
+            skipped: shared.skipped.load(Ordering::Relaxed),
             workers,
         };
         let payload = lock(&shared.payload).take();
@@ -252,6 +271,7 @@ fn distribute(shared: &Shared, tasks: usize, workers: usize, plan: ShardPlan) {
 fn worker_loop<S, F: Fn(&mut S, usize) + Sync>(
     w: usize,
     seed: u64,
+    cancel: Option<CancelToken>,
     shared: &Shared,
     state: &mut S,
     f: &F,
@@ -259,6 +279,22 @@ fn worker_loop<S, F: Fn(&mut S, usize) + Sync>(
     let nworkers = shared.queues.len();
     let mut rng = XorShift64::new(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     loop {
+        // Cooperative cancellation: drain the local deque without executing,
+        // then spin down once every in-flight task elsewhere has finished.
+        // Each queue is drained by its owning worker, so no task is stranded
+        // and `remaining` still reaches zero.
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            let drained: Vec<usize> = lock(&shared.queues[w]).drain(..).collect();
+            for _ in &drained {
+                shared.skipped.fetch_add(1, Ordering::Relaxed);
+                shared.remaining.fetch_sub(1, Ordering::Release);
+            }
+            if shared.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        }
         // Own work first: pop the front of the local deque, so a worker
         // drains its shard in ascending index order. Consumers that commit
         // results in index order (the campaign's ordered checkpoint buffer)
@@ -352,6 +388,7 @@ mod tests {
             workers: 4,
             seed: 1,
             plan: ShardPlan::Funnel,
+            cancel: None,
         });
         let counts: Vec<AtomicU32> = (0..512).map(|_| AtomicU32::new(0)).collect();
         // Make each task slow enough that worker 0 cannot drain the funnel
@@ -380,6 +417,7 @@ mod tests {
                 workers: 1,
                 seed: 5,
                 plan,
+                cancel: None,
             });
             pool.run(50, |i| lock(&order).push(i));
             assert_eq!(*lock(&order), (0..50).collect::<Vec<_>>(), "{plan:?}");
@@ -391,6 +429,49 @@ mod tests {
         let stats = run_indexed(8, 0, |_| panic!("must not run"));
         assert_eq!(stats.executed, 0);
         assert_eq!(stats.panicked, 0);
+    }
+
+    /// Cancellation mid-run: every task is either executed or skipped
+    /// (never lost, never both), and no task starts after the drain begins.
+    #[test]
+    fn cancel_drains_without_losing_tasks() {
+        let token = CancelToken::new();
+        let pool = WorkStealPool::new(PoolSpec {
+            workers: 4,
+            seed: 3,
+            plan: ShardPlan::Balanced,
+            cancel: Some(token.clone()),
+        });
+        let ran: Vec<AtomicU32> = (0..400).map(|_| AtomicU32::new(0)).collect();
+        let stats = pool.run(ran.len(), |i| {
+            if i == 5 {
+                token.cancel();
+            }
+            // Slow tasks keep queues non-empty when the cancel lands.
+            for s in 0..20_000u64 {
+                std::hint::black_box(s.wrapping_mul(i as u64));
+            }
+            ran[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(stats.executed + stats.skipped, 400, "{stats:?}");
+        assert!(stats.skipped > 0, "cancel must skip queued work: {stats:?}");
+        let executed: u64 = ran
+            .iter()
+            .map(|c| u64::from(c.load(Ordering::Relaxed)))
+            .sum();
+        assert_eq!(executed, stats.executed, "skipped tasks must not run");
+        assert!(ran.iter().all(|c| c.load(Ordering::Relaxed) <= 1));
+    }
+
+    /// A token cancelled before the run starts skips everything.
+    #[test]
+    fn pre_cancelled_run_executes_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let pool = WorkStealPool::new(PoolSpec::new(4).with_cancel(token));
+        let stats = pool.run(64, |_| panic!("must not run"));
+        assert_eq!(stats.executed, 0);
+        assert_eq!(stats.skipped, 64);
     }
 
     #[test]
@@ -461,6 +542,7 @@ mod tests {
                 workers,
                 seed: 99,
                 plan: ShardPlan::RoundRobin(1),
+                cancel: None,
             });
             let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
             let stats = pool.run(counts.len(), |i| {

@@ -26,6 +26,7 @@ fn no_lost_or_duplicated_tasks_under_steal_pressure() {
                 workers,
                 seed,
                 plan,
+                cancel: None,
             });
             let counts: Vec<AtomicU32> = (0..TASKS).map(|_| AtomicU32::new(0)).collect();
             let stats = pool.run(TASKS, |i| {
@@ -66,6 +67,7 @@ fn panicking_task_loses_nothing() {
         workers: 8,
         seed: 11,
         plan: ShardPlan::Funnel,
+        cancel: None,
     });
     let result = catch_unwind(|| {
         pool.run(TASKS, |i| {
@@ -94,6 +96,7 @@ fn obs_counters_are_exact_across_workers() {
         workers: 8,
         seed: 77,
         plan: ShardPlan::RoundRobin(3),
+        cancel: None,
     });
     let stats = pool.run(TASKS, |i| {
         for _ in 0..PER_TASK {

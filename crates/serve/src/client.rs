@@ -1,0 +1,309 @@
+//! A thin blocking client for the campaign service.
+//!
+//! Used by the `fidelity serve --smoke` self-test, the integration suite,
+//! and scripting. Speaks just enough HTTP/1.1 for this API: fixed-length
+//! JSON responses and the chunked NDJSON event stream.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+/// One HTTP exchange's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// Decoded body (chunked framing removed).
+    pub body: String,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `127.0.0.1:8123`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Submits a job spec (JSON text). `202` means accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection/protocol errors as text.
+    pub fn submit(&self, spec_json: &str) -> Result<HttpReply, String> {
+        self.request("POST", "/campaigns", Some(spec_json))
+    }
+
+    /// Fetches one job's status document.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection/protocol errors as text.
+    pub fn status(&self, id: &str) -> Result<HttpReply, String> {
+        self.request("GET", &format!("/campaigns/{id}"), None)
+    }
+
+    /// Lists all jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection/protocol errors as text.
+    pub fn list(&self) -> Result<HttpReply, String> {
+        self.request("GET", "/campaigns", None)
+    }
+
+    /// Requests cancellation of a job.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection/protocol errors as text.
+    pub fn cancel(&self, id: &str) -> Result<HttpReply, String> {
+        self.request("DELETE", &format!("/campaigns/{id}"), None)
+    }
+
+    /// Health check.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection/protocol errors as text.
+    pub fn healthz(&self) -> Result<HttpReply, String> {
+        self.request("GET", "/healthz", None)
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection/protocol errors as text.
+    pub fn shutdown(&self) -> Result<HttpReply, String> {
+        self.request("POST", "/shutdown", None)
+    }
+
+    /// Opens the event stream for `id` and returns the first NDJSON line,
+    /// then drops the connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream yields no line within the client timeout.
+    pub fn stream_one_event(&self, id: &str) -> Result<String, String> {
+        let mut stream = self.connect()?;
+        let req = format!(
+            "GET /campaigns/{id}/events HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        );
+        stream.write_all(req.as_bytes()).map_err(io_err)?;
+        // Read until the first newline after the header block.
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if let Some(line) = first_stream_line(&buf) {
+                        return Ok(line);
+                    }
+                    if buf.len() > 256 * 1024 {
+                        return Err("event stream produced no line in 256 KiB".to_owned());
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err("timed out waiting for an event".to_owned());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("stream read: {e}")),
+            }
+        }
+        Err("event stream closed without an event".to_owned())
+    }
+
+    /// Polls `GET /campaigns/:id` until the state is terminal, for at most
+    /// `attempts` polls `interval` apart. Returns the final status body.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the job is still running after the last poll.
+    pub fn wait_terminal(
+        &self,
+        id: &str,
+        attempts: usize,
+        interval: Duration,
+    ) -> Result<String, String> {
+        for _ in 0..attempts {
+            let reply = self.status(id)?;
+            if reply.status == 200 && body_state_is_terminal(&reply.body) {
+                return Ok(reply.body);
+            }
+            std::thread::sleep(interval);
+        }
+        Err(format!("job {id} did not finish within {attempts} polls"))
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(io_err)?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(io_err)?;
+        Ok(stream)
+    }
+
+    /// One request/response exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection/protocol errors as text.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<HttpReply, String> {
+        let mut stream = self.connect()?;
+        let body = body.unwrap_or("");
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        // A write error is not fatal: a server that rejects the request
+        // early (e.g. 413 before reading the body) closes its read side,
+        // which surfaces here as a broken pipe — the response is still on
+        // the wire.
+        let sent = stream.write_all(req.as_bytes());
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 2048];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if raw.is_empty() => {
+                    if let Err(w) = sent {
+                        return Err(format!("write: {w}"));
+                    }
+                    return Err(format!("read: {e}"));
+                }
+                Err(_) => break,
+            }
+        }
+        if raw.is_empty() {
+            if let Err(w) = sent {
+                return Err(format!("write: {w}"));
+            }
+        }
+        parse_reply(&raw)
+    }
+}
+
+fn io_err(e: std::io::Error) -> String {
+    format!("socket: {e}")
+}
+
+/// Parses a full response (status line, headers, body; chunked or fixed).
+fn parse_reply(raw: &[u8]) -> Result<HttpReply, String> {
+    let text = String::from_utf8_lossy(raw);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(format!("malformed response: {text}"));
+    };
+    let status_line = head.lines().next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    let chunked = head.lines().any(|l| {
+        l.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+    });
+    let body = if chunked {
+        decode_chunked(body)
+    } else {
+        body.to_owned()
+    };
+    Ok(HttpReply { status, body })
+}
+
+fn decode_chunked(raw: &str) -> String {
+    let mut out = String::new();
+    let mut rest = raw;
+    while let Some((size_line, tail)) = rest.split_once("\r\n") {
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+            break;
+        };
+        if size == 0 || tail.len() < size {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = tail[size..].strip_prefix("\r\n").unwrap_or("");
+    }
+    out
+}
+
+/// First NDJSON line of a chunked event stream, if complete.
+fn first_stream_line(buf: &[u8]) -> Option<String> {
+    let text = String::from_utf8_lossy(buf);
+    let (_, body) = text.split_once("\r\n\r\n")?;
+    let decoded = decode_chunked(body);
+    let line = decoded.split('\n').next()?;
+    if line.is_empty() {
+        None
+    } else {
+        Some(line.to_owned())
+    }
+}
+
+fn body_state_is_terminal(body: &str) -> bool {
+    ["done", "failed", "cancelled", "expired", "shed"]
+        .iter()
+        .any(|s| body.contains(&format!("\"state\":\"{s}\"")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fixed_length_replies() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn decodes_chunked_replies() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nab\ncd\r\n3\r\nef\n\r\n0\r\n\r\n";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.body, "ab\ncdef\n");
+    }
+
+    #[test]
+    fn extracts_the_first_stream_line() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n8\r\n{\"a\":1}\n\r\n";
+        assert_eq!(first_stream_line(raw).as_deref(), Some("{\"a\":1}"));
+        assert_eq!(first_stream_line(b"HTTP/1.1 200 OK\r\n\r\n"), None);
+    }
+
+    #[test]
+    fn terminal_state_detection_reads_the_state_field() {
+        assert!(body_state_is_terminal("{\"state\":\"done\"}"));
+        assert!(body_state_is_terminal("{\"state\":\"failed\"}"));
+        assert!(!body_state_is_terminal("{\"state\":\"running\"}"));
+    }
+}

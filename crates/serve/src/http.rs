@@ -1,0 +1,288 @@
+//! Minimal HTTP/1.1 support for the campaign service.
+//!
+//! Hand-rolled on purpose: the daemon depends only on the standard library,
+//! and the API surface is small (five routes, JSON bodies, one chunked
+//! stream). The parser enforces hard limits — 8 KiB of headers, 64 KiB of
+//! body — so a malformed or hostile request costs bounded memory and gets a
+//! clean 4xx, never a panic or an unbounded buffer.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Maximum bytes of request body.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, ...
+    pub method: String,
+    /// Request target, e.g. `/campaigns/abc123`.
+    pub path: String,
+    /// Raw body bytes (≤ [`MAX_BODY_BYTES`]).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed. Each variant maps to one status code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request line or headers → 400.
+    BadRequest(String),
+    /// Headers or body over the hard limits → 413.
+    TooLarge(&'static str),
+    /// The client went quiet mid-request → 408.
+    Timeout,
+    /// The client disconnected before sending anything.
+    Closed,
+}
+
+/// Reads and parses one request. The caller owns socket timeouts; a read
+/// timeout surfaces as [`ParseError::Timeout`].
+///
+/// # Errors
+///
+/// See [`ParseError`].
+pub fn read_request<R: Read>(r: &mut R) -> Result<Request, ParseError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ParseError::TooLarge("headers"));
+        }
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(ParseError::Closed);
+                }
+                return Err(ParseError::BadRequest("truncated headers".to_owned()));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(ParseError::Timeout);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ParseError::BadRequest(format!("read: {e}"))),
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequest(format!(
+            "malformed request line `{request_line}`"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| ParseError::BadRequest(format!("bad content-length `{value}`")))?;
+        } else if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            return Err(ParseError::BadRequest(
+                "transfer-encoding not supported for requests".to_owned(),
+            ));
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge("body"));
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        match r.read(&mut chunk) {
+            Ok(0) => return Err(ParseError::BadRequest("truncated body".to_owned())),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(ParseError::Timeout);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ParseError::BadRequest(format!("read: {e}"))),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete JSON response with `Content-Length`.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond_json<W: Write>(w: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    respond_json_with(w, status, &[], body)
+}
+
+/// Like [`respond_json`], with extra headers (e.g. `Retry-After`).
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond_json_with<W: Write>(
+    w: &mut W,
+    status: u16,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Starts a chunked response (the event stream).
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn start_chunked<W: Write>(w: &mut W, status: u16) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason(status)
+    );
+    w.write_all(head.as_bytes())?;
+    w.flush()
+}
+
+/// Writes one chunk.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_chunk<W: Write>(w: &mut W, data: &str) -> std::io::Result<()> {
+    write!(w, "{:x}\r\n{data}\r\n", data.len())?;
+    w.flush()
+}
+
+/// Terminates a chunked response.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn end_chunked<W: Write>(w: &mut W) -> std::io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, ParseError> {
+        read_request(&mut std::io::Cursor::new(raw.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /campaigns HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/campaigns");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x SMTP/1.0\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(parse(b""), Err(ParseError::Closed)));
+    }
+
+    #[test]
+    fn rejects_oversized_headers_and_bodies() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 16));
+        assert!(matches!(
+            read_request(&mut std::io::Cursor::new(raw)),
+            Err(ParseError::TooLarge("headers"))
+        ));
+
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(raw.as_bytes()),
+            Err(ParseError::TooLarge("body"))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_a_bad_request() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse(raw), Err(ParseError::BadRequest(_))));
+    }
+
+    #[test]
+    fn chunked_writer_emits_valid_framing() {
+        let mut out = Vec::new();
+        start_chunked(&mut out, 200).unwrap();
+        write_chunk(&mut out, "{\"a\":1}\n").unwrap();
+        end_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

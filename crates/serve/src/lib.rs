@@ -1,0 +1,42 @@
+//! fidelity-serve: crash-tolerant campaign-as-a-service daemon.
+//!
+//! Long resilience campaigns want to run unattended: submitted over HTTP,
+//! supervised, resumable after a crash or `kill -9`, and honest under
+//! overload. This crate provides that service layer on top of the
+//! deterministic campaign engine:
+//!
+//! * [`jobspec`] — the JSON job description; its fingerprint keys
+//!   single-flight deduplication and the on-disk checkpoint, and
+//!   deployment mirrors the `fidelity analyze` CLI so service results are
+//!   bit-identical to CLI results.
+//! * [`journal`] — a checksummed write-ahead log of job lifecycle events;
+//!   a torn tail (the one legal crash artifact) truncates cleanly, any
+//!   other damage is reported with a line number.
+//! * [`queue`] — a bounded priority queue with explicit backpressure
+//!   (reject + retry hint) and visible overload shedding.
+//! * [`supervisor`] — the job engine: workers, seeded-backoff retries,
+//!   deadlines, cooperative cancellation, checkpoint-resume recovery, and
+//!   graceful drain.
+//! * [`http`] / [`server`] — a dependency-free HTTP/1.1 front end with
+//!   hard request limits and a chunked progress-event stream.
+//! * [`client`] — a thin blocking client for scripting, smoke tests, and
+//!   the integration suite.
+//!
+//! Nothing here invents randomness or reads wall clocks on campaign
+//! paths: every campaign the daemon runs is exactly the campaign the CLI
+//! would have run, which is what makes crash recovery verifiable — a
+//! resumed job's checkpoint bytes and masking probabilities match an
+//! uninterrupted run's.
+
+pub mod client;
+pub mod http;
+pub mod jobspec;
+pub mod journal;
+pub mod queue;
+pub mod server;
+pub mod supervisor;
+
+pub use client::{Client, HttpReply};
+pub use jobspec::JobSpec;
+pub use server::{serve, ServeHandle};
+pub use supervisor::{JobState, ServeConfig, SubmitOutcome, Supervisor};

@@ -1,0 +1,240 @@
+//! Bounded priority queue with explicit backpressure and overload shedding.
+//!
+//! The queue holds job ids waiting for a worker. It is deliberately small
+//! and honest about overload:
+//!
+//! * **Backpressure** — a submission to a full queue is *rejected* with a
+//!   retry hint, never silently buffered without bound.
+//! * **Shedding** — when a higher-priority job arrives at a full queue, the
+//!   lowest-priority queued entry is evicted to make room, and the eviction
+//!   is reported to the caller (who journals it and marks the job shed) —
+//!   degradation is graceful and visible, never silent.
+//!
+//! Ordering: higher priority first; FIFO (submission order) within a
+//! priority.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// One queued entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// Job id.
+    pub id: String,
+    /// Priority; higher runs first.
+    pub priority: i32,
+    /// Submission sequence number (FIFO tiebreak).
+    pub seq: u64,
+}
+
+/// What happened to a push.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The entry was queued.
+    Queued,
+    /// The queue was full and the entry outranked the lowest-priority
+    /// occupant, which was evicted to make room. The caller must report the
+    /// eviction — shedding is never silent.
+    Shed {
+        /// The evicted entry.
+        victim: QueueEntry,
+    },
+    /// The queue was full of equal-or-higher-priority work; the submission
+    /// is rejected and the client should retry after roughly this long.
+    Rejected {
+        /// Retry hint.
+        retry_after: Duration,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<QueueEntry>,
+    closed: bool,
+}
+
+/// The queue. All methods are safe to call from any thread.
+#[derive(Debug)]
+pub struct JobQueue {
+    cap: usize,
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+/// Retry hint for rejected submissions: long enough for one small campaign
+/// to drain, short enough that clients poll usefully.
+const RETRY_AFTER: Duration = Duration::from_secs(2);
+
+impl JobQueue {
+    /// A queue admitting at most `cap` waiting jobs (min 1).
+    pub fn new(cap: usize) -> Self {
+        JobQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Submits an entry; see [`PushOutcome`] for the full-queue behavior.
+    pub fn push(&self, entry: QueueEntry) -> PushOutcome {
+        let mut inner = lock_inner(&self.inner);
+        if inner.entries.len() < self.cap {
+            inner.entries.push(entry);
+            drop(inner);
+            self.ready.notify_one();
+            return PushOutcome::Queued;
+        }
+        // Full: find the weakest occupant (lowest priority; youngest within
+        // it, so surviving work keeps FIFO fairness).
+        let weakest = inner
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+            .map(|(i, e)| (i, e.priority));
+        match weakest {
+            Some((i, weakest_priority)) if entry.priority > weakest_priority => {
+                let victim = inner.entries.swap_remove(i);
+                inner.entries.push(entry);
+                drop(inner);
+                self.ready.notify_one();
+                PushOutcome::Shed { victim }
+            }
+            _ => PushOutcome::Rejected {
+                retry_after: RETRY_AFTER,
+            },
+        }
+    }
+
+    /// Takes the best entry, blocking until one arrives or the queue closes.
+    /// `None` means the queue is closed and drained of claimable work.
+    pub fn pop_blocking(&self) -> Option<QueueEntry> {
+        let mut inner = lock_inner(&self.inner);
+        loop {
+            if let Some(best) = best_index(&inner.entries) {
+                return Some(inner.entries.swap_remove(best));
+            }
+            if inner.closed {
+                return None;
+            }
+            // A timeout bounds the wait so a close() racing the wait never
+            // strands a worker.
+            let (guard, _) = self
+                .ready
+                .wait_timeout(inner, Duration::from_millis(100))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Removes a specific id from the queue (cancellation of a queued job).
+    pub fn remove(&self, id: &str) -> bool {
+        let mut inner = lock_inner(&self.inner);
+        match inner.entries.iter().position(|e| e.id == id) {
+            Some(i) => {
+                inner.entries.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Queued entry count.
+    pub fn len(&self) -> usize {
+        lock_inner(&self.inner).entries.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: waiting workers drain what is left, then see
+    /// `None`.
+    pub fn close(&self) {
+        lock_inner(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+fn lock_inner(m: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Index of the best entry: highest priority, oldest within it.
+fn best_index(entries: &[QueueEntry]) -> Option<usize> {
+    entries
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, priority: i32, seq: u64) -> QueueEntry {
+        QueueEntry {
+            id: id.to_owned(),
+            priority,
+            seq,
+        }
+    }
+
+    #[test]
+    fn orders_by_priority_then_fifo() {
+        let q = JobQueue::new(8);
+        assert_eq!(q.push(entry("a", 0, 1)), PushOutcome::Queued);
+        assert_eq!(q.push(entry("b", 5, 2)), PushOutcome::Queued);
+        assert_eq!(q.push(entry("c", 5, 3)), PushOutcome::Queued);
+        q.close();
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_blocking().map(|e| e.id)).collect();
+        assert_eq!(order, ["b", "c", "a"]);
+    }
+
+    #[test]
+    fn full_queue_rejects_equal_priority_with_retry_hint() {
+        let q = JobQueue::new(2);
+        q.push(entry("a", 1, 1));
+        q.push(entry("b", 1, 2));
+        match q.push(entry("c", 1, 3)) {
+            PushOutcome::Rejected { retry_after } => assert!(retry_after.as_secs() >= 1),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn full_queue_sheds_lowest_priority_for_higher_work() {
+        let q = JobQueue::new(2);
+        q.push(entry("low-old", 0, 1));
+        q.push(entry("low-new", 0, 2));
+        match q.push(entry("vip", 3, 3)) {
+            PushOutcome::Shed { victim } => assert_eq!(victim.id, "low-new"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        q.close();
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_blocking().map(|e| e.id)).collect();
+        assert_eq!(order, ["vip", "low-old"]);
+    }
+
+    #[test]
+    fn remove_cancels_a_queued_entry() {
+        let q = JobQueue::new(4);
+        q.push(entry("a", 0, 1));
+        assert!(q.remove("a"));
+        assert!(!q.remove("a"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = std::sync::Arc::new(JobQueue::new(2));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop_blocking());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

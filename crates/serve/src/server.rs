@@ -1,0 +1,327 @@
+//! The HTTP listener: routes requests onto a [`Supervisor`].
+//!
+//! Routes:
+//!
+//! | Method   | Path                    | Purpose                               |
+//! |----------|-------------------------|---------------------------------------|
+//! | `POST`   | `/campaigns`            | submit a job (JSON [`JobSpec`] body)  |
+//! | `GET`    | `/campaigns`            | list all jobs                         |
+//! | `GET`    | `/campaigns/:id`        | job status + progress snapshot        |
+//! | `GET`    | `/campaigns/:id/events` | chunked NDJSON progress stream        |
+//! | `DELETE` | `/campaigns/:id`        | cooperative cancellation              |
+//! | `GET`    | `/healthz`              | liveness + queue depth                |
+//! | `POST`   | `/shutdown`             | graceful drain and exit               |
+//!
+//! Degradation is explicit at this layer too: a full queue answers `429`
+//! with `Retry-After`, too many concurrent connections answer `503`, silent
+//! drops do not exist.
+//!
+//! [`JobSpec`]: crate::jobspec::JobSpec
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fidelity_obs::event;
+use fidelity_obs::json::escape_into;
+
+use crate::http::{
+    end_chunked, read_request, respond_json, respond_json_with, start_chunked, write_chunk,
+    ParseError, Request,
+};
+use crate::jobspec::JobSpec;
+use crate::supervisor::{SubmitOutcome, Supervisor};
+
+/// Concurrent connection cap; excess connections get an immediate 503.
+const MAX_CONNS: usize = 32;
+/// Per-connection socket timeout.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[derive(Debug)]
+struct Shared {
+    sup: Arc<Supervisor>,
+    stop: AtomicBool,
+    active: AtomicUsize,
+}
+
+/// A running daemon: the bound address plus the accept thread.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: std::thread::JoinHandle<()>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The supervisor behind the listener.
+    pub fn supervisor(&self) -> Arc<Supervisor> {
+        Arc::clone(&self.shared.sup)
+    }
+
+    /// Requests a graceful shutdown without an HTTP round-trip (the
+    /// `/shutdown` route does the same thing).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the daemon has fully drained and exited.
+    pub fn wait(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Binds `addr` and starts serving `sup`.
+///
+/// # Errors
+///
+/// Fails on bind errors.
+pub fn serve(sup: Arc<Supervisor>, addr: &str) -> Result<ServeHandle, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking: {e}"))?;
+    let shared = Arc::new(Shared {
+        sup,
+        stop: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+    });
+    let shared2 = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("serve-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &shared2))
+        .map_err(|e| format!("accept spawn: {e}"))?;
+    let bound_text = format!("{bound}");
+    event!("serve.listen", addr = &bound_text);
+    Ok(ServeHandle {
+        addr: bound,
+        shared,
+        accept,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.active.load(Ordering::Acquire) >= MAX_CONNS {
+                    let mut s = stream;
+                    let _ = respond_json(
+                        &mut s,
+                        503,
+                        "{\"error\":\"too many connections; retry shortly\"}",
+                    );
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::AcqRel);
+                let sh = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_owned())
+                    .spawn(move || {
+                        handle_conn(stream, &sh);
+                        sh.active.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    shared.active.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    // Stop accepting, then drain: cancel running campaigns to their
+    // checkpoints, keep queued jobs journaled, join the engine threads.
+    shared.sup.shutdown_and_drain();
+    // Let in-flight connection threads (e.g. event streams) observe the
+    // stop flag and finish; bounded wait so a wedged client cannot hold
+    // the process open.
+    for _ in 0..200 {
+        if shared.active.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(ParseError::Closed) => return,
+        Err(ParseError::Timeout) => {
+            let _ = respond_json(&mut stream, 408, "{\"error\":\"request timed out\"}");
+            return;
+        }
+        Err(ParseError::TooLarge(what)) => {
+            let body = format!("{{\"error\":\"{what} too large\"}}");
+            let _ = respond_json(&mut stream, 413, &body);
+            return;
+        }
+        Err(ParseError::BadRequest(why)) => {
+            let _ = respond_json(&mut stream, 400, &error_body(&why));
+            return;
+        }
+    };
+    route(&mut stream, &req, shared);
+}
+
+fn error_body(msg: &str) -> String {
+    let mut s = String::from("{\"error\":");
+    escape_into(&mut s, msg);
+    s.push('}');
+    s
+}
+
+fn route(stream: &mut TcpStream, req: &Request, shared: &Arc<Shared>) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let _ = respond_json(stream, 200, &shared.sup.healthz_json());
+        }
+        ("POST", ["campaigns"]) => handle_submit(stream, req, shared),
+        ("GET", ["campaigns"]) => {
+            let _ = respond_json(stream, 200, &shared.sup.list_json());
+        }
+        ("GET", ["campaigns", id]) => match shared.sup.status_json(id) {
+            Some(body) => {
+                let _ = respond_json(stream, 200, &body);
+            }
+            None => {
+                let _ = respond_json(stream, 404, &error_body("no such campaign"));
+            }
+        },
+        ("GET", ["campaigns", id, "events"]) => handle_events(stream, id, shared),
+        ("DELETE", ["campaigns", id]) => match shared.sup.cancel(id) {
+            Some(state) => {
+                let body = format!(
+                    "{{\"id\":\"{id}\",\"state\":\"{}\",\"cancelling\":true}}",
+                    state.as_str()
+                );
+                let _ = respond_json(stream, 202, &body);
+            }
+            None => {
+                let _ = respond_json(stream, 404, &error_body("no such campaign"));
+            }
+        },
+        ("POST", ["shutdown"]) => {
+            let _ = respond_json(stream, 202, "{\"status\":\"draining\"}");
+            shared.stop.store(true, Ordering::Release);
+        }
+        (_, ["healthz" | "shutdown"]) | (_, ["campaigns", ..]) => {
+            let _ = respond_json(stream, 405, &error_body("method not allowed"));
+        }
+        _ => {
+            let _ = respond_json(stream, 404, &error_body("no such route"));
+        }
+    }
+}
+
+fn handle_submit(stream: &mut TcpStream, req: &Request, shared: &Arc<Shared>) {
+    if !shared.sup.is_accepting() {
+        let _ = respond_json(stream, 503, &error_body("shutting down"));
+        return;
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        let _ = respond_json(stream, 400, &error_body("body must be UTF-8 JSON"));
+        return;
+    };
+    let spec = match JobSpec::from_json_str(text) {
+        Ok(spec) => spec,
+        Err(why) => {
+            let _ = respond_json(stream, 400, &error_body(&why));
+            return;
+        }
+    };
+    match shared.sup.submit(spec) {
+        Ok((id, SubmitOutcome::Accepted)) => {
+            let body = format!("{{\"id\":\"{id}\",\"state\":\"queued\"}}");
+            let _ = respond_json(stream, 202, &body);
+        }
+        Ok((id, SubmitOutcome::AcceptedShedding { victim })) => {
+            let body = format!("{{\"id\":\"{id}\",\"state\":\"queued\",\"shed\":\"{victim}\"}}");
+            let _ = respond_json(stream, 202, &body);
+        }
+        Ok((id, SubmitOutcome::Attached { state })) => {
+            let body = format!(
+                "{{\"id\":\"{id}\",\"state\":\"{}\",\"attached\":true}}",
+                state.as_str()
+            );
+            let _ = respond_json(stream, 200, &body);
+        }
+        Ok((id, SubmitOutcome::AlreadyDone)) => {
+            let body = shared
+                .sup
+                .status_json(&id)
+                .unwrap_or_else(|| format!("{{\"id\":\"{id}\",\"state\":\"done\"}}"));
+            let _ = respond_json(stream, 200, &body);
+        }
+        Ok((id, SubmitOutcome::Busy { retry_after })) => {
+            let secs = retry_after.as_secs().max(1).to_string();
+            let body =
+                format!("{{\"id\":\"{id}\",\"error\":\"queue full\",\"retry_after_secs\":{secs}}}");
+            let _ = respond_json_with(stream, 429, &[("Retry-After", &secs)], &body);
+        }
+        Err(why) => {
+            let _ = respond_json(stream, 503, &error_body(&why));
+        }
+    }
+}
+
+/// Streams progress snapshots as chunked NDJSON until the job reaches a
+/// terminal state (the final line is the job's status document).
+fn handle_events(stream: &mut TcpStream, id: &str, shared: &Arc<Shared>) {
+    let Some((rx, latest, mut terminal)) = shared.sup.subscribe(id) else {
+        let _ = respond_json(stream, 404, &error_body("no such campaign"));
+        return;
+    };
+    if start_chunked(stream, 200).is_err() {
+        return;
+    }
+    if let Some(snap) = latest {
+        let mut line = snap.to_json();
+        line.push('\n');
+        if write_chunk(stream, &line).is_err() {
+            return;
+        }
+    }
+    while !terminal && !shared.stop.load(Ordering::Acquire) {
+        match rx.recv_timeout(Duration::from_millis(250)) {
+            Ok(snap) => {
+                let finished = snap.finished;
+                let mut line = snap.to_json();
+                line.push('\n');
+                if write_chunk(stream, &line).is_err() {
+                    return;
+                }
+                if finished {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        terminal = shared.sup.is_terminal(id).unwrap_or(true);
+    }
+    if let Some(status) = shared.sup.status_json(id) {
+        let mut line = status;
+        line.push('\n');
+        if write_chunk(stream, &line).is_err() {
+            return;
+        }
+    }
+    let _ = end_chunked(stream);
+    let _ = stream.flush();
+}

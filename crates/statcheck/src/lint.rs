@@ -110,6 +110,8 @@ impl Default for LintConfig {
                 "core/src/models.rs",
                 "par/src/pool.rs",
                 "par/src/lib.rs",
+                "serve/src/supervisor.rs",
+                "serve/src/journal.rs",
                 "rtl/src/engine.rs",
                 "rtl/src/systolic.rs",
                 "dnn/src/graph.rs",

@@ -70,6 +70,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&opts),
         "protect" => cmd_protect(&opts),
         "report" => cmd_report(&opts),
+        "serve" => cmd_serve(&opts),
         "statcheck" => cmd_statcheck(&opts),
         "lint" => cmd_lint(rest, &opts),
         "help" | "--help" | "-h" => {
@@ -102,6 +103,8 @@ const USAGE: &str = "usage:
   fidelity validate --network NAME [--layer NAME] [--sites N]
   fidelity protect  --network NAME [--target FIT] [--samples N] [--jobs N]
   fidelity report   --trace FILE
+  fidelity serve    [--addr HOST:PORT] [--state DIR] [--queue-cap N]
+                    [--workers N] [--jobs N] [--smoke]
   fidelity statcheck [--preset NAME]
   fidelity lint     [--root PATH]...
 
@@ -117,7 +120,7 @@ parallelism (analyze | protect):
 networks: inception | resnet | mobilenet | yolo | transformer | lstm";
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BARE_FLAGS: &[&str] = &["resume", "progress", "metrics"];
+const BARE_FLAGS: &[&str] = &["resume", "progress", "metrics", "smoke"];
 
 /// Applies the shared telemetry flags before the command runs: `--trace FILE`
 /// installs the JSONL sink, `--metrics` enables timing instrumentation.
@@ -407,6 +410,111 @@ fn cmd_report(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `fidelity serve`: boots the crash-tolerant campaign daemon. With
+/// `--smoke`, boots on an ephemeral port, exercises the full API against
+/// itself (submit, poll, stream, shutdown), and exits — the CI gate for the
+/// service layer.
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let default_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let smoke = opts.contains_key("smoke");
+    let state_dir = match opts.get("state") {
+        Some(path) => std::path::PathBuf::from(path),
+        None if smoke => {
+            std::env::temp_dir().join(format!("fidelity-serve-smoke-{}", std::process::id()))
+        }
+        None => std::path::PathBuf::from("fidelity-serve-state"),
+    };
+    let cfg = fidelity::serve::ServeConfig {
+        state_dir,
+        queue_cap: get(opts, "queue-cap", 8)?,
+        workers: get(opts, "workers", 1)?,
+        campaign_threads: get(opts, "jobs", default_threads)?,
+        chaos: Vec::new(),
+    };
+    if smoke {
+        return serve_smoke(cfg);
+    }
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7350".to_owned());
+    let sup = fidelity::serve::Supervisor::start(cfg)?;
+    if sup.recovered_jobs() > 0 {
+        println!(
+            "recovered {} unfinished job(s) from the journal",
+            sup.recovered_jobs()
+        );
+    }
+    let handle = fidelity::serve::serve(sup, &addr)?;
+    println!("listening on {}", handle.addr());
+    println!("POST /shutdown to drain and exit");
+    handle.wait();
+    println!("drained; all accepted work is journaled");
+    Ok(())
+}
+
+/// One full self-exercise of the running service, used by `--smoke` and CI:
+/// boot → health → submit → stream an event → poll to completion → resubmit
+/// (must dedup) → graceful shutdown.
+fn serve_smoke(cfg: fidelity::serve::ServeConfig) -> Result<(), String> {
+    let state_dir = cfg.state_dir.clone();
+    let sup = fidelity::serve::Supervisor::start(cfg)?;
+    let handle = fidelity::serve::serve(sup, "127.0.0.1:0")?;
+    println!("smoke: listening on {}", handle.addr());
+    let client = fidelity::serve::Client::new(handle.addr().to_string());
+
+    let health = client.healthz()?;
+    if health.status != 200 {
+        return Err(format!("smoke: healthz {} {}", health.status, health.body));
+    }
+    let spec = "{\"network\":\"lstm\",\"samples\":25,\"seed\":7}";
+    let reply = client.submit(spec)?;
+    if reply.status != 202 {
+        return Err(format!("smoke: submit {} {}", reply.status, reply.body));
+    }
+    let id = reply
+        .body
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .ok_or_else(|| format!("smoke: no id in {}", reply.body))?
+        .to_owned();
+    println!("smoke: accepted job {id}");
+
+    let status = client.wait_terminal(&id, 600, std::time::Duration::from_millis(50))?;
+    if !status.contains("\"state\":\"done\"") || !status.contains("\"fit_total\":") {
+        return Err(format!("smoke: job did not finish cleanly: {status}"));
+    }
+    println!("smoke: job done");
+
+    let event = client.stream_one_event(&id)?;
+    if !event.starts_with('{') {
+        return Err(format!("smoke: bad event line `{event}`"));
+    }
+    println!("smoke: streamed one progress event");
+
+    let again = client.submit(spec)?;
+    if again.status != 200 || !again.body.contains("\"state\":\"done\"") {
+        return Err(format!(
+            "smoke: duplicate submit was not deduplicated: {} {}",
+            again.status, again.body
+        ));
+    }
+    println!("smoke: duplicate submit answered from the record");
+
+    let reply = client.shutdown()?;
+    if reply.status != 202 {
+        return Err(format!("smoke: shutdown {} {}", reply.status, reply.body));
+    }
+    handle.wait();
+    if client.healthz().is_ok() {
+        return Err("smoke: daemon still listening after drain".to_owned());
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+    println!("serve smoke: PASS");
+    Ok(())
+}
+
 fn cmd_statcheck(opts: &HashMap<String, String>) -> Result<(), String> {
     let report = match opts.get("preset") {
         Some(name) => {
@@ -445,6 +553,7 @@ fn cmd_lint(args: &[String], _opts: &HashMap<String, String>) -> Result<(), Stri
             "crates/rtl",
             "crates/obs",
             "crates/par",
+            "crates/serve",
         ]
         .iter()
         .map(std::path::PathBuf::from)

@@ -17,7 +17,10 @@
 //!   and the source-level determinism lint (`fidelity statcheck`,
 //!   `fidelity lint`);
 //! * [`obs`] — the zero-dependency observability layer (structured tracing,
-//!   metrics, live campaign progress, trace reports).
+//!   metrics, live campaign progress, trace reports);
+//! * [`serve`] — the crash-tolerant campaign-as-a-service daemon
+//!   (`fidelity serve`): supervised jobs, backpressure, write-ahead
+//!   journaling, and checkpoint-resume crash recovery.
 //!
 //! ## Quickstart
 //!
@@ -48,5 +51,6 @@ pub use fidelity_core as core;
 pub use fidelity_dnn as dnn;
 pub use fidelity_obs as obs;
 pub use fidelity_rtl as rtl;
+pub use fidelity_serve as serve;
 pub use fidelity_statcheck as statcheck;
 pub use fidelity_workloads as workloads;

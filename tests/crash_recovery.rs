@@ -1,0 +1,162 @@
+//! Torn-state recovery properties: a checkpoint or job journal truncated at
+//! ANY byte offset — the exact artifact of a crash or `kill -9` mid-write —
+//! must yield either a clean resume or a clean, named error. Never a wrong
+//! result, never a panic.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use fidelity::core::campaign::run_campaign;
+use fidelity::core::resilience::CheckpointSpec;
+use fidelity::serve::journal::{replay_bytes, Journal, JournalEvent, HEADER};
+use fidelity::serve::JobSpec;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fidelity-crash-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const SPEC: &str = "{\"network\":\"lstm\",\"samples\":2,\"seed\":13}";
+
+/// The uninterrupted run's checkpoint bytes — the ground truth every
+/// recovered run must reproduce exactly.
+fn reference_ckpt() -> &'static [u8] {
+    static REF: OnceLock<Vec<u8>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let path = scratch("reference.ckpt");
+        run_to_checkpoint(&path).unwrap();
+        std::fs::read(&path).unwrap()
+    })
+}
+
+/// Runs the tiny campaign with its checkpoint at `path` (resuming whatever
+/// the file already holds).
+fn run_to_checkpoint(path: &std::path::Path) -> Result<(), String> {
+    let job = JobSpec::from_json_str(SPEC).unwrap();
+    let (engine, trace, metric) = job.deploy().unwrap();
+    let accel = fidelity::accel::presets::nvdla_like();
+    let mut spec = job.campaign_spec(2);
+    spec.resilience.checkpoint = Some(CheckpointSpec::resuming(path));
+    run_campaign(&engine, &trace, &accel, metric.as_ref(), &spec)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+fn journal_fixture() -> &'static (Vec<u8>, Vec<JournalEvent>) {
+    static FIX: OnceLock<(Vec<u8>, Vec<JournalEvent>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let events = vec![
+            JournalEvent::Submit {
+                id: "aaaa000011112222".to_owned(),
+                spec_json: "{\"network\":\"lstm\",\"samples\":2}".to_owned(),
+            },
+            JournalEvent::Start {
+                id: "aaaa000011112222".to_owned(),
+            },
+            JournalEvent::Fail {
+                id: "aaaa000011112222".to_owned(),
+                reason: "line\nbreak and \"quotes\"".to_owned(),
+            },
+            JournalEvent::Submit {
+                id: "bbbb000011112222".to_owned(),
+                spec_json: "{\"network\":\"yolo\",\"samples\":3}".to_owned(),
+            },
+            JournalEvent::Done {
+                id: "bbbb000011112222".to_owned(),
+                summary_json: "{\"fit_total\":1.5}".to_owned(),
+            },
+            JournalEvent::Cancel {
+                id: "cccc000011112222".to_owned(),
+            },
+            JournalEvent::Shed {
+                id: "dddd000011112222".to_owned(),
+            },
+        ];
+        let path = scratch("journal-fixture.journal");
+        let mut j = Journal::create(&path).unwrap();
+        for ev in &events {
+            j.append(ev).unwrap();
+        }
+        drop(j);
+        (std::fs::read(&path).unwrap(), events)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Checkpoint truncated at any byte: the resumed campaign either
+    /// completes with byte-identical final checkpoint contents, or fails
+    /// with a clean checkpoint error. No third outcome.
+    #[test]
+    fn truncated_checkpoint_resumes_or_errors_cleanly(frac in 0.0f64..1.0) {
+        let reference = reference_ckpt();
+        let cut = ((reference.len() as f64) * frac) as usize;
+        let path = scratch(&format!("truncated-{cut}.ckpt"));
+        std::fs::write(&path, &reference[..cut]).unwrap();
+        match run_to_checkpoint(&path) {
+            Ok(()) => {
+                let recovered = std::fs::read(&path).unwrap();
+                prop_assert_eq!(
+                    recovered.as_slice(),
+                    reference,
+                    "resume from cut {} diverged",
+                    cut
+                );
+            }
+            Err(e) => {
+                prop_assert!(
+                    e.contains("checkpoint"),
+                    "cut {} produced an unnamed error: {}",
+                    cut,
+                    e
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Journal truncated at any byte: replay yields an exact prefix of the
+    /// recorded events (torn tail dropped) or a clean corruption error with
+    /// a line number. Never wrong events, never a panic.
+    #[test]
+    fn truncated_journal_replays_a_prefix_or_errors_cleanly(frac in 0.0f64..1.0) {
+        let (bytes, events) = journal_fixture();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        match replay_bytes(&bytes[..cut]) {
+            Ok(replayed) => {
+                prop_assert!(replayed.len() <= events.len());
+                prop_assert_eq!(
+                    replayed.as_slice(),
+                    &events[..replayed.len()],
+                    "cut {} replayed non-prefix events",
+                    cut
+                );
+            }
+            Err(e) => {
+                prop_assert!(
+                    e.contains("corrupt journal"),
+                    "cut {} produced an unnamed error: {}",
+                    cut,
+                    e
+                );
+            }
+        }
+    }
+}
+
+/// Every single-byte boundary of the journal header itself is covered
+/// exhaustively — the region proptest sampling can miss.
+#[test]
+fn journal_header_truncations_all_error_cleanly() {
+    let (bytes, _) = journal_fixture();
+    for cut in 0..=HEADER.len() + 1 {
+        let out = replay_bytes(&bytes[..cut.min(bytes.len())]);
+        match out {
+            Ok(events) => assert!(events.is_empty(), "cut {cut} invented events"),
+            Err(e) => assert!(e.contains("corrupt journal"), "cut {cut}: {e}"),
+        }
+    }
+}
