@@ -90,6 +90,11 @@ const NETWORKS: &[&str] = &[
 ];
 const PRECISIONS: &[&str] = &["fp16", "fp32", "int16", "int8"];
 
+/// Upper bound on `deadline_ms`: ten years. Rules out timer-arithmetic
+/// overflow in the supervisor and keeps the canonical-JSON `f64` encoding
+/// of the field exact (the bound is well under 2^53).
+const MAX_DEADLINE_MS: u64 = 10 * 365 * 24 * 60 * 60 * 1000;
+
 impl JobSpec {
     /// Parses a spec from a JSON request body. Unknown fields are rejected —
     /// a typo in `"samples"` must not silently run a 200-sample default.
@@ -171,6 +176,11 @@ impl JobSpec {
         }
         if self.samples == 0 {
             return Err("`samples` must be at least 1".to_owned());
+        }
+        if self.deadline_ms.is_some_and(|d| d > MAX_DEADLINE_MS) {
+            return Err(format!(
+                "`deadline_ms` must be at most {MAX_DEADLINE_MS} (ten years)"
+            ));
         }
         Ok(())
     }
@@ -398,6 +408,17 @@ mod tests {
             let v = parse(body).unwrap();
             assert!(JobSpec::from_json(&v).is_err(), "accepted: {body}");
         }
+    }
+
+    #[test]
+    fn absurd_deadlines_are_rejected() {
+        // Above the ten-year bound (but exactly representable as f64, so
+        // the failure is the validation, not the number parse).
+        let v = parse(r#"{"network":"lstm","deadline_ms":1000000000000}"#).unwrap();
+        let err = JobSpec::from_json(&v).unwrap_err();
+        assert!(err.contains("deadline_ms"), "{err}");
+        let v = parse(r#"{"network":"lstm","deadline_ms":60000}"#).unwrap();
+        assert_eq!(JobSpec::from_json(&v).unwrap().deadline_ms, Some(60_000));
     }
 
     #[test]

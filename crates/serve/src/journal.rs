@@ -221,6 +221,29 @@ impl Journal {
         })
     }
 
+    /// Durably installs this journal at `dest`: flushes and syncs the file,
+    /// then atomically renames it into place. The boot-time compaction path
+    /// uses this so a crash mid-rewrite can never leave a half-written
+    /// journal — until the rename lands, the old file at `dest` is
+    /// untouched. Appends continue on the same handle afterwards (the
+    /// rename moves the file, not its descriptor).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors as text; on error `dest` is left as it was.
+    pub fn commit_rename(&mut self, dest: &Path) -> Result<(), String> {
+        self.writer
+            .flush()
+            .map_err(|e| io_err(&self.path, "flush", &e))?;
+        self.writer
+            .get_ref()
+            .sync_all()
+            .map_err(|e| io_err(&self.path, "sync", &e))?;
+        std::fs::rename(&self.path, dest).map_err(|e| io_err(&self.path, "rename", &e))?;
+        self.path = dest.to_owned();
+        Ok(())
+    }
+
     /// Appends one event and flushes it to the OS.
     ///
     /// # Errors

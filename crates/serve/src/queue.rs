@@ -63,7 +63,7 @@ pub struct JobQueue {
 
 /// Retry hint for rejected submissions: long enough for one small campaign
 /// to drain, short enough that clients poll usefully.
-const RETRY_AFTER: Duration = Duration::from_secs(2);
+pub const RETRY_AFTER: Duration = Duration::from_secs(2);
 
 impl JobQueue {
     /// A queue admitting at most `cap` waiting jobs (min 1).
@@ -73,6 +73,31 @@ impl JobQueue {
             inner: Mutex::new(Inner::default()),
             ready: Condvar::new(),
         }
+    }
+
+    /// Whether a push at `priority` would be admitted right now — either
+    /// queued into free space or shedding a strictly weaker occupant.
+    /// Concurrent pops, removals, and closes only free space, so as long as
+    /// pushers are serialized (the supervisor holds its registry lock across
+    /// check and push), a `true` answer cannot turn into a rejection.
+    pub fn would_accept(&self, priority: i32) -> bool {
+        let inner = lock_inner(&self.inner);
+        inner.entries.len() < self.cap
+            || inner
+                .entries
+                .iter()
+                .map(|e| e.priority)
+                .min()
+                .is_some_and(|weakest| priority > weakest)
+    }
+
+    /// Enqueues a journal-recovered job unconditionally. Recovery must never
+    /// drop an accepted job, so boot-time requeue bypasses the capacity
+    /// check; the queue may sit above `cap` until workers drain it, during
+    /// which new submissions still see full-queue backpressure.
+    pub fn push_recovered(&self, entry: QueueEntry) {
+        lock_inner(&self.inner).entries.push(entry);
+        self.ready.notify_one();
     }
 
     /// Submits an entry; see [`PushOutcome`] for the full-queue behavior.
@@ -217,6 +242,37 @@ mod tests {
         q.close();
         let order: Vec<String> = std::iter::from_fn(|| q.pop_blocking().map(|e| e.id)).collect();
         assert_eq!(order, ["vip", "low-old"]);
+    }
+
+    #[test]
+    fn would_accept_predicts_push() {
+        let q = JobQueue::new(2);
+        assert!(q.would_accept(0));
+        q.push(entry("a", 1, 1));
+        q.push(entry("b", 1, 2));
+        assert!(!q.would_accept(1)); // full of equal-priority work
+        assert!(q.would_accept(2)); // outranks the weakest occupant
+        match (q.would_accept(2), q.push(entry("vip", 2, 3))) {
+            (true, PushOutcome::Shed { .. }) => {}
+            other => panic!("prediction and push disagree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovered_pushes_bypass_the_cap() {
+        let q = JobQueue::new(1);
+        q.push_recovered(entry("a", 0, 1));
+        q.push_recovered(entry("b", 0, 2));
+        assert_eq!(q.len(), 2);
+        // Above cap, new submissions still see honest backpressure.
+        assert!(!q.would_accept(0));
+        assert!(matches!(
+            q.push(entry("c", 0, 3)),
+            PushOutcome::Rejected { .. }
+        ));
+        q.close();
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_blocking().map(|e| e.id)).collect();
+        assert_eq!(order, ["a", "b"]);
     }
 
     #[test]

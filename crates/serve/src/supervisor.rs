@@ -256,17 +256,29 @@ impl Supervisor {
             }
         }
 
-        // Compact: rewrite the journal from the folded state. This truncates
-        // any torn tail before new appends and bounds the log's growth.
-        let mut journal = Journal::create(&journal_path)?;
-        let mut entries: Vec<Arc<JobEntry>> = Vec::new();
-        let mut recovered = 0usize;
+        // Re-validate every recovered record before rewriting anything: a
+        // spec that no longer parses must abort recovery while the original
+        // journal is still intact on disk.
+        let mut recovered_jobs = Vec::with_capacity(order.len());
         for id in &order {
             let Some((spec_json, state, error, summary)) = folded.remove(id) else {
                 continue;
             };
             let spec =
                 JobSpec::from_json_str(&spec_json).map_err(|e| format!("journal job {id}: {e}"))?;
+            recovered_jobs.push((id.clone(), spec_json, spec, state, error, summary));
+        }
+
+        // Compact: rewrite the journal from the folded state, dropping any
+        // torn tail and bounding the log's growth. The rewrite goes to a
+        // temporary file that is atomically renamed over `jobs.journal`
+        // only once every record has landed, so a crash or I/O error
+        // mid-compaction never loses durably journaled jobs.
+        let tmp_path = cfg.state_dir.join("jobs.journal.tmp");
+        let mut journal = Journal::create(&tmp_path)?;
+        let mut entries: Vec<Arc<JobEntry>> = Vec::new();
+        let mut recovered = 0usize;
+        for (id, spec_json, spec, state, error, summary) in recovered_jobs {
             journal.append(&JournalEvent::Submit {
                 id: id.clone(),
                 spec_json,
@@ -315,6 +327,7 @@ impl Supervisor {
                 share: ProgressShare::new(),
             }));
         }
+        journal.commit_rename(&journal_path)?;
 
         let sup = Arc::new(Supervisor {
             queue: JobQueue::new(cfg.queue_cap),
@@ -335,7 +348,12 @@ impl Supervisor {
                 if requeue {
                     let seq = sup.seq.fetch_add(1, Ordering::Relaxed);
                     lock(&entry.meta).seq = seq;
-                    sup.queue.push(QueueEntry {
+                    // Recovered jobs were accepted in a previous lifetime,
+                    // so requeueing bypasses the capacity check: a pre-crash
+                    // queue at cap plus interrupted running jobs can exceed
+                    // `queue_cap`, and dropping any of them would break the
+                    // zero-lost-accepted-jobs guarantee.
+                    sup.queue.push_recovered(QueueEntry {
                         id: entry.id.clone(),
                         priority: entry.spec.priority,
                         seq,
@@ -405,6 +423,30 @@ impl Supervisor {
             }
         }
 
+        // Backpressure is decided before anything mutates: submitters are
+        // serialized by the `jobs` lock held here, and concurrent pops and
+        // cancels only free queue space, so an admission predicted now
+        // cannot come back rejected from the push below. This keeps a
+        // rejected resubmission's terminal state untouched — the job is
+        // never left marked queued while absent from the queue.
+        if !self.queue.would_accept(spec.priority) {
+            event!("serve.reject", id = &id);
+            return Ok((
+                id,
+                SubmitOutcome::Busy {
+                    retry_after: crate::queue::RETRY_AFTER,
+                },
+            ));
+        }
+
+        // Write-ahead: the submit record is durable before the job is
+        // registered or queued, so a crash at any later point recovers the
+        // job, and a failed append leaves no half-accepted state behind.
+        self.journal_append(&JournalEvent::Submit {
+            id: id.clone(),
+            spec_json: spec.to_canonical_json(),
+        })?;
+
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let fresh = !jobs.contains_key(&id);
         let entry = jobs.entry(id.clone()).or_insert_with(|| {
@@ -438,7 +480,6 @@ impl Supervisor {
             *lock(&entry.cancel) = CancelToken::new();
             entry.deadline_fired.store(false, Ordering::Release);
         }
-        let entry = Arc::clone(entry);
 
         match self.queue.push(QueueEntry {
             id: id.clone(),
@@ -446,35 +487,39 @@ impl Supervisor {
             seq,
         }) {
             PushOutcome::Queued => {
-                self.journal_append(&JournalEvent::Submit {
-                    id: id.clone(),
-                    spec_json: spec.to_canonical_json(),
-                })?;
                 event!("serve.submit", id = &id, priority = spec.priority);
                 Ok((id, SubmitOutcome::Accepted))
             }
             PushOutcome::Shed { victim } => {
-                // Report the eviction loudly: journal it, mark the victim,
-                // and name it in the acceptance response.
+                // Report the eviction loudly: mark the victim, journal it,
+                // and name it in the acceptance response. The journal write
+                // is best-effort — the write-ahead submit record above is
+                // what recovery depends on; losing the shed record merely
+                // re-runs a deterministic, checkpointed job.
                 if let Some(v) = jobs.get(&victim.id) {
                     let mut meta = lock(&v.meta);
                     meta.state = JobState::Shed;
                     meta.error = Some(format!("shed under overload by job {id}"));
                 }
-                self.journal_append(&JournalEvent::Submit {
-                    id: id.clone(),
-                    spec_json: spec.to_canonical_json(),
-                })?;
-                self.journal_append(&JournalEvent::Shed {
+                let _ = self.journal_append(&JournalEvent::Shed {
                     id: victim.id.clone(),
-                })?;
+                });
                 event!("serve.shed", victim = &victim.id, for_job = &id);
                 Ok((id, SubmitOutcome::AcceptedShedding { victim: victim.id }))
             }
             PushOutcome::Rejected { retry_after } => {
+                // Unreachable by construction (`would_accept` held under
+                // this same lock), kept as a safe fallback: undo the
+                // registration so no job is left marked queued while absent
+                // from the queue, and journal the shed so recovery agrees.
                 if fresh {
-                    jobs.remove(&entry.id);
+                    jobs.remove(&id);
+                } else if let Some(v) = jobs.get(&id) {
+                    let mut meta = lock(&v.meta);
+                    meta.state = JobState::Shed;
+                    meta.error = Some("rejected by a full queue".to_owned());
                 }
+                let _ = self.journal_append(&JournalEvent::Shed { id: id.clone() });
                 event!("serve.reject", id = &id);
                 Ok((id, SubmitOutcome::Busy { retry_after }))
             }
@@ -657,9 +702,11 @@ impl Supervisor {
         }
         self.running_jobs.fetch_add(1, Ordering::Relaxed);
         if let Some(ms) = entry.spec.deadline_ms {
-            entry
-                .deadline_at_us
-                .store(clock::since_epoch_us() + ms * 1000, Ordering::Release);
+            // Saturating: validation bounds `deadline_ms`, but a wrapped
+            // deadline would mean instant expiry (or a panicking worker in
+            // debug builds), so the arithmetic stays overflow-proof anyway.
+            let at = clock::since_epoch_us().saturating_add(ms.saturating_mul(1000));
+            entry.deadline_at_us.store(at, Ordering::Release);
         }
         let cancel = lock(&entry.cancel).clone();
         event!("serve.start", id = id, network = &entry.spec.network);

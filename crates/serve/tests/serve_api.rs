@@ -9,8 +9,9 @@
 use std::time::Duration;
 
 use fidelity_serve::client::Client;
+use fidelity_serve::journal::{Journal, JournalEvent};
 use fidelity_serve::server::{serve, ServeHandle};
-use fidelity_serve::supervisor::{ServeConfig, SubmitOutcome, Supervisor};
+use fidelity_serve::supervisor::{JobState, ServeConfig, SubmitOutcome, Supervisor};
 use fidelity_serve::JobSpec;
 
 fn scratch(name: &str) -> std::path::PathBuf {
@@ -333,8 +334,12 @@ fn drain_and_restart_loses_no_accepted_job() {
     };
 
     // Lifetime 1: accept a slow job and a queued job, then drain mid-run.
+    // The job is deliberately long (well past the drain point even when
+    // parallel tests contend for the CPU) so the drain always lands
+    // mid-campaign rather than after an early finish.
+    let long = "{\"network\":\"lstm\",\"samples\":6000,\"seed\":61}";
     let sup = Supervisor::start(cfg()).unwrap();
-    let slow_spec = JobSpec::from_json_str(&slow(61, 0)).unwrap();
+    let slow_spec = JobSpec::from_json_str(long).unwrap();
     let tiny_spec = JobSpec::from_json_str(&tiny(62)).unwrap();
     let (slow_id, outcome) = sup.submit(slow_spec.clone()).unwrap();
     assert_eq!(outcome, SubmitOutcome::Accepted);
@@ -350,7 +355,7 @@ fn drain_and_restart_loses_no_accepted_job() {
         }
         std::thread::sleep(Duration::from_millis(25));
     }
-    std::thread::sleep(Duration::from_millis(500)); // let cells checkpoint
+    std::thread::sleep(Duration::from_millis(250)); // let cells checkpoint
     sup.shutdown_and_drain();
     drop(sup);
 
@@ -384,9 +389,7 @@ fn drain_and_restart_loses_no_accepted_job() {
         chaos: Vec::new(),
     })
     .unwrap();
-    let (id, _) = sup
-        .submit(JobSpec::from_json_str(&slow(61, 0)).unwrap())
-        .unwrap();
+    let (id, _) = sup.submit(JobSpec::from_json_str(long).unwrap()).unwrap();
     for attempt in 0..2400 {
         if sup.status_json(&id).unwrap().contains("\"state\":\"done\"") {
             break;
@@ -401,6 +404,151 @@ fn drain_and_restart_loses_no_accepted_job() {
         summary_of(&recovered_status),
         summary_of(&fresh_status),
         "recovered vs fresh summaries differ"
+    );
+}
+
+#[test]
+fn recovery_requeues_more_jobs_than_the_queue_cap() {
+    // A pre-crash daemon can have `queue_cap` queued jobs plus running
+    // ones, all of which fold back to queued on recovery — every one of
+    // them was accepted, so every one must requeue even past the cap.
+    let dir = scratch("over-cap-recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let specs: Vec<JobSpec> = (71..75)
+        .map(|seed| JobSpec::from_json_str(&tiny(seed)).unwrap())
+        .collect();
+    let mut journal = Journal::create(&dir.join("jobs.journal")).unwrap();
+    for spec in &specs {
+        journal
+            .append(&JournalEvent::Submit {
+                id: spec.job_id(),
+                spec_json: spec.to_canonical_json(),
+            })
+            .unwrap();
+    }
+    drop(journal);
+
+    let sup = Supervisor::start(ServeConfig {
+        state_dir: dir,
+        queue_cap: 1,
+        workers: 1,
+        campaign_threads: 2,
+        chaos: Vec::new(),
+    })
+    .unwrap();
+    assert_eq!(sup.recovered_jobs(), specs.len(), "{}", sup.healthz_json());
+    for spec in &specs {
+        let id = spec.job_id();
+        for attempt in 0..2400 {
+            let status = sup.status_json(&id).unwrap();
+            if status.contains("\"state\":\"done\"") {
+                break;
+            }
+            assert!(attempt < 2399, "recovered job {id} never ran: {status}");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    sup.shutdown_and_drain();
+}
+
+#[test]
+fn resubmit_at_full_queue_stays_terminal_not_wedged() {
+    let sup = Supervisor::start(ServeConfig {
+        state_dir: scratch("resubmit-full"),
+        queue_cap: 1,
+        workers: 1,
+        campaign_threads: 2,
+        chaos: Vec::new(),
+    })
+    .unwrap();
+
+    // Occupy the worker, then cancel a queued job to get a terminal entry.
+    let (a_id, outcome) = sup
+        .submit(JobSpec::from_json_str(&slow(81, 0)).unwrap())
+        .unwrap();
+    assert_eq!(outcome, SubmitOutcome::Accepted);
+    for attempt in 0..200 {
+        if sup
+            .status_json(&a_id)
+            .unwrap()
+            .contains("\"state\":\"running\"")
+        {
+            break;
+        }
+        assert!(attempt < 199, "job never started");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (b_id, outcome) = sup
+        .submit(JobSpec::from_json_str(&slow(82, 0)).unwrap())
+        .unwrap();
+    assert_eq!(outcome, SubmitOutcome::Accepted);
+    assert_eq!(sup.cancel(&b_id), Some(JobState::Cancelled));
+
+    // Refill the single queue slot, then resubmit the cancelled job into
+    // the full queue: a clean Busy, with the terminal state untouched —
+    // never a phantom entry marked queued but absent from the queue.
+    let (c_id, outcome) = sup
+        .submit(JobSpec::from_json_str(&slow(83, 0)).unwrap())
+        .unwrap();
+    assert_eq!(outcome, SubmitOutcome::Accepted);
+    let (again, outcome) = sup
+        .submit(JobSpec::from_json_str(&slow(82, 0)).unwrap())
+        .unwrap();
+    assert_eq!(again, b_id);
+    assert!(matches!(outcome, SubmitOutcome::Busy { .. }), "{outcome:?}");
+    let status = sup.status_json(&b_id).unwrap();
+    assert!(status.contains("\"state\":\"cancelled\""), "{status}");
+
+    // The id is not wedged: once space frees, resubmission really requeues.
+    assert_eq!(sup.cancel(&c_id), Some(JobState::Cancelled));
+    let (_, outcome) = sup
+        .submit(JobSpec::from_json_str(&slow(82, 0)).unwrap())
+        .unwrap();
+    assert_eq!(outcome, SubmitOutcome::Accepted);
+    let status = sup.status_json(&b_id).unwrap();
+    assert!(
+        status.contains("\"state\":\"queued\"") || status.contains("\"state\":\"running\""),
+        "{status}"
+    );
+
+    sup.cancel(&a_id);
+    sup.cancel(&b_id);
+    sup.shutdown_and_drain();
+}
+
+#[test]
+fn unparseable_recovered_spec_aborts_boot_and_preserves_the_journal() {
+    // A journal whose records no longer parse (say, after a format change)
+    // must abort recovery with the original journal intact on disk — not
+    // truncate it first and lose durably journaled jobs.
+    let dir = scratch("bad-spec-journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("jobs.journal");
+    let mut journal = Journal::create(&path).unwrap();
+    journal
+        .append(&JournalEvent::Submit {
+            id: "deadbeef".to_owned(),
+            spec_json: r#"{"network":"vgg"}"#.to_owned(),
+        })
+        .unwrap();
+    drop(journal);
+    let before = std::fs::read(&path).unwrap();
+
+    let err = Supervisor::start(ServeConfig {
+        state_dir: dir,
+        queue_cap: 4,
+        workers: 1,
+        campaign_threads: 2,
+        chaos: Vec::new(),
+    })
+    .unwrap_err();
+    assert!(err.contains("deadbeef"), "{err}");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "failed boot rewrote the journal"
     );
 }
 
