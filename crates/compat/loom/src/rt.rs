@@ -1,0 +1,496 @@
+//! The scheduler runtime: one turnstile that serializes model threads and
+//! enumerates their interleavings.
+//!
+//! Every model thread is a real OS thread, but only the thread named by
+//! `State::current` may run; everyone else parks on the runtime condvar.
+//! Each shared-memory operation (mutex acquire/release, atomic op, condvar
+//! wait/notify, spawn/join) passes through a *scheduling point* that hands
+//! the baton back to the scheduler, which picks the next thread to run.
+//! When more than one thread is runnable the pick is a *decision point*;
+//! the sequence of decisions identifies the interleaving, and the driver
+//! ([`crate::Builder`]) enumerates decision sequences by depth-first
+//! backtracking (or by a seeded random walk).
+//!
+//! Because exactly one thread runs between scheduling points and the baton
+//! hand-off goes through a mutex, every operation is globally ordered: the
+//! model explores interleavings under **sequential consistency**. Memory
+//! orderings are accepted for API compatibility but not weakened — a
+//! `Relaxed`-vs-`Acquire` distinction is *not* modeled (that discipline is
+//! checked statically by `fidelity concheck` instead).
+
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Hard ceiling on model threads per execution; models are meant to be tiny.
+pub const MAX_THREADS: usize = 8;
+
+/// Why a model thread is parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// Waiting to acquire model lock `.0`.
+    Lock(usize),
+    /// Waiting for thread `.0` to finish.
+    Join(usize),
+    /// Waiting on model condvar `.0`.
+    Condvar(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Runnable (or currently running, when `current` names it).
+    Ready,
+    /// Parked until the wait condition promotes it back to `Ready`.
+    Blocked(Wait),
+    /// Exited (normally or by unwinding).
+    Finished,
+}
+
+/// Payload used to unwind model threads when an execution is cut short
+/// (failure elsewhere, deadlock, or the step bound). The thread wrapper
+/// recognizes it and does not report it as a test failure.
+pub(crate) struct ModelAbort;
+
+/// One decision point: which runnable thread (by rank in the enabled list)
+/// was chosen, out of how many.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    pub rank: usize,
+    pub alternatives: usize,
+}
+
+/// How decision points are resolved past the replay prefix.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Mode {
+    /// Always take rank 0; the driver backtracks through the alternatives.
+    Dfs,
+    /// Seeded xorshift pick (seed lives in `State::rng`); the driver runs
+    /// a fixed number of walks.
+    Random,
+}
+
+#[derive(Debug)]
+pub(crate) struct State {
+    statuses: Vec<Status>,
+    /// The one thread allowed to run; `None` while the baton is in flight.
+    current: Option<usize>,
+    /// Model mutexes: the holder's tid, if held.
+    lock_holders: Vec<Option<usize>>,
+    /// Model condvars: FIFO of waiting tids.
+    condvar_queues: Vec<Vec<usize>>,
+    /// Decisions made this execution (alternatives > 1 only).
+    pub choices: Vec<Choice>,
+    /// Replayed ranks for the first `prefix.len()` decision points.
+    prefix: Vec<usize>,
+    depth: usize,
+    steps: usize,
+    max_steps: usize,
+    mode: Mode,
+    rng: u64,
+    /// Context switches taken at points where the running thread could have
+    /// continued (voluntary yields it lost). `None` bound = unlimited.
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    live: usize,
+    pub aborted: bool,
+    pub truncated: bool,
+    pub failure: Option<String>,
+}
+
+/// The per-execution runtime shared by every model thread.
+#[derive(Debug)]
+pub struct Rt {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+    /// OS handles for every spawned model thread, joined by the driver.
+    pub(crate) os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl Rt {
+    pub(crate) fn new(
+        prefix: Vec<usize>,
+        max_steps: usize,
+        mode: Mode,
+        seed: u64,
+        preemption_bound: Option<usize>,
+    ) -> Arc<Rt> {
+        Arc::new(Rt {
+            state: StdMutex::new(State {
+                statuses: Vec::new(),
+                current: None,
+                lock_holders: Vec::new(),
+                condvar_queues: Vec::new(),
+                choices: Vec::new(),
+                prefix,
+                depth: 0,
+                steps: 0,
+                max_steps,
+                mode,
+                rng: seed,
+                preemptions: 0,
+                preemption_bound,
+                live: 0,
+                aborted: false,
+                truncated: false,
+                failure: None,
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        })
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a new model thread; returns its tid.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.statuses.len();
+        assert!(
+            tid < MAX_THREADS,
+            "model spawned more than {MAX_THREADS} threads; shrink the protocol model"
+        );
+        st.statuses.push(Status::Ready);
+        st.live += 1;
+        tid
+    }
+
+    /// Registers a model mutex; returns its lock id.
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut st = self.lock_state();
+        st.lock_holders.push(None);
+        st.lock_holders.len() - 1
+    }
+
+    /// Registers a model condvar; returns its id.
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock_state();
+        st.condvar_queues.push(Vec::new());
+        st.condvar_queues.len() - 1
+    }
+
+    /// Picks the next thread to run among the runnable ones and publishes it
+    /// as `current`. No runnable thread means either a finished execution
+    /// (nothing live) or a deadlock (everything live is blocked).
+    ///
+    /// `last` names the thread that just yielded *while still runnable*
+    /// (a voluntary scheduling point); `None` when the previous thread
+    /// blocked or finished, making the switch forced. Under a preemption
+    /// bound, once the budget is spent a runnable `last` keeps the baton —
+    /// the CHESS-style bounding that keeps exhaustive DFS tractable:
+    /// forced switches stay free, so the bounded space still contains
+    /// every schedule with at most `preemption_bound` preemptions.
+    fn schedule(&self, st: &mut State, last: Option<usize>) {
+        if st.aborted {
+            self.cv.notify_all();
+            return;
+        }
+        if let (Some(bound), Some(l)) = (st.preemption_bound, last) {
+            if st.preemptions >= bound && st.statuses[l] == Status::Ready {
+                st.current = Some(l);
+                self.cv.notify_all();
+                return;
+            }
+        }
+        let enabled: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.live > 0 {
+                let waits: Vec<String> = st
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        Status::Blocked(w) => Some(format!("thread {i} blocked on {w:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                st.failure = Some(format!("deadlock: {}", waits.join(", ")));
+                st.aborted = true;
+            }
+            st.current = None;
+            self.cv.notify_all();
+            return;
+        }
+        let rank = if enabled.len() == 1 {
+            0
+        } else {
+            let rank = if st.depth < st.prefix.len() {
+                st.prefix[st.depth].min(enabled.len() - 1)
+            } else {
+                match st.mode {
+                    Mode::Dfs => 0,
+                    Mode::Random => (xorshift(&mut st.rng) % enabled.len() as u64) as usize,
+                }
+            };
+            st.choices.push(Choice {
+                rank,
+                alternatives: enabled.len(),
+            });
+            st.depth += 1;
+            rank
+        };
+        let chosen = enabled[rank];
+        if let Some(l) = last {
+            if chosen != l && st.statuses[l] == Status::Ready {
+                st.preemptions += 1;
+            }
+        }
+        st.current = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling thread until the scheduler hands it the baton.
+    /// Unwinds with [`ModelAbort`] when the execution was cut short.
+    fn wait_scheduled<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, State>,
+        tid: usize,
+    ) -> std::sync::MutexGuard<'a, State> {
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.current == Some(tid) {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Counts one step against the execution bound; trips truncation when
+    /// the bound is exceeded (cut short, counted separately from failures).
+    fn count_step(&self, st: &mut State) {
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.truncated = true;
+            st.aborted = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// The scheduling point: offer the baton to every runnable thread
+    /// (including the caller) and park until re-chosen.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut st = self.lock_state();
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.count_step(&mut st);
+        st.statuses[tid] = Status::Ready;
+        st.current = None;
+        self.schedule(&mut st, Some(tid));
+        let st = self.wait_scheduled(st, tid);
+        drop(st);
+    }
+
+    /// First wait of a freshly spawned thread (no step charged).
+    pub(crate) fn wait_first_schedule(&self, tid: usize) {
+        let st = self.lock_state();
+        let st = self.wait_scheduled(st, tid);
+        drop(st);
+    }
+
+    /// Acquires model lock `l` for `tid`, blocking (and re-offering the
+    /// baton) while it is held. The acquisition attempt is itself a
+    /// scheduling point.
+    pub(crate) fn lock_acquire(&self, tid: usize, l: usize) {
+        self.yield_point(tid);
+        let mut st = self.lock_state();
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.lock_holders[l].is_none() {
+                st.lock_holders[l] = Some(tid);
+                return;
+            }
+            assert_ne!(
+                st.lock_holders[l],
+                Some(tid),
+                "model thread {tid} re-locked model mutex {l} it already holds (self-deadlock)"
+            );
+            st.statuses[tid] = Status::Blocked(Wait::Lock(l));
+            st.current = None;
+            self.schedule(&mut st, None);
+            st = self.wait_scheduled(st, tid);
+        }
+    }
+
+    /// Releases model lock `l` and promotes its waiters. Not a scheduling
+    /// point: the release becomes visible at the caller's next one.
+    pub(crate) fn lock_release(&self, l: usize) {
+        let mut st = self.lock_state();
+        st.lock_holders[l] = None;
+        for s in &mut st.statuses {
+            if *s == Status::Blocked(Wait::Lock(l)) {
+                *s = Status::Ready;
+            }
+        }
+    }
+
+    /// Condvar wait: atomically release `l`, park on condvar `cv`, and on
+    /// wake-up re-acquire `l` before returning.
+    pub(crate) fn condvar_wait(&self, tid: usize, cv: usize, l: usize) {
+        {
+            let mut st = self.lock_state();
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            self.count_step(&mut st);
+            st.lock_holders[l] = None;
+            for s in &mut st.statuses {
+                if *s == Status::Blocked(Wait::Lock(l)) {
+                    *s = Status::Ready;
+                }
+            }
+            st.statuses[tid] = Status::Blocked(Wait::Condvar(cv));
+            st.condvar_queues[cv].push(tid);
+            st.current = None;
+            self.schedule(&mut st, None);
+            let st = self.wait_scheduled(st, tid);
+            drop(st);
+        }
+        // Re-acquire the mutex (may block again; that is real condvar
+        // behavior).
+        let mut st = self.lock_state();
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.lock_holders[l].is_none() {
+                st.lock_holders[l] = Some(tid);
+                return;
+            }
+            st.statuses[tid] = Status::Blocked(Wait::Lock(l));
+            st.current = None;
+            self.schedule(&mut st, None);
+            st = self.wait_scheduled(st, tid);
+        }
+    }
+
+    /// Wakes up to `n` condvar waiters (FIFO). A scheduling point.
+    pub(crate) fn condvar_notify(&self, tid: usize, cv: usize, n: usize) {
+        self.yield_point(tid);
+        let mut st = self.lock_state();
+        for _ in 0..n {
+            let Some(waiter) = ({
+                let q = &mut st.condvar_queues[cv];
+                if q.is_empty() {
+                    None
+                } else {
+                    Some(q.remove(0))
+                }
+            }) else {
+                break;
+            };
+            st.statuses[waiter] = Status::Ready;
+        }
+    }
+
+    /// Join: park until thread `target` finishes.
+    pub(crate) fn join_wait(&self, tid: usize, target: usize) {
+        self.yield_point(tid);
+        let mut st = self.lock_state();
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.statuses[target] == Status::Finished {
+                return;
+            }
+            st.statuses[tid] = Status::Blocked(Wait::Join(target));
+            st.current = None;
+            self.schedule(&mut st, None);
+            st = self.wait_scheduled(st, tid);
+        }
+    }
+
+    /// Marks `tid` finished, promotes its joiners, and hands off the baton.
+    /// `failure` carries a real panic message from the thread body, if any.
+    pub(crate) fn thread_finished(&self, tid: usize, failure: Option<String>) {
+        let mut st = self.lock_state();
+        st.statuses[tid] = Status::Finished;
+        st.live -= 1;
+        for s in &mut st.statuses {
+            if *s == Status::Blocked(Wait::Join(tid)) {
+                *s = Status::Ready;
+            }
+        }
+        if let Some(msg) = failure {
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+            st.aborted = true;
+            self.cv.notify_all();
+            return;
+        }
+        st.current = None;
+        self.schedule(&mut st, None);
+    }
+
+    /// Driver side: hand the baton to the first runnable thread.
+    pub(crate) fn start(&self) {
+        let mut st = self.lock_state();
+        self.schedule(&mut st, None);
+    }
+
+    /// Driver side: block until the execution is over (all threads finished
+    /// or the run aborted).
+    pub(crate) fn wait_execution_done(&self) {
+        let mut st = self.lock_state();
+        while st.live > 0 && !st.aborted {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        // On abort, parked threads must still observe it and unwind.
+        self.cv.notify_all();
+    }
+
+    /// Driver side: the execution's outcome.
+    pub(crate) fn take_outcome(&self) -> (Vec<Choice>, bool, Option<String>) {
+        let mut st = self.lock_state();
+        let choices = std::mem::take(&mut st.choices);
+        (choices, st.truncated, st.failure.take())
+    }
+}
+
+thread_local! {
+    /// The runtime and tid of the model thread running on this OS thread.
+    static CURRENT: std::cell::RefCell<Option<(Arc<Rt>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The runtime handle for the calling model thread, or `None` outside one.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The runtime handle for the calling model thread; panics outside `model()`.
+pub(crate) fn current_expect(what: &str) -> (Arc<Rt>, usize) {
+    current()
+        .unwrap_or_else(|| panic!("loom model {what} used outside loom::model / Builder::check"))
+}
+
+/// Installs the (runtime, tid) pair for the calling OS thread.
+pub(crate) fn set_current(rt: Option<(Arc<Rt>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = rt);
+}

@@ -1,0 +1,294 @@
+//! Model `Mutex`, `Condvar`, and atomics: drop-in shapes of the `std::sync`
+//! types whose every operation is a scheduling point of the
+//! [`crate::rt`] turnstile.
+//!
+//! Data lives in an inner `std::sync::Mutex` that is never contended (only
+//! the scheduled thread touches it after winning the *model* lock), so the
+//! whole shim stays safe Rust. Memory orderings are accepted and recorded
+//! nowhere: the model explores interleavings under sequential consistency.
+//!
+//! Model objects must be created *inside* the closure passed to
+//! [`crate::model`] (the usual loom discipline): lock/condvar ids are
+//! registered lazily against the execution's runtime on first use.
+
+use std::sync::{Arc, LockResult, Mutex as StdMutex, OnceLock, PoisonError};
+
+use crate::rt::{self, Rt};
+
+/// Lazily registers a per-execution resource id with the current runtime.
+fn resource_id(slot: &OnceLock<usize>, register: impl Fn(&Rt) -> usize, what: &str) -> usize {
+    *slot.get_or_init(|| {
+        let (rt, _) = rt::current_expect(what);
+        register(&rt)
+    })
+}
+
+/// A model mutex. API-compatible with `std::sync::Mutex` for the subset the
+/// workspace uses (`new`, `lock`, `into_inner`).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: StdMutex<T>,
+    id: OnceLock<usize>,
+}
+
+/// Guard for a held model [`Mutex`]; releasing it (drop) re-enables waiters.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    rt: Arc<Rt>,
+    lock_id: usize,
+    /// Set when a condvar takes over the release protocol; `Drop` then
+    /// releases nothing.
+    defused: bool,
+}
+
+impl<T> Mutex<T> {
+    /// A new model mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            data: StdMutex::new(value),
+            id: OnceLock::new(),
+        }
+    }
+
+    fn lock_id(&self) -> usize {
+        resource_id(&self.id, Rt::register_lock, "Mutex")
+    }
+
+    /// Acquires the lock, parking (and re-offering the scheduler baton)
+    /// while another model thread holds it. Never actually poisoned: the
+    /// `LockResult` shape exists so call sites keep their
+    /// `unwrap_or_else(PoisonError::into_inner)` recovery idiom.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (rt, tid) = rt::current_expect("Mutex");
+        let lock_id = self.lock_id();
+        rt.lock_acquire(tid, lock_id);
+        Ok(self.guard(rt, lock_id))
+    }
+
+    /// Builds a guard for a model lock the runtime already granted.
+    fn guard(&self, rt: Arc<Rt>, lock_id: usize) -> MutexGuard<'_, T> {
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            mutex: self,
+            inner: Some(inner),
+            rt,
+            lock_id,
+            defused: false,
+        }
+    }
+
+    /// Consumes the mutex, returning the data. Usable outside the model.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self
+            .data
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data guard before the model lock so the next owner
+        // can never contend on the inner std mutex.
+        self.inner = None;
+        if !self.defused {
+            self.rt.lock_release(self.lock_id);
+        }
+    }
+}
+
+/// A model condvar (`wait`, `wait_timeout`, `notify_one`, `notify_all`).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+}
+
+/// Timeout result shape mirroring `std::sync::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait timed out (always true in the model; see
+    /// [`Condvar::wait_timeout`]).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    /// A new model condvar.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    /// Releases the guard's mutex, parks until notified, re-acquires.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (rt, tid) = rt::current_expect("Condvar");
+        let cv = resource_id(&self.id, Rt::register_condvar, "Condvar");
+        let mutex = guard.mutex;
+        let lock_id = guard.lock_id;
+        guard.inner = None;
+        guard.defused = true; // condvar_wait owns the release below
+        drop(guard);
+        rt.condvar_wait(tid, cv, lock_id); // releases, parks, re-acquires
+        Ok(mutex.guard(rt, lock_id))
+    }
+
+    /// Modeled as a *spurious timeout*: release, one scheduling point,
+    /// re-acquire, report timed-out. Spurious wakeups are legal condvar
+    /// behavior, so every execution explored is a real one; schedules where
+    /// the waiter stays parked until a notify are under-explored (use
+    /// [`Condvar::wait`] in protocol models that need them).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        _dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (rt, tid) = rt::current_expect("Condvar");
+        let mutex = guard.mutex;
+        let lock_id = guard.lock_id;
+        guard.inner = None;
+        guard.defused = true;
+        drop(guard);
+        rt.lock_release(lock_id);
+        rt.yield_point(tid);
+        rt.lock_acquire(tid, lock_id);
+        Ok((mutex.guard(rt, lock_id), WaitTimeoutResult(true)))
+    }
+
+    /// Wakes one waiter (FIFO).
+    pub fn notify_one(&self) {
+        let (rt, tid) = rt::current_expect("Condvar");
+        let cv = resource_id(&self.id, Rt::register_condvar, "Condvar");
+        rt.condvar_notify(tid, cv, 1);
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        let (rt, tid) = rt::current_expect("Condvar");
+        let cv = resource_id(&self.id, Rt::register_condvar, "Condvar");
+        rt.condvar_notify(tid, cv, usize::MAX);
+    }
+}
+
+/// Model atomics: every operation is a scheduling point; orderings are
+/// accepted for drop-in compatibility and explored as sequentially
+/// consistent.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    macro_rules! model_atomic {
+        ($name:ident, $ty:ty) => {
+            /// Model counterpart of the std atomic of the same name.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$name,
+            }
+
+            impl $name {
+                /// A new atomic holding `v`.
+                pub const fn new(v: $ty) -> Self {
+                    $name {
+                        inner: std::sync::atomic::$name::new(v),
+                    }
+                }
+
+                fn point() {
+                    if let Some((rt, tid)) = rt::current() {
+                        rt.yield_point(tid);
+                    }
+                }
+
+                /// Atomic load (scheduling point).
+                pub fn load(&self, _o: Ordering) -> $ty {
+                    Self::point();
+                    self.inner.load(std::sync::atomic::Ordering::SeqCst)
+                }
+
+                /// Atomic store (scheduling point).
+                pub fn store(&self, v: $ty, _o: Ordering) {
+                    Self::point();
+                    self.inner.store(v, std::sync::atomic::Ordering::SeqCst);
+                }
+
+                /// Atomic swap (scheduling point).
+                pub fn swap(&self, v: $ty, _o: Ordering) -> $ty {
+                    Self::point();
+                    self.inner.swap(v, std::sync::atomic::Ordering::SeqCst)
+                }
+
+                /// Atomic compare-exchange (scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _ok: Ordering,
+                    _err: Ordering,
+                ) -> Result<$ty, $ty> {
+                    Self::point();
+                    self.inner.compare_exchange(
+                        current,
+                        new,
+                        std::sync::atomic::Ordering::SeqCst,
+                        std::sync::atomic::Ordering::SeqCst,
+                    )
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Atomic add, returning the previous value (scheduling
+                /// point).
+                pub fn fetch_add(&self, v: $ty, _o: Ordering) -> $ty {
+                    Self::point();
+                    self.inner.fetch_add(v, std::sync::atomic::Ordering::SeqCst)
+                }
+
+                /// Atomic subtract, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_sub(&self, v: $ty, _o: Ordering) -> $ty {
+                    Self::point();
+                    self.inner.fetch_sub(v, std::sync::atomic::Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicBool, bool);
+    model_atomic!(AtomicUsize, usize);
+    model_atomic!(AtomicU64, u64);
+    model_atomic!(AtomicU32, u32);
+    model_atomic!(AtomicI64, i64);
+    model_atomic_arith!(AtomicUsize, usize);
+    model_atomic_arith!(AtomicU64, u64);
+    model_atomic_arith!(AtomicU32, u32);
+    model_atomic_arith!(AtomicI64, i64);
+
+    impl AtomicBool {
+        /// Atomic OR, returning the previous value (scheduling point).
+        pub fn fetch_or(&self, v: bool, _o: Ordering) -> bool {
+            Self::point();
+            self.inner.fetch_or(v, std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+}

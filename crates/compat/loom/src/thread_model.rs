@@ -1,0 +1,93 @@
+//! Model `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Each model thread is a real OS thread registered with the execution's
+//! [`crate::rt::Rt`]; it parks immediately and only runs when the turnstile
+//! hands it the baton. Panics in the body are caught: a [`crate::rt`]
+//! `ModelAbort` (execution cut short) unwinds silently, anything else is
+//! reported as the execution's failure.
+
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::rt::{self, ModelAbort};
+
+/// Handle to a spawned model thread; `join` parks until it finishes.
+pub struct JoinHandle<T> {
+    target: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (model-blocking) for the thread and returns its result.
+    /// `Err` means the thread's body panicked.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        let (rt, tid) = rt::current_expect("JoinHandle::join");
+        rt.join_wait(tid, self.target);
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .ok_or_else(|| Box::new("model thread panicked") as Box<dyn std::any::Any + Send>)
+    }
+}
+
+/// Extracts a displayable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Spawns a model thread running `f` under the current execution's
+/// scheduler. Must be called from inside `loom::model`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, _) = rt::current_expect("thread::spawn");
+    let tid = rt.register_thread();
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let trt = Arc::clone(&rt);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn(move || {
+            rt::set_current(Some((Arc::clone(&trt), tid)));
+            trt.wait_first_schedule(tid);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let failure = match outcome {
+                Ok(v) => {
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                    None
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<ModelAbort>().is_some() {
+                        None // execution cut short elsewhere; not a failure
+                    } else {
+                        Some(panic_message(payload.as_ref()))
+                    }
+                }
+            };
+            trt.thread_finished(tid, failure);
+            rt::set_current(None);
+        })
+        .expect("spawn model OS thread");
+    rt.os_handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(os);
+    JoinHandle {
+        target: tid,
+        result,
+    }
+}
+
+/// A bare scheduling point ("let someone else run").
+pub fn yield_now() {
+    let (rt, tid) = rt::current_expect("thread::yield_now");
+    rt.yield_point(tid);
+}

@@ -1,0 +1,304 @@
+//! Self-tests for the vendored model checker: it must find known bugs
+//! (lost updates, deadlocks), certify known-good protocols, and explore
+//! the analytically expected number of interleavings on tiny cases.
+
+use loom::model::{sync, thread};
+use loom::Builder;
+
+/// A non-atomic read-modify-write through two lock sections loses updates;
+/// the exhaustive DFS must find the interleaving that exposes it.
+#[test]
+fn finds_lost_update() {
+    let report = Builder::default().explore(|| {
+        let n = sync::Arc::new(sync::Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n = sync::Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                // Read under one lock, write under another: racy by design.
+                let v = *n.lock().unwrap();
+                let mut g = n.lock().unwrap();
+                *g = v + 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2, "lost update");
+    });
+    let failure = report.failure.expect("DFS must expose the lost update");
+    assert!(
+        failure.contains("lost update"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// The same counter incremented entirely under one lock section never
+/// loses updates, in any interleaving.
+#[test]
+fn mutex_increments_are_exclusive() {
+    let report = Builder::default().check(|| {
+        let n = sync::Arc::new(sync::Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let n = sync::Arc::clone(&n);
+            handles.push(thread::spawn(move || {
+                *n.lock().unwrap() += 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 3);
+    });
+    assert!(report.complete, "3-thread mutex case should be exhaustible");
+    assert!(report.executions > 1, "must explore more than one schedule");
+}
+
+/// Classic AB-BA lock-order inversion: the model must report a deadlock
+/// rather than hang.
+#[test]
+fn detects_ab_ba_deadlock() {
+    let report = Builder::default().explore(|| {
+        let a = sync::Arc::new(sync::Mutex::new(()));
+        let b = sync::Arc::new(sync::Mutex::new(()));
+        let (a2, b2) = (sync::Arc::clone(&a), sync::Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+    let failure = report
+        .failure
+        .expect("AB-BA must deadlock in some schedule");
+    assert!(
+        failure.contains("deadlock"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// Atomic ops are scheduling points: two racing `fetch_add`s still sum
+/// correctly (atomicity is preserved even though interleaved).
+#[test]
+fn atomics_are_atomic_across_schedules() {
+    let report = Builder::default().check(|| {
+        let n = sync::Arc::new(sync::atomic::AtomicUsize::new(0));
+        let n2 = sync::Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, sync::atomic::Ordering::Relaxed);
+        });
+        n.fetch_add(1, sync::atomic::Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(n.load(sync::atomic::Ordering::Relaxed), 2);
+    });
+    assert!(report.complete);
+}
+
+/// A racy flag protocol (non-atomic check-then-set through separate lock
+/// sections) where both threads can observe "unset" — DFS must find it.
+#[test]
+fn finds_check_then_act_race() {
+    let report = Builder::default().explore(|| {
+        let winners = sync::Arc::new(sync::atomic::AtomicUsize::new(0));
+        let flag = sync::Arc::new(sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let winners = sync::Arc::clone(&winners);
+            let flag = sync::Arc::clone(&flag);
+            handles.push(thread::spawn(move || {
+                // load-then-store instead of swap/CAS: two winners possible.
+                if !flag.load(sync::atomic::Ordering::SeqCst) {
+                    flag.store(true, sync::atomic::Ordering::SeqCst);
+                    winners.fetch_add(1, sync::atomic::Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            winners.load(sync::atomic::Ordering::SeqCst),
+            1,
+            "double winner"
+        );
+    });
+    let failure = report.failure.expect("check-then-act race must be found");
+    assert!(
+        failure.contains("double winner"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// Condvar handoff: consumer waits until the producer pushes; no deadlock,
+/// value always observed.
+#[test]
+fn condvar_handoff_completes() {
+    let report = Builder::default().check(|| {
+        let slot = sync::Arc::new((sync::Mutex::new(None::<u32>), sync::Condvar::new()));
+        let s2 = sync::Arc::clone(&slot);
+        let consumer = thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock().unwrap();
+            while g.is_none() {
+                g = cv.wait(g).unwrap();
+            }
+            g.take().unwrap()
+        });
+        {
+            let (m, cv) = &*slot;
+            *m.lock().unwrap() = Some(7);
+            cv.notify_one();
+        }
+        assert_eq!(consumer.join().unwrap(), 7);
+    });
+    assert!(report.complete);
+    assert!(report.failure.is_none());
+}
+
+/// Two independent two-step threads: the DFS must explore multiple
+/// distinct schedules and terminate as complete.
+#[test]
+fn exhaustive_enumeration_terminates() {
+    let report = Builder::default().check(|| {
+        let a = sync::Arc::new(sync::atomic::AtomicUsize::new(0));
+        let a2 = sync::Arc::clone(&a);
+        let t = thread::spawn(move || {
+            a2.fetch_add(1, sync::atomic::Ordering::SeqCst);
+            a2.fetch_add(1, sync::atomic::Ordering::SeqCst);
+        });
+        a.fetch_add(1, sync::atomic::Ordering::SeqCst);
+        t.join().unwrap();
+        assert!(a.load(sync::atomic::Ordering::SeqCst) == 3);
+    });
+    assert!(report.complete);
+    // Root interleaves one op against the child's two: at least 3 schedules.
+    assert!(
+        report.executions >= 3,
+        "expected >= 3 interleavings, got {}",
+        report.executions
+    );
+}
+
+/// Random-walk mode runs the requested number of seeded walks and stays
+/// deterministic for a fixed seed.
+#[test]
+fn random_walk_is_seeded_and_bounded() {
+    let run = || {
+        Builder {
+            max_steps: 1_000,
+            max_executions: 25,
+            seed: Some(42),
+            preemption_bound: None,
+        }
+        .explore(|| {
+            let n = sync::Arc::new(sync::Mutex::new(0u32));
+            let n2 = sync::Arc::clone(&n);
+            let t = thread::spawn(move || {
+                *n2.lock().unwrap() += 1;
+            });
+            *n.lock().unwrap() += 1;
+            t.join().unwrap();
+            assert_eq!(*n.lock().unwrap(), 2);
+        })
+    };
+    let (r1, r2) = (run(), run());
+    assert_eq!(r1.executions, 25);
+    assert!(!r1.complete, "random walks never certify completeness");
+    assert!(r1.failure.is_none());
+    assert_eq!(r1.executions, r2.executions);
+    assert_eq!(r1.truncated, r2.truncated);
+}
+
+/// The step bound cuts executions short as `truncated`, never as failures.
+#[test]
+fn step_bound_truncates_without_failing() {
+    let report = Builder {
+        max_steps: 5,
+        max_executions: 50,
+        seed: None,
+        preemption_bound: None,
+    }
+    .explore(|| {
+        let n = sync::Arc::new(sync::atomic::AtomicUsize::new(0));
+        let n2 = sync::Arc::clone(&n);
+        let t = thread::spawn(move || {
+            for _ in 0..10 {
+                n2.fetch_add(1, sync::atomic::Ordering::SeqCst);
+            }
+        });
+        for _ in 0..10 {
+            n.fetch_add(1, sync::atomic::Ordering::SeqCst);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.truncated > 0, "5-step bound must truncate");
+    assert!(report.failure.is_none(), "truncation is not a failure");
+}
+
+/// A 2-preemption bound still finds the classic lost-update race (it needs
+/// exactly one preemption), while shrinking the searched space.
+#[test]
+fn preemption_bound_still_finds_lost_update() {
+    let body = || {
+        let n = sync::Arc::new(sync::atomic::AtomicUsize::new(0));
+        let n2 = sync::Arc::clone(&n);
+        let t = thread::spawn(move || {
+            let v = n2.load(sync::atomic::Ordering::SeqCst);
+            n2.store(v + 1, sync::atomic::Ordering::SeqCst);
+        });
+        let v = n.load(sync::atomic::Ordering::SeqCst);
+        n.store(v + 1, sync::atomic::Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(sync::atomic::Ordering::SeqCst), 2, "lost update");
+    };
+    let bounded = Builder {
+        preemption_bound: Some(2),
+        ..Builder::default()
+    }
+    .explore(body);
+    assert!(
+        bounded.failure.is_some(),
+        "bound 2 must still reach the racy schedule"
+    );
+}
+
+/// The bounded DFS explores a strict subset of the unbounded space and
+/// still certifies completeness (within the bound).
+#[test]
+fn preemption_bound_shrinks_the_space() {
+    let body = || {
+        let n = sync::Arc::new(sync::atomic::AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let n = sync::Arc::clone(&n);
+                thread::spawn(move || {
+                    for _ in 0..3 {
+                        n.fetch_add(1, sync::atomic::Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(n.load(sync::atomic::Ordering::SeqCst), 6);
+    };
+    let unbounded = Builder::default().explore(body);
+    let bounded = Builder {
+        preemption_bound: Some(1),
+        ..Builder::default()
+    }
+    .explore(body);
+    assert!(unbounded.complete && bounded.complete);
+    assert!(bounded.failure.is_none());
+    assert!(
+        bounded.executions < unbounded.executions,
+        "bound 1 must prune schedules: {} vs {}",
+        bounded.executions,
+        unbounded.executions
+    );
+}

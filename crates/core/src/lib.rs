@@ -41,6 +41,8 @@ pub mod analysis;
 pub mod campaign;
 pub mod fit;
 pub mod inject;
+#[cfg(feature = "loom_model")]
+pub mod modelcheck;
 pub mod models;
 pub mod naive;
 pub mod outcome;

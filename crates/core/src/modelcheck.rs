@@ -1,0 +1,99 @@
+//! Deterministic interleaving model of the ordered checkpoint commit.
+//!
+//! The campaign's `OrderedCommit` ([`crate::campaign`]) parks out-of-order
+//! cell completions until every lower plan index has committed or skipped,
+//! then drains contiguously — so the checkpoint file is always the byte
+//! prefix a serial run would have written, no matter how workers are
+//! scheduled. This module re-expresses that cursor/pending protocol against
+//! the `loom` model `Mutex` (the file write becomes an append to an
+//! in-memory `written` log) and lets the model scheduler enumerate every
+//! interleaving of worker commits.
+//!
+//! Checked invariants, in every explored interleaving:
+//!
+//! - **write-order determinism**: the `written` sequence equals plan order
+//!   with the skipped cell absent — identical across all schedules, which
+//!   is exactly the checkpoint-byte determinism the resume path relies on;
+//! - **drain completeness**: after the last commit, the cursor has passed
+//!   every cell and nothing is left parked in `pending`;
+//! - **skip semantics**: a failed cell advances the cursor without a
+//!   record, so later cells still drain.
+
+use std::collections::BTreeMap;
+
+use loom::model::sync::{Arc, Mutex};
+use loom::model::thread;
+
+/// `OrderedCommit` with the `BufWriter<File>` replaced by a write log.
+struct ModelCommit {
+    written: Vec<usize>,
+    cursor: usize,
+    pending: BTreeMap<usize, Option<usize>>,
+}
+
+impl ModelCommit {
+    /// Mirrors `OrderedCommit::commit`: park, then drain the contiguous run.
+    fn commit(&mut self, idx: usize, entry: Option<usize>) {
+        self.pending.insert(idx, entry);
+        while let Some(slot) = self.pending.remove(&self.cursor) {
+            if slot.is_some() {
+                self.written.push(self.cursor);
+            }
+            self.cursor += 1;
+        }
+    }
+}
+
+/// One model execution: two workers complete a 5-cell plan out of order
+/// (worker A: cells 2, 0, 4; worker B: cell 3, then cell 1 as a failure
+/// skip), every commit behind the shared lock, full check after the join.
+fn run_model() {
+    let state = Arc::new(Mutex::new(ModelCommit {
+        written: Vec::new(),
+        cursor: 0,
+        pending: BTreeMap::new(),
+    }));
+    let a = {
+        let state = Arc::clone(&state);
+        thread::spawn(move || {
+            for idx in [2usize, 0, 4] {
+                state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .commit(idx, Some(idx));
+            }
+        })
+    };
+    let b = {
+        let state = Arc::clone(&state);
+        thread::spawn(move || {
+            state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .commit(3, Some(3));
+            // Cell 1 failed: commits as a skip, cursor must still advance.
+            state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .commit(1, None);
+        })
+    };
+    a.join().expect("worker A panicked");
+    b.join().expect("worker B panicked");
+    let st = state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert_eq!(
+        st.written,
+        vec![0, 2, 3, 4],
+        "checkpoint bytes depend on scheduling"
+    );
+    assert_eq!(st.cursor, 5, "cursor did not pass the whole plan");
+    assert!(st.pending.is_empty(), "completed cells left parked");
+}
+
+/// Exhaustively model-checks the out-of-order flush protocol. Panics on
+/// the first interleaving whose write log deviates from plan order.
+pub fn ordered_commit_exhaustive() -> loom::Report {
+    loom::Builder::default().check(run_model)
+}

@@ -26,6 +26,8 @@
 pub mod clock;
 pub mod json;
 pub mod metrics;
+#[cfg(feature = "loom_model")]
+pub mod modelcheck;
 pub mod progress;
 pub mod report;
 pub mod stats;

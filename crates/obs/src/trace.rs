@@ -192,6 +192,9 @@ impl TraceSink for JsonlSink {
     fn record(&self, event: &TraceEvent<'_>) {
         let line = event.to_json_line();
         let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // The writer lock exists to serialize sink I/O; events
+        // interleaving mid-line would corrupt the JSONL stream.
+        // statcheck:allow(block-under-lock)
         if writeln!(w, "{line}").is_err() {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
@@ -199,6 +202,9 @@ impl TraceSink for JsonlSink {
 
     fn flush(&self) -> Result<(), String> {
         let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // Same contract as `record`: the flush must not race a concurrent
+        // writeln on the shared sink.
+        // statcheck:allow(block-under-lock)
         w.flush().map_err(|e| format!("trace flush failed: {e}"))?;
         let dropped = self.dropped();
         if dropped > 0 {

@@ -32,6 +32,8 @@
 #![warn(missing_docs)]
 
 mod cancel;
+#[cfg(feature = "loom_model")]
+pub mod modelcheck;
 mod pool;
 
 pub use cancel::CancelToken;

@@ -32,6 +32,8 @@ pub mod client;
 pub mod http;
 pub mod jobspec;
 pub mod journal;
+#[cfg(feature = "loom_model")]
+pub mod modelcheck;
 pub mod queue;
 pub mod server;
 pub mod supervisor;

@@ -1,0 +1,210 @@
+//! Deterministic interleaving model of the supervisor admission protocol.
+//!
+//! Re-expresses the [`crate::supervisor`] submit path — dedup single-flight
+//! attach, backpressure decided under the `jobs` lock, priority shedding —
+//! and the worker's pop-then-run transition against the `loom` model types,
+//! so the scheduler can enumerate every interleaving of submitters and
+//! workers. The journal write-ahead and the campaign execution itself are
+//! out of scope (they are I/O, serialized behind the same locks modeled
+//! here); what is kept is the lock protocol: admission is decided and the
+//! queue mutated while the `jobs` lock is held (the `jobs → queue` order
+//! edge `fidelity concheck` reports), and the worker pops from the queue
+//! *before* taking `jobs` — nesting them the other way would be the AB-BA
+//! cycle the model would report as a deadlock.
+//!
+//! Checked invariants, in every explored interleaving:
+//!
+//! - **single-flight**: two identical submissions yield exactly one
+//!   `Accepted` and one `Attached`, and never two queue entries;
+//! - **shed accounting**: with a full queue, a higher-priority submission
+//!   evicts exactly the lowest-priority victim; the victim ends `Shed`,
+//!   lower-priority arrivals end `Busy`, and the queue never exceeds
+//!   capacity;
+//! - **queued ⇔ enqueued**: a job is in state `Queued` if and only if its
+//!   id is in the queue once the dust settles — no job is left marked
+//!   queued while absent from the queue (the wedged state the production
+//!   fallback path guards against).
+
+use std::collections::BTreeMap;
+
+use loom::model::sync::{Arc, Mutex};
+use loom::model::thread;
+
+/// Job lifecycle states the model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JState {
+    Queued,
+    Running,
+    Shed,
+}
+
+/// What one model `submit` observed (mirrors `SubmitOutcome`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MOutcome {
+    Accepted,
+    AcceptedShedding,
+    Attached,
+    Busy,
+}
+
+/// The supervisor's shared state, reduced to its admission protocol.
+struct ModelSup {
+    jobs: Mutex<BTreeMap<&'static str, JState>>,
+    /// Bounded queue: `(id, priority)`, admission under the `jobs` lock.
+    queue: Mutex<Vec<(&'static str, u8)>>,
+    capacity: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> loom::model::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ModelSup {
+    fn new(capacity: usize) -> Self {
+        ModelSup {
+            jobs: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    /// The submit path: dedup, backpressure, register, push — all under
+    /// the `jobs` lock, as in `Supervisor::submit`.
+    fn submit(&self, id: &'static str, priority: u8) -> MOutcome {
+        let mut jobs = lock(&self.jobs);
+        if let Some(state) = jobs.get(id) {
+            match state {
+                JState::Queued | JState::Running => return MOutcome::Attached,
+                JState::Shed => {} // terminal: resubmission falls through
+            }
+        }
+        let mut queue = lock(&self.queue);
+        if queue.len() < self.capacity {
+            jobs.insert(id, JState::Queued);
+            queue.push((id, priority));
+            return MOutcome::Accepted;
+        }
+        // Full: shed the lowest-priority entry iff strictly lower.
+        let victim_pos = (0..queue.len()).min_by_key(|&i| queue[i].1);
+        if let Some(pos) = victim_pos {
+            if queue[pos].1 < priority {
+                let (victim, _) = queue.remove(pos);
+                jobs.insert(victim, JState::Shed);
+                jobs.insert(id, JState::Queued);
+                queue.push((id, priority));
+                return MOutcome::AcceptedShedding;
+            }
+        }
+        MOutcome::Busy
+    }
+
+    /// The worker's claim: pop from the queue first, release it, then take
+    /// `jobs` to mark the transition (never nested — see module docs).
+    fn pop_and_run(&self) -> Option<&'static str> {
+        let popped = {
+            let mut queue = lock(&self.queue);
+            if queue.is_empty() {
+                None
+            } else {
+                let best = (0..queue.len()).max_by_key(|&i| queue[i].1)?;
+                Some(queue.remove(best).0)
+            }
+        };
+        let id = popped?;
+        lock(&self.jobs).insert(id, JState::Running);
+        Some(id)
+    }
+
+    /// The queued ⇔ enqueued consistency check, taken under both locks.
+    fn assert_consistent(&self) {
+        let jobs = lock(&self.jobs);
+        let queue = lock(&self.queue);
+        assert!(queue.len() <= self.capacity, "queue over capacity");
+        for (id, state) in jobs.iter() {
+            let enqueued = queue.iter().filter(|(q, _)| q == id).count();
+            assert!(enqueued <= 1, "job {id} enqueued {enqueued} times");
+            match state {
+                JState::Queued => {
+                    assert_eq!(enqueued, 1, "job {id} marked queued but absent");
+                }
+                JState::Running | JState::Shed => {
+                    assert_eq!(enqueued, 0, "job {id} is {state:?} yet enqueued");
+                }
+            }
+        }
+    }
+}
+
+/// Two identical submissions race a worker: single-flight dedup.
+fn run_dedup_model() {
+    let sup = Arc::new(ModelSup::new(2));
+    let s1 = {
+        let sup = Arc::clone(&sup);
+        thread::spawn(move || sup.submit("x", 1))
+    };
+    let s2 = {
+        let sup = Arc::clone(&sup);
+        thread::spawn(move || sup.submit("x", 1))
+    };
+    let w = {
+        let sup = Arc::clone(&sup);
+        thread::spawn(move || sup.pop_and_run())
+    };
+    let o1 = s1.join().expect("submitter 1 panicked");
+    let o2 = s2.join().expect("submitter 2 panicked");
+    let ran = w.join().expect("worker panicked");
+    let accepted = [o1, o2]
+        .iter()
+        .filter(|o| **o == MOutcome::Accepted)
+        .count();
+    let attached = [o1, o2]
+        .iter()
+        .filter(|o| **o == MOutcome::Attached)
+        .count();
+    assert_eq!(accepted, 1, "dedup admitted twice: {o1:?} {o2:?}");
+    assert_eq!(attached, 1, "second submit must attach: {o1:?} {o2:?}");
+    if let Some(id) = ran {
+        assert_eq!(id, "x");
+        assert_eq!(lock(&sup.jobs).get("x"), Some(&JState::Running));
+    }
+    sup.assert_consistent();
+}
+
+/// Two different-priority submissions race a capacity-1 queue: shedding.
+fn run_shed_model() {
+    let sup = Arc::new(ModelSup::new(1));
+    let lo = {
+        let sup = Arc::clone(&sup);
+        thread::spawn(move || sup.submit("low", 0))
+    };
+    let hi = {
+        let sup = Arc::clone(&sup);
+        thread::spawn(move || sup.submit("high", 1))
+    };
+    let lo_out = lo.join().expect("low submitter panicked");
+    let hi_out = hi.join().expect("high submitter panicked");
+    // Whichever order the lock grants, the high-priority job always wins
+    // the queue slot; the low one is shed (arrived first) or bounced
+    // (arrived second).
+    assert_eq!(lock(&sup.jobs).get("high"), Some(&JState::Queued));
+    match (lo_out, hi_out) {
+        (MOutcome::Accepted, MOutcome::AcceptedShedding) => {
+            assert_eq!(lock(&sup.jobs).get("low"), Some(&JState::Shed));
+        }
+        (MOutcome::Busy, MOutcome::Accepted) => {
+            assert_eq!(lock(&sup.jobs).get("low"), None);
+        }
+        other => panic!("impossible admission outcome: {other:?}"),
+    }
+    sup.assert_consistent();
+}
+
+/// Exhaustively model-checks single-flight dedup under a racing worker.
+pub fn supervisor_dedup_exhaustive() -> loom::Report {
+    loom::Builder::default().check(run_dedup_model)
+}
+
+/// Exhaustively model-checks priority shedding on a full queue.
+pub fn supervisor_shed_exhaustive() -> loom::Report {
+    loom::Builder::default().check(run_shed_model)
+}

@@ -912,3 +912,56 @@ fn summary_json(analysis: &ResilienceAnalysis) -> String {
     s.push('}');
     s
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fidelity-poison-{tag}-{}", std::process::id()))
+    }
+
+    /// A worker panicking while it holds supervisor locks must not wedge
+    /// admission: every internal `lock()` recovers from poison, so the
+    /// supervisor keeps accepting jobs after the panic.
+    #[test]
+    fn submit_survives_poisoned_locks() {
+        let dir = scratch_dir("submit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sup = Supervisor::start(ServeConfig {
+            state_dir: dir.clone(),
+            ..ServeConfig::default()
+        })
+        .expect("supervisor starts");
+
+        // Panic a thread mid-hold on the two locks `submit` takes (in
+        // submit's own order, jobs before journal). The guards are still
+        // live when the panic unwinds, so std marks both mutexes poisoned.
+        let s = Arc::clone(&sup);
+        let worker = std::thread::spawn(move || {
+            let _jobs = s.jobs.lock().unwrap();
+            let _journal = s.journal.lock().unwrap();
+            panic!("simulated worker crash while holding supervisor locks");
+        });
+        assert!(worker.join().is_err(), "the worker must actually panic");
+        assert!(sup.jobs.is_poisoned(), "jobs mutex should be poisoned");
+        assert!(
+            sup.journal.is_poisoned(),
+            "journal mutex should be poisoned"
+        );
+
+        assert!(sup.is_accepting(), "poison must not flip admission off");
+        let spec = JobSpec {
+            network: "lstm".to_owned(),
+            samples: 1,
+            threads: 1,
+            ..JobSpec::default()
+        };
+        let (id, outcome) = sup.submit(spec).expect("submit succeeds after poison");
+        assert!(matches!(outcome, SubmitOutcome::Accepted), "{outcome:?}");
+        assert!(!id.is_empty());
+
+        sup.shutdown_and_drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,6 +1,6 @@
 //! `fidelity-statcheck` — static analyses over the FIdelity framework.
 //!
-//! Two independent layers, both wired into CI:
+//! Three independent layers, all wired into CI:
 //!
 //! * [`verifier`] — the **model-level static verifier**: exhaustively checks
 //!   the finite FF-category × MAC-layer-family × preset domain for
@@ -10,10 +10,16 @@
 //! * [`lint`] — the **source-level determinism lint**: a token-level scanner
 //!   over the campaign crates that flags wall-clock reads, ambient RNG,
 //!   panicking shortcuts on campaign paths, and exact float comparison, with
-//!   `// statcheck:allow(<rule>)` escape hatches.
+//!   `// statcheck:allow(<rule>)` escape hatches;
+//! * [`concheck`] — the **concurrency-discipline pass**: lock-order cycle
+//!   detection over a per-function lock-acquisition graph, atomic-site
+//!   classification with `Relaxed`-flag enforcement, poison-propagating
+//!   `lock().unwrap()` detection, and blocking-under-lock detection, using
+//!   the same lexer and suppression protocol as the lint.
 
 #![warn(missing_docs)]
 
+pub mod concheck;
 pub mod lexer;
 pub mod lint;
 pub mod report;

@@ -243,8 +243,8 @@ fn collect_allows(tokens: &[Token]) -> Vec<(usize, Rule)> {
 }
 
 /// Approximates `#[cfg(test)] mod … { … }` extents by brace matching from
-/// the `mod` that follows the attribute.
-fn test_module_lines(tokens: &[Token]) -> Vec<(usize, usize)> {
+/// the `mod` that follows the attribute. Shared with the concurrency pass.
+pub(crate) fn test_module_lines(tokens: &[Token]) -> Vec<(usize, usize)> {
     let sig: Vec<&Token> = tokens
         .iter()
         .filter(|t| t.kind != TokenKind::Comment)
@@ -293,7 +293,7 @@ fn test_module_lines(tokens: &[Token]) -> Vec<(usize, usize)> {
     ranges
 }
 
-fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+pub(crate) fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
     ranges.iter().any(|(a, b)| (*a..=*b).contains(&line))
 }
 
@@ -314,7 +314,7 @@ pub fn lint_paths(roots: &[PathBuf], config: &LintConfig) -> std::io::Result<Vec
     Ok(findings)
 }
 
-fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if root.is_file() {
         if root.extension().is_some_and(|e| e == "rs") {
             out.push(root.to_owned());

@@ -1,0 +1,92 @@
+//! Fixture-based tests for the concurrency pass: every rule fires on its
+//! fixture, every `statcheck:allow` suppresses, and idiomatic concurrency
+//! stays clean (with its atomic census intact).
+
+use std::path::{Path, PathBuf};
+
+use fidelity_statcheck::concheck::{concheck_paths, ConRule, ConcheckConfig, ConcheckReport};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(name: &str) -> ConcheckReport {
+    concheck_paths(&[fixture(name)], &ConcheckConfig::default()).expect("fixture readable")
+}
+
+fn rules(report: &ConcheckReport) -> Vec<ConRule> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn poison_unwrap_fixture_fires() {
+    let r = run("con_poison_unwrap.rs");
+    // One for `.unwrap()`, one for `.expect(...)`.
+    assert_eq!(rules(&r), [ConRule::PoisonUnwrap; 2], "{:?}", r.findings);
+}
+
+#[test]
+fn relaxed_flag_fixture_fires() {
+    let r = run("con_relaxed_flag.rs");
+    // The `if` and the `while` conditions both count.
+    assert_eq!(rules(&r), [ConRule::RelaxedFlag; 2], "{:?}", r.findings);
+}
+
+#[test]
+fn block_under_lock_fixture_fires() {
+    let r = run("con_block_under_lock.rs");
+    // writeln!, .flush(), .join(), thread::sleep — all under a live guard.
+    assert_eq!(rules(&r), [ConRule::BlockUnderLock; 4], "{:?}", r.findings);
+    assert!(
+        r.findings.iter().all(|f| f.matched.contains("{m}")),
+        "findings must name the held lock-set: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn lock_cycle_fixture_fires() {
+    let r = run("con_lock_cycle.rs");
+    // One finding per witness edge on the alpha<->beta cycle.
+    assert_eq!(rules(&r), [ConRule::LockCycle; 2], "{:?}", r.findings);
+    assert_eq!(r.locks, 2);
+    assert_eq!(r.edges, 2);
+}
+
+#[test]
+fn allow_comments_suppress_every_rule() {
+    let r = run("con_allowed.rs");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    // Suppressed edges also leave the order graph.
+    assert_eq!(r.edges, 0, "allowed edges must not count");
+}
+
+#[test]
+fn clean_fixture_stays_clean() {
+    let r = run("con_clean.rs");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    // The atomic census still sees the classified sites.
+    assert_eq!(r.atomics.counters, 1, "{:?}", r.atomics);
+    assert_eq!(r.atomics.flags, 3, "{:?}", r.atomics);
+    assert_eq!(r.atomics.handoffs, 1, "{:?}", r.atomics);
+    // alpha -> beta is an edge, but acyclic: no findings.
+    assert_eq!(r.edges, 1);
+}
+
+/// The two cycle fixtures analyzed together still agree with the per-file
+/// runs: the aggregation does not double-report witnesses.
+#[test]
+fn aggregated_run_reports_each_witness_once() {
+    let roots = vec![fixture("con_lock_cycle.rs"), fixture("con_clean.rs")];
+    let r = concheck_paths(&roots, &ConcheckConfig::default()).expect("fixtures readable");
+    let cycles = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == ConRule::LockCycle)
+        .count();
+    // con_clean's alpha->beta edge joins the cycle component, adding its
+    // own witness to the two from con_lock_cycle.
+    assert_eq!(cycles, 3, "{:?}", r.findings);
+}

@@ -1,0 +1,39 @@
+//! Fixture: every concheck rule suppressed by a justified
+//! `statcheck:allow` on the line above (or the line itself).
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+pub fn allowed_poison_unwrap(m: &Mutex<u32>) -> u32 {
+    // statcheck:allow(poison-unwrap) single-threaded setup path
+    let g = m.lock().unwrap();
+    *g
+}
+
+pub fn allowed_relaxed_flag(stop: &AtomicBool) -> bool {
+    // statcheck:allow(relaxed-flag) advisory hint, never a correctness gate
+    if stop.load(Ordering::Relaxed) {
+        return true;
+    }
+    false
+}
+
+pub fn allowed_block_under_lock(m: &Mutex<u32>, out: &mut impl Write) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    // statcheck:allow(block-under-lock) the lock serializes this sink
+    writeln!(out, "{}", *g).ok();
+}
+
+pub fn allowed_cycle_ab(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let a = alpha.lock().unwrap_or_else(PoisonError::into_inner);
+    // statcheck:allow(lock-cycle) try-lock protocol, cannot deadlock
+    let b = beta.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+pub fn allowed_cycle_ba(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let b = beta.lock().unwrap_or_else(PoisonError::into_inner);
+    // statcheck:allow(lock-cycle) try-lock protocol, cannot deadlock
+    let a = alpha.lock().unwrap_or_else(PoisonError::into_inner);
+    *a - *b
+}

@@ -1,0 +1,25 @@
+//! Fixture: blocking operations while a `MutexGuard` is live.
+use std::io::Write;
+use std::sync::{Mutex, PoisonError};
+
+pub fn writes_under_lock(m: &Mutex<Vec<u8>>, out: &mut impl Write) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    writeln!(out, "{}", g.len()).ok();
+}
+
+pub fn flushes_under_lock(m: &Mutex<u32>, out: &mut impl Write) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    out.flush().ok();
+    drop(g);
+}
+
+pub fn joins_under_lock(m: &Mutex<u32>, t: std::thread::JoinHandle<()>) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    t.join().ok();
+    drop(g);
+}
+
+pub fn sleeps_under_lock(m: &Mutex<u32>) {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    std::thread::sleep(std::time::Duration::from_millis(*g as u64));
+}

@@ -1,0 +1,40 @@
+//! Fixture: idiomatic concurrency that must stay finding-free — poison
+//! recovery, ordered flags, guards dropped before I/O, consistent lock
+//! order, and one of each atomic class for the census.
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+pub fn recovers_from_poison(m: &Mutex<u32>) -> u32 {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    *g
+}
+
+pub fn branches_on_acquire(stop: &AtomicBool) -> bool {
+    if stop.load(Ordering::Acquire) {
+        return true;
+    }
+    false
+}
+
+pub fn drops_guard_before_io(m: &Mutex<Vec<u8>>, out: &mut impl Write) {
+    let len = {
+        let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+        g.len()
+    };
+    writeln!(out, "{len}").ok();
+}
+
+pub fn consistent_order_ab(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let a = alpha.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = beta.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+pub fn one_of_each_atomic_class(n: &AtomicU64, flag: &AtomicBool) -> u64 {
+    n.fetch_add(1, Ordering::Relaxed);
+    flag.store(true, Ordering::Release);
+    flag.compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+        .ok();
+    n.load(Ordering::Acquire)
+}

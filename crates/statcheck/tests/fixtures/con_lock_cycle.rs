@@ -1,0 +1,14 @@
+//! Fixture: AB-BA lock ordering — both witness edges sit on a cycle.
+use std::sync::{Mutex, PoisonError};
+
+pub fn takes_alpha_then_beta(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let a = alpha.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = beta.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+pub fn takes_beta_then_alpha(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let b = beta.lock().unwrap_or_else(PoisonError::into_inner);
+    let a = alpha.lock().unwrap_or_else(PoisonError::into_inner);
+    *a - *b
+}

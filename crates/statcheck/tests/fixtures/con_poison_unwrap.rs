@@ -1,0 +1,12 @@
+//! Fixture: `.lock().unwrap()` poison propagation — both findings fire.
+use std::sync::Mutex;
+
+pub fn unwraps_the_guard(m: &Mutex<u32>) -> u32 {
+    let g = m.lock().unwrap();
+    *g
+}
+
+pub fn expects_the_guard(m: &Mutex<u32>) -> u32 {
+    let g = m.lock().expect("poisoned");
+    *g
+}

@@ -1,0 +1,16 @@
+//! Fixture: `Relaxed` load steering a branch — cross-thread control flow
+//! on an unordered read.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn branches_on_relaxed(stop: &AtomicBool) -> bool {
+    if stop.load(Ordering::Relaxed) {
+        return true;
+    }
+    false
+}
+
+pub fn loops_on_relaxed(stop: &AtomicBool) {
+    while stop.load(Ordering::Relaxed) {
+        std::hint::spin_loop();
+    }
+}

@@ -10,6 +10,7 @@
 //! fidelity report   --trace FILE
 //! fidelity statcheck [--preset NAME]
 //! fidelity lint     [--root PATH]...
+//! fidelity concheck [--root PATH]...
 //! ```
 //!
 //! Telemetry flags (accepted by `analyze`, `validate`, and `protect`):
@@ -73,6 +74,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts),
         "statcheck" => cmd_statcheck(&opts),
         "lint" => cmd_lint(rest, &opts),
+        "concheck" => cmd_concheck(rest, &opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -107,6 +109,7 @@ const USAGE: &str = "usage:
                     [--workers N] [--jobs N] [--smoke]
   fidelity statcheck [--preset NAME]
   fidelity lint     [--root PATH]...
+  fidelity concheck [--root PATH]...
 
 telemetry (analyze | validate | protect):
   --trace FILE      write structured JSONL trace events to FILE
@@ -577,6 +580,60 @@ fn cmd_lint(args: &[String], _opts: &HashMap<String, String>) -> Result<(), Stri
         Ok(())
     } else {
         Err(format!("determinism lint: {} finding(s)", findings.len()))
+    }
+}
+
+fn cmd_concheck(args: &[String], _opts: &HashMap<String, String>) -> Result<(), String> {
+    // Same `--root` handling as `lint`: the flag may repeat.
+    let mut roots: Vec<std::path::PathBuf> = args
+        .iter()
+        .zip(args.iter().skip(1))
+        .filter(|(flag, _)| flag.as_str() == "--root")
+        .map(|(_, value)| std::path::PathBuf::from(value))
+        .collect();
+    if roots.is_empty() {
+        roots = [
+            "crates/core",
+            "crates/dnn",
+            "crates/rtl",
+            "crates/obs",
+            "crates/par",
+            "crates/serve",
+        ]
+        .iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+        if !roots.iter().all(|r| r.is_dir()) {
+            return Err(
+                "default concheck roots not found; run from the workspace root or pass --root PATH"
+                    .to_owned(),
+            );
+        }
+    }
+    let config = fidelity::statcheck::concheck::ConcheckConfig::default();
+    let report = fidelity::statcheck::concheck::concheck_paths(&roots, &config)
+        .map_err(|e| format!("concheck failed: {e}"))?;
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "concheck: {} function(s), {} lock(s), {} order edge(s); atomics: {} counter, {} flag, {} handoff",
+        report.functions,
+        report.locks,
+        report.edges,
+        report.atomics.counters,
+        report.atomics.flags,
+        report.atomics.handoffs,
+    );
+    // Warnings are errors: one unjustified discipline violation fails the gate.
+    if report.findings.is_empty() {
+        println!("concurrency check: clean");
+        Ok(())
+    } else {
+        Err(format!(
+            "concurrency check: {} finding(s)",
+            report.findings.len()
+        ))
     }
 }
 
