@@ -1,0 +1,76 @@
+//! The bench regression gate binary.
+//!
+//! ```text
+//! bench_gate [BASELINE] [CURRENT] [--tolerance FRACTION]
+//! ```
+//!
+//! Compares `CURRENT` (default `BENCH_injection.json`, the file the quick
+//! bench just rewrote) against `BASELINE` (default `BENCH_baseline.json`,
+//! the committed reference) and exits nonzero when any tracked
+//! mean-per-injection metric regressed beyond the tolerance (default 15%,
+//! overridable with `--tolerance` or `FIDELITY_BENCH_GATE_TOLERANCE`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fidelity_bench::gate;
+use fidelity_obs::json::{self, Json};
+
+fn workspace_file(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tolerance = std::env::var("FIDELITY_BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(gate::DEFAULT_TOLERANCE);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("error: --tolerance requires a fraction (e.g. 0.15)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(PathBuf::from(arg));
+        }
+    }
+    let baseline_path = paths
+        .first()
+        .cloned()
+        .unwrap_or_else(|| workspace_file("BENCH_baseline.json"));
+    let current_path = paths
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| workspace_file("BENCH_injection.json"));
+
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deltas = gate::compare(&baseline, &current, tolerance);
+    print!("{}", gate::render(&deltas, tolerance));
+    if deltas.iter().any(|d| d.regressed) {
+        eprintln!("bench gate: FAIL — per-injection cost regressed beyond tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!("bench gate: PASS");
+        ExitCode::SUCCESS
+    }
+}

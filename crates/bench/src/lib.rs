@@ -276,6 +276,98 @@ pub mod report {
     }
 }
 
+pub mod gate {
+    //! The bench regression gate: compares a fresh `BENCH_injection.json`
+    //! against a committed baseline and fails on mean-per-injection (and
+    //! other tracked mean) regressions beyond a tolerance.
+    //!
+    //! Pure comparison over two parsed reports — the `bench_gate` binary
+    //! owns file I/O and process exit, so every rule here is unit-testable.
+
+    use fidelity_obs::json::Json;
+
+    /// Default allowed slowdown: a metric may grow by at most 15% before
+    /// the gate fails.
+    pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+    /// One compared metric.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Delta {
+        /// Dotted path into the report, e.g. `per_injection.fidelity_software_pooled.mean_ns`.
+        pub metric: String,
+        /// Baseline value (ns).
+        pub baseline: f64,
+        /// Current value (ns).
+        pub current: f64,
+        /// `current / baseline - 1`; positive is a slowdown.
+        pub ratio: f64,
+        /// Whether the slowdown exceeds the tolerance.
+        pub regressed: bool,
+    }
+
+    /// The mean-valued metrics the gate tracks. Means, not bests: a best-of
+    /// sample is a lower-bound estimator whose variance CI machines make
+    /// useless, while the mean over the quick-mode reps is stable enough to
+    /// gate on.
+    const TRACKED: &[&[&str]] = &[
+        &["per_injection", "fidelity_software_pooled", "mean_ns"],
+        &["per_injection", "fidelity_software", "mean_ns"],
+    ];
+
+    fn lookup<'a>(root: &'a Json, path: &[&str]) -> Option<&'a Json> {
+        path.iter().try_fold(root, |j, key| j.get(key))
+    }
+
+    /// Compares `current` against `baseline`, returning every tracked
+    /// metric present in both. Metrics missing from either side are
+    /// skipped (a partial bench run updates only its own sections).
+    pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Vec<Delta> {
+        let mut out = Vec::new();
+        for path in TRACKED {
+            let (Some(b), Some(c)) = (
+                lookup(baseline, path).and_then(Json::as_f64),
+                lookup(current, path).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            if b <= 0.0 {
+                continue; // a zero/negative baseline cannot express a ratio
+            }
+            let ratio = c / b - 1.0;
+            out.push(Delta {
+                metric: path.join("."),
+                baseline: b,
+                current: c,
+                ratio,
+                regressed: ratio > tolerance,
+            });
+        }
+        out
+    }
+
+    /// Renders the comparison as the table the CI log shows.
+    pub fn render(deltas: &[Delta], tolerance: f64) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "bench gate (tolerance {:+.0}%):", tolerance * 100.0);
+        if deltas.is_empty() {
+            s.push_str("  no tracked metrics in common — gate is vacuous\n");
+        }
+        for d in deltas {
+            let _ = writeln!(
+                s,
+                "  {:<52} {:>12.0} -> {:>12.0} ns  {:+6.1}%  {}",
+                d.metric,
+                d.baseline,
+                d.current,
+                d.ratio * 100.0,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        s
+    }
+}
+
 /// Formats a FIT value with sensible precision.
 pub fn fit(v: f64) -> String {
     if v >= 100.0 {
@@ -329,5 +421,45 @@ mod tests {
     fn report_mean_best() {
         assert_eq!(report::mean_best(&[2.0, 4.0]), (3.0, 2.0));
         assert_eq!(report::mean_best(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn gate_flags_regressions_beyond_tolerance() {
+        use fidelity_obs::json::parse;
+        let baseline = parse(
+            r#"{"per_injection":{"fidelity_software_pooled":{"mean_ns":1000.0},
+                "fidelity_software":{"mean_ns":2000.0}}}"#,
+        )
+        .unwrap();
+        // Pooled regressed 20% (over the 15% gate); allocating improved.
+        let current = parse(
+            r#"{"per_injection":{"fidelity_software_pooled":{"mean_ns":1200.0},
+                "fidelity_software":{"mean_ns":1800.0}}}"#,
+        )
+        .unwrap();
+        let deltas = gate::compare(&baseline, &current, gate::DEFAULT_TOLERANCE);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas[0].regressed, "{deltas:?}");
+        assert!(!deltas[1].regressed, "{deltas:?}");
+        let table = gate::render(&deltas, gate::DEFAULT_TOLERANCE);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("fidelity_software_pooled"));
+    }
+
+    #[test]
+    fn gate_skips_missing_metrics_and_is_vacuous_when_empty() {
+        use fidelity_obs::json::parse;
+        let empty = parse("{}").unwrap();
+        let full =
+            parse(r#"{"per_injection":{"fidelity_software_pooled":{"mean_ns":1000.0}}}"#).unwrap();
+        assert!(gate::compare(&empty, &full, 0.15).is_empty());
+        let table = gate::render(&[], 0.15);
+        assert!(table.contains("vacuous"));
+        // Within-tolerance growth passes.
+        let slightly =
+            parse(r#"{"per_injection":{"fidelity_software_pooled":{"mean_ns":1100.0}}}"#).unwrap();
+        let deltas = gate::compare(&full, &slightly, 0.15);
+        assert_eq!(deltas.len(), 1);
+        assert!(!deltas[0].regressed);
     }
 }

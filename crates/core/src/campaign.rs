@@ -34,7 +34,8 @@ use fidelity_dnn::DnnError;
 use fidelity_obs::event;
 use fidelity_obs::metrics::{Counter, Histogram};
 use fidelity_obs::progress::{CampaignProgress, CategoryKind, OutcomeKind, ProgressSpec};
-use fidelity_obs::{clock, timing_enabled};
+use fidelity_obs::trace::{self, Field, Value};
+use fidelity_obs::{clock, prof, timing_enabled};
 use fidelity_par::{CancelToken, PoolSpec, ShardPlan, WorkStealPool};
 
 use crate::inject::inject_once_pooled;
@@ -355,6 +356,7 @@ impl<'a> CampaignRunner<'a> {
     /// Returns [`DnnError::Campaign`] when the failure budget is exhausted
     /// or the checkpoint is unusable.
     pub fn run(&self) -> Result<CampaignResult, DnnError> {
+        let _prof = prof::scope("campaign.run");
         let resume = self
             .spec
             .resilience
@@ -470,6 +472,24 @@ impl<'a> CampaignRunner<'a> {
                 spec.resilience.failure_budget,
             )
         });
+        // Per-job trace outlet: when a service attached a sink to the
+        // progress spec (the daemon's per-job trace file), lifecycle events
+        // are mirrored there in addition to the global trace sink. The sink
+        // stamps its own identity fields (trace id, job id, pid).
+        let job_sink = spec.progress.as_ref().and_then(|p| p.sink.clone());
+        let mirror = |name: &str, fields: &[Field<'_>]| {
+            if let Some(h) = &job_sink {
+                trace::record_now(h.sink(), name, fields);
+            }
+        };
+        mirror(
+            "campaign.start",
+            &[
+                ("net", Value::Str(&net)),
+                ("cells", Value::U64(plans.len() as u64)),
+                ("threads", Value::U64(workers as u64)),
+            ],
+        );
         if restored > 0 {
             // A resumed campaign announces where it picks up instead of
             // silently restarting the display from zero.
@@ -482,6 +502,13 @@ impl<'a> CampaignRunner<'a> {
             if let Some(p) = &progress {
                 p.set_restored(restored);
             }
+            mirror(
+                "campaign.resume",
+                &[
+                    ("restored", Value::U64(restored as u64)),
+                    ("remaining", Value::U64((plans.len() - restored) as u64)),
+                ],
+            );
         }
 
         // Open the checkpoint for writing: the configured path, else the
@@ -549,10 +576,14 @@ impl<'a> CampaignRunner<'a> {
         // One workspace per worker: injection tensors come from (and return
         // to) the worker's pool, so steady-state cells allocate nothing.
         // Workspaces never influence values, so sharding stays deterministic.
+        // The worker index rides along so mirrored cell events attribute
+        // work to a worker (the per-worker spans in `report --trace`).
         pool.run_with(
             plans.len(),
-            |_worker| Workspace::new(),
-            |ws, idx| {
+            |worker| (worker, Workspace::new()),
+            |state, idx| {
+                let (worker, ws) = state;
+                let worker = *worker as u64;
                 // Advisory early-exit: a stale read runs at most one
                 // extra cell; the abort's error state is sequenced by the
                 // `errors` lock, not this flag.
@@ -565,6 +596,9 @@ impl<'a> CampaignRunner<'a> {
                 }
                 let plan = &plans[idx];
                 let cat = cat_code(plan.category);
+                // Per-cell, not per-injection: a cell is hundreds of
+                // injections, so the guard's cost stays off the hot path.
+                let _cell_prof = prof::scope("campaign.run;campaign.cell");
                 let cell_sw = clock::Stopwatch::start_if(timing_enabled());
                 let mut last: Option<(CellStats, FailureReason)> = None;
                 let mut completed = None;
@@ -632,6 +666,17 @@ impl<'a> CampaignRunner<'a> {
                         if let Some(p) = &progress {
                             p.on_cell_done();
                         }
+                        mirror(
+                            "cell.done",
+                            &[
+                                ("node", Value::U64(plan.node as u64)),
+                                ("cat", Value::Str(&cat)),
+                                ("samples", Value::U64(stats.samples as u64)),
+                                ("masked", Value::U64(stats.masked as u64)),
+                                ("worker", Value::U64(worker)),
+                                ("dur_us", Value::U64(cell_sw.elapsed_us().unwrap_or(0))),
+                            ],
+                        );
                         commit(idx, Some(stats.clone()));
                         lock(&results)[idx] = Some(stats);
                     }
@@ -656,6 +701,16 @@ impl<'a> CampaignRunner<'a> {
                         if let Some(p) = &progress {
                             p.on_cell_failed();
                         }
+                        mirror(
+                            "cell.failed",
+                            &[
+                                ("node", Value::U64(plan.node as u64)),
+                                ("cat", Value::Str(&cat)),
+                                ("reason", Value::Str(reason_kind(&reason))),
+                                ("worker", Value::U64(worker)),
+                                ("dur_us", Value::U64(cell_sw.elapsed_us().unwrap_or(0))),
+                            ],
+                        );
                         lock(&failures).push((
                             idx,
                             CellFailure {
@@ -729,6 +784,7 @@ impl<'a> CampaignRunner<'a> {
         }
         if let Some(e) = lock(&errors).first() {
             event!("campaign.abort", net = &net, error = &e.to_string());
+            mirror("campaign.abort", &[("error", Value::Str(&e.to_string()))]);
             return Err(e.clone());
         }
         let mut cells = Vec::with_capacity(plans.len());
@@ -766,6 +822,19 @@ impl<'a> CampaignRunner<'a> {
             anomaly = anomaly,
             failures = result.failures.len(),
             elapsed_us = campaign_sw.elapsed_us().unwrap_or(0),
+        );
+        mirror(
+            "campaign.finish",
+            &[
+                ("cells", Value::U64(result.cells.len() as u64)),
+                ("injections", Value::U64(result.total_samples() as u64)),
+                ("masked", Value::U64(masked as u64)),
+                ("failures", Value::U64(result.failures.len() as u64)),
+                (
+                    "elapsed_us",
+                    Value::U64(campaign_sw.elapsed_us().unwrap_or(0)),
+                ),
+            ],
         );
         Ok(result)
     }

@@ -38,6 +38,12 @@ pub fn since_epoch_us() -> u64 {
     u64::try_from(now().duration_since(epoch()).as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Nanoseconds since the process epoch. The self-profiler ([`crate::prof`])
+/// uses this resolution because phase self-times can be sub-microsecond.
+pub fn since_epoch_ns() -> u64 {
+    u64::try_from(now().duration_since(epoch()).as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// A stopwatch that only reads the clock when armed — the facade's way of
 /// keeping timing off hot paths unless telemetry asked for it.
 #[derive(Debug, Clone, Copy)]

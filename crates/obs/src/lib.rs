@@ -20,6 +20,10 @@
 //! - [`metrics`] — counters / gauges / log2 histograms with a global
 //!   registry snapshotted by `--metrics`.
 //! - [`progress`] — the live stderr campaign progress line (`--progress`).
+//! - [`prom`] — Prometheus text exposition: rendering [`metrics`] snapshots
+//!   for `GET /metrics` and the strict parser that validates them.
+//! - [`prof`] — the scoped phase self-profiler with collapsed-stack
+//!   (flamegraph) export.
 //! - [`report`] — trace summarization for `fidelity report --trace`.
 //! - [`stats`] — the canonical Wilson-interval implementation.
 
@@ -28,7 +32,9 @@ pub mod json;
 pub mod metrics;
 #[cfg(feature = "loom_model")]
 pub mod modelcheck;
+pub mod prof;
 pub mod progress;
+pub mod prom;
 pub mod report;
 pub mod stats;
 pub mod trace;

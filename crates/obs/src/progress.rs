@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use crate::clock;
 use crate::stats::wilson95;
+use crate::trace::SinkHandle;
 
 /// How a campaign's progress should be reported.
 #[derive(Debug, Clone)]
@@ -26,6 +27,10 @@ pub struct ProgressSpec {
     /// Optional shared outlet: every render also publishes a
     /// [`ProgressSnapshot`] here, for status endpoints and event streams.
     pub share: Option<ProgressShare>,
+    /// Optional per-campaign trace outlet: the runner mirrors its lifecycle
+    /// events here in addition to the process-global sink, so a service can
+    /// keep one trace file per job. Not part of any campaign fingerprint.
+    pub sink: Option<SinkHandle>,
 }
 
 impl Default for ProgressSpec {
@@ -34,6 +39,7 @@ impl Default for ProgressSpec {
             interval: Duration::from_millis(500),
             render: true,
             share: None,
+            sink: None,
         }
     }
 }
@@ -630,6 +636,7 @@ mod tests {
             interval: Duration::from_micros(0),
             render: false,
             share,
+            sink: None,
         }
     }
 

@@ -1,0 +1,548 @@
+//! Prometheus text exposition: rendering a [`MetricsReport`] and a strict
+//! parser for the same format.
+//!
+//! The renderer turns the registry's dotted metric names
+//! (`campaign.injections`) into Prometheus-legal ones
+//! (`campaign_injections`) and renders log2 histograms as cumulative
+//! `_bucket`/`_sum`/`_count` families. Because registry samples are
+//! integers, each finite bucket's *inclusive* upper bound is exact:
+//! bucket 0 holds zeros (`le="0"`), bucket `i` holds `[2^(i-1), 2^i)`
+//! (`le="{2^i - 1}"`).
+//!
+//! The parser is deliberately strict — it is the validation oracle for the
+//! `/metrics` endpoint in tests and CI, and the decoder behind
+//! `fidelity top`. Every sample must be preceded by a `# TYPE` line for its
+//! family, histogram buckets must be cumulative and end in an `+Inf` bucket
+//! equal to `_count`, and malformed lines fail with a line number.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, MetricsReport};
+
+/// Rewrites a registry metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal character becomes `_`, and a
+/// leading digit gets a `_` prefix. Distinct registry names can collide
+/// (`a.b` / `a_b`); the registry's naming convention avoids that in
+/// practice.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if legal {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// The inclusive Prometheus `le` bound of log2 bucket `i`, or `None` for
+/// the overflow (`+Inf`) bucket. Exact for the integer samples the registry
+/// records: bucket 0 is `le="0"`, bucket `i` ends at `2^i - 1`.
+fn le_bound(i: usize) -> Option<u64> {
+    bucket_upper_bound(i).map(|ub| ub.saturating_sub(1))
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        if let Some(le) = le_bound(i) {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+    }
+    // Concurrent recording can leave `count` and the bucket total skewed by
+    // in-flight samples; clamping keeps the output internally consistent
+    // (`+Inf` bucket == `_count` >= every finite bucket) so the strict
+    // parser always accepts a live scrape.
+    let total = cumulative.max(h.count);
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {total}");
+}
+
+/// Renders `report` in Prometheus text exposition format (version 0.0.4).
+pub fn render(report: &MetricsReport) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, v) in &report.counters {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &report.gauges {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in &report.histograms {
+        render_histogram(&mut out, &sanitize_name(name), h);
+    }
+    out
+}
+
+/// Metric kind as declared by a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotone counter.
+    Counter,
+    /// Free-moving gauge.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+    /// A kind this parser does not model (`summary`, `untyped`).
+    Other,
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone)]
+pub struct PromSample {
+    /// Full sample name (`foo`, `foo_bucket`, `foo_sum`, ...).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf`/`-Inf`/`NaN` accepted).
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One metric family: a `# TYPE` declaration plus its samples.
+#[derive(Debug, Clone)]
+pub struct PromFamily {
+    /// Declared kind.
+    pub kind: PromKind,
+    /// Samples in source order.
+    pub samples: Vec<PromSample>,
+}
+
+/// A parsed exposition dump, keyed by family name.
+#[derive(Debug, Clone, Default)]
+pub struct PromDump {
+    families: BTreeMap<String, PromFamily>,
+}
+
+impl PromDump {
+    /// The family named `name`.
+    pub fn family(&self, name: &str) -> Option<&PromFamily> {
+        self.families.get(name)
+    }
+
+    /// Iterates `(name, family)` in name order.
+    pub fn families(&self) -> impl Iterator<Item = (&String, &PromFamily)> {
+        self.families.iter()
+    }
+
+    /// Number of families.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Whether the dump has no families.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// The single unlabelled value of a counter or gauge family.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        let fam = self.families.get(name)?;
+        match fam.samples.as_slice() {
+            [s] if s.labels.is_empty() => Some(s.value),
+            _ => None,
+        }
+    }
+
+    /// The `_count` value of histogram family `name`.
+    pub fn histogram_count(&self, name: &str) -> Option<f64> {
+        let fam = self.families.get(name)?;
+        let want = format!("{name}_count");
+        fam.samples.iter().find(|s| s.name == want).map(|s| s.value)
+    }
+
+    /// The `_sum` value of histogram family `name`.
+    pub fn histogram_sum(&self, name: &str) -> Option<f64> {
+        let fam = self.families.get(name)?;
+        let want = format!("{name}_sum");
+        fam.samples.iter().find(|s| s.name == want).map(|s| s.value)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse::<f64>().ok(),
+    }
+}
+
+/// A parsed label block: `(key, value)` pairs in source order.
+type Labels = Vec<(String, String)>;
+
+/// Parses a `{key="value",...}` label block. `rest` starts after `{`.
+/// Returns the labels and the remainder after the closing `}`.
+fn parse_labels(rest: &str, lineno: usize) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    let mut s = rest;
+    loop {
+        s = s.trim_start();
+        if let Some(tail) = s.strip_prefix('}') {
+            return Ok((labels, tail));
+        }
+        let eq = s
+            .find('=')
+            .ok_or_else(|| format!("line {lineno}: label without '='"))?;
+        let key = s[..eq].trim().to_owned();
+        if !valid_name(&key) {
+            return Err(format!("line {lineno}: illegal label name {key:?}"));
+        }
+        s = s[eq + 1..].trim_start();
+        let mut rest_chars = s.char_indices();
+        match rest_chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("line {lineno}: label value must be quoted")),
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest_chars {
+            if escaped {
+                match c {
+                    'n' => value.push('\n'),
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    other => value.push(other),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {lineno}: unterminated label value"))?;
+        labels.push((key, value));
+        s = s[end + 1..].trim_start();
+        if let Some(tail) = s.strip_prefix(',') {
+            s = tail;
+        } else if !s.starts_with('}') {
+            return Err(format!("line {lineno}: expected ',' or '}}' after label"));
+        }
+    }
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<PromSample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_ascii_whitespace())
+        .ok_or_else(|| format!("line {lineno}: sample without value"))?;
+    let name = line[..name_end].to_owned();
+    if !valid_name(&name) {
+        return Err(format!("line {lineno}: illegal metric name {name:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, rest) = if let Some(tail) = rest.strip_prefix('{') {
+        parse_labels(tail, lineno)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut parts = rest.split_ascii_whitespace();
+    let value_str = parts
+        .next()
+        .ok_or_else(|| format!("line {lineno}: sample without value"))?;
+    let value =
+        parse_value(value_str).ok_or_else(|| format!("line {lineno}: bad value {value_str:?}"))?;
+    // An optional trailing timestamp is legal exposition format; anything
+    // after it is not.
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() || parts.next().is_some() {
+            return Err(format!("line {lineno}: trailing garbage after value"));
+        }
+    }
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// The family a sample belongs to: its own name, or the base name for
+/// histogram `_bucket`/`_sum`/`_count` series.
+fn family_of(sample_name: &str, kind: PromKind) -> Option<String> {
+    if kind == PromKind::Histogram {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = sample_name.strip_suffix(suffix) {
+                return Some(base.to_owned());
+            }
+        }
+        return None;
+    }
+    Some(sample_name.to_owned())
+}
+
+fn check_histogram(name: &str, fam: &PromFamily) -> Result<(), String> {
+    let mut prev = f64::NEG_INFINITY;
+    let mut last_le: Option<String> = None;
+    let bucket_name = format!("{name}_bucket");
+    let mut buckets = 0usize;
+    for s in &fam.samples {
+        if s.name != bucket_name {
+            continue;
+        }
+        buckets += 1;
+        let le = s
+            .label("le")
+            .ok_or_else(|| format!("histogram {name}: bucket without le label"))?;
+        if s.value < prev {
+            return Err(format!(
+                "histogram {name}: bucket le={le} not cumulative ({} < {prev})",
+                s.value
+            ));
+        }
+        prev = s.value;
+        last_le = Some(le.to_owned());
+    }
+    if buckets == 0 {
+        return Err(format!("histogram {name}: no buckets"));
+    }
+    if last_le.as_deref() != Some("+Inf") {
+        return Err(format!("histogram {name}: last bucket must be le=\"+Inf\""));
+    }
+    let count = fam
+        .samples
+        .iter()
+        .find(|s| s.name == format!("{name}_count"))
+        .ok_or_else(|| format!("histogram {name}: missing _count"))?
+        .value;
+    fam.samples
+        .iter()
+        .find(|s| s.name == format!("{name}_sum"))
+        .ok_or_else(|| format!("histogram {name}: missing _sum"))?;
+    if (prev - count).abs() > f64::EPSILON * count.abs().max(1.0) {
+        return Err(format!(
+            "histogram {name}: +Inf bucket {prev} != _count {count}"
+        ));
+    }
+    Ok(())
+}
+
+/// Parses Prometheus text exposition strictly.
+///
+/// # Errors
+///
+/// Returns a line-numbered description for malformed lines, samples outside
+/// a `# TYPE` family, duplicate `# TYPE` declarations, and histogram
+/// families whose buckets are not cumulative or lack a `+Inf == _count`
+/// terminal bucket.
+pub fn parse(text: &str) -> Result<PromDump, String> {
+    let mut dump = PromDump::default();
+    let mut current: Option<(String, PromKind)> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_ascii_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without name"))?;
+                let kind = match parts.next() {
+                    Some("counter") => PromKind::Counter,
+                    Some("gauge") => PromKind::Gauge,
+                    Some("histogram") => PromKind::Histogram,
+                    Some(_) => PromKind::Other,
+                    None => return Err(format!("line {lineno}: TYPE without kind")),
+                };
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: illegal metric name {name:?}"));
+                }
+                if dump.families.contains_key(name) {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+                dump.families.insert(
+                    name.to_owned(),
+                    PromFamily {
+                        kind,
+                        samples: Vec::new(),
+                    },
+                );
+                current = Some((name.to_owned(), kind));
+            }
+            // `# HELP` and plain comments are legal and ignored.
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        let (fam_name, kind) = current
+            .as_ref()
+            .ok_or_else(|| format!("line {lineno}: sample before any # TYPE"))?;
+        let expected = family_of(&sample.name, *kind);
+        if expected.as_deref() != Some(fam_name.as_str()) {
+            return Err(format!(
+                "line {lineno}: sample {} outside its TYPE family {fam_name}",
+                sample.name
+            ));
+        }
+        if let Some(fam) = dump.families.get_mut(fam_name) {
+            fam.samples.push(sample);
+        }
+    }
+    for (name, fam) in &dump.families {
+        match fam.kind {
+            PromKind::Histogram => check_histogram(name, fam)?,
+            _ => {
+                if fam.samples.is_empty() {
+                    return Err(format!("family {name}: TYPE with no samples"));
+                }
+            }
+        }
+    }
+    Ok(dump)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LOG2_BUCKETS;
+
+    fn sample_report() -> MetricsReport {
+        let mut buckets = vec![0u64; LOG2_BUCKETS + 1];
+        buckets[0] = 2; // two zeros
+        buckets[3] = 5; // five samples in [4, 8)
+        buckets[LOG2_BUCKETS] = 1; // one overflow
+        MetricsReport {
+            counters: vec![("campaign.injections".to_owned(), 42)],
+            gauges: vec![("serve.queue_depth".to_owned(), -1)],
+            histograms: vec![(
+                "campaign.injection_ns".to_owned(),
+                HistogramSnapshot {
+                    count: 8,
+                    sum: 1234,
+                    buckets,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn render_round_trips_through_parser() {
+        let text = render(&sample_report());
+        let dump = parse(&text).expect("rendered output must parse");
+        assert_eq!(dump.scalar("campaign_injections"), Some(42.0));
+        assert_eq!(dump.scalar("serve_queue_depth"), Some(-1.0));
+        assert_eq!(dump.histogram_count("campaign_injection_ns"), Some(8.0));
+        assert_eq!(dump.histogram_sum("campaign_injection_ns"), Some(1234.0));
+        let fam = dump.family("campaign_injection_ns").unwrap();
+        assert_eq!(fam.kind, PromKind::Histogram);
+        // Cumulative: le="0" holds the two zeros, le="7" adds the five.
+        let le0 = fam
+            .samples
+            .iter()
+            .find(|s| s.label("le") == Some("0"))
+            .unwrap();
+        assert_eq!(le0.value, 2.0);
+        let le7 = fam
+            .samples
+            .iter()
+            .find(|s| s.label("le") == Some("7"))
+            .unwrap();
+        assert_eq!(le7.value, 7.0);
+    }
+
+    #[test]
+    fn count_clamps_to_bucket_total_under_skew() {
+        // Simulate a scrape racing a record(): bucket landed, count not yet.
+        let mut buckets = vec![0u64; LOG2_BUCKETS + 1];
+        buckets[1] = 3;
+        let report = MetricsReport {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![(
+                "skewed".to_owned(),
+                HistogramSnapshot {
+                    count: 2,
+                    sum: 3,
+                    buckets,
+                },
+            )],
+        };
+        let dump = parse(&render(&report)).expect("skewed snapshot must still parse");
+        assert_eq!(dump.histogram_count("skewed"), Some(3.0));
+    }
+
+    #[test]
+    fn sanitize_rewrites_illegal_chars() {
+        assert_eq!(sanitize_name("campaign.cells.done"), "campaign_cells_done");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+        assert!(valid_name(&sanitize_name("7/weird metric.name")));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("no_type_line 1\n").is_err());
+        assert!(parse("# TYPE x counter\ny 1\n").is_err());
+        assert!(parse("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(parse("# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n").is_err());
+        assert!(parse("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n").is_err());
+        assert!(
+            parse("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 1\n").is_err()
+        );
+        assert!(parse("# TYPE x counter\n").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_labels_and_timestamps() {
+        let text =
+            "# HELP x something\n# TYPE x gauge\nx{host=\"a b\",q=\"\\\"v\\\"\"} 1.5 1700000000\n";
+        let dump = parse(text).expect("labelled gauge parses");
+        let fam = dump.family("x").unwrap();
+        assert_eq!(fam.samples[0].label("host"), Some("a b"));
+        assert_eq!(fam.samples[0].label("q"), Some("\"v\""));
+        assert_eq!(fam.samples[0].value, 1.5);
+        // Labelled sample: scalar() refuses (not a single unlabelled value).
+        assert_eq!(dump.scalar("x"), None);
+    }
+
+    #[test]
+    fn live_registry_snapshot_renders_and_parses() {
+        crate::metrics::counter("test.prom.live").add(3);
+        crate::metrics::histogram("test.prom.live_ns").record(1500);
+        let text = render(&crate::metrics::snapshot());
+        let dump = parse(&text).expect("live snapshot parses");
+        assert!(dump.scalar("test_prom_live").unwrap_or(0.0) >= 3.0);
+        assert!(dump.histogram_count("test_prom_live_ns").unwrap_or(0.0) >= 1.0);
+    }
+}

@@ -1,8 +1,13 @@
 //! Post-hoc trace summarization for `fidelity report --trace <file>`:
 //! phase breakdown from span durations, outcome tallies, the slowest cells,
-//! and retry/watchdog totals, all recovered from a JSONL trace.
+//! retry/watchdog totals, and per-job span trees (queue-wait vs run vs
+//! retry-backoff, keyed by trace id), all recovered from a JSONL trace.
+//!
+//! The summary is honest about loss: `trace.lossy` markers and sequence
+//! gaps both trigger a loud warning at the top of the report, because a
+//! lossy trace silently undercounts everything below it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::BufRead;
 use std::path::Path;
@@ -19,6 +24,29 @@ pub struct PhaseStat {
     pub count: u64,
     /// Total duration across spans, microseconds.
     pub total_us: u64,
+}
+
+/// Per-job phase breakdown recovered from `job.*` events sharing one
+/// trace id — the span tree `fidelity report --trace` renders.
+#[derive(Debug, Clone, Default)]
+pub struct JobTraceStat {
+    /// Job id (spec fingerprint, hex), when an admission event named it.
+    pub job: String,
+    /// Daemon process ids that touched the job — more than one means the
+    /// trace spans a crash + recovery.
+    pub pids: BTreeSet<u64>,
+    /// Microseconds spent queued before each run attempt.
+    pub queue_wait_us: u64,
+    /// Microseconds spent actually running the campaign.
+    pub run_us: u64,
+    /// Microseconds spent in retry backoff.
+    pub backoff_us: u64,
+    /// Run attempts observed.
+    pub attempts: u64,
+    /// Times the job was requeued by crash recovery.
+    pub recoveries: u64,
+    /// Last lifecycle state seen (`accepted`, `running`, `done`, ...).
+    pub state: String,
 }
 
 /// One `cell.done` record, kept for the slowest-cells table.
@@ -67,6 +95,13 @@ pub struct TraceSummary {
     pub slowest: Vec<CellStat>,
     /// Trace duration: max − min `t_us` over all events.
     pub span_us: u64,
+    /// Per-job span breakdown, keyed by trace id (`job.*` events).
+    pub jobs: BTreeMap<String, JobTraceStat>,
+    /// Events the emitting sink reported dropped (`trace.lossy` markers).
+    pub dropped_reported: u64,
+    /// Whether the sequence numbers imply missing events (more sequence
+    /// span than events, which per-generation restarts cannot cause).
+    pub seq_gap: bool,
 }
 
 fn field_u64(v: &Json, key: &str) -> u64 {
@@ -109,6 +144,43 @@ impl TraceSummary {
             "watchdog.fired" => self.watchdog += 1,
             "campaign.resume" => self.cells_restored = field_u64(v, "restored"),
             "checkpoint.cell" => self.checkpoint_cells += 1,
+            "trace.lossy" => self.dropped_reported += field_u64(v, "dropped"),
+            _ => {}
+        }
+        if let Some(trace) = v.get("trace").and_then(Json::as_str) {
+            self.absorb_job(trace, &name, v);
+        }
+    }
+
+    fn absorb_job(&mut self, trace: &str, name: &str, v: &Json) {
+        let job = self.jobs.entry(trace.to_owned()).or_default();
+        if let Some(pid) = v.get("pid").and_then(Json::as_u64) {
+            job.pids.insert(pid);
+        }
+        if let Some(id) = v.get("job").and_then(Json::as_str) {
+            if job.job.is_empty() {
+                job.job = id.to_owned();
+            }
+        }
+        match name {
+            "job.admit" | "job.terminal" => {
+                if let Some(state) = v.get("state").and_then(Json::as_str) {
+                    job.state = state.to_owned();
+                }
+            }
+            "job.recover" => job.recoveries += 1,
+            "job.span" => {
+                let dur = field_u64(v, "dur_us");
+                match v.get("phase").and_then(Json::as_str) {
+                    Some("queue_wait") => job.queue_wait_us += dur,
+                    Some("run") => {
+                        job.run_us += dur;
+                        job.attempts += 1;
+                    }
+                    Some("backoff") => job.backoff_us += dur,
+                    _ => {}
+                }
+            }
             _ => {}
         }
     }
@@ -125,6 +197,11 @@ impl TraceSummary {
             .sort_by_key(|c| std::cmp::Reverse(c.elapsed_us));
         self.slowest.truncate(SLOWEST_CELLS);
     }
+
+    /// Whether the trace is known (or inferred) to be missing events.
+    pub fn is_lossy(&self) -> bool {
+        self.dropped_reported > 0 || self.seq_gap
+    }
 }
 
 /// Summarizes a JSONL trace read from `reader`.
@@ -137,6 +214,7 @@ impl TraceSummary {
 pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
     let mut summary = TraceSummary::default();
     let mut t_range = None;
+    let mut seq_range: Option<(u64, u64)> = None;
     let mut finish: Option<Json> = None;
     let mut cell_tallies = (0u64, 0u64, 0u64);
     for (idx, line) in reader.lines().enumerate() {
@@ -153,6 +231,12 @@ pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
             cell_tallies.1 += field_u64(&v, "output_error");
             cell_tallies.2 += field_u64(&v, "anomaly");
         }
+        if let Some(seq) = v.get("seq").and_then(Json::as_u64) {
+            seq_range = Some(match seq_range {
+                None => (seq, seq),
+                Some((lo, hi)) => (lo.min(seq), hi.max(seq)),
+            });
+        }
         summary.absorb(&v, &mut t_range);
         if v.get("ev").and_then(Json::as_str) == Some("campaign.finish") {
             finish = Some(v);
@@ -163,6 +247,13 @@ pub fn summarize<R: BufRead>(reader: R) -> Result<TraceSummary, String> {
     }
     if let Some((lo, hi)) = t_range {
         summary.span_us = hi - lo;
+    }
+    // More sequence span than events means records went missing. The test
+    // is one-sided on purpose: a multi-generation file (daemon restarts
+    // append with the sequence counter reset) has *less* span than events,
+    // so restarts never false-positive here.
+    if let Some((lo, hi)) = seq_range {
+        summary.seq_gap = hi - lo + 1 > summary.events;
     }
     summary.finalize(finish.as_ref(), cell_tallies);
     Ok(summary)
@@ -189,6 +280,23 @@ fn pct(part: u64, whole: u64) -> f64 {
 
 impl fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_lossy() {
+            writeln!(
+                f,
+                "!!! LOSSY TRACE — every count below may be an undercount !!!"
+            )?;
+            if self.dropped_reported > 0 {
+                writeln!(
+                    f,
+                    "!!! the emitting sink reported {} dropped event(s)",
+                    self.dropped_reported
+                )?;
+            }
+            if self.seq_gap {
+                writeln!(f, "!!! sequence numbers imply missing records (gap in seq)")?;
+            }
+            writeln!(f)?;
+        }
         writeln!(
             f,
             "trace: {} events over {:.3} s",
@@ -259,6 +367,48 @@ impl fmt::Display for TraceSummary {
                 )?;
             }
         }
+
+        if !self.jobs.is_empty() {
+            writeln!(f, "\njobs (time in phase, by trace id)")?;
+            for (trace, j) in &self.jobs {
+                let generations = j.pids.len().max(1);
+                write!(f, "  {trace}")?;
+                if !j.job.is_empty() && j.job != *trace {
+                    write!(f, " (job {})", j.job)?;
+                }
+                writeln!(
+                    f,
+                    " [{}] attempts={} generations={}{}",
+                    if j.state.is_empty() { "?" } else { &j.state },
+                    j.attempts,
+                    generations,
+                    if j.recoveries > 0 {
+                        format!(" recoveries={}", j.recoveries)
+                    } else {
+                        String::new()
+                    }
+                )?;
+                let phases = [
+                    ("queue_wait", j.queue_wait_us),
+                    ("run", j.run_us),
+                    ("backoff", j.backoff_us),
+                ];
+                let total: u64 = phases.iter().map(|(_, us)| us).sum();
+                for (i, (name, us)) in phases.iter().enumerate() {
+                    let glyph = if i + 1 == phases.len() {
+                        "└─"
+                    } else {
+                        "├─"
+                    };
+                    writeln!(
+                        f,
+                        "    {glyph} {name:<11} {:>10.3} s  ({:>5.1}%)",
+                        *us as f64 / 1e6,
+                        pct(*us, total)
+                    )?;
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -307,6 +457,71 @@ mod tests {
         });
         let s = summarize(partial.as_bytes()).unwrap();
         assert_eq!((s.masked, s.output_error, s.anomaly), (5, 1, 2));
+    }
+
+    const JOB_TRACE: &str = concat!(
+        // Generation one: admit, queue-wait, first run attempt, crash.
+        "{\"ev\":\"job.admit\",\"t_us\":1,\"seq\":0,\"trace\":\"t1\",\"job\":\"j1\",",
+        "\"pid\":100,\"state\":\"accepted\"}\n",
+        "{\"ev\":\"job.span\",\"t_us\":10,\"seq\":1,\"trace\":\"t1\",\"pid\":100,",
+        "\"phase\":\"queue_wait\",\"dur_us\":9}\n",
+        "{\"ev\":\"job.span\",\"t_us\":50,\"seq\":2,\"trace\":\"t1\",\"pid\":100,",
+        "\"phase\":\"run\",\"dur_us\":40}\n",
+        "{\"ev\":\"job.span\",\"t_us\":60,\"seq\":3,\"trace\":\"t1\",\"pid\":100,",
+        "\"phase\":\"backoff\",\"dur_us\":10}\n",
+        // Generation two (restart, seq resets): recovery + finishing run.
+        "{\"ev\":\"job.recover\",\"t_us\":5,\"seq\":0,\"trace\":\"t1\",\"job\":\"j1\",",
+        "\"pid\":200}\n",
+        "{\"ev\":\"job.span\",\"t_us\":90,\"seq\":1,\"trace\":\"t1\",\"pid\":200,",
+        "\"phase\":\"run\",\"dur_us\":80}\n",
+        "{\"ev\":\"job.terminal\",\"t_us\":95,\"seq\":2,\"trace\":\"t1\",\"pid\":200,",
+        "\"state\":\"done\"}\n",
+    );
+
+    #[test]
+    fn job_spans_aggregate_across_generations() {
+        let s = summarize(JOB_TRACE.as_bytes()).unwrap();
+        // Sequence restarts across generations must not read as loss.
+        assert!(!s.seq_gap);
+        assert!(!s.is_lossy());
+        let j = &s.jobs["t1"];
+        assert_eq!(j.job, "j1");
+        assert_eq!(j.pids.len(), 2, "two daemon generations");
+        assert_eq!(j.queue_wait_us, 9);
+        assert_eq!(j.run_us, 120);
+        assert_eq!(j.backoff_us, 10);
+        assert_eq!(j.attempts, 2);
+        assert_eq!(j.recoveries, 1);
+        assert_eq!(j.state, "done");
+        let rendered = format!("{s}");
+        assert!(rendered.contains("jobs (time in phase"));
+        assert!(rendered.contains("generations=2"));
+        assert!(!rendered.contains("LOSSY"));
+    }
+
+    #[test]
+    fn lossy_traces_warn_loudly() {
+        // Explicit drop marker.
+        let mut trace = TRACE.to_owned();
+        trace.push_str("{\"ev\":\"trace.lossy\",\"t_us\":30,\"seq\":6,\"dropped\":3}\n");
+        let s = summarize(trace.as_bytes()).unwrap();
+        assert_eq!(s.dropped_reported, 3);
+        assert!(s.is_lossy());
+        assert!(format!("{s}").contains("LOSSY TRACE"));
+        assert!(format!("{s}").contains("3 dropped"));
+
+        // Inferred from a sequence gap: seq 0..=5 with one line removed.
+        let gappy: String = TRACE.lines().enumerate().filter(|(i, _)| *i != 2).fold(
+            String::new(),
+            |mut acc, (_, l)| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            },
+        );
+        let s = summarize(gappy.as_bytes()).unwrap();
+        assert!(s.seq_gap);
+        assert!(format!("{s}").contains("gap in seq"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::{Mutex, PoisonError};
 
 use crate::clock;
 use crate::json;
+use crate::metrics;
 
 /// A typed field value. Borrowed strings keep the hot path allocation-free;
 /// temporaries in an [`crate::event!`] call live until the end of the
@@ -149,16 +150,31 @@ pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
     /// Events dropped because a write failed (disk full, closed fd).
     dropped: AtomicU64,
+    /// Bytes successfully written (including the byte count the file held
+    /// when an [`JsonlSink::append`] sink opened it) — rotation caps key
+    /// off this.
+    bytes_written: AtomicU64,
 }
 
 impl std::fmt::Debug for JsonlSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "JsonlSink(dropped={})",
-            self.dropped.load(Ordering::Relaxed)
+            "JsonlSink(dropped={}, bytes={})",
+            self.dropped.load(Ordering::Relaxed),
+            self.bytes_written.load(Ordering::Relaxed),
         )
     }
+}
+
+fn ensure_parent(path: &Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    Ok(())
 }
 
 impl JsonlSink {
@@ -168,17 +184,36 @@ impl JsonlSink {
     ///
     /// Returns a description when the file cannot be created.
     pub fn create(path: &Path) -> Result<Self, String> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)
-                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
-            }
-        }
+        ensure_parent(path)?;
         let file = File::create(path)
             .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(file)),
             dropped: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens the trace file at `path` for appending, creating it if absent.
+    /// Existing bytes count toward [`JsonlSink::bytes_written`], so a
+    /// restarted daemon's rotation cap covers the whole file, not just the
+    /// current generation's writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the file cannot be opened.
+    pub fn append(path: &Path) -> Result<Self, String> {
+        ensure_parent(path)?;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open trace file {}: {e}", path.display()))?;
+        let existing = file.metadata().map_or(0, |m| m.len());
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            dropped: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(existing),
         })
     }
 
@@ -186,17 +221,31 @@ impl JsonlSink {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// Bytes written so far (plus pre-existing bytes for append sinks).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
 }
 
 impl TraceSink for JsonlSink {
     fn record(&self, event: &TraceEvent<'_>) {
         let line = event.to_json_line();
-        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        // The writer lock exists to serialize sink I/O; events
-        // interleaving mid-line would corrupt the JSONL stream.
-        // statcheck:allow(block-under-lock)
-        if writeln!(w, "{line}").is_err() {
+        let failed = {
+            let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            // The writer lock exists to serialize sink I/O; events
+            // interleaving mid-line would corrupt the JSONL stream.
+            // statcheck:allow(block-under-lock)
+            writeln!(w, "{line}").is_err()
+        };
+        if failed {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            // Dropped events must not vanish: every lossy sink also bumps
+            // the global registry so `/metrics` exposes the loss.
+            metrics::counter("obs.trace.dropped_events").inc();
+        } else {
+            self.bytes_written
+                .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
         }
     }
 
@@ -293,6 +342,25 @@ pub fn record_now(sink: &dyn TraceSink, name: &str, fields: &[Field<'_>]) {
     sink.record(&event);
 }
 
+/// A cloneable, debuggable handle to a [`TraceSink`], so sinks can ride on
+/// spec structs that derive `Debug`/`Clone` (e.g. a per-job trace outlet on
+/// `ProgressSpec`) without every spec field knowing the concrete sink type.
+#[derive(Clone)]
+pub struct SinkHandle(pub std::sync::Arc<dyn TraceSink>);
+
+impl SinkHandle {
+    /// The sink behind the handle.
+    pub fn sink(&self) -> &dyn TraceSink {
+        self.0.as_ref()
+    }
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkHandle(..)")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +402,46 @@ mod tests {
         let v = crate::json::parse(&ev.to_json_line()).unwrap();
         assert_eq!(v.get("seq").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("f_seq").and_then(Json::as_u64), Some(99));
+    }
+
+    #[test]
+    fn append_sink_accumulates_across_generations() {
+        let dir =
+            std::env::temp_dir().join(format!("fidelity-trace-append-{}", std::process::id()));
+        let path = dir.join("job.trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let first = JsonlSink::append(&path).expect("open append sink");
+        record_now(&first, "gen.one", &[("n", Value::U64(1))]);
+        first.flush().expect("flush first generation");
+        let gen1_bytes = first.bytes_written();
+        assert!(gen1_bytes > 0);
+        drop(first);
+
+        // A second generation (daemon restart) appends; pre-existing bytes
+        // count toward its rotation accounting.
+        let second = JsonlSink::append(&path).expect("reopen append sink");
+        assert_eq!(second.bytes_written(), gen1_bytes);
+        record_now(&second, "gen.two", &[("n", Value::U64(2))]);
+        second.flush().expect("flush second generation");
+        assert!(second.bytes_written() > gen1_bytes);
+
+        let text = std::fs::read_to_string(&path).expect("read trace file");
+        let names: Vec<_> = text
+            .lines()
+            .map(|l| {
+                crate::json::parse(l)
+                    .expect("line parses")
+                    .get("ev")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![Some("gen.one".to_owned()), Some("gen.two".to_owned())]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

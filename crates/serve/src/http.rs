@@ -159,8 +159,25 @@ pub fn respond_json_with<W: Write>(
     extra: &[(&str, &str)],
     body: &str,
 ) -> std::io::Result<()> {
+    respond_with(w, status, "application/json", extra, body.as_bytes())
+}
+
+/// Writes a complete response with an arbitrary content type — the
+/// `/metrics` route speaks Prometheus text and `/campaigns/:id/trace`
+/// serves raw NDJSON, neither of which is `application/json`.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond_with<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     );
@@ -172,7 +189,7 @@ pub fn respond_json_with<W: Write>(
     }
     head.push_str("\r\n");
     w.write_all(head.as_bytes())?;
-    w.write_all(body.as_bytes())?;
+    w.write_all(body)?;
     w.flush()
 }
 

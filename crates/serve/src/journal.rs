@@ -169,8 +169,8 @@ fn word_only(rest: &str) -> Option<String> {
 
 /// FNV-1a over a line payload (the same hash family the checkpoint
 /// fingerprint uses; collisions against random corruption are what matter,
-/// not adversaries).
-fn fnv64(bytes: &[u8]) -> u64 {
+/// not adversaries). Also derives trace ids in [`crate::jobtrace`].
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

@@ -19,6 +19,15 @@
 //!   graceful drain.
 //! * [`http`] / [`server`] — a dependency-free HTTP/1.1 front end with
 //!   hard request limits and a chunked progress-event stream.
+//! * [`jobtrace`] — end-to-end job tracing: deterministic trace ids
+//!   derived from the job fingerprint, per-job JSONL trace files that
+//!   survive daemon restarts, and size-capped rotation.
+//! * [`metrics`] — the daemon's service-level instruments (per-route
+//!   request counters and latency histograms, queue and job-state
+//!   gauges), exported in Prometheus text form by `GET /metrics`.
+//! * [`top`] — the `fidelity top` live dashboard: polls `/metrics` and
+//!   `/campaigns` and renders queue depth, injection throughput, and
+//!   per-job progress in the terminal.
 //! * [`client`] — a thin blocking client for scripting, smoke tests, and
 //!   the integration suite.
 //!
@@ -31,12 +40,15 @@
 pub mod client;
 pub mod http;
 pub mod jobspec;
+pub mod jobtrace;
 pub mod journal;
+pub mod metrics;
 #[cfg(feature = "loom_model")]
 pub mod modelcheck;
 pub mod queue;
 pub mod server;
 pub mod supervisor;
+pub mod top;
 
 pub use client::{Client, HttpReply};
 pub use jobspec::JobSpec;

@@ -8,8 +8,10 @@
 //! | `GET`    | `/campaigns`            | list all jobs                         |
 //! | `GET`    | `/campaigns/:id`        | job status + progress snapshot        |
 //! | `GET`    | `/campaigns/:id/events` | chunked NDJSON progress stream        |
+//! | `GET`    | `/campaigns/:id/trace`  | raw per-job trace file (NDJSON)       |
 //! | `DELETE` | `/campaigns/:id`        | cooperative cancellation              |
-//! | `GET`    | `/healthz`              | liveness + queue depth                |
+//! | `GET`    | `/healthz`              | liveness + readiness facts            |
+//! | `GET`    | `/metrics`              | Prometheus text exposition            |
 //! | `POST`   | `/shutdown`             | graceful drain and exit               |
 //!
 //! Degradation is explicit at this layer too: a full queue answers `429`
@@ -25,14 +27,15 @@ use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
 use std::time::Duration;
 
-use fidelity_obs::event;
 use fidelity_obs::json::escape_into;
+use fidelity_obs::{clock, event, metrics as obs_metrics, prom, timing_enabled};
 
 use crate::http::{
-    end_chunked, read_request, respond_json, respond_json_with, start_chunked, write_chunk,
-    ParseError, Request,
+    end_chunked, read_request, respond_json, respond_json_with, respond_with, start_chunked,
+    write_chunk, ParseError, Request,
 };
 use crate::jobspec::JobSpec;
+use crate::metrics::Route;
 use crate::supervisor::{SubmitOutcome, Supervisor};
 
 /// Concurrent connection cap; excess connections get an immediate 503.
@@ -185,11 +188,44 @@ fn error_body(msg: &str) -> String {
     s
 }
 
+/// Classifies a request for the per-route instruments.
+fn classify(method: &str, segments: &[&str]) -> Route {
+    match (method, segments) {
+        (_, ["healthz"]) => Route::Healthz,
+        (_, ["metrics"]) => Route::Metrics,
+        ("POST", ["campaigns"]) => Route::Submit,
+        ("GET", ["campaigns"]) => Route::List,
+        ("GET", ["campaigns", _]) => Route::Status,
+        ("GET", ["campaigns", _, "events"]) => Route::Events,
+        ("GET", ["campaigns", _, "trace"]) => Route::Trace,
+        ("DELETE", ["campaigns", _]) => Route::Cancel,
+        (_, ["shutdown"]) => Route::Shutdown,
+        _ => Route::Other,
+    }
+}
+
 fn route(stream: &mut TcpStream, req: &Request, shared: &Arc<Shared>) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let which = classify(req.method.as_str(), &segments);
+    let sw = clock::Stopwatch::start_if(timing_enabled());
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let _ = respond_json(stream, 200, &shared.sup.healthz_json());
+            // Liveness is the 200/503 split: a draining daemon still
+            // answers (alive) but reports not-ready so balancers stop
+            // routing new work at it.
+            let status = if shared.sup.is_accepting() { 200 } else { 503 };
+            let _ = respond_json(stream, status, &shared.sup.healthz_json());
+        }
+        ("GET", ["metrics"]) => {
+            shared.sup.refresh_gauges();
+            let body = prom::render(&obs_metrics::snapshot());
+            let _ = respond_with(
+                stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &[],
+                body.as_bytes(),
+            );
         }
         ("POST", ["campaigns"]) => handle_submit(stream, req, shared),
         ("GET", ["campaigns"]) => {
@@ -204,6 +240,7 @@ fn route(stream: &mut TcpStream, req: &Request, shared: &Arc<Shared>) {
             }
         },
         ("GET", ["campaigns", id, "events"]) => handle_events(stream, id, shared),
+        ("GET", ["campaigns", id, "trace"]) => handle_trace(stream, id, shared),
         ("DELETE", ["campaigns", id]) => match shared.sup.cancel(id) {
             Some(state) => {
                 let body = format!(
@@ -220,11 +257,30 @@ fn route(stream: &mut TcpStream, req: &Request, shared: &Arc<Shared>) {
             let _ = respond_json(stream, 202, "{\"status\":\"draining\"}");
             shared.stop.store(true, Ordering::Release);
         }
-        (_, ["healthz" | "shutdown"]) | (_, ["campaigns", ..]) => {
+        (_, ["healthz" | "metrics" | "shutdown"]) | (_, ["campaigns", ..]) => {
             let _ = respond_json(stream, 405, &error_body("method not allowed"));
         }
         _ => {
             let _ = respond_json(stream, 404, &error_body("no such route"));
+        }
+    }
+    shared.sup.metrics().on_request(which, sw.elapsed_us());
+}
+
+/// Serves the job's raw trace file. Only ids with a registered job are
+/// served — the path is derived from the job id, never from the URL text,
+/// so this route cannot be used to read arbitrary files.
+fn handle_trace(stream: &mut TcpStream, id: &str, shared: &Arc<Shared>) {
+    if shared.sup.status_json(id).is_none() {
+        let _ = respond_json(stream, 404, &error_body("no such campaign"));
+        return;
+    }
+    match std::fs::read(shared.sup.trace_path_for(id)) {
+        Ok(bytes) => {
+            let _ = respond_with(stream, 200, "application/x-ndjson", &[], &bytes);
+        }
+        Err(_) => {
+            let _ = respond_json(stream, 404, &error_body("no trace recorded for campaign"));
         }
     }
 }

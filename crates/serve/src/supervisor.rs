@@ -35,11 +35,14 @@ use fidelity_core::fit::PAPER_RAW_FIT_PER_MB;
 use fidelity_core::resilience::{CheckpointSpec, RetryBackoff};
 use fidelity_obs::json::escape_into;
 use fidelity_obs::progress::{ProgressShare, ProgressSnapshot, ProgressSpec};
-use fidelity_obs::{clock, event};
+use fidelity_obs::trace::{SinkHandle, TraceSink, Value};
+use fidelity_obs::{clock, event, prof};
 use fidelity_par::CancelToken;
 
 use crate::jobspec::JobSpec;
+use crate::jobtrace::{self, JobTracer};
 use crate::journal::{replay_file, Journal, JournalEvent};
+use crate::metrics::ServeMetrics;
 use crate::queue::{JobQueue, PushOutcome, QueueEntry};
 
 /// Service configuration.
@@ -126,6 +129,9 @@ struct JobMeta {
     seq: u64,
     error: Option<String>,
     summary_json: Option<String>,
+    /// When the job entered the queue (`clock::since_epoch_us`), for the
+    /// queue-wait span in the per-job trace.
+    queued_at_us: u64,
 }
 
 /// One registered job (by fingerprint id).
@@ -144,6 +150,9 @@ pub struct JobEntry {
     deadline_at_us: AtomicU64,
     /// Progress outlet shared with status queries and event streams.
     share: ProgressShare,
+    /// Per-job trace writer (`None` only when the trace file could not be
+    /// opened — tracing degrades, the job still runs).
+    tracer: Option<Arc<JobTracer>>,
 }
 
 /// What `submit` did.
@@ -185,6 +194,7 @@ pub struct Supervisor {
     running_jobs: AtomicUsize,
     recovered: usize,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    metrics: Arc<ServeMetrics>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -320,15 +330,19 @@ impl Supervisor {
                     seq: 0,
                     error,
                     summary_json: summary,
+                    queued_at_us: 0,
                 }),
                 cancel: Mutex::new(CancelToken::new()),
                 deadline_fired: AtomicBool::new(false),
                 deadline_at_us: AtomicU64::new(0),
                 share: ProgressShare::new(),
+                tracer: JobTracer::open(&cfg.state_dir, &id).ok().map(Arc::new),
             }));
         }
         journal.commit_rename(&journal_path)?;
 
+        let metrics = Arc::new(ServeMetrics::new());
+        metrics.recovered.add(recovered as u64);
         let sup = Arc::new(Supervisor {
             queue: JobQueue::new(cfg.queue_cap),
             cfg,
@@ -340,6 +354,7 @@ impl Supervisor {
             running_jobs: AtomicUsize::new(0),
             recovered,
             threads: Mutex::new(Vec::new()),
+            metrics,
         });
         {
             let mut jobs = lock(&sup.jobs);
@@ -347,7 +362,11 @@ impl Supervisor {
                 let requeue = lock(&entry.meta).state == JobState::Queued;
                 if requeue {
                     let seq = sup.seq.fetch_add(1, Ordering::Relaxed);
-                    lock(&entry.meta).seq = seq;
+                    {
+                        let mut meta = lock(&entry.meta);
+                        meta.seq = seq;
+                        meta.queued_at_us = clock::since_epoch_us();
+                    }
                     // Recovered jobs were accepted in a previous lifetime,
                     // so requeueing bypasses the capacity check: a pre-crash
                     // queue at cap plus interrupted running jobs can exceed
@@ -359,6 +378,12 @@ impl Supervisor {
                         seq,
                     });
                     event!("serve.recover", id = &entry.id);
+                    if let Some(t) = &entry.tracer {
+                        // The recovery record ties this generation's pid to
+                        // the job's trace id, minted by the generation that
+                        // admitted it.
+                        t.record_event("job.recover", &[]);
+                    }
                 }
                 jobs.insert(entry.id.clone(), entry);
             }
@@ -412,11 +437,15 @@ impl Supervisor {
         if let Some(existing) = jobs.get(&id) {
             let state = lock(&existing.meta).state;
             match state {
-                JobState::Done => return Ok((id, SubmitOutcome::AlreadyDone)),
+                JobState::Done => {
+                    self.metrics.dedup.inc();
+                    return Ok((id, SubmitOutcome::AlreadyDone));
+                }
                 s if !s.is_terminal() => {
                     // Single-flight: an identical spec is already in flight;
                     // this submission rides along.
                     event!("serve.attach", id = &id);
+                    self.metrics.dedup.inc();
                     return Ok((id, SubmitOutcome::Attached { state: s }));
                 }
                 _ => {} // terminal non-done: resubmission below
@@ -431,6 +460,7 @@ impl Supervisor {
         // never left marked queued while absent from the queue.
         if !self.queue.would_accept(spec.priority) {
             event!("serve.reject", id = &id);
+            self.metrics.rejected.inc();
             return Ok((
                 id,
                 SubmitOutcome::Busy {
@@ -448,6 +478,7 @@ impl Supervisor {
         })?;
 
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let queued_at_us = clock::since_epoch_us();
         let fresh = !jobs.contains_key(&id);
         let entry = jobs.entry(id.clone()).or_insert_with(|| {
             Arc::new(JobEntry {
@@ -460,11 +491,13 @@ impl Supervisor {
                     seq,
                     error: None,
                     summary_json: None,
+                    queued_at_us,
                 }),
                 cancel: Mutex::new(CancelToken::new()),
                 deadline_fired: AtomicBool::new(false),
                 deadline_at_us: AtomicU64::new(0),
                 share: ProgressShare::new(),
+                tracer: JobTracer::open(&self.cfg.state_dir, &id).ok().map(Arc::new),
             })
         });
         if !fresh {
@@ -476,9 +509,22 @@ impl Supervisor {
             meta.priority = spec.priority;
             meta.seq = seq;
             meta.error = None;
+            meta.queued_at_us = queued_at_us;
             drop(meta);
             *lock(&entry.cancel) = CancelToken::new();
             entry.deadline_fired.store(false, Ordering::Release);
+        }
+        if let Some(t) = &entry.tracer {
+            // The admission record mints the trace id on the wire: from here
+            // on every journal mirror, span, and terminal record carries it.
+            t.record_event(
+                "job.admit",
+                &[
+                    ("state", Value::Str("accepted")),
+                    ("priority", Value::I64(i64::from(spec.priority))),
+                    ("network", Value::Str(&spec.network)),
+                ],
+            );
         }
 
         match self.queue.push(QueueEntry {
@@ -488,6 +534,7 @@ impl Supervisor {
         }) {
             PushOutcome::Queued => {
                 event!("serve.submit", id = &id, priority = spec.priority);
+                self.metrics.submitted.inc();
                 Ok((id, SubmitOutcome::Accepted))
             }
             PushOutcome::Shed { victim } => {
@@ -505,6 +552,17 @@ impl Supervisor {
                     id: victim.id.clone(),
                 });
                 event!("serve.shed", victim = &victim.id, for_job = &id);
+                self.metrics.submitted.inc();
+                self.metrics.shed.inc();
+                // Trace I/O happens outside the jobs guard: the victim's
+                // terminal record is informational, and flushing a file
+                // under the admission lock would stall every submitter.
+                let victim_tracer = jobs.get(&victim.id).and_then(|v| v.tracer.clone());
+                drop(jobs);
+                if let Some(t) = victim_tracer {
+                    t.record_event("job.terminal", &[("state", Value::Str("shed"))]);
+                    t.flush();
+                }
                 Ok((id, SubmitOutcome::AcceptedShedding { victim: victim.id }))
             }
             PushOutcome::Rejected { retry_after } => {
@@ -521,6 +579,7 @@ impl Supervisor {
                 }
                 let _ = self.journal_append(&JournalEvent::Shed { id: id.clone() });
                 event!("serve.reject", id = &id);
+                self.metrics.rejected.inc();
                 Ok((id, SubmitOutcome::Busy { retry_after }))
             }
         }
@@ -540,6 +599,10 @@ impl Supervisor {
                 drop(meta);
                 let _ = self.journal_append(&JournalEvent::Cancel { id: id.to_owned() });
                 event!("serve.cancel", id = id, was = "queued");
+                if let Some(t) = &entry.tracer {
+                    t.record_event("job.terminal", &[("state", Value::Str("cancelled"))]);
+                    t.flush();
+                }
                 Some(JobState::Cancelled)
             }
             JobState::Running => {
@@ -577,20 +640,77 @@ impl Supervisor {
         s
     }
 
-    /// Health snapshot as JSON.
+    /// Health snapshot as JSON: liveness (the daemon answered at all) plus
+    /// readiness facts — uptime, queue headroom, journal size, and worker
+    /// liveness — so an orchestrator can distinguish "busy" from "wedged".
     pub fn healthz_json(&self) -> String {
+        let queued = self.queue.len();
+        let headroom = self.cfg.queue_cap.saturating_sub(queued);
+        let (workers_total, workers_alive) = {
+            let threads = lock(&self.threads);
+            let alive = threads.iter().filter(|t| !t.is_finished()).count();
+            (threads.len(), alive)
+        };
         format!(
-            "{{\"status\":\"{}\",\"queued\":{},\"running\":{},\"jobs\":{},\"recovered\":{}}}",
+            "{{\"status\":\"{}\",\"accepting\":{},\"uptime_secs\":{},\"queued\":{queued},\
+             \"running\":{},\"jobs\":{},\"recovered\":{},\"queue_cap\":{},\
+             \"queue_headroom\":{headroom},\"journal_bytes\":{},\
+             \"workers_alive\":{workers_alive},\"workers_total\":{workers_total}}}",
             if self.is_accepting() {
                 "ok"
             } else {
                 "draining"
             },
-            self.queue.len(),
+            self.is_accepting(),
+            clock::since_epoch_us() / 1_000_000,
             self.running_jobs.load(Ordering::Relaxed),
             lock(&self.jobs).len(),
             self.recovered,
+            self.cfg.queue_cap,
+            self.journal_bytes(),
         )
+    }
+
+    /// The service-level instrument handles (exposed for the HTTP listener
+    /// and tests).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The trace file path for a job id (the `/campaigns/:id/trace` route
+    /// serves these bytes).
+    pub fn trace_path_for(&self, id: &str) -> PathBuf {
+        jobtrace::trace_path(&self.cfg.state_dir, id)
+    }
+
+    /// Journal size on disk, bytes (0 when unreadable).
+    fn journal_bytes(&self) -> u64 {
+        std::fs::metadata(self.cfg.state_dir.join("jobs.journal")).map_or(0, |m| m.len())
+    }
+
+    /// Publishes the sampled gauges (queue depth/headroom, per-state job
+    /// counts, journal size, uptime). Called on every `/metrics` scrape so
+    /// gauge freshness matches scrape cadence without a sampler thread.
+    pub fn refresh_gauges(&self) {
+        let queued = self.queue.len();
+        self.metrics.queue_depth.set(queued as i64);
+        self.metrics
+            .queue_headroom
+            .set(self.cfg.queue_cap.saturating_sub(queued) as i64);
+        self.metrics.journal_bytes.set(self.journal_bytes() as i64);
+        self.metrics
+            .uptime_seconds
+            .set((clock::since_epoch_us() / 1_000_000) as i64);
+        let mut counts = [0i64; 7];
+        for entry in lock(&self.jobs).values() {
+            let state = lock(&entry.meta).state;
+            if let Some(c) = counts.get_mut(crate::metrics::state_index(state)) {
+                *c += 1;
+            }
+        }
+        for (state, count) in crate::metrics::STATES.iter().zip(counts) {
+            self.metrics.set_state_count(*state, count);
+        }
     }
 
     /// Subscribes to a job's progress snapshots. Returns the receiver, the
@@ -679,15 +799,22 @@ impl Supervisor {
     }
 
     fn run_job(&self, id: &str) {
+        let _prof = prof::scope("serve.run_job");
         let Some(entry) = lock(&self.jobs).get(id).map(Arc::clone) else {
             return; // cancelled-and-removed between pop and here
         };
+        let queued_at_us;
         {
             let mut meta = lock(&entry.meta);
             if meta.state != JobState::Queued {
                 return; // cancelled while queued (raced the dequeue)
             }
             meta.state = JobState::Running;
+            queued_at_us = meta.queued_at_us;
+        }
+        if let Some(t) = &entry.tracer {
+            let waited = clock::since_epoch_us().saturating_sub(queued_at_us);
+            t.span("queue_wait", if queued_at_us == 0 { 0 } else { waited }, 0);
         }
         if self
             .journal_append(&JournalEvent::Start { id: id.to_owned() })
@@ -716,15 +843,33 @@ impl Supervisor {
         let mut outcome: Result<String, String> = Err("never attempted".to_owned());
         for attempt in 0..=retries {
             lock(&entry.meta).attempts = attempt + 1;
+            let run_sw = clock::Stopwatch::start();
             outcome = self.run_attempt(&entry, &cancel);
+            if let Some(t) = &entry.tracer {
+                t.span(
+                    "run",
+                    run_sw.elapsed_us().unwrap_or(0),
+                    (attempt + 1) as u64,
+                );
+            }
             match &outcome {
                 Ok(_) => break,
                 Err(_) if cancel.is_cancelled() => break,
                 Err(e) => {
                     event!("serve.retry", id = id, attempt = attempt + 1, error = e);
+                    self.metrics.retries.inc();
                     if attempt < retries {
                         let wait = backoff.delay(entry.spec.campaign_seed(), 0, attempt + 1);
-                        if !sleep_unless_cancelled(wait, &cancel) {
+                        let backoff_sw = clock::Stopwatch::start();
+                        let kept_going = sleep_unless_cancelled(wait, &cancel);
+                        if let Some(t) = &entry.tracer {
+                            t.span(
+                                "backoff",
+                                backoff_sw.elapsed_us().unwrap_or(0),
+                                (attempt + 1) as u64,
+                            );
+                        }
+                        if !kept_going {
                             break;
                         }
                     }
@@ -734,7 +879,7 @@ impl Supervisor {
         entry.deadline_at_us.store(0, Ordering::Release);
         self.running_jobs.fetch_sub(1, Ordering::Relaxed);
 
-        match outcome {
+        let terminal_state = match outcome {
             Ok(summary_json) => {
                 let _ = self.journal_append(&JournalEvent::Done {
                     id: id.to_owned(),
@@ -745,6 +890,7 @@ impl Supervisor {
                 meta.summary_json = Some(summary_json);
                 meta.error = None;
                 event!("serve.done", id = id);
+                Some(JobState::Done)
             }
             Err(e) if entry.deadline_fired.load(Ordering::Acquire) => {
                 let _ = self.journal_append(&JournalEvent::Expire { id: id.to_owned() });
@@ -752,6 +898,7 @@ impl Supervisor {
                 meta.state = JobState::Expired;
                 meta.error = Some(format!("deadline expired: {e}"));
                 event!("serve.expired", id = id);
+                Some(JobState::Expired)
             }
             Err(_) if self.shutdown.is_cancelled() => {
                 // Drained by graceful shutdown: the checkpoint holds the
@@ -759,7 +906,9 @@ impl Supervisor {
                 // the next boot resumes the job. Not a terminal state.
                 let mut meta = lock(&entry.meta);
                 meta.state = JobState::Queued;
+                meta.queued_at_us = clock::since_epoch_us();
                 event!("serve.drain", id = id);
+                None
             }
             Err(e) if cancel.is_cancelled() => {
                 let _ = self.journal_append(&JournalEvent::Cancel { id: id.to_owned() });
@@ -767,6 +916,7 @@ impl Supervisor {
                 meta.state = JobState::Cancelled;
                 meta.error = Some(format!("cancelled: {e}"));
                 event!("serve.cancelled", id = id);
+                Some(JobState::Cancelled)
             }
             Err(e) => {
                 let _ = self.journal_append(&JournalEvent::Fail {
@@ -777,11 +927,17 @@ impl Supervisor {
                 meta.state = JobState::Failed;
                 meta.error = Some(e.clone());
                 event!("serve.failed", id = id, error = &e);
+                Some(JobState::Failed)
             }
+        };
+        if let (Some(state), Some(t)) = (terminal_state, &entry.tracer) {
+            t.record_event("job.terminal", &[("state", Value::Str(state.as_str()))]);
+            t.flush();
         }
     }
 
     fn run_attempt(&self, entry: &JobEntry, cancel: &CancelToken) -> Result<String, String> {
+        let _prof = prof::scope("serve.run_attempt");
         let (engine, trace, metric) = entry.spec.deploy()?;
         let mut spec = entry.spec.campaign_spec(self.cfg.campaign_threads);
         // Resume semantics on every attempt: cells already checkpointed (by
@@ -797,6 +953,10 @@ impl Supervisor {
             interval: Duration::from_millis(100),
             render: false,
             share: Some(entry.share.clone()),
+            sink: entry
+                .tracer
+                .clone()
+                .map(|t| SinkHandle(t as Arc<dyn TraceSink>)),
         });
         let accel = fidelity_accel::presets::nvdla_like();
         let analysis = analyze(

@@ -1,0 +1,339 @@
+//! `fidelity top`: a live terminal dashboard over a running daemon.
+//!
+//! Polls `GET /metrics` (Prometheus text, parsed with the in-repo parser)
+//! and `GET /campaigns` (JSON) and renders queue state, injection
+//! throughput, per-category masking probabilities with their Wilson 95%
+//! intervals, and per-job progress bars. Everything between fetch and
+//! print is a pure function of the two response bodies, so the whole
+//! render path is unit-testable without a socket.
+//!
+//! Injections/second is derived from the `campaign_injections` counter
+//! delta between consecutive polls (the first frame shows the per-job
+//! reported rate instead, since a single scrape has no delta).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use fidelity_obs::json::{self, Json};
+use fidelity_obs::prom::{self, PromDump};
+
+use crate::client::Client;
+
+/// One sampled frame: the parsed metrics dump plus the jobs listing.
+#[derive(Debug)]
+pub struct TopFrame {
+    /// Parsed `/metrics` families.
+    pub metrics: PromDump,
+    /// Parsed `/campaigns` array.
+    pub jobs: Json,
+}
+
+impl TopFrame {
+    /// Parses the two raw response bodies into a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when either body fails to parse.
+    pub fn parse(metrics_text: &str, campaigns_json: &str) -> Result<TopFrame, String> {
+        let metrics = prom::parse(metrics_text)?;
+        let jobs = json::parse(campaigns_json)?;
+        Ok(TopFrame { metrics, jobs })
+    }
+
+    fn scalar(&self, name: &str) -> f64 {
+        self.metrics.scalar(name).unwrap_or(0.0)
+    }
+}
+
+/// Fetches one frame from a daemon.
+///
+/// # Errors
+///
+/// Returns connection/parse errors as text.
+pub fn fetch(client: &Client) -> Result<TopFrame, String> {
+    let metrics = client.request("GET", "/metrics", None)?;
+    if metrics.status != 200 {
+        return Err(format!("/metrics answered {}", metrics.status));
+    }
+    let campaigns = client.request("GET", "/campaigns", None)?;
+    if campaigns.status != 200 {
+        return Err(format!("/campaigns answered {}", campaigns.status));
+    }
+    TopFrame::parse(&metrics.body, &campaigns.body)
+}
+
+fn bar(frac: f64, width: usize) -> String {
+    let frac = frac.clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        format!("{:.1}M", v / 1_000_000.0)
+    } else if v >= 1_000.0 {
+        format!("{:.1}k", v / 1_000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn job_field<'a>(job: &'a Json, key: &str) -> Option<&'a Json> {
+    job.get(key)
+}
+
+fn category_line(out: &mut String, kind: &str, samples: f64, masked: f64, lo: f64, hi: f64) {
+    let label = match kind {
+        "dp" => "datapath ",
+        "lc" => "local ctl",
+        "gc" => "global ctl",
+        other => other,
+    };
+    let p = if samples > 0.0 { masked / samples } else { 0.0 };
+    let _ = writeln!(
+        out,
+        "    {label:<10} masked {:>7.4}  [{lo:.4}, {hi:.4}]  n={}",
+        p, samples as u64
+    );
+}
+
+/// Renders a frame (optionally against the previous frame for counter
+/// deltas) into the text the terminal shows. Pure.
+pub fn render(frame: &TopFrame, prev: Option<(&TopFrame, Duration)>) -> String {
+    let mut out = String::with_capacity(2048);
+
+    let depth = frame.scalar("serve_queue_depth");
+    let headroom = frame.scalar("serve_queue_headroom");
+    let uptime = frame.scalar("serve_uptime_seconds");
+    let submitted = frame.scalar("serve_jobs_submitted");
+    let shed = frame.scalar("serve_jobs_shed");
+    let rejected = frame.scalar("serve_jobs_rejected");
+    let retries = frame.scalar("serve_jobs_retries");
+    let running = frame.scalar("serve_jobs_state_running");
+    let queued = frame.scalar("serve_jobs_state_queued");
+    let done = frame.scalar("serve_jobs_state_done");
+    let failed = frame.scalar("serve_jobs_state_failed");
+    let injections = frame.scalar("campaign_injections");
+
+    // Throughput: counter delta over the poll interval when we have a
+    // previous frame, else the sum of per-job self-reported rates.
+    let inj_per_sec = match prev {
+        Some((p, dt)) if dt.as_secs_f64() > 0.0 => {
+            (injections - p.scalar("campaign_injections")).max(0.0) / dt.as_secs_f64()
+        }
+        _ => jobs_iter(&frame.jobs)
+            .filter_map(|j| j.get("progress"))
+            .filter_map(|p| p.get("rate_per_sec"))
+            .filter_map(Json::as_f64)
+            .sum(),
+    };
+
+    let _ = writeln!(
+        out,
+        "fidelity top — up {}s   queue {}/{} (headroom {})   inj/s {}",
+        uptime as u64,
+        depth as u64,
+        (depth + headroom) as u64,
+        headroom as u64,
+        fmt_rate(inj_per_sec)
+    );
+    let _ = writeln!(
+        out,
+        "jobs: {} queued, {} running, {} done, {} failed   submitted {}  shed {}  429 {}  retries {}",
+        queued as u64, running as u64, done as u64, failed as u64,
+        submitted as u64, shed as u64, rejected as u64, retries as u64
+    );
+    let dropped = frame.scalar("obs_trace_dropped_events");
+    if dropped > 0.0 {
+        let _ = writeln!(
+            out,
+            "!! trace sink dropped {} events — traces are lossy",
+            dropped as u64
+        );
+    }
+    out.push('\n');
+
+    let mut shown = 0usize;
+    for job in jobs_iter(&frame.jobs) {
+        let id = job_field(job, "id").and_then(Json::as_str).unwrap_or("?");
+        let state = job_field(job, "state")
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let network = job_field(job, "network")
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        let _ = write!(out, "  {id}  [{state:<9}] {network:<12}");
+        if let Some(progress) = job_field(job, "progress") {
+            let cells_done = progress
+                .get("cells_done")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let cells_total = progress
+                .get("cells_total")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let frac = if cells_total > 0.0 {
+                cells_done / cells_total
+            } else {
+                0.0
+            };
+            let rate = progress
+                .get("rate_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let _ = write!(
+                out,
+                " |{}| {:>3.0}% ({}/{} cells, {}/s)",
+                bar(frac, 24),
+                frac * 100.0,
+                cells_done as u64,
+                cells_total as u64,
+                fmt_rate(rate)
+            );
+            out.push('\n');
+            if let Some(Json::Arr(kinds)) = progress.get("per_kind") {
+                for k in kinds {
+                    category_line(
+                        &mut out,
+                        k.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                        k.get("samples").and_then(Json::as_f64).unwrap_or(0.0),
+                        k.get("masked").and_then(Json::as_f64).unwrap_or(0.0),
+                        k.get("lo").and_then(Json::as_f64).unwrap_or(0.0),
+                        k.get("hi").and_then(Json::as_f64).unwrap_or(0.0),
+                    );
+                }
+            }
+        } else {
+            out.push('\n');
+        }
+        shown += 1;
+    }
+    if shown == 0 {
+        out.push_str("  (no campaigns)\n");
+    }
+    out
+}
+
+fn jobs_iter(jobs: &Json) -> std::slice::Iter<'_, Json> {
+    const EMPTY: &[Json] = &[];
+    match jobs {
+        Json::Arr(v) => v.iter(),
+        _ => EMPTY.iter(),
+    }
+}
+
+/// Runs the dashboard: fetch + render every `interval`, clearing the
+/// screen between frames. With `once`, prints a single frame and returns
+/// (the CI smoke path).
+///
+/// # Errors
+///
+/// In `once` mode, fetch errors are fatal. In live mode a failed poll is
+/// rendered as a status line and polling continues (the daemon may be
+/// restarting); only ten consecutive failures abort.
+pub fn run(addr: &str, once: bool, interval: Duration) -> Result<(), String> {
+    let client = Client::new(addr);
+    if once {
+        let frame = fetch(&client)?;
+        print!("{}", render(&frame, None));
+        return Ok(());
+    }
+    let mut prev: Option<TopFrame> = None;
+    let mut consecutive_failures = 0usize;
+    loop {
+        match fetch(&client) {
+            Ok(frame) => {
+                consecutive_failures = 0;
+                let text = render(&frame, prev.as_ref().map(|p| (p, interval)));
+                // ANSI clear + home; plain prints keep `--once` pipeable.
+                print!("\x1b[2J\x1b[H{text}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                prev = Some(frame);
+            }
+            Err(e) => {
+                consecutive_failures += 1;
+                if consecutive_failures >= 10 {
+                    return Err(format!("lost the daemon: {e}"));
+                }
+                println!("(poll failed: {e})");
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const METRICS: &str = "\
+# TYPE serve_queue_depth gauge
+serve_queue_depth 3
+# TYPE serve_queue_headroom gauge
+serve_queue_headroom 5
+# TYPE serve_uptime_seconds gauge
+serve_uptime_seconds 42
+# TYPE serve_jobs_submitted counter
+serve_jobs_submitted 7
+# TYPE serve_jobs_state_running gauge
+serve_jobs_state_running 1
+# TYPE campaign_injections counter
+campaign_injections 10000
+";
+
+    const CAMPAIGNS: &str = r#"[{"id":"abc123","state":"running","network":"lenet5",
+        "progress":{"cells_done":5,"cells_total":10,"rate_per_sec":1234.0,
+        "per_kind":[{"kind":"dp","samples":600,"masked":540,"lo":0.87,"hi":0.92},
+                    {"kind":"lc","samples":200,"masked":120,"lo":0.53,"hi":0.66}]}}]"#;
+
+    #[test]
+    fn renders_queue_jobs_and_wilson_intervals() {
+        let frame = TopFrame::parse(METRICS, CAMPAIGNS).expect("frame parses");
+        let text = render(&frame, None);
+        assert!(text.contains("queue 3/8"), "queue line in:\n{text}");
+        assert!(text.contains("up 42s"));
+        assert!(text.contains("abc123"));
+        assert!(text.contains("[running"));
+        assert!(text.contains("lenet5"));
+        assert!(text.contains("50%"), "progress percent in:\n{text}");
+        assert!(
+            text.contains("[0.8700, 0.9200]"),
+            "dp Wilson CI in:\n{text}"
+        );
+        assert!(text.contains("datapath"));
+        assert!(text.contains("local ctl"));
+        // First frame: inj/s falls back to the per-job reported rate.
+        assert!(text.contains("inj/s 1.2k"), "rate in:\n{text}");
+    }
+
+    #[test]
+    fn rate_uses_counter_delta_when_previous_frame_exists() {
+        let prev = TopFrame::parse(METRICS, "[]").unwrap();
+        let cur_metrics = METRICS.replace("campaign_injections 10000", "campaign_injections 30000");
+        let cur = TopFrame::parse(&cur_metrics, "[]").unwrap();
+        let text = render(&cur, Some((&prev, Duration::from_secs(2))));
+        assert!(text.contains("inj/s 10.0k"), "delta rate in:\n{text}");
+        assert!(text.contains("(no campaigns)"));
+    }
+
+    #[test]
+    fn lossy_trace_sink_is_flagged() {
+        let metrics = format!(
+            "{METRICS}# TYPE obs_trace_dropped_events counter\nobs_trace_dropped_events 4\n"
+        );
+        let frame = TopFrame::parse(&metrics, "[]").unwrap();
+        let text = render(&frame, None);
+        assert!(text.contains("dropped 4 events"));
+    }
+
+    #[test]
+    fn malformed_bodies_are_reported_not_panicked() {
+        assert!(TopFrame::parse("not prometheus", "[]").is_err());
+        assert!(TopFrame::parse(METRICS, "{broken").is_err());
+    }
+}

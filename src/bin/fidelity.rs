@@ -72,6 +72,7 @@ fn main() -> ExitCode {
         "protect" => cmd_protect(&opts),
         "report" => cmd_report(&opts),
         "serve" => cmd_serve(&opts),
+        "top" => cmd_top(&opts),
         "statcheck" => cmd_statcheck(&opts),
         "lint" => cmd_lint(rest, &opts),
         "concheck" => cmd_concheck(rest, &opts),
@@ -107,6 +108,7 @@ const USAGE: &str = "usage:
   fidelity report   --trace FILE
   fidelity serve    [--addr HOST:PORT] [--state DIR] [--queue-cap N]
                     [--workers N] [--jobs N] [--smoke]
+  fidelity top      [--addr HOST:PORT] [--interval-ms N] [--once]
   fidelity statcheck [--preset NAME]
   fidelity lint     [--root PATH]...
   fidelity concheck [--root PATH]...
@@ -115,6 +117,8 @@ telemetry (analyze | validate | protect):
   --trace FILE      write structured JSONL trace events to FILE
   --progress        live campaign status line on stderr
   --metrics         print a metrics snapshot after the run
+  --profile FILE    write a collapsed-stack self-profile to FILE
+                    (flamegraph.pl / speedscope compatible)
 
 parallelism (analyze | protect):
   --jobs N          campaign worker threads (default: all cores); results
@@ -123,7 +127,7 @@ parallelism (analyze | protect):
 networks: inception | resnet | mobilenet | yolo | transformer | lstm";
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BARE_FLAGS: &[&str] = &["resume", "progress", "metrics", "smoke"];
+const BARE_FLAGS: &[&str] = &["resume", "progress", "metrics", "smoke", "once"];
 
 /// Applies the shared telemetry flags before the command runs: `--trace FILE`
 /// installs the JSONL sink, `--metrics` enables timing instrumentation.
@@ -135,11 +139,15 @@ fn setup_telemetry(opts: &HashMap<String, String>) -> Result<(), String> {
     if opts.contains_key("metrics") {
         fidelity::obs::set_timing(true);
     }
+    if opts.contains_key("profile") {
+        fidelity::obs::prof::set_enabled(true);
+    }
     Ok(())
 }
 
 /// Tears telemetry down after the command: flushes the trace sink (surfacing
-/// write errors) and prints the metrics snapshot when `--metrics` was given.
+/// write errors), prints the metrics snapshot when `--metrics` was given, and
+/// writes the collapsed-stack self-profile when `--profile FILE` was given.
 fn finish_telemetry(opts: &HashMap<String, String>) -> Result<(), String> {
     let flushed = if opts.contains_key("trace") {
         fidelity::obs::flush().map_err(|e| format!("trace flush: {e}"))
@@ -148,6 +156,11 @@ fn finish_telemetry(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     if opts.contains_key("metrics") {
         print!("{}", fidelity::obs::metrics::snapshot());
+    }
+    if let Some(path) = opts.get("profile") {
+        fidelity::obs::prof::set_enabled(false);
+        std::fs::write(path, fidelity::obs::prof::collapsed())
+            .map_err(|e| format!("--profile {path}: {e}"))?;
     }
     flushed
 }
@@ -434,6 +447,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         campaign_threads: get(opts, "jobs", default_threads)?,
         chaos: Vec::new(),
     };
+    // Latency histograms on /metrics are only as good as their clock: the
+    // daemon always arms timing instrumentation.
+    fidelity::obs::set_timing(true);
     if smoke {
         return serve_smoke(cfg);
     }
@@ -456,6 +472,21 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `fidelity top`: live terminal dashboard over a running daemon. With
+/// `--once`, prints one frame and exits (scriptable / CI smoke).
+fn cmd_top(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7350".to_owned());
+    let interval_ms: u64 = get(opts, "interval-ms", 1000)?;
+    fidelity::serve::top::run(
+        &addr,
+        opts.contains_key("once"),
+        std::time::Duration::from_millis(interval_ms.max(100)),
+    )
+}
+
 /// One full self-exercise of the running service, used by `--smoke` and CI:
 /// boot → health → submit → stream an event → poll to completion → resubmit
 /// (must dedup) → graceful shutdown.
@@ -469,6 +500,15 @@ fn serve_smoke(cfg: fidelity::serve::ServeConfig) -> Result<(), String> {
     let health = client.healthz()?;
     if health.status != 200 {
         return Err(format!("smoke: healthz {} {}", health.status, health.body));
+    }
+    for key in [
+        "\"uptime_secs\":",
+        "\"queue_headroom\":",
+        "\"workers_alive\":",
+    ] {
+        if !health.body.contains(key) {
+            return Err(format!("smoke: healthz missing {key}: {}", health.body));
+        }
     }
     let spec = "{\"network\":\"lstm\",\"samples\":25,\"seed\":7}";
     let reply = client.submit(spec)?;
@@ -484,11 +524,70 @@ fn serve_smoke(cfg: fidelity::serve::ServeConfig) -> Result<(), String> {
         .to_owned();
     println!("smoke: accepted job {id}");
 
+    // Scrape /metrics while the job runs: the export must parse strictly
+    // even mid-campaign (concurrent counter updates), and a second scrape
+    // must be monotone on every counter.
+    let scrape = |label: &str| -> Result<fidelity::obs::prom::PromDump, String> {
+        let reply = client.request("GET", "/metrics", None)?;
+        if reply.status != 200 {
+            return Err(format!("smoke: metrics {} {}", reply.status, reply.body));
+        }
+        fidelity::obs::prom::parse(&reply.body).map_err(|e| format!("smoke: metrics {label}: {e}"))
+    };
+    let first = scrape("first")?;
     let status = client.wait_terminal(&id, 600, std::time::Duration::from_millis(50))?;
     if !status.contains("\"state\":\"done\"") || !status.contains("\"fit_total\":") {
         return Err(format!("smoke: job did not finish cleanly: {status}"));
     }
     println!("smoke: job done");
+    let second = scrape("second")?;
+    for counter in ["serve_jobs_submitted", "serve_http_requests_metrics"] {
+        let (a, b) = (
+            first.scalar(counter).unwrap_or(0.0),
+            second.scalar(counter).unwrap_or(0.0),
+        );
+        if b < a {
+            return Err(format!(
+                "smoke: counter {counter} went backwards: {a} -> {b}"
+            ));
+        }
+    }
+    if second.scalar("serve_jobs_submitted").unwrap_or(0.0) < 1.0 {
+        return Err("smoke: serve_jobs_submitted never counted".to_owned());
+    }
+    if second.scalar("campaign_injections").unwrap_or(0.0) < 1.0 {
+        return Err("smoke: campaign_injections never counted".to_owned());
+    }
+    println!("smoke: /metrics parses strictly and counters are monotone");
+
+    // The job's trace file is served over the API and carries its
+    // deterministic trace id on every line.
+    let trace = client.request("GET", &format!("/campaigns/{id}/trace"), None)?;
+    if trace.status != 200 {
+        return Err(format!("smoke: trace {} {}", trace.status, trace.body));
+    }
+    let want_trace_id = fidelity::serve::jobtrace::trace_id(&id);
+    let mut lines = 0usize;
+    for line in trace.body.lines().filter(|l| !l.is_empty()) {
+        if !line.contains(&want_trace_id) {
+            return Err(format!(
+                "smoke: trace line missing id {want_trace_id}: {line}"
+            ));
+        }
+        lines += 1;
+    }
+    if lines < 3 {
+        return Err(format!("smoke: trace too short ({lines} lines)"));
+    }
+    println!("smoke: trace endpoint served {lines} records with trace id {want_trace_id}");
+
+    // The `top` dashboard renders one frame from the same endpoints.
+    let frame = fidelity::serve::top::fetch(&client)?;
+    let rendered = fidelity::serve::top::render(&frame, None);
+    if !rendered.contains("fidelity top") || !rendered.contains(&id) {
+        return Err(format!("smoke: top frame incomplete:\n{rendered}"));
+    }
+    println!("smoke: top rendered a frame");
 
     let event = client.stream_one_event(&id)?;
     if !event.starts_with('{') {

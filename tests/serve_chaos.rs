@@ -136,6 +136,36 @@ fn sigkill_mid_campaign_restart_recovers_bit_identical() {
     assert_eq!(again.status, 200, "{}", again.body);
     assert!(again.body.contains("\"state\":\"done\""), "{}", again.body);
 
+    // Trace continuity across the crash: both daemon generations stamped
+    // the same deterministic trace id into the same per-job trace file,
+    // and the pid field proves at least two distinct processes wrote it.
+    let trace = client
+        .request("GET", &format!("/campaigns/{id}/trace"), None)
+        .expect("trace route");
+    assert_eq!(trace.status, 200, "{}", trace.body);
+    let want = fidelity::serve::jobtrace::trace_id(&id);
+    let mut pids = std::collections::BTreeSet::new();
+    let mut recover_events = 0usize;
+    for line in trace.body.lines().filter(|l| !l.is_empty()) {
+        let v = fidelity::obs::json::parse(line).expect("trace line parses");
+        assert_eq!(
+            v.get("trace").and_then(fidelity::obs::json::Json::as_str),
+            Some(want.as_str()),
+            "trace id changed across generations: {line}"
+        );
+        if let Some(pid) = v.get("pid").and_then(fidelity::obs::json::Json::as_u64) {
+            pids.insert(pid);
+        }
+        if v.get("ev").and_then(fidelity::obs::json::Json::as_str) == Some("job.recover") {
+            recover_events += 1;
+        }
+    }
+    assert!(
+        pids.len() >= 2,
+        "expected records from both daemon generations, saw pids {pids:?}"
+    );
+    assert!(recover_events >= 1, "no job.recover event after restart");
+
     let shutdown = client.shutdown().expect("shutdown");
     assert_eq!(shutdown.status, 202);
     child.wait().expect("clean exit");
