@@ -5,7 +5,7 @@
 //! budget; this bench quantifies what it saves.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fidelity_core::campaign::{run_campaign, CampaignSpec};
+use fidelity_core::campaign::{run_campaign, CampaignSpec, MacTier};
 use fidelity_core::outcome::TopOneMatch;
 use fidelity_dnn::precision::Precision;
 use fidelity_workloads::classification_suite;
@@ -26,6 +26,8 @@ fn bench_campaign(c: &mut Criterion) {
         target_ci_halfwidth: None,
         resilience: Default::default(),
         progress: None,
+        batch: 0,
+        mac_tier: MacTier::Bitwise,
     };
     group.bench_function("fixed_300_per_cell", |b| {
         b.iter(|| run_campaign(&engine, &trace, &accel, &TopOneMatch, &fixed).expect("runs"));

@@ -20,9 +20,9 @@ use fidelity_core::inject::{inject_once, inject_once_pooled};
 use fidelity_core::models::SoftwareFaultModel;
 use fidelity_core::outcome::TopOneMatch;
 use fidelity_core::validate::{random_sites, rtl_layer_for};
-use fidelity_dnn::graph::{Engine, Trace};
+use fidelity_dnn::graph::{golden_key, Engine, Trace};
 use fidelity_dnn::init::SplitMix64;
-use fidelity_dnn::macspec::{MacSpec, Operands};
+use fidelity_dnn::macspec::{MacSpec, MacTier, Operands};
 use fidelity_dnn::precision::Precision;
 use fidelity_dnn::tensor::Tensor;
 use fidelity_dnn::workspace::Workspace;
@@ -76,6 +76,18 @@ fn kernel_self_check(engine: &Engine, trace: &Trace) -> usize {
                 reference.to_bits(),
                 "kernel/compute_at mismatch: node {node} ({}) offset {off}: \
                  {v} != {reference}",
+                engine.network().layer(node).name(),
+            );
+        }
+        // The lane-vectorized Bitwise tier must match the same oracle — a
+        // SIMD-lane regression is an accuracy bug, not a perf trade.
+        let mut tier = vec![0.0f32; spec.out_len()];
+        spec.forward_tier_into_scratch(&operands, &mut tier, ws.kernel_scratch(), MacTier::Bitwise);
+        for (off, (&a, &b)) in out.iter().zip(&tier).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "bitwise-tier mismatch: node {node} ({}) offset {off}: {a} != {b}",
                 engine.network().layer(node).name(),
             );
         }
@@ -141,20 +153,28 @@ fn measure_injections(
         )
         .expect("fixed workload")
     };
+    // The pooled path runs batched: a golden snapshot of the trace in the
+    // workspace routes every injection through the sparse fault-cone delta
+    // resume — exactly what a campaign with `batch > 0` does.
     let mut ws = Workspace::new();
+    ws.install_golden(golden_key(trace), &trace.node_outputs);
+    let mut ws_dense = Workspace::new();
     let mut rng_pooled = SplitMix64::new(2);
+    let mut rng_dense = SplitMix64::new(2);
     for _ in 0..5 {
         black_box(shoot_pooled(&mut rng_pooled, &mut ws)); // warm the pool
+        black_box(shoot_pooled(&mut rng_dense, &mut ws_dense));
     }
     ws.reset_counters();
 
-    // The two paths are timed in alternating batches so a background-load
-    // burst degrades both equally instead of skewing whichever block it
-    // happened to land on.
+    // The three paths are timed in alternating batches so a background-load
+    // burst degrades all of them equally instead of skewing whichever block
+    // it happened to land on.
     let mut rng_alloc = SplitMix64::new(2);
     let samples = reps.clamp(1, 20);
     let batch = (reps / samples).max(1);
     let mut pooled = Vec::with_capacity(samples);
+    let mut dense = Vec::with_capacity(samples);
     let mut alloc = Vec::with_capacity(samples);
     for _ in 0..samples {
         let t = Instant::now();
@@ -162,6 +182,11 @@ fn measure_injections(
             black_box(shoot_pooled(&mut rng_pooled, &mut ws));
         }
         pooled.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(shoot_pooled(&mut rng_dense, &mut ws_dense));
+        }
+        dense.push(t.elapsed().as_nanos() as f64 / batch as f64);
         let t = Instant::now();
         for _ in 0..batch {
             black_box(
@@ -179,6 +204,7 @@ fn measure_injections(
         alloc.push(t.elapsed().as_nanos() as f64 / batch as f64);
     }
     let (pooled_mean, pooled_best) = report::mean_best(&pooled);
+    let (dense_mean, dense_best) = report::mean_best(&dense);
     let (alloc_mean, alloc_best) = report::mean_best(&alloc);
 
     report::update(
@@ -190,7 +216,9 @@ fn measure_injections(
             ("reps", Json::Num(reps as f64)),
             // Keyed by the Criterion benchmark names so the report reads
             // like the bench output: `fidelity_software` is the allocating
-            // `inject_once` entry point, `_pooled` the workspace-backed one.
+            // `inject_once` entry point, `_pooled` the workspace-backed
+            // batched delta path (golden snapshot installed), and
+            // `_pooled_dense` the workspace-backed full-resume path.
             (
                 "fidelity_software",
                 report::obj([
@@ -203,6 +231,13 @@ fn measure_injections(
                 report::obj([
                     ("mean_ns", Json::Num(pooled_mean)),
                     ("best_ns", Json::Num(pooled_best)),
+                ]),
+            ),
+            (
+                "fidelity_software_pooled_dense",
+                report::obj([
+                    ("mean_ns", Json::Num(dense_mean)),
+                    ("best_ns", Json::Num(dense_best)),
                 ]),
             ),
         ]),
@@ -246,6 +281,25 @@ fn bench_injection(c: &mut Criterion) {
         });
     });
     group.bench_function("fidelity_software_pooled", |b| {
+        let mut rng = SplitMix64::new(2);
+        let mut ws = Workspace::new();
+        // Batched delta path: golden snapshot installed, sparse cone resume.
+        ws.install_golden(golden_key(&trace), &trace.node_outputs);
+        b.iter(|| {
+            inject_once_pooled(
+                &engine,
+                &trace,
+                node,
+                SoftwareFaultModel::OutputValue,
+                &TopOneMatch,
+                &mut rng,
+                None,
+                &mut ws,
+            )
+            .expect("fixed workload")
+        });
+    });
+    group.bench_function("fidelity_software_pooled_dense", |b| {
         let mut rng = SplitMix64::new(2);
         let mut ws = Workspace::new();
         b.iter(|| {

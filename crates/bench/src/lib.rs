@@ -3,7 +3,7 @@
 
 #![warn(missing_docs)]
 
-use fidelity_core::campaign::CampaignSpec;
+use fidelity_core::campaign::{CampaignSpec, MacTier};
 use fidelity_core::resilience::CheckpointSpec;
 use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::precision::Precision;
@@ -48,9 +48,46 @@ pub fn jobs() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, std::num::NonZero::get))
 }
 
+/// One string-valued option from `--NAME VALUE` / `--NAME=VALUE` on the
+/// command line, else the environment variable `env`.
+fn flag_or_env(flag: &str, env: &str) -> Option<String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let long = format!("--{flag}");
+    let prefixed = format!("--{flag}=");
+    argv.iter()
+        .position(|a| *a == long)
+        .and_then(|i| argv.get(i + 1).cloned())
+        .or_else(|| {
+            argv.iter()
+                .find_map(|a| a.strip_prefix(&prefixed).map(str::to_owned))
+        })
+        .or_else(|| std::env::var(env).ok())
+}
+
+/// Batched fault-cone evaluation cadence for the regenerators: `--batch N`
+/// on the command line, else `FIDELITY_BATCH`, else 0 (off). Results are
+/// bit-identical for any value — batching only trades memory for speed.
+pub fn batch() -> usize {
+    flag_or_env("batch", "FIDELITY_BATCH")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// MAC kernel tier for the regenerators: `--mac-tier bitwise|fast` on the
+/// command line, else `FIDELITY_MAC_TIER`, else [`MacTier::Bitwise`]. The
+/// Fast tier may change low-order bits on Dense/MatMul layers; campaigns
+/// then measure and report the exact worst-case divergence.
+pub fn mac_tier() -> MacTier {
+    flag_or_env("mac-tier", "FIDELITY_MAC_TIER")
+        .and_then(|v| MacTier::parse(&v))
+        .unwrap_or(MacTier::Bitwise)
+}
+
 /// The campaign spec used by the figure regenerators. Enables the live
 /// progress reporter when the binary was launched with `--progress`, and
-/// honors `--jobs` / `FIDELITY_JOBS` for the worker count.
+/// honors `--jobs` / `FIDELITY_JOBS` for the worker count as well as
+/// `--batch` / `FIDELITY_BATCH` and `--mac-tier` / `FIDELITY_MAC_TIER` for
+/// the evaluation policy.
 pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
     CampaignSpec {
         samples_per_cell: samples_per_cell(),
@@ -60,6 +97,8 @@ pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
         target_ci_halfwidth: None,
         resilience: Default::default(),
         progress: progress_requested().then(fidelity_obs::progress::ProgressSpec::default),
+        batch: batch(),
+        mac_tier: mac_tier(),
     }
 }
 

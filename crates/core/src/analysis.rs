@@ -176,14 +176,25 @@ pub fn analyze_multi(
         &layer_terms,
         &[FfCategory::GlobalControl],
     );
-    // Concatenate the campaigns for inspection.
+    // Concatenate the campaigns for inspection. The divergence metric is a
+    // property of (kernel, workload), so the concatenation reports the worst
+    // case over all input samples.
     let mut cells = Vec::new();
     let mut failures = Vec::new();
+    let mut fast_divergence = None;
     for s in per_sample {
         cells.extend(s.campaign.cells);
         failures.extend(s.campaign.failures);
+        if let Some(d) = s.campaign.fast_divergence {
+            let worst: f32 = fast_divergence.unwrap_or(0.0);
+            fast_divergence = Some(worst.max(d));
+        }
     }
-    let campaign = CampaignResult { cells, failures };
+    let campaign = CampaignResult {
+        cells,
+        failures,
+        fast_divergence,
+    };
     Ok(ResilienceAnalysis {
         fit,
         fit_global_protected,
@@ -195,6 +206,7 @@ pub fn analyze_multi(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::MacTier;
     use crate::fit::PAPER_RAW_FIT_PER_MB;
     use crate::outcome::TopOneMatch;
     use fidelity_accel::presets;
@@ -243,6 +255,8 @@ mod tests {
             target_ci_halfwidth: None,
             resilience: Default::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let samples: Vec<Vec<fidelity_dnn::Tensor>> = (0..3)
             .map(|i| vec![uniform_tensor(100 + i, vec![1, 2, 6, 6], 1.0)])
@@ -296,6 +310,8 @@ mod tests {
             target_ci_halfwidth: None,
             resilience: Default::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let analysis = analyze(
             &engine,

@@ -27,7 +27,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use fidelity_accel::arch::AcceleratorConfig;
 use fidelity_accel::ff::FfCategory;
-use fidelity_dnn::graph::{Engine, Trace};
+use fidelity_dnn::graph::{golden_key, Engine, Trace};
 use fidelity_dnn::init::SplitMix64;
 use fidelity_dnn::workspace::Workspace;
 use fidelity_dnn::DnnError;
@@ -38,8 +38,10 @@ use fidelity_obs::trace::{self, Field, Value};
 use fidelity_obs::{clock, prof, timing_enabled};
 use fidelity_par::{CancelToken, PoolSpec, ShardPlan, WorkStealPool};
 
+pub use fidelity_dnn::macspec::MacTier;
+
 use crate::inject::inject_once_pooled;
-use crate::models::{model_for, SoftwareFaultModel};
+use crate::models::{model_for, node_fast_divergence, SoftwareFaultModel};
 use crate::outcome::{CorrectnessMetric, Outcome};
 use crate::resilience::{
     campaign_fingerprint, cat_code, parse_checkpoint, write_cell, write_header, CellFailure,
@@ -70,6 +72,24 @@ pub struct CampaignSpec {
     /// campaign silent. Excluded from the checkpoint fingerprint: reporting
     /// never changes the statistics.
     pub progress: Option<ProgressSpec>,
+    /// Batched fault-cone evaluation (`--batch`). When `> 0`, each worker
+    /// installs a shared read-only golden snapshot of the trace in its
+    /// workspace and every injection is evaluated as a sparse delta over its
+    /// downstream cone ([`Engine::resume_delta`]); the snapshot is
+    /// re-ensured every `batch` samples so a panic that lost the overlay
+    /// falls back to at most `batch - 1` dense resumes. `0` disables
+    /// batching. Pure scheduling/evaluation policy: per-cell RNG streams and
+    /// every produced value are bit-identical either way, so the field is
+    /// excluded from the checkpoint fingerprint.
+    pub batch: usize,
+    /// MAC kernel tier for injected forwards (`--mac-tier`).
+    /// [`MacTier::Bitwise`] (the default) is byte-identical to the scalar
+    /// oracle; [`MacTier::Fast`] may change low-order bits on Dense/MatMul
+    /// layers, so the tier is part of the campaign identity and is included
+    /// in the checkpoint fingerprint. Under `Fast` the campaign also
+    /// measures the worst-case kernel divergence once per MAC layer and
+    /// reports it in [`CampaignResult::fast_divergence`].
+    pub mac_tier: MacTier,
 }
 
 impl Default for CampaignSpec {
@@ -82,6 +102,8 @@ impl Default for CampaignSpec {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         }
     }
 }
@@ -144,6 +166,12 @@ pub struct CampaignResult {
     /// Cells that exhausted their retries and degraded to partial
     /// statistics. Empty for a healthy campaign.
     pub failures: Vec<CellFailure>,
+    /// Measured worst-case Fast-tier kernel divergence over every MAC layer
+    /// of the campaign (max |bitwise − fast| per element; `+∞` marks a NaN
+    /// mismatch). `Some(0.0)` means the Fast tier was byte-identical on this
+    /// workload. `None` when the campaign ran the Bitwise tier, where
+    /// divergence is zero by construction.
+    pub fast_divergence: Option<f32>,
 }
 
 impl CampaignResult {
@@ -578,9 +606,18 @@ impl<'a> CampaignRunner<'a> {
         // Workspaces never influence values, so sharding stays deterministic.
         // The worker index rides along so mirrored cell events attribute
         // work to a worker (the per-worker spans in `report --trace`).
+        // Batched mode additionally installs the shared golden snapshot once
+        // per worker, so every cell the worker runs takes the delta path.
         pool.run_with(
             plans.len(),
-            |worker| (worker, Workspace::new()),
+            |worker| {
+                let mut ws = Workspace::new();
+                ws.set_mac_tier(spec.mac_tier);
+                if spec.batch > 0 {
+                    ws.install_golden(golden_key(self.trace), &self.trace.node_outputs);
+                }
+                (worker, ws)
+            },
             |state, idx| {
                 let (worker, ws) = state;
                 let worker = *worker as u64;
@@ -805,9 +842,32 @@ impl<'a> CampaignRunner<'a> {
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner);
         indexed_failures.sort_by_key(|&(idx, _)| idx);
+        // Fast tier: measure (not estimate) the worst-case kernel divergence
+        // once per MAC layer, so the campaign reports exactly how far its
+        // arithmetic strayed from the bitwise oracle on this workload.
+        let fast_divergence = (spec.mac_tier == MacTier::Fast).then(|| {
+            let mut worst = 0.0f32;
+            let mut prev = None;
+            for plan in &plans {
+                if prev == Some(plan.node) {
+                    continue; // one measurement per node, not per category
+                }
+                prev = Some(plan.node);
+                if let Some(d) = node_fast_divergence(self.engine, self.trace, plan.node) {
+                    worst = worst.max(d);
+                }
+            }
+            event!(
+                "campaign.fast_divergence",
+                net = &net,
+                divergence = f64::from(worst),
+            );
+            worst
+        });
         let result = CampaignResult {
             cells,
             failures: indexed_failures.into_iter().map(|(_, f)| f).collect(),
+            fast_divergence,
         };
         let (masked, output_error, anomaly) = result.cells.iter().fold((0, 0, 0), |acc, c| {
             (acc.0 + c.masked, acc.1 + c.output_error, acc.2 + c.anomaly)
@@ -893,7 +953,19 @@ impl<'a> CampaignRunner<'a> {
         // handful of injections.
         const ADAPTIVE_BATCH: usize = 50;
         const ADAPTIVE_FLOOR: usize = 100;
+        // Batched fault-cone evaluation: the delta path engages whenever the
+        // worker's workspace holds a golden snapshot matching this trace.
+        // The snapshot is re-ensured on the batch cadence (and at sample 0,
+        // so a retried cell recovers immediately) — a panic that lost the
+        // loaned overlay costs at most `batch - 1` dense fallback resumes
+        // before the snapshot is reinstalled.
+        let golden = (spec.batch > 0).then(|| golden_key(self.trace));
         for i in 0..spec.samples_per_cell {
+            if let Some(key) = golden {
+                if i % spec.batch == 0 && ws.golden_key() != Some(key) {
+                    ws.install_golden(key, &self.trace.node_outputs);
+                }
+            }
             if let Some(target) = spec.target_ci_halfwidth {
                 if i >= ADAPTIVE_FLOOR && i % ADAPTIVE_BATCH == 0 {
                     let (lo, hi) = wilson_interval(stats.masked, stats.samples);
@@ -1209,6 +1281,8 @@ mod tests {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         // 2 MAC layers × 7 categories.
@@ -1232,6 +1306,8 @@ mod tests {
                 target_ci_halfwidth: None,
                 resilience: Default::default(),
                 progress: None,
+                batch: 0,
+                mac_tier: MacTier::Bitwise,
             };
             run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec)
                 .unwrap()
@@ -1255,6 +1331,8 @@ mod tests {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         for cell in result
@@ -1279,6 +1357,8 @@ mod tests {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let adaptive = CampaignSpec {
             target_ci_halfwidth: Some(0.08),
@@ -1333,6 +1413,8 @@ mod tests {
                 ..ResilienceSpec::default()
             },
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
 
         let ref_path = scratch("cancel-ref.ckpt");
@@ -1395,6 +1477,8 @@ mod tests {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let baseline = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         let ((n1, c1), (n2, c2)) = victim_pair(&baseline);
@@ -1445,6 +1529,8 @@ mod tests {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let baseline = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         let ((n1, c1), (n2, c2)) = victim_pair(&baseline);
@@ -1501,6 +1587,8 @@ mod tests {
                     ..ResilienceSpec::default()
                 },
                 progress: None,
+                batch: 0,
+                mac_tier: MacTier::Bitwise,
             };
             ParallelCampaignRunner::new(&engine, &trace, &cfg, &TopOneMatch, spec)
                 .with_jobs(jobs)
@@ -1518,6 +1606,74 @@ mod tests {
                 "checkpoint bytes diverge at jobs={jobs}"
             );
         }
+    }
+
+    /// The batched fault-cone path is a pure evaluation policy: outcomes,
+    /// masking counts, and recorded per-injection events (perturbation bits
+    /// included) must be identical to the dense resume path for any batch
+    /// size and worker count.
+    #[test]
+    fn batched_campaign_matches_dense_path_bitwise() {
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let run = |batch: usize, jobs: usize| {
+            let spec = CampaignSpec {
+                samples_per_cell: 25,
+                seed: 71,
+                threads: jobs,
+                record_events: true,
+                batch,
+                ..CampaignSpec::default()
+            };
+            let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
+            result
+                .cells
+                .iter()
+                .map(|c| {
+                    let events: Vec<(usize, u32, u8)> = c
+                        .events
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.faulty_neurons,
+                                e.max_perturbation.to_bits(),
+                                e.outcome as u8,
+                            )
+                        })
+                        .collect();
+                    (c.node, c.masked, c.output_error, c.anomaly, events)
+                })
+                .collect::<Vec<_>>()
+        };
+        let dense = run(0, 1);
+        for batch in [1, 7, 64] {
+            for jobs in [1, 4] {
+                assert_eq!(dense, run(batch, jobs), "batch={batch} jobs={jobs}");
+            }
+        }
+    }
+
+    /// The Fast-tier divergence metric is reported exactly when the Fast
+    /// tier runs, and the Bitwise tier never fabricates one.
+    #[test]
+    fn fast_divergence_reported_only_for_fast_tier() {
+        let (engine, trace) = tiny_engine();
+        let cfg = presets::nvdla_like();
+        let run = |mac_tier: MacTier| {
+            let spec = CampaignSpec {
+                samples_per_cell: 5,
+                seed: 3,
+                threads: 1,
+                mac_tier,
+                ..CampaignSpec::default()
+            };
+            run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap()
+        };
+        assert_eq!(run(MacTier::Bitwise).fast_divergence, None);
+        let fast = run(MacTier::Fast).fast_divergence.unwrap();
+        // A measurement, not a guess: finite unless a kernel produced a NaN
+        // mismatch, which this tiny all-finite workload cannot.
+        assert!(fast.is_finite(), "divergence should be finite: {fast}");
     }
 
     #[test]
@@ -1544,6 +1700,8 @@ mod tests {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         let non_global: Vec<_> = result

@@ -38,6 +38,7 @@
 
 pub mod activeness;
 pub mod analysis;
+pub mod batch;
 pub mod campaign;
 pub mod fit;
 pub mod inject;
@@ -60,8 +61,9 @@ pub(crate) mod rtl_addr {
 }
 
 pub use analysis::{analyze, ResilienceAnalysis};
+pub use batch::{BatchStats, BatchedInjectionRunner};
 pub use campaign::{
-    run_campaign, CampaignResult, CampaignRunner, CampaignSpec, ParallelCampaignRunner,
+    run_campaign, CampaignResult, CampaignRunner, CampaignSpec, MacTier, ParallelCampaignRunner,
 };
 pub use fit::{accelerator_fit_rate, FitBreakdown, PAPER_RAW_FIT_PER_MB};
 pub use models::{model_for, SoftwareFaultModel};

@@ -160,6 +160,34 @@ pub struct FaultApplication {
     pub max_perturbation: f32,
 }
 
+/// [`ModelEffect`] without the dense corrupted tensor: just the sparse
+/// (offset, value) patch. This is all the batched delta resume path needs —
+/// materializing the dense `layer_output` is deferred to
+/// [`apply_model_pooled`], which splices it on demand for the full-resume
+/// path. Sampling and RNG consumption are identical between the two forms.
+#[derive(Debug, Clone)]
+pub enum SparseEffect {
+    /// The sampled fault cannot change any value.
+    Masked,
+    /// Global control: modeled system failure, no simulation.
+    SystemFailure,
+    /// The layer finishes with the given sparse corruption.
+    Layer(SparseFault),
+}
+
+/// The sparse form of a corrupted-layer outcome.
+#[derive(Debug, Clone)]
+pub struct SparseFault {
+    /// Target node index in the network.
+    pub node: usize,
+    /// Flat offsets of faulty neurons in the layer's output tensor.
+    pub neurons: Vec<usize>,
+    /// The faulty values, parallel to `neurons`.
+    pub values: Vec<f32>,
+    /// Largest |faulty − clean| over the faulty neurons.
+    pub max_perturbation: f32,
+}
+
 /// Operand tensors and codecs of a MAC node.
 struct MacOperands<'a> {
     spec: MacSpec,
@@ -198,6 +226,22 @@ fn mac_operands<'a>(engine: &'a Engine, trace: &'a Trace, node: usize) -> Option
     })
 }
 
+/// Measured worst-case [`MacTier::Fast`] kernel divergence of one MAC node
+/// over its traced operands (see [`MacSpec::fast_divergence`]): both tiers
+/// are fully evaluated and compared element-wise, so the returned bound is
+/// exact for this workload, not an estimate. `None` when `node` is not a
+/// MAC layer.
+///
+/// [`MacTier::Fast`]: fidelity_dnn::macspec::MacTier::Fast
+pub fn node_fast_divergence(engine: &Engine, trace: &Trace, node: usize) -> Option<f32> {
+    let ops = mac_operands(engine, trace, node)?;
+    let operands = Operands {
+        input: ops.input,
+        weight: ops.weight,
+    };
+    Some(ops.spec.fast_divergence(&operands))
+}
+
 /// Applies one sampled instance of `model` to MAC node `node` of a deployed
 /// engine.
 ///
@@ -231,8 +275,41 @@ pub fn apply_model_pooled(
     rng: &mut SplitMix64,
     ws: &mut Workspace,
 ) -> Result<ModelEffect, DnnError> {
+    match apply_model_sparse(model, engine, trace, node, rng)? {
+        SparseEffect::Masked => Ok(ModelEffect::Masked),
+        SparseEffect::SystemFailure => Ok(ModelEffect::SystemFailure),
+        SparseEffect::Layer(sf) => {
+            let mut layer_output = ws.clone_of(&trace.node_outputs[sf.node]);
+            for (&off, &v) in sf.neurons.iter().zip(&sf.values) {
+                layer_output.data_mut()[off] = v;
+            }
+            Ok(ModelEffect::Layer(FaultApplication {
+                node: sf.node,
+                faulty_neurons: sf.neurons,
+                faulty_values: sf.values,
+                layer_output,
+                max_perturbation: sf.max_perturbation,
+            }))
+        }
+    }
+}
+
+/// The sparse core of [`apply_model_pooled`]: samples the model, computes
+/// the changed neurons, but never materializes the dense corrupted tensor.
+/// This is the form the batched delta resume path consumes directly.
+///
+/// # Errors
+///
+/// Returns [`DnnError`] if `node` is not a MAC layer.
+pub fn apply_model_sparse(
+    model: SoftwareFaultModel,
+    engine: &Engine,
+    trace: &Trace,
+    node: usize,
+    rng: &mut SplitMix64,
+) -> Result<SparseEffect, DnnError> {
     if matches!(model, SoftwareFaultModel::GlobalControl) {
-        return Ok(ModelEffect::SystemFailure);
+        return Ok(SparseEffect::SystemFailure);
     }
     let ops = mac_operands(engine, trace, node).ok_or_else(|| DnnError::InvalidConfig {
         message: format!("node {node} is not a MAC layer"),
@@ -276,7 +353,6 @@ pub fn apply_model_pooled(
     let mut faulty_neurons = Vec::new();
     let mut faulty_values = Vec::new();
     let mut max_pert = 0.0f32;
-    let mut layer_output = ws.clone_of(clean_out);
     for (off, val) in neurons.into_iter().zip(values) {
         let clean = clean_out.data()[off];
         let differs = val.is_nan() || clean.is_nan() || (val - clean).abs() > 0.0;
@@ -287,20 +363,17 @@ pub fn apply_model_pooled(
                 f32::INFINITY
             };
             max_pert = max_pert.max(pert);
-            layer_output.data_mut()[off] = val;
             faulty_neurons.push(off);
             faulty_values.push(val);
         }
     }
     if faulty_neurons.is_empty() {
-        ws.recycle(layer_output);
-        return Ok(ModelEffect::Masked);
+        return Ok(SparseEffect::Masked);
     }
-    Ok(ModelEffect::Layer(FaultApplication {
+    Ok(SparseEffect::Layer(SparseFault {
         node,
-        faulty_neurons,
-        faulty_values,
-        layer_output,
+        neurons: faulty_neurons,
+        values: faulty_values,
         max_perturbation: max_pert,
     }))
 }

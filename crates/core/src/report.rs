@@ -124,6 +124,7 @@ mod tests {
                 events: vec![],
             }],
             failures: vec![],
+            fast_divergence: None,
         };
         let table = campaign_table(&result);
         assert!(table.contains("conv"));

@@ -271,7 +271,11 @@ const HEADER: &str = "fidelity-ckpt v1";
 /// FNV-1a over the campaign identity: everything that determines the cell
 /// plan and each cell's RNG stream. Two specs with the same fingerprint
 /// produce interchangeable checkpoints; the resilience policy itself is
-/// deliberately excluded (a resumed run may use different retry settings).
+/// deliberately excluded (a resumed run may use different retry settings),
+/// and so is `batch` — batched fault-cone evaluation is a scheduling policy
+/// whose results are bit-identical to the dense path by construction. The
+/// MAC tier IS identity: the Fast tier may legally change low-order bits,
+/// so its checkpoints are not interchangeable with Bitwise ones.
 pub fn campaign_fingerprint(
     spec: &CampaignSpec,
     network: &str,
@@ -292,6 +296,7 @@ pub fn campaign_fingerprint(
         .target_ci_halfwidth
         .map_or(u64::MAX, f64::to_bits)
         .to_le_bytes());
+    eat(spec.mac_tier.as_str().as_bytes());
     for &(node, cat) in plan {
         eat(&(node as u64).to_le_bytes());
         eat(cat_code(cat).as_bytes());
@@ -860,6 +865,12 @@ mod tests {
         let mut other = base.clone();
         other.threads = base.threads + 1; // scheduling is irrelevant
         assert_eq!(fp, campaign_fingerprint(&other, "net", &plan));
+        let mut batched = base.clone();
+        batched.batch = 64; // batching is policy, results are bit-identical
+        assert_eq!(fp, campaign_fingerprint(&batched, "net", &plan));
+        let mut fast = base.clone();
+        fast.mac_tier = fidelity_dnn::macspec::MacTier::Fast; // may change bits
+        assert_ne!(fp, campaign_fingerprint(&fast, "net", &plan));
         let mut reseeded = base.clone();
         reseeded.seed ^= 1;
         assert_ne!(fp, campaign_fingerprint(&reseeded, "net", &plan));

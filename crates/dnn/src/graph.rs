@@ -18,11 +18,11 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::error::DnnError;
-use crate::layers::Layer;
+use crate::layers::{for_each_window_row, Layer};
 use crate::macspec::MacSpec;
 use crate::precision::{calibrate_scale, Precision, ValueCodec};
 use crate::tensor::Tensor;
-use crate::workspace::Workspace;
+use crate::workspace::{GoldenOverlay, Region, Workspace};
 
 /// Where a node input comes from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -253,6 +253,126 @@ pub struct Trace {
     pub node_outputs: Vec<Tensor>,
     /// The network output.
     pub output: Tensor,
+}
+
+/// A cheap process-local identity key for a [`Trace`], used to pair a
+/// worker's installed golden overlay with the trace it mirrors.
+///
+/// The key hashes every recorded tensor's buffer address, length, shape and
+/// boundary element bits. Two calls on the same live `Trace` always agree;
+/// a different trace object — even one with equal values — hashes different
+/// buffer addresses and so yields a different key, which is exactly the
+/// discipline needed: an overlay is a copy of one concrete trace's buffers.
+/// Never persist this value (addresses are not stable across runs).
+pub fn golden_key(trace: &Trace) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv_step(h, trace.inputs.len() as u64);
+    for t in &trace.inputs {
+        h = fnv_tensor(h, t);
+    }
+    h = fnv_step(h, trace.node_outputs.len() as u64);
+    for t in &trace.node_outputs {
+        h = fnv_tensor(h, t);
+    }
+    fnv_tensor(h, &trace.output)
+}
+
+fn fnv_step(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn fnv_tensor(mut h: u64, t: &Tensor) -> u64 {
+    h = fnv_step(h, t.data().as_ptr() as usize as u64);
+    h = fnv_step(h, t.len() as u64);
+    for &d in t.shape() {
+        h = fnv_step(h, d as u64);
+    }
+    if let (Some(f), Some(l)) = (t.data().first(), t.data().last()) {
+        h = fnv_step(h, u64::from(f.to_bits()));
+        h = fnv_step(h, u64::from(l.to_bits()));
+    }
+    h
+}
+
+/// Spatial bounding box of a set of flat offsets into a rank-4 NCHW tensor
+/// (`Region::All` for other ranks — no spatial structure to exploit).
+fn sparse_region(shape: &[usize], neurons: &[usize]) -> Region {
+    if shape.len() != 4 {
+        return Region::All;
+    }
+    let (hh, ww) = (shape[2], shape[3]);
+    if hh == 0 || ww == 0 {
+        return Region::All;
+    }
+    let (mut h0, mut h1, mut w0, mut w1) = (usize::MAX, 0usize, usize::MAX, 0usize);
+    for &off in neurons {
+        let r = (off / ww) % hh;
+        let c = off % ww;
+        h0 = h0.min(r);
+        h1 = h1.max(r + 1);
+        w0 = w0.min(c);
+        w1 = w1.max(c + 1);
+    }
+    if neurons.is_empty() {
+        // Empty patch: an empty window, which downstream unions ignore.
+        return Region::Window {
+            h: (0, 0),
+            w: (0, 0),
+        };
+    }
+    Region::Window {
+        h: (h0, h1),
+        w: (w0, w1),
+    }
+}
+
+/// `Some(region)` when the region covers at least one element, else `None`
+/// (so an empty patch marks the node clean and the walk short-circuits).
+fn nonempty_region(r: Region) -> Option<Region> {
+    match r {
+        Region::All => Some(Region::All),
+        Region::Window { h, w } => (h.0 < h.1 && w.0 < w.1).then_some(r),
+    }
+}
+
+/// Unions two divergence regions: `All` absorbs everything, windows union to
+/// their bounding box (a conservative superset, which is all the delta path
+/// needs).
+fn union_region(a: Option<Region>, b: Region) -> Region {
+    match (a, b) {
+        (None, r) => r,
+        (Some(Region::All), _) | (_, Region::All) => Region::All,
+        (Some(Region::Window { h: ah, w: aw }), Region::Window { h: bh, w: bw }) => {
+            Region::Window {
+                h: (ah.0.min(bh.0), ah.1.max(bh.1)),
+                w: (aw.0.min(bw.0), aw.1.max(bw.1)),
+            }
+        }
+    }
+}
+
+/// Copies every dirty region of the overlay back from the golden trace,
+/// restoring bit-exact golden slots and clearing the worklist.
+fn repair_overlay(overlay: &mut GoldenOverlay, trace: &Trace) {
+    for (idx, dirty) in overlay.dirty.iter_mut().enumerate() {
+        let Some(region) = dirty.take() else {
+            continue;
+        };
+        let src = trace.node_outputs[idx].data();
+        let dst = overlay.slots[idx].data_mut();
+        match region {
+            Region::All => dst.copy_from_slice(src),
+            Region::Window { h, w } => {
+                let dims = {
+                    let s = trace.node_outputs[idx].shape();
+                    [s[0], s[1], s[2], s[3]]
+                };
+                for_each_window_row(&dims, h, w, |a, b| {
+                    dst[a..b].copy_from_slice(&src[a..b]);
+                });
+            }
+        }
+    }
 }
 
 /// Per-tensor quantization scales calibrated from a fault-free run.
@@ -666,6 +786,288 @@ impl Engine {
         };
         ws.put_slots(slots);
         Ok(out)
+    }
+
+    /// The batched-injection hot path: evaluates one sparse fault as a pure
+    /// delta over the golden overlay installed in `ws` (see
+    /// [`Workspace::install_golden`] and [`golden_key`]).
+    ///
+    /// `neurons`/`values` describe the corrupted output of node `node_idx`
+    /// as "offset `neurons[i]` holds `values[i]` instead of its clean
+    /// value". The engine patches the overlay's copy of that node, walks the
+    /// downstream cone recomputing each affected node — restricted to a
+    /// conservative spatial window wherever the layer's
+    /// [`Layer::region_map`] provides one, a full forward otherwise — calls
+    /// `judge` on the resulting network output, then repairs every touched
+    /// overlay region back to golden bits and returns the judge's verdict.
+    ///
+    /// Results are bit-identical to building the dense replacement tensor
+    /// and calling [`Engine::resume_pooled`]:
+    /// * windows are conservative supersets of the true fault cone, and
+    ///   recomputing a *clean* neuron reproduces its golden bits exactly
+    ///   (kernels are deterministic and quantization/bounding are idempotent
+    ///   on already-quantized, already-bounded values);
+    /// * each recomputed neuron sees the identical accumulation order
+    ///   ([`MacSpec::forward_region_into_scratch`] only narrows loop
+    ///   bounds);
+    /// * the sparse patch plus per-offset bounding equals splicing the
+    ///   faulty values into a clean clone and bounding the whole tensor,
+    ///   because every clean value is within its own calibrated bound.
+    ///
+    /// The one exception is NaN *payload* bits: which elements are NaN is
+    /// identical, but a window pass may accumulate a given neuron at a
+    /// different code location (lane body vs. tail) than the full pass, and
+    /// NaN payloads are the single IEEE-754 artifact the compiler may
+    /// legally vary between locations (see [`MacTier`]). All campaign
+    /// statistics are NaN-payload-insensitive, so this never surfaces in
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] when `node_idx` is out of range,
+    /// when `neurons` and `values` differ in length, or when no golden
+    /// overlay (with one slot per node) is installed. Returns
+    /// [`DnnError::DeadlineExceeded`] when the deadline fires mid-walk; the
+    /// overlay is repaired before returning, so the next injection can
+    /// reuse it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_delta<R>(
+        &self,
+        trace: &Trace,
+        node_idx: usize,
+        neurons: &[usize],
+        values: &[f32],
+        deadline: Option<Instant>,
+        ws: &mut Workspace,
+        judge: impl FnOnce(&Tensor) -> R,
+    ) -> Result<R, DnnError> {
+        let n = self.network.node_count();
+        if node_idx >= n {
+            return Err(DnnError::InvalidConfig {
+                message: format!(
+                    "resume node index {node_idx} out of range (network has {n} nodes)"
+                ),
+            });
+        }
+        if neurons.len() != values.len() {
+            return Err(DnnError::InvalidConfig {
+                message: format!(
+                    "sparse fault arity mismatch: {} neurons vs {} values",
+                    neurons.len(),
+                    values.len()
+                ),
+            });
+        }
+        if let Some(d) = deadline {
+            if fidelity_obs::clock::now() >= d {
+                fidelity_obs::metrics::counter("dnn.deadline_exceeded").inc();
+                return Err(DnnError::DeadlineExceeded);
+            }
+        }
+        let mut overlay = ws.take_golden();
+        if overlay.key.is_none() || overlay.slots.len() != n || overlay.dirty.len() != n {
+            ws.put_golden(overlay);
+            return Err(DnnError::InvalidConfig {
+                message: "delta resume requires an installed golden overlay".into(),
+            });
+        }
+
+        // Patch the injected node sparsely. Bounding only the patched
+        // offsets equals bounding the whole spliced tensor: clean values
+        // satisfy |v| ≤ bound by calibration (slack ≥ 1), so the clamp is
+        // the identity on them.
+        let bound = self.node_bounds.as_ref().map(|b| b[node_idx]);
+        {
+            let slot = &mut overlay.slots[node_idx];
+            overlay.dirty[node_idx] = nonempty_region(sparse_region(slot.shape(), neurons));
+            let data = slot.data_mut();
+            for (&off, &v) in neurons.iter().zip(values) {
+                data[off] = match bound {
+                    Some(b) => clamp_to_bound(v, b),
+                    None => v,
+                };
+            }
+        }
+
+        let down = &self.downstream[node_idx];
+        let mut failure: Option<DnnError> = None;
+        for idx in node_idx + 1..n {
+            if down[idx / 64] >> (idx % 64) & 1 == 0 {
+                continue; // not downstream of the corruption
+            }
+            if let Some(d) = deadline {
+                if fidelity_obs::clock::now() >= d {
+                    fidelity_obs::metrics::counter("dnn.deadline_exceeded").inc();
+                    failure = Some(DnnError::DeadlineExceeded);
+                    break;
+                }
+            }
+            let node = &self.network.nodes[idx];
+
+            // Union of the regions in which this node's sources diverge
+            // from golden. All-clean sources can happen when an upstream
+            // window degenerated to empty; the node is then provably clean.
+            let mut src_dirty: Option<Region> = None;
+            for src in &node.sources {
+                if let Source::Node(j) = src {
+                    if let Some(r) = overlay.dirty[*j] {
+                        src_dirty = Some(union_region(src_dirty, r));
+                    }
+                }
+            }
+            let Some(src_dirty) = src_dirty else {
+                continue;
+            };
+
+            // Forward image of the dirty input region, when the layer has
+            // spatial locality; `All` otherwise.
+            let out_region = match src_dirty {
+                Region::All => Region::All,
+                Region::Window { h, w } => {
+                    let mut shape_buf: [&[usize]; 8] = [&[]; 8];
+                    let shape_vec: Vec<&[usize]>;
+                    let shape_of = |src: &Source| -> &[usize] {
+                        match src {
+                            Source::Input(i) => trace.inputs[*i].shape(),
+                            Source::Node(j) => trace.node_outputs[*j].shape(),
+                        }
+                    };
+                    let shapes: &[&[usize]] = if node.sources.len() <= shape_buf.len() {
+                        for (k, src) in node.sources.iter().enumerate() {
+                            shape_buf[k] = shape_of(src);
+                        }
+                        &shape_buf[..node.sources.len()]
+                    } else {
+                        shape_vec = node.sources.iter().map(shape_of).collect();
+                        &shape_vec
+                    };
+                    match node.layer.region_map(shapes, h, w) {
+                        Some((oh, ow)) => Region::Window { h: oh, w: ow },
+                        None => Region::All,
+                    }
+                }
+            };
+
+            let codec = self.node_codecs[idx];
+            let on_grid = self.node_bounds.is_none()
+                && node.layer.values_preserved()
+                && node.sources.iter().all(|src| match src {
+                    Source::Input(i) => self.input_codecs[*i] == codec,
+                    Source::Node(j) => self.node_codecs[*j] == codec,
+                });
+            let needs_quant = codec.precision() != Precision::Fp32 && !on_grid;
+
+            let mut handled = false;
+            if let Region::Window { h, w } = out_region {
+                if h.0 >= h.1 || w.0 >= w.1 {
+                    continue; // window fell off the grid: provably clean
+                }
+                // Topological order guarantees every source index < idx, so
+                // the split cleanly separates inputs from the output slot.
+                let (head, tail) = overlay.slots.split_at_mut(idx);
+                let out_t = &mut tail[0];
+                let resolve = |src: &Source| -> &Tensor {
+                    match src {
+                        Source::Input(i) => &trace.inputs[*i],
+                        Source::Node(j) => &head[*j],
+                    }
+                };
+                let mut ref_buf: [&Tensor; 8] = [&trace.output; 8];
+                let ref_vec: Vec<&Tensor>;
+                let in_refs: &[&Tensor] = if node.sources.len() <= ref_buf.len() {
+                    for (k, src) in node.sources.iter().enumerate() {
+                        ref_buf[k] = resolve(src);
+                    }
+                    &ref_buf[..node.sources.len()]
+                } else {
+                    ref_vec = node.sources.iter().map(resolve).collect();
+                    &ref_vec
+                };
+                match node.layer.forward_region(in_refs, h, w, out_t, ws) {
+                    Ok(true) => {
+                        let dims = {
+                            let s = out_t.shape();
+                            [s[0], s[1], s[2], s[3]]
+                        };
+                        let data = out_t.data_mut();
+                        if needs_quant {
+                            for_each_window_row(&dims, h, w, |a, b| {
+                                for v in &mut data[a..b] {
+                                    *v = codec.quantize(*v);
+                                }
+                            });
+                        }
+                        if let Some(bounds) = &self.node_bounds {
+                            let node_bound = bounds[idx];
+                            for_each_window_row(&dims, h, w, |a, b| {
+                                for v in &mut data[a..b] {
+                                    *v = clamp_to_bound(*v, node_bound);
+                                }
+                            });
+                        }
+                        overlay.dirty[idx] = Some(Region::Window { h, w });
+                        handled = true;
+                    }
+                    Ok(false) => {} // fall through to the full forward
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if !handled {
+                let (head, tail) = overlay.slots.split_at_mut(idx);
+                let resolve = |src: &Source| -> &Tensor {
+                    match src {
+                        Source::Input(i) => &trace.inputs[*i],
+                        Source::Node(j) => &head[*j],
+                    }
+                };
+                let mut ref_buf: [&Tensor; 8] = [&trace.output; 8];
+                let ref_vec: Vec<&Tensor>;
+                let in_refs: &[&Tensor] = if node.sources.len() <= ref_buf.len() {
+                    for (k, src) in node.sources.iter().enumerate() {
+                        ref_buf[k] = resolve(src);
+                    }
+                    &ref_buf[..node.sources.len()]
+                } else {
+                    ref_vec = node.sources.iter().map(resolve).collect();
+                    &ref_vec
+                };
+                match node.layer.forward(in_refs, ws) {
+                    Ok(mut raw) => {
+                        if needs_quant {
+                            raw.map_inplace(|v| codec.quantize(v));
+                        }
+                        if let Some(bounds) = &self.node_bounds {
+                            let node_bound = bounds[idx];
+                            raw.map_inplace(|v| clamp_to_bound(v, node_bound));
+                        }
+                        let old = std::mem::replace(&mut tail[0], raw);
+                        ws.recycle(old);
+                        overlay.dirty[idx] = Some(Region::All);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if let Some(e) = failure {
+            repair_overlay(&mut overlay, trace);
+            ws.put_golden(overlay);
+            return Err(e);
+        }
+
+        let verdict = match self.network.output {
+            Source::Input(i) => judge(&trace.inputs[i]),
+            Source::Node(i) => judge(&overlay.slots[i]),
+        };
+        repair_overlay(&mut overlay, trace);
+        ws.put_golden(overlay);
+        Ok(verdict)
     }
 
     /// Whether node `dependent` transitively consumes node `of`'s output
@@ -1197,5 +1599,216 @@ mod tests {
         let engine = Engine::new(net, Precision::Fp32, &[]).unwrap();
         let x = Tensor::from_vec(vec![1, 2], vec![5.0, 6.0]).unwrap();
         assert_eq!(engine.forward(&[x]).unwrap().data(), &[5.0, 6.0]);
+    }
+
+    /// Deterministic pseudo-random fill for delta-path fixtures.
+    fn lcg_fill(seed: &mut u64, shape: Vec<usize>) -> Tensor {
+        let len = shape.iter().product();
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Map the top bits to a small signed range with a fractional part.
+            let v = ((*seed >> 40) as i64 - (1 << 23)) as f32 / (1 << 21) as f32;
+            data.push(v);
+        }
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    /// A little inception-style rank-4 network exercising every region-aware
+    /// layer (conv, pool, activation, concat, bias-add, scale) plus a
+    /// region-less tail (global-avg-pool → dense) that forces the delta walk
+    /// through its `All` fallback.
+    fn branchy_conv_net(seed: u64) -> Network {
+        use crate::layers::{BiasAdd, Concat, Conv2d, GlobalAvgPool, Pool2d, PoolKind, Scale};
+        let mut s = seed;
+        NetworkBuilder::new("branchy")
+            .input("x")
+            .layer(
+                Conv2d::new("stem", lcg_fill(&mut s, vec![4, 2, 3, 3]))
+                    .unwrap()
+                    .with_padding(1, 1),
+                &["x"],
+            )
+            .unwrap()
+            .layer(Activation::new("relu", ActivationKind::Relu), &["stem"])
+            .unwrap()
+            .layer(
+                Conv2d::new("b0", lcg_fill(&mut s, vec![2, 4, 1, 1])).unwrap(),
+                &["relu"],
+            )
+            .unwrap()
+            .layer(
+                Pool2d::new("b1p", PoolKind::Max, 3)
+                    .with_stride(1)
+                    .with_padding(1),
+                &["relu"],
+            )
+            .unwrap()
+            .layer(
+                Conv2d::new("b1c", lcg_fill(&mut s, vec![2, 4, 1, 1])).unwrap(),
+                &["b1p"],
+            )
+            .unwrap()
+            .layer(Concat::new("cat", 1), &["b0", "b1c"])
+            .unwrap()
+            .layer(
+                BiasAdd::new("bias", lcg_fill(&mut s, vec![4])).unwrap(),
+                &["cat"],
+            )
+            .unwrap()
+            .layer(Scale::new("scale", 0.75), &["bias"])
+            .unwrap()
+            .layer(GlobalAvgPool::new("gap"), &["scale"])
+            .unwrap()
+            .layer(
+                Dense::new("head", lcg_fill(&mut s, vec![3, 4])).unwrap(),
+                &["gap"],
+            )
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    /// Bit image with NaN payloads canonicalized: NaN *positions* are part
+    /// of the bitwise contract, NaN *payloads* are compiler-location
+    /// dependent (see the `resume_delta` docs) and must compare equal.
+    fn bits_of(t: &Tensor) -> (Vec<usize>, Vec<u32>) {
+        (
+            t.shape().to_vec(),
+            t.data()
+                .iter()
+                .map(|v| if v.is_nan() { 0x7FC0_0000 } else { v.to_bits() })
+                .collect(),
+        )
+    }
+
+    /// The delta path must be byte-identical to the dense `resume_pooled`
+    /// oracle for every injection node, patch shape, precision, and
+    /// range-bounding mode — and must leave the overlay repaired to golden
+    /// bits afterwards.
+    #[test]
+    fn resume_delta_matches_resume_pooled_bitwise() {
+        let x = {
+            let mut s = 0xD00D_u64;
+            lcg_fill(&mut s, vec![1, 2, 6, 6])
+        };
+        for precision in [Precision::Fp32, Precision::Fp16] {
+            for bounded in [false, true] {
+                let mut engine =
+                    Engine::new(branchy_conv_net(7), precision, &[vec![x.clone()]]).unwrap();
+                if bounded {
+                    engine
+                        .enable_range_bounding(std::slice::from_ref(&x), 1.5)
+                        .unwrap();
+                }
+                let trace = engine.trace(std::slice::from_ref(&x)).unwrap();
+                let n = engine.network().node_count();
+                let mut ws = Workspace::new();
+                ws.install_golden(golden_key(&trace), &trace.node_outputs);
+
+                for node in 0..n {
+                    let len = trace.node_outputs[node].len();
+                    let patches: Vec<(Vec<usize>, Vec<f32>)> = vec![
+                        (vec![0], vec![64.0]),
+                        (vec![len - 1], vec![-1.0e30]),
+                        (
+                            vec![0, len / 2, len - 1],
+                            vec![f32::NAN, f32::INFINITY, 3.5],
+                        ),
+                    ];
+                    for (neurons, values) in patches {
+                        let delta = engine
+                            .resume_delta(&trace, node, &neurons, &values, None, &mut ws, bits_of)
+                            .unwrap();
+
+                        let mut repl = trace.node_outputs[node].clone();
+                        for (&off, &v) in neurons.iter().zip(&values) {
+                            repl.data_mut()[off] = v;
+                        }
+                        let mut ws2 = Workspace::new();
+                        let dense = engine
+                            .resume_pooled(&trace, node, repl, None, &mut ws2)
+                            .unwrap();
+                        assert_eq!(
+                            delta,
+                            bits_of(dense.tensor()),
+                            "delta != pooled at node {node} (precision {precision:?}, \
+                             bounded {bounded})"
+                        );
+
+                        // Overlay must be bit-golden again, worklist empty.
+                        let overlay = ws.take_golden();
+                        assert_eq!(overlay.key, Some(golden_key(&trace)));
+                        for (slot, gold) in overlay.slots.iter().zip(&trace.node_outputs) {
+                            assert_eq!(bits_of(slot), bits_of(gold), "overlay not repaired");
+                        }
+                        assert!(overlay.dirty.iter().all(Option::is_none));
+                        ws.put_golden(overlay);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_delta_requires_installed_overlay() {
+        let engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
+        let trace = engine.trace(&[x]).unwrap();
+        let mut ws = Workspace::new();
+        let r = engine.resume_delta(&trace, 0, &[0], &[9.0], None, &mut ws, |_| ());
+        assert!(matches!(r, Err(DnnError::InvalidConfig { .. })));
+        // Arity mismatch between neurons and values is rejected up front.
+        ws.install_golden(golden_key(&trace), &trace.node_outputs);
+        let r = engine.resume_delta(&trace, 0, &[0, 1], &[9.0], None, &mut ws, |_| ());
+        assert!(matches!(r, Err(DnnError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn golden_key_is_trace_instance_identity() {
+        let engine = Engine::new(two_layer_net(), Precision::Fp32, &[]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
+        let t1 = engine.trace(std::slice::from_ref(&x)).unwrap();
+        let t2 = engine.trace(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(golden_key(&t1), golden_key(&t1), "key must be stable");
+        // Equal values, different buffers: different identity.
+        assert_ne!(golden_key(&t1), golden_key(&t2));
+    }
+
+    #[test]
+    fn sparse_and_union_region_geometry() {
+        // Bounding box over scattered rank-4 offsets.
+        let r = sparse_region(&[1, 2, 4, 5], &[7, 13]);
+        // 7 -> (row 1, col 2); 13 -> (row 2, col 3).
+        assert_eq!(
+            r,
+            Region::Window {
+                h: (1, 3),
+                w: (2, 4)
+            }
+        );
+        assert_eq!(sparse_region(&[2, 10], &[3]), Region::All);
+        assert_eq!(nonempty_region(sparse_region(&[1, 1, 4, 4], &[])), None);
+
+        let w1 = Region::Window {
+            h: (0, 2),
+            w: (3, 4),
+        };
+        let w2 = Region::Window {
+            h: (1, 3),
+            w: (0, 1),
+        };
+        assert_eq!(
+            union_region(Some(w1), w2),
+            Region::Window {
+                h: (0, 3),
+                w: (0, 4)
+            }
+        );
+        assert_eq!(union_region(None, w1), w1);
+        assert_eq!(union_region(Some(Region::All), w2), Region::All);
+        assert_eq!(union_region(Some(w1), Region::All), Region::All);
     }
 }

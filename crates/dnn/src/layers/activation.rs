@@ -94,6 +94,40 @@ impl Layer for Activation {
         // lie on an integer codec's grid.
         matches!(self.kind, ActivationKind::Relu)
     }
+
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        // Pointwise: the output window is exactly the input window.
+        (input_shapes.first()?.len() == 4).then_some((h, w))
+    }
+
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        h: (usize, usize),
+        w: (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        let _ = ws;
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        if x.rank() != 4 || out.shape() != x.shape() {
+            return Ok(false);
+        }
+        let src = x.data();
+        let dst = out.data_mut();
+        crate::layers::for_each_window_row(x.shape(), h, w, |a, b| {
+            for (d, s) in dst[a..b].iter_mut().zip(&src[a..b]) {
+                *d = self.kind.apply(*s);
+            }
+        });
+        Ok(true)
+    }
 }
 
 /// Softmax over the last dimension, computed with the max-subtraction trick

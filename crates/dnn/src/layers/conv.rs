@@ -2,7 +2,7 @@
 
 use crate::error::DnnError;
 use crate::layers::{check_arity, Layer, LayerKind};
-use crate::macspec::{ConvSpec, MacSpec, Operands};
+use crate::macspec::{conv_out_window, ConvSpec, MacSpec, Operands};
 use crate::precision::ValueCodec;
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
@@ -159,7 +159,8 @@ impl Layer for Conv2d {
             weight: &self.weight,
         };
         let mut out = ws.zeros(&dims);
-        spec.forward_into_scratch(&ops, out.data_mut(), ws.kernel_scratch());
+        let tier = ws.mac_tier();
+        spec.forward_tier_into_scratch(&ops, out.data_mut(), ws.kernel_scratch(), tier);
         Ok(out)
     }
 
@@ -168,6 +169,37 @@ impl Layer for Conv2d {
             .first()
             .and_then(|s| self.spec_for(s).ok())
             .map(MacSpec::Conv)
+    }
+
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        let c = self.spec_for(input_shapes.first()?).ok()?;
+        Some((
+            conv_out_window(h, c.kh, c.stride.0, c.padding.0, c.dilation.0, c.out_h()),
+            conv_out_window(w, c.kw, c.stride.1, c.padding.1, c.dilation.1, c.out_w()),
+        ))
+    }
+
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        h: (usize, usize),
+        w: (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        check_arity(&self.name, 1, inputs.len())?;
+        let c = self.spec_for(inputs[0].shape())?;
+        let spec = MacSpec::Conv(c);
+        let ops = Operands {
+            input: inputs[0],
+            weight: &self.weight,
+        };
+        Ok(spec.forward_region_into_scratch(&ops, out.data_mut(), ws.kernel_scratch(), h, w))
     }
 
     fn quantize_weights(&mut self, codec: &ValueCodec) {

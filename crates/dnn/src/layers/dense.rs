@@ -98,7 +98,8 @@ impl Layer for Dense {
             weight: &self.weight,
         };
         let mut out = ws.zeros(&dims);
-        spec.forward_into_scratch(&ops, out.data_mut(), ws.kernel_scratch());
+        let tier = ws.mac_tier();
+        spec.forward_tier_into_scratch(&ops, out.data_mut(), ws.kernel_scratch(), tier);
         Ok(out)
     }
 
@@ -203,7 +204,8 @@ impl Layer for MatMul {
             weight: inputs[1],
         };
         let mut out = ws.zeros(dims);
-        spec.forward_into_scratch(&ops, out.data_mut(), ws.kernel_scratch());
+        let tier = ws.mac_tier();
+        spec.forward_tier_into_scratch(&ops, out.data_mut(), ws.kernel_scratch(), tier);
         Ok(out)
     }
 

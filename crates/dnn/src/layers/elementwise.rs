@@ -110,6 +110,44 @@ impl Layer for BiasAdd {
     fn quantize_weights(&mut self, codec: &ValueCodec) {
         self.bias.map_inplace(|v| codec.quantize(v));
     }
+
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        (input_shapes.first()?.len() == 4).then_some((h, w))
+    }
+
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        h: (usize, usize),
+        w: (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        let _ = ws;
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        if x.rank() != 4 || out.shape() != x.shape() || x.shape()[1] != self.bias.len() {
+            return Ok(false);
+        }
+        let hw = x.shape()[2] * x.shape()[3];
+        let c = x.shape()[1];
+        let src = x.data();
+        let bias = self.bias.data();
+        let dst = out.data_mut();
+        crate::layers::for_each_window_row(x.shape(), h, w, |a, b| {
+            let ch = (a / hw) % c;
+            let bv = bias[ch];
+            for (d, s) in dst[a..b].iter_mut().zip(&src[a..b]) {
+                *d = s + bv;
+            }
+        });
+        Ok(true)
+    }
 }
 
 /// Element-wise addition of two equal-shaped tensors (residual connections).
@@ -141,6 +179,28 @@ impl Layer for Add {
     fn forward(&self, inputs: &[&Tensor], ws: &mut Workspace) -> Result<Tensor, DnnError> {
         check_arity(&self.name, 2, inputs.len())?;
         binary_elementwise(inputs[0], inputs[1], "Add::forward", ws, |a, b| a + b)
+    }
+
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        (input_shapes.first()?.len() == 4).then_some((h, w))
+    }
+
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        h: (usize, usize),
+        w: (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        let _ = ws;
+        check_arity(&self.name, 2, inputs.len())?;
+        binary_elementwise_region(inputs[0], inputs[1], h, w, out, |a, b| a + b)
     }
 }
 
@@ -174,6 +234,51 @@ impl Layer for Mul {
         check_arity(&self.name, 2, inputs.len())?;
         binary_elementwise(inputs[0], inputs[1], "Mul::forward", ws, |a, b| a * b)
     }
+
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        (input_shapes.first()?.len() == 4).then_some((h, w))
+    }
+
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        h: (usize, usize),
+        w: (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        let _ = ws;
+        check_arity(&self.name, 2, inputs.len())?;
+        binary_elementwise_region(inputs[0], inputs[1], h, w, out, |a, b| a * b)
+    }
+}
+
+/// Windowed counterpart of [`binary_elementwise`] for rank-4 operands.
+fn binary_elementwise_region(
+    a: &Tensor,
+    b: &Tensor,
+    h: (usize, usize),
+    w: (usize, usize),
+    out: &mut Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<bool, DnnError> {
+    if a.rank() != 4 || a.shape() != b.shape() || out.shape() != a.shape() {
+        return Ok(false);
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let dst = out.data_mut();
+    crate::layers::for_each_window_row(a.shape(), h, w, |lo, hi| {
+        for i in lo..hi {
+            dst[i] = f(ad[i], bd[i]);
+        }
+    });
+    Ok(true)
 }
 
 fn binary_elementwise(
@@ -228,6 +333,39 @@ impl Layer for Scale {
         let mut out = ws.clone_of(inputs[0]);
         out.map_inplace(|v| v * self.factor);
         Ok(out)
+    }
+
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        (input_shapes.first()?.len() == 4).then_some((h, w))
+    }
+
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        h: (usize, usize),
+        w: (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        let _ = ws;
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        if x.rank() != 4 || out.shape() != x.shape() {
+            return Ok(false);
+        }
+        let src = x.data();
+        let dst = out.data_mut();
+        crate::layers::for_each_window_row(x.shape(), h, w, |a, b| {
+            for (d, s) in dst[a..b].iter_mut().zip(&src[a..b]) {
+                *d = s * self.factor;
+            }
+        });
+        Ok(true)
     }
 }
 
@@ -315,6 +453,72 @@ impl Layer for Concat {
 
     fn values_preserved(&self) -> bool {
         true // pure data movement
+    }
+
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        // Channel concat of NCHW tensors preserves spatial coordinates, so
+        // the output window is the input window. Other axes reshuffle flat
+        // layout and fall back to a full recompute.
+        (self.axis == 1 && input_shapes.first()?.len() == 4).then_some((h, w))
+    }
+
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        (h0, h1): (usize, usize),
+        (w0, w1): (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        let _ = ws;
+        if self.axis != 1 || inputs.is_empty() {
+            return Ok(false);
+        }
+        let s0 = inputs[0].shape();
+        if s0.len() != 4 {
+            return Ok(false);
+        }
+        let (bb, hh, ww) = (s0[0], s0[2], s0[3]);
+        let mut total_c = 0usize;
+        for t in inputs {
+            let s = t.shape();
+            if s.len() != 4 || s[0] != bb || s[2] != hh || s[3] != ww {
+                return Ok(false);
+            }
+            total_c += s[1];
+        }
+        if out.shape() != [bb, total_c, hh, ww] {
+            return Ok(false);
+        }
+        let (h0, h1) = (h0.min(hh), h1.min(hh));
+        let (w0, w1) = (w0.min(ww), w1.min(ww));
+        if h0 >= h1 || w0 >= w1 {
+            return Ok(true); // empty window: nothing to move
+        }
+        let od = out.data_mut();
+        let mut c_off = 0usize;
+        for t in inputs {
+            let tc = t.shape()[1];
+            let td = t.data();
+            for n in 0..bb {
+                for ch in 0..tc {
+                    let src_plane = (n * tc + ch) * hh * ww;
+                    let dst_plane = (n * total_c + c_off + ch) * hh * ww;
+                    for r in h0..h1 {
+                        let s = src_plane + r * ww;
+                        let d = dst_plane + r * ww;
+                        od[d + w0..d + w1].copy_from_slice(&td[s + w0..s + w1]);
+                    }
+                }
+            }
+            c_off += tc;
+        }
+        Ok(true)
     }
 }
 

@@ -150,6 +150,76 @@ pub trait Layer: Send + Sync {
     fn macs(&self, input_shapes: &[&[usize]]) -> u64 {
         self.mac_spec(input_shapes).map_or(0, |s| s.macs())
     }
+
+    /// Maps a spatial window of the layer's inputs to the (conservative
+    /// superset) window of outputs that can depend on it, for layers whose
+    /// inputs and output are rank-4 NCHW and whose dataflow is spatially
+    /// local. `h`/`w` are half-open `[lo, hi)` row/column ranges shared by
+    /// every input (multi-input layers that support regions have equal
+    /// spatial dims across inputs).
+    ///
+    /// `None` (the default) means "no spatial locality": a changed input
+    /// window may affect the whole output, and the delta resume path falls
+    /// back to a full recompute of this layer.
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        let _ = (input_shapes, h, w);
+        None
+    }
+
+    /// Recomputes only the output elements in the spatial window `h × w`
+    /// (all batches and channels), writing them into `out` and leaving every
+    /// other element untouched. Returns `Ok(false)` — without writing — when
+    /// the layer does not support windowed recomputation; the caller then
+    /// falls back to a full [`Layer::forward`].
+    ///
+    /// Implementations must produce values byte-identical to what
+    /// [`Layer::forward`] would place at the same offsets.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Layer::forward`].
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        h: (usize, usize),
+        w: (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        let _ = (inputs, h, w, out, ws);
+        Ok(false)
+    }
+}
+
+/// Calls `f(start, end)` with the flat index range of each spatial row
+/// segment in the window `h × w` of a rank-4 NCHW tensor, for every batch
+/// and channel. Ranges are clamped to the shape; an empty window calls `f`
+/// zero times.
+pub(crate) fn for_each_window_row(
+    shape: &[usize],
+    (h0, h1): (usize, usize),
+    (w0, w1): (usize, usize),
+    mut f: impl FnMut(usize, usize),
+) {
+    debug_assert_eq!(shape.len(), 4);
+    let (planes, hh, ww) = (shape[0] * shape[1], shape[2], shape[3]);
+    let (h0, h1) = (h0.min(hh), h1.min(hh));
+    let (w0, w1) = (w0.min(ww), w1.min(ww));
+    if h0 >= h1 || w0 >= w1 {
+        return;
+    }
+    for plane in 0..planes {
+        let base = plane * hh * ww;
+        for r in h0..h1 {
+            let row = base + r * ww;
+            f(row + w0, row + w1);
+        }
+    }
 }
 
 pub(crate) fn check_arity(layer: &str, expected: usize, actual: usize) -> Result<(), DnnError> {

@@ -65,6 +65,45 @@ impl Pool2d {
         self.padding = padding;
         self
     }
+
+    /// One pooled output element from the input `h × w` plane. The reduction
+    /// visits the same padding-valid taps in the same ky→kx order as the
+    /// packed forward loop, so the value is bit-identical wherever computed.
+    fn pool_at(&self, plane: &[f32], h: usize, w: usize, y: usize, xx: usize) -> f32 {
+        let (k, s, p) = (self.k, self.stride, self.padding);
+        let y0 = y * s;
+        let ky_lo = p.saturating_sub(y0);
+        let ky_hi = k.min((h + p).saturating_sub(y0));
+        let x0 = xx * s;
+        let kx_lo = p.saturating_sub(x0);
+        let kx_hi = k.min((w + p).saturating_sub(x0));
+        if ky_lo >= ky_hi || kx_lo >= kx_hi {
+            return 0.0; // window entirely in padding
+        }
+        let seg = x0 + kx_lo - p..x0 + kx_hi - p;
+        match self.kind {
+            PoolKind::Max => {
+                let mut acc = f32::NEG_INFINITY;
+                for ky in ky_lo..ky_hi {
+                    let row = &plane[(y0 + ky - p) * w..][..w];
+                    for &v in &row[seg.clone()] {
+                        acc = acc.max(v);
+                    }
+                }
+                acc
+            }
+            PoolKind::Avg => {
+                let mut acc = 0.0f32;
+                for ky in ky_lo..ky_hi {
+                    let row = &plane[(y0 + ky - p) * w..][..w];
+                    for &v in &row[seg.clone()] {
+                        acc += v;
+                    }
+                }
+                acc / ((ky_hi - ky_lo) * (kx_hi - kx_lo)) as f32
+            }
+        }
+    }
 }
 
 impl Layer for Pool2d {
@@ -89,13 +128,12 @@ impl Layer for Pool2d {
         let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let oh = conv_out_dim(h, self.k, self.stride, self.padding, 1);
         let ow = conv_out_dim(w, self.k, self.stride, self.padding, 1);
-        let (k, s, p) = (self.k, self.stride, self.padding);
-        // Padding-valid window bounds are hoisted per row/column: the window
-        // rows touch `iy = y·s + ky − p ∈ [0, h)`, a contiguous `ky` range
-        // (and likewise for columns), so the inner loops walk plain slices.
-        // Per output the reduction visits the same values in the same
-        // ky→kx order as the naive quadruple loop, so results — including
-        // the single-chain Avg accumulation — are bit-identical.
+        // Padding-valid window bounds are clamped inside `pool_at`: the
+        // window rows touch `iy = y·s + ky − p ∈ [0, h)`, a contiguous `ky`
+        // range (and likewise for columns), so the inner loops walk plain
+        // slices. Per output the reduction visits the same values in the
+        // same ky→kx order as the naive quadruple loop, so results —
+        // including the single-chain Avg accumulation — are bit-identical.
         let xd = x.data();
         let mut out = ws.zeros(&[b, c, oh, ow]);
         let od = out.data_mut();
@@ -103,45 +141,64 @@ impl Layer for Pool2d {
             let plane = &xd[plane_idx * h * w..][..h * w];
             let out_plane = &mut od[plane_idx * oh * ow..][..oh * ow];
             for y in 0..oh {
-                let y0 = y * s;
-                let ky_lo = p.saturating_sub(y0);
-                let ky_hi = k.min((h + p).saturating_sub(y0));
                 let out_row = &mut out_plane[y * ow..][..ow];
                 for (xx, out_v) in out_row.iter_mut().enumerate() {
-                    let x0 = xx * s;
-                    let kx_lo = p.saturating_sub(x0);
-                    let kx_hi = k.min((w + p).saturating_sub(x0));
-                    if ky_lo >= ky_hi || kx_lo >= kx_hi {
-                        *out_v = 0.0; // window entirely in padding
-                        continue;
-                    }
-                    let seg = x0 + kx_lo - p..x0 + kx_hi - p;
-                    *out_v = match self.kind {
-                        PoolKind::Max => {
-                            let mut acc = f32::NEG_INFINITY;
-                            for ky in ky_lo..ky_hi {
-                                let row = &plane[(y0 + ky - p) * w..][..w];
-                                for &v in &row[seg.clone()] {
-                                    acc = acc.max(v);
-                                }
-                            }
-                            acc
-                        }
-                        PoolKind::Avg => {
-                            let mut acc = 0.0f32;
-                            for ky in ky_lo..ky_hi {
-                                let row = &plane[(y0 + ky - p) * w..][..w];
-                                for &v in &row[seg.clone()] {
-                                    acc += v;
-                                }
-                            }
-                            acc / ((ky_hi - ky_lo) * (kx_hi - kx_lo)) as f32
-                        }
-                    };
+                    *out_v = self.pool_at(plane, h, w, y, xx);
                 }
             }
         }
         Ok(out)
+    }
+
+    fn region_map(
+        &self,
+        input_shapes: &[&[usize]],
+        h: (usize, usize),
+        w: (usize, usize),
+    ) -> Option<((usize, usize), (usize, usize))> {
+        use crate::macspec::conv_out_window;
+        let s = *input_shapes.first()?;
+        if s.len() != 4 {
+            return None;
+        }
+        let oh = conv_out_dim(s[2], self.k, self.stride, self.padding, 1);
+        let ow = conv_out_dim(s[3], self.k, self.stride, self.padding, 1);
+        Some((
+            conv_out_window(h, self.k, self.stride, self.padding, 1, oh),
+            conv_out_window(w, self.k, self.stride, self.padding, 1, ow),
+        ))
+    }
+
+    fn forward_region(
+        &self,
+        inputs: &[&Tensor],
+        (h0, h1): (usize, usize),
+        (w0, w1): (usize, usize),
+        out: &mut Tensor,
+        ws: &mut Workspace,
+    ) -> Result<bool, DnnError> {
+        let _ = ws;
+        check_arity(&self.name, 1, inputs.len())?;
+        let x = inputs[0];
+        if x.rank() != 4 || out.rank() != 4 {
+            return Ok(false);
+        }
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = (out.shape()[2], out.shape()[3]);
+        let (h0, h1) = (h0.min(oh), h1.min(oh));
+        let (w0, w1) = (w0.min(ow), w1.min(ow));
+        let xd = x.data();
+        let od = out.data_mut();
+        for plane_idx in 0..b * c {
+            let plane = &xd[plane_idx * h * w..][..h * w];
+            let out_plane = &mut od[plane_idx * oh * ow..][..oh * ow];
+            for y in h0..h1 {
+                for xx in w0..w1 {
+                    out_plane[y * ow + xx] = self.pool_at(plane, h, w, y, xx);
+                }
+            }
+        }
+        Ok(true)
     }
 
     fn values_preserved(&self) -> bool {

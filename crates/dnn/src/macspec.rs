@@ -15,6 +15,57 @@
 use crate::error::DnnError;
 use crate::tensor::Tensor;
 
+/// Numeric tier of the packed MAC kernels.
+///
+/// `Bitwise` is the default and the only tier the fault models may run
+/// under implicitly: every kernel is byte-for-byte identical to the scalar
+/// [`MacSpec::compute_at`] oracle (terms per output neuron in ascending
+/// kernel-step order, padding steps genuinely skipped). Its lane kernels
+/// vectorize *across* independent output neurons, which cannot change any
+/// neuron's accumulation order.
+///
+/// `Fast` is opt-in and may split the contraction of one neuron into four
+/// lanes combined by a fixed tree reduction — faster, but a different (still
+/// deterministic) rounding order. Its divergence from `Bitwise` is itself a
+/// measured, reported quantity ([`MacSpec::fast_divergence`]), never an
+/// estimate.
+///
+/// One caveat applies to both tiers: *which* outputs are NaN is fully
+/// deterministic, but a NaN's payload bits are the single part of IEEE-754
+/// arithmetic the compiler may legally vary between code locations (float
+/// add/mul commute in LLVM, and x86 NaN propagation picks the surviving
+/// payload by operand order). Differential comparisons must therefore treat
+/// all NaNs as equal; every campaign statistic (outcomes, masking bits,
+/// checkpoint bytes) is already NaN-payload-insensitive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MacTier {
+    /// Byte-identical to the scalar `compute_at` oracle. Default.
+    #[default]
+    Bitwise,
+    /// 4-lane tree-reduced contraction for dense/matmul-transposed dots.
+    /// Opt-in; divergence vs. `Bitwise` is measured exactly and reported.
+    Fast,
+}
+
+impl MacTier {
+    /// Canonical lowercase name (CLI / JSON / fingerprint form).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MacTier::Bitwise => "bitwise",
+            MacTier::Fast => "fast",
+        }
+    }
+
+    /// Parses the canonical name; `None` for anything else.
+    pub fn parse(s: &str) -> Option<MacTier> {
+        match s {
+            "bitwise" => Some(MacTier::Bitwise),
+            "fast" => Some(MacTier::Fast),
+            _ => None,
+        }
+    }
+}
+
 /// Which operand of a MAC layer a substitution applies to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OperandKind {
@@ -162,6 +213,33 @@ impl ConvSpec {
     pub fn group_out_c(&self) -> usize {
         self.out_c / self.groups
     }
+}
+
+/// The output rows (or columns) of a conv/pool dimension whose receptive
+/// field intersects the input rows `[lo, hi)` — the forward image of an
+/// input window, used by the delta resume path to narrow recomputation.
+/// Exact for the geometry (every returned output can touch the window, and
+/// no output outside the range can).
+pub fn conv_out_window(
+    (lo, hi): (usize, usize),
+    k: usize,
+    stride: usize,
+    pad: usize,
+    dilation: usize,
+    out_dim: usize,
+) -> (usize, usize) {
+    if lo >= hi || out_dim == 0 {
+        return (0, 0);
+    }
+    // Output `o` reads input rows `o·stride − pad ..= o·stride − pad + reach`.
+    let reach = dilation * (k - 1);
+    let out_lo = if lo + pad > reach {
+        (lo + pad - reach).div_ceil(stride)
+    } else {
+        0
+    };
+    let out_hi = ((hi - 1 + pad) / stride + 1).min(out_dim);
+    (out_lo.min(out_hi), out_hi)
 }
 
 /// Output spatial size of a convolution/pooling dimension.
@@ -431,30 +509,17 @@ impl MacSpec {
                 for b in 0..d.batch {
                     let x_row = &x[b * d.in_features..(b + 1) * d.in_features];
                     let out_row = &mut out[b * d.out_features..(b + 1) * d.out_features];
-                    for (o, out_v) in out_row.iter_mut().enumerate() {
-                        let w_row = &w[o * d.in_features..(o + 1) * d.in_features];
-                        let mut acc = 0.0f32;
-                        for (xv, wv) in x_row.iter().zip(w_row) {
-                            acc += xv * wv;
-                        }
-                        *out_v = acc;
-                    }
+                    dot_rows_bitwise(x_row, w, d.in_features, out_row);
                 }
             }
             MacSpec::MatMul(m) => {
                 if m.transpose_b {
                     for g in 0..m.batch {
+                        let b_mat = &w[g * m.n * m.k..][..m.n * m.k];
                         for r in 0..m.m {
                             let a_row = &x[(g * m.m + r) * m.k..][..m.k];
                             let out_row = &mut out[(g * m.m + r) * m.n..][..m.n];
-                            for (cc, out_v) in out_row.iter_mut().enumerate() {
-                                let b_row = &w[(g * m.n + cc) * m.k..][..m.k];
-                                let mut acc = 0.0f32;
-                                for (av, bv) in a_row.iter().zip(b_row) {
-                                    acc += av * bv;
-                                }
-                                *out_v = acc;
-                            }
+                            dot_rows_bitwise(a_row, b_mat, m.k, out_row);
                         }
                     }
                 } else {
@@ -473,9 +538,7 @@ impl MacSpec {
                             acc.fill(0.0);
                             for (kk, av) in a_row.iter().enumerate() {
                                 let b_row = &b_mat[kk * m.n..][..m.n];
-                                for (a, bv) in acc.iter_mut().zip(b_row) {
-                                    *a += av * bv;
-                                }
+                                axpy_lanes(acc, b_row, *av);
                             }
                             out[(g * m.m + r) * m.n..][..m.n].copy_from_slice(acc);
                         }
@@ -483,6 +546,113 @@ impl MacSpec {
                 }
             }
         }
+    }
+
+    /// Tier-dispatching variant of [`MacSpec::forward_into_scratch`].
+    ///
+    /// `MacTier::Bitwise` is exactly `forward_into_scratch`. `MacTier::Fast`
+    /// replaces the dense / transposed-matmul dot products with a 4-lane
+    /// tree-reduced contraction ([`dot_fast`]); conv and non-transposed
+    /// matmul kernels are already vectorized across independent outputs and
+    /// keep their bitwise accumulation order, so their `Fast` divergence is
+    /// exactly zero by construction.
+    pub fn forward_tier_into_scratch(
+        &self,
+        operands: &Operands<'_>,
+        out: &mut [f32],
+        scratch: &mut KernelScratch,
+        tier: MacTier,
+    ) {
+        if tier == MacTier::Bitwise {
+            self.forward_into_scratch(operands, out, scratch);
+            return;
+        }
+        assert_eq!(out.len(), self.out_len(), "output buffer size mismatch");
+        let x = operands.input.data();
+        let w = operands.weight.data();
+        match self {
+            MacSpec::Dense(d) => {
+                for b in 0..d.batch {
+                    let x_row = &x[b * d.in_features..(b + 1) * d.in_features];
+                    let out_row = &mut out[b * d.out_features..(b + 1) * d.out_features];
+                    for (o, out_v) in out_row.iter_mut().enumerate() {
+                        *out_v = dot_fast(x_row, &w[o * d.in_features..][..d.in_features]);
+                    }
+                }
+            }
+            MacSpec::MatMul(m) if m.transpose_b => {
+                for g in 0..m.batch {
+                    for r in 0..m.m {
+                        let a_row = &x[(g * m.m + r) * m.k..][..m.k];
+                        let out_row = &mut out[(g * m.m + r) * m.n..][..m.n];
+                        for (cc, out_v) in out_row.iter_mut().enumerate() {
+                            *out_v = dot_fast(a_row, &w[(g * m.n + cc) * m.k..][..m.k]);
+                        }
+                    }
+                }
+            }
+            _ => self.forward_into_scratch(operands, out, scratch),
+        }
+    }
+
+    /// Computes only the output elements whose spatial coordinates fall in
+    /// `h = [h0, h1)` × `w = [w0, w1)` (all batches and channels), leaving
+    /// every other element of `out` untouched. Returns `false` — without
+    /// writing anything — when this spec has no spatial output (dense,
+    /// matmul); callers then fall back to a full forward.
+    ///
+    /// Within the window the values are byte-identical to
+    /// [`MacSpec::forward_into_scratch`]: same packed kernel, same per-neuron
+    /// ascending-step accumulation order, merely restricted to a sub-range
+    /// of output rows/columns.
+    pub fn forward_region_into_scratch(
+        &self,
+        operands: &Operands<'_>,
+        out: &mut [f32],
+        scratch: &mut KernelScratch,
+        h: (usize, usize),
+        w_win: (usize, usize),
+    ) -> bool {
+        match self {
+            MacSpec::Conv(c) => {
+                assert_eq!(out.len(), self.out_len(), "output buffer size mismatch");
+                conv_forward_window(
+                    c,
+                    operands.input.data(),
+                    operands.weight.data(),
+                    out,
+                    scratch,
+                    h,
+                    w_win,
+                );
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Exact maximum absolute divergence of the `Fast` tier from the
+    /// `Bitwise` tier over every output neuron for these operands.
+    ///
+    /// This is a measurement, not a bound: both tiers are fully evaluated
+    /// and compared element-wise. Bit-identical elements (including NaNs
+    /// with equal payloads) contribute `0.0`; a NaN mismatch contributes
+    /// `+∞` so it can never be mistaken for a small rounding delta.
+    pub fn fast_divergence(&self, operands: &Operands<'_>) -> f32 {
+        let mut scratch = KernelScratch::default();
+        let mut bitwise = vec![0.0f32; self.out_len()];
+        let mut fast = vec![0.0f32; self.out_len()];
+        self.forward_into_scratch(operands, &mut bitwise, &mut scratch);
+        self.forward_tier_into_scratch(operands, &mut fast, &mut scratch, MacTier::Fast);
+        let mut max = 0.0f32;
+        for (a, b) in bitwise.iter().zip(&fast) {
+            if a.to_bits() == b.to_bits() {
+                continue;
+            }
+            let d = (a - b).abs();
+            max = max.max(if d.is_nan() { f32::INFINITY } else { d });
+        }
+        max
     }
 
     /// Computes the value of one output neuron (identified by flat offset
@@ -578,6 +748,12 @@ pub struct KernelScratch {
     acc: Vec<f32>,
     /// Per-`kw` valid `[lo, hi)` output-column ranges.
     ranges: Vec<(usize, usize)>,
+    /// Narrow-window tap compaction: gathered input values for one output
+    /// position, ascending (ic, kh, kw) over the padding-valid taps.
+    tap_x: Vec<f32>,
+    /// Kernel-step index (`ic·kh·kw` flat) of each gathered tap, parallel
+    /// to `tap_x`.
+    tap_step: Vec<usize>,
 }
 
 impl KernelScratch {
@@ -587,11 +763,123 @@ impl KernelScratch {
     }
 }
 
+/// Unroll width of the bitwise lane kernels: eight independent output
+/// accumulators advance together, which breaks the floating-point add
+/// latency chain without touching any single neuron's accumulation order.
+const LANES: usize = 8;
+
+/// `acc[i] += xs[i] * wv` over equal-length slices, eight outputs per
+/// unrolled step. Every `acc[i]` is an independent accumulator, so the
+/// result is bit-identical to the scalar loop for any chunking.
+#[inline]
+fn axpy_lanes(acc: &mut [f32], xs: &[f32], wv: f32) {
+    let n = acc.len().min(xs.len());
+    let main = n - n % LANES;
+    let (a_main, a_tail) = acc[..n].split_at_mut(main);
+    let (x_main, x_tail) = xs[..n].split_at(main);
+    for (a, xv) in a_main
+        .chunks_exact_mut(LANES)
+        .zip(x_main.chunks_exact(LANES))
+    {
+        a[0] += xv[0] * wv;
+        a[1] += xv[1] * wv;
+        a[2] += xv[2] * wv;
+        a[3] += xv[3] * wv;
+        a[4] += xv[4] * wv;
+        a[5] += xv[5] * wv;
+        a[6] += xv[6] * wv;
+        a[7] += xv[7] * wv;
+    }
+    for (a, xv) in a_tail.iter_mut().zip(x_tail) {
+        *a += xv * wv;
+    }
+}
+
+/// One dot product per row of `w` (rows of `k = x_row.len()` values at
+/// stride `stride`), eight rows advanced in lock-step. Each output's terms
+/// are added in ascending contraction order into its own accumulator —
+/// bit-identical to eight scalar dots — but the eight independent adds
+/// break the fadd latency chain that serializes the scalar loop.
+#[inline]
+fn dot_rows_bitwise(x_row: &[f32], w: &[f32], stride: usize, out: &mut [f32]) {
+    let k = x_row.len();
+    let mut o = 0;
+    while o + LANES <= out.len() {
+        let rows: [&[f32]; LANES] = core::array::from_fn(|j| &w[(o + j) * stride..][..k]);
+        let mut acc = [0.0f32; LANES];
+        for (i, &xv) in x_row.iter().enumerate() {
+            acc[0] += xv * rows[0][i];
+            acc[1] += xv * rows[1][i];
+            acc[2] += xv * rows[2][i];
+            acc[3] += xv * rows[3][i];
+            acc[4] += xv * rows[4][i];
+            acc[5] += xv * rows[5][i];
+            acc[6] += xv * rows[6][i];
+            acc[7] += xv * rows[7][i];
+        }
+        out[o..o + LANES].copy_from_slice(&acc);
+        o += LANES;
+    }
+    for (j, out_v) in out[o..].iter_mut().enumerate() {
+        let w_row = &w[(o + j) * stride..][..k];
+        let mut acc = 0.0f32;
+        for (xv, wv) in x_row.iter().zip(w_row) {
+            acc += xv * wv;
+        }
+        *out_v = acc;
+    }
+}
+
+/// 4-lane tree-reduced dot product — the `Fast` tier contraction. Lane `l`
+/// accumulates terms `l, l+4, l+8, …`; the lanes combine as
+/// `(l0 + l1) + (l2 + l3)` and any tail terms are then added in ascending
+/// order. Deterministic, but a different rounding order than the bitwise
+/// oracle — which is exactly what [`MacSpec::fast_divergence`] measures.
+#[inline]
+fn dot_fast(xs: &[f32], ws: &[f32]) -> f32 {
+    let n = xs.len().min(ws.len());
+    let main = n - n % 4;
+    let (xm, xt) = xs[..n].split_at(main);
+    let (wm, wt) = ws[..n].split_at(main);
+    let mut l = [0.0f32; 4];
+    for (xc, wc) in xm.chunks_exact(4).zip(wm.chunks_exact(4)) {
+        l[0] += xc[0] * wc[0];
+        l[1] += xc[1] * wc[1];
+        l[2] += xc[2] * wc[2];
+        l[3] += xc[3] * wc[3];
+    }
+    let mut acc = (l[0] + l[1]) + (l[2] + l[3]);
+    for (xv, wv) in xt.iter().zip(wt) {
+        acc += xv * wv;
+    }
+    acc
+}
+
 /// Packed conv kernel. See [`MacSpec::forward_into_scratch`] for the
 /// bit-identity contract.
 fn conv_forward_packed(c: &ConvSpec, x: &[f32], w: &[f32], out: &mut [f32], s: &mut KernelScratch) {
+    conv_forward_window(c, x, w, out, s, (0, usize::MAX), (0, usize::MAX));
+}
+
+/// Packed conv kernel restricted to the output window `h = [h0, h1)` ×
+/// `w = [w0, w1)` (clamped to the output dims; all batches and channels).
+/// Elements outside the window are left untouched; elements inside it are
+/// byte-identical to the full [`conv_forward_packed`] pass, because the
+/// window only narrows the `oh` loop and the hoisted per-`kw` column
+/// ranges — each computed neuron still sees the identical term sequence.
+fn conv_forward_window(
+    c: &ConvSpec,
+    x: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    s: &mut KernelScratch,
+    (h0, h1): (usize, usize),
+    (w0, w1): (usize, usize),
+) {
     let (oh_dim, ow_dim) = (c.out_h(), c.out_w());
-    if oh_dim == 0 || ow_dim == 0 {
+    let (h0, h1) = (h0.min(oh_dim), h1.min(oh_dim));
+    let (w0, w1) = (w0.min(ow_dim), w1.min(ow_dim));
+    if h0 >= h1 || w0 >= w1 {
         return;
     }
     let gic = c.group_in_c();
@@ -602,11 +890,18 @@ fn conv_forward_packed(c: &ConvSpec, x: &[f32], w: &[f32], out: &mut [f32], s: &
     let khw = c.kh * c.kw;
     let steps = gic * khw;
 
+    if w1 - w0 < LANES {
+        conv_window_narrow(c, x, w, out, s, (h0, h1), (w0, w1));
+        return;
+    }
+
     // Valid output columns for each kernel column, hoisted out of every
     // loop below: `iw = ow·s1 + kw·d1 − p1` must land in `[0, in_w)`, and
     // because `iw` is monotone in `ow` the valid set is one contiguous
     // range.
-    let KernelScratch { panel, acc, ranges } = s;
+    let KernelScratch {
+        panel, acc, ranges, ..
+    } = s;
     ranges.clear();
     for kw_i in 0..c.kw {
         let shift = kw_i * d1;
@@ -620,6 +915,10 @@ fn conv_forward_packed(c: &ConvSpec, x: &[f32], w: &[f32], out: &mut [f32], s: &
         } else {
             ((c.in_w + p1 - shift - 1) / s1 + 1).min(ow_dim)
         };
+        // Window clamp: columns outside [w0, w1) are neither packed nor
+        // accumulated nor written, so they cannot affect window columns.
+        let lo = lo.max(w0);
+        let hi = hi.min(w1);
         ranges.push((lo.min(hi), hi));
     }
 
@@ -638,7 +937,7 @@ fn conv_forward_packed(c: &ConvSpec, x: &[f32], w: &[f32], out: &mut [f32], s: &
     for b in 0..c.batch {
         for group in 0..c.groups {
             let ic_base = group * gic;
-            for oh in 0..oh_dim {
+            for oh in h0..h1 {
                 // Valid kernel rows for this output row, by the same
                 // monotonicity argument as the column ranges.
                 let row0 = oh * s0;
@@ -702,20 +1001,15 @@ fn conv_forward_packed(c: &ConvSpec, x: &[f32], w: &[f32], out: &mut [f32], s: &
                                 let wv = w[w_row + kw_i];
                                 if pack {
                                     let src = (ic * khw + kh_i * c.kw + kw_i) * ow_dim;
-                                    for (a, pv) in
-                                        acc[lo..hi].iter_mut().zip(&panel[src + lo..src + hi])
-                                    {
-                                        *a += pv * wv;
-                                    }
+                                    axpy_lanes(&mut acc[lo..hi], &panel[src + lo..src + hi], wv);
                                 } else {
                                     let src_start = in_row + lo * s1 + kw_i * d1 - p1;
                                     if s1 == 1 {
-                                        for (a, xv) in acc[lo..hi]
-                                            .iter_mut()
-                                            .zip(&x[src_start..src_start + (hi - lo)])
-                                        {
-                                            *a += xv * wv;
-                                        }
+                                        axpy_lanes(
+                                            &mut acc[lo..hi],
+                                            &x[src_start..src_start + (hi - lo)],
+                                            wv,
+                                        );
                                     } else {
                                         for (a, xv) in acc[lo..hi]
                                             .iter_mut()
@@ -729,7 +1023,124 @@ fn conv_forward_packed(c: &ConvSpec, x: &[f32], w: &[f32], out: &mut [f32], s: &
                         }
                     }
                     let out_base = ((b * c.out_c + oc) * oh_dim + oh) * ow_dim;
-                    out[out_base..out_base + ow_dim].copy_from_slice(acc);
+                    out[out_base + w0..out_base + w1].copy_from_slice(&acc[w0..w1]);
+                }
+            }
+        }
+    }
+}
+
+/// Narrow-window conv kernel: when fewer than [`LANES`] output columns are
+/// requested, the packed kernel's per-tap `axpy` calls over 1–7-element
+/// column segments are almost pure call overhead. Here each output position
+/// instead compacts its padding-valid taps once (value + kernel-step index,
+/// ascending `(ic, kh, kw)`) and up to [`LANES`] output channels accumulate
+/// over that tap list in lock-step — independent accumulators, so every
+/// neuron still sums its terms in the canonical ascending-step order and
+/// the result is byte-identical to the packed kernel and to
+/// [`MacSpec::compute_at`].
+fn conv_window_narrow(
+    c: &ConvSpec,
+    x: &[f32],
+    w: &[f32],
+    out: &mut [f32],
+    s: &mut KernelScratch,
+    (h0, h1): (usize, usize),
+    (w0, w1): (usize, usize),
+) {
+    let (oh_dim, ow_dim) = (c.out_h(), c.out_w());
+    let gic = c.group_in_c();
+    let goc = c.group_out_c();
+    let (s0, s1) = c.stride;
+    let (p0, p1) = c.padding;
+    let (d0, d1) = c.dilation;
+    let khw = c.kh * c.kw;
+    let steps = gic * khw;
+    let KernelScratch {
+        tap_x, tap_step, ..
+    } = s;
+
+    for b in 0..c.batch {
+        for group in 0..c.groups {
+            let ic_base = group * gic;
+            for oh in h0..h1 {
+                let row0 = oh * s0;
+                // Valid kernel rows: `ih = row0 + kh·d0 − p0 ∈ [0, in_h)`.
+                let kh_lo = if row0 >= p0 {
+                    0
+                } else {
+                    (p0 - row0).div_ceil(d0)
+                };
+                let kh_hi = if c.in_h + p0 <= row0 {
+                    0
+                } else {
+                    ((c.in_h + p0 - row0 - 1) / d0 + 1).min(c.kh)
+                };
+                let kh_lo = kh_lo.min(kh_hi);
+
+                for ow in w0..w1 {
+                    let col0 = ow * s1;
+                    tap_x.clear();
+                    tap_step.clear();
+                    for ic in 0..gic {
+                        let in_plane = (b * c.in_c + ic_base + ic) * c.in_h;
+                        let step_plane = ic * khw;
+                        for kh_i in kh_lo..kh_hi {
+                            let in_row = (in_plane + (row0 + kh_i * d0 - p0)) * c.in_w;
+                            let step_row = step_plane + kh_i * c.kw;
+                            for kw_i in 0..c.kw {
+                                let iw = col0 + kw_i * d1;
+                                if iw < p1 || iw - p1 >= c.in_w {
+                                    continue;
+                                }
+                                tap_x.push(x[in_row + iw - p1]);
+                                tap_step.push(step_row + kw_i);
+                            }
+                        }
+                    }
+
+                    let mut oc_g = 0;
+                    while oc_g < goc {
+                        let l = LANES.min(goc - oc_g);
+                        // Unused lanes alias lane 0; their accumulators are
+                        // computed and discarded, never written out.
+                        let rows: [&[f32]; LANES] = core::array::from_fn(|j| {
+                            let oc = group * goc + oc_g + j.min(l - 1);
+                            &w[oc * steps..][..steps]
+                        });
+                        let mut accs = [0.0f32; LANES];
+                        if l == LANES {
+                            for (&xv, &st) in tap_x.iter().zip(tap_step.iter()) {
+                                accs[0] += xv * rows[0][st];
+                                accs[1] += xv * rows[1][st];
+                                accs[2] += xv * rows[2][st];
+                                accs[3] += xv * rows[3][st];
+                                accs[4] += xv * rows[4][st];
+                                accs[5] += xv * rows[5][st];
+                                accs[6] += xv * rows[6][st];
+                                accs[7] += xv * rows[7][st];
+                            }
+                        } else if l == 4 {
+                            for (&xv, &st) in tap_x.iter().zip(tap_step.iter()) {
+                                accs[0] += xv * rows[0][st];
+                                accs[1] += xv * rows[1][st];
+                                accs[2] += xv * rows[2][st];
+                                accs[3] += xv * rows[3][st];
+                            }
+                        } else {
+                            for (&xv, &st) in tap_x.iter().zip(tap_step.iter()) {
+                                for (a, row) in accs[..l].iter_mut().zip(&rows[..l]) {
+                                    *a += xv * row[st];
+                                }
+                            }
+                        }
+                        for (j, &a) in accs[..l].iter().enumerate() {
+                            let oc = group * goc + oc_g + j;
+                            let out_base = ((b * c.out_c + oc) * oh_dim + oh) * ow_dim;
+                            out[out_base + ow] = a;
+                        }
+                        oc_g += l;
+                    }
                 }
             }
         }

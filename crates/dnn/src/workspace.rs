@@ -18,8 +18,46 @@
 
 use std::collections::BTreeMap;
 
-use crate::macspec::KernelScratch;
+use crate::macspec::{KernelScratch, MacTier};
 use crate::tensor::Tensor;
+
+/// The part of one node's output the delta resume path has modified
+/// relative to the golden trace: either the whole tensor, or — for rank-4
+/// NCHW outputs — every batch and channel of the spatial window
+/// `rows [h0, h1) × cols [w0, w1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// The entire output may differ.
+    All,
+    /// Only the spatial window differs (all batches / channels).
+    Window {
+        /// `[h0, h1)` output rows.
+        h: (usize, usize),
+        /// `[w0, w1)` output columns.
+        w: (usize, usize),
+    },
+}
+
+/// A per-worker private copy of one golden trace's node outputs, patched in
+/// place by the delta resume path and repaired back to golden after every
+/// injection.
+///
+/// The overlay belongs to a [`Workspace`] and is loaned out with
+/// [`Workspace::take_golden`] / returned with [`Workspace::put_golden`] (the
+/// same `mem::take` discipline as the resume slots). If an injection panics
+/// while the overlay is out, it is simply lost: the workspace then reports
+/// no golden key and the caller falls back to the full resume path, so a
+/// torn overlay can never leak stale values into results.
+#[derive(Debug, Default)]
+pub struct GoldenOverlay {
+    /// Key of the trace the slots mirror ([`crate::graph::golden_key`]);
+    /// `None` while uninstalled or loaned out.
+    pub(crate) key: Option<u64>,
+    /// One bit-exact copy of each node output of the golden trace.
+    pub(crate) slots: Vec<Tensor>,
+    /// Per-node region currently diverging from golden (repair worklist).
+    pub(crate) dirty: Vec<Option<Region>>,
+}
 
 /// A reusable pool of `f32` buffers, shape vectors, and kernel scratch.
 ///
@@ -36,6 +74,12 @@ pub struct Workspace {
     slots: Vec<Option<Tensor>>,
     /// Packing/accumulator scratch for the MAC kernels.
     scratch: KernelScratch,
+    /// Golden snapshot + per-injection scratch overlay for the delta path.
+    golden: GoldenOverlay,
+    /// Numeric tier the MAC layer forwards run under. Plumbed through the
+    /// workspace because [`crate::layers::Layer::forward`] receives no other
+    /// per-worker configuration channel.
+    mac_tier: MacTier,
     hits: u64,
     misses: u64,
 }
@@ -170,6 +214,62 @@ impl Workspace {
             }
         }
         self.slots = slots;
+    }
+
+    /// The MAC tier layer forwards drawn from this workspace run under.
+    pub fn mac_tier(&self) -> MacTier {
+        self.mac_tier
+    }
+
+    /// Sets the MAC tier for subsequent layer forwards.
+    pub fn set_mac_tier(&mut self, tier: MacTier) {
+        self.mac_tier = tier;
+    }
+
+    /// Installs a golden snapshot: a bit-exact pooled copy of each tensor in
+    /// `outputs`, keyed by `key` (see [`crate::graph::golden_key`]). Any
+    /// previously installed snapshot is recycled first.
+    pub fn install_golden(&mut self, key: u64, outputs: &[Tensor]) {
+        self.flush_golden();
+        let mut golden = std::mem::take(&mut self.golden);
+        golden.slots.reserve(outputs.len());
+        for t in outputs {
+            golden.slots.push(self.clone_of(t));
+        }
+        golden.dirty.clear();
+        golden.dirty.resize(outputs.len(), None);
+        golden.key = Some(key);
+        self.golden = golden;
+    }
+
+    /// Key of the installed golden snapshot, or `None` when no snapshot is
+    /// installed (or it is currently loaned out / was lost to a panic).
+    pub fn golden_key(&self) -> Option<u64> {
+        self.golden.key
+    }
+
+    /// Recycles the golden snapshot's buffers back into the pool.
+    pub fn flush_golden(&mut self) {
+        let mut golden = std::mem::take(&mut self.golden);
+        for t in golden.slots.drain(..) {
+            self.recycle(t);
+        }
+        golden.dirty.clear();
+        self.golden = golden;
+    }
+
+    /// Loans out the golden overlay (the workspace reports no golden key
+    /// until it is returned via [`Workspace::put_golden`]).
+    pub fn take_golden(&mut self) -> GoldenOverlay {
+        std::mem::take(&mut self.golden)
+    }
+
+    /// Returns a loaned golden overlay.
+    pub fn put_golden(&mut self, golden: GoldenOverlay) {
+        let old = std::mem::replace(&mut self.golden, golden);
+        for t in old.slots {
+            self.recycle(t);
+        }
     }
 
     /// Buffer requests served from the pool.

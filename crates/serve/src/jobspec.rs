@@ -13,7 +13,7 @@
 //! campaign run by the service produces bit-identical checkpoints and
 //! masking probabilities to an uninterrupted CLI run of the same spec.
 
-use fidelity_core::campaign::CampaignSpec;
+use fidelity_core::campaign::{CampaignSpec, MacTier};
 use fidelity_core::outcome::{CorrectnessMetric, TopOneMatch};
 use fidelity_dnn::graph::{Engine, Trace};
 use fidelity_dnn::precision::Precision;
@@ -60,6 +60,14 @@ pub struct JobSpec {
     /// Job-level retries after a failed attempt (each resumes from the
     /// job's checkpoint, backing off exponentially).
     pub retries: usize,
+    /// Batched fault-cone evaluation cadence (`0` = off). Policy, not
+    /// identity: the batched and dense paths produce bit-identical results,
+    /// so two submissions differing only here share one execution.
+    pub batch: usize,
+    /// MAC kernel tier (`bitwise` or `fast`). Identity: the Fast tier may
+    /// change low-order bits, so it feeds the fingerprint and the campaign
+    /// checkpoint key.
+    pub mac_tier: MacTier,
 }
 
 impl Default for JobSpec {
@@ -76,6 +84,8 @@ impl Default for JobSpec {
             priority: 0,
             deadline_ms: None,
             retries: 2,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         }
     }
 }
@@ -140,6 +150,14 @@ impl JobSpec {
                 }
                 "deadline_ms" => spec.deadline_ms = Some(u64_field(val, key)?),
                 "retries" => spec.retries = usize_field(val, key)?,
+                "batch" => spec.batch = usize_field(val, key)?,
+                "mac_tier" => {
+                    let s = val
+                        .as_str()
+                        .ok_or_else(|| bad(key, "\"bitwise\" or \"fast\""))?;
+                    spec.mac_tier =
+                        MacTier::parse(s).ok_or_else(|| bad(key, "\"bitwise\" or \"fast\""))?;
+                }
                 other => return Err(format!("unknown field `{other}`")),
             }
         }
@@ -212,6 +230,9 @@ impl JobSpec {
             push_num(&mut s, "deadline_ms", d as f64);
         }
         push_num(&mut s, "retries", self.retries as f64);
+        push_num(&mut s, "batch", self.batch as f64);
+        s.push_str(",\"mac_tier\":");
+        escape_into(&mut s, self.mac_tier.as_str());
         s.push('}');
         s
     }
@@ -235,6 +256,9 @@ impl JobSpec {
         eat(&[u8::from(self.record_events), u8::from(self.seed.is_some())]);
         eat(&self.target_ci.map_or(u64::MAX, f64::to_bits).to_le_bytes());
         eat(&self.bounding.map_or(u32::MAX, f32::to_bits).to_le_bytes());
+        // The MAC tier is identity (Fast may change bits); `batch` is policy
+        // (bit-identical by construction) and deliberately excluded.
+        eat(self.mac_tier.as_str().as_bytes());
         h
     }
 
@@ -315,6 +339,8 @@ impl JobSpec {
             target_ci_halfwidth: self.target_ci,
             resilience: Default::default(),
             progress: None,
+            batch: self.batch,
+            mac_tier: self.mac_tier,
         }
     }
 }
@@ -386,6 +412,8 @@ mod tests {
                 priority: -2,
                 deadline_ms: Some(12_000),
                 retries: 0,
+                batch: 16,
+                mac_tier: MacTier::Fast,
             },
         ];
         for spec in specs {
@@ -402,8 +430,9 @@ mod tests {
             r#"{"network":"vgg"}"#,              // unknown network
             r#"{"network":"lstm","samples":0}"#, // zero samples
             r#"{"network":"lstm","precision":"bf16"}"#,
-            r#"{"samples":4}"#, // missing network
-            r#"[1,2,3]"#,       // not an object
+            r#"{"network":"lstm","mac_tier":"turbo"}"#, // unknown tier
+            r#"{"samples":4}"#,                         // missing network
+            r#"[1,2,3]"#,                               // not an object
         ] {
             let v = parse(body).unwrap();
             assert!(JobSpec::from_json(&v).is_err(), "accepted: {body}");
@@ -429,7 +458,11 @@ mod tests {
         policy.deadline_ms = Some(1);
         policy.retries = 0;
         policy.threads = 8;
+        policy.batch = 64; // batched evaluation is bit-identical → policy
         assert_eq!(a.fingerprint(), policy.fingerprint());
+        let mut fast = a.clone();
+        fast.mac_tier = MacTier::Fast; // may change bits → identity
+        assert_ne!(a.fingerprint(), fast.fingerprint());
         let mut reseeded = a.clone();
         reseeded.seed = Some(8);
         assert_ne!(a.fingerprint(), reseeded.fingerprint());

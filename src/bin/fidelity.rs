@@ -4,7 +4,8 @@
 //! fidelity rfa      [--lanes N] [--hold N] [--eyeriss K T]
 //! fidelity analyze  --network NAME [--precision fp16|int16|int8]
 //!                   [--samples N] [--bounding SLACK] [--seed N]
-//!                   [--jobs N] [--checkpoint PATH] [--resume]
+//!                   [--jobs N] [--batch N] [--mac-tier bitwise|fast]
+//!                   [--checkpoint PATH] [--resume]
 //! fidelity validate --network NAME [--layer NAME] [--sites N] [--systolic]
 //! fidelity protect  --network NAME [--target FIT] [--samples N]
 //! fidelity report   --trace FILE
@@ -102,7 +103,8 @@ const USAGE: &str = "usage:
   fidelity rfa      [--lanes N] [--hold N] [--eyeriss K,T]
   fidelity analyze  --network NAME [--precision fp16|int16|int8]
                     [--samples N] [--bounding SLACK] [--seed N]
-                    [--jobs N] [--checkpoint PATH] [--resume]
+                    [--jobs N] [--batch N] [--mac-tier bitwise|fast]
+                    [--checkpoint PATH] [--resume]
   fidelity validate --network NAME [--layer NAME] [--sites N]
   fidelity protect  --network NAME [--target FIT] [--samples N] [--jobs N]
   fidelity report   --trace FILE
@@ -123,6 +125,15 @@ telemetry (analyze | validate | protect):
 parallelism (analyze | protect):
   --jobs N          campaign worker threads (default: all cores); results
                     are bit-identical for any N
+
+performance (analyze | protect):
+  --batch N         batched fault-cone evaluation: keep a golden snapshot
+                    per worker and evaluate injections as sparse deltas,
+                    re-ensured every N samples (default 0 = off); results
+                    are bit-identical either way
+  --mac-tier TIER   MAC kernel tier: `bitwise` (default, byte-identical to
+                    the scalar oracle) or `fast` (tree-reduced Dense/MatMul;
+                    measured worst-case divergence is reported)
 
 networks: inception | resnet | mobilenet | yolo | transformer | lstm";
 
@@ -317,6 +328,19 @@ fn spec_from(opts: &HashMap<String, String>) -> Result<CampaignSpec, String> {
     if opts.contains_key("progress") {
         spec.progress = Some(fidelity::obs::progress::ProgressSpec::default());
     }
+    // `--batch N` turns on batched fault-cone evaluation: workers keep a
+    // shared golden snapshot and evaluate injections as sparse deltas,
+    // re-ensuring the snapshot every N samples. Results are bit-identical
+    // with or without it; the flag only trades memory for speed.
+    if let Some(batch) = opts.get("batch") {
+        spec.batch = batch
+            .parse()
+            .map_err(|_| format!("--batch: cannot parse `{batch}`"))?;
+    }
+    if let Some(tier) = opts.get("mac-tier") {
+        spec.mac_tier = fidelity::dnn::macspec::MacTier::parse(tier)
+            .ok_or_else(|| format!("--mac-tier: `{tier}` is not bitwise|fast"))?;
+    }
     match (opts.get("checkpoint"), opts.contains_key("resume")) {
         (Some(path), resume) => {
             spec.resilience.checkpoint = Some(if resume {
@@ -367,6 +391,9 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
             "  layer {:<28} exec {:>8} cycles",
             term.name, term.exec_cycles
         );
+    }
+    if let Some(d) = analysis.campaign.fast_divergence {
+        println!("fast-tier MAC divergence (measured worst case): {d:e}");
     }
     if opts.get("detail").map(String::as_str) == Some("true") {
         println!(

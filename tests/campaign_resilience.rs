@@ -9,7 +9,7 @@ use std::time::Duration;
 use fidelity::accel::ff::{FfCategory, PipelineStage, VarType};
 use fidelity::accel::presets;
 use fidelity::core::campaign::{
-    run_campaign, CampaignResult, CampaignRunner, CampaignSpec, CellStats, InjectionEvent,
+    run_campaign, CampaignResult, CampaignRunner, CampaignSpec, CellStats, InjectionEvent, MacTier,
 };
 use fidelity::core::models::{OperandWindow, SoftwareFaultModel};
 use fidelity::core::outcome::{Outcome, TopOneMatch};
@@ -62,6 +62,8 @@ fn spec(samples: usize, seed: u64) -> CampaignSpec {
         target_ci_halfwidth: None,
         resilience: ResilienceSpec::default(),
         progress: None,
+        batch: 0,
+        mac_tier: MacTier::Bitwise,
     }
 }
 

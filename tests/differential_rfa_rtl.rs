@@ -16,17 +16,29 @@
 //! systolic engine — its row-stationary mapping is defined over conv output
 //! rows, a constructor precondition of `SystolicEngine`, so the NVDLA
 //! family carries the Dense/MatMul columns of the kind matrix.
+//!
+//! The corpus also drives the batched-runner sweep: for every seed, the
+//! grouped delta-evaluation path (`BatchedInjectionRunner`) must reproduce
+//! the serial pooled oracle bit for bit; a mismatch names the group, the
+//! cell, and the first divergent byte of the canonical injection record.
 
 use std::collections::HashSet;
 
 use fidelity::accel::arch::{AcceleratorConfig, DataflowKind};
 use fidelity::accel::ff::FfCategory;
 use fidelity::accel::presets;
+use fidelity::core::batch::BatchedInjectionRunner;
+use fidelity::core::inject::{inject_once_pooled, Injection};
+use fidelity::core::models::model_for;
+use fidelity::core::outcome::TopOneMatch;
 use fidelity::core::validate::{random_sites, validate_many, ValidationReport};
 use fidelity::core::validate_systolic::{random_systolic_sites, validate_systolic_many};
+use fidelity::dnn::graph::{golden_key, Engine, NetworkBuilder, Trace};
 use fidelity::dnn::init::{uniform_tensor, SplitMix64};
+use fidelity::dnn::layers::{Activation, ActivationKind, Conv2d, Dense, Flatten, GlobalAvgPool};
 use fidelity::dnn::macspec::{ConvSpec, DenseSpec, MacSpec, MatMulSpec};
 use fidelity::dnn::precision::{Precision, ValueCodec};
+use fidelity::dnn::workspace::Workspace;
 use fidelity::rtl::{FaultSite, FfId, RtlEngine, RtlLayer, SysFaultSite, SysFfId, SystolicEngine};
 
 const GOLDEN_SEEDS: &str = include_str!("golden/differential_seeds.txt");
@@ -332,4 +344,125 @@ fn nvdla_large_like_agrees_on_all_kinds() {
 #[test]
 fn eyeriss_like_agrees_on_conv() {
     sweep_eyeriss(&presets::eyeriss_like());
+}
+
+/// A small seeded conv classifier and two traces on different inputs — two
+/// golden-key groups for the batched sweep.
+fn seeded_engine_with_traces(seed: u64) -> (Engine, Vec<Trace>) {
+    let net = NetworkBuilder::new("diff_clf")
+        .input("x")
+        .layer(
+            Conv2d::new("conv", uniform_tensor(seed, vec![4, 2, 3, 3], 0.6))
+                .unwrap()
+                .with_padding(1, 1),
+            &["x"],
+        )
+        .unwrap()
+        .layer(Activation::new("relu", ActivationKind::Relu), &["conv"])
+        .unwrap()
+        .layer(GlobalAvgPool::new("gap"), &["relu"])
+        .unwrap()
+        .layer(Flatten::new("flat"), &["gap"])
+        .unwrap()
+        .layer(
+            Dense::new("fc", uniform_tensor(seed ^ 1, vec![5, 4], 0.6)).unwrap(),
+            &["flat"],
+        )
+        .unwrap()
+        .build()
+        .unwrap();
+    let engine = Engine::new(net, Precision::Fp16, &[]).unwrap();
+    let traces = [seed ^ 2, seed ^ 3]
+        .iter()
+        .map(|&s| {
+            engine
+                .trace(&[uniform_tensor(s, vec![1, 2, 6, 6], 1.0)])
+                .unwrap()
+        })
+        .collect();
+    (engine, traces)
+}
+
+/// Canonical byte record of one injection outcome — the unit the batched
+/// sweep's "first divergent byte" diagnostics are stated in.
+fn injection_record(inj: &Injection) -> Vec<u8> {
+    let mut b = Vec::with_capacity(14);
+    b.push(inj.outcome as u8);
+    b.extend((inj.faulty_neurons as u64).to_le_bytes());
+    b.extend(inj.max_perturbation.to_bits().to_le_bytes());
+    b.push(u8::from(inj.watchdog));
+    b
+}
+
+/// Batched fault-cone sweep over the golden corpus: for every seed, every
+/// census category with a software model, and batch sizes straddling the
+/// re-ensure cadence, injections driven through `BatchedInjectionRunner`
+/// (alternating between two trace groups) must be byte-identical to the
+/// serial pooled oracle on a fresh workspace. A mismatch names the group
+/// (golden key), the cell (node, category, sample), and the first divergent
+/// byte of the canonical record.
+#[test]
+fn batched_runner_matches_serial_oracle_over_corpus() {
+    const SAMPLES: usize = 8;
+    let cfg = presets::nvdla_like();
+    for &seed in &golden_seeds() {
+        let (engine, traces) = seeded_engine_with_traces(seed);
+        let keys: Vec<u64> = traces.iter().map(golden_key).collect();
+        for batch in [1usize, 7, 64] {
+            let mut runner = BatchedInjectionRunner::new(batch);
+            let mut oracle_ws = Workspace::new();
+            for (category, _) in cfg.census.iter() {
+                let Some(model) = model_for(category, &cfg) else {
+                    continue;
+                };
+                for (group, trace) in traces.iter().enumerate() {
+                    // Both sides consume an identical RNG stream.
+                    let mut rng_b = SplitMix64::new(seed ^ (group as u64) << 8);
+                    let mut rng_s = SplitMix64::new(seed ^ (group as u64) << 8);
+                    for sample in 0..SAMPLES {
+                        let batched = runner
+                            .run(&engine, trace, 0, model, &TopOneMatch, &mut rng_b, None)
+                            .unwrap();
+                        let serial = inject_once_pooled(
+                            &engine,
+                            trace,
+                            0,
+                            model,
+                            &TopOneMatch,
+                            &mut rng_s,
+                            None,
+                            &mut oracle_ws,
+                        )
+                        .unwrap();
+                        let (rb, rs) = (injection_record(&batched), injection_record(&serial));
+                        if rb != rs {
+                            let byte = rb
+                                .iter()
+                                .zip(&rs)
+                                .position(|(a, b)| a != b)
+                                .unwrap_or_else(|| rb.len().min(rs.len()));
+                            panic!(
+                                "batched sweep mismatch: seed {seed}, batch {batch}, \
+                                 group {group} (golden key {:#018x}), cell (node 0, \
+                                 category {category:?}, sample {sample}): first divergent \
+                                 byte at offset {byte} (batched {:#04x} vs serial {:#04x})",
+                                keys[group],
+                                rb.get(byte).copied().unwrap_or(0),
+                                rs.get(byte).copied().unwrap_or(0),
+                            );
+                        }
+                    }
+                }
+            }
+            let stats = runner.stats();
+            assert_eq!(
+                stats.delta_eligible, stats.injections,
+                "seed {seed} batch {batch}: every injection should take the delta path"
+            );
+            assert!(
+                stats.groups >= 2,
+                "seed {seed} batch {batch}: alternating traces must form >= 2 groups"
+            );
+        }
+    }
 }

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use fidelity::accel::ff::FfCategory;
 use fidelity::accel::presets;
 use fidelity::core::campaign::{
-    run_campaign, CampaignResult, CampaignSpec, CellStats, ParallelCampaignRunner,
+    run_campaign, CampaignResult, CampaignSpec, CellStats, MacTier, ParallelCampaignRunner,
 };
 use fidelity::core::outcome::TopOneMatch;
 use fidelity::core::resilience::{ChaosMode, ChaosSpec, CheckpointSpec, ResilienceSpec};
@@ -200,6 +200,8 @@ proptest! {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         let (serial_key, serial_bytes) = run_at(&engine, &trace, &spec, 1, "clean");
         for jobs in &job_counts()[1..] {
@@ -227,6 +229,8 @@ proptest! {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         spec.resilience.chaos = victims(&engine, &trace, &spec)
             .into_iter()
@@ -267,6 +271,8 @@ proptest! {
             target_ci_halfwidth: None,
             resilience: ResilienceSpec::default(),
             progress: None,
+            batch: 0,
+            mac_tier: MacTier::Bitwise,
         };
         // The uninterrupted reference: result surface and checkpoint bytes.
         let (reference_key, reference_bytes) = run_at(&engine, &trace, &clean, 1, "ref");
