@@ -28,6 +28,7 @@ fn bench_campaign(c: &mut Criterion) {
         progress: None,
         batch: 0,
         mac_tier: MacTier::Bitwise,
+        adaptive: None,
     };
     group.bench_function("fixed_300_per_cell", |b| {
         b.iter(|| run_campaign(&engine, &trace, &accel, &TopOneMatch, &fixed).expect("runs"));

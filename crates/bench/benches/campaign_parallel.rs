@@ -28,6 +28,7 @@ fn bench_campaign_parallel(c: &mut Criterion) {
         progress: None,
         batch: 0,
         mac_tier: MacTier::Bitwise,
+        adaptive: None,
     };
 
     // The contract the speedup is allowed to assume: worker count never

@@ -1,0 +1,242 @@
+//! Adaptive campaign planner savings: injections-to-convergence and
+//! wall-clock for the confidence-driven planner vs the fixed per-cell
+//! baseline, at the same FIT-bound target ±ε, on the Fig.-4 classification
+//! workloads (FP16, top-1 metric).
+//!
+//! Two fixed baselines are recorded, because they answer different
+//! questions:
+//!
+//! * **a-priori fixed** — the per-cell budget a fixed plan must commit to
+//!   *before* seeing any outcome: masking rates are unknown up front, so a
+//!   fixed plan that guarantees ±ε has to size every cell for worst-case
+//!   variance (p = 0.5). This is the plan the adaptive planner replaces,
+//!   and the headline ≥3× saving is measured against it.
+//! * **oracle uniform** — the cheapest uniform plan that reaches ±ε given
+//!   the *observed* rates (computed from the certificate's own stratum
+//!   weights and p̂). No realizable fixed plan can beat it, so it bounds
+//!   the allocation-only gain from below; the adaptive win over this
+//!   oracle is the Neyman-allocation share of the saving (~1.3–1.7×).
+//!
+//! The oracle-uniform campaign is also *executed* (it is affordable) to
+//! check wall-clock and adaptive/fixed FIT agreement within ε; the a-priori
+//! plan's wall-clock is extrapolated from it linearly in injections.
+//!
+//! Quick mode (`FIDELITY_BENCH_QUICK=1`) runs MobileNet only, at a looser ε.
+
+use std::time::Instant;
+
+use fidelity_bench::report;
+use fidelity_core::adaptive::{AdaptivePlan, ConfidenceCertificate};
+use fidelity_core::analysis::analyze;
+use fidelity_core::fit::PAPER_RAW_FIT_PER_MB;
+use fidelity_core::outcome::TopOneMatch;
+use fidelity_dnn::precision::Precision;
+use fidelity_obs::json::Json;
+use fidelity_obs::stats::{wilson, z_for_confidence};
+use fidelity_workloads::classification_suite;
+
+/// The uniform-allocation FIT bound at `n` samples per cell. `rates`
+/// selects the planner's knowledge: observed p̂ per stratum (oracle) or
+/// worst-case p = 0.5 (a-priori).
+fn uniform_bound(cert: &ConfidenceCertificate, n: usize, rates: Rates) -> f64 {
+    let z = z_for_confidence(cert.plan.confidence).expect("certificate confidence is supported");
+    cert.strata
+        .iter()
+        .filter(|s| s.sampled && s.weight > 0.0)
+        .map(|s| {
+            let p = match rates {
+                Rates::Observed => s.p_hat,
+                Rates::WorstCase => 0.5,
+            };
+            let successes = ((p * n as f64).round() as usize).min(n);
+            let (lo, hi) = wilson(successes, n, z);
+            s.weight * (hi - lo) / 2.0
+        })
+        .sum()
+}
+
+#[derive(Clone, Copy)]
+enum Rates {
+    /// The certificate's observed masking rates — oracle knowledge no fixed
+    /// plan has before sampling.
+    Observed,
+    /// p = 0.5 everywhere — the worst-case variance an a-priori fixed plan
+    /// must budget for.
+    WorstCase,
+}
+
+/// The smallest uniform per-cell budget whose total bound reaches ±ε under
+/// the given rate assumption.
+fn fixed_budget(cert: &ConfidenceCertificate, epsilon: f64, rates: Rates) -> usize {
+    let (mut lo, mut hi) = (1usize, 1usize);
+    while uniform_bound(cert, hi, rates) > epsilon {
+        hi *= 2;
+        assert!(hi < 1 << 40, "uniform plan cannot reach epsilon {epsilon}");
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if uniform_bound(cert, mid, rates) > epsilon {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    fidelity_bench::init_telemetry();
+    let quick = report::quick();
+    let epsilon = std::env::var("FIDELITY_EPSILON")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 0.5 } else { 0.2 });
+    let cfg = fidelity_accel::presets::nvdla_like();
+    let spec_seed = 0xF164;
+
+    println!("Adaptive planner vs fixed baseline (FP16, top-1, epsilon {epsilon})");
+    fidelity_bench::rule(112);
+    println!(
+        "{:<12} {:>12} {:>8} {:>13} {:>8} {:>13} {:>8} {:>10} {:>10}",
+        "network",
+        "adaptive-inj",
+        "waves",
+        "apriori-inj",
+        "saving",
+        "oracle-inj",
+        "saving",
+        "adapt-s",
+        "oracle-s"
+    );
+    fidelity_bench::rule(112);
+
+    let mut rows = Vec::new();
+    for workload in classification_suite(42) {
+        if quick && workload.name != "mobilenet" {
+            continue;
+        }
+        let name = workload.name.clone();
+        let (engine, trace) = fidelity_bench::deploy(workload, Precision::Fp16);
+
+        let mut adaptive_spec = fidelity_bench::campaign_spec(spec_seed, false);
+        adaptive_spec.adaptive = Some(AdaptivePlan {
+            epsilon,
+            confidence: 0.95,
+            max_injections: 50_000_000,
+        });
+        let started = Instant::now();
+        let adaptive = analyze(
+            &engine,
+            &trace,
+            &cfg,
+            &TopOneMatch,
+            PAPER_RAW_FIT_PER_MB,
+            &adaptive_spec,
+        )
+        .expect("adaptive analysis over fixed workloads");
+        let adaptive_secs = started.elapsed().as_secs_f64();
+        let cert = adaptive
+            .campaign
+            .certificate
+            .clone()
+            .expect("adaptive campaigns emit a certificate");
+        assert!(cert.converged, "{name}: planner hit the injection ceiling");
+
+        let sampled = cert.strata.iter().filter(|s| s.sampled).count();
+        let apriori_per_cell = fixed_budget(&cert, epsilon, Rates::WorstCase);
+        let apriori_injections = apriori_per_cell * sampled;
+        let oracle_per_cell = fixed_budget(&cert, epsilon, Rates::Observed);
+        let oracle_injections = oracle_per_cell * sampled;
+
+        // Execute the oracle-uniform plan (the cheapest fixed plan that
+        // reaches ±ε) to validate FIT agreement and measure fixed-side
+        // wall-clock; the a-priori plan's wall is extrapolated from it.
+        let mut fixed_spec = fidelity_bench::campaign_spec(spec_seed, false);
+        fixed_spec.samples_per_cell = oracle_per_cell;
+        let started = Instant::now();
+        let fixed = analyze(
+            &engine,
+            &trace,
+            &cfg,
+            &TopOneMatch,
+            PAPER_RAW_FIT_PER_MB,
+            &fixed_spec,
+        )
+        .expect("fixed analysis over fixed workloads");
+        let oracle_secs = started.elapsed().as_secs_f64();
+        let apriori_secs = oracle_secs * apriori_injections as f64 / oracle_injections as f64;
+
+        let saving = apriori_injections as f64 / cert.total_injections as f64;
+        let oracle_saving = oracle_injections as f64 / cert.total_injections as f64;
+        let fit_delta = (fixed.fit.total - adaptive.fit.total).abs();
+        assert!(
+            fit_delta <= epsilon,
+            "{name}: adaptive/fixed FIT disagree beyond epsilon: |{} - {}| = {fit_delta}",
+            adaptive.fit.total,
+            fixed.fit.total
+        );
+        println!(
+            "{:<12} {:>12} {:>8} {:>13} {:>7.2}x {:>13} {:>7.2}x {:>10.2} {:>10.2}",
+            name,
+            cert.total_injections,
+            cert.waves,
+            apriori_injections,
+            saving,
+            oracle_injections,
+            oracle_saving,
+            adaptive_secs,
+            oracle_secs,
+        );
+        rows.push(report::obj([
+            ("network", Json::Str(name)),
+            (
+                "adaptive_injections",
+                Json::Num(cert.total_injections as f64),
+            ),
+            ("adaptive_waves", Json::Num(cert.waves as f64)),
+            ("adaptive_bound_fit", Json::Num(cert.total_bound)),
+            ("adaptive_wall_s", Json::Num(adaptive_secs)),
+            ("adaptive_fit", Json::Num(adaptive.fit.total)),
+            ("apriori_injections", Json::Num(apriori_injections as f64)),
+            (
+                "apriori_samples_per_cell",
+                Json::Num(apriori_per_cell as f64),
+            ),
+            ("apriori_wall_est_s", Json::Num(apriori_secs)),
+            (
+                "oracle_uniform_injections",
+                Json::Num(oracle_injections as f64),
+            ),
+            ("oracle_samples_per_cell", Json::Num(oracle_per_cell as f64)),
+            ("oracle_wall_s", Json::Num(oracle_secs)),
+            ("oracle_fit", Json::Num(fixed.fit.total)),
+            ("fit_delta", Json::Num(fit_delta)),
+            ("injection_saving", Json::Num(saving)),
+            ("oracle_uniform_saving", Json::Num(oracle_saving)),
+        ]));
+    }
+    fidelity_bench::rule(112);
+
+    let min_saving = rows
+        .iter()
+        .filter_map(|r| r.get("injection_saving").and_then(Json::as_f64))
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum injection saving vs a-priori fixed plan: {min_saving:.2}x (target >= 3x)");
+    assert!(
+        min_saving >= 3.0,
+        "adaptive planner saved only {min_saving:.2}x injections (target >= 3x)"
+    );
+
+    report::update(
+        "adaptive",
+        report::obj([
+            ("epsilon", Json::Num(epsilon)),
+            ("confidence", Json::Num(0.95)),
+            ("precision", Json::Str("Fp16".to_owned())),
+            ("quick", Json::Bool(quick)),
+            ("min_injection_saving", Json::Num(min_saving)),
+            ("networks", Json::Arr(rows)),
+        ]),
+    );
+    fidelity_bench::finish_telemetry();
+}

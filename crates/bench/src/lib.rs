@@ -99,6 +99,7 @@ pub fn campaign_spec(seed: u64, record_events: bool) -> CampaignSpec {
         progress: progress_requested().then(fidelity_obs::progress::ProgressSpec::default),
         batch: batch(),
         mac_tier: mac_tier(),
+        adaptive: None,
     }
 }
 
@@ -350,6 +351,7 @@ pub mod gate {
     /// gate on.
     const TRACKED: &[&[&str]] = &[
         &["per_injection", "fidelity_software_pooled", "mean_ns"],
+        &["per_injection", "fidelity_software_pooled_dense", "mean_ns"],
         &["per_injection", "fidelity_software", "mean_ns"],
     ];
 

@@ -1,0 +1,1435 @@
+//! Adaptive confidence-driven campaign planning: stratified sequential
+//! sampling with early termination and a machine-checkable certificate.
+//!
+//! The fixed-count campaign of [`crate::campaign`] spends the same number of
+//! injections on every (layer × FF category) cell, although most cells
+//! resolve their masking probability long before the budget runs out and a
+//! few (high-variance, high-FIT-weight) cells deserve far more. This module
+//! replaces the per-cell count with a *target accuracy*: sampling stops once
+//! the campaign can bound its Eq.-2 FIT estimate to a requested ±ε at a
+//! requested confidence level.
+//!
+//! **Stratification.** Each plan cell — one (MAC node × [`FfCategory`])
+//! pair — is a stratum. Its Eq.-2 weight
+//! `C_h = FIT_raw · N_ff · w_r · FF_Perc(cat) · (1 − Prob_inactive)` is
+//! computed once up front (at the paper's raw FIT rate, so the weights are
+//! identity: they do not depend on the raw-FIT scaling a caller later
+//! applies); the stratum's FIT contribution is `C_h · (1 − p̂)` where `p̂` is
+//! the observed `Prob_SWmask`, and its uncertainty contribution is
+//! `C_h · hw` with `hw` the Wilson half-width of `p̂` at the plan's z. The
+//! campaign has converged when `Σ_h C_h · hw_h ≤ ε`. Global-control strata
+//! are never sampled (`Prob_SWmask = 0` by definition), contribute `C_h`
+//! exactly, and carry zero uncertainty.
+//!
+//! **Allocation.** Waves of injections are sized from the running total
+//! (wave 0 lays a floor of [`WAVE_FLOOR`] samples per stratum; each later
+//! wave spends half the total so far, at least [`WAVE_MIN_BUDGET`]) and
+//! split across strata proportionally to their current uncertainty
+//! contribution — a Neyman-style allocation that buys the most bound
+//! reduction per injection. Rounding remainders are distributed by a
+//! seed-derived permutation, so the schedule is a pure function of
+//! (seed, tallies) and bit-identical for any worker count.
+//!
+//! **Determinism and resume.** Each stratum owns the same SplitMix64 stream
+//! it would own in a fixed-count campaign (so the first k adaptive samples
+//! of a stratum are bit-identical to the fixed path's first k), and the
+//! stream's state is persisted after every wave in a `fidelity-ackpt v1`
+//! checkpoint. A killed campaign loses at most the wave in flight; resuming
+//! replays the allocator from the recorded tallies and continues the exact
+//! streams mid-way (via [`SplitMix64::state`]), producing byte-identical
+//! results and checkpoint files.
+//!
+//! **Certificate.** A finished campaign emits a [`ConfidenceCertificate`]:
+//! per-stratum n, p̂, CI half-width, FIT contribution ± bound, the total ε
+//! achieved, and the campaign fingerprint. The certificate is recomputable
+//! from the checkpoint alone — [`verify_checkpoint`] re-derives every term
+//! offline and cross-checks the stored totals bit-for-bit, which is what
+//! `fidelity statcheck --cert` runs.
+
+use std::io::{self, BufRead, Write};
+
+use fidelity_accel::arch::AcceleratorConfig;
+use fidelity_accel::ff::FfCategory;
+use fidelity_accel::perf::{extract_work, LayerTiming};
+use fidelity_dnn::graph::{Engine, Trace};
+use fidelity_dnn::init::SplitMix64;
+use fidelity_dnn::DnnError;
+use fidelity_obs::stats::{wilson, z_for_confidence};
+
+use crate::activeness::prob_inactive;
+use crate::fit::PAPER_RAW_FIT_PER_MB;
+use crate::models::SoftwareFaultModel;
+use crate::resilience::{cat_code, model_code, parse_cat, parse_model};
+
+/// Sampling floor laid by wave 0: every sampled stratum gets this many
+/// injections before any adaptive decision, so a lucky early streak cannot
+/// freeze a stratum's estimate on a handful of samples.
+pub const WAVE_FLOOR: usize = 32;
+
+/// Minimum injection budget of any wave after the floor wave: below this,
+/// per-wave scheduling overhead dominates the statistics bought.
+pub const WAVE_MIN_BUDGET: usize = 64;
+
+/// Adaptive sampling policy for a campaign: run injection waves until the
+/// total FIT-contribution uncertainty is below `epsilon`, or `max_injections`
+/// is exhausted.
+///
+/// Fingerprint semantics (see `campaign_fingerprint`): `epsilon`,
+/// `confidence`, and `max_injections` are campaign *identity* — they decide
+/// which injections run, so checkpoints are only interchangeable between
+/// equal plans. Wave batching (worker count, `--batch`) remains pure policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivePlan {
+    /// Target half-width on the total FIT contribution of the sampled
+    /// strata, in the same FIT units Eq. 2 produces at
+    /// [`PAPER_RAW_FIT_PER_MB`]. The campaign converges when
+    /// `Σ_h C_h · hw_h ≤ ε`.
+    pub epsilon: f64,
+    /// Two-sided confidence level of the per-stratum Wilson intervals. Only
+    /// levels with a pinned quantile are accepted (0.90, 0.95, 0.99 — see
+    /// [`z_for_confidence`]).
+    pub confidence: f64,
+    /// Hard cap on total injections across all strata. Reaching it ends the
+    /// campaign with an honest non-converged certificate.
+    pub max_injections: usize,
+}
+
+impl AdaptivePlan {
+    /// A plan targeting ±`epsilon` at 95% confidence with a one-million
+    /// injection cap.
+    pub fn new(epsilon: f64) -> Self {
+        AdaptivePlan {
+            epsilon,
+            confidence: 0.95,
+            max_injections: 1_000_000,
+        }
+    }
+
+    /// Validates the plan and returns the standard-normal quantile of its
+    /// confidence level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::Campaign`] for a non-positive or non-finite ε, an
+    /// unsupported confidence level, or a zero injection cap.
+    pub fn validated_z(&self) -> Result<f64, DnnError> {
+        let bad = |message: String| DnnError::Campaign { message };
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(bad(format!(
+                "adaptive epsilon must be positive and finite, got {}",
+                self.epsilon
+            )));
+        }
+        if self.max_injections == 0 {
+            return Err(bad("adaptive max_injections must be at least 1".into()));
+        }
+        z_for_confidence(self.confidence).ok_or_else(|| {
+            bad(format!(
+                "unsupported adaptive confidence level {} (use 0.90, 0.95, or 0.99)",
+                self.confidence
+            ))
+        })
+    }
+}
+
+/// One stratum of the adaptive plan, as pinned in the checkpoint header.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StratumMeta {
+    /// Target node index.
+    pub node: usize,
+    /// FF category.
+    pub category: FfCategory,
+    /// Software fault model applied.
+    pub model: SoftwareFaultModel,
+    /// Eq.-2 identity weight `C_h` (at [`PAPER_RAW_FIT_PER_MB`]).
+    pub weight: f64,
+    /// Layer name (reporting only).
+    pub layer: String,
+}
+
+impl StratumMeta {
+    /// Whether the stratum is sampled at all (global control never is).
+    pub fn sampled(&self) -> bool {
+        self.category != FfCategory::GlobalControl
+    }
+}
+
+/// The running tally of one stratum, including its RNG stream position.
+#[derive(Debug, Clone)]
+pub(crate) struct StratumTally {
+    /// Injections run.
+    pub samples: usize,
+    /// Masked outcomes.
+    pub masked: usize,
+    /// Application output errors.
+    pub output_error: usize,
+    /// System anomalies.
+    pub anomaly: usize,
+    /// SplitMix64 state the stream continues from.
+    pub rng_state: u64,
+    /// A frozen stratum exhausted its retries; it keeps its last committed
+    /// tally and receives no further allocation.
+    pub frozen: bool,
+}
+
+impl StratumTally {
+    /// A fresh tally at the start of the stratum's derived RNG stream.
+    pub fn fresh(rng_state: u64) -> Self {
+        StratumTally {
+            samples: 0,
+            masked: 0,
+            output_error: 0,
+            anomaly: 0,
+            rng_state,
+            frozen: false,
+        }
+    }
+}
+
+/// Eq.-2 identity weights `C_h` for every plan cell, computed at the paper's
+/// raw FIT rate so they are independent of any caller-side scaling.
+///
+/// `plan` is the campaign's cell plan in plan order; the returned vector is
+/// index-aligned with it.
+pub(crate) fn stratum_weights(
+    engine: &Engine,
+    trace: &Trace,
+    accel: &AcceleratorConfig,
+    plan: &[(usize, FfCategory)],
+) -> Vec<f64> {
+    let work = extract_work(engine, trace);
+    let precision = engine.precision();
+    let mut nodes: Vec<usize> = plan.iter().map(|&(node, _)| node).collect();
+    nodes.dedup();
+    let timings: Vec<(usize, LayerTiming)> = nodes
+        .iter()
+        .map(|&node| (node, LayerTiming::analyze(accel, &work[node])))
+        .collect();
+    let total_exec: f64 = timings.iter().map(|(_, t)| t.total_cycles as f64).sum();
+    let raw_total = PAPER_RAW_FIT_PER_MB * accel.ff_megabytes();
+    plan.iter()
+        .map(|&(node, category)| {
+            let timing = timings
+                .iter()
+                .find(|(n, _)| *n == node)
+                .map(|(_, t)| t)
+                // Every plan node was timed just above.
+                // statcheck:allow(panic-path)
+                .expect("plan node timed");
+            let w = if total_exec > 0.0 {
+                timing.total_cycles as f64 / total_exec
+            } else {
+                0.0
+            };
+            let frac = accel.census.fraction(category);
+            let inactive = prob_inactive(accel, category, timing, precision);
+            raw_total * w * frac * (1.0 - inactive)
+        })
+        .collect()
+}
+
+/// The per-stratum certificate terms, derived from (weight, tally, z) —
+/// shared by the running campaign and the offline verifier so both compute
+/// bit-identical numbers.
+pub(crate) fn stratum_terms(
+    weight: f64,
+    masked: usize,
+    samples: usize,
+    z: f64,
+    sampled: bool,
+) -> (f64, f64, f64, f64) {
+    let p_hat = if samples == 0 {
+        0.0
+    } else {
+        masked as f64 / samples as f64
+    };
+    let halfwidth = if sampled {
+        let (lo, hi) = wilson(masked, samples, z);
+        (hi - lo) / 2.0
+    } else {
+        0.0
+    };
+    let contribution = weight * (1.0 - p_hat);
+    let bound = weight * halfwidth;
+    (p_hat, halfwidth, contribution, bound)
+}
+
+// ---------------------------------------------------------------------------
+// Wave allocation
+// ---------------------------------------------------------------------------
+
+/// A seed-derived rank for breaking allocation ties; a pure function of
+/// (seed, wave, stratum), so the permutation replays exactly on resume.
+fn tie_rank(seed: u64, wave: usize, stratum: usize) -> u64 {
+    SplitMix64::new(
+        seed ^ 0xADA7_11CE_5EED_0001u64.wrapping_mul(wave as u64 + 1)
+            ^ (stratum as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+    .next_u64()
+}
+
+/// Splits `budget` injections evenly over `strata` (the floor wave), with
+/// the remainder distributed by the seeded permutation. Returns
+/// `(stratum index, quota)` pairs in stratum order, zero quotas omitted.
+pub(crate) fn allocate_even(
+    budget: usize,
+    strata: &[usize],
+    seed: u64,
+    wave: usize,
+) -> Vec<(usize, usize)> {
+    if strata.is_empty() || budget == 0 {
+        return Vec::new();
+    }
+    let per = budget / strata.len();
+    let rem = budget % strata.len();
+    let mut order: Vec<usize> = (0..strata.len()).collect();
+    order.sort_by_key(|&i| (tie_rank(seed, wave, strata[i]), strata[i]));
+    let mut quotas = vec![per; strata.len()];
+    for &i in order.iter().take(rem) {
+        quotas[i] += 1;
+    }
+    let mut out: Vec<(usize, usize)> = strata
+        .iter()
+        .zip(quotas)
+        .filter(|&(_, q)| q > 0)
+        .map(|(&s, q)| (s, q))
+        .collect();
+    out.sort_unstable_by_key(|&(s, _)| s);
+    out
+}
+
+/// Neyman-style allocation: splits `budget` over `strata` proportionally to
+/// each stratum's current uncertainty contribution `C_h · hw_h`, with
+/// largest-remainder rounding and seeded tie-breaks. Returns
+/// `(stratum index, quota)` pairs in stratum order, zero quotas omitted.
+pub(crate) fn allocate_neyman(
+    budget: usize,
+    strata: &[(usize, f64)],
+    seed: u64,
+    wave: usize,
+) -> Vec<(usize, usize)> {
+    if strata.is_empty() || budget == 0 {
+        return Vec::new();
+    }
+    let total: f64 = strata.iter().map(|&(_, b)| b).sum();
+    if total <= 0.0 {
+        return allocate_even(
+            budget,
+            &strata.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            seed,
+            wave,
+        );
+    }
+    let shares: Vec<f64> = strata
+        .iter()
+        .map(|&(_, b)| budget as f64 * (b / total))
+        .collect();
+    let mut quotas: Vec<usize> = shares.iter().map(|&s| s.floor() as usize).collect();
+    let assigned: usize = quotas.iter().sum();
+    let mut order: Vec<usize> = (0..strata.len()).collect();
+    // Largest fractional remainder first; seeded permutation breaks exact
+    // ties (total_cmp gives f64 a total order, so the sort is deterministic).
+    order.sort_by(|&a, &b| {
+        let fa = shares[a] - shares[a].floor();
+        let fb = shares[b] - shares[b].floor();
+        fb.total_cmp(&fa)
+            .then_with(|| tie_rank(seed, wave, strata[a].0).cmp(&tie_rank(seed, wave, strata[b].0)))
+            .then_with(|| strata[a].0.cmp(&strata[b].0))
+    });
+    for &i in order.iter().take(budget.saturating_sub(assigned)) {
+        quotas[i] += 1;
+    }
+    let mut out: Vec<(usize, usize)> = strata
+        .iter()
+        .zip(quotas)
+        .filter(|&(_, q)| q > 0)
+        .map(|(&(s, _), q)| (s, q))
+        .collect();
+    out.sort_unstable_by_key(|&(s, _)| s);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encoding (fidelity-ackpt v1)
+// ---------------------------------------------------------------------------
+
+/// Adaptive checkpoint magic + version line. Distinct from the fixed-count
+/// `fidelity-ckpt v1` format: the two record different state (cumulative
+/// wave tallies + RNG stream positions vs completed cells) and are not
+/// interchangeable.
+const ACKPT_HEADER: &str = "fidelity-ackpt v1";
+
+/// One stratum's cumulative tally as recorded at a wave boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StratumRow {
+    /// Injections run so far (absolute, not per-wave).
+    pub samples: usize,
+    /// Masked outcomes so far.
+    pub masked: usize,
+    /// Application output errors so far.
+    pub output_error: usize,
+    /// System anomalies so far.
+    pub anomaly: usize,
+    /// SplitMix64 state the stream continues from.
+    pub rng_state: u64,
+}
+
+/// A stratum that exhausted its retries during a wave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WaveFail {
+    /// Stratum index.
+    pub stratum: usize,
+    /// Attempts made (first run + retries).
+    pub attempts: usize,
+    /// Failure kind tag (`panic` or `error`).
+    pub kind: String,
+    /// Full failure message (newlines flattened to spaces).
+    pub message: String,
+}
+
+/// One committed wave: the cumulative tallies of every stratum that received
+/// allocation, plus any strata frozen by failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WaveBlock {
+    /// Wave index (0-based, contiguous).
+    pub index: usize,
+    /// `(stratum index, cumulative tally)` rows, sorted by stratum index.
+    pub rows: Vec<(usize, StratumRow)>,
+    /// Strata frozen during this wave, sorted by stratum index.
+    pub fails: Vec<WaveFail>,
+}
+
+/// The certificate totals pinned in the checkpoint footer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CertFooter {
+    /// Achieved total uncertainty bound (`Σ_h C_h · hw_h`), exact bits.
+    pub total_bound: f64,
+    /// Total injections across all strata.
+    pub total_injections: usize,
+    /// Waves run.
+    pub waves: usize,
+    /// Whether the bound met the plan's ε.
+    pub converged: bool,
+}
+
+/// A parsed `fidelity-ackpt v1` checkpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct AdaptiveCheckpoint {
+    /// Campaign fingerprint the checkpoint was written for.
+    pub fingerprint: u64,
+    /// Plan identity, exact bits.
+    pub epsilon_bits: u64,
+    /// Confidence level, exact bits.
+    pub confidence_bits: u64,
+    /// Injection cap.
+    pub max_injections: usize,
+    /// Wave-0 floor the schedule was derived with.
+    pub floor: usize,
+    /// Stratum metadata in plan order (weights as exact bits).
+    pub strata: Vec<(StratumMeta, u64)>,
+    /// Committed waves, in order.
+    pub waves: Vec<WaveBlock>,
+    /// The certificate footer, present once the campaign finished.
+    pub footer: Option<CertFooter>,
+}
+
+/// Writes the checkpoint preamble: header, fingerprint, plan identity, and
+/// the stratum table.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub(crate) fn write_adaptive_header<W: Write>(
+    w: &mut W,
+    fingerprint: u64,
+    plan: &AdaptivePlan,
+    floor: usize,
+    strata: &[StratumMeta],
+) -> io::Result<()> {
+    writeln!(w, "{ACKPT_HEADER}")?;
+    writeln!(w, "fingerprint {fingerprint:016x}")?;
+    writeln!(
+        w,
+        "plan {:016x} {:016x} {} {} {}",
+        plan.epsilon.to_bits(),
+        plan.confidence.to_bits(),
+        plan.max_injections,
+        floor,
+        strata.len(),
+    )?;
+    for (idx, s) in strata.iter().enumerate() {
+        writeln!(
+            w,
+            "stratum {idx} {} {} {} {:016x} {}",
+            s.node,
+            cat_code(s.category),
+            model_code(&s.model),
+            s.weight.to_bits(),
+            s.layer,
+        )?;
+    }
+    Ok(())
+}
+
+/// Appends one committed wave block, terminated by its `wdone` marker. A
+/// block cut short by a kill lacks the marker and is dropped on parse.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub(crate) fn write_wave<W: Write>(w: &mut W, wave: &WaveBlock) -> io::Result<()> {
+    writeln!(w, "wave {}", wave.index)?;
+    for (idx, row) in &wave.rows {
+        writeln!(
+            w,
+            "w {idx} {} {} {} {} {:016x}",
+            row.samples, row.masked, row.output_error, row.anomaly, row.rng_state,
+        )?;
+    }
+    for f in &wave.fails {
+        writeln!(
+            w,
+            "wfail {} {} {} {}",
+            f.stratum,
+            f.attempts,
+            f.kind,
+            f.message.replace('\n', " "),
+        )?;
+    }
+    writeln!(w, "wdone {}", wave.index)
+}
+
+/// Appends the certificate footer, terminated by its `done cert` marker.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub(crate) fn write_cert_footer<W: Write>(w: &mut W, footer: &CertFooter) -> io::Result<()> {
+    writeln!(
+        w,
+        "cert {:016x} {} {} {}",
+        footer.total_bound.to_bits(),
+        footer.total_injections,
+        footer.waves,
+        u8::from(footer.converged),
+    )?;
+    writeln!(w, "done cert")
+}
+
+/// A heuristic for the final, torn line of a killed writer: any prefix of a
+/// valid record keyword. Full garbage elsewhere in the file still errors.
+fn line_is_torn_tail(line: &str) -> bool {
+    [
+        "plan", "stratum", "wave", "w", "wfail", "wdone", "cert", "done",
+    ]
+    .iter()
+    .any(|kw| kw.starts_with(line.split_whitespace().next().unwrap_or("")))
+}
+
+/// Parses a `fidelity-ackpt v1` checkpoint, keeping only wave blocks whose
+/// `wdone` marker made it to disk (a torn tail from a killed process is
+/// silently dropped — the campaign simply re-runs the lost wave).
+///
+/// # Errors
+///
+/// Returns [`DnnError::Campaign`] on I/O errors, a bad header, or a
+/// structurally malformed record (corruption rather than a torn tail).
+pub(crate) fn parse_adaptive_checkpoint<R: BufRead>(r: R) -> Result<AdaptiveCheckpoint, DnnError> {
+    let corrupt = |what: &str| DnnError::Campaign {
+        message: format!("corrupt adaptive checkpoint: {what}"),
+    };
+    let mut lines = r.lines();
+    let mut next_line = || -> Result<Option<String>, DnnError> {
+        lines
+            .next()
+            .transpose()
+            .map_err(|e| corrupt(&format!("read failed: {e}")))
+    };
+    let header = next_line()?.ok_or_else(|| corrupt("empty file"))?;
+    if header != ACKPT_HEADER {
+        return Err(corrupt(&format!("bad header `{header}`")));
+    }
+    let fp_line = next_line()?.ok_or_else(|| corrupt("missing fingerprint"))?;
+    let fingerprint = fp_line
+        .strip_prefix("fingerprint ")
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| corrupt(&format!("bad fingerprint line `{fp_line}`")))?;
+    let plan_line = next_line()?.ok_or_else(|| corrupt("missing plan line"))?;
+    let (epsilon_bits, confidence_bits, max_injections, floor, nstrata) = plan_line
+        .strip_prefix("plan ")
+        .and_then(|rest| {
+            let mut it = rest.split(' ');
+            let eps = u64::from_str_radix(it.next()?, 16).ok()?;
+            let conf = u64::from_str_radix(it.next()?, 16).ok()?;
+            let max: usize = it.next()?.parse().ok()?;
+            let floor: usize = it.next()?.parse().ok()?;
+            let n: usize = it.next()?.parse().ok()?;
+            it.next().is_none().then_some((eps, conf, max, floor, n))
+        })
+        .ok_or_else(|| corrupt(&format!("bad plan line `{plan_line}`")))?;
+
+    let mut strata = Vec::with_capacity(nstrata.min(4096));
+    for expect in 0..nstrata {
+        let line = next_line()?.ok_or_else(|| corrupt("truncated stratum table"))?;
+        let parsed = line.strip_prefix("stratum ").and_then(|rest| {
+            // stratum <idx> <node> <cat> <model> <weight_bits> <layer...>
+            let mut it = rest.splitn(6, ' ');
+            let idx: usize = it.next()?.parse().ok()?;
+            let node: usize = it.next()?.parse().ok()?;
+            let category = parse_cat(it.next()?)?;
+            let model = parse_model(it.next()?)?;
+            let weight_bits = u64::from_str_radix(it.next()?, 16).ok()?;
+            let layer = it.next()?.to_owned();
+            Some((idx, node, category, model, weight_bits, layer))
+        });
+        let Some((idx, node, category, model, weight_bits, layer)) = parsed else {
+            return Err(corrupt(&format!("bad stratum line `{line}`")));
+        };
+        if idx != expect {
+            return Err(corrupt(&format!(
+                "stratum table out of order (index {idx}, expected {expect})"
+            )));
+        }
+        strata.push((
+            StratumMeta {
+                node,
+                category,
+                model,
+                weight: f64::from_bits(weight_bits),
+                layer,
+            },
+            weight_bits,
+        ));
+    }
+
+    let mut waves: Vec<WaveBlock> = Vec::new();
+    let mut pending: Option<WaveBlock> = None;
+    let mut pending_footer: Option<CertFooter> = None;
+    let mut footer = None;
+    while let Some(line) = next_line().unwrap_or(None) {
+        if let Some(rest) = line.strip_prefix("wave ") {
+            // A new wave while one is pending means the previous block never
+            // completed; a kill can only tear the *last* block, so anything
+            // after a torn block is corruption.
+            if pending.is_some() {
+                return Err(corrupt(&format!(
+                    "wave block without wdone before `{line}`"
+                )));
+            }
+            let Some(index) = rest.trim().parse::<usize>().ok() else {
+                if line_is_torn_tail(&line) {
+                    break;
+                }
+                return Err(corrupt(&format!("bad wave line `{line}`")));
+            };
+            if index != waves.len() {
+                return Err(corrupt(&format!(
+                    "wave {index} out of order (expected {})",
+                    waves.len()
+                )));
+            }
+            pending = Some(WaveBlock {
+                index,
+                rows: Vec::new(),
+                fails: Vec::new(),
+            });
+        } else if let Some(rest) = line.strip_prefix("wfail ") {
+            let parsed = (|| {
+                let mut it = rest.splitn(4, ' ');
+                let stratum: usize = it.next()?.parse().ok()?;
+                let attempts: usize = it.next()?.parse().ok()?;
+                let kind = it.next()?.to_owned();
+                let message = it.next().unwrap_or("").to_owned();
+                Some(WaveFail {
+                    stratum,
+                    attempts,
+                    kind,
+                    message,
+                })
+            })();
+            match (pending.as_mut(), parsed) {
+                (Some(block), Some(f)) => block.fails.push(f),
+                // Torn mid-block, or a stray row whose `wave` header was
+                // lost: drop the open block (if any) and stop.
+                (Some(_), None) | (None, _) => break,
+            }
+        } else if let Some(rest) = line.strip_prefix("wdone ") {
+            match pending.take() {
+                Some(block) if rest.trim().parse::<usize>().ok() == Some(block.index) => {
+                    waves.push(block);
+                }
+                // Mismatched marker: drop the block (torn), stop.
+                _ => break,
+            }
+        } else if let Some(rest) = line.strip_prefix("w ") {
+            let parsed = (|| {
+                let mut it = rest.split(' ');
+                let idx: usize = it.next()?.parse().ok()?;
+                let samples: usize = it.next()?.parse().ok()?;
+                let masked: usize = it.next()?.parse().ok()?;
+                let output_error: usize = it.next()?.parse().ok()?;
+                let anomaly: usize = it.next()?.parse().ok()?;
+                let rng_state = u64::from_str_radix(it.next()?, 16).ok()?;
+                it.next().is_none().then_some((
+                    idx,
+                    StratumRow {
+                        samples,
+                        masked,
+                        output_error,
+                        anomaly,
+                        rng_state,
+                    },
+                ))
+            })();
+            match (pending.as_mut(), parsed) {
+                (Some(block), Some((idx, row))) => block.rows.push((idx, row)),
+                // Torn mid-block, or a stray row whose `wave` header was
+                // lost: drop the open block (if any) and stop.
+                (Some(_), None) | (None, _) => break,
+            }
+        } else if let Some(rest) = line.strip_prefix("cert ") {
+            if pending.is_some() {
+                return Err(corrupt("cert line inside an open wave block"));
+            }
+            pending_footer = rest
+                .split(' ')
+                .collect::<Vec<_>>()
+                .as_slice()
+                .try_into()
+                .ok()
+                .and_then(|[b, inj, wv, conv]: [&str; 4]| {
+                    Some(CertFooter {
+                        total_bound: f64::from_bits(u64::from_str_radix(b, 16).ok()?),
+                        total_injections: inj.parse().ok()?,
+                        waves: wv.parse().ok()?,
+                        converged: match conv {
+                            "0" => false,
+                            "1" => true,
+                            _ => return None,
+                        },
+                    })
+                });
+            if pending_footer.is_none() {
+                if line_is_torn_tail(&line) {
+                    break;
+                }
+                return Err(corrupt(&format!("bad cert line `{line}`")));
+            }
+        } else if line == "done cert" {
+            footer = pending_footer.take();
+        } else if line.trim().is_empty() {
+            // Blank line: ignore.
+        } else if line_is_torn_tail(&line) {
+            break;
+        } else {
+            return Err(corrupt(&format!("unrecognized line `{line}`")));
+        }
+    }
+
+    Ok(AdaptiveCheckpoint {
+        fingerprint,
+        epsilon_bits,
+        confidence_bits,
+        max_injections,
+        floor,
+        strata,
+        waves,
+        footer,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Confidence certificate
+// ---------------------------------------------------------------------------
+
+/// One stratum's entry in a [`ConfidenceCertificate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumCert {
+    /// Target node index.
+    pub node: usize,
+    /// Target layer name.
+    pub layer: String,
+    /// FF category.
+    pub category: FfCategory,
+    /// Injections run for this stratum.
+    pub samples: usize,
+    /// Masked outcomes.
+    pub masked: usize,
+    /// Eq.-2 identity weight `C_h` (at [`PAPER_RAW_FIT_PER_MB`]).
+    pub weight: f64,
+    /// Observed masking probability `p̂` (0 for unsampled strata).
+    pub p_hat: f64,
+    /// Wilson half-width of `p̂` at the plan's confidence level (0 for
+    /// unsampled strata, whose `Prob_SWmask` is 0 by definition).
+    pub ci_halfwidth: f64,
+    /// FIT contribution `C_h · (1 − p̂)`.
+    pub contribution: f64,
+    /// Uncertainty contribution `C_h · hw` — the stratum's share of the
+    /// total ε bound.
+    pub bound: f64,
+    /// Whether the stratum is sampled (global control never is).
+    pub sampled: bool,
+}
+
+/// The machine-checkable result of an adaptive campaign: everything needed
+/// to audit the claimed ±ε offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidenceCertificate {
+    /// Campaign fingerprint the certificate belongs to.
+    pub fingerprint: u64,
+    /// The plan that produced it.
+    pub plan: AdaptivePlan,
+    /// Per-stratum terms, in plan order.
+    pub strata: Vec<StratumCert>,
+    /// Total injections across all strata.
+    pub total_injections: usize,
+    /// Waves run.
+    pub waves: usize,
+    /// Total FIT estimate `Σ_h C_h · (1 − p̂_h)` at [`PAPER_RAW_FIT_PER_MB`].
+    pub total_fit: f64,
+    /// Achieved total uncertainty bound `Σ_h C_h · hw_h`.
+    pub total_bound: f64,
+    /// Whether `total_bound ≤ ε`.
+    pub converged: bool,
+}
+
+impl ConfidenceCertificate {
+    /// A canonical, deterministic byte serialization (floats as exact bit
+    /// patterns) — the unit the determinism tests compare across worker
+    /// counts and resume paths.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str("fidelity-cert v1\n");
+        out.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        out.push_str(&format!(
+            "plan {:016x} {:016x} {}\n",
+            self.plan.epsilon.to_bits(),
+            self.plan.confidence.to_bits(),
+            self.plan.max_injections,
+        ));
+        for (idx, s) in self.strata.iter().enumerate() {
+            out.push_str(&format!(
+                "stratum {idx} {} {} {} {} {:016x} {:016x} {:016x} {:016x} {:016x} {} {}\n",
+                s.node,
+                cat_code(s.category),
+                s.samples,
+                s.masked,
+                s.weight.to_bits(),
+                s.p_hat.to_bits(),
+                s.ci_halfwidth.to_bits(),
+                s.contribution.to_bits(),
+                s.bound.to_bits(),
+                u8::from(s.sampled),
+                s.layer,
+            ));
+        }
+        out.push_str(&format!(
+            "total {:016x} {:016x} {} {} {}\n",
+            self.total_fit.to_bits(),
+            self.total_bound.to_bits(),
+            self.total_injections,
+            self.waves,
+            u8::from(self.converged),
+        ));
+        out.into_bytes()
+    }
+
+    /// Renders the certificate as a human-readable per-stratum table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Confidence certificate (fingerprint {:016x})\n",
+            self.fingerprint
+        ));
+        out.push_str(&format!(
+            "  target ±{:.6} FIT at {:.0}% confidence, cap {} injections\n",
+            self.plan.epsilon,
+            self.plan.confidence * 100.0,
+            self.plan.max_injections,
+        ));
+        out.push_str(&format!(
+            "  {}: bound {:.6} FIT after {} injections in {} waves\n\n",
+            if self.converged {
+                "CONVERGED"
+            } else {
+                "NOT CONVERGED"
+            },
+            self.total_bound,
+            self.total_injections,
+            self.waves,
+        ));
+        out.push_str(&format!(
+            "{:<16} {:<8} {:>8} {:>8} {:>10} {:>12} {:>12}\n",
+            "layer", "category", "n", "p^", "ci +/-", "FIT", "bound +/-"
+        ));
+        for s in &self.strata {
+            out.push_str(&format!(
+                "{:<16} {:<8} {:>8} {:>8.4} {:>10.5} {:>12.5} {:>12.6}\n",
+                s.layer,
+                cat_code(s.category),
+                s.samples,
+                s.p_hat,
+                s.ci_halfwidth,
+                s.contribution,
+                s.bound,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<16} {:<8} {:>8} {:>8} {:>10} {:>12.5} {:>12.6}\n",
+            "total", "", self.total_injections, "", "", self.total_fit, self.total_bound,
+        ));
+        out
+    }
+}
+
+/// Builds the certificate from the final stratum tallies — the same
+/// arithmetic [`verify_checkpoint`] re-runs offline.
+pub(crate) fn build_certificate(
+    fingerprint: u64,
+    plan: &AdaptivePlan,
+    z: f64,
+    strata: &[StratumMeta],
+    tallies: &[(usize, usize)],
+    waves: usize,
+) -> ConfidenceCertificate {
+    let mut certs = Vec::with_capacity(strata.len());
+    let mut total_fit = 0.0f64;
+    let mut total_bound = 0.0f64;
+    let mut total_injections = 0usize;
+    for (meta, &(samples, masked)) in strata.iter().zip(tallies) {
+        let (p_hat, ci_halfwidth, contribution, bound) =
+            stratum_terms(meta.weight, masked, samples, z, meta.sampled());
+        total_fit += contribution;
+        total_bound += bound;
+        total_injections += samples;
+        certs.push(StratumCert {
+            node: meta.node,
+            layer: meta.layer.clone(),
+            category: meta.category,
+            samples,
+            masked,
+            weight: meta.weight,
+            p_hat,
+            ci_halfwidth,
+            contribution,
+            bound,
+            sampled: meta.sampled(),
+        });
+    }
+    ConfidenceCertificate {
+        fingerprint,
+        plan: plan.clone(),
+        strata: certs,
+        total_injections,
+        waves,
+        total_fit,
+        total_bound,
+        converged: total_bound <= plan.epsilon,
+    }
+}
+
+/// Re-verifies an adaptive checkpoint offline and returns the certificate
+/// it vouches for — the engine behind `fidelity statcheck --cert`.
+///
+/// Every invariant the running campaign maintains is re-checked from the
+/// file alone: wave blocks contiguous and internally ordered, tallies
+/// monotone and self-consistent, frozen strata never re-allocated, the
+/// recomputed total bound bit-identical to the stored footer, the converged
+/// flag consistent with ε, and the injection total within the cap.
+///
+/// # Errors
+///
+/// Returns [`DnnError::Campaign`] describing the first violated invariant,
+/// or a parse error for a structurally corrupt file.
+pub fn verify_checkpoint<R: BufRead>(r: R) -> Result<ConfidenceCertificate, DnnError> {
+    let ckpt = parse_adaptive_checkpoint(r)?;
+    let fail = |message: String| DnnError::Campaign {
+        message: format!("certificate verification failed: {message}"),
+    };
+    let plan = AdaptivePlan {
+        epsilon: f64::from_bits(ckpt.epsilon_bits),
+        confidence: f64::from_bits(ckpt.confidence_bits),
+        max_injections: ckpt.max_injections,
+    };
+    let z = plan.validated_z().map_err(|e| fail(e.to_string()))?;
+    let footer = ckpt
+        .footer
+        .ok_or_else(|| fail("checkpoint has no certificate footer (campaign unfinished)".into()))?;
+
+    // Replay the wave blocks, checking monotonicity and freeze discipline.
+    let n = ckpt.strata.len();
+    let mut tallies: Vec<(usize, usize)> = vec![(0, 0); n]; // (samples, masked)
+    let mut outcome_sum: Vec<(usize, usize)> = vec![(0, 0); n]; // (output_error, anomaly)
+    let mut frozen = vec![false; n];
+    for block in &ckpt.waves {
+        let mut prev_idx = None;
+        for (idx, row) in &block.rows {
+            if *idx >= n {
+                return Err(fail(format!(
+                    "wave {}: stratum {idx} out of range",
+                    block.index
+                )));
+            }
+            if prev_idx.is_some_and(|p| p >= *idx) {
+                return Err(fail(format!(
+                    "wave {}: rows not in stratum order",
+                    block.index
+                )));
+            }
+            prev_idx = Some(*idx);
+            let meta = &ckpt.strata[*idx].0;
+            if !meta.sampled() {
+                return Err(fail(format!(
+                    "wave {}: unsampled (global-control) stratum {idx} was allocated",
+                    block.index
+                )));
+            }
+            if frozen[*idx] {
+                return Err(fail(format!(
+                    "wave {}: frozen stratum {idx} was re-allocated",
+                    block.index
+                )));
+            }
+            if row.masked + row.output_error + row.anomaly != row.samples {
+                return Err(fail(format!(
+                    "wave {}: stratum {idx} outcomes do not sum to its samples",
+                    block.index
+                )));
+            }
+            let (prev_samples, prev_masked) = tallies[*idx];
+            if row.samples <= prev_samples && !(row.samples == 0 && prev_samples == 0) {
+                return Err(fail(format!(
+                    "wave {}: stratum {idx} samples not increasing ({prev_samples} -> {})",
+                    block.index, row.samples
+                )));
+            }
+            if row.masked < prev_masked {
+                return Err(fail(format!(
+                    "wave {}: stratum {idx} masked count decreased",
+                    block.index
+                )));
+            }
+            tallies[*idx] = (row.samples, row.masked);
+            outcome_sum[*idx] = (row.output_error, row.anomaly);
+        }
+        for f in &block.fails {
+            if f.stratum >= n {
+                return Err(fail(format!(
+                    "wave {}: failed stratum {} out of range",
+                    block.index, f.stratum
+                )));
+            }
+            frozen[f.stratum] = true;
+        }
+    }
+
+    let cert = build_certificate(
+        ckpt.fingerprint,
+        &plan,
+        z,
+        &ckpt
+            .strata
+            .iter()
+            .map(|(m, _)| m.clone())
+            .collect::<Vec<_>>(),
+        &tallies,
+        ckpt.waves.len(),
+    );
+    if cert.total_bound.to_bits() != footer.total_bound.to_bits() {
+        return Err(fail(format!(
+            "recomputed total bound {} != stored {} (bit mismatch)",
+            cert.total_bound, footer.total_bound
+        )));
+    }
+    if cert.total_injections != footer.total_injections {
+        return Err(fail(format!(
+            "recomputed injection total {} != stored {}",
+            cert.total_injections, footer.total_injections
+        )));
+    }
+    if ckpt.waves.len() != footer.waves {
+        return Err(fail(format!(
+            "checkpoint has {} waves but footer claims {}",
+            ckpt.waves.len(),
+            footer.waves
+        )));
+    }
+    if cert.converged != footer.converged {
+        return Err(fail(format!(
+            "converged flag {} inconsistent with bound {} vs epsilon {}",
+            footer.converged, cert.total_bound, plan.epsilon
+        )));
+    }
+    if cert.total_injections > plan.max_injections {
+        return Err(fail(format!(
+            "injection total {} exceeds the plan cap {}",
+            cert.total_injections, plan.max_injections
+        )));
+    }
+    Ok(cert)
+}
+
+/// Opens and verifies an adaptive checkpoint file; see [`verify_checkpoint`].
+///
+/// # Errors
+///
+/// As [`verify_checkpoint`], plus I/O errors opening the file.
+pub fn verify_checkpoint_file(path: &std::path::Path) -> Result<ConfidenceCertificate, DnnError> {
+    let file = std::fs::File::open(path).map_err(|e| DnnError::Campaign {
+        message: format!("cannot open adaptive checkpoint {}: {e}", path.display()),
+    })?;
+    verify_checkpoint(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelity_accel::ff::{PipelineStage, VarType};
+
+    fn meta(node: usize, category: FfCategory, weight: f64) -> StratumMeta {
+        StratumMeta {
+            node,
+            category,
+            model: match category {
+                FfCategory::GlobalControl => SoftwareFaultModel::GlobalControl,
+                FfCategory::LocalControl => SoftwareFaultModel::LocalControl,
+                FfCategory::Datapath { .. } => SoftwareFaultModel::OutputValue,
+            },
+            weight,
+            layer: format!("layer{node}"),
+        }
+    }
+
+    fn dp() -> FfCategory {
+        FfCategory::Datapath {
+            stage: PipelineStage::BeforeBuffer,
+            var: VarType::Input,
+        }
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_parameters() {
+        assert!(AdaptivePlan::new(0.01).validated_z().is_ok());
+        assert!(AdaptivePlan::new(0.0).validated_z().is_err());
+        assert!(AdaptivePlan::new(-1.0).validated_z().is_err());
+        assert!(AdaptivePlan::new(f64::NAN).validated_z().is_err());
+        let mut p = AdaptivePlan::new(0.01);
+        p.confidence = 0.42;
+        assert!(p.validated_z().is_err());
+        let mut p = AdaptivePlan::new(0.01);
+        p.max_injections = 0;
+        assert!(p.validated_z().is_err());
+        let mut p = AdaptivePlan::new(0.01);
+        p.confidence = 0.99;
+        assert!(p.validated_z().is_ok());
+    }
+
+    #[test]
+    fn even_allocation_is_exact_and_deterministic() {
+        let strata = [0usize, 2, 5];
+        let a = allocate_even(10, &strata, 7, 0);
+        let b = allocate_even(10, &strata, 7, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().map(|&(_, q)| q).sum::<usize>(), 10);
+        // In stratum order, every stratum within one of the mean.
+        let mut prev = None;
+        for &(s, q) in &a {
+            assert!(prev.is_none_or(|p| p < s));
+            prev = Some(s);
+            assert!((3..=4).contains(&q), "quota {q}");
+        }
+        // Different seeds may permute the remainder.
+        let c = allocate_even(10, &strata, 8, 0);
+        assert_eq!(c.iter().map(|&(_, q)| q).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn neyman_allocation_follows_uncertainty() {
+        let strata = [(0usize, 9.0), (1, 1.0)];
+        let quotas = allocate_neyman(100, &strata, 3, 1);
+        assert_eq!(quotas.iter().map(|&(_, q)| q).sum::<usize>(), 100);
+        let q0 = quotas.iter().find(|&&(s, _)| s == 0).map_or(0, |&(_, q)| q);
+        let q1 = quotas.iter().find(|&&(s, _)| s == 1).map_or(0, |&(_, q)| q);
+        assert_eq!(q0, 90);
+        assert_eq!(q1, 10);
+        // Zero total uncertainty degrades to an even split.
+        let flat = allocate_neyman(10, &[(0, 0.0), (1, 0.0)], 3, 1);
+        assert_eq!(flat.iter().map(|&(_, q)| q).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_including_footer() {
+        let plan = AdaptivePlan::new(0.005);
+        let strata = vec![meta(0, dp(), 1.5), meta(0, FfCategory::GlobalControl, 0.25)];
+        let mut buf = Vec::new();
+        write_adaptive_header(&mut buf, 0xABCD, &plan, WAVE_FLOOR, &strata).unwrap();
+        let wave = WaveBlock {
+            index: 0,
+            rows: vec![(
+                0,
+                StratumRow {
+                    samples: 32,
+                    masked: 30,
+                    output_error: 2,
+                    anomaly: 0,
+                    rng_state: 0xDEAD_BEEF,
+                },
+            )],
+            fails: vec![WaveFail {
+                stratum: 0,
+                attempts: 2,
+                kind: "panic".into(),
+                message: "chaos: deliberate panic".into(),
+            }],
+        };
+        write_wave(&mut buf, &wave).unwrap();
+        let footer = CertFooter {
+            total_bound: 0.123,
+            total_injections: 32,
+            waves: 1,
+            converged: false,
+        };
+        write_cert_footer(&mut buf, &footer).unwrap();
+        let parsed = parse_adaptive_checkpoint(&buf[..]).unwrap();
+        assert_eq!(parsed.fingerprint, 0xABCD);
+        assert_eq!(parsed.epsilon_bits, plan.epsilon.to_bits());
+        assert_eq!(parsed.confidence_bits, plan.confidence.to_bits());
+        assert_eq!(parsed.max_injections, plan.max_injections);
+        assert_eq!(parsed.floor, WAVE_FLOOR);
+        assert_eq!(parsed.strata.len(), 2);
+        assert_eq!(parsed.strata[0].0, strata[0]);
+        assert_eq!(parsed.waves.len(), 1);
+        assert_eq!(parsed.waves[0], wave);
+        assert_eq!(parsed.footer, Some(footer));
+    }
+
+    #[test]
+    fn torn_wave_block_is_dropped_not_fatal() {
+        let plan = AdaptivePlan::new(0.01);
+        let strata = vec![meta(0, dp(), 1.0)];
+        let mut buf = Vec::new();
+        write_adaptive_header(&mut buf, 1, &plan, WAVE_FLOOR, &strata).unwrap();
+        let row = StratumRow {
+            samples: 32,
+            masked: 16,
+            output_error: 16,
+            anomaly: 0,
+            rng_state: 7,
+        };
+        write_wave(
+            &mut buf,
+            &WaveBlock {
+                index: 0,
+                rows: vec![(0, row.clone())],
+                fails: vec![],
+            },
+        )
+        .unwrap();
+        let full = String::from_utf8(buf).unwrap();
+        // Kill mid-write of a second wave: header + partial tally row.
+        for torn_tail in ["wave 1\n", "wave 1\nw 0 64 3", "wav", "w 0 64 32 3"] {
+            let torn = format!("{full}{torn_tail}");
+            let parsed = parse_adaptive_checkpoint(torn.as_bytes()).unwrap();
+            assert_eq!(parsed.waves.len(), 1, "tail {torn_tail:?}");
+            assert_eq!(parsed.waves[0].rows[0].1, row);
+            assert!(parsed.footer.is_none());
+        }
+        // Genuine garbage still errors.
+        let garbage = format!("{full}lorem ipsum\n");
+        assert!(parse_adaptive_checkpoint(garbage.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn verify_accepts_a_consistent_checkpoint_and_rejects_tampering() {
+        let plan = AdaptivePlan::new(10.0); // generous: one wave converges
+        let z = plan.validated_z().unwrap();
+        let strata = vec![meta(0, dp(), 2.0), meta(0, FfCategory::GlobalControl, 0.5)];
+        let tallies = [(40usize, 30usize), (0, 0)];
+        let cert = build_certificate(9, &plan, z, &strata, &tallies, 1);
+        assert!(cert.converged);
+        let mut buf = Vec::new();
+        write_adaptive_header(&mut buf, 9, &plan, WAVE_FLOOR, &strata).unwrap();
+        write_wave(
+            &mut buf,
+            &WaveBlock {
+                index: 0,
+                rows: vec![(
+                    0,
+                    StratumRow {
+                        samples: 40,
+                        masked: 30,
+                        output_error: 10,
+                        anomaly: 0,
+                        rng_state: 1,
+                    },
+                )],
+                fails: vec![],
+            },
+        )
+        .unwrap();
+        write_cert_footer(
+            &mut buf,
+            &CertFooter {
+                total_bound: cert.total_bound,
+                total_injections: cert.total_injections,
+                waves: 1,
+                converged: cert.converged,
+            },
+        )
+        .unwrap();
+        let ok = String::from_utf8(buf).unwrap();
+        let verified = verify_checkpoint(ok.as_bytes()).unwrap();
+        assert_eq!(verified, cert);
+
+        // Tamper with the masked count: the stored bound no longer matches.
+        let tampered = ok.replace("w 0 40 30 10 0", "w 0 40 35 5 0");
+        let err = verify_checkpoint(tampered.as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("total bound"), "unexpected: {err}");
+
+        // Tamper with the converged flag.
+        let unconverged = ok.replace(" 1\ndone cert", " 0\ndone cert");
+        let err = verify_checkpoint(unconverged.as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("converged flag"), "unexpected: {err}");
+
+        // An unfinished checkpoint (no footer) cannot certify anything.
+        let unfinished = ok
+            .lines()
+            .take_while(|l| !l.starts_with("cert "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = verify_checkpoint(unfinished.as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("no certificate footer"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn verify_rejects_global_and_frozen_allocation() {
+        let plan = AdaptivePlan::new(0.001);
+        let strata = vec![meta(0, dp(), 2.0), meta(0, FfCategory::GlobalControl, 0.5)];
+        let mut buf = Vec::new();
+        write_adaptive_header(&mut buf, 9, &plan, WAVE_FLOOR, &strata).unwrap();
+        let row = |samples, masked| StratumRow {
+            samples,
+            masked,
+            output_error: samples - masked,
+            anomaly: 0,
+            rng_state: 1,
+        };
+        // Global-control stratum allocated: invalid.
+        let mut bad = buf.clone();
+        write_wave(
+            &mut bad,
+            &WaveBlock {
+                index: 0,
+                rows: vec![(1, row(8, 0))],
+                fails: vec![],
+            },
+        )
+        .unwrap();
+        write_cert_footer(
+            &mut bad,
+            &CertFooter {
+                total_bound: 0.0,
+                total_injections: 8,
+                waves: 1,
+                converged: false,
+            },
+        )
+        .unwrap();
+        let err = verify_checkpoint(&bad[..]).unwrap_err().to_string();
+        assert!(err.contains("global-control"), "unexpected: {err}");
+
+        // A frozen stratum re-allocated on a later wave: invalid.
+        let mut bad = buf.clone();
+        write_wave(
+            &mut bad,
+            &WaveBlock {
+                index: 0,
+                rows: vec![(0, row(8, 4))],
+                fails: vec![WaveFail {
+                    stratum: 0,
+                    attempts: 2,
+                    kind: "panic".into(),
+                    message: "boom".into(),
+                }],
+            },
+        )
+        .unwrap();
+        write_wave(
+            &mut bad,
+            &WaveBlock {
+                index: 1,
+                rows: vec![(0, row(16, 8))],
+                fails: vec![],
+            },
+        )
+        .unwrap();
+        write_cert_footer(
+            &mut bad,
+            &CertFooter {
+                total_bound: 0.0,
+                total_injections: 16,
+                waves: 2,
+                converged: false,
+            },
+        )
+        .unwrap();
+        let err = verify_checkpoint(&bad[..]).unwrap_err().to_string();
+        assert!(err.contains("frozen"), "unexpected: {err}");
+
+        // Shrinking samples: invalid.
+        let mut bad = buf;
+        write_wave(
+            &mut bad,
+            &WaveBlock {
+                index: 0,
+                rows: vec![(0, row(8, 4))],
+                fails: vec![],
+            },
+        )
+        .unwrap();
+        write_wave(
+            &mut bad,
+            &WaveBlock {
+                index: 1,
+                rows: vec![(0, row(4, 2))],
+                fails: vec![],
+            },
+        )
+        .unwrap();
+        write_cert_footer(
+            &mut bad,
+            &CertFooter {
+                total_bound: 0.0,
+                total_injections: 4,
+                waves: 2,
+                converged: false,
+            },
+        )
+        .unwrap();
+        let err = verify_checkpoint(&bad[..]).unwrap_err().to_string();
+        assert!(err.contains("not increasing"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn certificate_bytes_are_deterministic_and_render_is_sane() {
+        let plan = AdaptivePlan::new(0.005);
+        let z = plan.validated_z().unwrap();
+        let strata = vec![meta(0, dp(), 2.0), meta(1, FfCategory::GlobalControl, 0.5)];
+        let cert = build_certificate(5, &plan, z, &strata, &[(100, 90), (0, 0)], 3);
+        assert_eq!(cert.canonical_bytes(), cert.canonical_bytes());
+        // The global stratum contributes its full weight with zero bound.
+        assert_eq!(cert.strata[1].contribution, 0.5);
+        assert_eq!(cert.strata[1].bound, 0.0);
+        assert_eq!(cert.total_injections, 100);
+        let text = cert.render();
+        assert!(text.contains("layer0"));
+        assert!(text.contains("NOT CONVERGED") || text.contains("CONVERGED"));
+        assert!(text.contains("fingerprint 0000000000000005"));
+    }
+}

@@ -194,6 +194,9 @@ pub fn analyze_multi(
         cells,
         failures,
         fast_divergence,
+        // Per-sample certificates do not concatenate (each certifies its own
+        // plan fingerprint); adaptive multi-sample runs re-verify per sample.
+        certificate: None,
     };
     Ok(ResilienceAnalysis {
         fit,
@@ -257,6 +260,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let samples: Vec<Vec<fidelity_dnn::Tensor>> = (0..3)
             .map(|i| vec![uniform_tensor(100 + i, vec![1, 2, 6, 6], 1.0)])
@@ -312,6 +316,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let analysis = analyze(
             &engine,

@@ -40,12 +40,18 @@ use fidelity_par::{CancelToken, PoolSpec, ShardPlan, WorkStealPool};
 
 pub use fidelity_dnn::macspec::MacTier;
 
+use crate::adaptive::{
+    allocate_even, allocate_neyman, build_certificate, parse_adaptive_checkpoint, stratum_terms,
+    stratum_weights, write_adaptive_header, write_cert_footer, write_wave, AdaptivePlan,
+    CertFooter, ConfidenceCertificate, StratumMeta, StratumRow, StratumTally, WaveBlock, WaveFail,
+    WAVE_FLOOR, WAVE_MIN_BUDGET,
+};
 use crate::inject::inject_once_pooled;
 use crate::models::{model_for, node_fast_divergence, SoftwareFaultModel};
 use crate::outcome::{CorrectnessMetric, Outcome};
 use crate::resilience::{
     campaign_fingerprint, cat_code, parse_checkpoint, write_cell, write_header, CellFailure,
-    ChaosMode, FailureReason, ResilienceSpec,
+    ChaosMode, ChaosSpec, FailureReason, ResilienceSpec,
 };
 
 /// Campaign configuration.
@@ -90,6 +96,13 @@ pub struct CampaignSpec {
     /// measures the worst-case kernel divergence once per MAC layer and
     /// reports it in [`CampaignResult::fast_divergence`].
     pub mac_tier: MacTier,
+    /// Confidence-driven adaptive campaign plan (`--adaptive`). When set,
+    /// the fixed `samples_per_cell` is replaced by wave-based sequential
+    /// sampling that terminates once the total Eq.-2 FIT uncertainty is
+    /// below the plan's ±ε (see [`crate::adaptive`]); the plan's parameters
+    /// are campaign identity and enter the checkpoint fingerprint. Mutually
+    /// exclusive with `record_events` and `target_ci_halfwidth`.
+    pub adaptive: Option<AdaptivePlan>,
 }
 
 impl Default for CampaignSpec {
@@ -104,6 +117,7 @@ impl Default for CampaignSpec {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         }
     }
 }
@@ -172,6 +186,10 @@ pub struct CampaignResult {
     /// workload. `None` when the campaign ran the Bitwise tier, where
     /// divergence is zero by construction.
     pub fast_divergence: Option<f32>,
+    /// The machine-checkable confidence certificate of an adaptive campaign
+    /// (per-stratum n, p̂, CI half-width, FIT contribution ± bound, total ε
+    /// achieved). `None` for fixed-count campaigns.
+    pub certificate: Option<ConfidenceCertificate>,
 }
 
 impl CampaignResult {
@@ -230,6 +248,22 @@ struct CellPlan {
     node: usize,
     category: FfCategory,
     model: SoftwareFaultModel,
+}
+
+/// Applies a chaos directive to sample `i` of a cell, shared by the fixed
+/// and adaptive sampling loops.
+fn apply_chaos(chaos: Option<&ChaosSpec>, i: usize, node: usize, category: FfCategory) {
+    if let Some(c) = chaos {
+        match c.mode {
+            ChaosMode::PanicAtSample(k) if i == k => {
+                // Deliberate: exercises the panic-isolation path.
+                // statcheck:allow(panic-path)
+                panic!("chaos: deliberate panic at sample {i} of cell (node {node}, {category})");
+            }
+            ChaosMode::PanicAtSample(_) => {}
+            ChaosMode::DelayPerInjection(d) => std::thread::sleep(d),
+        }
+    }
 }
 
 /// The open checkpoint file behind an ordered commit buffer.
@@ -432,6 +466,9 @@ impl<'a> CampaignRunner<'a> {
     }
 
     fn execute(&self, resume_path: Option<&Path>, jobs: usize) -> Result<CampaignResult, DnnError> {
+        if self.spec.adaptive.is_some() {
+            return self.execute_adaptive(resume_path, jobs);
+        }
         let spec = &self.spec;
         let plans = self.plans();
         let plan_ids: Vec<(usize, FfCategory)> =
@@ -842,32 +879,12 @@ impl<'a> CampaignRunner<'a> {
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner);
         indexed_failures.sort_by_key(|&(idx, _)| idx);
-        // Fast tier: measure (not estimate) the worst-case kernel divergence
-        // once per MAC layer, so the campaign reports exactly how far its
-        // arithmetic strayed from the bitwise oracle on this workload.
-        let fast_divergence = (spec.mac_tier == MacTier::Fast).then(|| {
-            let mut worst = 0.0f32;
-            let mut prev = None;
-            for plan in &plans {
-                if prev == Some(plan.node) {
-                    continue; // one measurement per node, not per category
-                }
-                prev = Some(plan.node);
-                if let Some(d) = node_fast_divergence(self.engine, self.trace, plan.node) {
-                    worst = worst.max(d);
-                }
-            }
-            event!(
-                "campaign.fast_divergence",
-                net = &net,
-                divergence = f64::from(worst),
-            );
-            worst
-        });
+        let fast_divergence = self.measure_fast_divergence(&plans, &net);
         let result = CampaignResult {
             cells,
             failures: indexed_failures.into_iter().map(|(_, f)| f).collect(),
             fast_divergence,
+            certificate: None,
         };
         let (masked, output_error, anomaly) = result.cells.iter().fold((0, 0, 0), |acc, c| {
             (acc.0 + c.masked, acc.1 + c.output_error, acc.2 + c.anomaly)
@@ -979,20 +996,7 @@ impl<'a> CampaignRunner<'a> {
             // comes from the obs clock — the workspace's one sanctioned
             // wall-clock site — and never feeds campaign statistics.
             let deadline = spec.resilience.injection_deadline.map(|d| clock::now() + d);
-            if let Some(c) = chaos {
-                match c.mode {
-                    ChaosMode::PanicAtSample(k) if i == k => {
-                        // Deliberate: exercises the panic-isolation path.
-                        // statcheck:allow(panic-path)
-                        panic!(
-                            "chaos: deliberate panic at sample {i} of cell (node {}, {})",
-                            plan.node, plan.category
-                        );
-                    }
-                    ChaosMode::PanicAtSample(_) => {}
-                    ChaosMode::DelayPerInjection(d) => std::thread::sleep(d),
-                }
-            }
+            apply_chaos(chaos, i, plan.node, plan.category);
             let inj_sw = clock::Stopwatch::start_if(timing_enabled());
             let inj = inject_once_pooled(
                 self.engine,
@@ -1032,6 +1036,702 @@ impl<'a> CampaignRunner<'a> {
         }
         Ok(())
     }
+
+    /// Fast tier only: measure (not estimate) the worst-case kernel
+    /// divergence once per MAC layer, so the campaign reports exactly how
+    /// far its arithmetic strayed from the bitwise oracle on this workload.
+    fn measure_fast_divergence(&self, plans: &[CellPlan], net: &str) -> Option<f32> {
+        (self.spec.mac_tier == MacTier::Fast).then(|| {
+            let mut worst = 0.0f32;
+            let mut prev = None;
+            for plan in plans {
+                if prev == Some(plan.node) {
+                    continue; // one measurement per node, not per category
+                }
+                prev = Some(plan.node);
+                if let Some(d) = node_fast_divergence(self.engine, self.trace, plan.node) {
+                    worst = worst.max(d);
+                }
+            }
+            event!(
+                "campaign.fast_divergence",
+                net = net,
+                divergence = f64::from(worst),
+            );
+            worst
+        })
+    }
+
+    /// The adaptive (confidence-driven) execution path: wave-based
+    /// sequential sampling over per-(node × category) strata, Neyman
+    /// allocation by uncertainty contribution, `fidelity-ackpt v1`
+    /// checkpointing at every wave barrier, and a confidence certificate on
+    /// completion. Dispatched from [`CampaignRunner::run`] when
+    /// `spec.adaptive` is set.
+    #[allow(clippy::too_many_lines)] // one linear pipeline: setup, resume, wave loop, certificate
+    fn execute_adaptive(
+        &self,
+        resume_path: Option<&Path>,
+        jobs: usize,
+    ) -> Result<CampaignResult, DnnError> {
+        let _prof = prof::scope("campaign.adaptive");
+        let spec = &self.spec;
+        let bad = |message: String| DnnError::Campaign { message };
+        let Some(aplan) = spec.adaptive.clone() else {
+            return Err(bad("adaptive execution requires spec.adaptive".into()));
+        };
+        let z = aplan.validated_z()?;
+        if spec.record_events {
+            return Err(bad(
+                "adaptive campaigns do not record per-injection events \
+                 (strata sizes are data-dependent); drop record_events"
+                    .into(),
+            ));
+        }
+        if spec.target_ci_halfwidth.is_some() {
+            return Err(bad(
+                "target_ci_halfwidth (per-cell stopping) and the adaptive plan \
+                 (campaign-level stopping) are mutually exclusive"
+                    .into(),
+            ));
+        }
+        let plans = self.plans();
+        let plan_ids: Vec<(usize, FfCategory)> =
+            plans.iter().map(|p| (p.node, p.category)).collect();
+        let fingerprint = campaign_fingerprint(spec, self.engine.network().name(), &plan_ids);
+        let weights = stratum_weights(self.engine, self.trace, self.accel, &plan_ids);
+        let strata: Vec<StratumMeta> = plans
+            .iter()
+            .zip(&weights)
+            .map(|(p, &weight)| StratumMeta {
+                node: p.node,
+                category: p.category,
+                model: p.model,
+                weight,
+                layer: self.engine.network().layer(p.node).name().to_owned(),
+            })
+            .collect();
+
+        // Each stratum owns the same derived RNG stream a fixed-count cell
+        // would: its first k samples are bit-identical to the fixed path's.
+        let mut states: Vec<StratumTally> = plans
+            .iter()
+            .map(|p| {
+                StratumTally::fresh(
+                    spec.seed
+                        ^ (p.node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ cat_tag(p.category),
+                )
+            })
+            .collect();
+        let mut committed: Vec<WaveBlock> = Vec::new();
+        let mut failures: Vec<(usize, CellFailure)> = Vec::new();
+        let mut resumed_footer: Option<CertFooter> = None;
+
+        // Resume: replay every committed wave into the tallies. The RNG
+        // stream state rides in the rows, so sampling continues mid-stream
+        // exactly where the killed process stopped.
+        if let Some(path) = resume_path {
+            if path.exists() {
+                let file = File::open(path)
+                    .map_err(|e| bad(format!("cannot open checkpoint {}: {e}", path.display())))?;
+                let parsed = parse_adaptive_checkpoint(BufReader::new(file))?;
+                if parsed.fingerprint != fingerprint {
+                    return Err(bad(format!(
+                        "checkpoint {} belongs to a different campaign \
+                         (fingerprint {:016x}, expected {:016x})",
+                        path.display(),
+                        parsed.fingerprint,
+                        fingerprint
+                    )));
+                }
+                if parsed.epsilon_bits != aplan.epsilon.to_bits()
+                    || parsed.confidence_bits != aplan.confidence.to_bits()
+                    || parsed.max_injections != aplan.max_injections
+                    || parsed.floor != WAVE_FLOOR
+                {
+                    return Err(bad(format!(
+                        "checkpoint {} was written by a different adaptive plan",
+                        path.display()
+                    )));
+                }
+                if parsed.strata.len() != strata.len()
+                    || parsed.strata.iter().zip(&strata).any(|((m, wbits), mine)| {
+                        m.node != mine.node
+                            || m.category != mine.category
+                            || *wbits != mine.weight.to_bits()
+                    })
+                {
+                    return Err(bad(format!(
+                        "checkpoint {} stratum table does not match the plan",
+                        path.display()
+                    )));
+                }
+                for block in &parsed.waves {
+                    for (idx, row) in &block.rows {
+                        let state = states.get_mut(*idx).ok_or_else(|| {
+                            bad(format!(
+                                "corrupt adaptive checkpoint: stratum {idx} out of range"
+                            ))
+                        })?;
+                        if state.frozen || row.samples < state.samples {
+                            return Err(bad(format!(
+                                "corrupt adaptive checkpoint: stratum {idx} tally regressed"
+                            )));
+                        }
+                        *state = StratumTally {
+                            samples: row.samples,
+                            masked: row.masked,
+                            output_error: row.output_error,
+                            anomaly: row.anomaly,
+                            rng_state: row.rng_state,
+                            frozen: false,
+                        };
+                    }
+                    for f in &block.fails {
+                        let meta = strata.get(f.stratum).ok_or_else(|| {
+                            bad(format!(
+                                "corrupt adaptive checkpoint: failed stratum {} out of range",
+                                f.stratum
+                            ))
+                        })?;
+                        states[f.stratum].frozen = true;
+                        let reason = if f.kind == "panic" {
+                            FailureReason::Panic(f.message.clone())
+                        } else {
+                            FailureReason::Error(f.message.clone())
+                        };
+                        failures.push((
+                            f.stratum,
+                            CellFailure {
+                                node: meta.node,
+                                layer: meta.layer.clone(),
+                                category: meta.category,
+                                attempts: f.attempts,
+                                samples_completed: states[f.stratum].samples,
+                                reason,
+                            },
+                        ));
+                    }
+                }
+                committed = parsed.waves;
+                resumed_footer = parsed.footer;
+            }
+        }
+
+        // Telemetry (same shape as the fixed path).
+        let campaign_sw = clock::Stopwatch::start_if(timing_enabled());
+        let metrics = CampaignMetrics::handles();
+        let net = self.engine.network().name().to_owned();
+        let workers = jobs.clamp(1, plans.len().max(1));
+        event!(
+            "campaign.start",
+            net = &net,
+            cells = plans.len(),
+            adaptive = true,
+            epsilon = aplan.epsilon,
+            seed = spec.seed,
+            threads = workers,
+        );
+        let progress = spec.progress.as_ref().map(|p| {
+            CampaignProgress::new(
+                net.clone(),
+                p,
+                plans.len(),
+                aplan.max_injections / plans.len().max(1),
+                spec.resilience.failure_budget,
+            )
+        });
+        let job_sink = spec.progress.as_ref().and_then(|p| p.sink.clone());
+        let mirror = |name: &str, fields: &[Field<'_>]| {
+            if let Some(h) = &job_sink {
+                trace::record_now(h.sink(), name, fields);
+            }
+        };
+        mirror(
+            "campaign.start",
+            &[
+                ("net", Value::Str(&net)),
+                ("cells", Value::U64(plans.len() as u64)),
+                ("adaptive", Value::U64(1)),
+                ("threads", Value::U64(workers as u64)),
+            ],
+        );
+        if !committed.is_empty() {
+            event!(
+                "campaign.resume",
+                net = &net,
+                waves = committed.len(),
+                injections = states.iter().map(|t| t.samples).sum::<usize>(),
+            );
+        }
+
+        // Canonical rewrite: the checkpoint is recreated from the replayed
+        // blocks, so a torn tail from the previous process never lingers and
+        // resumed files stay bit-identical to uninterrupted ones.
+        let ckpt_path = spec
+            .resilience
+            .checkpoint
+            .as_ref()
+            .map(|c| c.path.as_path())
+            .or(resume_path);
+        let io_err = |what: &str, e: std::io::Error| DnnError::Campaign {
+            message: format!("adaptive checkpoint {what} failed: {e}"),
+        };
+        let mut ckpt: Option<BufWriter<File>> = match ckpt_path {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)
+                            .map_err(|e| io_err("directory creation", e))?;
+                    }
+                }
+                let file = File::create(path).map_err(|e| io_err("creation", e))?;
+                let mut w = BufWriter::new(file);
+                write_adaptive_header(&mut w, fingerprint, &aplan, WAVE_FLOOR, &strata)
+                    .map_err(|e| io_err("header write", e))?;
+                for block in &committed {
+                    write_wave(&mut w, block).map_err(|e| io_err("wave write", e))?;
+                }
+                w.flush().map_err(|e| io_err("flush", e))?;
+                Some(w)
+            }
+            None => None,
+        };
+
+        let max_attempts = spec.resilience.max_retries_per_cell + 1;
+        let cancel = spec.resilience.cancel.as_ref();
+        let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+        let pool = WorkStealPool::new(PoolSpec {
+            workers,
+            seed: spec.seed,
+            plan: ShardPlan::Balanced,
+            cancel: spec.resilience.cancel.clone(),
+        });
+        let gauge_resolved = fidelity_obs::metrics::gauge("campaign.strata_resolved");
+        let gauge_total = fidelity_obs::metrics::gauge("campaign.strata_total");
+        // Strata that can ever carry uncertainty: sampled with nonzero
+        // weight. Display-only denominator for the convergence readout.
+        let display_total = strata
+            .iter()
+            .filter(|m| m.sampled() && m.weight > 0.0)
+            .count();
+        gauge_total.set(display_total as i64);
+
+        let mut wave = committed.len();
+        let mut total_failures = failures.len();
+        // A checkpoint that already carries its certificate footer is a
+        // finished campaign: re-running waves would extend a sealed result.
+        while resumed_footer.is_none() {
+            let bounds: Vec<f64> = strata
+                .iter()
+                .zip(&states)
+                .map(|(m, t)| stratum_terms(m.weight, t.masked, t.samples, z, m.sampled()).3)
+                .collect();
+            let total_bound: f64 = bounds.iter().sum();
+            // Display-only convergence readout: a stratum counts as resolved
+            // once its share of the bound is below its even split of ε.
+            let resolved = (0..strata.len())
+                .filter(|&i| {
+                    strata[i].sampled()
+                        && strata[i].weight > 0.0
+                        && bounds[i] <= aplan.epsilon / display_total.max(1) as f64
+                })
+                .count();
+            gauge_resolved.set(resolved as i64);
+            if let Some(p) = &progress {
+                p.set_strata(resolved, display_total);
+            }
+            if total_bound <= aplan.epsilon {
+                break; // converged
+            }
+            let total: usize = states.iter().map(|t| t.samples).sum();
+            let headroom = aplan.max_injections.saturating_sub(total);
+            if headroom == 0 {
+                break; // cap reached: honest non-converged certificate
+            }
+            let growable: Vec<usize> = (0..strata.len())
+                .filter(|&i| strata[i].sampled() && !states[i].frozen && bounds[i] > 0.0)
+                .collect();
+            if growable.is_empty() {
+                break; // every live stratum is exact; frozen ones hold the bound up
+            }
+            // Wave 0 lays an even floor; later waves spend half the total so
+            // far (amortizing the re-estimation) proportionally to each
+            // stratum's uncertainty contribution.
+            let quotas = if wave == 0 {
+                let budget = (WAVE_FLOOR * growable.len()).min(headroom);
+                allocate_even(budget, &growable, spec.seed, wave)
+            } else {
+                let budget = (total / 2).max(WAVE_MIN_BUDGET).min(headroom);
+                let weighted: Vec<(usize, f64)> =
+                    growable.iter().map(|&i| (i, bounds[i])).collect();
+                allocate_neyman(budget, &weighted, spec.seed, wave)
+            };
+            if quotas.is_empty() {
+                break;
+            }
+            event!(
+                "campaign.wave",
+                net = &net,
+                wave = wave,
+                strata = quotas.len(),
+                budget = quotas.iter().map(|&(_, q)| q).sum::<usize>(),
+                bound = total_bound,
+            );
+            mirror(
+                "campaign.wave",
+                &[
+                    ("wave", Value::U64(wave as u64)),
+                    ("strata", Value::U64(quotas.len() as u64)),
+                ],
+            );
+
+            // Run the wave. Tasks read the committed tallies immutably and
+            // publish into their own slot; the coordinator folds the slots
+            // back in stratum order at the barrier, so nothing about the
+            // result depends on scheduling.
+            let outcomes: Vec<Mutex<Option<WaveOutcome>>> =
+                quotas.iter().map(|_| Mutex::new(None)).collect();
+            let states_ref = &states;
+            pool.run_with(
+                quotas.len(),
+                |worker| {
+                    let mut ws = Workspace::new();
+                    ws.set_mac_tier(spec.mac_tier);
+                    if spec.batch > 0 {
+                        ws.install_golden(golden_key(self.trace), &self.trace.node_outputs);
+                    }
+                    (worker, ws)
+                },
+                |state, tidx| {
+                    let (_worker, ws) = state;
+                    if cancelled() {
+                        return;
+                    }
+                    let (sidx, quota) = quotas[tidx];
+                    let plan = &plans[sidx];
+                    let cat = cat_code(plan.category);
+                    let snapshot = states_ref[sidx].clone();
+                    let mut last: Option<FailureReason> = None;
+                    let mut done = None;
+                    for attempt in 0..max_attempts {
+                        // Each attempt restarts from the committed snapshot,
+                        // so a successful retry is bit-identical to a clean
+                        // first run of the wave.
+                        let mut tally = snapshot.clone();
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            self.run_stratum_quota(
+                                &mut tally,
+                                plan,
+                                quota,
+                                progress.as_ref(),
+                                &metrics,
+                                &mut *ws,
+                            )
+                        }));
+                        match run {
+                            Ok(Ok(())) => {
+                                done = Some(tally);
+                                break;
+                            }
+                            Ok(Err(e)) => last = Some(FailureReason::Error(e.to_string())),
+                            Err(payload) => {
+                                last = Some(FailureReason::Panic(panic_text(&*payload)));
+                            }
+                        }
+                        if attempt + 1 < max_attempts {
+                            metrics.retries.inc();
+                            if let Some(p) = &progress {
+                                p.on_retry();
+                            }
+                            event!(
+                                "cell.retry",
+                                node = plan.node,
+                                cat = &cat,
+                                attempt = attempt + 1,
+                                reason = last.as_ref().map_or("", reason_kind),
+                            );
+                            let wait =
+                                spec.resilience
+                                    .retry_backoff
+                                    .delay(spec.seed, sidx, attempt + 1);
+                            if !sleep_unless(wait, cancelled) {
+                                break;
+                            }
+                        }
+                    }
+                    let outcome = match done {
+                        Some(tally) => WaveOutcome::Done(tally),
+                        None => WaveOutcome::Failed {
+                            attempts: max_attempts,
+                            reason: last.unwrap_or_else(|| {
+                                FailureReason::Error("stratum never ran".into())
+                            }),
+                        },
+                    };
+                    *lock(&outcomes[tidx]) = Some(outcome);
+                },
+            );
+
+            // Fold the wave at the barrier, in stratum order.
+            let mut block = WaveBlock {
+                index: wave,
+                rows: Vec::new(),
+                fails: Vec::new(),
+            };
+            let mut incomplete = false;
+            for (tidx, &(sidx, _)) in quotas.iter().enumerate() {
+                match lock(&outcomes[tidx]).take() {
+                    None => incomplete = true,
+                    Some(WaveOutcome::Done(tally)) => {
+                        block.rows.push((
+                            sidx,
+                            StratumRow {
+                                samples: tally.samples,
+                                masked: tally.masked,
+                                output_error: tally.output_error,
+                                anomaly: tally.anomaly,
+                                rng_state: tally.rng_state,
+                            },
+                        ));
+                        states[sidx] = tally;
+                    }
+                    Some(WaveOutcome::Failed { attempts, reason }) => {
+                        // The stratum freezes with its pre-wave tally: the
+                        // lost wave's partial samples are discarded (they
+                        // were never committed), its Wilson interval simply
+                        // stays at the committed width.
+                        states[sidx].frozen = true;
+                        total_failures += 1;
+                        let meta = &strata[sidx];
+                        event!(
+                            "cell.failed",
+                            node = meta.node,
+                            cat = &cat_code(meta.category),
+                            attempts = attempts,
+                            samples = states[sidx].samples,
+                            reason = reason_kind(&reason),
+                        );
+                        if let Some(p) = &progress {
+                            p.on_cell_failed();
+                        }
+                        block.fails.push(WaveFail {
+                            stratum: sidx,
+                            attempts,
+                            kind: reason_kind(&reason).to_owned(),
+                            message: match &reason {
+                                FailureReason::Error(m) | FailureReason::Panic(m) => m.clone(),
+                            },
+                        });
+                        failures.push((
+                            sidx,
+                            CellFailure {
+                                node: meta.node,
+                                layer: meta.layer.clone(),
+                                category: meta.category,
+                                attempts,
+                                samples_completed: states[sidx].samples,
+                                reason,
+                            },
+                        ));
+                    }
+                }
+            }
+            if incomplete {
+                // Cancelled mid-wave: nothing of this wave is committed, so
+                // the checkpoint on disk resumes from the last barrier.
+                if let Some(p) = &progress {
+                    p.finish();
+                }
+                let total: usize = states.iter().map(|t| t.samples).sum();
+                event!(
+                    "campaign.cancel",
+                    net = &net,
+                    waves = wave,
+                    injections = total
+                );
+                return Err(bad(format!(
+                    "adaptive campaign cancelled after {wave} waves ({total} injections)"
+                )));
+            }
+            if let Some(w) = &mut ckpt {
+                write_wave(w, &block).map_err(|e| io_err("wave write", e))?;
+                w.flush().map_err(|e| io_err("flush", e))?;
+            }
+            wave += 1;
+            if total_failures > spec.resilience.failure_budget {
+                if let Some(p) = &progress {
+                    p.finish();
+                }
+                return Err(bad(format!(
+                    "failure budget exhausted: {total_failures} cells failed (budget {})",
+                    spec.resilience.failure_budget
+                )));
+            }
+        }
+
+        // Build the certificate with the exact arithmetic the offline
+        // verifier replays, so `statcheck --cert` compares bit-for-bit.
+        let tallies: Vec<(usize, usize)> = states.iter().map(|t| (t.samples, t.masked)).collect();
+        let cert = build_certificate(fingerprint, &aplan, z, &strata, &tallies, wave);
+        if let Some(f) = &resumed_footer {
+            // A complete checkpoint must agree with its own data when
+            // recomputed — anything else is tampering or corruption.
+            if cert.total_bound.to_bits() != f.total_bound.to_bits()
+                || cert.total_injections != f.total_injections
+                || cert.converged != f.converged
+                || committed.len() != f.waves
+            {
+                return Err(bad(
+                    "corrupt adaptive checkpoint: stored certificate does not match \
+                     its own wave data"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(w) = &mut ckpt {
+            write_cert_footer(
+                w,
+                &CertFooter {
+                    total_bound: cert.total_bound,
+                    total_injections: cert.total_injections,
+                    waves: wave,
+                    converged: cert.converged,
+                },
+            )
+            .map_err(|e| io_err("certificate write", e))?;
+            w.flush().map_err(|e| io_err("flush", e))?;
+        }
+        if let Some(p) = &progress {
+            p.finish();
+        }
+
+        let cells: Vec<CellStats> = strata
+            .iter()
+            .zip(&states)
+            .map(|(m, t)| CellStats {
+                node: m.node,
+                layer: m.layer.clone(),
+                category: m.category,
+                model: m.model,
+                samples: t.samples,
+                masked: t.masked,
+                output_error: t.output_error,
+                anomaly: t.anomaly,
+                events: Vec::new(),
+            })
+            .collect();
+        failures.sort_by_key(|&(idx, _)| idx);
+        let fast_divergence = self.measure_fast_divergence(&plans, &net);
+        let result = CampaignResult {
+            cells,
+            failures: failures.into_iter().map(|(_, f)| f).collect(),
+            fast_divergence,
+            certificate: Some(cert),
+        };
+        event!(
+            "campaign.finish",
+            net = &net,
+            cells = result.cells.len(),
+            injections = result.total_samples(),
+            waves = wave,
+            converged = result.certificate.as_ref().is_some_and(|c| c.converged),
+            failures = result.failures.len(),
+            elapsed_us = campaign_sw.elapsed_us().unwrap_or(0),
+        );
+        mirror(
+            "campaign.finish",
+            &[
+                ("cells", Value::U64(result.cells.len() as u64)),
+                ("injections", Value::U64(result.total_samples() as u64)),
+                ("waves", Value::U64(wave as u64)),
+                ("failures", Value::U64(result.failures.len() as u64)),
+                (
+                    "elapsed_us",
+                    Value::U64(campaign_sw.elapsed_us().unwrap_or(0)),
+                ),
+            ],
+        );
+        Ok(result)
+    }
+
+    /// Runs one wave quota for one stratum, continuing its RNG stream from
+    /// the committed tally. Sample indices are absolute (`tally.samples`
+    /// counts from the stratum's birth), so chaos triggers and the golden
+    /// re-ensure cadence line up with the fixed path's.
+    fn run_stratum_quota(
+        &self,
+        tally: &mut StratumTally,
+        plan: &CellPlan,
+        quota: usize,
+        progress: Option<&CampaignProgress>,
+        metrics: &CampaignMetrics,
+        ws: &mut Workspace,
+    ) -> Result<(), DnnError> {
+        let spec = &self.spec;
+        let kind = category_kind(plan.category);
+        let chaos = spec
+            .resilience
+            .chaos
+            .iter()
+            .find(|c| c.node == plan.node && c.category == plan.category);
+        let mut rng = SplitMix64::new(tally.rng_state);
+        let golden = (spec.batch > 0).then(|| golden_key(self.trace));
+        for j in 0..quota {
+            let i = tally.samples;
+            if let Some(key) = golden {
+                // `j == 0` additionally re-ensures at every wave entry: an
+                // absolute index mid-batch must still find the snapshot.
+                if (j == 0 || i.is_multiple_of(spec.batch)) && ws.golden_key() != Some(key) {
+                    ws.install_golden(key, &self.trace.node_outputs);
+                }
+            }
+            let deadline = spec.resilience.injection_deadline.map(|d| clock::now() + d);
+            apply_chaos(chaos, i, plan.node, plan.category);
+            let inj_sw = clock::Stopwatch::start_if(timing_enabled());
+            let inj = inject_once_pooled(
+                self.engine,
+                self.trace,
+                plan.node,
+                plan.model,
+                self.metric,
+                &mut rng,
+                deadline,
+                ws,
+            )?;
+            metrics.injection_ns.record_opt(inj_sw.elapsed_ns());
+            metrics.injections.inc();
+            tally.samples += 1;
+            match inj.outcome {
+                Outcome::Masked => tally.masked += 1,
+                Outcome::OutputError => tally.output_error += 1,
+                Outcome::SystemAnomaly => tally.anomaly += 1,
+            }
+            if inj.watchdog {
+                metrics.watchdog.inc();
+                event!("watchdog.fired", node = plan.node, sample = i);
+                if let Some(p) = progress {
+                    p.on_watchdog();
+                }
+            }
+            if let Some(p) = progress {
+                p.on_injection(kind, outcome_kind(inj.outcome));
+            }
+        }
+        tally.rng_state = rng.state();
+        Ok(())
+    }
+}
+
+/// The published result of one stratum's wave task: either the extended
+/// tally, or a failure that freezes the stratum at its pre-wave snapshot.
+enum WaveOutcome {
+    Done(StratumTally),
+    Failed {
+        attempts: usize,
+        reason: FailureReason,
+    },
 }
 
 /// A campaign runner with an explicit worker count, sharding cells over the
@@ -1283,6 +1983,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         // 2 MAC layers × 7 categories.
@@ -1308,6 +2009,7 @@ mod tests {
                 progress: None,
                 batch: 0,
                 mac_tier: MacTier::Bitwise,
+                adaptive: None,
             };
             run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec)
                 .unwrap()
@@ -1333,6 +2035,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         for cell in result
@@ -1359,6 +2062,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let adaptive = CampaignSpec {
             target_ci_halfwidth: Some(0.08),
@@ -1415,6 +2119,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
 
         let ref_path = scratch("cancel-ref.ckpt");
@@ -1479,6 +2184,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let baseline = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         let ((n1, c1), (n2, c2)) = victim_pair(&baseline);
@@ -1531,6 +2237,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let baseline = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         let ((n1, c1), (n2, c2)) = victim_pair(&baseline);
@@ -1589,6 +2296,7 @@ mod tests {
                 progress: None,
                 batch: 0,
                 mac_tier: MacTier::Bitwise,
+                adaptive: None,
             };
             ParallelCampaignRunner::new(&engine, &trace, &cfg, &TopOneMatch, spec)
                 .with_jobs(jobs)
@@ -1702,6 +2410,7 @@ mod tests {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let result = run_campaign(&engine, &trace, &cfg, &TopOneMatch, &spec).unwrap();
         let non_global: Vec<_> = result

@@ -12,6 +12,8 @@
 //!   to deployed networks;
 //! * [`inject`] / [`campaign`] — fast trace/resume software fault injection
 //!   and statistically-sized campaigns;
+//! * [`adaptive`] — confidence-driven sequential campaign planning with
+//!   Neyman wave allocation and a machine-checkable certificate;
 //! * [`resilience`] — fault-tolerant campaign execution: panic isolation,
 //!   per-injection watchdogs, checkpoint/resume;
 //! * [`activeness`] — Eq. 1 (inactive-FF masking);
@@ -37,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod activeness;
+pub mod adaptive;
 pub mod analysis;
 pub mod batch;
 pub mod campaign;
@@ -60,6 +63,7 @@ pub(crate) mod rtl_addr {
     pub use fidelity_rtl::layer::{input_addr, weight_addr};
 }
 
+pub use adaptive::{AdaptivePlan, ConfidenceCertificate, StratumCert};
 pub use analysis::{analyze, ResilienceAnalysis};
 pub use batch::{BatchStats, BatchedInjectionRunner};
 pub use campaign::{

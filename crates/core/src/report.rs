@@ -125,6 +125,7 @@ mod tests {
             }],
             failures: vec![],
             fast_divergence: None,
+            certificate: None,
         };
         let table = campaign_table(&result);
         assert!(table.contains("conv"));

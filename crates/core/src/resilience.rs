@@ -297,6 +297,16 @@ pub fn campaign_fingerprint(
         .map_or(u64::MAX, f64::to_bits)
         .to_le_bytes());
     eat(spec.mac_tier.as_str().as_bytes());
+    // Adaptive plan parameters are identity: epsilon/confidence/max decide
+    // which injections run, so adaptive checkpoints only interchange between
+    // equal plans. Eaten only when present, preserving every pre-adaptive
+    // fingerprint byte-for-byte.
+    if let Some(a) = &spec.adaptive {
+        eat(&[1u8]);
+        eat(&a.epsilon.to_bits().to_le_bytes());
+        eat(&a.confidence.to_bits().to_le_bytes());
+        eat(&(a.max_injections as u64).to_le_bytes());
+    }
     for &(node, cat) in plan {
         eat(&(node as u64).to_le_bytes());
         eat(cat_code(cat).as_bytes());
@@ -547,7 +557,7 @@ pub(crate) fn cat_code(cat: FfCategory) -> String {
     }
 }
 
-fn parse_cat(s: &str) -> Option<FfCategory> {
+pub(crate) fn parse_cat(s: &str) -> Option<FfCategory> {
     match s {
         "lc" => return Some(FfCategory::LocalControl),
         "gc" => return Some(FfCategory::GlobalControl),
@@ -593,7 +603,7 @@ fn parse_operand(s: &str) -> Option<OperandKind> {
 }
 
 /// Compact, stable code for a software fault model.
-fn model_code(model: &SoftwareFaultModel) -> String {
+pub(crate) fn model_code(model: &SoftwareFaultModel) -> String {
     match model {
         SoftwareFaultModel::BeforeBuffer { kind } => format!("bb:{}", operand_code(*kind)),
         SoftwareFaultModel::Operand {
@@ -613,7 +623,7 @@ fn model_code(model: &SoftwareFaultModel) -> String {
     }
 }
 
-fn parse_model(s: &str) -> Option<SoftwareFaultModel> {
+pub(crate) fn parse_model(s: &str) -> Option<SoftwareFaultModel> {
     match s {
         "out" => return Some(SoftwareFaultModel::OutputValue),
         "lc" => return Some(SoftwareFaultModel::LocalControl),
@@ -879,5 +889,32 @@ mod tests {
             fp,
             campaign_fingerprint(&base, "net", &[(1, FfCategory::LocalControl)])
         );
+    }
+
+    #[test]
+    fn fingerprint_treats_adaptive_plan_as_identity() {
+        let base = CampaignSpec::default();
+        let plan = [(0usize, FfCategory::LocalControl)];
+        let fp = campaign_fingerprint(&base, "net", &plan);
+        // Turning the adaptive plan on is an identity change.
+        let mut adaptive = base.clone();
+        adaptive.adaptive = Some(crate::adaptive::AdaptivePlan::new(0.01));
+        let fp_a = campaign_fingerprint(&adaptive, "net", &plan);
+        assert_ne!(fp, fp_a);
+        // So is every plan parameter.
+        let mut eps = adaptive.clone();
+        eps.adaptive.as_mut().unwrap().epsilon = 0.02;
+        assert_ne!(fp_a, campaign_fingerprint(&eps, "net", &plan));
+        let mut conf = adaptive.clone();
+        conf.adaptive.as_mut().unwrap().confidence = 0.99;
+        assert_ne!(fp_a, campaign_fingerprint(&conf, "net", &plan));
+        let mut cap = adaptive.clone();
+        cap.adaptive.as_mut().unwrap().max_injections = 999;
+        assert_ne!(fp_a, campaign_fingerprint(&cap, "net", &plan));
+        // An equal plan reproduces the fingerprint exactly.
+        let again = adaptive.clone();
+        assert_eq!(fp_a, campaign_fingerprint(&again, "net", &plan));
+        // And a None plan leaves the legacy fingerprint untouched.
+        assert_eq!(fp, campaign_fingerprint(&base.clone(), "net", &plan));
     }
 }

@@ -30,6 +30,14 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state. `SplitMix64::new(state)` reconstructs a
+    /// stream that continues exactly where this one is — which is how
+    /// checkpointable consumers (the adaptive campaign planner) persist and
+    /// resume a stream mid-way without replaying its prefix.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -154,6 +154,12 @@ pub struct ProgressSnapshot {
     /// Estimated seconds to completion (upper bound), when the rate is
     /// non-zero.
     pub eta_secs: Option<f64>,
+    /// Adaptive campaigns: strata whose uncertainty contribution has
+    /// resolved below their share of the target ε. 0 for fixed campaigns.
+    pub strata_resolved: usize,
+    /// Adaptive campaigns: strata that carry uncertainty at all. 0 for
+    /// fixed campaigns (the strata display is then suppressed).
+    pub strata_total: usize,
     /// Whether this is the final snapshot of the run.
     pub finished: bool,
 }
@@ -199,6 +205,8 @@ impl ProgressSnapshot {
             Some(eta) => push_num_field(&mut s, "eta_secs", eta),
             None => s.push_str("\"eta_secs\":null,"),
         }
+        push_num_field(&mut s, "strata_resolved", self.strata_resolved as f64);
+        push_num_field(&mut s, "strata_total", self.strata_total as f64);
         s.push_str("\"finished\":");
         s.push_str(if self.finished { "true" } else { "false" });
         s.push('}');
@@ -327,6 +335,8 @@ pub struct CampaignProgress {
     retries: AtomicU64,
     watchdog: AtomicU64,
     failures: AtomicUsize,
+    strata_resolved: AtomicUsize,
+    strata_total: AtomicUsize,
 
     last_render_us: AtomicU64,
     rendering: AtomicBool,
@@ -364,6 +374,8 @@ impl CampaignProgress {
             retries: AtomicU64::new(0),
             watchdog: AtomicU64::new(0),
             failures: AtomicUsize::new(0),
+            strata_resolved: AtomicUsize::new(0),
+            strata_total: AtomicUsize::new(0),
             last_render_us: AtomicU64::new(0),
             rendering: AtomicBool::new(false),
             rendered_once: AtomicBool::new(false),
@@ -395,6 +407,16 @@ impl CampaignProgress {
         if n.is_multiple_of(RENDER_CHECK_EVERY) {
             self.maybe_render(false);
         }
+    }
+
+    /// Reports adaptive per-stratum convergence: `resolved` of `total`
+    /// strata have their uncertainty contribution below their share of the
+    /// target ε. Called at every wave barrier; fixed campaigns never call
+    /// it, which keeps the strata segment off their display.
+    pub fn set_strata(&self, resolved: usize, total: usize) {
+        self.strata_resolved.store(resolved, Ordering::Relaxed);
+        self.strata_total.store(total, Ordering::Relaxed);
+        self.maybe_render(false);
     }
 
     /// Records a completed cell.
@@ -498,6 +520,8 @@ impl CampaignProgress {
             failure_budget: self.failure_budget,
             elapsed_us,
             eta_secs,
+            strata_resolved: self.strata_resolved.load(Ordering::Relaxed),
+            strata_total: self.strata_total.load(Ordering::Relaxed),
             finished: self.finished.load(Ordering::Relaxed),
         }
     }
@@ -547,8 +571,13 @@ impl CampaignProgress {
         } else {
             String::new()
         };
+        let strata_note = if snap.strata_total > 0 {
+            format!(" | strata {}/{}", snap.strata_resolved, snap.strata_total)
+        } else {
+            String::new()
+        };
         let line = format!(
-            "[{}] cells {}/{}{} | inj {} ({}/s) | mask {:.2} [{:.2},{:.2}]{} | retry {} wdt {} fail {}/{} | ETA {}",
+            "[{}] cells {}/{}{} | inj {} ({}/s) | mask {:.2} [{:.2},{:.2}]{}{} | retry {} wdt {} fail {}/{} | ETA {}",
             snap.label,
             snap.cells_done,
             snap.cells_total,
@@ -563,6 +592,7 @@ impl CampaignProgress {
             snap.masked_lo,
             snap.masked_hi,
             kinds,
+            strata_note,
             snap.retries,
             snap.watchdog,
             snap.failures,
@@ -678,6 +708,26 @@ mod tests {
                 _ => None,
             }),
             Some(2)
+        );
+    }
+
+    #[test]
+    fn strata_convergence_flows_into_snapshot_and_json() {
+        let p = CampaignProgress::new("adaptive", &quiet_spec(None), 4, 10, 2);
+        let before = p.snapshot();
+        assert_eq!((before.strata_resolved, before.strata_total), (0, 0));
+        p.set_strata(41, 54);
+        let snap = p.snapshot();
+        assert_eq!((snap.strata_resolved, snap.strata_total), (41, 54));
+        let json = crate::json::parse(&snap.to_json()).unwrap();
+        assert_eq!(
+            json.get("strata_resolved")
+                .and_then(crate::json::Json::as_u64),
+            Some(41)
+        );
+        assert_eq!(
+            json.get("strata_total").and_then(crate::json::Json::as_u64),
+            Some(54)
         );
     }
 

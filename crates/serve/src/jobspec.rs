@@ -13,6 +13,7 @@
 //! campaign run by the service produces bit-identical checkpoints and
 //! masking probabilities to an uninterrupted CLI run of the same spec.
 
+use fidelity_core::adaptive::AdaptivePlan;
 use fidelity_core::campaign::{CampaignSpec, MacTier};
 use fidelity_core::outcome::{CorrectnessMetric, TopOneMatch};
 use fidelity_dnn::graph::{Engine, Trace};
@@ -68,6 +69,16 @@ pub struct JobSpec {
     /// change low-order bits, so it feeds the fingerprint and the campaign
     /// checkpoint key.
     pub mac_tier: MacTier,
+    /// Adaptive-planner FIT-bound target ε. `Some` switches the campaign
+    /// to confidence-driven wave sampling; identity (changes which
+    /// injections run), so it feeds the fingerprint.
+    pub epsilon: Option<f64>,
+    /// Adaptive confidence level (0.90, 0.95, or 0.99). Identity alongside
+    /// `epsilon`; ignored unless `epsilon` is set.
+    pub confidence: Option<f64>,
+    /// Adaptive total-injection ceiling. Identity alongside `epsilon`;
+    /// ignored unless `epsilon` is set.
+    pub max_injections: Option<usize>,
 }
 
 impl Default for JobSpec {
@@ -86,6 +97,9 @@ impl Default for JobSpec {
             retries: 2,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            epsilon: None,
+            confidence: None,
+            max_injections: None,
         }
     }
 }
@@ -158,6 +172,13 @@ impl JobSpec {
                     spec.mac_tier =
                         MacTier::parse(s).ok_or_else(|| bad(key, "\"bitwise\" or \"fast\""))?;
                 }
+                "epsilon" => {
+                    spec.epsilon = Some(val.as_f64().ok_or_else(|| bad(key, "a number"))?);
+                }
+                "confidence" => {
+                    spec.confidence = Some(val.as_f64().ok_or_else(|| bad(key, "a number"))?);
+                }
+                "max_injections" => spec.max_injections = Some(usize_field(val, key)?),
                 other => return Err(format!("unknown field `{other}`")),
             }
         }
@@ -200,7 +221,32 @@ impl JobSpec {
                 "`deadline_ms` must be at most {MAX_DEADLINE_MS} (ten years)"
             ));
         }
+        if self.epsilon.is_none() && (self.confidence.is_some() || self.max_injections.is_some()) {
+            return Err("`confidence`/`max_injections` require `epsilon`".to_owned());
+        }
+        if let Some(plan) = self.adaptive_plan() {
+            plan.validated_z().map_err(|e| e.to_string())?;
+            if self.record_events {
+                return Err("`epsilon` (adaptive) excludes `record_events`".to_owned());
+            }
+            if self.target_ci.is_some() {
+                return Err("`epsilon` (adaptive) excludes `target_ci`".to_owned());
+            }
+        }
         Ok(())
+    }
+
+    /// The adaptive plan implied by the spec, when `epsilon` is set.
+    pub fn adaptive_plan(&self) -> Option<AdaptivePlan> {
+        let epsilon = self.epsilon?;
+        let mut plan = AdaptivePlan::new(epsilon);
+        if let Some(c) = self.confidence {
+            plan.confidence = c;
+        }
+        if let Some(m) = self.max_injections {
+            plan.max_injections = m;
+        }
+        Some(plan)
     }
 
     /// Canonical single-line JSON encoding: stable field order, defaults
@@ -233,6 +279,15 @@ impl JobSpec {
         push_num(&mut s, "batch", self.batch as f64);
         s.push_str(",\"mac_tier\":");
         escape_into(&mut s, self.mac_tier.as_str());
+        if let Some(e) = self.epsilon {
+            push_num(&mut s, "epsilon", e);
+        }
+        if let Some(c) = self.confidence {
+            push_num(&mut s, "confidence", c);
+        }
+        if let Some(m) = self.max_injections {
+            push_num(&mut s, "max_injections", m as f64);
+        }
         s.push('}');
         s
     }
@@ -259,6 +314,13 @@ impl JobSpec {
         // The MAC tier is identity (Fast may change bits); `batch` is policy
         // (bit-identical by construction) and deliberately excluded.
         eat(self.mac_tier.as_str().as_bytes());
+        // Adaptive plan is identity: it decides which injections run.
+        if let Some(plan) = self.adaptive_plan() {
+            eat(&[1u8]);
+            eat(&plan.epsilon.to_bits().to_le_bytes());
+            eat(&plan.confidence.to_bits().to_le_bytes());
+            eat(&(plan.max_injections as u64).to_le_bytes());
+        }
         h
     }
 
@@ -341,6 +403,7 @@ impl JobSpec {
             progress: None,
             batch: self.batch,
             mac_tier: self.mac_tier,
+            adaptive: self.adaptive_plan(),
         }
     }
 }
@@ -414,6 +477,16 @@ mod tests {
                 retries: 0,
                 batch: 16,
                 mac_tier: MacTier::Fast,
+                epsilon: None,
+                confidence: None,
+                max_injections: None,
+            },
+            JobSpec {
+                network: "resnet".to_owned(),
+                epsilon: Some(0.005),
+                confidence: Some(0.99),
+                max_injections: Some(50_000),
+                ..tiny()
             },
         ];
         for spec in specs {
@@ -472,6 +545,32 @@ mod tests {
         let mut unseeded = a.clone();
         unseeded.seed = None;
         assert_ne!(a.fingerprint(), unseeded.fingerprint());
+        let mut adaptive = a.clone();
+        adaptive.epsilon = Some(0.01); // decides which injections run → identity
+        assert_ne!(a.fingerprint(), adaptive.fingerprint());
+        let mut tighter = adaptive.clone();
+        tighter.epsilon = Some(0.001);
+        assert_ne!(adaptive.fingerprint(), tighter.fingerprint());
+    }
+
+    #[test]
+    fn adaptive_validation_rejects_conflicts() {
+        for body in [
+            r#"{"network":"lstm","confidence":0.95}"#, // confidence without epsilon
+            r#"{"network":"lstm","epsilon":0.0}"#,     // non-positive epsilon
+            r#"{"network":"lstm","epsilon":0.01,"confidence":0.8}"#, // unsupported level
+            r#"{"network":"lstm","epsilon":0.01,"record_events":true}"#,
+            r#"{"network":"lstm","epsilon":0.01,"target_ci":0.05}"#,
+        ] {
+            let v = parse(body).unwrap();
+            assert!(JobSpec::from_json(&v).is_err(), "accepted: {body}");
+        }
+        let v = parse(r#"{"network":"lstm","epsilon":0.01,"confidence":0.99}"#).unwrap();
+        let spec = JobSpec::from_json(&v).unwrap();
+        let plan = spec.adaptive_plan().unwrap();
+        assert_eq!(plan.epsilon, 0.01);
+        assert_eq!(plan.confidence, 0.99);
+        assert!(spec.campaign_spec(1).adaptive.is_some());
     }
 
     #[test]

@@ -194,6 +194,19 @@ pub fn render(frame: &TopFrame, prev: Option<(&TopFrame, Duration)>) -> String {
                 cells_total as u64,
                 fmt_rate(rate)
             );
+            // Adaptive campaigns additionally report per-stratum
+            // convergence (strata whose FIT bound resolved below ε).
+            let strata_total = progress
+                .get("strata_total")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            if strata_total > 0.0 {
+                let resolved = progress
+                    .get("strata_resolved")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let _ = write!(out, "  strata {}/{}", resolved as u64, strata_total as u64);
+            }
             out.push('\n');
             if let Some(Json::Arr(kinds)) = progress.get("per_kind") {
                 for k in kinds {
@@ -309,6 +322,19 @@ campaign_injections 10000
         assert!(text.contains("local ctl"));
         // First frame: inj/s falls back to the per-job reported rate.
         assert!(text.contains("inj/s 1.2k"), "rate in:\n{text}");
+        // No strata fields → fixed campaign → no strata segment.
+        assert!(!text.contains("strata"), "no strata for fixed in:\n{text}");
+    }
+
+    #[test]
+    fn adaptive_jobs_show_stratum_convergence() {
+        let campaigns = CAMPAIGNS.replace(
+            "\"rate_per_sec\":1234.0,",
+            "\"rate_per_sec\":1234.0,\"strata_resolved\":41,\"strata_total\":54,",
+        );
+        let frame = TopFrame::parse(METRICS, &campaigns).expect("frame parses");
+        let text = render(&frame, None);
+        assert!(text.contains("strata 41/54"), "strata in:\n{text}");
     }
 
     #[test]

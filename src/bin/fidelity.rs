@@ -5,11 +5,13 @@
 //! fidelity analyze  --network NAME [--precision fp16|int16|int8]
 //!                   [--samples N] [--bounding SLACK] [--seed N]
 //!                   [--jobs N] [--batch N] [--mac-tier bitwise|fast]
+//!                   [--adaptive] [--epsilon E] [--confidence C]
+//!                   [--max-injections N]
 //!                   [--checkpoint PATH] [--resume]
 //! fidelity validate --network NAME [--layer NAME] [--sites N] [--systolic]
 //! fidelity protect  --network NAME [--target FIT] [--samples N]
-//! fidelity report   --trace FILE
-//! fidelity statcheck [--preset NAME]
+//! fidelity report   --trace FILE | --cert FILE
+//! fidelity statcheck [--preset NAME] [--cert FILE]
 //! fidelity lint     [--root PATH]...
 //! fidelity concheck [--root PATH]...
 //! ```
@@ -25,6 +27,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use fidelity::accel::dataflow::{EyerissDataflow, NvdlaDataflow};
+use fidelity::core::adaptive::AdaptivePlan;
 use fidelity::core::analysis::analyze;
 use fidelity::core::campaign::CampaignSpec;
 use fidelity::core::fit::{
@@ -104,14 +107,16 @@ const USAGE: &str = "usage:
   fidelity analyze  --network NAME [--precision fp16|int16|int8]
                     [--samples N] [--bounding SLACK] [--seed N]
                     [--jobs N] [--batch N] [--mac-tier bitwise|fast]
+                    [--adaptive] [--epsilon E] [--confidence C]
+                    [--max-injections N]
                     [--checkpoint PATH] [--resume]
   fidelity validate --network NAME [--layer NAME] [--sites N]
   fidelity protect  --network NAME [--target FIT] [--samples N] [--jobs N]
-  fidelity report   --trace FILE
+  fidelity report   --trace FILE | --cert FILE
   fidelity serve    [--addr HOST:PORT] [--state DIR] [--queue-cap N]
                     [--workers N] [--jobs N] [--smoke]
   fidelity top      [--addr HOST:PORT] [--interval-ms N] [--once]
-  fidelity statcheck [--preset NAME]
+  fidelity statcheck [--preset NAME] [--cert FILE]
   fidelity lint     [--root PATH]...
   fidelity concheck [--root PATH]...
 
@@ -126,6 +131,15 @@ parallelism (analyze | protect):
   --jobs N          campaign worker threads (default: all cores); results
                     are bit-identical for any N
 
+adaptive sampling (analyze):
+  --adaptive        confidence-driven campaign: per-stratum Wilson CIs stop
+                    sampling once the FIT bound resolves below ε; emits a
+                    machine-checkable confidence certificate
+  --epsilon E       target FIT half-width ε (default 0.005; implies
+                    --adaptive)
+  --confidence C    CI level: 0.90 | 0.95 (default) | 0.99
+  --max-injections N  total-injection ceiling (default 1000000)
+
 performance (analyze | protect):
   --batch N         batched fault-cone evaluation: keep a golden snapshot
                     per worker and evaluate injections as sparse deltas,
@@ -138,7 +152,7 @@ performance (analyze | protect):
 networks: inception | resnet | mobilenet | yolo | transformer | lstm";
 
 /// Flags that take no value; their presence maps to `"true"`.
-const BARE_FLAGS: &[&str] = &["resume", "progress", "metrics", "smoke", "once"];
+const BARE_FLAGS: &[&str] = &["resume", "progress", "metrics", "smoke", "once", "adaptive"];
 
 /// Applies the shared telemetry flags before the command runs: `--trace FILE`
 /// installs the JSONL sink, `--metrics` enables timing instrumentation.
@@ -341,6 +355,17 @@ fn spec_from(opts: &HashMap<String, String>) -> Result<CampaignSpec, String> {
         spec.mac_tier = fidelity::dnn::macspec::MacTier::parse(tier)
             .ok_or_else(|| format!("--mac-tier: `{tier}` is not bitwise|fast"))?;
     }
+    // `--adaptive` switches the campaign to confidence-driven wave sampling:
+    // per-stratum Wilson intervals terminate sampling once the total FIT
+    // uncertainty resolves below ε. `--samples` is ignored in this mode;
+    // `--epsilon` alone also implies it.
+    if opts.contains_key("adaptive") || opts.contains_key("epsilon") {
+        let mut plan = AdaptivePlan::new(get(opts, "epsilon", 0.005f64)?);
+        plan.confidence = get(opts, "confidence", plan.confidence)?;
+        plan.max_injections = get(opts, "max-injections", plan.max_injections)?;
+        plan.validated_z().map_err(|e| e.to_string())?;
+        spec.adaptive = Some(plan);
+    }
     match (opts.get("checkpoint"), opts.contains_key("resume")) {
         (Some(path), resume) => {
             spec.resilience.checkpoint = Some(if resume {
@@ -395,6 +420,9 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(d) = analysis.campaign.fast_divergence {
         println!("fast-tier MAC divergence (measured worst case): {d:e}");
     }
+    if let Some(cert) = &analysis.campaign.certificate {
+        println!("\n{}", cert.render());
+    }
     if opts.get("detail").map(String::as_str) == Some("true") {
         println!(
             "\n{}",
@@ -444,9 +472,18 @@ fn cmd_validate(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_report(opts: &HashMap<String, String>) -> Result<(), String> {
+    // `--cert PATH` renders an adaptive campaign's confidence certificate
+    // (per-stratum convergence table) from its checkpoint, re-verifying the
+    // stored bounds in the process.
+    if let Some(path) = opts.get("cert") {
+        let cert = fidelity::core::adaptive::verify_checkpoint_file(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("{}", cert.render());
+        return Ok(());
+    }
     let path = opts
         .get("trace")
-        .ok_or_else(|| "report requires --trace FILE".to_owned())?;
+        .ok_or_else(|| "report requires --trace FILE or --cert FILE".to_owned())?;
     let summary = fidelity::obs::report::summarize_file(std::path::Path::new(path))
         .map_err(|e| format!("{path}: {e}"))?;
     println!("{summary}");
@@ -645,6 +682,31 @@ fn serve_smoke(cfg: fidelity::serve::ServeConfig) -> Result<(), String> {
 }
 
 fn cmd_statcheck(opts: &HashMap<String, String>) -> Result<(), String> {
+    // `--cert PATH` re-verifies an adaptive campaign's confidence
+    // certificate offline: every CI and FIT bound is recomputed from the
+    // checkpoint's raw tallies and compared bit-for-bit against the stored
+    // footer.
+    if let Some(path) = opts.get("cert") {
+        let cert = fidelity::core::adaptive::verify_checkpoint_file(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "certificate OK: fingerprint {:016x}, {} strata, {} injections over {} waves, \
+             FIT {:.3} ± {:.3} ({}; ε = {})",
+            cert.fingerprint,
+            cert.strata.len(),
+            cert.total_injections,
+            cert.waves,
+            cert.total_fit,
+            cert.total_bound,
+            if cert.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
+            cert.plan.epsilon,
+        );
+        return Ok(());
+    }
     let report = match opts.get("preset") {
         Some(name) => {
             let cfg = fidelity::accel::presets::all()

@@ -224,6 +224,7 @@ fn base_spec(seed: u64, samples: usize, record_events: bool) -> CampaignSpec {
         progress: None,
         batch: 0,
         mac_tier: MacTier::Bitwise,
+        adaptive: None,
     }
 }
 

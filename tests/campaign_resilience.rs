@@ -64,6 +64,7 @@ fn spec(samples: usize, seed: u64) -> CampaignSpec {
         progress: None,
         batch: 0,
         mac_tier: MacTier::Bitwise,
+        adaptive: None,
     }
 }
 

@@ -68,6 +68,7 @@ fn four_workers_give_at_least_2x_on_multicore_hosts() {
         progress: None,
         batch: 16,
         mac_tier: MacTier::Bitwise,
+        adaptive: None,
     };
 
     let serial = best_wall(&engine, &trace, &spec, 1);

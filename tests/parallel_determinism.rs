@@ -12,6 +12,7 @@ use std::path::PathBuf;
 
 use fidelity::accel::ff::FfCategory;
 use fidelity::accel::presets;
+use fidelity::core::adaptive::AdaptivePlan;
 use fidelity::core::campaign::{
     run_campaign, CampaignResult, CampaignSpec, CellStats, MacTier, ParallelCampaignRunner,
 };
@@ -178,6 +179,142 @@ fn victims(engine: &Engine, trace: &Trace, spec: &CampaignSpec) -> Vec<(usize, F
     vec![non_global[0], *non_global.last().unwrap()]
 }
 
+/// A small adaptive plan for the tiny engine: the injection ceiling keeps
+/// test runs fast whether or not the bound converges first.
+fn adaptive_spec(seed: u64, batch: usize) -> CampaignSpec {
+    CampaignSpec {
+        samples_per_cell: 10, // ignored in adaptive mode
+        seed,
+        threads: 1,
+        record_events: false,
+        target_ci_halfwidth: None,
+        resilience: ResilienceSpec::default(),
+        progress: None,
+        batch,
+        mac_tier: MacTier::Bitwise,
+        adaptive: Some(AdaptivePlan {
+            epsilon: 0.002,
+            confidence: 0.95,
+            max_injections: 2_000,
+        }),
+    }
+}
+
+/// Runs an adaptive spec at a job count and returns (result surface,
+/// certificate canonical bytes, checkpoint bytes).
+fn run_adaptive_at(
+    engine: &Engine,
+    trace: &Trace,
+    spec: &CampaignSpec,
+    jobs: usize,
+    tag: &str,
+) -> (Vec<String>, Vec<u8>, Vec<u8>) {
+    let cfg = presets::nvdla_like();
+    let ckpt = ScratchCkpt::new(&format!("adaptive_{tag}_{jobs}"));
+    let mut spec = spec.clone();
+    spec.resilience.checkpoint = Some(CheckpointSpec::new(&ckpt.0));
+    let result = ParallelCampaignRunner::new(engine, trace, &cfg, &TopOneMatch, spec)
+        .with_jobs(jobs)
+        .run()
+        .unwrap();
+    let cert = result.certificate.as_ref().expect("adaptive emits cert");
+    let bytes = std::fs::read(&ckpt.0).unwrap();
+    (result_key(&result), cert.canonical_bytes(), bytes)
+}
+
+/// Adaptive campaigns: per-cell outcomes, confidence-certificate bytes, and
+/// checkpoint bytes are identical across worker counts and batch modes, and
+/// the offline verifier recomputes the exact same certificate from the
+/// checkpoint alone.
+#[test]
+fn adaptive_campaigns_are_identical_across_jobs_and_batch() {
+    let (engine, trace) = tiny_engine(13);
+    let reference = run_adaptive_at(&engine, &trace, &adaptive_spec(42, 0), 1, "grid");
+    // The plan must have run more than the seed wave (uncertainty-driven
+    // reallocation actually exercised).
+    let verified =
+        fidelity::core::adaptive::verify_checkpoint(std::io::BufReader::new(&reference.2[..]))
+            .expect("checkpoint re-verifies offline");
+    assert_eq!(
+        verified.canonical_bytes(),
+        reference.1,
+        "offline verifier disagrees with the runner's certificate"
+    );
+    assert!(verified.waves > 1, "expected multiple waves");
+    for batch in [0usize, 16] {
+        for jobs in [1usize, 2, 8] {
+            if (jobs, batch) == (1, 0) {
+                continue;
+            }
+            let got = run_adaptive_at(
+                &engine,
+                &trace,
+                &adaptive_spec(42, batch),
+                jobs,
+                &format!("grid{batch}"),
+            );
+            assert_eq!(
+                got.0, reference.0,
+                "outcomes diverge at jobs={jobs} batch={batch}"
+            );
+            assert_eq!(
+                got.1, reference.1,
+                "certificate bytes diverge at jobs={jobs} batch={batch}"
+            );
+            assert_eq!(
+                got.2, reference.2,
+                "checkpoint bytes diverge at jobs={jobs} batch={batch}"
+            );
+        }
+    }
+}
+
+/// A SIGKILL mid-wave leaves a torn checkpoint tail; resuming completes to
+/// byte-identical checkpoint, certificate, and outcomes, for any worker
+/// count.
+#[test]
+fn adaptive_kill_mid_wave_then_resume_is_identical() {
+    let (engine, trace) = tiny_engine(17);
+    let cfg = presets::nvdla_like();
+    let spec = adaptive_spec(7, 0);
+    let reference = run_adaptive_at(&engine, &trace, &spec, 1, "killref");
+
+    // Cut the file mid-way through the second wave block and append a torn
+    // partial row — exactly what a kill during a block write leaves behind.
+    let text = String::from_utf8(reference.2.clone()).unwrap();
+    let second_wave = text.match_indices("\nwave ").nth(1).map(|(i, _)| i + 1);
+    let cut = second_wave.expect("reference has at least two waves");
+    let torn_end = text[cut..].find('\n').map(|i| cut + i + 30).unwrap();
+    let mut torn = text.as_bytes()[..torn_end].to_vec();
+    torn.extend_from_slice(b"\nw 3 1");
+
+    for jobs in [1usize, 4] {
+        let ckpt = ScratchCkpt::new(&format!("killresume_{jobs}"));
+        std::fs::write(&ckpt.0, &torn).unwrap();
+        let mut resuming = spec.clone();
+        resuming.resilience.checkpoint = Some(CheckpointSpec::resuming(&ckpt.0));
+        let result = ParallelCampaignRunner::new(&engine, &trace, &cfg, &TopOneMatch, resuming)
+            .with_jobs(jobs)
+            .run()
+            .unwrap();
+        assert_eq!(
+            result_key(&result),
+            reference.0,
+            "resumed outcomes diverge at jobs={jobs}"
+        );
+        assert_eq!(
+            result.certificate.unwrap().canonical_bytes(),
+            reference.1,
+            "resumed certificate diverges at jobs={jobs}"
+        );
+        assert_eq!(
+            std::fs::read(&ckpt.0).unwrap(),
+            reference.2,
+            "resumed checkpoint bytes diverge at jobs={jobs}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -202,6 +339,7 @@ proptest! {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         let (serial_key, serial_bytes) = run_at(&engine, &trace, &spec, 1, "clean");
         for jobs in &job_counts()[1..] {
@@ -231,6 +369,7 @@ proptest! {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         spec.resilience.chaos = victims(&engine, &trace, &spec)
             .into_iter()
@@ -273,6 +412,7 @@ proptest! {
             progress: None,
             batch: 0,
             mac_tier: MacTier::Bitwise,
+            adaptive: None,
         };
         // The uninterrupted reference: result surface and checkpoint bytes.
         let (reference_key, reference_bytes) = run_at(&engine, &trace, &clean, 1, "ref");
